@@ -1,0 +1,387 @@
+//! Dense bivariate polynomials and restriction to lines.
+//!
+//! The characteristic polynomial of a reception zone (paper, Section 2.2)
+//! is a 2-variate polynomial `H(x, y)` of degree `2n` built from the
+//! squared-distance quadratics `D_i(x, y) = (x − a_i)² + (y − b_i)²`.
+//! [`BiPoly`] provides the ring operations to build it, evaluation, and the
+//! *restriction to a parametrised segment* — substituting
+//! `x = p_x + t·d_x`, `y = p_y + t·d_y` — which yields the univariate
+//! polynomial fed to the Sturm machinery.
+//!
+//! Note: `sinr-core` has a faster direct construction of restricted
+//! characteristic polynomials (multiplying univariate quadratics); this
+//! module is the general-purpose reference implementation, used for
+//! cross-validation and for callers with arbitrary polynomials (the
+//! "general framework of zones" of Section 5).
+
+use crate::poly::Poly;
+
+/// A dense bivariate polynomial `Σ c[i][j]·x^i·y^j`.
+///
+/// Stored row-major: `coeffs[i][j]` multiplies `x^i y^j`. All rows have
+/// equal length. The zero polynomial is the empty matrix.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_algebra::BiPoly;
+///
+/// // D(x, y) = (x − 1)² + (y − 2)²
+/// let d = BiPoly::squared_distance(1.0, 2.0);
+/// assert_eq!(d.eval(1.0, 2.0), 0.0);
+/// assert_eq!(d.eval(4.0, 6.0), 25.0);
+/// assert_eq!(d.total_degree(), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BiPoly {
+    /// coeffs[i][j] multiplies x^i y^j; rectangular, possibly empty.
+    coeffs: Vec<Vec<f64>>,
+}
+
+impl BiPoly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        BiPoly { coeffs: Vec::new() }
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: f64) -> Self {
+        if c == 0.0 {
+            BiPoly::zero()
+        } else {
+            BiPoly {
+                coeffs: vec![vec![c]],
+            }
+        }
+    }
+
+    /// Builds from a coefficient matrix (`coeffs[i][j]` multiplies
+    /// `x^i y^j`). Rows may have ragged lengths; they are squared up.
+    pub fn from_coeffs(mut coeffs: Vec<Vec<f64>>) -> Self {
+        let w = coeffs.iter().map(|r| r.len()).max().unwrap_or(0);
+        for r in &mut coeffs {
+            r.resize(w, 0.0);
+        }
+        let mut p = BiPoly { coeffs };
+        p.trim();
+        p
+    }
+
+    /// The squared-distance quadratic `D(x, y) = (x − a)² + (y − b)²` —
+    /// the atom from which every characteristic polynomial in the paper is
+    /// assembled.
+    pub fn squared_distance(a: f64, b: f64) -> Self {
+        // (x² − 2a x + a²) + (y² − 2b y + b²)
+        BiPoly::from_coeffs(vec![
+            vec![a * a + b * b, -2.0 * b, 1.0],
+            vec![-2.0 * a, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0],
+        ])
+    }
+
+    /// True for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Total degree (max `i + j` with non-zero coefficient), or `None` for
+    /// the zero polynomial.
+    pub fn total_degree(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, row) in self.coeffs.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                if c != 0.0 {
+                    best = Some(best.map_or(i + j, |b| b.max(i + j)));
+                }
+            }
+        }
+        best
+    }
+
+    /// The coefficient of `x^i y^j`.
+    pub fn coeff(&self, i: usize, j: usize) -> f64 {
+        self.coeffs
+            .get(i)
+            .and_then(|r| r.get(j))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Largest absolute coefficient.
+    pub fn max_coeff_abs(&self) -> f64 {
+        self.coeffs
+            .iter()
+            .flat_map(|r| r.iter())
+            .fold(0.0f64, |m, c| m.max(c.abs()))
+    }
+
+    /// Evaluates at `(x, y)` (Horner in `y` inside Horner in `x`).
+    pub fn eval(&self, x: f64, y: f64) -> f64 {
+        let mut acc = 0.0;
+        for row in self.coeffs.iter().rev() {
+            let mut ry = 0.0;
+            for &c in row.iter().rev() {
+                ry = ry * y + c;
+            }
+            acc = acc * x + ry;
+        }
+        acc
+    }
+
+    /// The polynomial scaled by `k`.
+    pub fn scaled(&self, k: f64) -> BiPoly {
+        BiPoly::from_coeffs(
+            self.coeffs
+                .iter()
+                .map(|r| r.iter().map(|c| c * k).collect())
+                .collect(),
+        )
+    }
+
+    /// Sum of two bivariate polynomials.
+    pub fn add(&self, other: &BiPoly) -> BiPoly {
+        let h = self.coeffs.len().max(other.coeffs.len());
+        let w = self
+            .coeffs
+            .first()
+            .map_or(0, |r| r.len())
+            .max(other.coeffs.first().map_or(0, |r| r.len()));
+        let mut out = vec![vec![0.0; w]; h];
+        for (i, row) in self.coeffs.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                out[i][j] += c;
+            }
+        }
+        for (i, row) in other.coeffs.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                out[i][j] += c;
+            }
+        }
+        BiPoly::from_coeffs(out)
+    }
+
+    /// Difference of two bivariate polynomials.
+    pub fn sub(&self, other: &BiPoly) -> BiPoly {
+        self.add(&other.scaled(-1.0))
+    }
+
+    /// Product of two bivariate polynomials (dense convolution).
+    pub fn mul(&self, other: &BiPoly) -> BiPoly {
+        if self.is_zero() || other.is_zero() {
+            return BiPoly::zero();
+        }
+        let h = self.coeffs.len() + other.coeffs.len() - 1;
+        let w = self.coeffs[0].len() + other.coeffs[0].len() - 1;
+        let mut out = vec![vec![0.0; w]; h];
+        for (i1, r1) in self.coeffs.iter().enumerate() {
+            for (j1, &c1) in r1.iter().enumerate() {
+                if c1 == 0.0 {
+                    continue;
+                }
+                for (i2, r2) in other.coeffs.iter().enumerate() {
+                    for (j2, &c2) in r2.iter().enumerate() {
+                        if c2 != 0.0 {
+                            out[i1 + i2][j1 + j2] += c1 * c2;
+                        }
+                    }
+                }
+            }
+        }
+        BiPoly::from_coeffs(out)
+    }
+
+    /// Restricts the polynomial to the parametrised line
+    /// `(x, y) = (px + t·dx, py + t·dy)`, producing a univariate
+    /// polynomial in `t`.
+    ///
+    /// With `(px, py)` a segment endpoint and `(dx, dy)` the endpoint
+    /// difference, the parameter range `t ∈ [0, 1]` traces the segment —
+    /// this is the reduction at the heart of the paper's segment test
+    /// (Section 5.1) and its line-intersection argument (Lemma 2.1 /
+    /// Section 3.2).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sinr_algebra::BiPoly;
+    ///
+    /// // The unit circle x² + y² − 1, restricted to the horizontal line
+    /// // y = 0 traced as (t, 0): gives t² − 1.
+    /// let circle = BiPoly::squared_distance(0.0, 0.0).add(&BiPoly::constant(-1.0));
+    /// let p = circle.restrict(0.0, 0.0, 1.0, 0.0);
+    /// assert_eq!(p.degree(), Some(2));
+    /// assert!(p.eval(1.0).abs() < 1e-12);
+    /// assert!(p.eval(-1.0).abs() < 1e-12);
+    /// ```
+    pub fn restrict(&self, px: f64, py: f64, dx: f64, dy: f64) -> Poly {
+        if self.is_zero() {
+            return Poly::zero();
+        }
+        let x_lin = Poly::from_coeffs(vec![px, dx]);
+        let y_lin = Poly::from_coeffs(vec![py, dy]);
+
+        // Horner in x with polynomial "digits": for each row, first fold the
+        // y-polynomial (Horner in y over y_lin), then fold rows over x_lin.
+        let mut acc = Poly::zero();
+        for row in self.coeffs.iter().rev() {
+            let mut ry = Poly::zero();
+            for &c in row.iter().rev() {
+                ry = &(&ry * &y_lin) + &Poly::constant(c);
+            }
+            acc = &(&acc * &x_lin) + &ry;
+        }
+        acc
+    }
+
+    fn trim(&mut self) {
+        // Drop all-zero trailing rows and columns.
+        while self
+            .coeffs
+            .last()
+            .is_some_and(|r| r.iter().all(|c| *c == 0.0))
+        {
+            self.coeffs.pop();
+        }
+        if self.coeffs.is_empty() {
+            return;
+        }
+        let mut w = self.coeffs[0].len();
+        while w > 0 && self.coeffs.iter().all(|r| r[w - 1] == 0.0) {
+            w -= 1;
+        }
+        for r in &mut self.coeffs {
+            r.truncate(w);
+        }
+        if w == 0 {
+            self.coeffs.clear();
+        }
+    }
+}
+
+impl std::fmt::Display for BiPoly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (i, row) in self.coeffs.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                if c == 0.0 {
+                    continue;
+                }
+                if !first {
+                    write!(f, " {} ", if c < 0.0 { "-" } else { "+" })?;
+                } else if c < 0.0 {
+                    write!(f, "-")?;
+                }
+                write!(f, "{}", c.abs())?;
+                if i > 0 {
+                    write!(f, "·x^{i}")?;
+                }
+                if j > 0 {
+                    write!(f, "·y^{j}")?;
+                }
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_distance_values() {
+        let d = BiPoly::squared_distance(3.0, -1.0);
+        assert_eq!(d.eval(3.0, -1.0), 0.0);
+        assert_eq!(d.eval(0.0, 0.0), 10.0);
+        assert_eq!(d.eval(4.0, 0.0), 2.0);
+        assert_eq!(d.total_degree(), Some(2));
+    }
+
+    #[test]
+    fn ring_operations_match_pointwise() {
+        let a = BiPoly::squared_distance(1.0, 0.0);
+        let b = BiPoly::squared_distance(-2.0, 3.0);
+        let sum = a.add(&b);
+        let dif = a.sub(&b);
+        let pro = a.mul(&b);
+        for &(x, y) in &[(0.0, 0.0), (1.5, -2.0), (-3.0, 4.0), (0.1, 0.2)] {
+            let (av, bv) = (a.eval(x, y), b.eval(x, y));
+            assert!((sum.eval(x, y) - (av + bv)).abs() < 1e-9);
+            assert!((dif.eval(x, y) - (av - bv)).abs() < 1e-9);
+            assert!((pro.eval(x, y) - av * bv).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_behaviour() {
+        let z = BiPoly::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.total_degree(), None);
+        assert_eq!(z.eval(3.0, 4.0), 0.0);
+        let a = BiPoly::squared_distance(0.0, 0.0);
+        assert!(a.mul(&z).is_zero());
+        assert_eq!(a.add(&z), a);
+        assert!(BiPoly::constant(0.0).is_zero());
+        assert!(BiPoly::from_coeffs(vec![vec![0.0, 0.0], vec![0.0, 0.0]]).is_zero());
+    }
+
+    #[test]
+    fn restriction_matches_direct_evaluation() {
+        // Build a moderately complex polynomial and compare restriction vs
+        // direct evaluation along the line.
+        let d1 = BiPoly::squared_distance(1.0, 2.0);
+        let d2 = BiPoly::squared_distance(-2.0, 0.5);
+        let d3 = BiPoly::squared_distance(0.0, -1.0);
+        let h = d1.mul(&d2).sub(&d3.scaled(2.5)).add(&BiPoly::constant(7.0));
+        let (px, py, dx, dy) = (0.3, -0.7, 1.2, 0.4);
+        let r = h.restrict(px, py, dx, dy);
+        for &t in &[-2.0, -0.5, 0.0, 0.25, 1.0, 3.0] {
+            let direct = h.eval(px + t * dx, py + t * dy);
+            assert!(
+                (r.eval(t) - direct).abs() < 1e-7 * (1.0 + direct.abs()),
+                "t={t}: {} vs {direct}",
+                r.eval(t)
+            );
+        }
+    }
+
+    #[test]
+    fn restriction_degree() {
+        // Restriction of a total-degree-d polynomial has degree ≤ d in t.
+        let d1 = BiPoly::squared_distance(1.0, 1.0);
+        let d2 = BiPoly::squared_distance(2.0, -1.0);
+        let prod = d1.mul(&d2); // total degree 4
+        let r = prod.restrict(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(r.degree(), Some(4));
+        // Restricting along a degenerate direction (0,0) gives a constant.
+        let r0 = prod.restrict(0.5, 0.5, 0.0, 0.0);
+        assert!(r0.is_constant());
+        assert!((r0.eval(0.0) - prod.eval(0.5, 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_characteristic_polynomial_small() {
+        // Two stations s0=(0,0), s1=(2,0), uniform power, no noise, β=2:
+        // H(x,y) = β·D0 − D1 ≤ 0 describes H0 = {2·D0 ≤ D1}.
+        let d0 = BiPoly::squared_distance(0.0, 0.0);
+        let d1 = BiPoly::squared_distance(2.0, 0.0);
+        let h = d0.scaled(2.0).sub(&d1);
+        // On the segment from s0 towards s1, the boundary is where
+        // 2 x² = (x−2)² ⇒ x = −2 ± 2√2 ⇒ positive root ≈ 0.8284.
+        let r = h.restrict(0.0, 0.0, 1.0, 0.0);
+        let roots = crate::sturm::SturmChain::new(&r).roots_in(0.0, 2.0, 1e-12);
+        assert_eq!(roots.len(), 1);
+        assert!((roots[0] - (2.0 * 2f64.sqrt() - 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(format!("{}", BiPoly::zero()), "0");
+        let d = BiPoly::squared_distance(1.0, 1.0);
+        assert!(!format!("{d}").is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! # sinr-algebra
+//!
+//! Computer-algebra substrate for the `sinr-diagrams` workspace: dense
+//! univariate and bivariate polynomials over `f64`, and **Sturm sequences**
+//! for exact-in-spirit counting of distinct real roots.
+//!
+//! ## Why this exists
+//!
+//! The central technical device of *"SINR Diagrams"* (Avin et al., PODC
+//! 2009) is algebraic: the boundary of a reception zone `H₀` is the zero
+//! set of a 2-variate polynomial `H(x, y)` of degree `2n` (Section 2.2),
+//! and both the convexity proof (Section 3.2) and the point-location
+//! *segment test* (Section 5.1) reduce to the question
+//!
+//! > *how many distinct real roots does the restriction of `H` to a line
+//! > have in a given interval?*
+//!
+//! which Sturm's condition (Theorem 3.6 in the paper, attributed to
+//! Jacques Sturm, 1829) answers by counting sign changes of the Sturm
+//! chain evaluated at the interval's endpoints.
+//!
+//! ## Modules
+//!
+//! * [`poly`] — dense univariate polynomials: ring operations, Euclidean
+//!   division, derivatives, Horner evaluation, variable shifts (the paper's
+//!   `z = x − r̄` substitution), deflation by quadratic factors;
+//! * [`bipoly`] — dense bivariate polynomials and their restriction to a
+//!   parametrised segment (yielding a univariate polynomial);
+//! * [`sturm`] — Sturm chains, sign-change counting (including at `±∞`),
+//!   root counting on intervals, root isolation and bisection refinement;
+//! * [`roots`] — closed-form quadratic/cubic solvers and the cubic
+//!   discriminant of Proposition 3.4, used for cross-validation;
+//! * [`num`] — numeric policy: relative tolerances and compensated
+//!   (Kahan) summation.
+//!
+//! ## Example: the segment test in miniature
+//!
+//! ```
+//! use sinr_algebra::{Poly, SturmChain};
+//!
+//! // P(x) = (x − 1)(x − 2)(x − 5)² has distinct real roots {1, 2, 5}.
+//! let p = Poly::from_roots(&[1.0, 2.0, 5.0, 5.0]);
+//! let chain = SturmChain::new(&p);
+//! assert_eq!(chain.count_distinct_roots(), 3);
+//! assert_eq!(chain.count_roots_in(0.0, 3.0), 2);
+//! assert_eq!(chain.count_roots_in(3.0, 10.0), 1);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bipoly;
+pub mod num;
+pub mod poly;
+pub mod roots;
+pub mod sturm;
+
+pub use bipoly::BiPoly;
+pub use num::{kahan_sum, KahanSum, RelTol};
+pub use poly::Poly;
+pub use roots::{cubic_discriminant, solve_cubic, solve_quadratic};
+pub use sturm::SturmChain;

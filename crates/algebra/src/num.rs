@@ -1,0 +1,216 @@
+//! Numeric policy: relative tolerances and compensated summation.
+//!
+//! Sturm chains on `f64` degrade when spurious tiny coefficients are
+//! mistaken for genuine ones. Every "is this coefficient zero?" decision in
+//! this crate goes through [`RelTol`], which measures magnitudes relative
+//! to a *reference scale* (typically the max-|coefficient| of the
+//! polynomial at hand). Interference sums in `sinr-core` accumulate many
+//! positive terms of mixed magnitude; [`KahanSum`] keeps those sums
+//! accurate to the last bit.
+
+/// A relative tolerance anchored to a reference scale.
+///
+/// A value `x` is considered zero when `|x| ≤ rel · scale + tiny`, where
+/// `tiny` guards against a zero scale.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_algebra::RelTol;
+///
+/// let tol = RelTol::new(1e-12).with_scale(1e6);
+/// assert!(tol.is_zero(1e-7));   // 1e-7 ≪ 1e-12 · 1e6 = 1e-6
+/// assert!(!tol.is_zero(1e-5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelTol {
+    rel: f64,
+    scale: f64,
+}
+
+/// Default relative tolerance for coefficient pruning.
+pub const DEFAULT_REL: f64 = 1e-11;
+
+impl RelTol {
+    /// Creates a relative tolerance with reference scale 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel` is negative or NaN.
+    pub fn new(rel: f64) -> Self {
+        assert!(rel >= 0.0, "tolerance must be non-negative");
+        RelTol { rel, scale: 1.0 }
+    }
+
+    /// Returns the same tolerance anchored to `scale` (absolute magnitudes
+    /// are compared against `rel · scale`).
+    pub fn with_scale(self, scale: f64) -> Self {
+        RelTol {
+            scale: scale.abs().max(f64::MIN_POSITIVE),
+            ..self
+        }
+    }
+
+    /// The effective absolute threshold `rel · scale`.
+    #[inline]
+    pub fn threshold(&self) -> f64 {
+        self.rel * self.scale + f64::MIN_POSITIVE
+    }
+
+    /// Is `x` (effectively) zero?
+    #[inline]
+    pub fn is_zero(&self, x: f64) -> bool {
+        x.abs() <= self.threshold()
+    }
+
+    /// Sign of `x` quantised by the tolerance: −1, 0, or +1.
+    #[inline]
+    pub fn sign(&self, x: f64) -> i8 {
+        if self.is_zero(x) {
+            0
+        } else if x > 0.0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+impl Default for RelTol {
+    fn default() -> Self {
+        RelTol::new(DEFAULT_REL)
+    }
+}
+
+/// Kahan–Babuška compensated accumulator.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_algebra::KahanSum;
+///
+/// let mut acc = KahanSum::new();
+/// for _ in 0..10_000 {
+///     acc.add(0.1);
+/// }
+/// assert!((acc.value() - 1000.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl KahanSum {
+    /// Creates an empty (zero) accumulator.
+    pub fn new() -> Self {
+        KahanSum::default()
+    }
+
+    /// Adds a term to the sum.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated value of the sum.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
+impl Extend<f64> for KahanSum {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for KahanSum {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut acc = KahanSum::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+/// Compensated sum of an iterator of `f64` terms.
+///
+/// # Examples
+///
+/// ```
+/// let s = sinr_algebra::kahan_sum((0..1000).map(|i| 1.0 / (i as f64 + 1.0)));
+/// assert!(s > 7.48 && s < 7.49); // harmonic number H_1000 ≈ 7.4855
+/// ```
+pub fn kahan_sum<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
+    iter.into_iter().collect::<KahanSum>().value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reltol_scales() {
+        let t = RelTol::new(1e-12);
+        assert!(t.is_zero(1e-13));
+        assert!(!t.is_zero(1e-11));
+        let t = t.with_scale(1e10);
+        assert!(t.is_zero(1e-3));
+        assert!(!t.is_zero(1.0));
+    }
+
+    #[test]
+    fn reltol_sign() {
+        let t = RelTol::default();
+        assert_eq!(t.sign(0.0), 0);
+        assert_eq!(t.sign(1.0), 1);
+        assert_eq!(t.sign(-1.0), -1);
+        assert_eq!(t.sign(1e-15), 0);
+    }
+
+    #[test]
+    fn reltol_zero_scale_guard() {
+        let t = RelTol::new(1e-12).with_scale(0.0);
+        assert!(t.is_zero(0.0));
+        assert!(!t.is_zero(1.0));
+    }
+
+    #[test]
+    fn kahan_beats_naive() {
+        // Sum 1 + 1e-16 many times: naive accumulation loses the tiny terms.
+        let n = 1_000_000usize;
+        let mut naive = 1.0f64;
+        let mut kahan = KahanSum::new();
+        kahan.add(1.0);
+        for _ in 0..n {
+            naive += 1e-16;
+            kahan.add(1e-16);
+        }
+        let exact = 1.0 + n as f64 * 1e-16;
+        assert!((kahan.value() - exact).abs() < 1e-15);
+        // The naive sum typically stays at exactly 1.0 (each tiny add rounds away).
+        assert!((naive - exact).abs() >= (kahan.value() - exact).abs());
+    }
+
+    #[test]
+    fn kahan_collect() {
+        let acc: KahanSum = vec![1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(acc.value(), 6.0);
+        assert_eq!(kahan_sum([1.5, -0.5]), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_rel_panics() {
+        let _ = RelTol::new(-1e-9);
+    }
+}

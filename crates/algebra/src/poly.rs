@@ -1,0 +1,827 @@
+//! Dense univariate polynomials over `f64`.
+//!
+//! Coefficients are stored in ascending power order: `coeffs[i]` multiplies
+//! `x^i`. The zero polynomial is the empty coefficient vector. Every
+//! constructor and operation trims trailing coefficients that are
+//! negligible *relative to the polynomial's own magnitude*, so the reported
+//! degree is numerically meaningful — exactly what the Sturm machinery
+//! needs (a spurious tiny leading coefficient would corrupt the sign
+//! pattern at `±∞`).
+
+use crate::num::RelTol;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A dense univariate polynomial with `f64` coefficients.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_algebra::Poly;
+///
+/// // 3x² − 2x + 1
+/// let p = Poly::from_coeffs(vec![1.0, -2.0, 3.0]);
+/// assert_eq!(p.degree(), Some(2));
+/// assert_eq!(p.eval(2.0), 9.0);
+/// let dp = p.derivative();
+/// assert_eq!(dp, Poly::from_coeffs(vec![-2.0, 6.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Poly {
+    coeffs: Vec<f64>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Poly::constant(1.0)
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: f64) -> Self {
+        Poly::from_coeffs(vec![c])
+    }
+
+    /// The monomial `x`.
+    pub fn x() -> Self {
+        Poly::from_coeffs(vec![0.0, 1.0])
+    }
+
+    /// The monomial `c·x^deg`.
+    pub fn monomial(deg: usize, c: f64) -> Self {
+        let mut coeffs = vec![0.0; deg + 1];
+        coeffs[deg] = c;
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// Builds a polynomial from coefficients in ascending power order,
+    /// trimming negligible leading terms.
+    pub fn from_coeffs(coeffs: Vec<f64>) -> Self {
+        let mut p = Poly { coeffs };
+        p.trim();
+        p
+    }
+
+    /// The monic polynomial `Π (x − rᵢ)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sinr_algebra::Poly;
+    /// let p = Poly::from_roots(&[1.0, -1.0]); // x² − 1
+    /// assert_eq!(p.eval(1.0), 0.0);
+    /// assert_eq!(p.eval(0.0), -1.0);
+    /// ```
+    pub fn from_roots(roots: &[f64]) -> Self {
+        let mut p = Poly::one();
+        for &r in roots {
+            p = &p * &Poly::from_coeffs(vec![-r, 1.0]);
+        }
+        p
+    }
+
+    /// Degree of the polynomial, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        if self.coeffs.is_empty() {
+            None
+        } else {
+            Some(self.coeffs.len() - 1)
+        }
+    }
+
+    /// The coefficient of `x^i` (zero beyond the stored degree).
+    pub fn coeff(&self, i: usize) -> f64 {
+        self.coeffs.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// All coefficients in ascending power order (empty for zero).
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// The leading coefficient, or 0 for the zero polynomial.
+    pub fn leading_coeff(&self) -> f64 {
+        self.coeffs.last().copied().unwrap_or(0.0)
+    }
+
+    /// True for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// True for a constant (degree ≤ 0) polynomial, including zero.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.len() <= 1
+    }
+
+    /// Largest absolute coefficient (0 for the zero polynomial).
+    pub fn max_coeff_abs(&self) -> f64 {
+        self.coeffs.iter().fold(0.0f64, |m, c| m.max(c.abs()))
+    }
+
+    /// Evaluates at `x` by Horner's rule.
+    pub fn eval(&self, x: f64) -> f64 {
+        let mut acc = 0.0;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Evaluates the polynomial and its derivative at `x` in one pass.
+    pub fn eval_with_derivative(&self, x: f64) -> (f64, f64) {
+        let mut p = 0.0;
+        let mut dp = 0.0;
+        for &c in self.coeffs.iter().rev() {
+            dp = dp * x + p;
+            p = p * x + c;
+        }
+        (p, dp)
+    }
+
+    /// The formal derivative.
+    pub fn derivative(&self) -> Poly {
+        if self.coeffs.len() <= 1 {
+            return Poly::zero();
+        }
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &c)| i as f64 * c)
+            .collect();
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// The polynomial scaled by `k` (all coefficients multiplied by `k`).
+    pub fn scaled(&self, k: f64) -> Poly {
+        Poly::from_coeffs(self.coeffs.iter().map(|c| c * k).collect())
+    }
+
+    /// The polynomial divided by its max-|coefficient| — a *positive*
+    /// rescaling, so roots and sign patterns are unchanged. Returns the
+    /// zero polynomial unchanged.
+    ///
+    /// Sturm chains normalise every element this way to keep the `f64`
+    /// dynamic range in check for the degree-`2n` polynomials of the paper.
+    pub fn normalized(&self) -> Poly {
+        let m = self.max_coeff_abs();
+        if m <= f64::MIN_POSITIVE {
+            self.clone()
+        } else {
+            self.scaled(1.0 / m)
+        }
+    }
+
+    /// Euclidean division: returns `(q, r)` with `self = q·div + r` and
+    /// `deg r < deg div`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `div` is the zero polynomial.
+    pub fn div_rem(&self, div: &Poly) -> (Poly, Poly) {
+        assert!(!div.is_zero(), "polynomial division by zero");
+        let dd = div.coeffs.len() - 1;
+        if self.coeffs.len() <= dd {
+            return (Poly::zero(), self.clone());
+        }
+        let lead = div.coeffs[dd];
+        let mut rem = self.coeffs.clone();
+        let qn = rem.len() - dd;
+        let mut quo = vec![0.0; qn];
+        for k in (0..qn).rev() {
+            let q = rem[k + dd] / lead;
+            quo[k] = q;
+            if q != 0.0 {
+                for (i, &dc) in div.coeffs.iter().enumerate() {
+                    rem[k + i] -= q * dc;
+                }
+            }
+        }
+        rem.truncate(dd);
+        // The remainder's scale reference is the dividend: coefficients that
+        // are tiny relative to the inputs are cancellation noise.
+        let scale = self.max_coeff_abs().max(1.0);
+        let tol = RelTol::default().with_scale(scale);
+        while rem.last().is_some_and(|c| tol.is_zero(*c)) {
+            rem.pop();
+        }
+        (Poly::from_coeffs(quo), Poly::from_coeffs(rem))
+    }
+
+    /// The Taylor shift `Q(x) = P(x + c)`.
+    ///
+    /// This is the paper's `z = x − r̄` substitution (Section 3.2): the
+    /// shifted polynomial `Ĥ(z) = H(z + r̄)` is obtained as `shift(r̄)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sinr_algebra::Poly;
+    /// let p = Poly::from_roots(&[3.0]);       // x − 3
+    /// let q = p.shifted(3.0);                 // (x+3) − 3 = x
+    /// assert_eq!(q, Poly::x());
+    /// ```
+    pub fn shifted(&self, c: f64) -> Poly {
+        if self.coeffs.len() <= 1 {
+            return self.clone();
+        }
+        // Synthetic Taylor expansion around −c … equivalently repeated
+        // synthetic division computing the coefficients of P(x + c).
+        let n = self.coeffs.len();
+        let mut a = self.coeffs.clone();
+        for i in 0..n - 1 {
+            for k in (i..n - 1).rev() {
+                let next = a[k + 1];
+                a[k] += c * next;
+            }
+        }
+        Poly::from_coeffs(a)
+    }
+
+    /// The variable rescaling `Q(x) = P(k·x)`.
+    pub fn var_scaled(&self, k: f64) -> Poly {
+        let mut pw = 1.0;
+        let coeffs = self
+            .coeffs
+            .iter()
+            .map(|&c| {
+                let v = c * pw;
+                pw *= k;
+                v
+            })
+            .collect();
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// The reflection `Q(x) = P(−x)`.
+    pub fn reflected(&self) -> Poly {
+        self.var_scaled(-1.0)
+    }
+
+    /// `self` raised to the power `e` by repeated squaring.
+    pub fn pow(&self, e: u32) -> Poly {
+        let mut base = self.clone();
+        let mut acc = Poly::one();
+        let mut e = e;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = &acc * &base;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Polynomial composition `self ∘ inner`, i.e. `P(Q(x))`.
+    ///
+    /// Used e.g. to restrict a univariate polynomial to a reparametrised
+    /// axis. Cost `O(deg(P)²·deg(Q))` by Horner over polynomials.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sinr_algebra::Poly;
+    /// let p = Poly::from_coeffs(vec![0.0, 0.0, 1.0]); // x²
+    /// let q = Poly::from_coeffs(vec![1.0, 1.0]);      // x + 1
+    /// assert_eq!(p.compose(&q), Poly::from_coeffs(vec![1.0, 2.0, 1.0]));
+    /// ```
+    pub fn compose(&self, inner: &Poly) -> Poly {
+        let mut acc = Poly::zero();
+        for &c in self.coeffs.iter().rev() {
+            acc = &(&acc * inner) + &Poly::constant(c);
+        }
+        acc
+    }
+
+    /// A greatest common divisor of `self` and `other` by the Euclidean
+    /// algorithm, normalised to max-|coefficient| 1 (f64 GCDs are defined
+    /// up to a scalar). Returns the zero polynomial when both inputs are
+    /// zero.
+    ///
+    /// Remainders that shrink below a relative tolerance of the operands
+    /// are treated as zero — the standard numerical-GCD convention; for
+    /// polynomials with well-separated roots this recovers the exact
+    /// common factor structure.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sinr_algebra::Poly;
+    /// let a = Poly::from_roots(&[1.0, 2.0, 3.0]);
+    /// let b = Poly::from_roots(&[2.0, 3.0, 5.0]);
+    /// let g = a.gcd(&b);
+    /// assert_eq!(g.degree(), Some(2)); // (x−2)(x−3) up to scale
+    /// assert!(g.eval(2.0).abs() < 1e-9 && g.eval(3.0).abs() < 1e-9);
+    /// ```
+    pub fn gcd(&self, other: &Poly) -> Poly {
+        let mut a = self.normalized();
+        let mut b = other.normalized();
+        if a.degree() < b.degree() {
+            std::mem::swap(&mut a, &mut b);
+        }
+        while !b.is_zero() {
+            let (_, r) = a.div_rem(&b);
+            // Prune cancellation noise relative to the operands.
+            let r = r.pruned_rel(1e-9).normalized();
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// The square-free part `P / gcd(P, P′)` (each distinct root with
+    /// multiplicity one), normalised. The classical Sturm chain implicitly
+    /// performs this reduction — the chain terminates at `gcd(P, P′)` —
+    /// and this method exposes it for callers that want the deflated
+    /// polynomial itself.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sinr_algebra::Poly;
+    /// let p = Poly::from_roots(&[1.0, 1.0, 4.0]); // (x−1)²(x−4)
+    /// let sf = p.square_free();
+    /// assert_eq!(sf.degree(), Some(2));
+    /// assert!(sf.eval(1.0).abs() < 1e-6);
+    /// assert!(sf.eval(4.0).abs() < 1e-6);
+    /// ```
+    pub fn square_free(&self) -> Poly {
+        if self.is_constant() {
+            return self.normalized();
+        }
+        let g = self.gcd(&self.derivative());
+        if g.is_constant() {
+            return self.normalized();
+        }
+        let (q, _) = self.div_rem(&g);
+        q.normalized()
+    }
+
+    /// An upper bound on the absolute value of every real root
+    /// (Cauchy's bound `1 + max |aᵢ| / |a_d|`).
+    ///
+    /// Returns `None` for constant or zero polynomials (no roots, or
+    /// everything is a root).
+    pub fn root_bound(&self) -> Option<f64> {
+        if self.coeffs.len() <= 1 {
+            return None;
+        }
+        let lead = self.leading_coeff().abs();
+        let m = self.coeffs[..self.coeffs.len() - 1]
+            .iter()
+            .fold(0.0f64, |m, c| m.max(c.abs()));
+        Some(1.0 + m / lead)
+    }
+
+    /// Evaluates at `x` and returns `(value, error_bound)` where
+    /// `error_bound` is a running bound on the Horner rounding error
+    /// (`≈ 2·deg·ε·Σ|cᵢ||x|^i`). A computed value smaller than its bound is
+    /// numerically indistinguishable from zero — the criterion the Sturm
+    /// machinery uses for sign quantisation.
+    pub fn eval_with_error_bound(&self, x: f64) -> (f64, f64) {
+        let ax = x.abs();
+        let mut acc = 0.0;
+        let mut mag = 0.0; // Σ |cᵢ| |x|^i, accumulated by the same Horner walk
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+            mag = mag * ax + c.abs();
+        }
+        let d = self.coeffs.len().max(1) as f64;
+        (acc, 4.0 * d * f64::EPSILON * mag + f64::MIN_POSITIVE)
+    }
+
+    /// Returns the polynomial with trailing *and interior* coefficients
+    /// below `rel · max_coeff_abs` zeroed (trailing ones removed).
+    ///
+    /// Only valid when the domain of interest is `|x| ≲ 1` (e.g. segment
+    /// restrictions reparametrised to `t ∈ [0, 1]`), where a coefficient
+    /// tiny relative to the largest one cannot influence any value. For
+    /// general polynomials prefer keeping all coefficients: genuinely huge
+    /// dynamic range is legitimate (a product of many quadratics has
+    /// `|lead| ≪ |constant|` without any coefficient being noise).
+    pub fn pruned_rel(&self, rel: f64) -> Poly {
+        let m = self.max_coeff_abs();
+        if m <= f64::MIN_POSITIVE {
+            return Poly::zero();
+        }
+        let tol = RelTol::new(rel).with_scale(m);
+        Poly::from_coeffs(
+            self.coeffs
+                .iter()
+                .map(|&c| if tol.is_zero(c) { 0.0 } else { c })
+                .collect(),
+        )
+    }
+
+    /// Removes trailing coefficients that are exactly zero (or denormal
+    /// dust below `1e-300`). Relative pruning is *not* applied here: see
+    /// [`Poly::pruned_rel`] for why.
+    fn trim(&mut self) {
+        while self.coeffs.last().is_some_and(|c| c.abs() < 1e-300) {
+            self.coeffs.pop();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ring operations.
+// ---------------------------------------------------------------------------
+
+impl Add for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut coeffs = vec![0.0; n];
+        for (i, c) in self.coeffs.iter().enumerate() {
+            coeffs[i] += c;
+        }
+        for (i, c) in rhs.coeffs.iter().enumerate() {
+            coeffs[i] += c;
+        }
+        Poly::from_coeffs(coeffs)
+    }
+}
+
+impl Sub for &Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut coeffs = vec![0.0; n];
+        for (i, c) in self.coeffs.iter().enumerate() {
+            coeffs[i] += c;
+        }
+        for (i, c) in rhs.coeffs.iter().enumerate() {
+            coeffs[i] -= c;
+        }
+        Poly::from_coeffs(coeffs)
+    }
+}
+
+impl Mul for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![0.0; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            if *a == 0.0 {
+                continue;
+            }
+            for (j, b) in rhs.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Poly::from_coeffs(coeffs)
+    }
+}
+
+impl Neg for &Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        self.scaled(-1.0)
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Poly {
+            type Output = Poly;
+            fn $method(self, rhs: Poly) -> Poly {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Poly> for Poly {
+            type Output = Poly;
+            fn $method(self, rhs: &Poly) -> Poly {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Poly> for &Poly {
+            type Output = Poly;
+            fn $method(self, rhs: Poly) -> Poly {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_owned_binop!(Add, add);
+forward_owned_binop!(Sub, sub);
+forward_owned_binop!(Mul, mul);
+
+impl Neg for Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        -&self
+    }
+}
+
+impl AddAssign<&Poly> for Poly {
+    fn add_assign(&mut self, rhs: &Poly) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Poly> for Poly {
+    fn sub_assign(&mut self, rhs: &Poly) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Poly> for Poly {
+    fn mul_assign(&mut self, rhs: &Poly) {
+        *self = &*self * rhs;
+    }
+}
+
+impl std::fmt::Display for Poly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (i, &c) in self.coeffs.iter().enumerate().rev() {
+            if c == 0.0 {
+                continue;
+            }
+            if !first {
+                write!(f, " {} ", if c < 0.0 { "-" } else { "+" })?;
+            } else if c < 0.0 {
+                write!(f, "-")?;
+            }
+            let a = c.abs();
+            match i {
+                0 => write!(f, "{a}")?,
+                1 => {
+                    if a == 1.0 {
+                        write!(f, "x")?
+                    } else {
+                        write!(f, "{a}·x")?
+                    }
+                }
+                _ => {
+                    if a == 1.0 {
+                        write!(f, "x^{i}")?
+                    } else {
+                        write!(f, "{a}·x^{i}")?
+                    }
+                }
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(cs: &[f64]) -> Poly {
+        Poly::from_coeffs(cs.to_vec())
+    }
+
+    #[test]
+    fn construction_and_degree() {
+        assert_eq!(Poly::zero().degree(), None);
+        assert_eq!(Poly::one().degree(), Some(0));
+        assert_eq!(Poly::x().degree(), Some(1));
+        assert_eq!(Poly::monomial(5, 2.0).degree(), Some(5));
+        // trailing zeros trimmed
+        assert_eq!(p(&[1.0, 2.0, 0.0, 0.0]).degree(), Some(1));
+        // all-zero input is the zero polynomial
+        assert!(p(&[0.0, 0.0]).is_zero());
+    }
+
+    #[test]
+    fn evaluation_horner() {
+        let q = p(&[1.0, -2.0, 3.0]); // 3x² − 2x + 1
+        assert_eq!(q.eval(0.0), 1.0);
+        assert_eq!(q.eval(1.0), 2.0);
+        assert_eq!(q.eval(-1.0), 6.0);
+        assert_eq!(Poly::zero().eval(7.0), 0.0);
+    }
+
+    #[test]
+    fn eval_with_derivative_consistent() {
+        let q = p(&[5.0, -1.0, 0.5, 2.0]);
+        for &x in &[-2.0, 0.0, 0.3, 1.7] {
+            let (v, d) = q.eval_with_derivative(x);
+            assert!((v - q.eval(x)).abs() < 1e-12);
+            assert!((d - q.derivative().eval(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ring_axioms_spot_checks() {
+        let a = p(&[1.0, 2.0]);
+        let b = p(&[3.0, 0.0, 1.0]);
+        let c = p(&[-1.0, 1.0, 0.0, 2.0]);
+        // commutativity
+        assert_eq!(&a + &b, &b + &a);
+        assert_eq!(&a * &b, &b * &a);
+        // associativity
+        assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        // distributivity
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        // additive inverse
+        assert!((&a - &a).is_zero());
+        assert!((&a + &(-&a)).is_zero());
+        // multiplicative identity / absorbing zero
+        assert_eq!(&a * &Poly::one(), a);
+        assert!((&a * &Poly::zero()).is_zero());
+    }
+
+    #[test]
+    fn from_roots_and_eval() {
+        let q = Poly::from_roots(&[1.0, 2.0, -3.0]);
+        assert_eq!(q.degree(), Some(3));
+        for &r in &[1.0, 2.0, -3.0] {
+            assert!(q.eval(r).abs() < 1e-12);
+        }
+        assert!(q.eval(0.0).abs() > 0.1);
+        // leading coefficient is 1 (monic)
+        assert!((q.leading_coeff() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_with_remainder() {
+        // (x² + 2x + 1) = (x + 1)(x + 1) + 0
+        let dividend = p(&[1.0, 2.0, 1.0]);
+        let divisor = p(&[1.0, 1.0]);
+        let (q, r) = dividend.div_rem(&divisor);
+        assert_eq!(q, p(&[1.0, 1.0]));
+        assert!(r.is_zero());
+        // general case: verify self = q·div + r
+        let a = p(&[3.0, -2.0, 0.0, 5.0, 1.0]);
+        let d = p(&[1.0, 0.0, 2.0]);
+        let (q, r) = a.div_rem(&d);
+        let recomposed = &(&q * &d) + &r;
+        for i in 0..5 {
+            assert!((recomposed.coeff(i) - a.coeff(i)).abs() < 1e-12);
+        }
+        assert!(r.degree().is_none_or(|dr| dr < d.degree().unwrap()));
+        // dividing by higher degree leaves the dividend as remainder
+        let (q, r) = d.div_rem(&a);
+        assert!(q.is_zero());
+        assert_eq!(r, d);
+    }
+
+    #[test]
+    #[should_panic]
+    fn division_by_zero_panics() {
+        let _ = Poly::one().div_rem(&Poly::zero());
+    }
+
+    #[test]
+    fn taylor_shift() {
+        // P(x) = x² ; P(x + 1) = x² + 2x + 1
+        let q = Poly::monomial(2, 1.0).shifted(1.0);
+        assert_eq!(q, p(&[1.0, 2.0, 1.0]));
+        // shifting roots: from_roots([a]).shifted(c) has root a − c
+        let r = Poly::from_roots(&[5.0]).shifted(2.0);
+        assert!(r.eval(3.0).abs() < 1e-12);
+        // consistency with evaluation
+        let q = p(&[2.0, -1.0, 0.0, 4.0]);
+        let s = q.shifted(-1.7);
+        for &x in &[-1.0, 0.0, 0.5, 2.0] {
+            assert!((s.eval(x) - q.eval(x - 1.7)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn var_scaling_and_reflection() {
+        let q = p(&[1.0, 1.0, 1.0]); // x² + x + 1
+        let s = q.var_scaled(2.0); // 4x² + 2x + 1
+        assert_eq!(s, p(&[1.0, 2.0, 4.0]));
+        let r = q.reflected(); // x² − x + 1
+        assert_eq!(r, p(&[1.0, -1.0, 1.0]));
+        for &x in &[-2.0, 0.5, 3.0] {
+            assert!((r.eval(x) - q.eval(-x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn powers() {
+        let q = p(&[1.0, 1.0]); // x + 1
+        assert_eq!(q.pow(0), Poly::one());
+        assert_eq!(q.pow(1), q);
+        assert_eq!(q.pow(2), p(&[1.0, 2.0, 1.0]));
+        assert_eq!(q.pow(3), p(&[1.0, 3.0, 3.0, 1.0]));
+    }
+
+    #[test]
+    fn cauchy_root_bound() {
+        let q = Poly::from_roots(&[10.0, -7.0, 0.5]);
+        let bound = q.root_bound().unwrap();
+        assert!(bound >= 10.0);
+        assert!(Poly::one().root_bound().is_none());
+        assert!(Poly::zero().root_bound().is_none());
+    }
+
+    #[test]
+    fn normalisation_preserves_roots() {
+        let q = Poly::from_roots(&[2.0, 3.0]).scaled(1e8);
+        let n = q.normalized();
+        assert!((n.max_coeff_abs() - 1.0).abs() < 1e-12);
+        assert!(n.eval(2.0).abs() < 1e-9);
+        assert!(n.eval(3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Poly::zero()), "0");
+        assert_eq!(format!("{}", Poly::one()), "1");
+        let q = p(&[1.0, -2.0, 3.0]);
+        let s = format!("{q}");
+        assert!(s.contains("x^2") && s.contains('x'));
+    }
+
+    #[test]
+    fn degenerate_derivatives() {
+        assert!(Poly::zero().derivative().is_zero());
+        assert!(Poly::constant(5.0).derivative().is_zero());
+        assert_eq!(Poly::x().derivative(), Poly::one());
+    }
+
+    #[test]
+    fn composition_matches_pointwise() {
+        let p0 = p(&[1.0, -2.0, 0.5, 1.0]);
+        let q = p(&[0.3, 2.0, -1.0]);
+        let comp = p0.compose(&q);
+        for &x in &[-1.5, 0.0, 0.4, 2.0] {
+            let direct = p0.eval(q.eval(x));
+            assert!((comp.eval(x) - direct).abs() < 1e-9 * (1.0 + direct.abs()));
+        }
+        // degree multiplies
+        assert_eq!(comp.degree(), Some(6));
+        // composing with a constant evaluates
+        assert_eq!(
+            p0.compose(&Poly::constant(2.0)),
+            Poly::constant(p0.eval(2.0))
+        );
+    }
+
+    #[test]
+    fn gcd_recovers_common_factors() {
+        let common = Poly::from_roots(&[1.5, -2.0]);
+        let a = &common * &Poly::from_roots(&[4.0]);
+        let b = &common * &Poly::from_roots(&[-7.0, 0.5]);
+        let g = a.gcd(&b);
+        assert_eq!(g.degree(), Some(2));
+        assert!(g.eval(1.5).abs() < 1e-9);
+        assert!(g.eval(-2.0).abs() < 1e-9);
+        // coprime inputs yield a constant
+        let g2 = Poly::from_roots(&[1.0]).gcd(&Poly::from_roots(&[2.0]));
+        assert!(g2.is_constant() && !g2.is_zero());
+        // zero handling
+        assert!(Poly::zero().gcd(&Poly::zero()).is_zero());
+        let g3 = Poly::zero().gcd(&Poly::from_roots(&[3.0]));
+        assert_eq!(g3.degree(), Some(1));
+    }
+
+    #[test]
+    fn square_free_deflates_multiplicities() {
+        let p0 = &Poly::from_roots(&[2.0, 2.0, 2.0]) * &Poly::from_roots(&[-1.0, -1.0, 5.0]);
+        let sf = p0.square_free();
+        assert_eq!(sf.degree(), Some(3));
+        for r in [2.0, -1.0, 5.0] {
+            assert!(sf.eval(r).abs() < 1e-6, "root {r} lost: {}", sf.eval(r));
+        }
+        // already square-free input is unchanged up to scale
+        let q = Poly::from_roots(&[0.5, 3.0]);
+        let sfq = q.square_free();
+        assert_eq!(sfq.degree(), Some(2));
+        // constants
+        assert_eq!(Poly::constant(7.0).square_free().degree(), Some(0));
+    }
+
+    #[test]
+    fn large_product_stays_finite_after_normalisation() {
+        // Product of 100 quadratics with moderate coefficients: raw
+        // coefficients span a huge dynamic range but remain finite, and
+        // normalisation brings them back to [0, 1].
+        let mut q = Poly::one();
+        for i in 0..100 {
+            let c = 1.0 + (i % 7) as f64;
+            q = &q * &p(&[c, 0.3, 1.0]);
+            q = q.normalized();
+        }
+        assert!(q.max_coeff_abs().is_finite());
+        assert!((q.max_coeff_abs() - 1.0).abs() < 1e-12);
+        assert_eq!(q.degree(), Some(200));
+    }
+}

@@ -1,0 +1,263 @@
+//! Closed-form root solvers for low degrees.
+//!
+//! These serve two purposes in the workspace:
+//!
+//! 1. **Cross-validation** — property tests check the Sturm machinery
+//!    against closed forms on random quadratics and cubics;
+//! 2. **Proposition 3.4** — the paper's convexity argument inspects the
+//!    sign of the *cubic discriminant* of `H′(x)`; [`cubic_discriminant`]
+//!    implements the exact formula used there.
+
+/// Real roots of `a·x² + b·x + c = 0`, in increasing order.
+///
+/// Uses the numerically stable "citardauq"/sign-aware formulation to avoid
+/// catastrophic cancellation. A double root is reported once. Degenerate
+/// (linear/constant) inputs are handled: `a = 0, b ≠ 0` yields one root,
+/// `a = b = 0` yields none (even for `c = 0`, where "all x" has no useful
+/// finite representation).
+///
+/// # Examples
+///
+/// ```
+/// use sinr_algebra::solve_quadratic;
+///
+/// assert_eq!(solve_quadratic(1.0, -3.0, 2.0), vec![1.0, 2.0]);
+/// assert_eq!(solve_quadratic(1.0, 0.0, 1.0), Vec::<f64>::new());
+/// assert_eq!(solve_quadratic(0.0, 2.0, -4.0), vec![2.0]);
+/// ```
+pub fn solve_quadratic(a: f64, b: f64, c: f64) -> Vec<f64> {
+    if a == 0.0 {
+        if b == 0.0 {
+            return Vec::new();
+        }
+        return vec![-c / b];
+    }
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return Vec::new();
+    }
+    if disc == 0.0 {
+        return vec![-b / (2.0 * a)];
+    }
+    let sq = disc.sqrt();
+    let q = -0.5 * (b + b.signum() * sq);
+    let (mut r1, mut r2) = if b == 0.0 {
+        let r = (0.5 * sq / a).abs();
+        (-r, r)
+    } else {
+        (q / a, c / q)
+    };
+    if r1 > r2 {
+        std::mem::swap(&mut r1, &mut r2);
+    }
+    if r1 == r2 {
+        vec![r1]
+    } else {
+        vec![r1, r2]
+    }
+}
+
+/// The discriminant of the cubic `c₃x³ + c₂x² + c₁x + c₀`, in the exact
+/// form quoted in Proposition 3.4 of the paper:
+///
+/// ```text
+/// ∆ = c₁²c₂² − 4c₀c₂³ − 4c₁³c₃ + 18c₀c₁c₂c₃ − 27c₀²c₃²
+/// ```
+///
+/// `∆ < 0` means the cubic has exactly one real root (and two complex
+/// conjugates); `∆ > 0` means three distinct real roots; `∆ = 0` means a
+/// repeated root.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_algebra::cubic_discriminant;
+///
+/// // x³ − x = x(x−1)(x+1): three distinct real roots ⇒ ∆ > 0.
+/// assert!(cubic_discriminant(1.0, 0.0, -1.0, 0.0) > 0.0);
+/// // x³ + x: one real root ⇒ ∆ < 0.
+/// assert!(cubic_discriminant(1.0, 0.0, 1.0, 0.0) < 0.0);
+/// ```
+pub fn cubic_discriminant(c3: f64, c2: f64, c1: f64, c0: f64) -> f64 {
+    c1 * c1 * c2 * c2 - 4.0 * c0 * c2 * c2 * c2 - 4.0 * c1 * c1 * c1 * c3 + 18.0 * c0 * c1 * c2 * c3
+        - 27.0 * c0 * c0 * c3 * c3
+}
+
+/// Real roots of `c₃x³ + c₂x² + c₁x + c₀ = 0` (with `c₃ ≠ 0`), in
+/// increasing order. Repeated roots are reported once.
+///
+/// Uses the trigonometric method for the three-real-root case and Cardano
+/// for the single-root case; each root is polished with two Newton steps.
+///
+/// # Panics
+///
+/// Panics if `c3 == 0` (use [`solve_quadratic`] instead).
+///
+/// # Examples
+///
+/// ```
+/// use sinr_algebra::solve_cubic;
+///
+/// let roots = solve_cubic(1.0, -6.0, 11.0, -6.0); // (x−1)(x−2)(x−3)
+/// assert_eq!(roots.len(), 3);
+/// assert!((roots[0] - 1.0).abs() < 1e-9);
+/// assert!((roots[2] - 3.0).abs() < 1e-9);
+/// ```
+pub fn solve_cubic(c3: f64, c2: f64, c1: f64, c0: f64) -> Vec<f64> {
+    assert!(c3 != 0.0, "leading coefficient must be non-zero");
+    // Normalise to x³ + a x² + b x + c.
+    let a = c2 / c3;
+    let b = c1 / c3;
+    let c = c0 / c3;
+    // Depressed cubic t³ + p t + q with x = t − a/3.
+    let shift = a / 3.0;
+    let p = b - a * a / 3.0;
+    let q = 2.0 * a * a * a / 27.0 - a * b / 3.0 + c;
+
+    let disc = -(4.0 * p * p * p + 27.0 * q * q);
+    let mut roots = if disc > 0.0 {
+        // Three distinct real roots — trigonometric method (p < 0 here).
+        let m = 2.0 * (-p / 3.0).sqrt();
+        let theta = (3.0 * q / (p * m)).clamp(-1.0, 1.0).acos() / 3.0;
+        (0..3)
+            .map(|k| m * (theta - 2.0 * std::f64::consts::PI * k as f64 / 3.0).cos() - shift)
+            .collect::<Vec<f64>>()
+    } else if disc == 0.0 {
+        if p == 0.0 {
+            vec![-shift] // triple root
+        } else {
+            // double root at 3q/p... the simple root is 3q/p? Standard:
+            // simple root = 3q/p, double root = −3q/(2p).
+            vec![3.0 * q / p - shift, -3.0 * q / (2.0 * p) - shift]
+        }
+    } else {
+        // One real root — Cardano with sign care.
+        let half_q = q / 2.0;
+        let inner = (half_q * half_q + p * p * p / 27.0).sqrt();
+        let u = (-half_q + inner).cbrt();
+        let v = (-half_q - inner).cbrt();
+        vec![u + v - shift]
+    };
+
+    // Newton polish against the original coefficients.
+    for r in roots.iter_mut() {
+        for _ in 0..2 {
+            let f = ((c3 * *r + c2) * *r + c1) * *r + c0;
+            let df = (3.0 * c3 * *r + 2.0 * c2) * *r + c1;
+            if df.abs() > f64::MIN_POSITIVE {
+                *r -= f / df;
+            }
+        }
+    }
+    roots.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    roots.dedup_by(|x, y| (*x - *y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())));
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_standard_cases() {
+        assert_eq!(solve_quadratic(1.0, -5.0, 6.0), vec![2.0, 3.0]);
+        assert_eq!(solve_quadratic(1.0, 2.0, 1.0), vec![-1.0]); // double
+        assert!(solve_quadratic(1.0, 0.0, 4.0).is_empty());
+        assert_eq!(solve_quadratic(2.0, 0.0, -8.0), vec![-2.0, 2.0]);
+    }
+
+    #[test]
+    fn quadratic_degenerate() {
+        assert_eq!(solve_quadratic(0.0, 3.0, -6.0), vec![2.0]);
+        assert!(solve_quadratic(0.0, 0.0, 5.0).is_empty());
+        assert!(solve_quadratic(0.0, 0.0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn quadratic_cancellation_stability() {
+        // x² − 1e8 x + 1 has roots ≈ 1e8 and ≈ 1e−8; the naive formula
+        // loses the small root entirely.
+        let roots = solve_quadratic(1.0, -1e8, 1.0);
+        assert_eq!(roots.len(), 2);
+        assert!((roots[0] - 1e-8).abs() / 1e-8 < 1e-6);
+        assert!((roots[1] - 1e8).abs() / 1e8 < 1e-12);
+    }
+
+    #[test]
+    fn cubic_three_roots() {
+        let roots = solve_cubic(1.0, 0.0, -7.0, 6.0); // (x−1)(x−2)(x+3)
+        assert_eq!(roots.len(), 3);
+        let expect = [-3.0, 1.0, 2.0];
+        for (r, e) in roots.iter().zip(expect.iter()) {
+            assert!((r - e).abs() < 1e-9, "{r} vs {e}");
+        }
+    }
+
+    #[test]
+    fn cubic_single_root() {
+        let roots = solve_cubic(1.0, 0.0, 0.0, -8.0); // x³ = 8
+        assert_eq!(roots.len(), 1);
+        assert!((roots[0] - 2.0).abs() < 1e-9);
+        let roots = solve_cubic(1.0, 0.0, 1.0, 0.0); // x(x²+1)
+        assert_eq!(roots.len(), 1);
+        assert!(roots[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubic_repeated_roots() {
+        // (x−1)²(x+2) = x³ − 3x + 2
+        let roots = solve_cubic(1.0, 0.0, -3.0, 2.0);
+        assert_eq!(roots.len(), 2);
+        assert!((roots[0] + 2.0).abs() < 1e-7);
+        assert!((roots[1] - 1.0).abs() < 1e-7);
+        // triple root (x−1)³ = x³ −3x² +3x −1
+        let roots = solve_cubic(1.0, -3.0, 3.0, -1.0);
+        assert_eq!(roots.len(), 1);
+        assert!((roots[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn discriminant_sign_matches_root_count() {
+        // ∆ > 0 ⟺ 3 distinct real roots, ∆ < 0 ⟺ 1 real root.
+        let cases: [(f64, f64, f64, f64); 4] = [
+            (1.0, 0.0, -7.0, 6.0),    // 3 roots
+            (1.0, 0.0, 1.0, 0.0),     // 1 root
+            (2.0, -4.0, -22.0, 24.0), // 3 roots
+            (1.0, 1.0, 1.0, 1.0),     // 1 root
+        ];
+        for (c3, c2, c1, c0) in cases {
+            let disc = cubic_discriminant(c3, c2, c1, c0);
+            let n = solve_cubic(c3, c2, c1, c0).len();
+            if disc > 0.0 {
+                assert_eq!(n, 3, "disc {disc} should mean 3 roots");
+            } else if disc < 0.0 {
+                assert_eq!(n, 1, "disc {disc} should mean 1 root");
+            }
+        }
+    }
+
+    #[test]
+    fn proposition_3_4_shape() {
+        // In the paper: H'(x) = 4x³ + 2Ax + B with A = 2 − 4a₁a₂. When
+        // sign(a₁)·sign(a₂) ≠ 1, A > 0, and ∆ = −128A³ − 432B² < 0, so H'
+        // has exactly one real root. Verify via the generic discriminant.
+        for (a1, a2, b_coef) in [(1.0, -1.0, 0.5), (-2.0, 3.0, -1.0), (0.0, 0.0, 2.0)] {
+            let a_coef: f64 = 2.0 - 4.0 * a1 * a2;
+            assert!(a_coef > 0.0);
+            let disc = cubic_discriminant(4.0, 0.0, 2.0 * a_coef, b_coef);
+            let closed = -128.0 * a_coef.powi(3) - 432.0 * b_coef * b_coef;
+            assert!(
+                (disc / 16.0 - closed / 16.0).abs() < 1e-6 * disc.abs().max(closed.abs()).max(1.0),
+                "paper's closed form must match the general formula: {disc} vs {closed}"
+            );
+            assert!(disc < 0.0);
+            assert_eq!(solve_cubic(4.0, 0.0, 2.0 * a_coef, b_coef).len(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn cubic_zero_leading_panics() {
+        let _ = solve_cubic(0.0, 1.0, 1.0, 1.0);
+    }
+}

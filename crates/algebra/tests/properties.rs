@@ -1,0 +1,226 @@
+//! Property-based tests for the polynomial and Sturm machinery.
+//!
+//! The Sturm chain is the decisive predicate of the whole reproduction
+//! (the paper's segment test rests on it), so we cross-validate it three
+//! independent ways: against known root multisets, against closed-form
+//! quadratic/cubic solvers, and against dense sign-scanning.
+
+use proptest::prelude::*;
+use sinr_algebra::{solve_cubic, solve_quadratic, BiPoly, Poly, SturmChain};
+
+fn small_real() -> impl Strategy<Value = f64> {
+    // Roots separated enough that f64 Sturm counting is unambiguous.
+    (-40i32..40).prop_map(|k| k as f64 / 4.0)
+}
+
+fn coeff() -> impl Strategy<Value = f64> {
+    (-1000i32..1000).prop_map(|k| k as f64 / 100.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Ring axioms hold pointwise: (p+q)(x) = p(x)+q(x), (p·q)(x) = p(x)·q(x).
+    #[test]
+    fn poly_ops_match_pointwise(
+        a in prop::collection::vec(coeff(), 0..6),
+        b in prop::collection::vec(coeff(), 0..6),
+        x in -4.0f64..4.0,
+    ) {
+        let p = Poly::from_coeffs(a);
+        let q = Poly::from_coeffs(b);
+        let scale = 1.0 + p.eval(x).abs() + q.eval(x).abs();
+        prop_assert!(((&p + &q).eval(x) - (p.eval(x) + q.eval(x))).abs() < 1e-9 * scale);
+        prop_assert!(((&p - &q).eval(x) - (p.eval(x) - q.eval(x))).abs() < 1e-9 * scale);
+        let prod_scale = 1.0 + (p.eval(x) * q.eval(x)).abs() + p.max_coeff_abs() * q.max_coeff_abs();
+        prop_assert!(((&p * &q).eval(x) - p.eval(x) * q.eval(x)).abs() < 1e-7 * prod_scale);
+    }
+
+    /// Division identity: self = q·div + r with deg r < deg div.
+    #[test]
+    fn division_identity(
+        a in prop::collection::vec(coeff(), 1..8),
+        b in prop::collection::vec(coeff(), 1..5),
+    ) {
+        let p = Poly::from_coeffs(a);
+        let d = Poly::from_coeffs(b);
+        prop_assume!(!d.is_zero());
+        prop_assume!(d.leading_coeff().abs() > 0.05); // avoid ill-conditioned division
+        let (q, r) = p.div_rem(&d);
+        let rhs = &(&q * &d) + &r;
+        let scale = 1.0 + p.max_coeff_abs() + q.max_coeff_abs() * d.max_coeff_abs();
+        for i in 0..=p.degree().unwrap_or(0) {
+            prop_assert!((rhs.coeff(i) - p.coeff(i)).abs() < 1e-7 * scale,
+                "coeff {i}: {} vs {}", rhs.coeff(i), p.coeff(i));
+        }
+        if let (Some(dr), Some(dd)) = (r.degree(), d.degree()) {
+            prop_assert!(dr < dd);
+        }
+    }
+
+    /// Taylor shift: P.shifted(c)(x) == P(x + c).
+    #[test]
+    fn shift_identity(
+        a in prop::collection::vec(coeff(), 1..7),
+        c in -3.0f64..3.0,
+        x in -3.0f64..3.0,
+    ) {
+        let p = Poly::from_coeffs(a);
+        let s = p.shifted(c);
+        let scale = 1.0 + p.max_coeff_abs() * 100.0;
+        prop_assert!((s.eval(x) - p.eval(x + c)).abs() < 1e-8 * scale);
+    }
+
+    /// Sturm counts the exact number of distinct roots for root-built
+    /// polynomials — *exactly* when all roots are simple. When the input
+    /// multiset repeats a root, building the coefficients rounds the exact
+    /// multiple root into either a tight real pair or a complex pair, so
+    /// the represented polynomial legitimately has between
+    /// `distinct − even-multiplicity groups` and `total` real roots; the
+    /// property asserts those honest bounds.
+    #[test]
+    fn sturm_counts_distinct_roots(
+        roots in prop::collection::vec(small_real(), 1..7),
+    ) {
+        let p = Poly::from_roots(&roots);
+        let mut sorted = roots.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut distinct = sorted.clone();
+        distinct.dedup();
+        let has_duplicates = distinct.len() != roots.len();
+        let chain = SturmChain::new(&p);
+        let counted = chain.count_distinct_roots();
+        if !has_duplicates {
+            prop_assert_eq!(counted, distinct.len(), "roots {:?}", roots);
+            prop_assert_eq!(chain.count_roots_in(-11.0, 11.0), distinct.len());
+        } else {
+            // Each multiplicity-m group may round to anywhere between 0
+            // extra real roots (complex pair absorbs an even share) and
+            // m distinct real roots.
+            let groups_with_dups = {
+                let mut g = 0usize;
+                let mut k = 0usize;
+                while k < sorted.len() {
+                    let run = sorted[k..].iter().take_while(|r| **r == sorted[k]).count();
+                    if run > 1 { g += 1; }
+                    k += run;
+                }
+                g
+            };
+            prop_assert!(counted + groups_with_dups >= distinct.len(),
+                "counted {} too low for roots {:?}", counted, roots);
+            prop_assert!(counted <= roots.len(),
+                "counted {} exceeds total multiplicity for {:?}", counted, roots);
+        }
+    }
+
+    /// Sturm interval counts match a direct count of known roots.
+    #[test]
+    fn sturm_interval_counts(
+        roots in prop::collection::vec(small_real(), 1..6),
+        lo in -12.0f64..0.0,
+        width in 0.1f64..12.0,
+    ) {
+        let hi = lo + width;
+        // Keep endpoints off the root lattice (roots are multiples of 1/4).
+        let lo = lo + 0.01;
+        let hi = hi + 0.01;
+        let p = Poly::from_roots(&roots);
+        let mut distinct = roots.clone();
+        distinct.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        distinct.dedup();
+        // Exact only for simple roots (see sturm_counts_distinct_roots for
+        // why duplicated roots round into ambiguous real/complex pairs).
+        prop_assume!(distinct.len() == roots.len());
+        let expected = distinct.iter().filter(|r| **r > lo && **r <= hi).count();
+        let chain = SturmChain::new(&p);
+        prop_assert_eq!(chain.count_roots_in(lo, hi), expected,
+            "roots {:?} in ({}, {}]", roots, lo, hi);
+    }
+
+    /// Sturm root refinement recovers the true (simple) roots.
+    #[test]
+    fn sturm_refines_simple_roots(
+        roots in prop::collection::vec(small_real(), 1..5),
+    ) {
+        let mut distinct = roots.clone();
+        distinct.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        distinct.dedup();
+        prop_assume!(distinct.len() == roots.len()); // simple roots only
+        let p = Poly::from_roots(&roots);
+        let chain = SturmChain::new(&p);
+        let found = chain.roots_in(-11.0, 11.0, 1e-12);
+        prop_assert_eq!(found.len(), distinct.len());
+        for (f, r) in found.iter().zip(distinct.iter()) {
+            prop_assert!((f - r).abs() < 1e-7, "{} vs {}", f, r);
+        }
+    }
+
+    /// Sturm agrees with the closed-form quadratic solver.
+    #[test]
+    fn sturm_vs_quadratic(a in coeff(), b in coeff(), c in coeff()) {
+        prop_assume!(a.abs() > 0.05);
+        let closed = solve_quadratic(a, b, c);
+        // Skip near-double roots where the counting is legitimately fragile.
+        if closed.len() == 2 {
+            prop_assume!((closed[1] - closed[0]).abs() > 1e-4);
+        }
+        prop_assume!(closed.len() != 1 || (b * b - 4.0 * a * c).abs() > 1e-4);
+        let p = Poly::from_coeffs(vec![c, b, a]);
+        let chain = SturmChain::new(&p);
+        prop_assert_eq!(chain.count_distinct_roots(), closed.len());
+    }
+
+    /// Sturm agrees with the closed-form cubic solver.
+    #[test]
+    fn sturm_vs_cubic(c2 in coeff(), c1 in coeff(), c0 in coeff()) {
+        let closed = solve_cubic(1.0, c2, c1, c0);
+        // Skip clustered roots.
+        for w in closed.windows(2) {
+            prop_assume!((w[1] - w[0]).abs() > 1e-3);
+        }
+        let disc = sinr_algebra::cubic_discriminant(1.0, c2, c1, c0);
+        prop_assume!(disc.abs() > 1e-6);
+        let p = Poly::from_coeffs(vec![c0, c1, c2, 1.0]);
+        let chain = SturmChain::new(&p);
+        prop_assert_eq!(chain.count_distinct_roots(), closed.len(),
+            "cubic x^3+{}x^2+{}x+{}, closed {:?}", c2, c1, c0, closed);
+    }
+
+    /// BiPoly restriction equals direct evaluation along the line.
+    #[test]
+    fn bipoly_restriction_pointwise(
+        a1 in -3.0f64..3.0, b1 in -3.0f64..3.0,
+        a2 in -3.0f64..3.0, b2 in -3.0f64..3.0,
+        px in -2.0f64..2.0, py in -2.0f64..2.0,
+        dx in -2.0f64..2.0, dy in -2.0f64..2.0,
+        t in 0.0f64..1.0,
+    ) {
+        let h = BiPoly::squared_distance(a1, b1)
+            .mul(&BiPoly::squared_distance(a2, b2))
+            .sub(&BiPoly::squared_distance(0.0, 0.0).scaled(3.0));
+        let r = h.restrict(px, py, dx, dy);
+        let direct = h.eval(px + t * dx, py + t * dy);
+        prop_assert!((r.eval(t) - direct).abs() < 1e-6 * (1.0 + direct.abs() + h.max_coeff_abs()));
+    }
+
+    /// Sturm counting survives the degree-2n polynomials of the paper:
+    /// products of reception quadratics with a couple of real factors.
+    #[test]
+    fn sturm_high_degree_products(
+        quads in prop::collection::vec((0.5f64..4.0, -1.0f64..1.0), 5..25),
+        r1 in -3.5f64..-0.5,
+        r2 in 0.5f64..3.5,
+    ) {
+        prop_assume!((r2 - r1).abs() > 0.1);
+        let mut p = Poly::from_roots(&[r1, r2]);
+        for (cst, b) in &quads {
+            // t² + b t + cst with disc b² − 4cst < 0: no real roots.
+            prop_assume!(b * b - 4.0 * cst < -0.1);
+            p = &p * &Poly::from_coeffs(vec![*cst, *b, 1.0]);
+            p = p.normalized();
+        }
+        let chain = SturmChain::new(&p);
+        prop_assert_eq!(chain.count_roots_in(-4.0, 4.0), 2);
+    }
+}

@@ -1,0 +1,61 @@
+//! Bench: convexity verification (Theorem 1 / Figure 5 machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_core::{convexity, gen, StationId};
+use sinr_diagram::figures;
+use sinr_geometry::{Point, Vector};
+use std::hint::black_box;
+
+fn bench_segment_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convexity_segment_check");
+    group.sample_size(20);
+    for n in [3usize, 6, 12] {
+        let net = gen::random_separated_network(3, n, 6.0, 1.2, 0.02, 2.0).unwrap();
+        let zone = net.reception_zone(StationId(0));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(convexity::check_zone_convexity(&zone, 12, 6, 1e-7)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_line_crossings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convexity_line_crossings");
+    for n in [3usize, 6, 12, 24] {
+        let net = gen::random_separated_network(3, n, 6.0, 1.2, 0.02, 2.0).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(convexity::boundary_crossings_on_line(
+                    &net,
+                    StationId(0),
+                    Point::new(0.3, -0.2),
+                    Vector::new(1.0, 0.7),
+                    -40.0,
+                    40.0,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure5(c: &mut Criterion) {
+    let fig = figures::figure5();
+    let mut group = c.benchmark_group("figure5_nonconvexity_detection");
+    group.sample_size(10);
+    group.bench_function("segment_check_beta_0.3", |b| {
+        b.iter(|| {
+            let zone = fig.network.reception_zone(StationId(0));
+            black_box(convexity::check_zone_convexity(&zone, 24, 12, 1e-7))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_segment_sampling,
+    bench_line_crossings,
+    bench_figure5
+);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench: fatness measurement (Theorems 2 / 4.1 / 4.2 machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_core::{bounds, gen, StationId};
+use std::hint::black_box;
+
+fn bench_radial_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radial_profile_64");
+    group.sample_size(20);
+    for n in [2usize, 8, 32] {
+        let net =
+            gen::random_separated_network(5, n, 3.0 * (n as f64).sqrt(), 1.2, 0.01, 2.0).unwrap();
+        let zone = net.reception_zone(StationId(0));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(zone.radial_profile(64)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_closed_form_bounds(c: &mut Criterion) {
+    let net = gen::random_separated_network(5, 32, 18.0, 1.2, 0.01, 2.0).unwrap();
+    c.bench_function("zone_bounds_closed_form", |b| {
+        b.iter(|| black_box(bounds::zone_bounds(&net, StationId(0))))
+    });
+}
+
+criterion_group!(benches, bench_radial_profile, bench_closed_form_bounds);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Bench: rasterising the paper's figure diagrams.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sinr_diagram::{figures, ReceptionMap};
+use sinr_geometry::BBox;
+use sinr_graphs::compare::compare_on_grid;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_rasters_128x128");
+    group.sample_size(20);
+    let fig1 = figures::figure1();
+    group.bench_function("fig1_panel_a", |b| {
+        b.iter(|| black_box(ReceptionMap::compute(&fig1.panel_a, fig1.window, 128, 128)))
+    });
+    let fig5 = figures::figure5();
+    group.bench_function("fig5_beta_0.3", |b| {
+        b.iter(|| black_box(ReceptionMap::compute(&fig5.network, fig5.window, 128, 128)))
+    });
+    let fig2 = figures::figure2();
+    group.bench_function("fig2_udg_diagram", |b| {
+        b.iter(|| {
+            black_box(ReceptionMap::compute_protocol(
+                &fig2.udg,
+                &[true; 4],
+                fig2.window,
+                128,
+                128,
+            ))
+        })
+    });
+    group.bench_function("fig2_model_comparison_61x61", |b| {
+        b.iter(|| {
+            black_box(compare_on_grid(
+                &fig2.network,
+                &fig2.udg,
+                &[true; 4],
+                &BBox::centered_square(3.0),
+                61,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

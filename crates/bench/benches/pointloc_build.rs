@@ -1,0 +1,113 @@
+//! Bench: Theorem 3 preprocessing — BRP + QDS construction.
+//!
+//! The paper's bound is O(n³·ε⁻¹) for all n stations together, i.e.
+//! O(n²·ε⁻¹) per station. The `qds_build_*` groups sweep n at fixed ε and
+//! ε at fixed n to expose both factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_core::{gen, StationId};
+use sinr_pointloc::{PointLocator, Qds, QdsConfig};
+use std::hint::black_box;
+
+fn bench_qds_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qds_build_vs_n");
+    group.sample_size(10);
+    for n in [4usize, 8, 16, 32] {
+        let net = gen::random_separated_network(
+            1000 + n as u64,
+            n,
+            3.0 * (n as f64).sqrt(),
+            2.0,
+            0.005,
+            2.0,
+        )
+        .unwrap();
+        let config = QdsConfig::with_epsilon(0.25);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(Qds::build(&net, StationId(0), &config).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_qds_vs_epsilon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qds_build_vs_epsilon");
+    group.sample_size(10);
+    let net = gen::random_separated_network(1008, 8, 8.0, 2.0, 0.005, 2.0).unwrap();
+    for eps in [0.5, 0.25, 0.125] {
+        let config = QdsConfig::with_epsilon(eps);
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, _| {
+            b.iter(|| black_box(Qds::build(&net, StationId(0), &config).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_locator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pointlocator_build");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let net = gen::random_separated_network(
+            1000 + n as u64,
+            n,
+            3.0 * (n as f64).sqrt(),
+            2.0,
+            0.005,
+            2.0,
+        )
+        .unwrap();
+        let config = QdsConfig::with_epsilon(0.3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(PointLocator::build(&net, &config).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the corner-filtered boundary predicate vs the paper-literal
+/// pure-Sturm predicate (identical output, different cost — the design
+/// choice DESIGN.md calls out).
+fn bench_predicate_ablation(c: &mut Criterion) {
+    use sinr_pointloc::brp::{reconstruct_boundary_with, BoundaryPredicate};
+    let mut group = c.benchmark_group("brp_predicate_ablation");
+    group.sample_size(10);
+    let net = gen::random_separated_network(1008, 8, 8.0, 2.0, 0.005, 2.0).unwrap();
+    group.bench_function("corner_filtered", |b| {
+        b.iter(|| {
+            black_box(
+                reconstruct_boundary_with(
+                    &net,
+                    StationId(0),
+                    0.3,
+                    4_000_000,
+                    BoundaryPredicate::CornerFiltered,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("segment_tests_only", |b| {
+        b.iter(|| {
+            black_box(
+                reconstruct_boundary_with(
+                    &net,
+                    StationId(0),
+                    0.3,
+                    4_000_000,
+                    BoundaryPredicate::SegmentTestsOnly,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_qds_vs_n,
+    bench_qds_vs_epsilon,
+    bench_full_locator,
+    bench_predicate_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Bench: Theorem 3 queries — O(log n) DS dispatch vs the naive O(n) scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use sinr_core::gen;
+use sinr_geometry::Point;
+use sinr_pointloc::{PointLocator, QdsConfig};
+use std::hint::black_box;
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pointloc_query");
+    for n in [4usize, 16, 64] {
+        let half = 3.0 * (n as f64).sqrt();
+        let net = gen::random_separated_network(2000 + n as u64, n, half, 2.0, 0.005, 2.0).unwrap();
+        let ds = PointLocator::build(&net, &QdsConfig::with_epsilon(0.3)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let queries: Vec<Point> = (0..512)
+            .map(|_| Point::new(rng.gen_range(-half..half), rng.gen_range(-half..half)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("ds_locate", n), &n, |b, _| {
+            let mut k = 0usize;
+            b.iter(|| {
+                k = (k + 1) % queries.len();
+                black_box(ds.locate(queries[k]))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_scan", n), &n, |b, _| {
+            let mut k = 0usize;
+            b.iter(|| {
+                k = (k + 1) % queries.len();
+                black_box(net.heard_at(queries[k]))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Kernel bench: SINR evaluation (Eq. (1)) — the primitive everything
+//! else multiplies. The naive point-location query of the paper is one
+//! `heard_at` (`O(n)`); Theorem 3's structure replaces it with `O(log n)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_core::{gen, StationId};
+use sinr_geometry::Point;
+use std::hint::black_box;
+
+fn bench_sinr_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sinr_eval");
+    for n in [4usize, 16, 64, 256] {
+        let net = gen::random_uniform_network(42, n, 10.0, 0.01, 2.0).unwrap();
+        let p = Point::new(0.37, -0.91);
+        group.bench_with_input(BenchmarkId::new("sinr_single", n), &n, |b, _| {
+            b.iter(|| black_box(net.sinr(StationId(0), black_box(p))))
+        });
+        group.bench_with_input(BenchmarkId::new("heard_at_naive", n), &n, |b, _| {
+            b.iter(|| black_box(net.heard_at(black_box(p))))
+        });
+        group.bench_with_input(BenchmarkId::new("interference", n), &n, |b, _| {
+            b.iter(|| black_box(net.interference(StationId(0), black_box(p))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_zone_ray(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zone_boundary_radius");
+    for n in [4usize, 16, 64] {
+        let net =
+            gen::random_separated_network(7, n, 3.0 * (n as f64).sqrt(), 1.2, 0.01, 2.0).unwrap();
+        let zone = net.reception_zone(StationId(0));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(zone.boundary_radius(black_box(1.1))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sinr_eval, bench_zone_ray);
+criterion_main!(benches);

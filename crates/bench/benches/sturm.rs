@@ -1,0 +1,60 @@
+//! Kernel bench: the Sturm segment test of Section 5.1.
+//!
+//! The paper's cost model: the restricted characteristic polynomial has
+//! degree `m ≤ 2n` and the segment test runs in `O(m²)`. The
+//! `restricted_poly` rows isolate the polynomial construction; the
+//! `segment_test` rows measure construction + chain + counting — the full
+//! per-edge cost inside the BRP, whose `O(n·ε⁻¹)` invocations give
+//! Theorem 3's `O(n³·ε⁻¹)` preprocessing bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_algebra::SturmChain;
+use sinr_core::{charpoly, gen, StationId};
+use sinr_geometry::{Point, Segment};
+use sinr_pointloc::segment_test;
+use std::hint::black_box;
+
+fn bench_restricted_poly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restricted_charpoly");
+    for n in [2usize, 8, 32, 128] {
+        let net = gen::random_uniform_network(11, n, 10.0, 0.02, 2.0).unwrap();
+        let seg = Segment::new(Point::new(-3.0, -1.0), Point::new(4.0, 2.0));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(charpoly::restricted_to_segment(&net, StationId(0), &seg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sturm_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sturm_chain_build");
+    for n in [2usize, 8, 32, 128] {
+        let net = gen::random_uniform_network(11, n, 10.0, 0.02, 2.0).unwrap();
+        let seg = Segment::new(Point::new(-3.0, -1.0), Point::new(4.0, 2.0));
+        let h = charpoly::restricted_to_segment(&net, StationId(0), &seg);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(SturmChain::new(&h)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_segment_test(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segment_test");
+    for n in [2usize, 8, 32, 128] {
+        let net = gen::random_uniform_network(11, n, 10.0, 0.02, 2.0).unwrap();
+        let seg = Segment::new(Point::new(-3.0, -1.0), Point::new(4.0, 2.0));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(segment_test(&net, StationId(0), &seg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_restricted_poly,
+    bench_sturm_chain,
+    bench_segment_test
+);
+criterion_main!(benches);

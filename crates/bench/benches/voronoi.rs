@@ -1,0 +1,53 @@
+//! Bench: the proximity substrate (Observation 2.2 dispatch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use sinr_geometry::{BBox, Point};
+use sinr_voronoi::{naive_nearest, KdTree, VoronoiDiagram};
+use std::hint::black_box;
+
+fn sites(n: usize) -> Vec<Point> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0)))
+        .collect()
+}
+
+fn bench_nearest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nearest_site");
+    for n in [16usize, 64, 256, 1024] {
+        let pts = sites(n);
+        let tree = KdTree::build(pts.clone());
+        let q = Point::new(0.123, -4.56);
+        group.bench_with_input(BenchmarkId::new("kdtree", n), &n, |b, _| {
+            b.iter(|| black_box(tree.nearest(black_box(q))))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(naive_nearest(&pts, black_box(q))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proximity_build");
+    group.sample_size(20);
+    for n in [16usize, 64, 256] {
+        let pts = sites(n);
+        group.bench_with_input(BenchmarkId::new("kdtree", n), &n, |b, _| {
+            b.iter(|| black_box(KdTree::build(pts.clone())))
+        });
+        group.bench_with_input(BenchmarkId::new("voronoi_cells", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(VoronoiDiagram::build(
+                    pts.clone(),
+                    BBox::centered_square(12.0),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nearest, bench_build);
+criterion_main!(benches);

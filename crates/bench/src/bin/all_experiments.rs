@@ -1,0 +1,29 @@
+//! Runs every experiment and prints the EXPERIMENTS.md body (Markdown).
+//!
+//! `--quick` shrinks the grids for smoke testing; `--text` prints aligned
+//! tables instead of Markdown.
+use sinr_bench::experiments::{self, Effort};
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--quick") {
+        Effort::Quick
+    } else {
+        Effort::Full
+    };
+    if std::env::args().any(|a| a == "--text") {
+        for t in [
+            experiments::fig1_table(),
+            experiments::fig2_table(),
+            experiments::fig34_table(),
+            experiments::fig5_table(),
+            experiments::thm1_table(effort),
+            experiments::thm2_table(effort),
+            experiments::thm41_table(),
+            experiments::thm3_guarantees_table(effort),
+            experiments::thm3_scaling_table(effort),
+        ] {
+            println!("{}", t.to_text());
+        }
+    } else {
+        print!("{}", experiments::all_markdown(effort));
+    }
+}

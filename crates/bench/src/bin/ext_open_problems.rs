@@ -1,0 +1,6 @@
+//! Section 1.4 extensions: zones for α > 2 and non-uniform power.
+fn main() {
+    print!("{}", sinr_bench::experiments::ext_alpha_table().to_text());
+    println!();
+    print!("{}", sinr_bench::experiments::ext_power_table().to_text());
+}

@@ -1,0 +1,4 @@
+//! FIG1: reproduce the paper's Figure 1 reception narrative.
+fn main() {
+    print!("{}", sinr_bench::experiments::fig1_table().to_text());
+}

@@ -1,0 +1,4 @@
+//! FIG2: reproduce the cumulative-interference false positive.
+fn main() {
+    print!("{}", sinr_bench::experiments::fig2_table().to_text());
+}

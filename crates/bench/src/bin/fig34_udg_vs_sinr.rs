@@ -1,0 +1,4 @@
+//! FIG3/4: reproduce the stepwise UDG-vs-SINR divergence.
+fn main() {
+    print!("{}", sinr_bench::experiments::fig34_table().to_text());
+}

@@ -1,0 +1,4 @@
+//! FIG5: reproduce the β < 1 non-convexity counterexample.
+fn main() {
+    print!("{}", sinr_bench::experiments::fig5_table().to_text());
+}

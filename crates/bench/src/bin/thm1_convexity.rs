@@ -1,0 +1,13 @@
+//! THM1: convexity of reception zones across random networks.
+use sinr_bench::experiments::{thm1_table, Effort};
+fn main() {
+    let effort = effort_from_args();
+    print!("{}", thm1_table(effort).to_text());
+}
+fn effort_from_args() -> Effort {
+    if std::env::args().any(|a| a == "--quick") {
+        Effort::Quick
+    } else {
+        Effort::Full
+    }
+}

@@ -1,0 +1,10 @@
+//! THM2: fatness of reception zones vs the (√β+1)/(√β−1) bound.
+use sinr_bench::experiments::{thm2_table, Effort};
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--quick") {
+        Effort::Quick
+    } else {
+        Effort::Full
+    };
+    print!("{}", thm2_table(effort).to_text());
+}

@@ -1,0 +1,10 @@
+//! THM3: verify the point-location guarantees and FIG17 ring statistics.
+use sinr_bench::experiments::{thm3_guarantees_table, Effort};
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--quick") {
+        Effort::Quick
+    } else {
+        Effort::Full
+    };
+    print!("{}", thm3_guarantees_table(effort).to_text());
+}

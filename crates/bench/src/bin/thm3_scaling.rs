@@ -1,0 +1,10 @@
+//! THM3: complexity shape — build time, structure size, query speedup.
+use sinr_bench::experiments::{thm3_scaling_table, Effort};
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--quick") {
+        Effort::Quick
+    } else {
+        Effort::Full
+    };
+    print!("{}", thm3_scaling_table(effort).to_text());
+}

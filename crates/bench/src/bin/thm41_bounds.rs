@@ -1,0 +1,4 @@
+//! THM4.1: explicit δ and Δ bounds, including the tight extreme layout.
+fn main() {
+    print!("{}", sinr_bench::experiments::thm41_table().to_text());
+}

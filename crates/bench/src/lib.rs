@@ -1,0 +1,30 @@
+//! # sinr-bench
+//!
+//! The reproduction harness for *"SINR Diagrams"* (Avin et al., PODC
+//! 2009): every numerically generated figure and every theorem-scale
+//! claim of the paper maps to
+//!
+//! * a **report binary** (`cargo run -p sinr-bench --release --bin …`)
+//!   that prints the paper-style table or narrative, and
+//! * a **Criterion bench** (`cargo bench -p sinr-bench`) that measures
+//!   the underlying kernels.
+//!
+//! | experiment | binary | bench |
+//! |---|---|---|
+//! | Figure 1 (dynamic reception) | `fig1_dynamics` | `fig_diagrams` |
+//! | Figure 2 (cumulative interference) | `fig2_cumulative` | `fig_diagrams` |
+//! | Figures 3–4 (UDG vs SINR steps) | `fig34_udg_vs_sinr` | `fig_diagrams` |
+//! | Figure 5 (β < 1 non-convexity) | `fig5_nonconvex` | `convexity` |
+//! | Theorem 1 (convexity) | `thm1_convexity` | `convexity` |
+//! | Theorem 2 / Fig 7 (fatness) | `thm2_fatness` | `fatness` |
+//! | Theorem 4.1 (explicit bounds) | `thm41_bounds` | `fatness` |
+//! | Theorem 3 / Figs 6, 17 (guarantees) | `thm3_guarantees` | `pointloc_build` |
+//! | Theorem 3 (complexity scaling) | `thm3_scaling` | `pointloc_build`, `pointloc_query` |
+//! | Sturm machinery (Secs 3.2/5.1) | — | `sturm`, `sinr_eval` |
+//! | Observation 2.2 dispatch | — | `voronoi` |
+//!
+//! `all_experiments` runs every table in one go and emits the
+//! `EXPERIMENTS.md` body.
+
+pub mod experiments;
+pub mod report;

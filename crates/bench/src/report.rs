@@ -1,0 +1,170 @@
+//! Minimal table formatting for the experiment reports.
+
+/// A simple column-aligned table with a title, printable as plain text or
+/// Markdown.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new<S: Into<String>>(title: S, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a free-text note shown under the table.
+    pub fn note<S: Into<String>>(&mut self, note: S) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as column-aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = format!("== {} ==\n", self.title);
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from(" ");
+            for (w, cell) in widths.iter().zip(cells) {
+                line.push_str(&format!(" {cell:<w$} |", w = w));
+            }
+            line.pop();
+            line.pop();
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push_str(&format!(
+            " {}\n",
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("+")
+        ));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+
+    /// Renders as a Markdown table (for EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n*{note}*\n"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Formats an `Option<f64>` with fixed precision, `∞`/`—` for absences.
+pub fn opt_f(v: Option<f64>, prec: usize) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.prec$}"),
+        Some(_) => "∞".into(),
+        None => "—".into(),
+    }
+}
+
+/// Formats a float with fixed precision.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_aligns() {
+        let mut t = Table::new("demo", &["a", "long header", "c"]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec!["400".into(), "5".into(), "6".into()]);
+        t.note("a note");
+        let text = t.to_text();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("long header"));
+        assert!(text.contains("note: a note"));
+        let lines: Vec<&str> = text.lines().collect();
+        // title + header + separator + 2 rows + note = 6 lines
+        assert_eq!(lines.len(), 6);
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("md", &["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### md"));
+        assert!(md.contains("| x | y |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("bad", &["only one"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(opt_f(Some(2.5), 1), "2.5");
+        assert_eq!(opt_f(Some(f64::INFINITY), 1), "∞");
+        assert_eq!(opt_f(None, 1), "—");
+    }
+}

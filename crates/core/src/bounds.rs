@@ -1,0 +1,301 @@
+//! Closed-form zone bounds: Theorems 4.1 and 4.2 of the paper.
+//!
+//! For a uniform power network with constant `β > 1` and `κ` the minimum
+//! distance from `s₀` to any other station, Theorem 4.1 gives
+//!
+//! ```text
+//! δ(s₀, H₀) ≥ κ / (√(β(n−1+N·κ²)) + 1)
+//! Δ(s₀, H₀) ≤ κ / (√(β(1+N·κ²)) − 1)
+//! ```
+//!
+//! whence `φ = Δ/δ = O(√n)`; Theorem 4.2 improves the fatness bound to the
+//! constant `(√β + 1)/(√β − 1)`.
+
+use crate::network::Network;
+use crate::station::StationId;
+
+/// Theorem 4.1 lower bound on `δ(s₀, H₀)`:
+/// `κ / (√(β(n−1+N·κ²)) + 1)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `kappa < 0`, `noise < 0` or `beta <= 0`.
+pub fn delta_lower_bound(kappa: f64, n: usize, noise: f64, beta: f64) -> f64 {
+    assert!(n >= 2, "the bound is stated for n ≥ 2 stations");
+    assert!(kappa >= 0.0 && noise >= 0.0 && beta > 0.0);
+    kappa / ((beta * ((n - 1) as f64 + noise * kappa * kappa)).sqrt() + 1.0)
+}
+
+/// Theorem 4.1 upper bound on `Δ(s₀, H₀)`:
+/// `κ / (√(β(1+N·κ²)) − 1)`.
+///
+/// Returns `None` when `β(1 + N·κ²) ≤ 1`, where the bound degenerates (the
+/// zone may be unbounded — e.g. the trivial network `β = 1, N = 0`).
+///
+/// # Panics
+///
+/// Panics if `kappa < 0`, `noise < 0` or `beta <= 0`.
+pub fn delta_upper_bound(kappa: f64, noise: f64, beta: f64) -> Option<f64> {
+    assert!(kappa >= 0.0 && noise >= 0.0 && beta > 0.0);
+    let root = (beta * (1.0 + noise * kappa * kappa)).sqrt();
+    if root <= 1.0 {
+        None
+    } else {
+        Some(kappa / (root - 1.0))
+    }
+}
+
+/// The `O(√n)` fatness bound implied by Theorem 4.1:
+/// `(√(β(n−1)) + 1) / (√β − 1)`.
+///
+/// Returns `None` for `β ≤ 1` where the denominator degenerates.
+pub fn fatness_bound_sqrt_n(n: usize, beta: f64) -> Option<f64> {
+    assert!(n >= 2 && beta > 0.0);
+    if beta <= 1.0 {
+        None
+    } else {
+        Some(((beta * (n - 1) as f64).sqrt() + 1.0) / (beta.sqrt() - 1.0))
+    }
+}
+
+/// Theorem 4.2's constant fatness bound `(√β + 1)/(√β − 1)`.
+///
+/// Returns `None` for `β ≤ 1` (footnote 4: the fatness parameter is not
+/// even defined for trivial networks at `β = 1`).
+///
+/// # Examples
+///
+/// ```
+/// let bound = sinr_core::bounds::fatness_bound(4.0).unwrap();
+/// assert_eq!(bound, 3.0); // (2+1)/(2−1)
+/// ```
+pub fn fatness_bound(beta: f64) -> Option<f64> {
+    assert!(beta > 0.0);
+    if beta <= 1.0 {
+        None
+    } else {
+        Some((beta.sqrt() + 1.0) / (beta.sqrt() - 1.0))
+    }
+}
+
+/// The closed-form one-dimensional zone endpoints of **Lemma 4.3**
+/// (Section 4.2.1): two stations on a line, `s₀` at 0 with power 1 and
+/// `s₁` at 1 with power `ψ₁ ≥ 1`, no noise. The reception zone of `s₀`
+/// restricted to the line is the interval `[μ_l, μ_r]` with
+///
+/// ```text
+/// μ_r = (√(βψ₁) − 1)/(βψ₁ − 1)    μ_l = −(√(βψ₁) + 1)/(βψ₁ − 1)
+/// ```
+///
+/// and `Δ/δ = −μ_l/μ_r = (√(βψ₁)+1)/(√(βψ₁)−1) ≤ (√β+1)/(√β−1)`, with
+/// equality at `ψ₁ = 1` — the configuration where Theorem 4.2's bound is
+/// attained.
+///
+/// Returns `(μ_l, μ_r)`, or `None` when `βψ₁ ≤ 1` (the zone degenerates
+/// to a half-line).
+///
+/// # Panics
+///
+/// Panics unless `beta > 0` and `psi1 > 0`.
+///
+/// # Examples
+///
+/// ```
+/// let (mu_l, mu_r) = sinr_core::bounds::lemma43_interval(4.0, 1.0).unwrap();
+/// assert!((mu_r - 1.0 / 3.0).abs() < 1e-12); // (2−1)/(4−1)
+/// assert!((mu_l + 1.0).abs() < 1e-12);       // −(2+1)/(4−1)
+/// ```
+pub fn lemma43_interval(beta: f64, psi1: f64) -> Option<(f64, f64)> {
+    assert!(beta > 0.0 && psi1 > 0.0);
+    let bp = beta * psi1;
+    if bp <= 1.0 {
+        return None;
+    }
+    let root = bp.sqrt();
+    Some((-(root + 1.0) / (bp - 1.0), (root - 1.0) / (bp - 1.0)))
+}
+
+/// All closed-form bounds for one station of a network, bundled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneBounds {
+    /// The minimum distance `κ` from the station to any other.
+    pub kappa: f64,
+    /// Theorem 4.1 lower bound on `δ`.
+    pub delta_lower: f64,
+    /// Theorem 4.1 upper bound on `Δ` (`None` ⇒ possibly unbounded).
+    pub delta_upper: Option<f64>,
+    /// Theorem 4.1's `O(√n)` fatness bound (`None` for `β ≤ 1`).
+    pub fatness_sqrt_n: Option<f64>,
+    /// Theorem 4.2's constant fatness bound (`None` for `β ≤ 1`).
+    pub fatness_const: Option<f64>,
+}
+
+/// Computes the [`ZoneBounds`] of station `i` in a network.
+///
+/// The bounds are proven for uniform power networks with `α = 2`; for
+/// other networks the returned values are *not* guaranteed and the caller
+/// should consult [`Network::satisfies_convexity_preconditions`].
+pub fn zone_bounds(net: &Network, i: StationId) -> ZoneBounds {
+    let kappa = net.kappa(i);
+    let n = net.len();
+    let noise = net.noise();
+    let beta = net.beta();
+    ZoneBounds {
+        kappa,
+        delta_lower: delta_lower_bound(kappa, n, noise, beta),
+        delta_upper: delta_upper_bound(kappa, noise, beta),
+        fatness_sqrt_n: if beta > 1.0 {
+            fatness_bound_sqrt_n(n, beta)
+        } else {
+            None
+        },
+        fatness_const: fatness_bound(beta),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::Point;
+
+    #[test]
+    fn noiseless_closed_forms() {
+        // N = 0: δ ≥ κ/(√(β(n−1))+1), Δ ≤ κ/(√β − 1).
+        let d = delta_lower_bound(2.0, 3, 0.0, 4.0);
+        assert!((d - 2.0 / (8f64.sqrt() + 1.0)).abs() < 1e-12);
+        let up = delta_upper_bound(2.0, 0.0, 4.0).unwrap();
+        assert!((up - 2.0).abs() < 1e-12); // 2/(2−1)
+    }
+
+    #[test]
+    fn degenerate_upper_bound() {
+        assert!(delta_upper_bound(1.0, 0.0, 1.0).is_none()); // trivial network
+        assert!(delta_upper_bound(1.0, 0.0, 0.5).is_none());
+        // noise rescues boundedness even at β = 1
+        assert!(delta_upper_bound(1.0, 1.0, 1.0).is_some());
+    }
+
+    #[test]
+    fn fatness_bounds_monotone_in_beta() {
+        // Larger β ⇒ rounder zones ⇒ smaller bound.
+        let mut last = f64::INFINITY;
+        for beta in [1.2, 1.5, 2.0, 4.0, 6.0, 10.0, 100.0] {
+            let b = fatness_bound(beta).unwrap();
+            assert!(b < last, "bound should decrease: {b} at β={beta}");
+            assert!(b > 1.0);
+            last = b;
+        }
+        assert!(fatness_bound(1.0).is_none());
+        assert!(fatness_bound(0.5).is_none());
+    }
+
+    #[test]
+    fn sqrt_n_bound_grows_like_sqrt_n() {
+        let beta = 2.0;
+        let b4 = fatness_bound_sqrt_n(4, beta).unwrap();
+        let b16 = fatness_bound_sqrt_n(16, beta).unwrap();
+        let b64 = fatness_bound_sqrt_n(64, beta).unwrap();
+        // Ratios approach 2 = √4 as n grows.
+        assert!((b16 / b4) > 1.5 && (b16 / b4) < 2.5);
+        assert!((b64 / b16) > 1.7 && (b64 / b16) < 2.3);
+    }
+
+    #[test]
+    fn bounds_hold_for_measured_zone() {
+        // Measured δ, Δ of an actual network respect the closed forms.
+        let net = crate::Network::uniform(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(-1.0, 3.0),
+                Point::new(4.0, -2.0),
+            ],
+            0.05,
+            3.0,
+        )
+        .unwrap();
+        for i in net.ids() {
+            let b = zone_bounds(&net, i);
+            let profile = net.reception_zone(i).radial_profile(256).unwrap();
+            assert!(
+                profile.delta() >= b.delta_lower - 1e-9,
+                "{i}: δ={} < lower bound {}",
+                profile.delta(),
+                b.delta_lower
+            );
+            let upper = b.delta_upper.unwrap();
+            assert!(
+                profile.big_delta() <= upper + 1e-9,
+                "{i}: Δ={} > upper bound {}",
+                profile.big_delta(),
+                upper
+            );
+            let phi = profile.fatness().unwrap();
+            assert!(phi <= b.fatness_const.unwrap() + 1e-6);
+            assert!(phi <= b.fatness_sqrt_n.unwrap() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn theorem_41_observation_inequality() {
+        // The paper's helper observation: √(a+c)+1 over √(b+c)−1 ≤ (√a+1)/(√b−1)
+        // for a ≥ b > 1, c > 0 — spot-check the inequality as stated.
+        for (a, b, c) in [(4.0f64, 2.0f64, 1.0), (9.0, 9.0, 5.0), (100.0, 2.0, 0.1)] {
+            let lhs = ((a + c).sqrt() + 1.0) / ((b + c).sqrt() - 1.0);
+            let rhs = (a.sqrt() + 1.0) / (b.sqrt() - 1.0);
+            assert!(lhs <= rhs + 1e-12, "a={a} b={b} c={c}: {lhs} > {rhs}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_n_panics() {
+        let _ = delta_lower_bound(1.0, 1, 0.0, 2.0);
+    }
+
+    #[test]
+    fn lemma43_matches_measured_zone() {
+        // Two stations at distance 1, uniform power: the measured boundary
+        // radii along the axis equal the closed-form μ_r and −μ_l.
+        for beta in [1.5, 2.0, 4.0, 9.0] {
+            let net = crate::Network::uniform(
+                vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)],
+                0.0,
+                beta,
+            )
+            .unwrap();
+            let zone = net.reception_zone(crate::StationId(0));
+            let (mu_l, mu_r) = lemma43_interval(beta, 1.0).unwrap();
+            let toward = zone.boundary_radius(0.0).unwrap();
+            let away = zone.boundary_radius(std::f64::consts::PI).unwrap();
+            assert!(
+                (toward - mu_r).abs() < 1e-9,
+                "β={beta}: {toward} vs μ_r={mu_r}"
+            );
+            assert!(
+                (away + mu_l).abs() < 1e-9,
+                "β={beta}: {away} vs −μ_l={}",
+                -mu_l
+            );
+        }
+    }
+
+    #[test]
+    fn lemma43_ratio_attains_fatness_bound() {
+        // Equality at ψ₁ = 1; strictly below for ψ₁ > 1.
+        for beta in [1.5f64, 2.0, 6.0] {
+            let (mu_l, mu_r) = lemma43_interval(beta, 1.0).unwrap();
+            let bound = fatness_bound(beta).unwrap();
+            assert!(((-mu_l / mu_r) - bound).abs() < 1e-12);
+            let (ml2, mr2) = lemma43_interval(beta, 3.0).unwrap();
+            assert!(-ml2 / mr2 < bound);
+        }
+    }
+
+    #[test]
+    fn lemma43_degenerate() {
+        assert!(lemma43_interval(1.0, 1.0).is_none());
+        assert!(lemma43_interval(0.5, 1.5).is_none());
+        assert!(lemma43_interval(0.5, 3.0).is_some()); // βψ₁ = 1.5 > 1
+    }
+}

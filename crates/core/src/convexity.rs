@@ -1,0 +1,354 @@
+//! Convexity verification (Theorem 1 / Lemma 2.1).
+//!
+//! Theorem 1 states that in a uniform power network with `α = 2` and
+//! `β ≥ 1`, every reception zone is convex — and Figure 5 shows the claim
+//! genuinely fails for `β < 1`. This module provides two independent
+//! verifiers used by the reproduction harness:
+//!
+//! * **Segment sampling** ([`check_zone_convexity`]) — sample boundary
+//!   points slightly inside the zone and verify every connecting segment
+//!   stays inside (the definition of convexity);
+//! * **Line intersection counting** ([`boundary_crossings_on_line`],
+//!   [`max_line_crossings`]) — Lemma 2.1: a thick set is convex iff every
+//!   line meets its boundary at most twice. The crossing count is computed
+//!   *algebraically*, by Sturm root counting on the restricted
+//!   characteristic polynomial — exactly the argument of Section 3.2.
+
+use crate::charpoly;
+use crate::network::Network;
+use crate::station::StationId;
+use crate::zone::ReceptionZone;
+use sinr_algebra::SturmChain;
+use sinr_geometry::{Point, Vector};
+
+/// A witnessed convexity violation: two zone points whose connecting
+/// segment leaves the zone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvexityViolation {
+    /// First endpoint (inside the zone).
+    pub p1: Point,
+    /// Second endpoint (inside the zone).
+    pub p2: Point,
+    /// Interpolation parameter of the violating point.
+    pub t: f64,
+    /// The violating point `p1 + t·(p2 − p1)` (outside the zone).
+    pub witness: Point,
+    /// The SINR of the station at the witness (below `β`).
+    pub sinr: f64,
+}
+
+/// Result of a convexity check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvexityReport {
+    /// Number of point pairs whose segments were examined.
+    pub pairs_tested: usize,
+    /// Number of interior sample points examined in total.
+    pub points_tested: usize,
+    /// All violations found (empty for a convex zone).
+    pub violations: Vec<ConvexityViolation>,
+}
+
+impl ConvexityReport {
+    /// True when no violation was found.
+    pub fn is_convex(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for ConvexityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} pairs / {} points tested, {} violations",
+            self.pairs_tested,
+            self.points_tested,
+            self.violations.len()
+        )
+    }
+}
+
+/// Verifies convexity of a zone by segment sampling.
+///
+/// `boundary_samples` points are taken on the zone boundary, pulled inward
+/// by the relative `margin` (so that knife-edge numerical noise at the
+/// boundary itself cannot produce false positives), and every pair is
+/// connected; `segment_samples` interior points per segment are tested for
+/// membership.
+///
+/// Returns `None` when the zone is unbounded (trivial networks) — the
+/// sampling construction needs a bounded boundary.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_core::{convexity, Network, StationId};
+/// use sinr_geometry::Point;
+///
+/// let net = Network::uniform(
+///     vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(1.0, 5.0)],
+///     0.0, 2.0).unwrap();
+/// let zone = net.reception_zone(StationId(0));
+/// let report = convexity::check_zone_convexity(&zone, 24, 12, 1e-6).unwrap();
+/// assert!(report.is_convex()); // Theorem 1: β ≥ 1, uniform, α = 2
+/// ```
+pub fn check_zone_convexity(
+    zone: &ReceptionZone<'_>,
+    boundary_samples: usize,
+    segment_samples: usize,
+    margin: f64,
+) -> Option<ConvexityReport> {
+    assert!(boundary_samples >= 2, "need at least two boundary samples");
+    if zone.is_degenerate() {
+        // A single point is trivially convex.
+        return Some(ConvexityReport {
+            pairs_tested: 0,
+            points_tested: 0,
+            violations: Vec::new(),
+        });
+    }
+    let c = zone.center();
+    let mut pts = Vec::with_capacity(boundary_samples);
+    for k in 0..boundary_samples {
+        let theta = 2.0 * std::f64::consts::PI * k as f64 / boundary_samples as f64;
+        let r = zone.boundary_radius(theta)?;
+        pts.push(c + Vector::from_angle(theta) * (r * (1.0 - margin)));
+    }
+
+    let mut report = ConvexityReport {
+        pairs_tested: 0,
+        points_tested: 0,
+        violations: Vec::new(),
+    };
+    for a in 0..pts.len() {
+        for b in (a + 1)..pts.len() {
+            report.pairs_tested += 1;
+            for s in 1..segment_samples {
+                let t = s as f64 / segment_samples as f64;
+                let q = pts[a].lerp(pts[b], t);
+                report.points_tested += 1;
+                if !zone.contains(q) {
+                    report.violations.push(ConvexityViolation {
+                        p1: pts[a],
+                        p2: pts[b],
+                        t,
+                        witness: q,
+                        sinr: zone.network().sinr(zone.station_id(), q),
+                    });
+                }
+            }
+        }
+    }
+    Some(report)
+}
+
+/// Counts the distinct intersections of `∂Hᵢ` with the line
+/// `p(t) = origin + t·dir` for `t ∈ [t_min, t_max]`, via Sturm root
+/// counting on the restricted characteristic polynomial — the algebraic
+/// machinery of Section 3.2 / Theorem 3.6.
+///
+/// # Panics
+///
+/// Panics if the network's path loss is not `α = 2` or if
+/// `t_min > t_max`.
+pub fn boundary_crossings_on_line(
+    net: &Network,
+    i: StationId,
+    origin: Point,
+    dir: Vector,
+    t_min: f64,
+    t_max: f64,
+) -> usize {
+    let h = charpoly::restricted_to_line(net, i, origin, dir);
+    SturmChain::new(&h).count_roots_in(t_min, t_max)
+}
+
+/// Sweeps `lines` random-direction lines through the zone's neighbourhood
+/// and returns the maximum number of boundary crossings observed on any of
+/// them. Lemma 2.1: convex ⟺ the maximum is ≤ 2.
+///
+/// The sweep takes lines through points on circles around the station at
+/// several radii, with rotating directions — a deterministic family that
+/// covers tangent, secant and missing lines.
+pub fn max_line_crossings(net: &Network, i: StationId, lines: usize) -> usize {
+    let c = net.position(i);
+    let kappa = net.kappa(i).max(1e-6);
+    let mut worst = 0usize;
+    for k in 0..lines {
+        let a1 = 2.399963229728653 * k as f64; // golden angle: well-spread
+        let a2 = 1.0 + 0.7 * ((k % 17) as f64);
+        let radius = kappa * (0.05 + 2.0 * ((k % 13) as f64 / 13.0));
+        let origin = c + Vector::from_angle(a1) * radius;
+        let dir = Vector::from_angle(a1 * 0.37 + a2);
+        // Window wide enough to cover any bounded zone: ±(40κ + 4)/|dir|,
+        // since Δ ≤ κ/(√β − 1) bounds the zone radius for β > 1.
+        let t_half = (40.0 * kappa + 4.0) / dir.norm();
+        let crossings = boundary_crossings_on_line(net, i, origin, dir, -t_half, t_half);
+        worst = worst.max(crossings);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+
+    /// The exact network of the paper's Figure 5: three uniform stations,
+    /// `β = 0.3 < 1`, `N = 0.05` — visibly non-convex zones.
+    pub fn figure5_network() -> Network {
+        Network::uniform(
+            vec![
+                Point::new(-2.0, 1.0),
+                Point::new(2.5, 1.2),
+                Point::new(0.0, -2.0),
+            ],
+            0.05,
+            0.3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn theorem_1_holds_on_small_networks() {
+        // Deterministic layouts, β ≥ 1, uniform, α = 2 ⇒ convex.
+        let layouts: Vec<Vec<Point>> = vec![
+            vec![Point::new(0.0, 0.0), Point::new(3.0, 0.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(3.0, 0.0),
+                Point::new(1.0, 2.5),
+            ],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(2.0, 0.5),
+                Point::new(-1.0, 2.0),
+                Point::new(0.5, -2.2),
+            ],
+        ];
+        for pts in layouts {
+            for beta in [1.0, 1.5, 3.0, 6.0] {
+                let net = Network::uniform(pts.clone(), 0.01, beta).unwrap();
+                for i in net.ids() {
+                    let zone = net.reception_zone(i);
+                    let report = check_zone_convexity(&zone, 20, 10, 1e-7).unwrap();
+                    assert!(
+                        report.is_convex(),
+                        "β={beta}, station {i}: {report} (first: {:?})",
+                        report.violations.first()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure_5_beta_below_one_is_nonconvex() {
+        let net = figure5_network();
+        let mut any_violation = false;
+        for i in net.ids() {
+            let zone = net.reception_zone(i);
+            if let Some(report) = check_zone_convexity(&zone, 48, 24, 1e-7) {
+                any_violation |= !report.is_convex();
+            }
+        }
+        assert!(
+            any_violation,
+            "β = 0.3 should produce a non-convex zone (paper Fig. 5)"
+        );
+    }
+
+    #[test]
+    fn line_crossings_at_most_two_when_convex() {
+        let net = Network::uniform(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(3.0, 1.0),
+                Point::new(-2.0, 2.0),
+                Point::new(1.0, -3.0),
+            ],
+            0.02,
+            2.0,
+        )
+        .unwrap();
+        for i in net.ids() {
+            let worst = max_line_crossings(&net, i, 60);
+            assert!(worst <= 2, "station {i}: {worst} crossings on a line");
+        }
+    }
+
+    #[test]
+    fn line_crossings_exceed_two_for_figure5() {
+        // Lemma 2.1's converse: a non-convex thick zone has some line with
+        // more than two boundary crossings. Aim the line through a
+        // violation found by segment sampling: both endpoints are inside
+        // the zone with an outside point between them, so the supporting
+        // line must cross the boundary at least twice *strictly between*
+        // them — and, the zone being bounded, at least twice more outside.
+        let net = figure5_network();
+        let mut witnessed = false;
+        for i in net.ids() {
+            let zone = net.reception_zone(i);
+            let Some(report) = check_zone_convexity(&zone, 48, 24, 1e-7) else {
+                continue;
+            };
+            if let Some(v) = report.violations.first() {
+                let dir = v.p2 - v.p1;
+                let crossings = boundary_crossings_on_line(&net, i, v.p1, dir, -50.0, 51.0);
+                assert!(
+                    crossings > 2,
+                    "station {i}: line through a violation has only {crossings} crossings"
+                );
+                witnessed = true;
+            }
+        }
+        assert!(witnessed, "no violation found to aim a line through");
+    }
+
+    #[test]
+    fn specific_line_count_two_stations() {
+        // Stations at 0 and 4, β=2: along the x-axis the zone H0 is an
+        // interval, so the line meets ∂H0 exactly twice.
+        let net =
+            Network::uniform(vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0)], 0.0, 2.0).unwrap();
+        let n = boundary_crossings_on_line(
+            &net,
+            StationId(0),
+            Point::new(0.0, 0.0),
+            Vector::UNIT_X,
+            -100.0,
+            100.0,
+        );
+        assert_eq!(n, 2);
+        // A line far above the zone misses it entirely.
+        let n = boundary_crossings_on_line(
+            &net,
+            StationId(0),
+            Point::new(0.0, 50.0),
+            Vector::UNIT_X,
+            -100.0,
+            100.0,
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn degenerate_zone_report() {
+        let net = Network::uniform(
+            vec![Point::ORIGIN, Point::ORIGIN, Point::new(2.0, 0.0)],
+            0.0,
+            2.0,
+        )
+        .unwrap();
+        let zone = net.reception_zone(StationId(0));
+        let report = check_zone_convexity(&zone, 8, 4, 1e-7).unwrap();
+        assert!(report.is_convex());
+        assert_eq!(report.pairs_tested, 0);
+    }
+
+    #[test]
+    fn trivial_network_returns_none() {
+        let net = Network::uniform(vec![Point::ORIGIN, Point::new(2.0, 0.0)], 0.0, 1.0).unwrap();
+        let zone = net.reception_zone(StationId(0));
+        assert!(check_zone_convexity(&zone, 8, 4, 1e-7).is_none());
+    }
+}

@@ -1,0 +1,81 @@
+//! # sinr-core
+//!
+//! The SINR model of *"SINR Diagrams: Towards Algorithmically Usable SINR
+//! Models of Wireless Networks"* (Avin, Emek, Kantor, Lotker, Peleg,
+//! Roditty — PODC 2009), implemented as a reusable library.
+//!
+//! ## The model (paper, Section 2.2)
+//!
+//! A wireless network is `A = ⟨S, ψ, N, β⟩`: stations `S = {s₀, …, s_{n−1}}`
+//! embedded in the plane, transmit powers `ψᵢ > 0`, background noise
+//! `N ≥ 0`, and reception threshold `β`. The energy of `sᵢ` at `p` is
+//! `E(sᵢ, p) = ψᵢ·dist(sᵢ, p)^{−α}` (the paper fixes the path-loss
+//! exponent `α = 2`; this crate supports general `α > 0` for evaluation,
+//! while the algebraic machinery requires `α = 2`). Station `sᵢ` is
+//! *heard* at `p` iff
+//!
+//! ```text
+//! SINR(sᵢ, p) = E(sᵢ, p) / (Σ_{j≠i} E(sⱼ, p) + N) ≥ β .
+//! ```
+//!
+//! The *reception zone* `Hᵢ` is the set of points hearing `sᵢ` (plus `sᵢ`
+//! itself); the *SINR diagram* is the partition of the plane into the `Hᵢ`
+//! and the silent remainder `H_∅`.
+//!
+//! ## What this crate provides
+//!
+//! * [`Network`] / [`NetworkBuilder`] — model construction, validation,
+//!   similarity transforms (Lemma 2.3), station surgery (add / silence /
+//!   relocate — the operations used by the paper's reductions);
+//! * [`sinr`] — energy, interference and SINR evaluation (Eq. (1));
+//! * [`charpoly`] — the characteristic polynomial `Hᵢ(x, y)` of degree
+//!   `2n` and its fast restriction to segments (the input to the Sturm
+//!   segment test);
+//! * [`ReceptionZone`] — boundary ray-shooting (via the monotonicity of
+//!   Lemma 3.1), `δ`, `Δ` and the fatness parameter `φ = Δ/δ`
+//!   (Section 2.1), boundary polygons, area estimates;
+//! * [`convexity`] — empirical and algebraic convexity verification
+//!   (Theorem 1 / Lemma 2.1);
+//! * [`bounds`] — the closed-form bounds of Theorems 4.1 and 4.2;
+//! * [`reductions`] — the executable proof constructions of Section 3
+//!   (Lemma 3.10's replacement station, noise elimination);
+//! * [`gen`] — seeded workload generators for benchmarks and tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use sinr_core::{Network, StationId};
+//! use sinr_geometry::Point;
+//!
+//! let net = Network::builder()
+//!     .station(Point::new(0.0, 0.0))
+//!     .station(Point::new(4.0, 0.0))
+//!     .threshold(2.0)
+//!     .build()?;
+//!
+//! // Near s0, its signal dominates:
+//! assert_eq!(net.heard_at(Point::new(0.5, 0.0)), Some(StationId(0)));
+//! // Midway, nobody clears β = 2:
+//! assert_eq!(net.heard_at(Point::new(2.0, 0.0)), None);
+//! # Ok::<(), sinr_core::NetworkError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bounds;
+pub mod charpoly;
+pub mod convexity;
+pub mod gen;
+pub mod network;
+pub mod power;
+pub mod reductions;
+pub mod sinr;
+pub mod station;
+pub mod zone;
+
+pub use convexity::{ConvexityReport, ConvexityViolation};
+pub use network::{Network, NetworkBuilder, NetworkError};
+pub use power::PowerAssignment;
+pub use station::{Station, StationId};
+pub use zone::{RadialProfile, ReceptionZone};

@@ -1,0 +1,695 @@
+//! The wireless network `A = ⟨S, ψ, N, β⟩` and its builder.
+
+use crate::power::PowerAssignment;
+use crate::sinr;
+use crate::station::{Station, StationId};
+use crate::zone::ReceptionZone;
+use sinr_geometry::{BBox, Point, Similarity};
+use std::fmt;
+
+/// Errors produced when building or transforming a [`Network`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// The paper's model assumes at least two stations (`n ≥ 2`).
+    TooFewStations(usize),
+    /// Background noise must be non-negative and finite.
+    InvalidNoise(f64),
+    /// The reception threshold must be strictly positive and finite.
+    InvalidThreshold(f64),
+    /// The path-loss exponent must be strictly positive and finite.
+    InvalidPathLoss(f64),
+    /// A transmit power was invalid (message carries details).
+    InvalidPower(String),
+    /// A station position was not finite.
+    InvalidPosition(usize),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::TooFewStations(n) => {
+                write!(f, "network needs at least 2 stations, got {n}")
+            }
+            NetworkError::InvalidNoise(v) => write!(f, "background noise must be ≥ 0, got {v}"),
+            NetworkError::InvalidThreshold(v) => {
+                write!(f, "reception threshold must be > 0, got {v}")
+            }
+            NetworkError::InvalidPathLoss(v) => {
+                write!(f, "path-loss exponent must be > 0, got {v}")
+            }
+            NetworkError::InvalidPower(msg) => write!(f, "invalid power assignment: {msg}"),
+            NetworkError::InvalidPosition(i) => {
+                write!(f, "station {i} has a non-finite position")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// A wireless network `A = ⟨S, ψ, N, β⟩` with path-loss exponent `α`.
+///
+/// Immutable once built; the "surgery" methods (silencing, adding or
+/// relocating stations — the moves used throughout the paper's proofs and
+/// figures) return new networks.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_core::Network;
+/// use sinr_geometry::Point;
+///
+/// // Figure 1-style network: three uniform stations.
+/// let net = Network::builder()
+///     .station(Point::new(-2.0, 0.0))
+///     .station(Point::new(2.0, 0.0))
+///     .station(Point::new(0.0, 3.0))
+///     .background_noise(0.01)
+///     .threshold(1.5)
+///     .build()?;
+/// assert_eq!(net.len(), 3);
+/// assert!(net.is_uniform_power());
+/// # Ok::<(), sinr_core::NetworkError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    positions: Vec<Point>,
+    power: PowerAssignment,
+    noise: f64,
+    beta: f64,
+    alpha: f64,
+}
+
+impl Network {
+    /// Starts building a network.
+    pub fn builder() -> NetworkBuilder {
+        NetworkBuilder::new()
+    }
+
+    /// Convenience constructor for a *uniform power* network with the
+    /// paper's default path loss `α = 2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetworkError`] if validation fails (see
+    /// [`NetworkBuilder::build`]).
+    pub fn uniform(positions: Vec<Point>, noise: f64, beta: f64) -> Result<Network, NetworkError> {
+        let mut b = Network::builder().background_noise(noise).threshold(beta);
+        for p in positions {
+            b = b.station(p);
+        }
+        b.build()
+    }
+
+    /// Number of stations `n`.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when the network has no stations (never true for a built
+    /// network, which has `n ≥ 2`).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The position of station `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn position(&self, i: StationId) -> Point {
+        self.positions[i.0]
+    }
+
+    /// All station positions in index order.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// The station record for index `i`.
+    pub fn station(&self, i: StationId) -> Station {
+        Station::new(i, self.positions[i.0], self.power.power(i.0))
+    }
+
+    /// Iterates over all stations.
+    pub fn stations(&self) -> impl Iterator<Item = Station> + '_ {
+        (0..self.len()).map(|i| self.station(StationId(i)))
+    }
+
+    /// All station ids `s₀ … s_{n−1}`.
+    pub fn ids(&self) -> impl Iterator<Item = StationId> {
+        (0..self.len()).map(StationId)
+    }
+
+    /// The transmit power `ψᵢ` of station `i`.
+    pub fn power(&self, i: StationId) -> f64 {
+        self.power.power(i.0)
+    }
+
+    /// The power assignment.
+    pub fn power_assignment(&self) -> &PowerAssignment {
+        &self.power
+    }
+
+    /// Background noise `N ≥ 0`.
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// Reception threshold `β`.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Path-loss exponent `α` (2 unless overridden).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// True when every station transmits with power 1 (`ψ = 1̄`).
+    pub fn is_uniform_power(&self) -> bool {
+        self.power.is_uniform()
+    }
+
+    /// True for the paper's *trivial* network: `|S| = 2`, `N = 0`, `β = 1`
+    /// (and uniform power). Trivial networks are the single case with
+    /// unbounded reception zones (each `Hᵢ` is a half-plane).
+    pub fn is_trivial(&self) -> bool {
+        self.len() == 2 && self.noise == 0.0 && self.beta == 1.0 && self.is_uniform_power()
+    }
+
+    /// True when the theorem preconditions of the paper hold: uniform
+    /// power, `α = 2`, `β ≥ 1`. Under these, Theorem 1 guarantees convex
+    /// reception zones (and for `β > 1`, Theorem 2 guarantees fatness).
+    pub fn satisfies_convexity_preconditions(&self) -> bool {
+        self.is_uniform_power() && self.alpha == 2.0 && self.beta >= 1.0
+    }
+
+    /// The minimum distance from station `i` to any other station — the
+    /// `κ` of Theorem 4.1.
+    ///
+    /// Returns 0 when another station shares the location.
+    pub fn kappa(&self, i: StationId) -> f64 {
+        let p = self.position(i);
+        self.positions
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i.0)
+            .map(|(_, q)| p.dist(*q))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// True if some other station shares the location of `i` (then
+    /// `Hᵢ = {sᵢ}` degenerates to a point).
+    pub fn is_colocated(&self, i: StationId) -> bool {
+        self.kappa(i) == 0.0
+    }
+
+    /// The bounding box of the station positions.
+    pub fn bbox(&self) -> BBox {
+        BBox::from_points(self.positions.iter().copied()).expect("n ≥ 2")
+    }
+
+    // --- Reception API (delegates to the sinr module) -------------------
+
+    /// Energy `E(sᵢ, p) = ψᵢ·dist(sᵢ, p)^{−α}` (infinite at `p = sᵢ`).
+    pub fn energy(&self, i: StationId, p: Point) -> f64 {
+        sinr::energy(self, i, p)
+    }
+
+    /// Interference to `sᵢ` at `p`: `I(sᵢ, p) = Σ_{j≠i} E(sⱼ, p)`.
+    pub fn interference(&self, i: StationId, p: Point) -> f64 {
+        sinr::interference(self, i, p)
+    }
+
+    /// The SINR of station `i` at `p` (Eq. (1) of the paper).
+    pub fn sinr(&self, i: StationId, p: Point) -> f64 {
+        sinr::sinr(self, i, p)
+    }
+
+    /// The fundamental reception rule: is `sᵢ` heard at `p`?
+    /// (`SINR(sᵢ, p) ≥ β`, with `sᵢ ∈ Hᵢ` by definition.)
+    pub fn is_heard(&self, i: StationId, p: Point) -> bool {
+        sinr::is_heard(self, i, p)
+    }
+
+    /// Which station (if any) is heard at `p`?
+    ///
+    /// For `β > 1` at most one station can be heard anywhere, so the
+    /// answer is unique; for `β ≤ 1` the strongest heard station is
+    /// returned.
+    pub fn heard_at(&self, p: Point) -> Option<StationId> {
+        sinr::heard_at(self, p)
+    }
+
+    /// A handle onto the reception zone `Hᵢ`.
+    pub fn reception_zone(&self, i: StationId) -> ReceptionZone<'_> {
+        ReceptionZone::new(self, i)
+    }
+
+    // --- Surgery (the paper's proof moves) -------------------------------
+
+    /// The network with station `i` removed ("silenced", as in
+    /// Figure 1(C)). Station indices above `i` shift down by one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::TooFewStations`] if fewer than two stations
+    /// would remain.
+    pub fn without_station(&self, i: StationId) -> Result<Network, NetworkError> {
+        if self.len() <= 2 {
+            return Err(NetworkError::TooFewStations(self.len().saturating_sub(1)));
+        }
+        let keep: Vec<bool> = (0..self.len()).map(|j| j != i.0).collect();
+        let positions = self
+            .positions
+            .iter()
+            .zip(keep.iter())
+            .filter_map(|(p, k)| k.then_some(*p))
+            .collect();
+        Ok(Network {
+            positions,
+            power: self.power.filtered(&keep),
+            ..self.clone()
+        })
+    }
+
+    /// The network with an extra station at `position` with power `power`
+    /// (used by the noise-elimination reduction of Section 3.4 and by
+    /// Lemma 3.10's replacement construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] on an invalid power or position.
+    pub fn with_station(&self, position: Point, power: f64) -> Result<Network, NetworkError> {
+        if !(power > 0.0 && power.is_finite()) {
+            return Err(NetworkError::InvalidPower(format!("power {power}")));
+        }
+        if !position.is_finite() {
+            return Err(NetworkError::InvalidPosition(self.len()));
+        }
+        let mut positions = self.positions.clone();
+        positions.push(position);
+        Ok(Network {
+            power: self.power.extended(self.positions.len(), power),
+            positions,
+            ..self.clone()
+        })
+    }
+
+    /// The network with station `i` moved to `position` (Figure 1(B)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::InvalidPosition`] for a non-finite target.
+    pub fn with_station_moved(
+        &self,
+        i: StationId,
+        position: Point,
+    ) -> Result<Network, NetworkError> {
+        if !position.is_finite() {
+            return Err(NetworkError::InvalidPosition(i.0));
+        }
+        let mut positions = self.positions.clone();
+        positions[i.0] = position;
+        Ok(Network {
+            positions,
+            ..self.clone()
+        })
+    }
+
+    /// The network with the background noise replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::InvalidNoise`] for negative or non-finite
+    /// noise.
+    pub fn with_noise(&self, noise: f64) -> Result<Network, NetworkError> {
+        if !(noise >= 0.0 && noise.is_finite()) {
+            return Err(NetworkError::InvalidNoise(noise));
+        }
+        Ok(Network {
+            noise,
+            ..self.clone()
+        })
+    }
+
+    /// Applies a similarity map `f` to the network per **Lemma 2.3**: all
+    /// stations are mapped through `f` and the noise is divided by `σ²`
+    /// (where `σ` is the scale of `f`), so that
+    /// `SINR_A(sᵢ, p) = SINR_{f(A)}(f(sᵢ), f(p))` for all `i, p`.
+    pub fn transformed(&self, f: &Similarity) -> Network {
+        let sigma = f.scale();
+        Network {
+            positions: self.positions.iter().map(|p| f.apply(*p)).collect(),
+            noise: self.noise / (sigma * sigma),
+            ..self.clone()
+        }
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Network(n={}, N={}, β={}, α={}, {})",
+            self.len(),
+            self.noise,
+            self.beta,
+            self.alpha,
+            if self.is_uniform_power() {
+                "uniform"
+            } else {
+                "per-station power"
+            }
+        )
+    }
+}
+
+/// Builder for [`Network`] (non-consuming, per C-BUILDER).
+///
+/// # Examples
+///
+/// ```
+/// use sinr_core::Network;
+/// use sinr_geometry::Point;
+///
+/// let mut b = Network::builder().threshold(6.0); // β ≈ 6, the textbook value
+/// for k in 0..4 {
+///     b = b.station(Point::new(k as f64, 0.0));
+/// }
+/// let net = b.build()?;
+/// assert_eq!(net.len(), 4);
+/// assert_eq!(net.beta(), 6.0);
+/// assert_eq!(net.alpha(), 2.0);
+/// # Ok::<(), sinr_core::NetworkError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    positions: Vec<Point>,
+    powers: Option<Vec<f64>>,
+    noise: f64,
+    beta: f64,
+    alpha: f64,
+}
+
+impl Default for NetworkBuilder {
+    fn default() -> Self {
+        NetworkBuilder::new()
+    }
+}
+
+impl NetworkBuilder {
+    /// Creates a builder with the paper's defaults: no noise, `β = 1`,
+    /// `α = 2`, uniform power.
+    pub fn new() -> Self {
+        NetworkBuilder {
+            positions: Vec::new(),
+            powers: None,
+            noise: 0.0,
+            beta: 1.0,
+            alpha: 2.0,
+        }
+    }
+
+    /// Adds a station with power 1 at `position`.
+    pub fn station(mut self, position: Point) -> Self {
+        self.positions.push(position);
+        if let Some(ps) = &mut self.powers {
+            ps.push(1.0);
+        }
+        self
+    }
+
+    /// Adds a station with the given transmit power at `position`.
+    pub fn station_with_power(mut self, position: Point, power: f64) -> Self {
+        if self.powers.is_none() {
+            self.powers = Some(vec![1.0; self.positions.len()]);
+        }
+        self.positions.push(position);
+        self.powers.as_mut().expect("just initialised").push(power);
+        self
+    }
+
+    /// Adds many uniform-power stations.
+    pub fn stations<I: IntoIterator<Item = Point>>(mut self, positions: I) -> Self {
+        for p in positions {
+            self = self.station(p);
+        }
+        self
+    }
+
+    /// Sets the background noise `N ≥ 0` (default 0).
+    pub fn background_noise(mut self, noise: f64) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets the reception threshold `β` (default 1). The paper's theorems
+    /// need `β ≥ 1`; smaller values are allowed for experiments such as
+    /// the non-convex diagram of Figure 5.
+    pub fn threshold(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the path-loss exponent `α` (default 2 — the paper's setting;
+    /// `2 ≤ α ≤ 4` is the physically plausible range).
+    pub fn path_loss(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Validates and builds the network.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetworkError::TooFewStations`] — fewer than 2 stations;
+    /// * [`NetworkError::InvalidNoise`] — negative or non-finite noise;
+    /// * [`NetworkError::InvalidThreshold`] — non-positive threshold;
+    /// * [`NetworkError::InvalidPathLoss`] — non-positive exponent;
+    /// * [`NetworkError::InvalidPower`] — a non-positive station power;
+    /// * [`NetworkError::InvalidPosition`] — a non-finite coordinate.
+    pub fn build(&self) -> Result<Network, NetworkError> {
+        if self.positions.len() < 2 {
+            return Err(NetworkError::TooFewStations(self.positions.len()));
+        }
+        if !(self.noise >= 0.0 && self.noise.is_finite()) {
+            return Err(NetworkError::InvalidNoise(self.noise));
+        }
+        if !(self.beta > 0.0 && self.beta.is_finite()) {
+            return Err(NetworkError::InvalidThreshold(self.beta));
+        }
+        if !(self.alpha > 0.0 && self.alpha.is_finite()) {
+            return Err(NetworkError::InvalidPathLoss(self.alpha));
+        }
+        for (i, p) in self.positions.iter().enumerate() {
+            if !p.is_finite() {
+                return Err(NetworkError::InvalidPosition(i));
+            }
+        }
+        let power = match &self.powers {
+            None => PowerAssignment::Uniform,
+            Some(v) => {
+                let pa = PowerAssignment::PerStation(v.clone());
+                pa.validate(self.positions.len())
+                    .map_err(NetworkError::InvalidPower)?;
+                if pa.is_uniform() {
+                    PowerAssignment::Uniform
+                } else {
+                    pa
+                }
+            }
+        };
+        Ok(Network {
+            positions: self.positions.clone(),
+            power,
+            noise: self.noise,
+            beta: self.beta,
+            alpha: self.alpha,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_station_net(beta: f64) -> Network {
+        Network::uniform(vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0)], 0.0, beta).unwrap()
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(matches!(
+            Network::builder().station(Point::ORIGIN).build(),
+            Err(NetworkError::TooFewStations(1))
+        ));
+        assert!(matches!(
+            Network::builder()
+                .station(Point::ORIGIN)
+                .station(Point::new(1.0, 0.0))
+                .background_noise(-1.0)
+                .build(),
+            Err(NetworkError::InvalidNoise(_))
+        ));
+        assert!(matches!(
+            Network::builder()
+                .station(Point::ORIGIN)
+                .station(Point::new(1.0, 0.0))
+                .threshold(0.0)
+                .build(),
+            Err(NetworkError::InvalidThreshold(_))
+        ));
+        assert!(matches!(
+            Network::builder()
+                .station(Point::ORIGIN)
+                .station(Point::new(1.0, 0.0))
+                .path_loss(-2.0)
+                .build(),
+            Err(NetworkError::InvalidPathLoss(_))
+        ));
+        assert!(matches!(
+            Network::builder()
+                .station(Point::ORIGIN)
+                .station_with_power(Point::new(1.0, 0.0), -5.0)
+                .build(),
+            Err(NetworkError::InvalidPower(_))
+        ));
+        assert!(matches!(
+            Network::builder()
+                .station(Point::ORIGIN)
+                .station(Point::new(f64::NAN, 0.0))
+                .build(),
+            Err(NetworkError::InvalidPosition(1))
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let net = two_station_net(2.0);
+        assert_eq!(net.len(), 2);
+        assert!(!net.is_empty());
+        assert_eq!(net.position(StationId(1)), Point::new(4.0, 0.0));
+        assert_eq!(net.power(StationId(0)), 1.0);
+        assert_eq!(net.beta(), 2.0);
+        assert_eq!(net.alpha(), 2.0);
+        assert_eq!(net.noise(), 0.0);
+        assert!(net.is_uniform_power());
+        assert_eq!(net.stations().count(), 2);
+        assert_eq!(net.ids().count(), 2);
+        assert_eq!(net.kappa(StationId(0)), 4.0);
+        assert!(!net.is_colocated(StationId(0)));
+    }
+
+    #[test]
+    fn triviality() {
+        assert!(two_station_net(1.0).is_trivial());
+        assert!(!two_station_net(2.0).is_trivial());
+        let noisy = Network::uniform(vec![Point::ORIGIN, Point::new(1.0, 0.0)], 0.5, 1.0).unwrap();
+        assert!(!noisy.is_trivial());
+    }
+
+    #[test]
+    fn preconditions() {
+        assert!(two_station_net(1.0).satisfies_convexity_preconditions());
+        assert!(two_station_net(6.0).satisfies_convexity_preconditions());
+        assert!(!two_station_net(0.3).satisfies_convexity_preconditions());
+        let nonuniform = Network::builder()
+            .station(Point::ORIGIN)
+            .station_with_power(Point::new(1.0, 0.0), 2.0)
+            .threshold(2.0)
+            .build()
+            .unwrap();
+        assert!(!nonuniform.satisfies_convexity_preconditions());
+        let alpha4 = Network::builder()
+            .station(Point::ORIGIN)
+            .station(Point::new(1.0, 0.0))
+            .path_loss(4.0)
+            .threshold(2.0)
+            .build()
+            .unwrap();
+        assert!(!alpha4.satisfies_convexity_preconditions());
+    }
+
+    #[test]
+    fn surgery_remove_add_move() {
+        let net = Network::uniform(
+            vec![Point::ORIGIN, Point::new(4.0, 0.0), Point::new(0.0, 4.0)],
+            0.0,
+            2.0,
+        )
+        .unwrap();
+        let smaller = net.without_station(StationId(2)).unwrap();
+        assert_eq!(smaller.len(), 2);
+        assert_eq!(smaller.position(StationId(1)), Point::new(4.0, 0.0));
+        // removing from a 2-station network fails
+        assert!(smaller.without_station(StationId(0)).is_err());
+        // adding
+        let bigger = net.with_station(Point::new(2.0, 2.0), 1.0).unwrap();
+        assert_eq!(bigger.len(), 4);
+        assert!(bigger.is_uniform_power());
+        let weighted = net.with_station(Point::new(2.0, 2.0), 3.0).unwrap();
+        assert!(!weighted.is_uniform_power());
+        assert_eq!(weighted.power(StationId(3)), 3.0);
+        assert!(net.with_station(Point::new(1.0, 1.0), 0.0).is_err());
+        // moving
+        let moved = net
+            .with_station_moved(StationId(0), Point::new(-1.0, -1.0))
+            .unwrap();
+        assert_eq!(moved.position(StationId(0)), Point::new(-1.0, -1.0));
+        assert_eq!(moved.len(), 3);
+    }
+
+    #[test]
+    fn lemma_2_3_invariance() {
+        // SINR is invariant under rotation+translation+scaling with noise
+        // divided by σ².
+        let net = Network::uniform(
+            vec![
+                Point::new(1.0, 2.0),
+                Point::new(-2.0, 0.5),
+                Point::new(3.0, -1.0),
+            ],
+            0.07,
+            1.8,
+        )
+        .unwrap();
+        let f = Similarity::new(0.9, 2.5, sinr_geometry::Vector::new(3.0, -4.0));
+        let mapped = net.transformed(&f);
+        assert!((mapped.noise() - 0.07 / 6.25).abs() < 1e-12);
+        for &(x, y) in &[(0.3, 0.4), (-1.0, 2.0), (2.0, 2.0)] {
+            let p = Point::new(x, y);
+            for i in net.ids() {
+                let lhs = net.sinr(i, p);
+                let rhs = mapped.sinr(i, f.apply(p));
+                assert!(
+                    (lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs()),
+                    "Lemma 2.3 violated at {p} for {i}: {lhs} vs {rhs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bbox_and_display() {
+        let net = two_station_net(2.0);
+        let bb = net.bbox();
+        assert_eq!(bb.min, Point::new(0.0, 0.0));
+        assert_eq!(bb.max, Point::new(4.0, 0.0));
+        assert!(format!("{net}").contains("n=2"));
+    }
+
+    #[test]
+    fn colocated_stations_detected() {
+        let net = Network::uniform(
+            vec![Point::ORIGIN, Point::ORIGIN, Point::new(1.0, 0.0)],
+            0.0,
+            2.0,
+        )
+        .unwrap();
+        assert!(net.is_colocated(StationId(0)));
+        assert!(net.is_colocated(StationId(1)));
+        assert!(!net.is_colocated(StationId(2)));
+    }
+}

@@ -1,0 +1,152 @@
+//! Transmit-power assignments.
+//!
+//! The paper's headline results (Theorems 1–3) are for *uniform power
+//! networks* — `ψ = 1̄` — while the model itself (and the open problems of
+//! Section 1.4) allows per-station powers. [`PowerAssignment`] captures
+//! both so the evaluation machinery works in general, and the theorem-level
+//! code can check `is_uniform()` before promising convexity.
+
+/// A power assignment `ψ` for the stations of a network.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum PowerAssignment {
+    /// Every station transmits with power 1 (the paper's `1̄`).
+    #[default]
+    Uniform,
+    /// Station `i` transmits with power `powers[i] > 0`.
+    PerStation(Vec<f64>),
+}
+
+impl PowerAssignment {
+    /// The power of station `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range for a per-station assignment.
+    #[inline]
+    pub fn power(&self, i: usize) -> f64 {
+        match self {
+            PowerAssignment::Uniform => 1.0,
+            PowerAssignment::PerStation(v) => v[i],
+        }
+    }
+
+    /// True when all stations share power 1 (or the per-station vector is
+    /// constantly 1).
+    pub fn is_uniform(&self) -> bool {
+        match self {
+            PowerAssignment::Uniform => true,
+            PowerAssignment::PerStation(v) => v.iter().all(|&p| p == 1.0),
+        }
+    }
+
+    /// Validates the assignment against a network of `n` stations.
+    ///
+    /// Returns an error message when lengths mismatch or a power is not
+    /// strictly positive and finite.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        match self {
+            PowerAssignment::Uniform => Ok(()),
+            PowerAssignment::PerStation(v) => {
+                if v.len() != n {
+                    return Err(format!(
+                        "power vector has {} entries for {} stations",
+                        v.len(),
+                        n
+                    ));
+                }
+                for (i, &p) in v.iter().enumerate() {
+                    if !(p > 0.0 && p.is_finite()) {
+                        return Err(format!("power of station {i} must be positive, got {p}"));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The assignment restricted to the stations selected by `keep`
+    /// (used when silencing or removing stations).
+    pub fn filtered(&self, keep: &[bool]) -> PowerAssignment {
+        match self {
+            PowerAssignment::Uniform => PowerAssignment::Uniform,
+            PowerAssignment::PerStation(v) => PowerAssignment::PerStation(
+                v.iter()
+                    .zip(keep.iter())
+                    .filter_map(|(p, k)| k.then_some(*p))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// The assignment with one more station of power `p` appended.
+    pub fn extended(&self, n: usize, p: f64) -> PowerAssignment {
+        if p == 1.0 && self.is_uniform() {
+            return PowerAssignment::Uniform;
+        }
+        let mut v: Vec<f64> = (0..n).map(|i| self.power(i)).collect();
+        v.push(p);
+        PowerAssignment::PerStation(v)
+    }
+}
+
+impl From<Vec<f64>> for PowerAssignment {
+    fn from(v: Vec<f64>) -> Self {
+        PowerAssignment::PerStation(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_basics() {
+        let u = PowerAssignment::Uniform;
+        assert_eq!(u.power(0), 1.0);
+        assert_eq!(u.power(99), 1.0);
+        assert!(u.is_uniform());
+        assert!(u.validate(5).is_ok());
+    }
+
+    #[test]
+    fn per_station() {
+        let p = PowerAssignment::PerStation(vec![1.0, 2.0, 0.5]);
+        assert_eq!(p.power(1), 2.0);
+        assert!(!p.is_uniform());
+        assert!(p.validate(3).is_ok());
+        assert!(p.validate(2).is_err());
+        // all-ones per-station counts as uniform
+        let ones = PowerAssignment::PerStation(vec![1.0, 1.0]);
+        assert!(ones.is_uniform());
+    }
+
+    #[test]
+    fn invalid_powers_rejected() {
+        assert!(PowerAssignment::PerStation(vec![1.0, 0.0])
+            .validate(2)
+            .is_err());
+        assert!(PowerAssignment::PerStation(vec![1.0, -3.0])
+            .validate(2)
+            .is_err());
+        assert!(PowerAssignment::PerStation(vec![f64::NAN, 1.0])
+            .validate(2)
+            .is_err());
+        assert!(PowerAssignment::PerStation(vec![f64::INFINITY])
+            .validate(1)
+            .is_err());
+    }
+
+    #[test]
+    fn filtering_and_extension() {
+        let p = PowerAssignment::PerStation(vec![1.0, 2.0, 3.0]);
+        let f = p.filtered(&[true, false, true]);
+        assert_eq!(f, PowerAssignment::PerStation(vec![1.0, 3.0]));
+        let u = PowerAssignment::Uniform.filtered(&[true, false]);
+        assert!(u.is_uniform());
+        // extension
+        let e = PowerAssignment::Uniform.extended(2, 1.0);
+        assert!(e.is_uniform());
+        let e = PowerAssignment::Uniform.extended(2, 4.0);
+        assert_eq!(e, PowerAssignment::PerStation(vec![1.0, 1.0, 4.0]));
+    }
+}

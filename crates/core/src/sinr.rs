@@ -1,0 +1,277 @@
+//! Energy, interference and SINR evaluation (Eq. (1) of the paper).
+//!
+//! The functions here are the numeric ground truth of the whole workspace:
+//! the characteristic polynomials of [`crate::charpoly`], the zone geometry
+//! of [`crate::zone`] and the point-location structure all validate
+//! against direct evaluation of these formulas.
+//!
+//! ## Points coinciding with stations
+//!
+//! `SINR(sᵢ, ·)` is undefined at station locations (the paper handles this
+//! by defining `Hᵢ` as `{p ∉ S : SINR ≥ β} ∪ {sᵢ}`). We adopt limits that
+//! realise the same zones: at `p = sᵢ` the energy of `sᵢ` is `+∞` and its
+//! SINR is `+∞` (heard); at `p = sⱼ (j ≠ i)` the interference is `+∞` and
+//! the SINR of `sᵢ` is `0` (not heard, unless `sᵢ` is co-located too, in
+//! which case membership follows from the `{sᵢ}` clause).
+
+use crate::network::Network;
+use crate::station::StationId;
+use sinr_algebra::KahanSum;
+use sinr_geometry::Point;
+
+/// Received energy `E(sᵢ, p) = ψᵢ · dist(sᵢ, p)^{−α}`.
+///
+/// Returns `+∞` when `p` coincides with the station.
+pub fn energy(net: &Network, i: StationId, p: Point) -> f64 {
+    let d2 = net.position(i).dist_sq(p);
+    if d2 == 0.0 {
+        return f64::INFINITY;
+    }
+    let alpha = net.alpha();
+    let attenuation = if alpha == 2.0 {
+        d2
+    } else {
+        d2.powf(alpha / 2.0)
+    };
+    net.power(i) / attenuation
+}
+
+/// Energy of a set of stations at `p`: `E(T, p) = Σ_{i ∈ T} E(sᵢ, p)`.
+pub fn energy_of_set<I: IntoIterator<Item = StationId>>(net: &Network, set: I, p: Point) -> f64 {
+    let mut acc = KahanSum::new();
+    for i in set {
+        let e = energy(net, i, p);
+        if e.is_infinite() {
+            return f64::INFINITY;
+        }
+        acc.add(e);
+    }
+    acc.value()
+}
+
+/// Interference to `sᵢ` at `p`: the energy of all *other* stations,
+/// `I(sᵢ, p) = E(S − {sᵢ}, p)`.
+pub fn interference(net: &Network, i: StationId, p: Point) -> f64 {
+    energy_of_set(net, net.ids().filter(|j| *j != i), p)
+}
+
+/// The signal-to-interference-&-noise ratio of `sᵢ` at `p` — Eq. (1):
+///
+/// ```text
+/// SINR(sᵢ, p) = ψᵢ·dist(sᵢ,p)^{−α} / (Σ_{j≠i} ψⱼ·dist(sⱼ,p)^{−α} + N)
+/// ```
+///
+/// Always positive; `+∞` exactly at `p = sᵢ` (when not co-located with an
+/// interferer), `0` at other stations' locations.
+pub fn sinr(net: &Network, i: StationId, p: Point) -> f64 {
+    let e = energy(net, i, p);
+    let intf = interference(net, i, p);
+    if e.is_infinite() {
+        if intf.is_infinite() {
+            // Co-located with an interferer: the ratio has no limit; zero
+            // is the conservative choice (reception decided by the {sᵢ}
+            // clause in `is_heard`).
+            return 0.0;
+        }
+        return f64::INFINITY;
+    }
+    if intf.is_infinite() {
+        return 0.0;
+    }
+    e / (intf + net.noise())
+}
+
+/// The fundamental rule of the SINR model: `sᵢ` is heard at `p` iff
+/// `SINR(sᵢ, p) ≥ β` (with `sᵢ ∈ Hᵢ` by definition).
+pub fn is_heard(net: &Network, i: StationId, p: Point) -> bool {
+    if p == net.position(i) {
+        return true; // the {sᵢ} clause of the zone definition
+    }
+    sinr(net, i, p) >= net.beta()
+}
+
+/// The station heard at `p`, if any (the strongest one when `β ≤ 1`
+/// permits several; unique automatically when `β > 1`).
+pub fn heard_at(net: &Network, p: Point) -> Option<StationId> {
+    let mut best: Option<(StationId, f64)> = None;
+    for i in net.ids() {
+        if is_heard(net, i, p) {
+            let v = sinr(net, i, p);
+            match best {
+                Some((_, b)) if b >= v => {}
+                _ => best = Some((i, v)),
+            }
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Evaluates the *reciprocal* SINR `f(x)` of Lemma 3.1 along the segment
+/// from `sᵢ` towards `p`, at relative position `x ∈ (0, 1]` (so `x = 1` is
+/// `p` itself). Strictly increasing in `x` when `SINR(sᵢ, p) ≥ 1` — the
+/// monotonicity that makes zone boundaries ray-shootable.
+pub fn reciprocal_sinr_along(net: &Network, i: StationId, p: Point, x: f64) -> f64 {
+    debug_assert!(x > 0.0 && x <= 1.0);
+    let q = net.position(i).lerp(p, x);
+    1.0 / sinr(net, i, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+
+    fn net2(beta: f64, noise: f64) -> Network {
+        Network::uniform(
+            vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0)],
+            noise,
+            beta,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn energy_inverse_square() {
+        let net = net2(1.0, 0.0);
+        let s0 = StationId(0);
+        assert_eq!(energy(&net, s0, Point::new(1.0, 0.0)), 1.0);
+        assert_eq!(energy(&net, s0, Point::new(2.0, 0.0)), 0.25);
+        assert_eq!(energy(&net, s0, Point::new(0.0, 3.0)), 1.0 / 9.0);
+        assert!(energy(&net, s0, Point::ORIGIN).is_infinite());
+    }
+
+    #[test]
+    fn energy_general_alpha() {
+        let net = Network::builder()
+            .station(Point::ORIGIN)
+            .station(Point::new(4.0, 0.0))
+            .path_loss(4.0)
+            .build()
+            .unwrap();
+        // α = 4: energy at distance 2 is 1/16.
+        assert!((energy(&net, StationId(0), Point::new(2.0, 0.0)) - 1.0 / 16.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sinr_symmetric_point() {
+        // At the midpoint of two equal stations, SINR = 1 for both.
+        let net = net2(1.0, 0.0);
+        let mid = Point::new(2.0, 0.0);
+        assert!((sinr(&net, StationId(0), mid) - 1.0).abs() < 1e-12);
+        assert!((sinr(&net, StationId(1), mid) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reception_two_stations() {
+        // β = 2, stations at 0 and 4: s0 is heard where d1/d0 ≥ √2.
+        let net = net2(2.0, 0.0);
+        let s0 = StationId(0);
+        assert!(is_heard(&net, s0, Point::new(1.0, 0.0))); // d1/d0 = 3
+        assert!(!is_heard(&net, s0, Point::new(2.0, 0.0))); // ratio 1
+                                                            // boundary: x/(4−x) = 1/√2 ⇒ x = 4/(1+√2) ≈ 1.6569
+        let xb = 4.0 / (1.0 + 2f64.sqrt());
+        assert!(is_heard(&net, s0, Point::new(xb - 1e-9, 0.0)));
+        assert!(!is_heard(&net, s0, Point::new(xb + 1e-9, 0.0)));
+    }
+
+    #[test]
+    fn noise_shrinks_reception() {
+        let quiet = net2(2.0, 0.0);
+        let noisy = net2(2.0, 0.5);
+        let p = Point::new(1.2, 0.0);
+        assert!(sinr(&noisy, StationId(0), p) < sinr(&quiet, StationId(0), p));
+    }
+
+    #[test]
+    fn station_locations() {
+        let net = net2(2.0, 0.0);
+        // At s0: s0 heard (the {s_i} clause), s1 not.
+        assert!(is_heard(&net, StationId(0), Point::ORIGIN));
+        assert!(!is_heard(&net, StationId(1), Point::ORIGIN));
+        assert_eq!(sinr(&net, StationId(1), Point::ORIGIN), 0.0);
+        assert!(sinr(&net, StationId(0), Point::ORIGIN).is_infinite());
+    }
+
+    #[test]
+    fn colocated_stations() {
+        let net = Network::uniform(
+            vec![Point::ORIGIN, Point::ORIGIN, Point::new(3.0, 0.0)],
+            0.0,
+            2.0,
+        )
+        .unwrap();
+        // Two stations at the origin jam each other everywhere...
+        assert!(!is_heard(&net, StationId(0), Point::new(1.0, 0.0)));
+        // ...but each still "hears itself" at its own location by definition.
+        assert!(is_heard(&net, StationId(0), Point::ORIGIN));
+        assert_eq!(sinr(&net, StationId(0), Point::ORIGIN), 0.0);
+    }
+
+    #[test]
+    fn heard_at_unique_when_beta_over_one() {
+        let net = net2(2.0, 0.0);
+        assert_eq!(heard_at(&net, Point::new(0.5, 0.0)), Some(StationId(0)));
+        assert_eq!(heard_at(&net, Point::new(3.5, 0.0)), Some(StationId(1)));
+        assert_eq!(heard_at(&net, Point::new(2.0, 0.0)), None);
+        // β > 1 ⇒ at most one station heard anywhere: scan a grid.
+        for i in -20..20 {
+            for j in -20..20 {
+                let p = Point::new(i as f64 * 0.35, j as f64 * 0.35);
+                let n = net.ids().filter(|s| is_heard(&net, *s, p)).count();
+                assert!(n <= 1, "two stations heard at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn heard_at_strongest_when_beta_below_one() {
+        // β = 0.4: near the midpoint both stations clear the threshold;
+        // heard_at returns the stronger.
+        let net = net2(0.4, 0.0);
+        let p = Point::new(1.9, 0.0);
+        let both = net.ids().filter(|s| is_heard(&net, *s, p)).count();
+        assert_eq!(both, 2);
+        assert_eq!(heard_at(&net, p), Some(StationId(0)));
+    }
+
+    #[test]
+    fn kahan_interference_many_stations() {
+        // 1000 far stations with tiny energies: compensated summation keeps
+        // the interference accurate.
+        let mut b = Network::builder().threshold(2.0);
+        b = b.station(Point::ORIGIN);
+        for k in 0..1000 {
+            let angle = k as f64 * 0.01 * std::f64::consts::PI;
+            b = b.station(Point::new(1e4 * angle.cos(), 1e4 * angle.sin()));
+        }
+        let net = b.build().unwrap();
+        let intf = interference(&net, StationId(0), Point::new(0.1, 0.0));
+        // Each distant station contributes ≈ 1e-8; total ≈ 1e-5.
+        assert!(intf > 0.9e-5 && intf < 1.1e-5, "interference {intf}");
+    }
+
+    #[test]
+    fn lemma_3_1_monotonicity_spot_check() {
+        // The reciprocal SINR f(x) is strictly increasing along s0→p when
+        // SINR(s0, p) ≥ 1.
+        let net = Network::uniform(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(5.0, 1.0),
+                Point::new(-3.0, 4.0),
+            ],
+            0.02,
+            1.0,
+        )
+        .unwrap();
+        let p = Point::new(0.8, -0.3);
+        assert!(sinr(&net, StationId(0), p) >= 1.0, "precondition");
+        let mut last = 0.0;
+        for k in 1..=20 {
+            let x = k as f64 / 20.0;
+            let f = reciprocal_sinr_along(&net, StationId(0), p, x);
+            assert!(f > last, "f({x}) = {f} not increasing past {last}");
+            last = f;
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Stations and their identifiers.
+
+use sinr_geometry::Point;
+
+/// Index of a station within its network (the `i` of `sᵢ`).
+///
+/// A thin newtype so that station indices cannot be confused with other
+/// integers (grid rows, sample counts, …) at API boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_core::StationId;
+///
+/// let id = StationId(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(format!("{id}"), "s3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StationId(pub usize);
+
+impl StationId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for StationId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<usize> for StationId {
+    fn from(i: usize) -> Self {
+        StationId(i)
+    }
+}
+
+/// A transmitting radio station: an identifier, a position, and a transmit
+/// power.
+///
+/// In the paper a station `sᵢ` doubles as the point `(aᵢ, bᵢ)` where it
+/// resides; [`Station::position`] is that point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Station {
+    /// Index within the network.
+    pub id: StationId,
+    /// Location in the plane.
+    pub position: Point,
+    /// Transmit power `ψᵢ > 0`.
+    pub power: f64,
+}
+
+impl Station {
+    /// Creates a station.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` is not strictly positive and finite.
+    pub fn new(id: StationId, position: Point, power: f64) -> Self {
+        assert!(
+            power > 0.0 && power.is_finite(),
+            "transmit power must be positive, got {power}"
+        );
+        Station {
+            id,
+            position,
+            power,
+        }
+    }
+}
+
+impl std::fmt::Display for Station {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{} (ψ={})", self.id, self.position, self.power)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let id: StationId = 7usize.into();
+        assert_eq!(id.index(), 7);
+        assert_eq!(StationId(7), id);
+        assert!(StationId(2) < StationId(10));
+    }
+
+    #[test]
+    fn station_display() {
+        let s = Station::new(StationId(1), Point::new(2.0, 3.0), 1.5);
+        let txt = format!("{s}");
+        assert!(txt.contains("s1") && txt.contains("1.5"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_power_panics() {
+        let _ = Station::new(StationId(0), Point::ORIGIN, 0.0);
+    }
+}

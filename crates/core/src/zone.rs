@@ -1,0 +1,485 @@
+//! Reception-zone geometry: boundary ray-shooting, `δ`, `Δ` and fatness.
+//!
+//! For a station `sᵢ` whose location is not shared, Lemma 3.1 of the paper
+//! makes the SINR *strictly decreasing along every ray from `sᵢ`* (within
+//! the region where it exceeds 1), so the boundary `∂Hᵢ` is crossed exactly
+//! once per direction and can be located by bisection. On top of that
+//! primitive this module computes the quantities of Section 2.1:
+//!
+//! * `δ(sᵢ, Hᵢ)` — radius of the largest ball centred at `sᵢ` inside `Hᵢ`;
+//! * `Δ(sᵢ, Hᵢ)` — radius of the smallest ball centred at `sᵢ` containing
+//!   `Hᵢ`;
+//! * the fatness parameter `φ(sᵢ, Hᵢ) = Δ/δ` (Theorem 2 bounds it by
+//!   `(√β + 1)/(√β − 1)` for uniform power, `α = 2`, constant `β > 1`).
+
+use crate::network::Network;
+use crate::station::StationId;
+use sinr_geometry::{Point, Vector};
+
+/// Default number of ray samples for radial profiles.
+pub const DEFAULT_RAY_SAMPLES: usize = 360;
+
+/// A handle onto the reception zone `Hᵢ` of one station.
+///
+/// Borrow-based: the zone does not copy the network.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_core::{Network, StationId};
+/// use sinr_geometry::Point;
+///
+/// let net = Network::uniform(
+///     vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0)], 0.0, 2.0).unwrap();
+/// let zone = net.reception_zone(StationId(0));
+/// assert!(zone.contains(Point::new(0.5, 0.0)));
+/// let profile = zone.radial_profile(180).unwrap();
+/// // Theorem 4.2: fatness ≤ (√2+1)/(√2−1) ≈ 5.83 for β = 2.
+/// assert!(profile.fatness().unwrap() <= 5.83 + 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ReceptionZone<'a> {
+    net: &'a Network,
+    i: StationId,
+}
+
+impl<'a> ReceptionZone<'a> {
+    /// Creates a handle for station `i` of `net`.
+    pub fn new(net: &'a Network, i: StationId) -> Self {
+        ReceptionZone { net, i }
+    }
+
+    /// The owning network.
+    pub fn network(&self) -> &'a Network {
+        self.net
+    }
+
+    /// The station this zone belongs to.
+    pub fn station_id(&self) -> StationId {
+        self.i
+    }
+
+    /// The station position (an interior point of the zone unless the
+    /// location is shared).
+    pub fn center(&self) -> Point {
+        self.net.position(self.i)
+    }
+
+    /// Membership test: `p ∈ Hᵢ`.
+    pub fn contains(&self, p: Point) -> bool {
+        self.net.is_heard(self.i, p)
+    }
+
+    /// True when another station shares this station's location, making
+    /// the zone degenerate (`Hᵢ = {sᵢ}`).
+    pub fn is_degenerate(&self) -> bool {
+        self.net.is_colocated(self.i)
+    }
+
+    /// Distance from `sᵢ` to the zone boundary in direction `theta`
+    /// (radians), or `None` when the zone is unbounded in that direction
+    /// (possible only in the paper's *trivial* networks).
+    ///
+    /// For uniform power and `β ≥ 1` the zone is star-shaped w.r.t. `sᵢ`
+    /// (Lemma 3.1), so this is *the* unique crossing; for `β < 1` there may
+    /// be several crossings and the one found by bracketing is returned.
+    pub fn boundary_radius(&self, theta: f64) -> Option<f64> {
+        self.boundary_radius_along(Vector::from_angle(theta))
+    }
+
+    /// Like [`ReceptionZone::boundary_radius`], but along an arbitrary
+    /// direction vector (need not be normalised; returns a distance).
+    pub fn boundary_radius_along(&self, dir: Vector) -> Option<f64> {
+        if self.is_degenerate() {
+            return Some(0.0);
+        }
+        let u = dir.normalized()?;
+        let c = self.center();
+        // Initial scale: the nearest-station distance κ is the natural unit.
+        let kappa = self.net.kappa(self.i);
+        let mut hi = kappa.max(1e-9);
+        let mut lo = 0.0;
+        // Grow until outside (the zone is bounded unless trivial).
+        let mut grew = false;
+        for _ in 0..200 {
+            if !self.contains(c + u * hi) {
+                grew = true;
+                break;
+            }
+            lo = hi;
+            hi *= 2.0;
+        }
+        if !grew {
+            return None; // unbounded (trivial network half-plane)
+        }
+        // Bisect [lo, hi] down to relative precision.
+        for _ in 0..100 {
+            let mid = 0.5 * (lo + hi);
+            if mid == lo || mid == hi {
+                break;
+            }
+            if self.contains(c + u * mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if (hi - lo) <= 1e-14 * hi.max(1.0) {
+                break;
+            }
+        }
+        Some(0.5 * (lo + hi))
+    }
+
+    /// The boundary point in direction `theta`, or `None` if unbounded.
+    pub fn boundary_point(&self, theta: f64) -> Option<Point> {
+        let r = self.boundary_radius(theta)?;
+        Some(self.center() + Vector::from_angle(theta) * r)
+    }
+
+    /// Samples the boundary radius in `samples` evenly spaced directions
+    /// and refines the extreme directions, yielding a [`RadialProfile`].
+    ///
+    /// Returns `None` when the zone is unbounded in some sampled direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn radial_profile(&self, samples: usize) -> Option<RadialProfile> {
+        assert!(samples > 0, "need at least one sample");
+        let mut radii = Vec::with_capacity(samples);
+        for k in 0..samples {
+            let theta = 2.0 * std::f64::consts::PI * k as f64 / samples as f64;
+            radii.push(self.boundary_radius(theta)?);
+        }
+        let step = 2.0 * std::f64::consts::PI / samples as f64;
+
+        // Locate sampled extremes.
+        let (mut min_idx, mut max_idx) = (0usize, 0usize);
+        for (k, r) in radii.iter().enumerate() {
+            if *r < radii[min_idx] {
+                min_idx = k;
+            }
+            if *r > radii[max_idx] {
+                max_idx = k;
+            }
+        }
+        // Golden-section refinement in the bracketing windows.
+        let refine = |idx: usize, minimize: bool| -> Option<(f64, f64)> {
+            let theta0 = idx as f64 * step;
+            let mut a = theta0 - step;
+            let mut b = theta0 + step;
+            let phi = 0.5 * (3.0 - 5f64.sqrt());
+            let mut x1 = a + phi * (b - a);
+            let mut x2 = b - phi * (b - a);
+            let mut f1 = self.boundary_radius(x1)?;
+            let mut f2 = self.boundary_radius(x2)?;
+            for _ in 0..60 {
+                let pick1 = if minimize { f1 < f2 } else { f1 > f2 };
+                if pick1 {
+                    b = x2;
+                    x2 = x1;
+                    f2 = f1;
+                    x1 = a + phi * (b - a);
+                    f1 = self.boundary_radius(x1)?;
+                } else {
+                    a = x1;
+                    x1 = x2;
+                    f1 = f2;
+                    x2 = b - phi * (b - a);
+                    f2 = self.boundary_radius(x2)?;
+                }
+                if (b - a).abs() < 1e-12 {
+                    break;
+                }
+            }
+            let theta = 0.5 * (a + b);
+            Some((theta, self.boundary_radius(theta)?))
+        };
+        let (theta_min, r_min) = refine(min_idx, true)?;
+        let (theta_max, r_max) = refine(max_idx, false)?;
+        let delta = r_min.min(radii[min_idx]);
+        let big_delta = r_max.max(radii[max_idx]);
+
+        Some(RadialProfile {
+            radii,
+            delta,
+            delta_theta: theta_min,
+            big_delta,
+            big_delta_theta: theta_max,
+        })
+    }
+
+    /// A polygonal approximation of the zone boundary with `samples`
+    /// vertices (counter-clockwise), or `None` when the zone is unbounded.
+    pub fn boundary_polygon(&self, samples: usize) -> Option<Vec<Point>> {
+        assert!(samples >= 3, "need at least 3 vertices");
+        let c = self.center();
+        let mut pts = Vec::with_capacity(samples);
+        for k in 0..samples {
+            let theta = 2.0 * std::f64::consts::PI * k as f64 / samples as f64;
+            let r = self.boundary_radius(theta)?;
+            pts.push(c + Vector::from_angle(theta) * r);
+        }
+        Some(pts)
+    }
+
+    /// Shoelace-estimated zone area from a boundary polygon of `samples`
+    /// vertices. Exact in the limit; for convex zones the polygon is
+    /// inscribed, so this is a (tight) underestimate.
+    pub fn area_estimate(&self, samples: usize) -> Option<f64> {
+        let pts = self.boundary_polygon(samples)?;
+        let n = pts.len();
+        let mut acc = 0.0;
+        for k in 0..n {
+            let p = pts[k];
+            let q = pts[(k + 1) % n];
+            acc += p.x * q.y - q.x * p.y;
+        }
+        Some(0.5 * acc.abs())
+    }
+
+    /// Estimated boundary length from a polygon of `samples` vertices.
+    pub fn perimeter_estimate(&self, samples: usize) -> Option<f64> {
+        let pts = self.boundary_polygon(samples)?;
+        let n = pts.len();
+        Some((0..n).map(|k| pts[k].dist(pts[(k + 1) % n])).sum())
+    }
+
+    /// The fatness parameter `φ(sᵢ, Hᵢ) = Δ/δ` computed from a profile of
+    /// [`DEFAULT_RAY_SAMPLES`] directions. `None` when the zone is
+    /// unbounded or degenerate (where `φ` is undefined, as in a trivial
+    /// network — footnote 4 of the paper).
+    pub fn fatness(&self) -> Option<f64> {
+        self.radial_profile(DEFAULT_RAY_SAMPLES)?.fatness()
+    }
+}
+
+/// A sampled radial description of a reception zone: boundary radii in
+/// evenly spaced directions plus refined extreme radii.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadialProfile {
+    radii: Vec<f64>,
+    delta: f64,
+    delta_theta: f64,
+    big_delta: f64,
+    big_delta_theta: f64,
+}
+
+impl RadialProfile {
+    /// The sampled radii (direction `k` is at angle `2πk/samples`).
+    pub fn radii(&self) -> &[f64] {
+        &self.radii
+    }
+
+    /// `δ` — the largest inscribed-ball radius found.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The direction (radians) achieving `δ`.
+    pub fn delta_direction(&self) -> f64 {
+        self.delta_theta
+    }
+
+    /// `Δ` — the smallest enclosing-ball radius found.
+    pub fn big_delta(&self) -> f64 {
+        self.big_delta
+    }
+
+    /// The direction (radians) achieving `Δ`.
+    pub fn big_delta_direction(&self) -> f64 {
+        self.big_delta_theta
+    }
+
+    /// The fatness parameter `φ = Δ/δ`, or `None` for a degenerate zone
+    /// (`δ = 0`).
+    pub fn fatness(&self) -> Option<f64> {
+        if self.delta > 0.0 {
+            Some(self.big_delta / self.delta)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+
+    fn two_station_net(beta: f64) -> Network {
+        Network::uniform(vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0)], 0.0, beta).unwrap()
+    }
+
+    #[test]
+    fn two_station_boundary_exact() {
+        // β = 2, stations at 0 and 4. Along +x the boundary solves
+        // (4−r)/r = √2 ⇒ r = 4/(1+√2); along −x, (4+r)/r = √2 ⇒ r = 4/(√2−1).
+        let net = two_station_net(2.0);
+        let zone = net.reception_zone(StationId(0));
+        let r_toward = zone.boundary_radius(0.0).unwrap();
+        let r_away = zone.boundary_radius(std::f64::consts::PI).unwrap();
+        assert!(
+            (r_toward - 4.0 / (1.0 + 2f64.sqrt())).abs() < 1e-9,
+            "{r_toward}"
+        );
+        assert!(
+            (r_away - 4.0 / (2f64.sqrt() - 1.0)).abs() < 1e-9,
+            "{r_away}"
+        );
+        // Lemma 4.3 equality case (ψ1 = 1): Δ/δ = (√β+1)/(√β−1).
+        let expect = (2f64.sqrt() + 1.0) / (2f64.sqrt() - 1.0);
+        assert!((r_away / r_toward - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_extremes_match_geometry() {
+        let net = two_station_net(2.0);
+        let zone = net.reception_zone(StationId(0));
+        let profile = zone.radial_profile(256).unwrap();
+        // δ is toward the interferer (θ = 0), Δ away (θ = π).
+        assert!((profile.delta() - 4.0 / (1.0 + 2f64.sqrt())).abs() < 1e-6);
+        assert!((profile.big_delta() - 4.0 / (2f64.sqrt() - 1.0)).abs() < 1e-6);
+        let d = profile
+            .delta_direction()
+            .rem_euclid(2.0 * std::f64::consts::PI);
+        assert!(
+            !(0.1..=2.0 * std::f64::consts::PI - 0.1).contains(&d),
+            "δ direction {d}"
+        );
+        let big = profile
+            .big_delta_direction()
+            .rem_euclid(2.0 * std::f64::consts::PI);
+        assert!(
+            (big - std::f64::consts::PI).abs() < 0.1,
+            "Δ direction {big}"
+        );
+    }
+
+    #[test]
+    fn fatness_bound_respected() {
+        // Theorem 4.2: φ ≤ (√β+1)/(√β−1).
+        for beta in [1.5, 2.0, 4.0, 6.0, 10.0] {
+            let net = two_station_net(beta);
+            let phi = net.reception_zone(StationId(0)).fatness().unwrap();
+            let bound = (beta.sqrt() + 1.0) / (beta.sqrt() - 1.0);
+            assert!(phi <= bound + 1e-6, "β={beta}: φ={phi} > bound={bound}");
+            // Two equal stations achieve the bound exactly (Lemma 4.3).
+            assert!(phi >= bound - 1e-3, "β={beta}: φ={phi} ≪ bound={bound}");
+        }
+    }
+
+    #[test]
+    fn trivial_network_unbounded() {
+        let net = two_station_net(1.0); // trivial: half-plane zones
+        let zone = net.reception_zone(StationId(0));
+        // Toward the other station the boundary exists (the bisector)…
+        assert!(zone.boundary_radius(0.0).is_some());
+        // …but away from it the zone is unbounded.
+        assert!(zone.boundary_radius(std::f64::consts::PI).is_none());
+        assert!(zone.radial_profile(16).is_none());
+        assert!(zone.fatness().is_none());
+    }
+
+    #[test]
+    fn degenerate_zone_is_a_point() {
+        let net = Network::uniform(
+            vec![Point::ORIGIN, Point::ORIGIN, Point::new(3.0, 0.0)],
+            0.0,
+            2.0,
+        )
+        .unwrap();
+        let zone = net.reception_zone(StationId(0));
+        assert!(zone.is_degenerate());
+        assert_eq!(zone.boundary_radius(1.0), Some(0.0));
+        let profile = zone.radial_profile(8).unwrap();
+        assert_eq!(profile.delta(), 0.0);
+        assert!(profile.fatness().is_none());
+    }
+
+    #[test]
+    fn noise_only_zone_is_a_disc() {
+        // Two stations far apart with noise: near s0 the zone is nearly the
+        // noise-limited disc of radius 1/√(βN).
+        let net = Network::uniform(
+            vec![Point::new(0.0, 0.0), Point::new(1000.0, 0.0)],
+            0.01,
+            4.0,
+        )
+        .unwrap();
+        let zone = net.reception_zone(StationId(0));
+        let ideal = 1.0 / (4.0 * 0.01f64).sqrt(); // 5.0
+        let profile = zone.radial_profile(64).unwrap();
+        assert!(
+            (profile.delta() - ideal).abs() < 0.05,
+            "δ={}",
+            profile.delta()
+        );
+        assert!((profile.big_delta() - ideal).abs() < 0.05);
+        // Nearly round: fatness ≈ 1.
+        assert!(profile.fatness().unwrap() < 1.02);
+    }
+
+    #[test]
+    fn area_and_perimeter_of_round_zone() {
+        let net = Network::uniform(
+            vec![Point::new(0.0, 0.0), Point::new(1000.0, 0.0)],
+            0.01,
+            4.0,
+        )
+        .unwrap();
+        let zone = net.reception_zone(StationId(0));
+        let r = 5.0_f64; // noise-limited radius, see above
+        let area = zone.area_estimate(512).unwrap();
+        let per = zone.perimeter_estimate(512).unwrap();
+        assert!(
+            (area - std::f64::consts::PI * r * r).abs() < 0.3,
+            "area {area}"
+        );
+        assert!(
+            (per - 2.0 * std::f64::consts::PI * r).abs() < 0.1,
+            "perimeter {per}"
+        );
+    }
+
+    #[test]
+    fn boundary_points_are_on_the_boundary() {
+        let net = Network::uniform(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(3.0, 1.0),
+                Point::new(-1.0, 4.0),
+            ],
+            0.02,
+            2.5,
+        )
+        .unwrap();
+        let zone = net.reception_zone(StationId(0));
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            let p = zone.boundary_point(theta).unwrap();
+            let s = net.sinr(StationId(0), p);
+            assert!(
+                (s - net.beta()).abs() < 1e-6 * net.beta(),
+                "SINR at boundary point should equal β: {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn zone_contains_matches_network() {
+        let net = two_station_net(2.0);
+        let zone = net.reception_zone(StationId(1));
+        for k in 0..40 {
+            let p = Point::new(k as f64 * 0.2, 0.3);
+            assert_eq!(zone.contains(p), net.is_heard(StationId(1), p));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_samples_panics() {
+        let net = two_station_net(2.0);
+        let _ = net.reception_zone(StationId(0)).radial_profile(0);
+    }
+}

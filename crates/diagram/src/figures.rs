@@ -1,0 +1,318 @@
+//! The paper's numerically generated figures as reproducible scenes.
+//!
+//! Each scene bundles the network (or model pair), the receiver point and
+//! the *narrated outcome* from the paper, so the reproduction harness can
+//! assert the qualitative claim and regenerate the diagram. The station
+//! coordinates are ours (the paper prints plots, not coordinates); what is
+//! reproduced is the *phenomenon* each figure demonstrates.
+
+use sinr_core::{Network, StationId};
+use sinr_geometry::{BBox, Point};
+use sinr_graphs::ProtocolModel;
+
+/// The three-panel dynamic-reception scenario of **Figure 1**.
+///
+/// * Panel A: receiver `p` hears `s2`;
+/// * Panel B: `s1` moves next to `p` — now nothing is heard at `p`;
+/// * Panel C: same placement as B but `s3` silent — `p` hears `s1`.
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// Panel A network (`s1` far away).
+    pub panel_a: Network,
+    /// Panel B network (`s1` moved next to `p`).
+    pub panel_b: Network,
+    /// Panel C network (panel B with `s3` removed; note the station
+    /// indices shift: `s1 → 0`, `s2 → 1`).
+    pub panel_c: Network,
+    /// The receiver.
+    pub receiver: Point,
+    /// The plotting window used by the paper (−6..6).
+    pub window: BBox,
+}
+
+/// Builds the Figure 1 scene.
+///
+/// Index convention: station 0 is the paper's `s1`, 1 is `s2`, 2 is `s3`.
+pub fn figure1() -> Figure1 {
+    let receiver = Point::new(0.8, -1.0);
+    let s2 = Point::new(1.8, -1.0);
+    let s3 = Point::new(2.2, 0.0);
+    let s1_a = Point::new(-4.0, 2.5);
+    let s1_b = Point::new(0.8, -0.233);
+    let build = |s1: Point, with_s3: bool| {
+        let mut pts = vec![s1, s2];
+        if with_s3 {
+            pts.push(s3);
+        }
+        Network::uniform(pts, 0.02, 1.5).expect("valid figure network")
+    };
+    Figure1 {
+        panel_a: build(s1_a, true),
+        panel_b: build(s1_b, true),
+        panel_c: build(s1_b, false),
+        receiver,
+        window: BBox::centered_square(6.0),
+    }
+}
+
+/// The cumulative-interference scenario of **Figure 2**: in the UDG
+/// diagram `p` hears `s1`; in the SINR diagram the combined interference
+/// of `s2, s3, s4` (each individually outside `p`'s unit disk) silences
+/// it — the graph model's *false positive*.
+#[derive(Debug, Clone)]
+pub struct Figure2 {
+    /// The four-station SINR network (`s1` is station 0).
+    pub network: Network,
+    /// The UDG / protocol model over the same stations.
+    pub udg: ProtocolModel,
+    /// The receiver.
+    pub receiver: Point,
+    /// The plotting window used by the paper (−10..10).
+    pub window: BBox,
+}
+
+/// Builds the Figure 2 scene.
+pub fn figure2() -> Figure2 {
+    let positions = vec![
+        Point::new(0.8, 0.0),  // s1: inside p's unit disk
+        Point::new(-1.3, 0.0), // s2..s4: just outside it
+        Point::new(0.0, 1.3),
+        Point::new(0.0, -1.3),
+    ];
+    Figure2 {
+        network: Network::uniform(positions.clone(), 0.02, 1.2).expect("valid figure network"),
+        udg: ProtocolModel::new(positions, 1.0),
+        receiver: Point::new(0.0, 0.0),
+        window: BBox::centered_square(10.0),
+    }
+}
+
+/// One step of the **Figures 3–4** progression: which stations transmit,
+/// and what each model delivers at the receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Figure34Step {
+    /// Step number (1–4), matching the paper's narration.
+    pub step: usize,
+    /// Transmit mask over the four stations.
+    pub transmitting: Vec<bool>,
+    /// Expected reception under the UDG / protocol model.
+    pub expected_udg: Option<StationId>,
+    /// Expected reception under the SINR model.
+    pub expected_sinr: Option<StationId>,
+}
+
+/// The full Figures 3–4 scene: four stations joining one at a time.
+#[derive(Debug, Clone)]
+pub struct Figure34 {
+    /// The four-station SINR network.
+    pub network: Network,
+    /// The UDG / protocol model over the same stations.
+    pub udg: ProtocolModel,
+    /// The receiver.
+    pub receiver: Point,
+    /// The four steps with the paper's narrated outcomes:
+    /// 1. only `s1`: both models deliver `s1`;
+    /// 2. `+s2`: UDG collides (none), SINR still delivers `s1` — *false
+    ///    negative*;
+    /// 3. `+s3`: UDG none, SINR delivers `s3`;
+    /// 4. `+s4`: the models change differently again (here: UDG unchanged,
+    ///    SINR loses `s3` to the added interference).
+    pub steps: Vec<Figure34Step>,
+    /// The plotting window used by the paper (−8..8, approximately).
+    pub window: BBox,
+}
+
+/// Builds the Figures 3–4 scene.
+pub fn figure34() -> Figure34 {
+    let positions = vec![
+        Point::new(0.7, 0.0),     // s1
+        Point::new(-0.9, 0.0),    // s2
+        Point::new(0.35, 0.244),  // s3 (close to p)
+        Point::new(-0.66, -0.88), // s4 (outside p's disk, strong interferer)
+    ];
+    let network = Network::uniform(positions.clone(), 0.02, 1.5).expect("valid figure network");
+    let udg = ProtocolModel::new(positions, 1.0);
+    let steps = vec![
+        Figure34Step {
+            step: 1,
+            transmitting: vec![true, false, false, false],
+            expected_udg: Some(StationId(0)),
+            expected_sinr: Some(StationId(0)),
+        },
+        Figure34Step {
+            step: 2,
+            transmitting: vec![true, true, false, false],
+            expected_udg: None,
+            expected_sinr: Some(StationId(0)),
+        },
+        Figure34Step {
+            step: 3,
+            transmitting: vec![true, true, true, false],
+            expected_udg: None,
+            expected_sinr: Some(StationId(2)),
+        },
+        Figure34Step {
+            step: 4,
+            transmitting: vec![true, true, true, true],
+            expected_udg: None,
+            expected_sinr: None,
+        },
+    ];
+    Figure34 {
+        network,
+        udg,
+        receiver: Point::new(0.0, 0.0),
+        steps,
+        window: BBox::centered_square(8.0),
+    }
+}
+
+/// The non-convexity counterexample of **Figure 5**: a uniform power
+/// network with `β = 0.3 < 1` and `N = 0.05` whose reception zones are
+/// "clearly non-convex".
+#[derive(Debug, Clone)]
+pub struct Figure5 {
+    /// The three-station network with `β < 1`.
+    pub network: Network,
+    /// The plotting window used by the paper (−8..8, approximately).
+    pub window: BBox,
+}
+
+/// Builds the Figure 5 scene (the paper's parameters: `β = 0.3`,
+/// `N = 0.05`, `α = 2`, uniform power).
+pub fn figure5() -> Figure5 {
+    Figure5 {
+        network: Network::uniform(
+            vec![
+                Point::new(-2.0, 1.0),
+                Point::new(2.5, 1.2),
+                Point::new(0.0, -2.0),
+            ],
+            0.05,
+            0.3,
+        )
+        .expect("valid figure network"),
+        window: BBox::centered_square(8.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_narrative_holds() {
+        let fig = figure1();
+        // Panel A: p hears s2 (index 1).
+        assert_eq!(fig.panel_a.heard_at(fig.receiver), Some(StationId(1)));
+        // Panel B: nothing is heard.
+        assert_eq!(fig.panel_b.heard_at(fig.receiver), None);
+        // Panel C: with s3 silenced, p hears s1 (index 0).
+        assert_eq!(fig.panel_c.heard_at(fig.receiver), Some(StationId(0)));
+        // The panels only differ as described.
+        assert_eq!(fig.panel_b.len(), 3);
+        assert_eq!(fig.panel_c.len(), 2);
+        assert_eq!(
+            fig.panel_b.position(StationId(0)),
+            fig.panel_c.position(StationId(0))
+        );
+    }
+
+    #[test]
+    fn figure2_false_positive_holds() {
+        let fig = figure2();
+        let all = vec![true; 4];
+        assert_eq!(
+            fig.udg.heard_at(&all, fig.receiver),
+            Some(0),
+            "UDG: p hears s1"
+        );
+        assert_eq!(
+            fig.network.heard_at(fig.receiver),
+            None,
+            "SINR: cumulative silence"
+        );
+        // Each interferer alone would not stop reception (it is the sum
+        // that matters — the point of the figure).
+        for silent in 1..4 {
+            let mut pts = fig.network.positions().to_vec();
+            pts.remove(silent);
+            let reduced = Network::uniform(pts, fig.network.noise(), fig.network.beta()).unwrap();
+            // With any single interferer removed, s1 gets through again.
+            assert_eq!(
+                reduced.heard_at(fig.receiver),
+                Some(StationId(0)),
+                "removing s{} should restore reception",
+                silent + 1
+            );
+        }
+    }
+
+    #[test]
+    fn figure34_steps_hold() {
+        let fig = figure34();
+        for step in &fig.steps {
+            let udg = fig
+                .udg
+                .heard_at(&step.transmitting, fig.receiver)
+                .map(StationId);
+            assert_eq!(udg, step.expected_udg, "UDG at step {}", step.step);
+            // SINR over the transmitting subset.
+            let active: Vec<Point> = fig
+                .network
+                .positions()
+                .iter()
+                .zip(step.transmitting.iter())
+                .filter_map(|(p, tx)| tx.then_some(*p))
+                .collect();
+            let sinr = if active.len() >= 2 {
+                let sub =
+                    Network::uniform(active, fig.network.noise(), fig.network.beta()).unwrap();
+                sub.heard_at(fig.receiver).map(|sub_id| {
+                    // map back to original indices
+                    let mut seen = 0usize;
+                    let mut orig = 0usize;
+                    for (idx, tx) in step.transmitting.iter().enumerate() {
+                        if *tx {
+                            if seen == sub_id.index() {
+                                orig = idx;
+                                break;
+                            }
+                            seen += 1;
+                        }
+                    }
+                    StationId(orig)
+                })
+            } else {
+                // Single transmitter: reception iff solo SINR (signal over
+                // noise) clears β.
+                let d2 = fig.network.position(StationId(0)).dist_sq(fig.receiver);
+                ((1.0 / d2) / fig.network.noise() >= fig.network.beta()).then_some(StationId(0))
+            };
+            assert_eq!(sinr, step.expected_sinr, "SINR at step {}", step.step);
+        }
+    }
+
+    #[test]
+    fn figure34_shows_false_negative() {
+        // Step 2 is the canonical false negative: UDG silent, SINR delivers.
+        let fig = figure34();
+        let step2 = &fig.steps[1];
+        assert_eq!(step2.expected_udg, None);
+        assert_eq!(step2.expected_sinr, Some(StationId(0)));
+    }
+
+    #[test]
+    fn figure5_zones_nonconvex() {
+        let fig = figure5();
+        assert!(fig.network.beta() < 1.0);
+        let mut violations = 0usize;
+        for i in fig.network.ids() {
+            let zone = fig.network.reception_zone(i);
+            if let Some(report) = sinr_core::convexity::check_zone_convexity(&zone, 48, 24, 1e-7) {
+                violations += report.violations.len();
+            }
+        }
+        assert!(violations > 0, "Figure 5 zones must exhibit non-convexity");
+    }
+}

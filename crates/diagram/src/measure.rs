@@ -1,0 +1,177 @@
+//! Raster-level measurements.
+//!
+//! Independent cross-checks for the analytic machinery: zone areas from
+//! pixel counting, and a *convexity defect* comparing a zone's pixel set
+//! against its convex hull — a second, geometry-free way to observe
+//! Theorem 1 (defect ≈ 0 for `β ≥ 1`) and Figure 5 (positive defect for
+//! `β < 1`).
+//!
+//! Two entry points:
+//!
+//! * [`measure_zone`] samples the zone membership predicate `p ∈ Hᵢ`
+//!   directly — the right tool for zone geometry, including `β < 1`
+//!   where zones overlap and a labelled diagram would show only the
+//!   strongest station;
+//! * [`measure_zone_map`] measures a labelled [`ReceptionMap`] region —
+//!   the right tool for diagram statistics.
+
+use crate::raster::{Raster, ReceptionMap};
+use sinr_core::{Network, StationId};
+use sinr_geometry::{convex_hull, BBox, Point};
+
+/// Raster measurements of one station's zone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneMeasure {
+    /// Number of pixels in the zone.
+    pub pixels: usize,
+    /// Pixel-count area estimate.
+    pub area: f64,
+    /// Area of the convex hull of the zone's pixel centres.
+    pub hull_area: f64,
+    /// Convexity defect `(hull_area − area)/hull_area` — near 0 for a
+    /// convex zone (up to pixelisation), positive for dented zones.
+    pub convexity_defect: f64,
+}
+
+fn measure_points(pts: Vec<Point>, pixel_area: f64) -> Option<ZoneMeasure> {
+    if pts.len() < 3 {
+        return None;
+    }
+    let pixels = pts.len();
+    let area = pixels as f64 * pixel_area;
+    let hull = convex_hull(&pts)?;
+    let hull_area = hull.area();
+    let defect = ((hull_area - area) / hull_area).max(0.0);
+    Some(ZoneMeasure {
+        pixels,
+        area,
+        hull_area,
+        convexity_defect: defect,
+    })
+}
+
+/// Measures the reception zone `Hᵢ` by sampling `res × res` membership
+/// tests over `window`.
+///
+/// Returns `None` when fewer than 3 sample points fall inside the zone.
+pub fn measure_zone(net: &Network, i: StationId, window: BBox, res: usize) -> Option<ZoneMeasure> {
+    let mask: Raster<bool> = Raster::compute_with(window, res, res, |p| net.is_heard(i, p));
+    let pts: Vec<Point> = mask
+        .iter()
+        .filter(|(_, _, inside)| *inside)
+        .map(|(c, r, _)| mask.pixel_center(c, r))
+        .collect();
+    measure_points(pts, mask.pixel_area())
+}
+
+/// Measures station `i`'s labelled region on a reception map (the pixels
+/// where `i` is the station heard — for `β > 1` this *is* the zone, for
+/// `β ≤ 1` it is the strongest-station region).
+///
+/// Returns `None` when the region has fewer than 3 pixels.
+pub fn measure_zone_map(map: &ReceptionMap, i: StationId) -> Option<ZoneMeasure> {
+    let pts: Vec<Point> = map
+        .iter()
+        .filter(|(_, _, l)| l.station() == Some(i))
+        .map(|(c, r, _)| map.pixel_center(c, r))
+        .collect();
+    measure_points(pts, map.pixel_area())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raster::ReceptionMap;
+    use sinr_core::Network;
+
+    #[test]
+    fn convex_zone_has_tiny_defect() {
+        let net = Network::uniform(
+            vec![
+                Point::new(-2.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(0.0, 3.0),
+            ],
+            0.01,
+            2.0,
+        )
+        .unwrap();
+        // Window large enough to contain every zone (Δ ≤ κ/(√β−1) ≈ 9.7
+        // around each station).
+        let window = BBox::centered_square(14.0);
+        for i in net.ids() {
+            let m = measure_zone(&net, i, window, 301).expect("zone visible");
+            assert!(
+                m.convexity_defect < 0.03,
+                "{i}: defect {} (area {}, hull {})",
+                m.convexity_defect,
+                m.area,
+                m.hull_area
+            );
+        }
+    }
+
+    #[test]
+    fn figure5_zone_has_visible_defect() {
+        let fig = crate::figures::figure5();
+        // β = 0.3, N = 0.05: the noise-limited radius is 1/√(βN) ≈ 8.2, so
+        // sample a window that contains the zones.
+        let window = BBox::centered_square(12.0);
+        let worst = |net: &Network| {
+            net.ids()
+                .filter_map(|i| measure_zone(net, i, window, 301))
+                .map(|m| m.convexity_defect)
+                .fold(0.0f64, f64::max)
+        };
+        let defect_low_beta = worst(&fig.network);
+        // Self-calibrate against the same station geometry with β > 1
+        // (convex by Theorem 1): any defect there is pixelisation noise.
+        let convex_ref =
+            Network::uniform(fig.network.positions().to_vec(), fig.network.noise(), 1.2).unwrap();
+        let noise_floor = worst(&convex_ref);
+        assert!(
+            defect_low_beta > 3.0 * noise_floor && defect_low_beta > 0.005,
+            "β < 1 defect {defect_low_beta} should clearly exceed the convex noise floor {noise_floor}"
+        );
+    }
+
+    #[test]
+    fn raster_area_matches_analytic() {
+        let net =
+            Network::uniform(vec![Point::new(-2.0, 0.0), Point::new(2.0, 0.0)], 0.0, 3.0).unwrap();
+        // H0 extends to Δ = 4/(√3−1) ≈ 5.46 from s0 = (−2, 0).
+        let window = BBox::centered_square(9.0);
+        let m = measure_zone(&net, StationId(0), window, 401).unwrap();
+        let analytic = net.reception_zone(StationId(0)).area_estimate(512).unwrap();
+        assert!(
+            (m.area - analytic).abs() < 0.05 * analytic,
+            "raster {} vs analytic {analytic}",
+            m.area
+        );
+    }
+
+    #[test]
+    fn map_and_direct_agree_for_beta_over_one() {
+        // For β > 1 the labelled region equals the zone.
+        let net =
+            Network::uniform(vec![Point::new(-2.0, 0.0), Point::new(2.0, 0.0)], 0.05, 2.0).unwrap();
+        let window = BBox::centered_square(8.0);
+        let map = ReceptionMap::compute(&net, window, 201, 201);
+        for i in net.ids() {
+            let a = measure_zone(&net, i, window, 201).unwrap();
+            let b = measure_zone_map(&map, i).unwrap();
+            assert_eq!(a.pixels, b.pixels, "{i}");
+        }
+    }
+
+    #[test]
+    fn invisible_zone_returns_none() {
+        let net =
+            Network::uniform(vec![Point::new(-2.0, 0.0), Point::new(2.0, 0.0)], 0.0, 3.0).unwrap();
+        // Window far away from both zones.
+        let window = BBox::new(Point::new(50.0, 50.0), Point::new(60.0, 60.0));
+        assert!(measure_zone(&net, StationId(0), window, 50).is_none());
+        let map = ReceptionMap::compute(&net, window, 50, 50);
+        assert!(measure_zone_map(&map, StationId(0)).is_none());
+    }
+}

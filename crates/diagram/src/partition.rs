@@ -1,0 +1,217 @@
+//! Rendering the Theorem 3 partition — the paper's **Figure 6**.
+//!
+//! Figure 6 shows the plane partitioned into the guaranteed-reception
+//! zones `Hᵢ⁺` (dark gray in the paper), the uncertainty bands `Hᵢ?`
+//! (light gray) and the guaranteed-silent remainder `H⁻` (white). This
+//! module rasterises exactly that partition from a built
+//! [`PointLocator`].
+
+use crate::raster::Raster;
+use sinr_core::Network;
+use sinr_geometry::BBox;
+use sinr_pointloc::{Located, PointLocator};
+use std::io::{self, Write};
+
+/// A rasterised Theorem 3 partition (`Located` per pixel).
+pub type PartitionMap = Raster<Located>;
+
+/// Rasterises the point-location partition over a window.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_core::Network;
+/// use sinr_diagram::partition;
+/// use sinr_geometry::{BBox, Point};
+/// use sinr_pointloc::{PointLocator, QdsConfig};
+///
+/// let net = Network::uniform(
+///     vec![Point::new(-2.0, 0.0), Point::new(2.0, 0.0)], 0.05, 2.0).unwrap();
+/// let ds = PointLocator::build(&net, &QdsConfig::with_epsilon(0.3)).unwrap();
+/// let map = partition::compute(&ds, BBox::centered_square(5.0), 64, 32);
+/// let art = partition::ascii(&map);
+/// assert_eq!(art.lines().count(), 32);
+/// ```
+pub fn compute(ds: &PointLocator, window: BBox, width: usize, height: usize) -> PartitionMap {
+    Raster::compute_with(window, width, height, |p| ds.locate(p))
+}
+
+/// ASCII rendering of a partition: station digit for `Hᵢ⁺`, `?` for the
+/// uncertainty bands, `.` for `H⁻` — the text analogue of Figure 6's
+/// dark-gray / light-gray / white.
+pub fn ascii(map: &PartitionMap) -> String {
+    let mut out = String::with_capacity((map.width() + 1) * map.height());
+    for row in (0..map.height()).rev() {
+        for col in 0..map.width() {
+            out.push(match map.at(col, row) {
+                Located::Silent => '.',
+                Located::Uncertain(_) => '?',
+                Located::Reception(i) => {
+                    let digits = b"0123456789abcdefghijklmnopqrstuvwxyz";
+                    *digits.get(i.index()).unwrap_or(&b'#') as char
+                }
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the partition as a colour PPM: zone hues for `Hᵢ⁺`, light gray
+/// for `Hᵢ?`, white for `H⁻` (Figure 6's colour scheme).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_ppm<W: Write>(map: &PartitionMap, mut w: W) -> io::Result<()> {
+    writeln!(w, "P3")?;
+    writeln!(w, "{} {}", map.width(), map.height())?;
+    writeln!(w, "255")?;
+    for row in (0..map.height()).rev() {
+        for col in 0..map.width() {
+            let (r, g, b) = match map.at(col, row) {
+                Located::Silent => (255, 255, 255),
+                Located::Uncertain(_) => (210, 210, 210),
+                Located::Reception(i) => {
+                    const COLORS: [(u8, u8, u8); 8] = [
+                        (60, 90, 160),
+                        (160, 100, 40),
+                        (70, 130, 70),
+                        (150, 60, 60),
+                        (110, 80, 140),
+                        (100, 80, 70),
+                        (160, 90, 140),
+                        (90, 90, 90),
+                    ];
+                    COLORS[i.index() % COLORS.len()]
+                }
+            };
+            writeln!(w, "{r} {g} {b}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Per-class pixel statistics of a partition map, cross-checkable against
+/// the analytic guarantees.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionCounts {
+    /// Pixels in some `Hᵢ⁺`.
+    pub reception: usize,
+    /// Pixels in some `Hᵢ?`.
+    pub uncertain: usize,
+    /// Pixels in `H⁻`.
+    pub silent: usize,
+}
+
+impl PartitionCounts {
+    /// Total pixels counted.
+    pub fn total(&self) -> usize {
+        self.reception + self.uncertain + self.silent
+    }
+
+    /// Fraction of pixels that are uncertain.
+    pub fn uncertain_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.uncertain as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Counts the partition classes over a map.
+pub fn counts(map: &PartitionMap) -> PartitionCounts {
+    let mut c = PartitionCounts::default();
+    for (_, _, l) in map.iter() {
+        match l {
+            Located::Reception(_) => c.reception += 1,
+            Located::Uncertain(_) => c.uncertain += 1,
+            Located::Silent => c.silent += 1,
+        }
+    }
+    c
+}
+
+/// Sanity-checks a partition map against direct SINR evaluation:
+/// every `Reception` pixel must be heard, every `Silent` pixel must not.
+/// Returns the number of violations (0 when Theorem 3's guarantees hold).
+pub fn verify_against(map: &PartitionMap, net: &Network) -> usize {
+    let mut violations = 0usize;
+    for (col, row, l) in map.iter() {
+        let p = map.pixel_center(col, row);
+        match l {
+            Located::Reception(i) => {
+                if !net.is_heard(i, p) {
+                    violations += 1;
+                }
+            }
+            Located::Silent => {
+                if net.heard_at(p).is_some() {
+                    violations += 1;
+                }
+            }
+            Located::Uncertain(_) => {}
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::Point;
+    use sinr_pointloc::QdsConfig;
+
+    fn setup() -> (Network, PointLocator) {
+        let net = Network::uniform(
+            vec![
+                Point::new(-2.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(0.0, 3.0),
+            ],
+            0.02,
+            2.0,
+        )
+        .unwrap();
+        let ds = PointLocator::build(&net, &QdsConfig::with_epsilon(0.3)).unwrap();
+        (net, ds)
+    }
+
+    #[test]
+    fn figure6_partition_is_sound() {
+        let (net, ds) = setup();
+        let map = compute(&ds, BBox::centered_square(6.0), 121, 121);
+        assert_eq!(
+            verify_against(&map, &net),
+            0,
+            "Theorem 3 guarantees violated"
+        );
+        let c = counts(&map);
+        assert!(c.reception > 0 && c.silent > 0 && c.uncertain > 0);
+        // The uncertainty bands are thin relative to the picture.
+        assert!(c.uncertain_fraction() < 0.2, "{}", c.uncertain_fraction());
+    }
+
+    #[test]
+    fn ascii_legend() {
+        let (_, ds) = setup();
+        let map = compute(&ds, BBox::centered_square(6.0), 48, 24);
+        let art = ascii(&map);
+        assert_eq!(art.lines().count(), 24);
+        assert!(art.contains('0'));
+        assert!(art.contains('?'));
+        assert!(art.contains('.'));
+    }
+
+    #[test]
+    fn ppm_has_pixel_triples() {
+        let (_, ds) = setup();
+        let map = compute(&ds, BBox::centered_square(6.0), 16, 8);
+        let mut buf = Vec::new();
+        write_ppm(&map, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("P3\n16 8\n255\n"));
+        assert_eq!(text.lines().count(), 3 + 16 * 8);
+    }
+}

@@ -1,0 +1,191 @@
+//! Text and image renderers for reception maps.
+//!
+//! All formats are dependency-free: ASCII art for terminals and tests,
+//! PPM (P3) / PGM (P2) for image viewers, CSV for plotting tools.
+
+use crate::raster::{PixelLabel, ReceptionMap};
+use std::io::{self, Write};
+
+/// Characters used for ASCII rendering: `.` for silence, then one symbol
+/// per station.
+const STATION_CHARS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+
+/// Renders a reception map as ASCII art (top row first).
+///
+/// Stations beyond the 36th all render as `#`.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_core::Network;
+/// use sinr_diagram::{render, ReceptionMap};
+/// use sinr_geometry::{BBox, Point};
+///
+/// let net = Network::uniform(
+///     vec![Point::new(-2.0, 0.0), Point::new(2.0, 0.0)], 0.0, 2.0).unwrap();
+/// let map = ReceptionMap::compute(&net, BBox::centered_square(4.0), 20, 10);
+/// let art = render::ascii(&map);
+/// assert_eq!(art.lines().count(), 10);
+/// assert!(art.contains('0') && art.contains('1') && art.contains('.'));
+/// ```
+pub fn ascii(map: &ReceptionMap) -> String {
+    let mut out = String::with_capacity((map.width() + 1) * map.height());
+    for row in (0..map.height()).rev() {
+        for col in 0..map.width() {
+            let ch = match map.at(col, row) {
+                PixelLabel::Silent => '.',
+                PixelLabel::Heard(i) => *STATION_CHARS.get(i.index()).unwrap_or(&b'#') as char,
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a colour PPM (P3) image of the map to `w`.
+///
+/// Stations get distinct hues; silence is white. A `&mut Vec<u8>` or any
+/// other writer can be passed by mutable reference.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_ppm<W: Write>(map: &ReceptionMap, mut w: W) -> io::Result<()> {
+    writeln!(w, "P3")?;
+    writeln!(w, "{} {}", map.width(), map.height())?;
+    writeln!(w, "255")?;
+    for row in (0..map.height()).rev() {
+        for col in 0..map.width() {
+            let (r, g, b) = match map.at(col, row) {
+                PixelLabel::Silent => (255, 255, 255),
+                PixelLabel::Heard(i) => palette(i.index()),
+            };
+            writeln!(w, "{r} {g} {b}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes a grayscale PGM (P2) image: silence is white (255), station `i`
+/// is a gray level spreading the dynamic range over the stations.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_pgm<W: Write>(map: &ReceptionMap, n_stations: usize, mut w: W) -> io::Result<()> {
+    writeln!(w, "P2")?;
+    writeln!(w, "{} {}", map.width(), map.height())?;
+    writeln!(w, "255")?;
+    let step = 200 / n_stations.max(1);
+    for row in (0..map.height()).rev() {
+        for col in 0..map.width() {
+            let v = match map.at(col, row) {
+                PixelLabel::Silent => 255,
+                PixelLabel::Heard(i) => (i.index() * step).min(200),
+            };
+            writeln!(w, "{v}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes `x,y,label` CSV rows (label `-1` for silence) to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_csv<W: Write>(map: &ReceptionMap, mut w: W) -> io::Result<()> {
+    writeln!(w, "x,y,station")?;
+    for (col, row, label) in map.iter() {
+        let p = map.pixel_center(col, row);
+        let id = label.station().map(|s| s.index() as i64).unwrap_or(-1);
+        writeln!(w, "{},{},{}", p.x, p.y, id)?;
+    }
+    Ok(())
+}
+
+/// A fixed distinct-hue palette (cycled beyond 8 stations).
+fn palette(i: usize) -> (u8, u8, u8) {
+    const COLORS: [(u8, u8, u8); 8] = [
+        (31, 119, 180),
+        (255, 127, 14),
+        (44, 160, 44),
+        (214, 39, 40),
+        (148, 103, 189),
+        (140, 86, 75),
+        (227, 119, 194),
+        (127, 127, 127),
+    ];
+    COLORS[i % COLORS.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_core::Network;
+    use sinr_geometry::{BBox, Point};
+
+    fn small_map() -> ReceptionMap {
+        let net =
+            Network::uniform(vec![Point::new(-2.0, 0.0), Point::new(2.0, 0.0)], 0.0, 2.0).unwrap();
+        ReceptionMap::compute(&net, BBox::centered_square(4.0), 16, 8)
+    }
+
+    #[test]
+    fn ascii_shape() {
+        let art = ascii(&small_map());
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 8);
+        assert!(lines.iter().all(|l| l.len() == 16));
+        assert!(art.contains('0'));
+        assert!(art.contains('1'));
+    }
+
+    #[test]
+    fn ppm_format() {
+        let mut buf = Vec::new();
+        write_ppm(&small_map(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("P3"));
+        assert_eq!(lines.next(), Some("16 8"));
+        assert_eq!(lines.next(), Some("255"));
+        // one RGB triple per pixel
+        assert_eq!(text.lines().count(), 3 + 16 * 8);
+    }
+
+    #[test]
+    fn pgm_format() {
+        let mut buf = Vec::new();
+        write_pgm(&small_map(), 2, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("P2\n16 8\n255\n"));
+        assert_eq!(text.lines().count(), 3 + 16 * 8);
+        // all pixel values are valid levels
+        for v in text.lines().skip(3) {
+            let x: u32 = v.parse().unwrap();
+            assert!(x <= 255);
+        }
+    }
+
+    #[test]
+    fn csv_format() {
+        let mut buf = Vec::new();
+        write_csv(&small_map(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("x,y,station\n"));
+        assert_eq!(text.lines().count(), 1 + 16 * 8);
+        // labels are -1, 0 or 1
+        for line in text.lines().skip(1) {
+            let label: i64 = line.rsplit(',').next().unwrap().parse().unwrap();
+            assert!((-1..=1).contains(&label));
+        }
+    }
+
+    #[test]
+    fn palette_cycles() {
+        assert_eq!(palette(0), palette(8));
+        assert_ne!(palette(0), palette(1));
+    }
+}

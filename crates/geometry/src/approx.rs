@@ -1,0 +1,181 @@
+//! Tolerance-based floating point comparison.
+//!
+//! Geometric predicates on `f64` must decide "is this value zero?" in the
+//! presence of rounding error. This module centralises that decision so that
+//! every caller in the workspace applies the same policy: a mixed
+//! absolute/relative test
+//!
+//! ```text
+//! |x - y| <= abs_tol  ||  |x - y| <= rel_tol * max(|x|, |y|)
+//! ```
+//!
+//! The absolute term handles values near zero (where relative comparison is
+//! meaningless); the relative term handles large magnitudes (where a fixed
+//! absolute epsilon is too strict).
+
+/// Default absolute tolerance used by the free functions in this module.
+pub const DEFAULT_ABS_TOL: f64 = 1e-9;
+
+/// Default relative tolerance used by the free functions in this module.
+pub const DEFAULT_REL_TOL: f64 = 1e-9;
+
+/// A reusable tolerance policy combining absolute and relative thresholds.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geometry::Tolerance;
+///
+/// let tol = Tolerance::default();
+/// assert!(tol.eq(1.0, 1.0 + 1e-12));
+/// assert!(!tol.eq(1.0, 1.0 + 1e-3));
+/// assert!(tol.is_zero(1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Absolute tolerance, effective near zero.
+    pub abs: f64,
+    /// Relative tolerance, effective at large magnitudes.
+    pub rel: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            abs: DEFAULT_ABS_TOL,
+            rel: DEFAULT_REL_TOL,
+        }
+    }
+}
+
+impl Tolerance {
+    /// Creates a tolerance policy with the given absolute and relative parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tolerance is negative or NaN.
+    pub fn new(abs: f64, rel: f64) -> Self {
+        assert!(abs >= 0.0 && rel >= 0.0, "tolerances must be non-negative");
+        Tolerance { abs, rel }
+    }
+
+    /// Returns a policy with only an absolute component.
+    pub fn absolute(abs: f64) -> Self {
+        Tolerance::new(abs, 0.0)
+    }
+
+    /// Tests whether `x` and `y` are equal under this policy.
+    #[inline]
+    pub fn eq(&self, x: f64, y: f64) -> bool {
+        let d = (x - y).abs();
+        d <= self.abs || d <= self.rel * x.abs().max(y.abs())
+    }
+
+    /// Tests whether `x` is zero under this policy.
+    #[inline]
+    pub fn is_zero(&self, x: f64) -> bool {
+        x.abs() <= self.abs
+    }
+
+    /// Returns the sign of `x` quantised by this policy: `-1`, `0`, or `1`.
+    #[inline]
+    pub fn sign(&self, x: f64) -> i8 {
+        if self.is_zero(x) {
+            0
+        } else if x > 0.0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Tests `x < y` strictly, i.e. `x` is smaller and they are not equal
+    /// under the policy.
+    #[inline]
+    pub fn lt(&self, x: f64, y: f64) -> bool {
+        x < y && !self.eq(x, y)
+    }
+
+    /// Tests `x <= y` up to the policy (true also when approximately equal).
+    #[inline]
+    pub fn le(&self, x: f64, y: f64) -> bool {
+        x <= y || self.eq(x, y)
+    }
+}
+
+/// Tests `x ≈ y` with the default [`Tolerance`].
+///
+/// # Examples
+///
+/// ```
+/// assert!(sinr_geometry::approx_eq(0.1 + 0.2, 0.3));
+/// ```
+#[inline]
+pub fn approx_eq(x: f64, y: f64) -> bool {
+    Tolerance::default().eq(x, y)
+}
+
+/// Tests `x ≈ 0` with the default [`Tolerance`].
+///
+/// # Examples
+///
+/// ```
+/// assert!(sinr_geometry::approx_zero(1e-15));
+/// assert!(!sinr_geometry::approx_zero(1e-3));
+/// ```
+#[inline]
+pub fn approx_zero(x: f64) -> bool {
+    Tolerance::default().is_zero(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_near_zero() {
+        let tol = Tolerance::default();
+        assert!(tol.eq(0.0, 1e-12));
+        assert!(tol.eq(-1e-12, 1e-12));
+        assert!(!tol.eq(0.0, 1e-6));
+    }
+
+    #[test]
+    fn relative_at_scale() {
+        let tol = Tolerance::default();
+        let big = 1e12;
+        assert!(tol.eq(big, big + 1.0)); // 1 part in 1e12
+        assert!(!tol.eq(big, big * 1.001));
+    }
+
+    #[test]
+    fn sign_quantisation() {
+        let tol = Tolerance::default();
+        assert_eq!(tol.sign(1e-15), 0);
+        assert_eq!(tol.sign(0.5), 1);
+        assert_eq!(tol.sign(-0.5), -1);
+    }
+
+    #[test]
+    fn strict_and_loose_order() {
+        let tol = Tolerance::default();
+        assert!(tol.lt(1.0, 2.0));
+        assert!(!tol.lt(1.0, 1.0 + 1e-15));
+        assert!(tol.le(1.0, 1.0 + 1e-15));
+        assert!(tol.le(1.0, 2.0));
+        assert!(!tol.le(2.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_tolerance_panics() {
+        let _ = Tolerance::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn absolute_only_policy() {
+        let tol = Tolerance::absolute(0.5);
+        assert!(tol.eq(10.0, 10.4));
+        assert!(!tol.eq(10.0, 10.6));
+    }
+}

@@ -1,0 +1,294 @@
+//! Closed balls (disks) `B(p, r)`.
+//!
+//! Balls are ubiquitous in the paper: the fatness parameter compares the
+//! largest inscribed and smallest enclosing balls centred at a station
+//! (Section 2.1); the convexity proofs intersect circles of equal received
+//! energy (Lemma 3.10); and the noise-elimination step of Section 3.4
+//! places a replacement station at an intersection point of two circles of
+//! radius `1/√N`.
+
+use crate::approx::Tolerance;
+use crate::line::Line;
+use crate::point::Point;
+
+/// A closed ball `B(center, radius) = { q : dist(center, q) ≤ radius }`.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geometry::{Ball, Point};
+///
+/// let b = Ball::new(Point::ORIGIN, 2.0);
+/// assert!(b.contains(Point::new(1.0, 1.0)));
+/// assert!(!b.contains(Point::new(2.0, 2.0)));
+/// assert!((b.area() - 4.0 * std::f64::consts::PI).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ball {
+    /// Centre of the ball.
+    pub center: Point,
+    /// Radius (non-negative).
+    pub radius: f64,
+}
+
+impl Ball {
+    /// Creates a ball with the given centre and radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or NaN.
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(
+            radius >= 0.0,
+            "ball radius must be non-negative, got {radius}"
+        );
+        Ball { center, radius }
+    }
+
+    /// True if `p` lies in the closed ball.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.dist_sq(p) <= self.radius * self.radius
+    }
+
+    /// True if `p` lies strictly inside the open ball.
+    #[inline]
+    pub fn contains_strict(&self, p: Point) -> bool {
+        self.center.dist_sq(p) < self.radius * self.radius
+    }
+
+    /// True if `p` lies on the boundary circle within tolerance `tol`
+    /// (measured as distance from the circle, not from the centre).
+    #[inline]
+    pub fn on_boundary(&self, p: Point, tol: f64) -> bool {
+        (self.center.dist(p) - self.radius).abs() <= tol
+    }
+
+    /// Area `π·r²`.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Perimeter (circumference) `2π·r`.
+    #[inline]
+    pub fn perimeter(&self) -> f64 {
+        2.0 * std::f64::consts::PI * self.radius
+    }
+
+    /// True if `other` is entirely contained in `self` (closed containment).
+    pub fn contains_ball(&self, other: &Ball) -> bool {
+        self.center.dist(other.center) + other.radius <= self.radius + 1e-12
+    }
+
+    /// True if the two closed balls intersect.
+    pub fn intersects(&self, other: &Ball) -> bool {
+        self.center.dist(other.center) <= self.radius + other.radius + 1e-12
+    }
+
+    /// Intersection points of the two boundary *circles* `∂B₁ ∩ ∂B₂`.
+    ///
+    /// Returns 0, 1 (tangency) or 2 points. Concentric circles (even equal
+    /// ones) return an empty vector: the degenerate "infinitely many points"
+    /// case has no meaningful finite answer.
+    ///
+    /// This is the construction used in Lemma 3.10 (the replacement station
+    /// `s*` lies on `∂B₁ ∩ ∂B₂`) and in the noise-elimination reduction of
+    /// Section 3.4.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sinr_geometry::{Ball, Point};
+    ///
+    /// let b1 = Ball::new(Point::new(0.0, 0.0), 1.0);
+    /// let b2 = Ball::new(Point::new(1.0, 0.0), 1.0);
+    /// let pts = b1.circle_intersections(&b2);
+    /// assert_eq!(pts.len(), 2);
+    /// for p in pts {
+    ///     assert!(b1.on_boundary(p, 1e-9) && b2.on_boundary(p, 1e-9));
+    /// }
+    /// ```
+    pub fn circle_intersections(&self, other: &Ball) -> Vec<Point> {
+        let d = self.center.dist(other.center);
+        let tol = Tolerance::default();
+        if tol.is_zero(d) {
+            return Vec::new(); // concentric
+        }
+        let (r1, r2) = (self.radius, other.radius);
+        // Too far apart or one inside the other without touching.
+        if d > r1 + r2 + tol.abs || d < (r1 - r2).abs() - tol.abs {
+            return Vec::new();
+        }
+        // Distance from self.center to the radical line along the
+        // centre-to-centre axis.
+        let a = (r1 * r1 - r2 * r2 + d * d) / (2.0 * d);
+        let h2 = r1 * r1 - a * a;
+        let u = (other.center - self.center) / d;
+        let mid = self.center + u * a;
+        if h2 <= tol.abs {
+            // Tangent (internally or externally).
+            return vec![mid];
+        }
+        let h = h2.sqrt();
+        let n = u.perp() * h;
+        vec![mid + n, mid - n]
+    }
+
+    /// Intersection points of the boundary circle with a line.
+    ///
+    /// Returns 0, 1 (tangency) or 2 points.
+    pub fn line_intersections(&self, line: &Line) -> Vec<Point> {
+        let d = line.signed_distance(self.center);
+        let tol = Tolerance::default();
+        let r = self.radius;
+        if d.abs() > r + tol.abs {
+            return Vec::new();
+        }
+        let foot = self.center - line.normal() * d;
+        let h2 = r * r - d * d;
+        if h2 <= tol.abs {
+            return vec![foot];
+        }
+        let h = h2.sqrt();
+        let dir = line.direction();
+        vec![foot + dir * h, foot - dir * h]
+    }
+
+    /// The ball scaled about its own centre by factor `k ≥ 0`.
+    pub fn scaled(&self, k: f64) -> Ball {
+        Ball::new(self.center, self.radius * k)
+    }
+}
+
+impl std::fmt::Display for Ball {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "B({}, {})", self.center, self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::point::Vector;
+
+    #[test]
+    fn containment() {
+        let b = Ball::new(Point::ORIGIN, 1.0);
+        assert!(b.contains(Point::new(1.0, 0.0))); // boundary included
+        assert!(!b.contains_strict(Point::new(1.0, 0.0)));
+        assert!(b.contains_strict(Point::new(0.5, 0.5)));
+        assert!(!b.contains(Point::new(0.8, 0.8)));
+    }
+
+    #[test]
+    fn two_point_circle_intersection() {
+        let b1 = Ball::new(Point::new(0.0, 0.0), 5.0);
+        let b2 = Ball::new(Point::new(6.0, 0.0), 5.0);
+        let pts = b1.circle_intersections(&b2);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert!(b1.on_boundary(*p, 1e-9));
+            assert!(b2.on_boundary(*p, 1e-9));
+        }
+        // symmetric about the x-axis
+        assert!(approx_eq(pts[0].y, -pts[1].y));
+        assert!(approx_eq(pts[0].x, 3.0));
+    }
+
+    #[test]
+    fn tangent_circles() {
+        // external tangency
+        let b1 = Ball::new(Point::new(0.0, 0.0), 1.0);
+        let b2 = Ball::new(Point::new(3.0, 0.0), 2.0);
+        let pts = b1.circle_intersections(&b2);
+        assert_eq!(pts.len(), 1);
+        assert!(approx_eq(pts[0].x, 1.0) && approx_eq(pts[0].y, 0.0));
+        // internal tangency
+        let b3 = Ball::new(Point::new(0.5, 0.0), 0.5);
+        let pts = b1.circle_intersections(&b3);
+        assert_eq!(pts.len(), 1);
+        assert!(approx_eq(pts[0].x, 1.0));
+    }
+
+    #[test]
+    fn disjoint_and_nested_circles() {
+        let b1 = Ball::new(Point::new(0.0, 0.0), 1.0);
+        let far = Ball::new(Point::new(10.0, 0.0), 1.0);
+        assert!(b1.circle_intersections(&far).is_empty());
+        let nested = Ball::new(Point::new(0.1, 0.0), 0.2);
+        assert!(b1.circle_intersections(&nested).is_empty());
+        let concentric = Ball::new(Point::new(0.0, 0.0), 2.0);
+        assert!(b1.circle_intersections(&concentric).is_empty());
+    }
+
+    #[test]
+    fn ball_containment_and_overlap() {
+        let big = Ball::new(Point::ORIGIN, 10.0);
+        let small = Ball::new(Point::new(3.0, 0.0), 2.0);
+        assert!(big.contains_ball(&small));
+        assert!(!small.contains_ball(&big));
+        assert!(big.intersects(&small));
+        let far = Ball::new(Point::new(100.0, 0.0), 1.0);
+        assert!(!big.intersects(&far));
+    }
+
+    #[test]
+    fn line_circle_intersections() {
+        let b = Ball::new(Point::ORIGIN, 5.0);
+        let l = Line::from_points(Point::new(-10.0, 3.0), Point::new(10.0, 3.0)).unwrap();
+        let pts = b.line_intersections(&l);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert!(b.on_boundary(*p, 1e-9));
+            assert!(approx_eq(p.y, 3.0));
+        }
+        // tangent line
+        let t = Line::from_points(Point::new(-10.0, 5.0), Point::new(10.0, 5.0)).unwrap();
+        assert_eq!(b.line_intersections(&t).len(), 1);
+        // missing line
+        let m = Line::from_points(Point::new(-10.0, 7.0), Point::new(10.0, 7.0)).unwrap();
+        assert!(b.line_intersections(&m).is_empty());
+    }
+
+    #[test]
+    fn lemma_3_10_star_point_exists() {
+        // Two overlapping balls centred at p1, p2 with radii 1/sqrt(E_i):
+        // an intersection point of the boundary circles always exists when
+        // neither ball contains the other (Proposition 3.11).
+        let p1 = Point::new(0.0, 0.0);
+        let p2 = Point::new(4.0, 0.0);
+        let b1 = Ball::new(p1, 3.0);
+        let b2 = Ball::new(p2, 2.0);
+        let stars = b1.circle_intersections(&b2);
+        assert!(!stars.is_empty());
+        for s in stars {
+            // The replacement station produces exactly the prescribed
+            // energies at p1 and p2.
+            assert!(approx_eq(s.dist(p1), 3.0));
+            assert!(approx_eq(s.dist(p2), 2.0));
+        }
+    }
+
+    #[test]
+    fn scaled() {
+        let b = Ball::new(Point::new(1.0, 1.0), 2.0).scaled(1.5);
+        assert_eq!(b.radius, 3.0);
+        assert_eq!(b.center, Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_radius_panics() {
+        let _ = Ball::new(Point::ORIGIN, -1.0);
+    }
+
+    #[test]
+    fn area_perimeter() {
+        let b = Ball::new(Point::ORIGIN, 3.0);
+        assert!(approx_eq(b.area(), 9.0 * std::f64::consts::PI));
+        assert!(approx_eq(b.perimeter(), 6.0 * std::f64::consts::PI));
+        let _ = Vector::ZERO; // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,266 @@
+//! Axis-aligned bounding boxes.
+//!
+//! Bounding boxes bound the extent of reception zones (which are compact by
+//! Observation 2.2), clip Voronoi cells to a finite window, and frame the
+//! rasterised diagrams of the figure generators.
+
+use crate::point::{Point, Vector};
+use crate::segment::Segment;
+
+/// A closed axis-aligned box `[min.x, max.x] × [min.y, max.y]`.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geometry::{BBox, Point};
+///
+/// let b = BBox::new(Point::new(0.0, 0.0), Point::new(2.0, 1.0));
+/// assert!(b.contains(Point::new(1.0, 0.5)));
+/// assert_eq!(b.area(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl BBox {
+    /// Creates a box from its lower-left and upper-right corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min.x > max.x` or `min.y > max.y`.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y,
+            "invalid bbox corners {min} {max}"
+        );
+        BBox { min, max }
+    }
+
+    /// Creates the square box `[-half, half]²` centred at the origin.
+    pub fn centered_square(half: f64) -> Self {
+        assert!(half >= 0.0);
+        BBox::new(Point::new(-half, -half), Point::new(half, half))
+    }
+
+    /// The smallest box containing all the given points.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut bb = BBox {
+            min: first,
+            max: first,
+        };
+        for p in it {
+            bb.expand_to(p);
+        }
+        Some(bb)
+    }
+
+    /// Grows the box (in place) to contain `p`.
+    pub fn expand_to(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// The box inflated by `margin` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if deflating (`margin < 0`) would invert the box.
+    pub fn inflated(&self, margin: f64) -> BBox {
+        BBox::new(
+            Point::new(self.min.x - margin, self.min.y - margin),
+            Point::new(self.max.x + margin, self.max.y + margin),
+        )
+    }
+
+    /// Width along x.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along y.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area of the box.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Centre point of the box.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Half of the diagonal length (circumradius of the box).
+    #[inline]
+    pub fn circumradius(&self) -> f64 {
+        0.5 * (self.max - self.min).norm()
+    }
+
+    /// True if `p` lies in the closed box.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// True if `other` is entirely inside `self`.
+    pub fn contains_bbox(&self, other: &BBox) -> bool {
+        self.contains(other.min) && self.contains(other.max)
+    }
+
+    /// True if the two boxes intersect (closed intersection).
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// The union box of `self` and `other`.
+    pub fn union(&self, other: &BBox) -> BBox {
+        BBox {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// The four corners in counter-clockwise order starting at `min`.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+
+    /// The four edges as segments, counter-clockwise.
+    pub fn edges(&self) -> [Segment; 4] {
+        let c = self.corners();
+        [
+            Segment::new(c[0], c[1]),
+            Segment::new(c[1], c[2]),
+            Segment::new(c[2], c[3]),
+            Segment::new(c[3], c[0]),
+        ]
+    }
+
+    /// Clamps a point into the box.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// Returns the point at fractional coordinates `(u, v) ∈ [0,1]²` of the
+    /// box (`(0,0)` ↦ `min`, `(1,1)` ↦ `max`).
+    pub fn at_fraction(&self, u: f64, v: f64) -> Point {
+        self.min + Vector::new(u * self.width(), v * self.height())
+    }
+}
+
+impl std::fmt::Display for BBox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{} — {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_bounds_all() {
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(0.0, -1.0),
+        ];
+        let bb = BBox::from_points(pts).unwrap();
+        assert_eq!(bb.min, Point::new(-2.0, -1.0));
+        assert_eq!(bb.max, Point::new(1.0, 5.0));
+        for p in pts {
+            assert!(bb.contains(p));
+        }
+        assert!(BBox::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn geometry_quantities() {
+        let bb = BBox::new(Point::new(0.0, 0.0), Point::new(4.0, 2.0));
+        assert_eq!(bb.width(), 4.0);
+        assert_eq!(bb.height(), 2.0);
+        assert_eq!(bb.area(), 8.0);
+        assert_eq!(bb.center(), Point::new(2.0, 1.0));
+        assert!((bb.circumradius() - 5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inflation_and_union() {
+        let bb = BBox::centered_square(1.0);
+        let big = bb.inflated(1.0);
+        assert!(big.contains_bbox(&bb));
+        assert_eq!(big.width(), 4.0);
+        let other = BBox::new(Point::new(5.0, 5.0), Point::new(6.0, 6.0));
+        let u = bb.union(&other);
+        assert!(u.contains_bbox(&bb) && u.contains_bbox(&other));
+    }
+
+    #[test]
+    fn intersection_tests() {
+        let a = BBox::centered_square(1.0);
+        let b = BBox::new(Point::new(0.5, 0.5), Point::new(3.0, 3.0));
+        let c = BBox::new(Point::new(2.0, 2.0), Point::new(3.0, 3.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        // touching edges count as intersecting (closed boxes)
+        let d = BBox::new(Point::new(1.0, -1.0), Point::new(2.0, 1.0));
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn corners_and_edges_ccw() {
+        let bb = BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let cs = bb.corners();
+        assert_eq!(cs[0], Point::new(0.0, 0.0));
+        assert_eq!(cs[2], Point::new(1.0, 1.0));
+        let es = bb.edges();
+        let total: f64 = es.iter().map(|e| e.length()).sum();
+        assert!((total - 4.0).abs() < 1e-12);
+        // consecutive edges share endpoints
+        for i in 0..4 {
+            assert_eq!(es[i].b, es[(i + 1) % 4].a);
+        }
+    }
+
+    #[test]
+    fn clamp_and_fraction() {
+        let bb = BBox::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        assert_eq!(bb.clamp(Point::new(-1.0, 5.0)), Point::new(0.0, 2.0));
+        assert_eq!(bb.at_fraction(0.5, 0.5), Point::new(1.0, 1.0));
+        assert_eq!(bb.at_fraction(0.0, 1.0), Point::new(0.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_box_panics() {
+        let _ = BBox::new(Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+    }
+}

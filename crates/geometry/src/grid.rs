@@ -1,0 +1,357 @@
+//! The `γ`-spaced grid of Section 5.1.
+//!
+//! The approximate point-location structure (Theorem 3) imposes a grid
+//! `G_γ` on the plane, *aligned so that the station `s` is a grid vertex*.
+//! Cells partition the plane with the paper's exact tie-breaking:
+//!
+//! > "each cell contains all points on its south edge except its south east
+//! > corner and all points on its west edge except its north west corner
+//! > (the cell does contain its south west corner)"
+//!
+//! i.e. cell `(i, j)` is the half-open square
+//! `[x_i, x_{i+1}) × [y_j, y_{j+1})`. The *9-cell* `♯C` of a cell `C` is
+//! the 3×3 block of cells centred at `C`.
+
+use crate::bbox::BBox;
+use crate::point::Point;
+use crate::segment::Segment;
+
+/// Integer coordinates of a grid cell (column `i`, row `j`).
+///
+/// Cell `(i, j)` covers `[origin.x + i·γ, origin.x + (i+1)·γ) ×
+/// [origin.y + j·γ, origin.y + (j+1)·γ)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId {
+    /// Column index (x direction).
+    pub i: i64,
+    /// Row index (y direction).
+    pub j: i64,
+}
+
+impl CellId {
+    /// Creates a cell id.
+    pub const fn new(i: i64, j: i64) -> Self {
+        CellId { i, j }
+    }
+
+    /// The 8 neighbouring cells plus `self` — the paper's 9-cell `♯C`.
+    pub fn nine_cell(self) -> NineCell {
+        NineCell { center: self, k: 0 }
+    }
+
+    /// The 8 neighbouring cells (excluding `self`).
+    pub fn neighbors(self) -> impl Iterator<Item = CellId> {
+        let c = self;
+        (-1..=1).flat_map(move |dj| {
+            (-1..=1).filter_map(move |di| {
+                if di == 0 && dj == 0 {
+                    None
+                } else {
+                    Some(CellId::new(c.i + di, c.j + dj))
+                }
+            })
+        })
+    }
+
+    /// Chebyshev (L∞) distance between cell indices.
+    pub fn chebyshev(self, other: CellId) -> i64 {
+        (self.i - other.i).abs().max((self.j - other.j).abs())
+    }
+}
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C({}, {})", self.i, self.j)
+    }
+}
+
+/// Iterator over the 9 cells of a 9-cell block (row-major, SW to NE).
+#[derive(Debug, Clone)]
+pub struct NineCell {
+    center: CellId,
+    k: u8,
+}
+
+impl Iterator for NineCell {
+    type Item = CellId;
+
+    fn next(&mut self) -> Option<CellId> {
+        if self.k >= 9 {
+            return None;
+        }
+        let di = (self.k % 3) as i64 - 1;
+        let dj = (self.k / 3) as i64 - 1;
+        self.k += 1;
+        Some(CellId::new(self.center.i + di, self.center.j + dj))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (9 - self.k) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for NineCell {}
+
+/// One of the four edges of a grid cell.
+///
+/// Edges are oriented so that traversing `(a, b)` keeps the cell on a
+/// consistent side; for the segment tests only the geometry matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GridEdge {
+    /// The south (bottom) edge.
+    South,
+    /// The east (right) edge.
+    East,
+    /// The north (top) edge.
+    North,
+    /// The west (left) edge.
+    West,
+}
+
+impl GridEdge {
+    /// All four edges.
+    pub const ALL: [GridEdge; 4] = [
+        GridEdge::South,
+        GridEdge::East,
+        GridEdge::North,
+        GridEdge::West,
+    ];
+}
+
+/// A `γ`-spaced grid aligned to a given origin vertex (paper: "the grid is
+/// aligned so that the point `s` is a grid vertex").
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geometry::{Grid, Point, CellId};
+///
+/// let g = Grid::new(Point::ORIGIN, 0.5);
+/// assert_eq!(g.cell_of(Point::new(0.2, 0.7)), CellId::new(0, 1));
+/// // South-west corner belongs to the cell …
+/// assert_eq!(g.cell_of(Point::new(0.5, 0.5)), CellId::new(1, 1));
+/// // … and the cell's box spans one γ in each direction.
+/// assert_eq!(g.cell_bbox(CellId::new(1, 1)).width(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Grid {
+    origin: Point,
+    gamma: f64,
+}
+
+impl Grid {
+    /// Creates a grid with spacing `gamma` aligned so `origin` is a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not strictly positive and finite.
+    pub fn new(origin: Point, gamma: f64) -> Self {
+        assert!(
+            gamma > 0.0 && gamma.is_finite(),
+            "grid spacing must be positive, got {gamma}"
+        );
+        Grid { origin, gamma }
+    }
+
+    /// The grid spacing `γ`.
+    #[inline]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The alignment origin (a grid vertex).
+    #[inline]
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// The cell containing `p` under the paper's half-open convention.
+    pub fn cell_of(&self, p: Point) -> CellId {
+        CellId::new(
+            ((p.x - self.origin.x) / self.gamma).floor() as i64,
+            ((p.y - self.origin.y) / self.gamma).floor() as i64,
+        )
+    }
+
+    /// The grid vertex at integer coordinates `(i, j)`.
+    pub fn vertex(&self, i: i64, j: i64) -> Point {
+        Point::new(
+            self.origin.x + i as f64 * self.gamma,
+            self.origin.y + j as f64 * self.gamma,
+        )
+    }
+
+    /// The closed bounding box of a cell.
+    ///
+    /// Note the *box* is closed even though the *cell* (as a point set in
+    /// the partition) is half-open; the box is what segment tests and area
+    /// accounting need.
+    pub fn cell_bbox(&self, c: CellId) -> BBox {
+        BBox::new(self.vertex(c.i, c.j), self.vertex(c.i + 1, c.j + 1))
+    }
+
+    /// The centre point of a cell.
+    pub fn cell_center(&self, c: CellId) -> Point {
+        self.vertex(c.i, c.j) + crate::point::Vector::new(0.5 * self.gamma, 0.5 * self.gamma)
+    }
+
+    /// One edge of a cell as a segment.
+    pub fn cell_edge(&self, c: CellId, e: GridEdge) -> Segment {
+        let sw = self.vertex(c.i, c.j);
+        let se = self.vertex(c.i + 1, c.j);
+        let ne = self.vertex(c.i + 1, c.j + 1);
+        let nw = self.vertex(c.i, c.j + 1);
+        match e {
+            GridEdge::South => Segment::new(sw, se),
+            GridEdge::East => Segment::new(se, ne),
+            GridEdge::North => Segment::new(nw, ne),
+            GridEdge::West => Segment::new(sw, nw),
+        }
+    }
+
+    /// The four corner vertices of a cell: `[SW, SE, NE, NW]`.
+    pub fn cell_corners(&self, c: CellId) -> [Point; 4] {
+        [
+            self.vertex(c.i, c.j),
+            self.vertex(c.i + 1, c.j),
+            self.vertex(c.i + 1, c.j + 1),
+            self.vertex(c.i, c.j + 1),
+        ]
+    }
+
+    /// Area of a single cell, `γ²`.
+    #[inline]
+    pub fn cell_area(&self) -> f64 {
+        self.gamma * self.gamma
+    }
+
+    /// Iterates over all cells whose boxes intersect the given window.
+    pub fn cells_in(&self, window: &BBox) -> impl Iterator<Item = CellId> + '_ {
+        let lo = self.cell_of(window.min);
+        let hi = self.cell_of(window.max);
+        (lo.j..=hi.j).flat_map(move |j| (lo.i..=hi.i).map(move |i| CellId::new(i, j)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_of_tie_breaking() {
+        let g = Grid::new(Point::ORIGIN, 1.0);
+        // interior point
+        assert_eq!(g.cell_of(Point::new(0.5, 0.5)), CellId::new(0, 0));
+        // south-west corner belongs to the cell
+        assert_eq!(g.cell_of(Point::new(1.0, 1.0)), CellId::new(1, 1));
+        // south edge (except SE corner) belongs to the cell
+        assert_eq!(g.cell_of(Point::new(1.5, 1.0)), CellId::new(1, 1));
+        // west edge (except NW corner) belongs to the cell
+        assert_eq!(g.cell_of(Point::new(1.0, 1.5)), CellId::new(1, 1));
+        // the SE corner belongs to the eastern neighbour
+        assert_eq!(g.cell_of(Point::new(2.0, 1.0)), CellId::new(2, 1));
+        // the NW corner belongs to the northern neighbour
+        assert_eq!(g.cell_of(Point::new(1.0, 2.0)), CellId::new(1, 2));
+        // negative coordinates
+        assert_eq!(g.cell_of(Point::new(-0.5, -0.5)), CellId::new(-1, -1));
+    }
+
+    #[test]
+    fn origin_is_a_vertex() {
+        let o = Point::new(3.25, -1.5);
+        let g = Grid::new(o, 0.25);
+        assert_eq!(g.vertex(0, 0), o);
+        assert_eq!(g.cell_of(o), CellId::new(0, 0));
+    }
+
+    #[test]
+    fn cell_bbox_roundtrip() {
+        let g = Grid::new(Point::new(0.5, 0.5), 2.0);
+        let c = CellId::new(3, -2);
+        let bb = g.cell_bbox(c);
+        assert_eq!(bb.width(), 2.0);
+        assert_eq!(bb.height(), 2.0);
+        assert_eq!(g.cell_of(bb.center()), c);
+        assert_eq!(g.cell_center(c), bb.center());
+        assert_eq!(g.cell_area(), 4.0);
+    }
+
+    #[test]
+    fn nine_cell_block() {
+        let c = CellId::new(5, 5);
+        let cells: Vec<CellId> = c.nine_cell().collect();
+        assert_eq!(cells.len(), 9);
+        assert!(cells.contains(&c));
+        for cell in &cells {
+            assert!(c.chebyshev(*cell) <= 1);
+        }
+        // all distinct
+        let mut sorted = cells.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 9);
+    }
+
+    #[test]
+    fn neighbors_excludes_self() {
+        let c = CellId::new(0, 0);
+        let n: Vec<CellId> = c.neighbors().collect();
+        assert_eq!(n.len(), 8);
+        assert!(!n.contains(&c));
+    }
+
+    #[test]
+    fn cell_edges_bound_the_cell() {
+        let g = Grid::new(Point::ORIGIN, 1.0);
+        let c = CellId::new(2, 3);
+        let bb = g.cell_bbox(c);
+        for e in GridEdge::ALL {
+            let seg = g.cell_edge(c, e);
+            assert!(bb.contains(seg.a) && bb.contains(seg.b));
+            assert_eq!(seg.length(), 1.0);
+        }
+        // corners agree with bbox corners
+        let corners = g.cell_corners(c);
+        assert_eq!(corners[0], bb.min);
+        assert_eq!(corners[2], bb.max);
+    }
+
+    #[test]
+    fn cells_in_window() {
+        let g = Grid::new(Point::ORIGIN, 1.0);
+        let window = BBox::new(Point::new(0.1, 0.1), Point::new(2.9, 1.9));
+        let cells: Vec<CellId> = g.cells_in(&window).collect();
+        assert_eq!(cells.len(), 6); // 3 columns × 2 rows
+        assert!(cells.contains(&CellId::new(0, 0)));
+        assert!(cells.contains(&CellId::new(2, 1)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_gamma_panics() {
+        let _ = Grid::new(Point::ORIGIN, 0.0);
+    }
+
+    #[test]
+    fn partition_property_sampled() {
+        // Every sampled point belongs to exactly one cell, and that cell's
+        // closed box contains it.
+        let g = Grid::new(Point::new(-0.3, 0.7), 0.37);
+        let mut state: u64 = 42;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 20.0 - 10.0
+        };
+        for _ in 0..500 {
+            let p = Point::new(next(), next());
+            let c = g.cell_of(p);
+            assert!(
+                g.cell_bbox(c).contains(p),
+                "cell box must contain its point"
+            );
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Convex hulls (Andrew's monotone chain).
+//!
+//! Used by diagnostics and tests: e.g. the convex hull of sampled
+//! reception-zone boundary points should have (nearly) the same area as the
+//! zone itself when Theorem 1 holds, which gives an independent convexity
+//! check for rasterised diagrams.
+
+use crate::point::Point;
+use crate::polygon::ConvexPolygon;
+use crate::predicates::signed_area2;
+
+/// Computes the convex hull of a point set.
+///
+/// Returns the hull as a [`ConvexPolygon`] (vertices counter-clockwise), or
+/// `None` when the input has fewer than 3 non-collinear points.
+///
+/// Runs in `O(n log n)`. Collinear points on the hull boundary are dropped
+/// (the hull is strictly convex).
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geometry::{convex_hull, Point};
+///
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(2.0, 2.0),
+///     Point::new(0.0, 2.0),
+///     Point::new(1.0, 1.0), // interior
+/// ];
+/// let hull = convex_hull(&pts).unwrap();
+/// assert_eq!(hull.len(), 4);
+/// assert_eq!(hull.area(), 4.0);
+/// ```
+pub fn convex_hull(points: &[Point]) -> Option<ConvexPolygon> {
+    if points.len() < 3 {
+        return None;
+    }
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|p, q| {
+        p.x.partial_cmp(&q.x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(p.y.partial_cmp(&q.y).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    pts.dedup_by(|a, b| a.dist_sq(*b) <= 1e-24);
+    if pts.len() < 3 {
+        return None;
+    }
+
+    let n = pts.len();
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2 && signed_area2(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && signed_area2(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point equals the first
+
+    ConvexPolygon::new(hull)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let mut pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ];
+        for i in 1..4 {
+            for j in 1..4 {
+                pts.push(Point::new(i as f64, j as f64));
+            }
+        }
+        let hull = convex_hull(&pts).unwrap();
+        assert_eq!(hull.len(), 4);
+        assert!((hull.area() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collinear_points_have_no_hull() {
+        let pts: Vec<Point> = (0..10)
+            .map(|i| Point::new(i as f64, 2.0 * i as f64))
+            .collect();
+        assert!(convex_hull(&pts).is_none());
+    }
+
+    #[test]
+    fn too_few_points() {
+        assert!(convex_hull(&[]).is_none());
+        assert!(convex_hull(&[Point::ORIGIN]).is_none());
+        assert!(convex_hull(&[Point::ORIGIN, Point::new(1.0, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 1.0),
+        ];
+        let hull = convex_hull(&pts).unwrap();
+        assert_eq!(hull.len(), 3);
+    }
+
+    #[test]
+    fn hull_contains_all_inputs() {
+        // pseudo-random points (deterministic LCG to avoid a rand dev-dep here)
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let pts: Vec<Point> = (0..200)
+            .map(|_| Point::new(10.0 * next(), 10.0 * next()))
+            .collect();
+        let hull = convex_hull(&pts).unwrap();
+        for p in &pts {
+            assert!(hull.contains(*p), "hull must contain input point {p}");
+        }
+    }
+
+    #[test]
+    fn hull_is_minimal_triangle() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(0.0, 3.0),
+            Point::new(0.5, 0.5),
+            Point::new(1.0, 1.0),
+        ];
+        let hull = convex_hull(&pts).unwrap();
+        assert_eq!(hull.len(), 3);
+        assert!((hull.area() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collinear_boundary_points_dropped() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0), // collinear on the bottom edge
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        let hull = convex_hull(&pts).unwrap();
+        assert_eq!(hull.len(), 4);
+    }
+}

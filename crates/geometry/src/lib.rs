@@ -1,0 +1,82 @@
+//! # sinr-geometry
+//!
+//! A self-contained planar computational-geometry kernel used throughout the
+//! `sinr-diagrams` workspace, the Rust reproduction of *"SINR Diagrams:
+//! Towards Algorithmically Usable SINR Models of Wireless Networks"*
+//! (Avin, Emek, Kantor, Lotker, Peleg, Roditty — PODC 2009).
+//!
+//! The paper works in the Euclidean plane `R²`: stations are points,
+//! reception-zone boundaries are algebraic curves, the point-location data
+//! structure of Theorem 3 lives on a `γ`-spaced grid, and the convexity
+//! proof repeatedly applies rotation/translation/scaling maps (Lemma 2.3).
+//! This crate provides exactly those primitives:
+//!
+//! * [`Point`] / [`Vector`] — affine points and displacement vectors;
+//! * [`Segment`], [`Line`], [`Ray`] — linear objects, perpendicular
+//!   bisectors ("separation lines" in the paper's terminology);
+//! * [`Ball`] — closed disks `B(p, r)`, circle–circle and circle–line
+//!   intersections (used by Lemma 3.10 and the noise-elimination reduction
+//!   of Section 3.4);
+//! * [`BBox`] — axis-aligned boxes;
+//! * [`ConvexPolygon`] and [`convex_hull`] — convex polygon machinery used
+//!   by the Voronoi substrate;
+//! * [`Similarity`] — the rotation+translation+uniform-scaling maps of
+//!   Lemma 2.3;
+//! * [`Grid`] — the `γ`-spaced grid of Section 5.1 with the paper's exact
+//!   cell tie-breaking rules and 9-cell (`♯C`) addressing.
+//!
+//! ## Numerical policy
+//!
+//! All computations are on `f64`. Comparisons with zero go through the
+//! [`approx`] module, which implements mixed absolute/relative tolerances.
+//! Exact predicates are not required by the algorithms in the paper (the
+//! decisive tests are Sturm-sequence sign counts implemented in
+//! `sinr-algebra`), so the kernel favours clarity and speed over adaptive
+//! precision.
+//!
+//! ## Example
+//!
+//! ```
+//! use sinr_geometry::{Point, Ball, Line};
+//!
+//! let s0 = Point::new(0.0, 0.0);
+//! let s1 = Point::new(2.0, 0.0);
+//! // The "separation line" of the paper: points equidistant from s0 and s1.
+//! let bisector = Line::bisector(s0, s1).unwrap();
+//! assert!(bisector.signed_distance(Point::new(1.0, 5.0)).abs() < 1e-12);
+//!
+//! // Circle-circle intersection (used when replacing two stations by one).
+//! let b0 = Ball::new(s0, 1.5);
+//! let b1 = Ball::new(s1, 1.5);
+//! let hits = b0.circle_intersections(&b1);
+//! assert_eq!(hits.len(), 2);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod approx;
+pub mod ball;
+pub mod bbox;
+pub mod grid;
+pub mod hull;
+pub mod line;
+pub mod point;
+pub mod polygon;
+pub mod predicates;
+pub mod ray;
+pub mod segment;
+pub mod transform;
+
+pub use approx::{approx_eq, approx_zero, Tolerance};
+pub use ball::Ball;
+pub use bbox::BBox;
+pub use grid::{CellId, Grid, GridEdge, NineCell};
+pub use hull::convex_hull;
+pub use line::Line;
+pub use point::{Point, Vector};
+pub use polygon::ConvexPolygon;
+pub use predicates::{orient2d, Orientation};
+pub use ray::Ray;
+pub use segment::Segment;
+pub use transform::Similarity;

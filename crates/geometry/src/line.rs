@@ -1,0 +1,331 @@
+//! Infinite lines and perpendicular bisectors.
+//!
+//! A [`Line`] is stored in normalised implicit form `a·x + b·y + c = 0`
+//! with `a² + b² = 1`, so [`Line::signed_distance`] is a true Euclidean
+//! distance. The paper's *separation line* of two points `p₁, p₂`
+//! (Section 2.1: the locus `dist(p₁, q) = dist(p₂, q)`) is exactly the
+//! perpendicular bisector, provided by [`Line::bisector`].
+
+use crate::approx::Tolerance;
+use crate::point::{Point, Vector};
+use crate::segment::Segment;
+
+/// An infinite line in normalised implicit form `a·x + b·y + c = 0`.
+///
+/// The unit normal is `(a, b)`; the direction `(−b, a)` is the normal
+/// rotated by +90°. Points with positive [`Line::signed_distance`] lie on
+/// the side the normal points into.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geometry::{Line, Point};
+///
+/// let l = Line::from_points(Point::new(0.0, 0.0), Point::new(1.0, 0.0)).unwrap();
+/// assert!((l.signed_distance(Point::new(0.5, 2.0)).abs() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line {
+    a: f64,
+    b: f64,
+    c: f64,
+}
+
+impl Line {
+    /// Creates a line from implicit coefficients `a·x + b·y + c = 0`.
+    ///
+    /// The coefficients are normalised so that `(a, b)` is a unit vector.
+    /// Returns `None` when `(a, b)` is (nearly) zero, i.e. the equation does
+    /// not describe a line.
+    pub fn new(a: f64, b: f64, c: f64) -> Option<Self> {
+        let n = (a * a + b * b).sqrt();
+        if n <= f64::EPSILON * 4.0 {
+            None
+        } else {
+            Some(Line {
+                a: a / n,
+                b: b / n,
+                c: c / n,
+            })
+        }
+    }
+
+    /// The line through two distinct points.
+    ///
+    /// Returns `None` when the points coincide within tolerance.
+    pub fn from_points(p: Point, q: Point) -> Option<Self> {
+        let d = q - p;
+        // normal is the direction rotated by -90°: (dy, -dx)
+        Line::new(d.y, -d.x, -(d.y * p.x - d.x * p.y))
+    }
+
+    /// The line through `p` with direction `dir`.
+    ///
+    /// Returns `None` when `dir` is (nearly) zero.
+    pub fn from_point_dir(p: Point, dir: Vector) -> Option<Self> {
+        Line::from_points(p, p + dir)
+    }
+
+    /// The *separation line* of `p` and `q`: the perpendicular bisector,
+    /// i.e. the locus of points equidistant from both (paper, Section 2.1).
+    ///
+    /// The normal points from `p` towards `q`, so
+    /// `signed_distance(x) < 0` means `x` is strictly closer to `p`.
+    ///
+    /// Returns `None` when `p` and `q` coincide within tolerance.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sinr_geometry::{Line, Point};
+    ///
+    /// let p = Point::new(0.0, 0.0);
+    /// let q = Point::new(4.0, 0.0);
+    /// let sep = Line::bisector(p, q).unwrap();
+    /// // Points closer to p are on the negative side.
+    /// assert!(sep.signed_distance(Point::new(1.0, 3.0)) < 0.0);
+    /// assert!(sep.signed_distance(Point::new(3.0, -3.0)) > 0.0);
+    /// assert!(sep.signed_distance(Point::new(2.0, 7.0)).abs() < 1e-12);
+    /// ```
+    pub fn bisector(p: Point, q: Point) -> Option<Self> {
+        let n = q - p;
+        let m = p.midpoint(q);
+        Line::new(n.x, n.y, -(n.x * m.x + n.y * m.y))
+    }
+
+    /// The unit normal `(a, b)`.
+    #[inline]
+    pub fn normal(&self) -> Vector {
+        Vector::new(self.a, self.b)
+    }
+
+    /// A unit direction vector of the line (the normal rotated +90°).
+    #[inline]
+    pub fn direction(&self) -> Vector {
+        Vector::new(-self.b, self.a)
+    }
+
+    /// The implicit coefficients `(a, b, c)` with `a² + b² = 1`.
+    #[inline]
+    pub fn coefficients(&self) -> (f64, f64, f64) {
+        (self.a, self.b, self.c)
+    }
+
+    /// Signed Euclidean distance from `p` to the line (positive on the
+    /// normal side).
+    #[inline]
+    pub fn signed_distance(&self, p: Point) -> f64 {
+        self.a * p.x + self.b * p.y + self.c
+    }
+
+    /// Absolute Euclidean distance from `p` to the line.
+    #[inline]
+    pub fn distance(&self, p: Point) -> f64 {
+        self.signed_distance(p).abs()
+    }
+
+    /// True if `p` lies on the line within tolerance `tol`.
+    #[inline]
+    pub fn contains_point(&self, p: Point, tol: f64) -> bool {
+        self.distance(p) <= tol
+    }
+
+    /// Orthogonal projection of `p` onto the line.
+    pub fn project(&self, p: Point) -> Point {
+        p - self.normal() * self.signed_distance(p)
+    }
+
+    /// An arbitrary point on the line (the projection of the origin).
+    pub fn any_point(&self) -> Point {
+        self.project(Point::ORIGIN)
+    }
+
+    /// Intersection point of two lines, or `None` when (nearly) parallel.
+    pub fn intersect(&self, other: &Line) -> Option<Point> {
+        let det = self.a * other.b - other.a * self.b;
+        if Tolerance::new(1e-12, 0.0).is_zero(det) {
+            None
+        } else {
+            Some(Point::new(
+                (self.b * other.c - other.b * self.c) / det,
+                (other.a * self.c - self.a * other.c) / det,
+            ))
+        }
+    }
+
+    /// The same line with the normal (and thus the sign of
+    /// [`Line::signed_distance`]) flipped.
+    pub fn flipped(&self) -> Line {
+        Line {
+            a: -self.a,
+            b: -self.b,
+            c: -self.c,
+        }
+    }
+
+    /// The line parallel to `self` passing through `p`.
+    pub fn parallel_through(&self, p: Point) -> Line {
+        Line {
+            a: self.a,
+            b: self.b,
+            c: -(self.a * p.x + self.b * p.y),
+        }
+    }
+
+    /// The line perpendicular to `self` passing through `p`.
+    pub fn perpendicular_through(&self, p: Point) -> Line {
+        // New normal = old direction.
+        let d = self.direction();
+        Line {
+            a: d.x,
+            b: d.y,
+            c: -(d.x * p.x + d.y * p.y),
+        }
+    }
+
+    /// Clips the line to the segment between parameters where it crosses the
+    /// given axis-aligned box `[x0, x1] × [y0, y1]`, returning the chord or
+    /// `None` if the line misses the box.
+    pub fn clip_to_box(&self, x0: f64, y0: f64, x1: f64, y1: f64) -> Option<Segment> {
+        let p0 = self.any_point();
+        let d = self.direction();
+        // Liang–Barsky on the parametric form p0 + t d, t ∈ (−∞, ∞).
+        let mut t_min = f64::NEG_INFINITY;
+        let mut t_max = f64::INFINITY;
+        let checks = [
+            (-d.x, p0.x - x0),
+            (d.x, x1 - p0.x),
+            (-d.y, p0.y - y0),
+            (d.y, y1 - p0.y),
+        ];
+        for (den, num) in checks {
+            if den.abs() <= f64::MIN_POSITIVE {
+                if num < 0.0 {
+                    return None;
+                }
+            } else {
+                let t = num / den;
+                if den < 0.0 {
+                    t_min = t_min.max(t);
+                } else {
+                    t_max = t_max.min(t);
+                }
+            }
+        }
+        if t_min > t_max {
+            None
+        } else {
+            Some(Segment::new(p0 + d * t_min, p0 + d * t_max))
+        }
+    }
+}
+
+impl std::fmt::Display for Line {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}·x + {}·y + {} = 0", self.a, self.b, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn normalisation() {
+        let l = Line::new(3.0, 4.0, 10.0).unwrap();
+        let (a, b, c) = l.coefficients();
+        assert!(approx_eq(a * a + b * b, 1.0));
+        assert!(approx_eq(c, 2.0));
+        assert!(Line::new(0.0, 0.0, 5.0).is_none());
+    }
+
+    #[test]
+    fn from_points_contains_both() {
+        let p = Point::new(1.0, 2.0);
+        let q = Point::new(-3.0, 5.0);
+        let l = Line::from_points(p, q).unwrap();
+        assert!(l.contains_point(p, 1e-12));
+        assert!(l.contains_point(q, 1e-12));
+        assert!(Line::from_points(p, p).is_none());
+    }
+
+    #[test]
+    fn bisector_equidistance() {
+        let p = Point::new(-1.0, 4.0);
+        let q = Point::new(3.0, -2.0);
+        let l = Line::bisector(p, q).unwrap();
+        // Every point on the bisector is equidistant from p and q.
+        let pt = l.any_point();
+        assert!(approx_eq(pt.dist(p), pt.dist(q)));
+        let pt2 = pt + l.direction() * 17.3;
+        assert!(approx_eq(pt2.dist(p), pt2.dist(q)));
+        // Sign convention: negative side is closer to p.
+        assert!(l.signed_distance(p) < 0.0);
+        assert!(l.signed_distance(q) > 0.0);
+    }
+
+    #[test]
+    fn projection_is_idempotent_and_orthogonal() {
+        let l = Line::from_points(Point::new(0.0, 1.0), Point::new(2.0, 3.0)).unwrap();
+        let p = Point::new(5.0, -4.0);
+        let pr = l.project(p);
+        assert!(l.contains_point(pr, 1e-9));
+        assert!(approx_eq(l.project(pr).dist(pr), 0.0));
+        // p − pr is parallel to the normal
+        assert!(approx_eq((p - pr).cross(l.normal()), 0.0));
+    }
+
+    #[test]
+    fn intersection() {
+        let l1 = Line::from_points(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap();
+        let l2 = Line::from_points(Point::new(0.0, 2.0), Point::new(1.0, 1.0)).unwrap();
+        let p = l1.intersect(&l2).unwrap();
+        assert!(approx_eq(p.x, 1.0) && approx_eq(p.y, 1.0));
+        // parallel lines
+        let l3 = l1.parallel_through(Point::new(0.0, 5.0));
+        assert!(l1.intersect(&l3).is_none());
+    }
+
+    #[test]
+    fn perpendicular_and_parallel() {
+        let l = Line::from_points(Point::new(0.0, 0.0), Point::new(2.0, 1.0)).unwrap();
+        let p = Point::new(3.0, 3.0);
+        let par = l.parallel_through(p);
+        let perp = l.perpendicular_through(p);
+        assert!(par.contains_point(p, 1e-12));
+        assert!(perp.contains_point(p, 1e-12));
+        assert!(approx_eq(par.direction().cross(l.direction()), 0.0));
+        assert!(approx_eq(perp.direction().dot(l.direction()), 0.0));
+    }
+
+    #[test]
+    fn flipped_negates_distance() {
+        let l = Line::new(1.0, 2.0, -3.0).unwrap();
+        let p = Point::new(4.0, -1.0);
+        assert!(approx_eq(
+            l.signed_distance(p),
+            -l.flipped().signed_distance(p)
+        ));
+    }
+
+    #[test]
+    fn clip_to_box_hits_and_misses() {
+        let l = Line::from_points(Point::new(0.0, 0.5), Point::new(1.0, 0.5)).unwrap();
+        let chord = l.clip_to_box(0.0, 0.0, 1.0, 1.0).unwrap();
+        assert!(approx_eq(chord.length(), 1.0));
+        // horizontal line above the box misses
+        let l2 = Line::from_points(Point::new(0.0, 2.0), Point::new(1.0, 2.0)).unwrap();
+        assert!(l2.clip_to_box(0.0, 0.0, 1.0, 1.0).is_none());
+        // diagonal through the corners
+        let l3 = Line::from_points(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap();
+        let chord3 = l3.clip_to_box(0.0, 0.0, 1.0, 1.0).unwrap();
+        assert!(approx_eq(chord3.length(), 2f64.sqrt()));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let l = Line::new(1.0, 0.0, 0.0).unwrap();
+        assert!(!format!("{l}").is_empty());
+    }
+}

@@ -1,0 +1,455 @@
+//! Points and vectors in the Euclidean plane.
+//!
+//! The paper denotes stations and receivers as points `p = (x, y) ∈ R²` and
+//! works with Euclidean distances `dist(p, q) = ‖q − p‖`. We keep the usual
+//! affine distinction: [`Point`] is a location, [`Vector`] is a
+//! displacement. `Point - Point = Vector`, `Point + Vector = Point`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point in the Euclidean plane `R²`.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geometry::Point;
+///
+/// let p = Point::new(3.0, 4.0);
+/// assert_eq!(p.dist(Point::ORIGIN), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+/// A displacement vector in the Euclidean plane `R²`.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geometry::{Point, Vector};
+///
+/// let v = Point::new(1.0, 2.0) - Point::new(0.0, 0.0);
+/// assert_eq!(v, Vector::new(1.0, 2.0));
+/// assert!((v.norm() - 5.0_f64.sqrt()).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vector {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance `dist(self, other)`.
+    ///
+    /// This is the `dist(p, q)` of the paper's Section 2.1.
+    #[inline]
+    pub fn dist(self, other: Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (cheaper; avoids the square root).
+    ///
+    /// With path-loss exponent `α = 2` the received energy is exactly
+    /// `ψ / dist²`, so squared distances are the natural currency of the
+    /// whole workspace.
+    #[inline]
+    pub fn dist_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// The displacement vector from `self` to `other`.
+    #[inline]
+    pub fn to(self, other: Point) -> Vector {
+        other - self
+    }
+
+    /// Midpoint of the segment `self other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new(0.5 * (self.x + other.x), 0.5 * (self.y + other.y))
+    }
+
+    /// Linear interpolation: returns `(1−t)·self + t·other`.
+    ///
+    /// `t = 0` gives `self`, `t = 1` gives `other`; values outside `[0, 1]`
+    /// extrapolate along the supporting line.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
+    }
+
+    /// Converts to the position vector from the origin.
+    #[inline]
+    pub fn to_vector(self) -> Vector {
+        Vector::new(self.x, self.y)
+    }
+
+    /// Returns true if both coordinates are finite (not NaN/∞).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Vector {
+    /// The zero vector.
+    pub const ZERO: Vector = Vector { x: 0.0, y: 0.0 };
+
+    /// Unit vector along +x.
+    pub const UNIT_X: Vector = Vector { x: 1.0, y: 0.0 };
+
+    /// Unit vector along +y.
+    pub const UNIT_Y: Vector = Vector { x: 0.0, y: 1.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vector { x, y }
+    }
+
+    /// Dot product `self · other`.
+    #[inline]
+    pub fn dot(self, other: Vector) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (the `z` component of the 3-D cross product).
+    ///
+    /// Positive when `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(self, other: Vector) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean norm `‖self‖`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Returns the unit vector with the same direction, or `None` for a
+    /// (near-)zero vector where the direction is undefined.
+    #[inline]
+    pub fn normalized(self) -> Option<Vector> {
+        let n = self.norm();
+        if n <= f64::EPSILON * 4.0 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// The vector rotated by +90° (counter-clockwise): `(x, y) ↦ (−y, x)`.
+    #[inline]
+    pub fn perp(self) -> Vector {
+        Vector::new(-self.y, self.x)
+    }
+
+    /// The vector rotated by angle `theta` (radians, counter-clockwise).
+    #[inline]
+    pub fn rotated(self, theta: f64) -> Vector {
+        let (s, c) = theta.sin_cos();
+        Vector::new(c * self.x - s * self.y, s * self.x + c * self.y)
+    }
+
+    /// The polar angle of the vector in `(−π, π]`.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Unit vector at polar angle `theta` (radians).
+    #[inline]
+    pub fn from_angle(theta: f64) -> Vector {
+        let (s, c) = theta.sin_cos();
+        Vector::new(c, s)
+    }
+
+    /// Converts to a point (interpreting the vector as a position vector).
+    #[inline]
+    pub fn to_point(self) -> Point {
+        Point::new(self.x, self.y)
+    }
+
+    /// Returns true if both components are finite (not NaN/∞).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator overloads (C-OVERLOAD: affine-space semantics, no surprises).
+// ---------------------------------------------------------------------------
+
+impl Sub for Point {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, rhs: Point) -> Vector {
+        Vector::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Vector) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign<Vector> for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vector) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Vector) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign<Vector> for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vector) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+    #[inline]
+    fn add(self, rhs: Vector) -> Vector {
+        Vector::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vector {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vector) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, rhs: Vector) -> Vector {
+        Vector::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vector {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vector) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vector {
+        Vector::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vector> for f64 {
+    type Output = Vector;
+    #[inline]
+    fn mul(self, rhs: Vector) -> Vector {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vector {
+    type Output = Vector;
+    #[inline]
+    fn div(self, rhs: f64) -> Vector {
+        Vector::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    #[inline]
+    fn neg(self) -> Vector {
+        Vector::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    #[inline]
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl From<(f64, f64)> for Vector {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Vector::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn distance_is_symmetric_and_triangle() {
+        let p = Point::new(1.0, 2.0);
+        let q = Point::new(4.0, 6.0);
+        let r = Point::new(-3.0, 0.5);
+        assert!(approx_eq(p.dist(q), q.dist(p)));
+        assert!(p.dist(r) <= p.dist(q) + q.dist(r) + 1e-12);
+        assert_eq!(p.dist(q), 5.0);
+        assert_eq!(p.dist_sq(q), 25.0);
+    }
+
+    #[test]
+    fn affine_ops_roundtrip() {
+        let p = Point::new(1.0, 1.0);
+        let v = Vector::new(2.5, -0.5);
+        let q = p + v;
+        assert_eq!(q - p, v);
+        assert_eq!(q - v, p);
+        let mut m = p;
+        m += v;
+        assert_eq!(m, q);
+        m -= v;
+        assert_eq!(m, p);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(2.0, 4.0);
+        assert_eq!(p.lerp(q, 0.0), p);
+        assert_eq!(p.lerp(q, 1.0), q);
+        assert_eq!(p.lerp(q, 0.5), p.midpoint(q));
+        // extrapolation
+        assert_eq!(p.lerp(q, 2.0), Point::new(4.0, 8.0));
+    }
+
+    #[test]
+    fn dot_cross_identities() {
+        let a = Vector::new(3.0, 1.0);
+        let b = Vector::new(-2.0, 5.0);
+        // Lagrange identity: (a·b)² + (a×b)² = |a|²|b|²
+        let lhs = a.dot(b).powi(2) + a.cross(b).powi(2);
+        assert!(approx_eq(lhs, a.norm_sq() * b.norm_sq()));
+        assert!(approx_eq(a.cross(b), -b.cross(a)));
+        assert_eq!(a.perp().dot(a), 0.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vector::new(3.0, 4.0);
+        let u = v.normalized().unwrap();
+        assert!(approx_eq(u.norm(), 1.0));
+        assert!(Vector::ZERO.normalized().is_none());
+        assert!(Vector::new(1e-300, 0.0).normalized().is_none());
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let v = Vector::new(2.0, -7.0);
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            let r = v.rotated(theta);
+            assert!(approx_eq(r.norm(), v.norm()));
+        }
+        // quarter turn equals perp
+        let r = v.rotated(std::f64::consts::FRAC_PI_2);
+        assert!(approx_eq(r.x, v.perp().x));
+        assert!(approx_eq(r.y, v.perp().y));
+    }
+
+    #[test]
+    fn angles_roundtrip() {
+        for k in -7..8 {
+            let theta = k as f64 * 0.4;
+            let v = Vector::from_angle(theta);
+            assert!(approx_eq(v.norm(), 1.0));
+            let diff = (v.angle() - theta).rem_euclid(2.0 * std::f64::consts::PI);
+            assert!(diff < 1e-9 || (2.0 * std::f64::consts::PI - diff) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point = (1.0, 2.0).into();
+        let (x, y): (f64, f64) = p.into();
+        assert_eq!((x, y), (1.0, 2.0));
+        assert_eq!(p.to_vector().to_point(), p);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", Point::ORIGIN).is_empty());
+        assert!(!format!("{}", Vector::ZERO).is_empty());
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 2.0).is_finite());
+        assert!(!Vector::new(f64::INFINITY, 0.0).is_finite());
+    }
+}

@@ -1,0 +1,375 @@
+//! Convex polygons.
+//!
+//! Convex polygons serve two roles in the workspace: Voronoi cells (each is
+//! an intersection of half-planes — Observation 2.2 places every reception
+//! zone strictly inside the Voronoi cell of its station), and polygonal
+//! approximations of reception-zone boundaries produced by ray-shooting.
+
+use crate::approx::Tolerance;
+use crate::bbox::BBox;
+use crate::line::Line;
+use crate::point::Point;
+use crate::predicates::{orient2d, Orientation};
+use crate::segment::Segment;
+
+/// A convex polygon with vertices in counter-clockwise order.
+///
+/// The invariant (counter-clockwise convex vertex chain, no duplicate
+/// consecutive vertices) is established at construction and preserved by
+/// all operations.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geometry::{ConvexPolygon, Point};
+///
+/// let square = ConvexPolygon::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(1.0, 0.0),
+///     Point::new(1.0, 1.0),
+///     Point::new(0.0, 1.0),
+/// ]).unwrap();
+/// assert_eq!(square.area(), 1.0);
+/// assert!(square.contains(Point::new(0.5, 0.5)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvexPolygon {
+    vertices: Vec<Point>,
+}
+
+impl ConvexPolygon {
+    /// Creates a convex polygon from vertices in counter-clockwise order.
+    ///
+    /// Returns `None` if fewer than 3 vertices remain after removing
+    /// consecutive duplicates, or if the chain is not convex and
+    /// counter-clockwise.
+    pub fn new(vertices: Vec<Point>) -> Option<Self> {
+        let vertices = dedup_ring(vertices);
+        if vertices.len() < 3 {
+            return None;
+        }
+        let poly = ConvexPolygon { vertices };
+        if poly.is_convex_ccw() {
+            Some(poly)
+        } else {
+            None
+        }
+    }
+
+    /// The axis-aligned box as a polygon.
+    pub fn from_bbox(bb: &BBox) -> Self {
+        ConvexPolygon {
+            vertices: bb.corners().to_vec(),
+        }
+    }
+
+    /// The vertices in counter-clockwise order.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Always false: a constructed polygon has at least 3 vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// The edges as segments, counter-clockwise.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Signed area (positive for the counter-clockwise invariant).
+    pub fn area(&self) -> f64 {
+        shoelace(&self.vertices).abs()
+    }
+
+    /// Perimeter (sum of edge lengths).
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|e| e.length()).sum()
+    }
+
+    /// Centroid (area-weighted barycentre).
+    pub fn centroid(&self) -> Point {
+        let n = self.vertices.len();
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let mut a = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+            a += w;
+        }
+        if a.abs() <= f64::MIN_POSITIVE {
+            // Degenerate: average the vertices.
+            let inv = 1.0 / n as f64;
+            let (sx, sy) = self
+                .vertices
+                .iter()
+                .fold((0.0, 0.0), |(x, y), p| (x + p.x, y + p.y));
+            return Point::new(sx * inv, sy * inv);
+        }
+        Point::new(cx / (3.0 * a), cy / (3.0 * a))
+    }
+
+    /// True if `p` lies in the closed polygon.
+    pub fn contains(&self, p: Point) -> bool {
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if orient2d(a, b, p) == Orientation::Clockwise {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Maximum distance between any two vertices (the diameter).
+    pub fn diameter(&self) -> f64 {
+        let mut best: f64 = 0.0;
+        for (i, p) in self.vertices.iter().enumerate() {
+            for q in &self.vertices[i + 1..] {
+                best = best.max(p.dist(*q));
+            }
+        }
+        best
+    }
+
+    /// The smallest axis-aligned box containing the polygon.
+    pub fn bbox(&self) -> BBox {
+        BBox::from_points(self.vertices.iter().copied()).expect("polygon is non-empty")
+    }
+
+    /// Clips the polygon with the half-plane `signed_distance ≤ 0`
+    /// (the side the line's normal points *away* from).
+    ///
+    /// Returns `None` when the intersection is empty or degenerate (a point
+    /// or a segment). This is one Sutherland–Hodgman step; iterating it over
+    /// the perpendicular bisectors of a station against all other stations
+    /// yields its Voronoi cell.
+    pub fn clip_halfplane(&self, line: &Line) -> Option<ConvexPolygon> {
+        let tol = Tolerance::new(1e-12 * (1.0 + self.bbox().circumradius()), 0.0);
+        let n = self.vertices.len();
+        let mut out = Vec::with_capacity(n + 1);
+        for i in 0..n {
+            let cur = self.vertices[i];
+            let nxt = self.vertices[(i + 1) % n];
+            let dc = line.signed_distance(cur);
+            let dn = line.signed_distance(nxt);
+            let cur_in = dc <= tol.abs;
+            let nxt_in = dn <= tol.abs;
+            if cur_in {
+                out.push(cur);
+            }
+            if cur_in != nxt_in {
+                // Edge crosses the boundary; dc != dn since signs differ.
+                let t = dc / (dc - dn);
+                out.push(cur.lerp(nxt, t.clamp(0.0, 1.0)));
+            }
+        }
+        ConvexPolygon::new(out)
+    }
+
+    /// Intersection of half-planes (each given as "the side of `line` where
+    /// `signed_distance ≤ 0`"), seeded with a bounding window.
+    ///
+    /// Returns `None` when the intersection is empty or degenerate.
+    pub fn from_halfplanes(window: &BBox, lines: &[Line]) -> Option<ConvexPolygon> {
+        let mut poly = ConvexPolygon::from_bbox(window);
+        for line in lines {
+            poly = poly.clip_halfplane(line)?;
+        }
+        Some(poly)
+    }
+
+    fn is_convex_ccw(&self) -> bool {
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            let c = self.vertices[(i + 2) % n];
+            if orient2d(a, b, c) == Orientation::Clockwise {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Signed shoelace sum (twice the signed area is `2·shoelace`... no:
+/// this returns the signed area itself).
+fn shoelace(vs: &[Point]) -> f64 {
+    let n = vs.len();
+    let mut s = 0.0;
+    for i in 0..n {
+        let p = vs[i];
+        let q = vs[(i + 1) % n];
+        s += p.x * q.y - q.x * p.y;
+    }
+    0.5 * s
+}
+
+/// Removes consecutive (near-)duplicate vertices, treating the list as a ring.
+fn dedup_ring(mut vs: Vec<Point>) -> Vec<Point> {
+    let tol = Tolerance::default();
+    vs.dedup_by(|a, b| tol.is_zero(a.dist(*b)));
+    while vs.len() >= 2 && tol.is_zero(vs[0].dist(*vs.last().unwrap())) {
+        vs.pop();
+    }
+    vs
+}
+
+impl std::fmt::Display for ConvexPolygon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Polygon[")?;
+        for (i, v) in self.vertices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> ConvexPolygon {
+        ConvexPolygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(unit_square().area() > 0.0);
+        // clockwise input rejected
+        assert!(ConvexPolygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 0.0),
+        ])
+        .is_none());
+        // non-convex input rejected
+        assert!(ConvexPolygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 0.5), // dent
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+        .is_none());
+        // too few points
+        assert!(ConvexPolygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]).is_none());
+        // duplicate collapse
+        assert!(ConvexPolygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+        ])
+        .is_none());
+    }
+
+    #[test]
+    fn area_perimeter_centroid() {
+        let sq = unit_square();
+        assert!((sq.area() - 1.0).abs() < 1e-12);
+        assert!((sq.perimeter() - 4.0).abs() < 1e-12);
+        let c = sq.centroid();
+        assert!((c.x - 0.5).abs() < 1e-12 && (c.y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_boundary_inclusive() {
+        let sq = unit_square();
+        assert!(sq.contains(Point::new(0.5, 0.5)));
+        assert!(sq.contains(Point::new(0.0, 0.5))); // on edge
+        assert!(sq.contains(Point::new(0.0, 0.0))); // on vertex
+        assert!(!sq.contains(Point::new(1.5, 0.5)));
+        assert!(!sq.contains(Point::new(-0.1, -0.1)));
+    }
+
+    #[test]
+    fn clip_halfplane_cuts_square() {
+        let sq = unit_square();
+        // Keep the left half: x ≤ 0.5  ⇔  1·x + 0·y − 0.5 ≤ 0.
+        let line = Line::new(1.0, 0.0, -0.5).unwrap();
+        let half = sq.clip_halfplane(&line).unwrap();
+        assert!((half.area() - 0.5).abs() < 1e-9);
+        assert!(half.contains(Point::new(0.25, 0.5)));
+        assert!(!half.contains(Point::new(0.75, 0.5)));
+    }
+
+    #[test]
+    fn clip_to_empty() {
+        let sq = unit_square();
+        // Half-plane x ≤ −1 misses the square entirely.
+        let line = Line::new(1.0, 0.0, 1.0).unwrap();
+        assert!(sq.clip_halfplane(&line).is_none());
+    }
+
+    #[test]
+    fn clip_no_change_when_contained() {
+        let sq = unit_square();
+        let line = Line::new(1.0, 0.0, -10.0).unwrap(); // x ≤ 10
+        let same = sq.clip_halfplane(&line).unwrap();
+        assert!((same.area() - sq.area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halfplane_intersection_voronoi_style() {
+        // The Voronoi cell of the origin among 4 symmetric neighbours is a
+        // square of side 2 centred at the origin.
+        let window = BBox::centered_square(10.0);
+        let site = Point::ORIGIN;
+        let others = [
+            Point::new(2.0, 0.0),
+            Point::new(-2.0, 0.0),
+            Point::new(0.0, 2.0),
+            Point::new(0.0, -2.0),
+        ];
+        let lines: Vec<Line> = others
+            .iter()
+            .map(|o| Line::bisector(site, *o).unwrap())
+            .collect();
+        let cell = ConvexPolygon::from_halfplanes(&window, &lines).unwrap();
+        assert!((cell.area() - 4.0).abs() < 1e-9);
+        assert!(cell.contains(Point::new(0.9, 0.9)));
+        assert!(!cell.contains(Point::new(1.5, 0.0)));
+    }
+
+    #[test]
+    fn diameter_and_bbox() {
+        let sq = unit_square();
+        assert!((sq.diameter() - 2f64.sqrt()).abs() < 1e-12);
+        let bb = sq.bbox();
+        assert_eq!(bb.min, Point::new(0.0, 0.0));
+        assert_eq!(bb.max, Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn edges_form_closed_ring() {
+        let sq = unit_square();
+        let edges: Vec<Segment> = sq.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for i in 0..4 {
+            assert_eq!(edges[i].b, edges[(i + 1) % 4].a);
+        }
+    }
+}

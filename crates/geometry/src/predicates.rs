@@ -1,0 +1,176 @@
+//! Basic geometric predicates.
+//!
+//! The only predicate the paper's algorithms rely on is orientation
+//! (used by convex hulls, polygon clipping and the Voronoi substrate).
+//! We implement it directly on `f64` with a tolerance-quantised sign;
+//! the decisive boundary tests elsewhere in the workspace go through
+//! Sturm sequences, not through these predicates, so adaptive exact
+//! arithmetic is unnecessary here.
+
+use crate::approx::Tolerance;
+use crate::point::Point;
+
+/// Orientation of an ordered point triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// Counter-clockwise (left turn).
+    CounterClockwise,
+    /// Clockwise (right turn).
+    Clockwise,
+    /// Collinear within tolerance.
+    Collinear,
+}
+
+/// Twice the signed area of triangle `(a, b, c)`.
+///
+/// Positive when the triple is counter-clockwise. This is the classical
+/// `orient2d` determinant
+///
+/// ```text
+/// | bx−ax  by−ay |
+/// | cx−ax  cy−ay |
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geometry::{Point, predicates::signed_area2};
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(1.0, 0.0);
+/// let c = Point::new(0.0, 1.0);
+/// assert_eq!(signed_area2(a, b, c), 1.0);
+/// ```
+#[inline]
+pub fn signed_area2(a: Point, b: Point, c: Point) -> f64 {
+    (b - a).cross(c - a)
+}
+
+/// Classifies the orientation of the triple `(a, b, c)`.
+///
+/// The collinearity threshold scales with the magnitude of the coordinates
+/// involved, so the predicate behaves sensibly both near the origin and far
+/// from it.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geometry::{orient2d, Orientation, Point};
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(2.0, 0.0);
+/// assert_eq!(orient2d(a, b, Point::new(1.0, 1.0)), Orientation::CounterClockwise);
+/// assert_eq!(orient2d(a, b, Point::new(1.0, -1.0)), Orientation::Clockwise);
+/// assert_eq!(orient2d(a, b, Point::new(5.0, 0.0)), Orientation::Collinear);
+/// ```
+pub fn orient2d(a: Point, b: Point, c: Point) -> Orientation {
+    let det = signed_area2(a, b, c);
+    // Scale-aware threshold: the determinant is a difference of products of
+    // coordinate differences, so its rounding error is proportional to the
+    // square of the coordinate spread.
+    let scale = (b.x - a.x)
+        .abs()
+        .max((b.y - a.y).abs())
+        .max((c.x - a.x).abs())
+        .max((c.y - a.y).abs());
+    let tol = Tolerance::new(1e-12 * scale * scale + f64::MIN_POSITIVE, 0.0);
+    match tol.sign(det) {
+        0 => Orientation::Collinear,
+        1 => Orientation::CounterClockwise,
+        _ => Orientation::Clockwise,
+    }
+}
+
+/// Returns true if the triple is collinear within tolerance.
+#[inline]
+pub fn collinear(a: Point, b: Point, c: Point) -> bool {
+    orient2d(a, b, c) == Orientation::Collinear
+}
+
+/// Returns true if point `q` lies inside (or on) the circle through `a`,
+/// `b`, `c` given in counter-clockwise order.
+///
+/// Uses the classical 3×3 in-circle determinant lifted to the paraboloid.
+/// Only used by tests and diagnostics; the paper's algorithms never need an
+/// in-circle test.
+pub fn in_circle(a: Point, b: Point, c: Point, q: Point) -> bool {
+    debug_assert_ne!(
+        orient2d(a, b, c),
+        Orientation::Clockwise,
+        "triangle must be CCW"
+    );
+    let (ax, ay) = (a.x - q.x, a.y - q.y);
+    let (bx, by) = (b.x - q.x, b.y - q.y);
+    let (cx, cy) = (c.x - q.x, c.y - q.y);
+    let det = (ax * ax + ay * ay) * (bx * cy - cx * by) - (bx * bx + by * by) * (ax * cy - cx * ay)
+        + (cx * cx + cy * cy) * (ax * by - bx * ay);
+    det >= 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation_basic() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        assert_eq!(
+            orient2d(a, b, Point::new(0.5, 0.5)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            orient2d(a, b, Point::new(0.5, -0.5)),
+            Orientation::Clockwise
+        );
+        assert_eq!(orient2d(a, b, Point::new(2.0, 0.0)), Orientation::Collinear);
+    }
+
+    #[test]
+    fn orientation_antisymmetry() {
+        let a = Point::new(0.3, 1.7);
+        let b = Point::new(-2.0, 0.4);
+        let c = Point::new(5.5, -3.25);
+        let abc = orient2d(a, b, c);
+        let acb = orient2d(a, c, b);
+        assert_ne!(abc, acb);
+        assert_eq!(abc, Orientation::CounterClockwise);
+        assert_eq!(acb, Orientation::Clockwise);
+    }
+
+    #[test]
+    fn orientation_scale_invariance() {
+        // The same shape at widely different scales classifies identically.
+        for scale in [1e-6, 1.0, 1e6] {
+            let a = Point::new(0.0, 0.0);
+            let b = Point::new(scale, 0.0);
+            let c = Point::new(scale, scale);
+            assert_eq!(
+                orient2d(a, b, c),
+                Orientation::CounterClockwise,
+                "scale {scale}"
+            );
+            let c2 = Point::new(2.0 * scale, 0.0);
+            assert_eq!(orient2d(a, b, c2), Orientation::Collinear, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn in_circle_unit() {
+        // CCW unit circle through these three points.
+        let a = Point::new(1.0, 0.0);
+        let b = Point::new(0.0, 1.0);
+        let c = Point::new(-1.0, 0.0);
+        assert!(in_circle(a, b, c, Point::new(0.0, 0.0)));
+        assert!(in_circle(a, b, c, Point::new(0.5, 0.5)));
+        assert!(!in_circle(a, b, c, Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn signed_area_matches_shoelace() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 0.0);
+        let c = Point::new(0.0, 3.0);
+        assert_eq!(signed_area2(a, b, c), 12.0); // twice area 6
+    }
+}

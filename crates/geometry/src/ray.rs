@@ -1,0 +1,130 @@
+//! Rays (half-lines).
+//!
+//! Rays drive the reception-zone boundary probing in `sinr-core`: by
+//! Lemma 3.1 the SINR of a station is monotone along any ray emanating from
+//! it, so the boundary radius in a direction `θ` is found by bisection along
+//! `Ray { origin: s₀, dir: u(θ) }`.
+
+use crate::point::{Point, Vector};
+use crate::segment::Segment;
+
+/// A ray: all points `origin + t·dir` for `t ≥ 0`.
+///
+/// The direction is normalised on construction.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geometry::{Point, Ray, Vector};
+///
+/// let r = Ray::new(Point::ORIGIN, Vector::new(3.0, 0.0)).unwrap();
+/// assert_eq!(r.point_at(2.0), Point::new(2.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// The apex of the ray (`t = 0`).
+    pub origin: Point,
+    /// Unit direction vector.
+    dir: Vector,
+}
+
+impl Ray {
+    /// Creates a ray from an origin and a (not necessarily unit) direction.
+    ///
+    /// Returns `None` when the direction is (nearly) zero.
+    pub fn new(origin: Point, dir: Vector) -> Option<Self> {
+        dir.normalized().map(|dir| Ray { origin, dir })
+    }
+
+    /// Creates a ray from an origin and a polar angle (radians).
+    pub fn from_angle(origin: Point, theta: f64) -> Self {
+        Ray {
+            origin,
+            dir: Vector::from_angle(theta),
+        }
+    }
+
+    /// The unit direction vector.
+    #[inline]
+    pub fn direction(&self) -> Vector {
+        self.dir
+    }
+
+    /// The point at arc-length parameter `t ≥ 0`.
+    ///
+    /// Because the direction is a unit vector, `t` is the Euclidean distance
+    /// from the origin of the ray.
+    #[inline]
+    pub fn point_at(&self, t: f64) -> Point {
+        debug_assert!(t >= 0.0, "ray parameter must be non-negative");
+        self.origin + self.dir * t
+    }
+
+    /// The sub-segment between parameters `t0 ≤ t1`.
+    pub fn segment(&self, t0: f64, t1: f64) -> Segment {
+        debug_assert!(0.0 <= t0 && t0 <= t1);
+        Segment::new(self.point_at(t0), self.point_at(t1))
+    }
+
+    /// Parameter of the orthogonal projection of `p` onto the supporting
+    /// line (may be negative if `p` is behind the ray).
+    pub fn project_param(&self, p: Point) -> f64 {
+        (p - self.origin).dot(self.dir)
+    }
+}
+
+impl std::fmt::Display for Ray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} + t·{}", self.origin, self.dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn construction_normalises() {
+        let r = Ray::new(Point::new(1.0, 1.0), Vector::new(0.0, -5.0)).unwrap();
+        assert!(approx_eq(r.direction().norm(), 1.0));
+        assert_eq!(r.point_at(2.0), Point::new(1.0, -1.0));
+        assert!(Ray::new(Point::ORIGIN, Vector::ZERO).is_none());
+    }
+
+    #[test]
+    fn from_angle_quadrants() {
+        use std::f64::consts::{FRAC_PI_2, PI};
+        let o = Point::ORIGIN;
+        let east = Ray::from_angle(o, 0.0).point_at(1.0);
+        let north = Ray::from_angle(o, FRAC_PI_2).point_at(1.0);
+        let west = Ray::from_angle(o, PI).point_at(1.0);
+        assert!(approx_eq(east.x, 1.0) && approx_eq(east.y, 0.0));
+        assert!(approx_eq(north.x, 0.0) && approx_eq(north.y, 1.0));
+        assert!(approx_eq(west.x, -1.0) && approx_eq(west.y, 0.0));
+    }
+
+    #[test]
+    fn param_is_arclength() {
+        let r = Ray::from_angle(Point::new(2.0, 3.0), 0.7);
+        for &t in &[0.0, 0.5, 1.7, 10.0] {
+            assert!(approx_eq(r.point_at(t).dist(r.origin), t));
+        }
+    }
+
+    #[test]
+    fn projection() {
+        let r = Ray::from_angle(Point::ORIGIN, 0.0);
+        assert!(approx_eq(r.project_param(Point::new(3.0, 4.0)), 3.0));
+        assert!(r.project_param(Point::new(-2.0, 1.0)) < 0.0);
+    }
+
+    #[test]
+    fn sub_segment() {
+        let r = Ray::from_angle(Point::ORIGIN, 0.0);
+        let s = r.segment(1.0, 3.0);
+        assert_eq!(s.a, Point::new(1.0, 0.0));
+        assert_eq!(s.b, Point::new(3.0, 0.0));
+        assert!(approx_eq(s.length(), 2.0));
+    }
+}

@@ -1,0 +1,301 @@
+//! Closed line segments.
+//!
+//! Segments appear throughout the paper: the convexity proofs argue about
+//! `p₁p₂ ⊆ H₀`, and the point-location structure of Section 5 applies its
+//! *segment test* to grid-cell edges. The [`Segment`] type carries the two
+//! endpoints and exposes the affine parametrisation `p(t) = a + t·(b − a)`
+//! for `t ∈ [0, 1]`, which is also how `sinr-algebra` restricts the
+//! characteristic polynomial to a segment.
+
+use crate::approx::Tolerance;
+use crate::point::{Point, Vector};
+
+/// A closed segment between two endpoints.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geometry::{Point, Segment};
+///
+/// let s = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0));
+/// assert_eq!(s.length(), 4.0);
+/// assert_eq!(s.point_at(0.25), Point::new(1.0, 0.0));
+/// assert_eq!(s.dist_to_point(Point::new(2.0, 3.0)), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// First endpoint (parameter `t = 0`).
+    pub a: Point,
+    /// Second endpoint (parameter `t = 1`).
+    pub b: Point,
+}
+
+/// Result of a segment–segment intersection query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SegmentIntersection {
+    /// The segments do not intersect.
+    None,
+    /// The segments intersect in a single point.
+    Point(Point),
+    /// The segments overlap along a (possibly degenerate) sub-segment.
+    Overlap(Segment),
+}
+
+impl Segment {
+    /// Creates a segment between `a` and `b` (degenerate segments allowed).
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Length of the segment.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    /// Squared length of the segment.
+    #[inline]
+    pub fn length_sq(&self) -> f64 {
+        self.a.dist_sq(self.b)
+    }
+
+    /// Direction vector `b − a` (not normalised).
+    #[inline]
+    pub fn direction(&self) -> Vector {
+        self.b - self.a
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// The point at parameter `t`: `a + t·(b−a)`.
+    ///
+    /// `t` outside `[0, 1]` extrapolates onto the supporting line.
+    #[inline]
+    pub fn point_at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// The segment with endpoints swapped (parameter direction reversed).
+    #[inline]
+    pub fn reversed(&self) -> Segment {
+        Segment::new(self.b, self.a)
+    }
+
+    /// True if the segment is degenerate (endpoints coincide within
+    /// tolerance).
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        Tolerance::default().is_zero(self.length())
+    }
+
+    /// Parameter of the orthogonal projection of `p` onto the supporting
+    /// line, unclamped. For a degenerate segment returns `0`.
+    pub fn project_param(&self, p: Point) -> f64 {
+        let d = self.direction();
+        let len2 = d.norm_sq();
+        if len2 <= f64::MIN_POSITIVE {
+            0.0
+        } else {
+            (p - self.a).dot(d) / len2
+        }
+    }
+
+    /// The point of the segment closest to `p`.
+    pub fn closest_point(&self, p: Point) -> Point {
+        let t = self.project_param(p).clamp(0.0, 1.0);
+        self.point_at(t)
+    }
+
+    /// Euclidean distance from `p` to the segment.
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        self.closest_point(p).dist(p)
+    }
+
+    /// True if `p` lies on the segment within tolerance `tol`.
+    pub fn contains_point(&self, p: Point, tol: f64) -> bool {
+        self.dist_to_point(p) <= tol
+    }
+
+    /// Intersects two segments.
+    ///
+    /// Returns [`SegmentIntersection::Point`] for a transversal or endpoint
+    /// intersection, [`SegmentIntersection::Overlap`] when the segments are
+    /// collinear with a shared sub-segment, and
+    /// [`SegmentIntersection::None`] otherwise.
+    pub fn intersect(&self, other: &Segment) -> SegmentIntersection {
+        let r = self.direction();
+        let s = other.direction();
+        let qp = other.a - self.a;
+        let denom = r.cross(s);
+        let tol = Tolerance::new(1e-12 * (1.0 + r.norm() * s.norm()), 0.0);
+
+        if tol.is_zero(denom) {
+            // Parallel. Collinear?
+            if !tol.is_zero(qp.cross(r)) {
+                return SegmentIntersection::None;
+            }
+            // Collinear: project other's endpoints onto self's parameter.
+            let len2 = r.norm_sq();
+            if len2 <= f64::MIN_POSITIVE {
+                // self is a point.
+                return if other.contains_point(self.a, 1e-9) {
+                    SegmentIntersection::Point(self.a)
+                } else {
+                    SegmentIntersection::None
+                };
+            }
+            let t0 = qp.dot(r) / len2;
+            let t1 = t0 + s.dot(r) / len2;
+            let (lo, hi) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+            let lo = lo.max(0.0);
+            let hi = hi.min(1.0);
+            if lo > hi + 1e-12 {
+                SegmentIntersection::None
+            } else if (hi - lo).abs() <= 1e-12 {
+                SegmentIntersection::Point(self.point_at(lo))
+            } else {
+                SegmentIntersection::Overlap(Segment::new(self.point_at(lo), self.point_at(hi)))
+            }
+        } else {
+            let t = qp.cross(s) / denom;
+            let u = qp.cross(r) / denom;
+            let eps = 1e-12;
+            if t >= -eps && t <= 1.0 + eps && u >= -eps && u <= 1.0 + eps {
+                SegmentIntersection::Point(self.point_at(t.clamp(0.0, 1.0)))
+            } else {
+                SegmentIntersection::None
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{} — {}]", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn length_midpoint_direction() {
+        let s = seg(0.0, 0.0, 3.0, 4.0);
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.length_sq(), 25.0);
+        assert_eq!(s.midpoint(), Point::new(1.5, 2.0));
+        assert_eq!(s.direction(), Vector::new(3.0, 4.0));
+        assert_eq!(s.reversed().direction(), Vector::new(-3.0, -4.0));
+    }
+
+    #[test]
+    fn closest_point_cases() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        // interior projection
+        assert_eq!(s.closest_point(Point::new(3.0, 5.0)), Point::new(3.0, 0.0));
+        // clamped to endpoints
+        assert_eq!(s.closest_point(Point::new(-4.0, 2.0)), Point::new(0.0, 0.0));
+        assert_eq!(
+            s.closest_point(Point::new(15.0, -2.0)),
+            Point::new(10.0, 0.0)
+        );
+        assert!(approx_eq(s.dist_to_point(Point::new(15.0, 0.0)), 5.0));
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let s = seg(1.0, 1.0, 1.0, 1.0);
+        assert!(s.is_degenerate());
+        assert_eq!(s.closest_point(Point::new(9.0, 9.0)), Point::new(1.0, 1.0));
+        assert_eq!(s.project_param(Point::new(9.0, 9.0)), 0.0);
+    }
+
+    #[test]
+    fn transversal_intersection() {
+        let s1 = seg(0.0, 0.0, 2.0, 2.0);
+        let s2 = seg(0.0, 2.0, 2.0, 0.0);
+        match s1.intersect(&s2) {
+            SegmentIntersection::Point(p) => {
+                assert!(approx_eq(p.x, 1.0) && approx_eq(p.y, 1.0));
+            }
+            other => panic!("expected point intersection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn miss_is_none() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(0.0, 1.0, 1.0, 1.0);
+        assert_eq!(s1.intersect(&s2), SegmentIntersection::None);
+        // lines would cross, segments do not
+        let s3 = seg(5.0, -1.0, 5.0, 1.0);
+        assert_eq!(s1.intersect(&s3), SegmentIntersection::None);
+    }
+
+    #[test]
+    fn endpoint_touch() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(1.0, 0.0, 2.0, 5.0);
+        match s1.intersect(&s2) {
+            SegmentIntersection::Point(p) => assert_eq!(p, Point::new(1.0, 0.0)),
+            other => panic!("expected endpoint touch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collinear_overlap() {
+        let s1 = seg(0.0, 0.0, 4.0, 0.0);
+        let s2 = seg(2.0, 0.0, 6.0, 0.0);
+        match s1.intersect(&s2) {
+            SegmentIntersection::Overlap(o) => {
+                assert!(approx_eq(o.a.x.min(o.b.x), 2.0));
+                assert!(approx_eq(o.a.x.max(o.b.x), 4.0));
+            }
+            other => panic!("expected overlap, got {other:?}"),
+        }
+        // collinear but disjoint
+        let s3 = seg(5.0, 0.0, 6.0, 0.0);
+        assert_eq!(s1.intersect(&s3), SegmentIntersection::None);
+        // collinear, touching at one point
+        let s4 = seg(4.0, 0.0, 6.0, 0.0);
+        match s1.intersect(&s4) {
+            SegmentIntersection::Point(p) => assert!(approx_eq(p.x, 4.0)),
+            other => panic!("expected point, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_non_collinear() {
+        let s1 = seg(0.0, 0.0, 4.0, 4.0);
+        let s2 = seg(1.0, 0.0, 5.0, 4.0);
+        assert_eq!(s1.intersect(&s2), SegmentIntersection::None);
+    }
+
+    #[test]
+    fn contains_point_tolerance() {
+        let s = seg(0.0, 0.0, 1.0, 1.0);
+        assert!(s.contains_point(Point::new(0.5, 0.5), 1e-9));
+        assert!(s.contains_point(Point::new(0.5, 0.5 + 1e-10), 1e-9));
+        assert!(!s.contains_point(Point::new(0.5, 0.6), 1e-9));
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let s = seg(-1.0, 2.0, 3.0, -2.0);
+        for &t in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            let p = s.point_at(t);
+            assert!(approx_eq(s.project_param(p), t));
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Similarity transforms: rotation + uniform scaling + translation.
+//!
+//! Lemma 2.3 of the paper states that applying a map `f` consisting of
+//! rotation, translation and scaling by `σ > 0` to a network (and dividing
+//! the background noise by `σ²`) leaves every SINR value unchanged:
+//! `SINR_A(s_i, p) = SINR_{f(A)}(f(s_i), f(p))`.
+//!
+//! The convexity and fatness proofs use this repeatedly to normalise
+//! configurations ("assume `s₀` is at the origin and the line is `y = 1`").
+//! [`Similarity`] is the code form of that `f`, and `sinr-core` exposes the
+//! corresponding network transform.
+
+use crate::point::{Point, Vector};
+
+/// An orientation-preserving similarity of the plane:
+/// `f(p) = σ·R(θ)·p + t`.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geometry::{Point, Similarity, Vector};
+///
+/// // Move s0 to the origin and rotate p onto the positive x-axis —
+/// // the normalisation used throughout Section 3 of the paper.
+/// let s0 = Point::new(3.0, 4.0);
+/// let p = Point::new(3.0, 6.0);
+/// let f = Similarity::normalizing(s0, p).unwrap();
+/// let fp = f.apply(p);
+/// assert!((f.apply(s0).dist(Point::ORIGIN)) < 1e-12);
+/// assert!((fp.y).abs() < 1e-12 && fp.x > 0.0);
+/// // Distances scale uniformly by the scale factor (here 1).
+/// assert!((fp.dist(Point::ORIGIN) - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Similarity {
+    /// cos θ · σ
+    m00: f64,
+    /// −sin θ · σ
+    m01: f64,
+    /// translation
+    t: Vector,
+    /// σ (cached for scale queries)
+    scale: f64,
+}
+
+impl Similarity {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Similarity {
+            m00: 1.0,
+            m01: 0.0,
+            t: Vector::ZERO,
+            scale: 1.0,
+        }
+    }
+
+    /// A pure translation by `t`.
+    pub fn translation(t: Vector) -> Self {
+        Similarity {
+            m00: 1.0,
+            m01: 0.0,
+            t,
+            scale: 1.0,
+        }
+    }
+
+    /// A rotation by `theta` radians about the origin.
+    pub fn rotation(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Similarity {
+            m00: c,
+            m01: -s,
+            t: Vector::ZERO,
+            scale: 1.0,
+        }
+    }
+
+    /// A uniform scaling about the origin by `sigma > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not strictly positive and finite.
+    pub fn scaling(sigma: f64) -> Self {
+        assert!(
+            sigma > 0.0 && sigma.is_finite(),
+            "scale must be positive, got {sigma}"
+        );
+        Similarity {
+            m00: sigma,
+            m01: 0.0,
+            t: Vector::ZERO,
+            scale: sigma,
+        }
+    }
+
+    /// General constructor: rotation by `theta`, then scaling by `sigma`,
+    /// then translation by `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not strictly positive and finite.
+    pub fn new(theta: f64, sigma: f64, t: Vector) -> Self {
+        assert!(
+            sigma > 0.0 && sigma.is_finite(),
+            "scale must be positive, got {sigma}"
+        );
+        let (s, c) = theta.sin_cos();
+        Similarity {
+            m00: c * sigma,
+            m01: -s * sigma,
+            t,
+            scale: sigma,
+        }
+    }
+
+    /// The normalising map of the paper's proofs: sends `anchor` to the
+    /// origin and rotates so that `toward` lands on the positive x-axis.
+    /// No scaling is applied.
+    ///
+    /// Returns `None` when `anchor == toward` (no direction to align).
+    pub fn normalizing(anchor: Point, toward: Point) -> Option<Self> {
+        let d = (toward - anchor).normalized()?;
+        let theta = -d.angle();
+        let rot = Similarity::rotation(theta);
+        let shifted = rot.apply(anchor);
+        Some(Similarity {
+            t: -shifted.to_vector(),
+            ..rot
+        })
+    }
+
+    /// The scale factor `σ`.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Applies the transform to a point.
+    #[inline]
+    pub fn apply(&self, p: Point) -> Point {
+        // R(θ)·σ matrix is [[m00, m01], [−m01, m00]].
+        Point::new(
+            self.m00 * p.x + self.m01 * p.y + self.t.x,
+            -self.m01 * p.x + self.m00 * p.y + self.t.y,
+        )
+    }
+
+    /// Applies the transform to a direction vector (translation ignored).
+    #[inline]
+    pub fn apply_vector(&self, v: Vector) -> Vector {
+        Vector::new(
+            self.m00 * v.x + self.m01 * v.y,
+            -self.m01 * v.x + self.m00 * v.y,
+        )
+    }
+
+    /// Composition `self ∘ other` (apply `other` first, then `self`).
+    pub fn compose(&self, other: &Similarity) -> Similarity {
+        // self(other(p)) = M_s (M_o p + t_o) + t_s
+        let m00 = self.m00 * other.m00 + self.m01 * -other.m01;
+        let m01 = self.m00 * other.m01 + self.m01 * other.m00;
+        let t = self.apply_vector(other.t) + self.t;
+        Similarity {
+            m00,
+            m01,
+            t,
+            scale: self.scale * other.scale,
+        }
+    }
+
+    /// The inverse transform.
+    pub fn inverse(&self) -> Similarity {
+        let s2 = self.scale * self.scale;
+        // Inverse of [[a, b], [−b, a]] is [[a, −b], [b, a]] / (a² + b²).
+        let a = self.m00 / s2;
+        let b = self.m01 / s2;
+        let inv = Similarity {
+            m00: a,
+            m01: -b,
+            t: Vector::ZERO,
+            scale: 1.0 / self.scale,
+        };
+        let t = -inv.apply_vector(self.t);
+        Similarity { t, ..inv }
+    }
+}
+
+impl Default for Similarity {
+    fn default() -> Self {
+        Similarity::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn assert_pt(p: Point, q: Point) {
+        assert!(approx_eq(p.x, q.x) && approx_eq(p.y, q.y), "{p} != {q}");
+    }
+
+    #[test]
+    fn identity_and_translation() {
+        let id = Similarity::identity();
+        let p = Point::new(2.0, -3.0);
+        assert_pt(id.apply(p), p);
+        let tr = Similarity::translation(Vector::new(1.0, 1.0));
+        assert_pt(tr.apply(p), Point::new(3.0, -2.0));
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let rot = Similarity::rotation(std::f64::consts::FRAC_PI_2);
+        assert_pt(rot.apply(Point::new(1.0, 0.0)), Point::new(0.0, 1.0));
+        assert_pt(rot.apply(Point::new(0.0, 1.0)), Point::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn scaling_scales_distances() {
+        let f = Similarity::scaling(3.0);
+        let p = Point::new(1.0, 2.0);
+        let q = Point::new(4.0, 6.0);
+        assert!(approx_eq(f.apply(p).dist(f.apply(q)), 3.0 * p.dist(q)));
+        assert!(approx_eq(f.scale(), 3.0));
+    }
+
+    #[test]
+    fn general_distance_scaling() {
+        // Lemma 2.3 precondition: any similarity scales all distances by σ.
+        let f = Similarity::new(0.83, 2.5, Vector::new(-4.0, 7.0));
+        let p = Point::new(1.3, -0.7);
+        let q = Point::new(-2.0, 5.5);
+        assert!(approx_eq(f.apply(p).dist(f.apply(q)), 2.5 * p.dist(q)));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let f = Similarity::new(1.1, 0.7, Vector::new(3.0, -2.0));
+        let g = f.inverse();
+        for &(x, y) in &[(0.0, 0.0), (1.0, 2.0), (-5.0, 3.3)] {
+            let p = Point::new(x, y);
+            assert_pt(g.apply(f.apply(p)), p);
+            assert_pt(f.apply(g.apply(p)), p);
+        }
+        assert!(approx_eq(g.scale(), 1.0 / 0.7));
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let f = Similarity::new(0.4, 2.0, Vector::new(1.0, 0.0));
+        let g = Similarity::new(-1.2, 0.5, Vector::new(0.0, 3.0));
+        let fg = f.compose(&g);
+        let p = Point::new(2.0, -1.0);
+        assert_pt(fg.apply(p), f.apply(g.apply(p)));
+        assert!(approx_eq(fg.scale(), 1.0));
+    }
+
+    #[test]
+    fn normalizing_map() {
+        let s0 = Point::new(-2.0, 5.0);
+        let p = Point::new(1.0, 9.0);
+        let f = Similarity::normalizing(s0, p).unwrap();
+        assert_pt(f.apply(s0), Point::ORIGIN);
+        let fp = f.apply(p);
+        assert!(fp.x > 0.0 && approx_eq(fp.y, 0.0));
+        assert!(approx_eq(fp.x, s0.dist(p))); // no scaling
+        assert!(Similarity::normalizing(s0, s0).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_scale_panics() {
+        let _ = Similarity::scaling(0.0);
+    }
+
+    #[test]
+    fn vectors_ignore_translation() {
+        let f = Similarity::new(0.0, 1.0, Vector::new(100.0, 100.0));
+        let v = Vector::new(1.0, 2.0);
+        assert!(approx_eq(f.apply_vector(v).x, 1.0));
+        assert!(approx_eq(f.apply_vector(v).y, 2.0));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the geometry kernel.
+
+use proptest::prelude::*;
+use sinr_geometry::{
+    convex_hull, BBox, Ball, ConvexPolygon, Grid, Line, Point, Segment, Similarity, Vector,
+};
+
+fn pt() -> impl Strategy<Value = Point> {
+    ((-100i32..100), (-100i32..100)).prop_map(|(x, y)| Point::new(x as f64 / 10.0, y as f64 / 10.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The bisector ("separation line") is the equidistance locus and its
+    /// sign convention is "negative ⇒ closer to the first point".
+    #[test]
+    fn bisector_separates(p in pt(), q in pt(), probe in pt()) {
+        prop_assume!(p.dist(q) > 1e-6);
+        let line = Line::bisector(p, q).unwrap();
+        let d = line.signed_distance(probe);
+        let dp = probe.dist(p);
+        let dq = probe.dist(q);
+        if d < -1e-9 {
+            prop_assert!(dp < dq);
+        } else if d > 1e-9 {
+            prop_assert!(dp > dq);
+        } else {
+            prop_assert!((dp - dq).abs() < 1e-6);
+        }
+    }
+
+    /// Segment closest-point is no farther than both endpoints and the
+    /// midpoint.
+    #[test]
+    fn segment_closest_point_minimal(a in pt(), b in pt(), probe in pt()) {
+        let seg = Segment::new(a, b);
+        let d = seg.dist_to_point(probe);
+        prop_assert!(d <= probe.dist(a) + 1e-12);
+        prop_assert!(d <= probe.dist(b) + 1e-12);
+        prop_assert!(d <= probe.dist(seg.midpoint()) + 1e-12);
+    }
+
+    /// The convex hull contains every input point and is no larger than
+    /// the bounding box.
+    #[test]
+    fn hull_sandwich(points in prop::collection::vec(pt(), 3..40)) {
+        let Some(hull) = convex_hull(&points) else { return Ok(()); };
+        for p in &points {
+            prop_assert!(hull.contains(*p), "hull must contain {p}");
+        }
+        let bb = BBox::from_points(points.iter().copied()).unwrap();
+        prop_assert!(hull.area() <= bb.area() + 1e-9);
+    }
+
+    /// Clipping by a half-plane never increases the area, and clipping by
+    /// a half-plane containing the polygon leaves it unchanged.
+    #[test]
+    fn clip_monotone(points in prop::collection::vec(pt(), 3..20), a in pt(), b in pt()) {
+        prop_assume!(a.dist(b) > 1e-6);
+        let Some(hull) = convex_hull(&points) else { return Ok(()); };
+        let line = Line::from_points(a, b).unwrap();
+        if let Some(clipped) = hull.clip_halfplane(&line) {
+            prop_assert!(clipped.area() <= hull.area() + 1e-9);
+        }
+        // A line far below everything keeps the polygon whole.
+        let far = Line::new(0.0, 1.0, 1e6).unwrap().flipped(); // y ≥ −1e6 side is kept: −y −1e6 ≤ 0
+        if let Some(same) = hull.clip_halfplane(&far) {
+            prop_assert!((same.area() - hull.area()).abs() < 1e-6);
+        }
+    }
+
+    /// Circle–circle intersections lie on both circles.
+    #[test]
+    fn circle_intersections_on_both(c1 in pt(), r1 in 0.1f64..5.0, c2 in pt(), r2 in 0.1f64..5.0) {
+        let b1 = Ball::new(c1, r1);
+        let b2 = Ball::new(c2, r2);
+        for p in b1.circle_intersections(&b2) {
+            prop_assert!(b1.on_boundary(p, 1e-6), "{p} not on first circle");
+            prop_assert!(b2.on_boundary(p, 1e-6), "{p} not on second circle");
+        }
+    }
+
+    /// Similarity maps scale all distances uniformly and invert exactly.
+    #[test]
+    fn similarity_distance_scaling(
+        theta in 0.0f64..std::f64::consts::TAU,
+        sigma in 0.1f64..10.0,
+        tx in -5.0f64..5.0, ty in -5.0f64..5.0,
+        p in pt(), q in pt(),
+    ) {
+        let f = Similarity::new(theta, sigma, Vector::new(tx, ty));
+        let scaled = f.apply(p).dist(f.apply(q));
+        prop_assert!((scaled - sigma * p.dist(q)).abs() < 1e-7 * (1.0 + scaled));
+        let inv = f.inverse();
+        let back = inv.apply(f.apply(p));
+        prop_assert!(back.dist(p) < 1e-7);
+    }
+
+    /// Grid partition: every point belongs to exactly one cell whose box
+    /// contains it, and cell/9-cell relations are consistent.
+    #[test]
+    fn grid_partition(origin in pt(), gamma in 0.05f64..3.0, p in pt()) {
+        let g = Grid::new(origin, gamma);
+        let c = g.cell_of(p);
+        prop_assert!(g.cell_bbox(c).contains(p));
+        // the half-open convention: p is NOT in the east/north neighbour
+        let east = sinr_geometry::CellId::new(c.i + 1, c.j);
+        prop_assert!(p.x < g.cell_bbox(east).min.x + gamma);
+        // 9-cell of c contains c and has 9 distinct members
+        let nine: Vec<_> = c.nine_cell().collect();
+        prop_assert_eq!(nine.len(), 9);
+        prop_assert!(nine.contains(&c));
+    }
+
+    /// Polygon area is invariant under vertex rotation of the ring.
+    #[test]
+    fn polygon_ring_rotation(points in prop::collection::vec(pt(), 3..15), k in 0usize..14) {
+        let Some(hull) = convex_hull(&points) else { return Ok(()); };
+        let verts = hull.vertices().to_vec();
+        let k = k % verts.len();
+        let rotated: Vec<Point> = verts[k..].iter().chain(verts[..k].iter()).copied().collect();
+        let rot = ConvexPolygon::new(rotated).expect("rotation preserves convexity");
+        prop_assert!((rot.area() - hull.area()).abs() < 1e-9);
+        prop_assert!((rot.perimeter() - hull.perimeter()).abs() < 1e-9);
+    }
+
+    /// Ball line intersections lie on the circle and on the line.
+    #[test]
+    fn ball_line_intersections(c in pt(), r in 0.1f64..5.0, a in pt(), b in pt()) {
+        prop_assume!(a.dist(b) > 1e-6);
+        let ball = Ball::new(c, r);
+        let line = Line::from_points(a, b).unwrap();
+        for p in ball.line_intersections(&line) {
+            prop_assert!(ball.on_boundary(p, 1e-6));
+            prop_assert!(line.distance(p) < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! UDG-vs-SINR outcome classification — the quantitative form of the
+//! paper's Figures 2–4.
+//!
+//! The paper narrates two failure modes of graph-based reception:
+//!
+//! * **false positive** (Figure 2): the UDG diagram says the receiver
+//!   hears a station, but the *cumulative* interference of stations just
+//!   outside the UDG radius silences it in the SINR model;
+//! * **false negative** (Figure 4, steps 2–3): the UDG collision rule
+//!   declares a loss, yet the SINR model still delivers the message
+//!   because the interferer is far or weak enough.
+//!
+//! [`classify_at`] evaluates both models at a point; [`compare_on_grid`]
+//! aggregates the disagreement statistics over a sampling window.
+
+use crate::protocol::ProtocolModel;
+use sinr_core::{Network, StationId};
+use sinr_geometry::{BBox, Point};
+
+/// The joint outcome of UDG (protocol-model) and SINR reception at a point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Comparison {
+    /// Both models agree nobody is heard.
+    AgreeSilent,
+    /// Both models agree on the same heard station.
+    AgreeHeard(StationId),
+    /// UDG hears a station but SINR hears nothing — a *false positive* of
+    /// the graph model (cumulative interference ignored; Figure 2).
+    FalsePositive(StationId),
+    /// UDG hears nothing but SINR hears a station — a *false negative* of
+    /// the graph model (over-eager collision rule; Figure 4(A)/(B)).
+    FalseNegative(StationId),
+    /// The models hear *different* stations.
+    Different {
+        /// Station heard by the UDG / protocol model.
+        udg: StationId,
+        /// Station heard by the SINR model.
+        sinr: StationId,
+    },
+}
+
+impl Comparison {
+    /// True when the two models agree (silent or same station).
+    pub fn agrees(&self) -> bool {
+        matches!(self, Comparison::AgreeSilent | Comparison::AgreeHeard(_))
+    }
+}
+
+/// Classifies reception at point `p`: SINR reception per `net` (with its
+/// own threshold/noise) versus protocol-model reception with radius
+/// `udg.radius()` over the same station set.
+///
+/// `transmitting[i]` masks the active stations *in both models*; for the
+/// SINR side the silent stations are removed from the network
+/// (`Network::without_station` semantics).
+///
+/// # Panics
+///
+/// Panics when the mask length differs from the station count, fewer than
+/// two stations transmit, or the protocol model's positions differ from
+/// the network's.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_core::Network;
+/// use sinr_graphs::{classify_at, Comparison, ProtocolModel};
+/// use sinr_geometry::Point;
+///
+/// let positions = vec![Point::new(0.0, 0.0), Point::new(3.0, 0.0)];
+/// let net = Network::uniform(positions.clone(), 0.0, 2.0).unwrap();
+/// let udg = ProtocolModel::new(positions, 1.0);
+/// let c = classify_at(&net, &udg, &[true, true], Point::new(0.4, 0.0));
+/// assert!(c.agrees());
+/// ```
+pub fn classify_at(
+    net: &Network,
+    udg: &ProtocolModel,
+    transmitting: &[bool],
+    p: Point,
+) -> Comparison {
+    assert_eq!(transmitting.len(), net.len(), "mask length mismatch");
+    assert_eq!(udg.positions(), net.positions(), "model position mismatch");
+
+    let udg_heard = udg.heard_at(transmitting, p).map(StationId);
+
+    // SINR over the transmitting subset only.
+    let sinr_heard = {
+        let active: Vec<Point> = net
+            .positions()
+            .iter()
+            .zip(transmitting.iter())
+            .filter_map(|(pos, tx)| tx.then_some(*pos))
+            .collect();
+        assert!(active.len() >= 2, "need at least two transmitting stations");
+        let sub = Network::uniform(active, net.noise(), net.beta()).expect("validated inputs");
+        sub.heard_at(p).map(|sub_id| {
+            // Map the subnetwork index back to the original station id.
+            let mut seen = 0usize;
+            let mut original = 0usize;
+            for (idx, tx) in transmitting.iter().enumerate() {
+                if *tx {
+                    if seen == sub_id.index() {
+                        original = idx;
+                        break;
+                    }
+                    seen += 1;
+                }
+            }
+            StationId(original)
+        })
+    };
+
+    match (udg_heard, sinr_heard) {
+        (None, None) => Comparison::AgreeSilent,
+        (Some(u), Some(s)) if u == s => Comparison::AgreeHeard(u),
+        (Some(u), Some(s)) => Comparison::Different { udg: u, sinr: s },
+        (Some(u), None) => Comparison::FalsePositive(u),
+        (None, Some(s)) => Comparison::FalseNegative(s),
+    }
+}
+
+/// Aggregated disagreement statistics over a sample grid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DisagreementCounts {
+    /// Points where both models were silent.
+    pub agree_silent: usize,
+    /// Points where both models heard the same station.
+    pub agree_heard: usize,
+    /// Graph-model false positives (UDG hears, SINR silent).
+    pub false_positive: usize,
+    /// Graph-model false negatives (UDG silent, SINR hears).
+    pub false_negative: usize,
+    /// Points where the models heard different stations.
+    pub different: usize,
+}
+
+impl DisagreementCounts {
+    /// Total number of sampled points.
+    pub fn total(&self) -> usize {
+        self.agree_silent
+            + self.agree_heard
+            + self.false_positive
+            + self.false_negative
+            + self.different
+    }
+
+    /// Fraction of sampled points where the models disagree.
+    pub fn disagreement_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.false_positive + self.false_negative + self.different) as f64 / t as f64
+        }
+    }
+
+    /// Records one comparison outcome.
+    pub fn record(&mut self, c: Comparison) {
+        match c {
+            Comparison::AgreeSilent => self.agree_silent += 1,
+            Comparison::AgreeHeard(_) => self.agree_heard += 1,
+            Comparison::FalsePositive(_) => self.false_positive += 1,
+            Comparison::FalseNegative(_) => self.false_negative += 1,
+            Comparison::Different { .. } => self.different += 1,
+        }
+    }
+}
+
+impl std::fmt::Display for DisagreementCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "agree(silent)={} agree(heard)={} false+={} false-={} different={} (disagreement {:.2}%)",
+            self.agree_silent,
+            self.agree_heard,
+            self.false_positive,
+            self.false_negative,
+            self.different,
+            100.0 * self.disagreement_rate()
+        )
+    }
+}
+
+/// Compares the two models on a `res × res` grid over `window`.
+pub fn compare_on_grid(
+    net: &Network,
+    udg: &ProtocolModel,
+    transmitting: &[bool],
+    window: &BBox,
+    res: usize,
+) -> DisagreementCounts {
+    assert!(res >= 2);
+    let mut counts = DisagreementCounts::default();
+    for j in 0..res {
+        for i in 0..res {
+            let p = window.at_fraction(i as f64 / (res - 1) as f64, j as f64 / (res - 1) as f64);
+            // Skip exact station positions (SINR undefined there).
+            if net.positions().contains(&p) {
+                continue;
+            }
+            counts.record(classify_at(net, udg, transmitting, p));
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 2's cumulative-interference scenario: s1 close to p, three
+    /// more stations just outside the UDG radius of p whose combined
+    /// interference kills SINR reception.
+    fn figure2_like() -> (Network, ProtocolModel, Point) {
+        let p = Point::new(0.0, 0.0);
+        let positions = vec![
+            Point::new(0.8, 0.0),  // s1: inside the UDG ball of p
+            Point::new(-1.3, 0.0), // s2..s4: just outside radius 1.0
+            Point::new(0.0, 1.3),
+            Point::new(0.0, -1.3),
+        ];
+        let net = Network::uniform(positions.clone(), 0.0, 1.2).unwrap();
+        let udg = ProtocolModel::new(positions, 1.0);
+        (net, udg, p)
+    }
+
+    #[test]
+    fn figure2_false_positive() {
+        let (net, udg, p) = figure2_like();
+        let tx = vec![true; 4];
+        // UDG: only s1 covers p ⇒ heard. SINR: cumulative interference of
+        // s2..s4 ⇒ silent.
+        assert_eq!(udg.heard_at(&tx, p), Some(0));
+        assert_eq!(net.heard_at(p), None);
+        assert_eq!(
+            classify_at(&net, &udg, &tx, p),
+            Comparison::FalsePositive(StationId(0))
+        );
+    }
+
+    #[test]
+    fn figure4_false_negative() {
+        // Two stations both covering p in UDG ⇒ collision ⇒ silent; but one
+        // is much closer, so SINR still delivers.
+        let p = Point::new(0.0, 0.0);
+        let positions = vec![Point::new(0.2, 0.0), Point::new(0.9, 0.0)];
+        let net = Network::uniform(positions.clone(), 0.0, 1.5).unwrap();
+        let udg = ProtocolModel::new(positions, 1.0);
+        let tx = vec![true, true];
+        assert_eq!(udg.heard_at(&tx, p), None);
+        assert_eq!(net.heard_at(p), Some(StationId(0)));
+        assert_eq!(
+            classify_at(&net, &udg, &tx, p),
+            Comparison::FalseNegative(StationId(0))
+        );
+    }
+
+    #[test]
+    fn agreement_when_isolated() {
+        let positions = vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)];
+        let net = Network::uniform(positions.clone(), 0.01, 2.0).unwrap();
+        let udg = ProtocolModel::new(positions, 1.0);
+        let tx = vec![true, true];
+        let near = Point::new(0.3, 0.0);
+        assert_eq!(
+            classify_at(&net, &udg, &tx, near),
+            Comparison::AgreeHeard(StationId(0))
+        );
+        let far = Point::new(50.0, 50.0);
+        assert_eq!(classify_at(&net, &udg, &tx, far), Comparison::AgreeSilent);
+    }
+
+    #[test]
+    fn masking_matches_subnetwork() {
+        // Silencing a station changes the SINR side exactly like removing it.
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(-2.0, 0.0),
+        ];
+        let net = Network::uniform(positions.clone(), 0.0, 1.5).unwrap();
+        let udg = ProtocolModel::new(positions.clone(), 1.0);
+        let p = Point::new(0.5, 0.2);
+        let masked = classify_at(&net, &udg, &[true, true, false], p);
+        let sub = Network::uniform(vec![positions[0], positions[1]], 0.0, 1.5).unwrap();
+        let sub_heard = sub.heard_at(p).map(|i| StationId(i.index()));
+        match masked {
+            Comparison::AgreeHeard(s) | Comparison::FalseNegative(s) => {
+                assert_eq!(Some(s), sub_heard)
+            }
+            Comparison::AgreeSilent | Comparison::FalsePositive(_) => assert_eq!(sub_heard, None),
+            Comparison::Different { sinr, .. } => assert_eq!(Some(sinr), sub_heard),
+        }
+    }
+
+    #[test]
+    fn grid_counts_sum() {
+        let (net, udg, _) = figure2_like();
+        let window = BBox::centered_square(3.0);
+        let counts = compare_on_grid(&net, &udg, &[true; 4], &window, 21);
+        assert_eq!(counts.total(), 21 * 21);
+        assert!(
+            counts.false_positive > 0,
+            "Figure 2 scenario must show false positives"
+        );
+        assert!(counts.disagreement_rate() > 0.0);
+        assert!(counts.disagreement_rate() < 1.0);
+    }
+
+    #[test]
+    fn comparison_agrees_helper() {
+        assert!(Comparison::AgreeSilent.agrees());
+        assert!(Comparison::AgreeHeard(StationId(0)).agrees());
+        assert!(!Comparison::FalsePositive(StationId(0)).agrees());
+        assert!(!Comparison::FalseNegative(StationId(0)).agrees());
+        assert!(!Comparison::Different {
+            udg: StationId(0),
+            sinr: StationId(1)
+        }
+        .agrees());
+    }
+}

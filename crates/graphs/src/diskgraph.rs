@@ -1,0 +1,200 @@
+//! General (directed) disk graphs with per-station radii.
+//!
+//! The paper's open problems (Section 1.4) note that with non-uniform
+//! transmit powers "the appropriate graph-based model is no longer a
+//! unit-disk graph but a (directed) general disk graph, based on disks of
+//! arbitrary radii" — and that point location is already harder there.
+//! This module provides that model for the comparison harness.
+
+use sinr_geometry::Point;
+
+/// A directed disk graph: vertex `i` has transmission radius `rᵢ`, and
+/// there is an arc `i → j` iff `dist(sᵢ, sⱼ) ≤ rᵢ`.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_graphs::DiskGraph;
+/// use sinr_geometry::Point;
+///
+/// let g = DiskGraph::new(
+///     vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)],
+///     vec![3.0, 1.0],
+/// );
+/// assert!(g.arc(0, 1));  // s0 reaches 2 ≤ 3
+/// assert!(!g.arc(1, 0)); // s1 reaches only 1 < 2
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskGraph {
+    positions: Vec<Point>,
+    radii: Vec<f64>,
+}
+
+impl DiskGraph {
+    /// Creates a disk graph from positions and per-vertex radii.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or any radius is not positive and
+    /// finite.
+    pub fn new(positions: Vec<Point>, radii: Vec<f64>) -> Self {
+        assert_eq!(
+            positions.len(),
+            radii.len(),
+            "positions/radii length mismatch"
+        );
+        assert!(
+            radii.iter().all(|r| *r > 0.0 && r.is_finite()),
+            "all radii must be positive and finite"
+        );
+        DiskGraph { positions, radii }
+    }
+
+    /// Builds the disk graph induced by transmit powers under path loss
+    /// `α`: station `i` covers the points where its *solo* signal would
+    /// clear `β·N`, i.e. radius `(ψᵢ/(β·N))^{1/α}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` or `beta` are not strictly positive, or `alpha`
+    /// is not strictly positive.
+    pub fn from_powers(
+        positions: Vec<Point>,
+        powers: &[f64],
+        noise: f64,
+        beta: f64,
+        alpha: f64,
+    ) -> Self {
+        assert!(noise > 0.0 && beta > 0.0 && alpha > 0.0);
+        let radii = powers
+            .iter()
+            .map(|psi| (psi / (beta * noise)).powf(1.0 / alpha))
+            .collect();
+        DiskGraph::new(positions, radii)
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The position of vertex `i`.
+    pub fn position(&self, i: usize) -> Point {
+        self.positions[i]
+    }
+
+    /// The radius of vertex `i`.
+    pub fn radius(&self, i: usize) -> f64 {
+        self.radii[i]
+    }
+
+    /// Directed adjacency: does `i` reach `j`?
+    pub fn arc(&self, i: usize, j: usize) -> bool {
+        i != j && self.positions[i].dist(self.positions[j]) <= self.radii[i]
+    }
+
+    /// Does vertex `i`'s disk cover point `p`?
+    pub fn covers(&self, i: usize, p: Point) -> bool {
+        self.positions[i].dist(p) <= self.radii[i]
+    }
+
+    /// Out-neighbours of `i` (vertices its disk covers).
+    pub fn out_neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).filter(move |j| self.arc(i, *j))
+    }
+
+    /// In-neighbours of `i` (vertices whose disks cover `i`).
+    pub fn in_neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).filter(move |j| self.arc(*j, i))
+    }
+
+    /// True when the arc relation is symmetric (holds automatically for
+    /// equal radii — then the disk graph *is* a UDG).
+    pub fn is_symmetric(&self) -> bool {
+        for i in 0..self.len() {
+            for j in 0..i {
+                if self.arc(i, j) != self.arc(j, i) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_asymmetry() {
+        let g = DiskGraph::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(5.0, 0.0),
+            ],
+            vec![10.0, 1.0, 3.5],
+        );
+        assert!(g.arc(0, 1) && g.arc(0, 2));
+        assert!(!g.arc(1, 0) && !g.arc(1, 2));
+        assert!(g.arc(2, 1));
+        assert!(!g.is_symmetric());
+        assert_eq!(g.out_neighbors(0).count(), 2);
+        assert_eq!(g.in_neighbors(1).count(), 2);
+    }
+
+    #[test]
+    fn equal_radii_is_symmetric() {
+        let g = DiskGraph::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(9.0, 0.0),
+            ],
+            vec![2.0, 2.0, 2.0],
+        );
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn radii_from_powers() {
+        // ψ = 4, β = 1, N = 1, α = 2 ⇒ radius 2.
+        let g = DiskGraph::from_powers(
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+            &[4.0, 16.0],
+            1.0,
+            1.0,
+            2.0,
+        );
+        assert!((g.radius(0) - 2.0).abs() < 1e-12);
+        assert!((g.radius(1) - 4.0).abs() < 1e-12);
+        // α = 4 shrinks radii toward 1: 16^(1/4) = 2.
+        let g4 = DiskGraph::from_powers(
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+            &[4.0, 16.0],
+            1.0,
+            1.0,
+            4.0,
+        );
+        assert!((g4.radius(1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage() {
+        let g = DiskGraph::new(vec![Point::ORIGIN], vec![1.5]);
+        assert!(g.covers(0, Point::new(1.0, 1.0)));
+        assert!(!g.covers(0, Point::new(1.5, 1.5)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = DiskGraph::new(vec![Point::ORIGIN], vec![1.0, 2.0]);
+    }
+}

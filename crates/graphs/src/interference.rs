@@ -1,0 +1,166 @@
+//! The two-graph (connectivity + interference) formulation.
+//!
+//! "More elaborate graph-based models may employ two separate graphs, a
+//! connectivity graph `Gc` and an interference graph `Gi`, such that a
+//! station `s` will successfully receive a message transmitted by `s′` iff
+//! `s` and `s′` are neighbors in `Gc` and `s` does not have a concurrently
+//! transmitting neighbor in `Gi`." (paper, Section 1.2.) A common special
+//! case augments `Gi` with all 2-hop neighbours of `Gc`.
+
+use crate::udg::UnitDiskGraph;
+use sinr_geometry::Point;
+
+/// A connectivity graph paired with a (typically larger) interference
+/// graph over the same vertex set.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_graphs::InterferencePair;
+/// use sinr_geometry::Point;
+///
+/// // Connectivity radius 1, interference radius 2.
+/// let pair = InterferencePair::from_radii(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(0.9, 0.0),
+///     Point::new(2.5, 0.0),
+/// ], 1.0, 2.0);
+/// // s1 hears s0 when s2 is silent…
+/// assert!(pair.receives(&[true, false, false], 1, 0));
+/// // …but not when s2 (an interference-graph neighbour) transmits.
+/// assert!(!pair.receives(&[true, false, true], 1, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterferencePair {
+    connectivity: UnitDiskGraph,
+    interference: UnitDiskGraph,
+}
+
+impl InterferencePair {
+    /// Builds the pair from two disk radii over the same positions
+    /// (`r_interference ≥ r_connectivity`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interference radius is smaller than the connectivity
+    /// radius.
+    pub fn from_radii(positions: Vec<Point>, r_connectivity: f64, r_interference: f64) -> Self {
+        assert!(
+            r_interference >= r_connectivity,
+            "interference radius must dominate connectivity radius"
+        );
+        InterferencePair {
+            connectivity: UnitDiskGraph::new(positions.clone(), r_connectivity),
+            interference: UnitDiskGraph::new(positions, r_interference),
+        }
+    }
+
+    /// Builds the classical special case: `Gi = Gc` augmented with all
+    /// 2-hop `Gc` neighbours — approximated geometrically by doubling the
+    /// radius (a 2-hop path of unit edges spans distance at most 2).
+    pub fn two_hop(positions: Vec<Point>, radius: f64) -> Self {
+        InterferencePair::from_radii(positions, radius, 2.0 * radius)
+    }
+
+    /// The connectivity graph `Gc`.
+    pub fn connectivity(&self) -> &UnitDiskGraph {
+        &self.connectivity
+    }
+
+    /// The interference graph `Gi`.
+    pub fn interference(&self) -> &UnitDiskGraph {
+        &self.interference
+    }
+
+    /// Number of stations.
+    pub fn len(&self) -> usize {
+        self.connectivity.len()
+    }
+
+    /// True when there are no stations.
+    pub fn is_empty(&self) -> bool {
+        self.connectivity.is_empty()
+    }
+
+    /// Does station `receiver` successfully receive `sender`'s message,
+    /// given the transmit mask? (`sender` must be transmitting; the
+    /// receiver must be a `Gc` neighbour of the sender and must have no
+    /// *other* transmitting `Gi` neighbour.)
+    ///
+    /// # Panics
+    ///
+    /// Panics on a transmit-mask length mismatch.
+    pub fn receives(&self, transmitting: &[bool], receiver: usize, sender: usize) -> bool {
+        assert_eq!(
+            transmitting.len(),
+            self.len(),
+            "transmit mask length mismatch"
+        );
+        if !transmitting[sender] || receiver == sender {
+            return false;
+        }
+        if !self.connectivity.adjacent(receiver, sender) {
+            return false;
+        }
+        !(0..self.len()).any(|j| {
+            j != sender
+                && j != receiver
+                && transmitting[j]
+                && self.interference.adjacent(receiver, j)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_reception_and_interference() {
+        let pair = InterferencePair::from_radii(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.9, 0.0),
+                Point::new(2.5, 0.0),
+            ],
+            1.0,
+            2.0,
+        );
+        assert!(pair.receives(&[true, false, false], 1, 0));
+        // The far station is outside Gc but inside Gi of the receiver.
+        assert!(!pair.connectivity().adjacent(1, 2));
+        assert!(pair.interference().adjacent(1, 2));
+        assert!(!pair.receives(&[true, false, true], 1, 0));
+    }
+
+    #[test]
+    fn silent_sender_not_received() {
+        let pair = InterferencePair::two_hop(vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)], 1.0);
+        assert!(!pair.receives(&[false, false], 1, 0));
+        assert!(!pair.receives(&[true, false], 0, 0)); // self
+    }
+
+    #[test]
+    fn two_hop_doubles_radius() {
+        let pair = InterferencePair::two_hop(vec![Point::new(0.0, 0.0), Point::new(1.5, 0.0)], 1.0);
+        assert_eq!(pair.interference().radius(), 2.0);
+        assert!(!pair.connectivity().adjacent(0, 1));
+        assert!(pair.interference().adjacent(0, 1));
+    }
+
+    #[test]
+    fn out_of_range_never_received() {
+        let pair = InterferencePair::from_radii(
+            vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0)],
+            1.0,
+            2.0,
+        );
+        assert!(!pair.receives(&[true, false], 1, 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_radii_panic() {
+        let _ = InterferencePair::from_radii(vec![], 2.0, 1.0);
+    }
+}

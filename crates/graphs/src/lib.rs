@@ -1,0 +1,42 @@
+//! # sinr-graphs
+//!
+//! Graph-based wireless-network models and their comparison against the
+//! SINR model — the substrate behind Section 1 and Figures 2–4 of
+//! *"SINR Diagrams"* (Avin et al., PODC 2009).
+//!
+//! The paper contrasts the physically accurate SINR model with the
+//! simplified graph models protocol designers actually use:
+//!
+//! * [`UnitDiskGraph`] — the classical UDG (also called the *protocol
+//!   model*): stations are adjacent iff within unit (or radius-`r`)
+//!   distance; a transmission is received iff the receiver is adjacent to
+//!   exactly one concurrently transmitting station;
+//! * [`DiskGraph`] — the directed generalisation with per-station radii
+//!   (the model the paper notes makes point location harder);
+//! * [`QuasiUnitDiskGraph`] — Kuhn–Wattenhofer–Zollinger's Q-UDG with an
+//!   inner guaranteed-connectivity radius and an outer possible-
+//!   connectivity radius (the paper's Theorem 2 "lends support" to this
+//!   model);
+//! * [`InterferencePair`] — the two-graph formulation: a connectivity
+//!   graph plus a (larger) interference graph;
+//! * [`compare`] — classification of UDG-vs-SINR reception outcomes
+//!   (*false positives* from ignored cumulative interference, *false
+//!   negatives* from the naive collision rule), reproducing the
+//!   phenomena of Figures 2–4.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod compare;
+pub mod diskgraph;
+pub mod interference;
+pub mod protocol;
+pub mod qudg;
+pub mod udg;
+
+pub use compare::{classify_at, Comparison, DisagreementCounts};
+pub use diskgraph::DiskGraph;
+pub use interference::InterferencePair;
+pub use protocol::ProtocolModel;
+pub use qudg::QuasiUnitDiskGraph;
+pub use udg::UnitDiskGraph;

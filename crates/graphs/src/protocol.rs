@@ -1,0 +1,199 @@
+//! The protocol model: graph-based reception with the collision rule.
+//!
+//! The paper (Section 1.1): "a station s will successfully receive a
+//! message transmitted by a station s′ if and only if s and s′ are
+//! neighbors in G and s does not have a concurrently transmitting neighbor
+//! in G". For arbitrary receiver *points* (the figures place a receiver
+//! `p` that is not itself a station), the same rule applies with the
+//! point's radius-`r` ball as its neighbourhood — this is exactly the
+//! "UDG diagram" drawn in Figures 2–4.
+
+use sinr_geometry::Point;
+
+/// Protocol-model (UDG-diagram) reception semantics over a set of station
+/// positions with a common radius.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_graphs::ProtocolModel;
+/// use sinr_geometry::Point;
+///
+/// let m = ProtocolModel::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(1.6, 0.0),
+/// ], 1.0);
+/// let p = Point::new(0.5, 0.0); // covered by s0 only
+/// let all = vec![true, true];
+/// assert_eq!(m.heard_at(&all, p), Some(0));
+/// // A point covered by both transmitters suffers a collision:
+/// let q = Point::new(0.8, 0.0);
+/// assert_eq!(m.heard_at(&all, q), None);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolModel {
+    positions: Vec<Point>,
+    radius: f64,
+}
+
+impl ProtocolModel {
+    /// Creates a protocol model with the given station positions and
+    /// reception radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive and finite.
+    pub fn new(positions: Vec<Point>, radius: f64) -> Self {
+        assert!(
+            radius > 0.0 && radius.is_finite(),
+            "radius must be positive, got {radius}"
+        );
+        ProtocolModel { positions, radius }
+    }
+
+    /// Number of stations.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when there are no stations.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The reception radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The station positions.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Is station `i` (which must be transmitting) heard at point `p`,
+    /// given the set of concurrently transmitting stations?
+    ///
+    /// Rule: `p` is within radius of `sᵢ`, and *no other transmitting
+    /// station* is within radius of `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transmitting.len()` differs from the station count or if
+    /// `i` is out of range.
+    pub fn is_heard(&self, transmitting: &[bool], i: usize, p: Point) -> bool {
+        assert_eq!(
+            transmitting.len(),
+            self.len(),
+            "transmit mask length mismatch"
+        );
+        if !transmitting[i] {
+            return false;
+        }
+        if self.positions[i].dist(p) > self.radius {
+            return false;
+        }
+        !self
+            .positions
+            .iter()
+            .enumerate()
+            .any(|(j, s)| j != i && transmitting[j] && s.dist(p) <= self.radius)
+    }
+
+    /// The station heard at `p` under the collision rule, if any.
+    ///
+    /// At most one station can satisfy the rule (two covering transmitters
+    /// collide), so the answer is unique by construction.
+    pub fn heard_at(&self, transmitting: &[bool], p: Point) -> Option<usize> {
+        assert_eq!(
+            transmitting.len(),
+            self.len(),
+            "transmit mask length mismatch"
+        );
+        let mut covering = (0..self.len())
+            .filter(|&j| transmitting[j] && self.positions[j].dist(p) <= self.radius);
+        let first = covering.next()?;
+        if covering.next().is_some() {
+            None // collision
+        } else {
+            Some(first)
+        }
+    }
+
+    /// The "reception zone" of station `i` in the UDG diagram, evaluated
+    /// pointwise: covered by `sᵢ` and by no other transmitter.
+    /// (Provided for symmetry with the SINR zone API.)
+    pub fn zone_contains(&self, transmitting: &[bool], i: usize, p: Point) -> bool {
+        self.is_heard(transmitting, i, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ProtocolModel {
+        ProtocolModel::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(3.0, 0.0),
+                Point::new(1.5, 2.0),
+            ],
+            1.0,
+        )
+    }
+
+    #[test]
+    fn lone_transmitter_heard_in_disk() {
+        let m = model();
+        let tx = vec![true, false, false];
+        assert!(m.is_heard(&tx, 0, Point::new(0.5, 0.0)));
+        assert!(m.is_heard(&tx, 0, Point::new(1.0, 0.0))); // boundary inclusive
+        assert!(!m.is_heard(&tx, 0, Point::new(1.1, 0.0)));
+        // Silent stations are never heard.
+        assert!(!m.is_heard(&tx, 1, Point::new(3.0, 0.0)));
+    }
+
+    #[test]
+    fn collisions_silence_overlap() {
+        let m = ProtocolModel::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)], 1.0);
+        let tx = vec![true, true];
+        // Overlap region: both disks cover (0.5, 0) ⇒ collision.
+        assert_eq!(m.heard_at(&tx, Point::new(0.5, 0.0)), None);
+        assert!(!m.is_heard(&tx, 0, Point::new(0.5, 0.0)));
+        // Non-overlap parts still receive.
+        assert_eq!(m.heard_at(&tx, Point::new(-0.5, 0.0)), Some(0));
+        assert_eq!(m.heard_at(&tx, Point::new(1.5, 0.0)), Some(1));
+    }
+
+    #[test]
+    fn heard_at_none_outside_all() {
+        let m = model();
+        let tx = vec![true, true, true];
+        assert_eq!(m.heard_at(&tx, Point::new(10.0, 10.0)), None);
+    }
+
+    #[test]
+    fn uniqueness_of_heard_station() {
+        let m = model();
+        let tx = vec![true, true, true];
+        for gx in -10..25 {
+            for gy in -10..25 {
+                let p = Point::new(gx as f64 * 0.2, gy as f64 * 0.2);
+                let direct = (0..3).filter(|&i| m.is_heard(&tx, i, p)).count();
+                assert!(direct <= 1);
+                match m.heard_at(&tx, p) {
+                    Some(i) => assert!(m.is_heard(&tx, i, p)),
+                    None => assert_eq!(direct, 0),
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mask_length_mismatch_panics() {
+        let m = model();
+        let _ = m.heard_at(&[true, true], Point::ORIGIN);
+    }
+}

@@ -1,0 +1,205 @@
+//! The Quasi Unit Disk Graph (Q-UDG) of Kuhn, Wattenhofer and Zollinger.
+//!
+//! Two concentric circles per station: within the inner radius `r`
+//! connectivity is *guaranteed*, within the outer radius `R ≥ r` it is
+//! *possible* (adversarial), beyond `R` impossible. The paper remarks that
+//! its Theorem 2 (fatness of SINR reception zones) "lends support" to this
+//! model: a fat zone is sandwiched between two concentric balls, exactly
+//! the Q-UDG picture with `R/r` bounded by the fatness parameter.
+
+use sinr_geometry::Point;
+
+/// Adjacency status of a station pair in a Q-UDG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QudgLink {
+    /// Distance ≤ inner radius: the link always exists.
+    Guaranteed,
+    /// Inner radius < distance ≤ outer radius: the link may exist.
+    Possible,
+    /// Distance > outer radius: the link never exists.
+    Absent,
+}
+
+/// A Quasi Unit Disk Graph with inner radius `r` and outer radius `R`.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_graphs::{QuasiUnitDiskGraph, qudg::QudgLink};
+/// use sinr_geometry::Point;
+///
+/// let g = QuasiUnitDiskGraph::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(0.5, 0.0),
+///     Point::new(1.5, 0.0),
+///     Point::new(9.0, 0.0),
+/// ], 1.0, 2.0);
+/// assert_eq!(g.link(0, 1), QudgLink::Guaranteed);
+/// assert_eq!(g.link(0, 2), QudgLink::Possible);
+/// assert_eq!(g.link(0, 3), QudgLink::Absent);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuasiUnitDiskGraph {
+    positions: Vec<Point>,
+    inner: f64,
+    outer: f64,
+}
+
+impl QuasiUnitDiskGraph {
+    /// Creates a Q-UDG.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < inner ≤ outer < ∞`.
+    pub fn new(positions: Vec<Point>, inner: f64, outer: f64) -> Self {
+        assert!(
+            inner > 0.0 && outer >= inner && outer.is_finite(),
+            "need 0 < inner ≤ outer, got {inner}, {outer}"
+        );
+        QuasiUnitDiskGraph {
+            positions,
+            inner,
+            outer,
+        }
+    }
+
+    /// Builds the Q-UDG whose two radii sandwich a SINR reception zone
+    /// with inscribed radius `delta` and circumradius `big_delta`
+    /// (the reading of Theorem 2 suggested by the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < delta ≤ big_delta`.
+    pub fn from_zone_radii(positions: Vec<Point>, delta: f64, big_delta: f64) -> Self {
+        QuasiUnitDiskGraph::new(positions, delta, big_delta)
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Inner (guaranteed-connectivity) radius.
+    pub fn inner_radius(&self) -> f64 {
+        self.inner
+    }
+
+    /// Outer (possible-connectivity) radius.
+    pub fn outer_radius(&self) -> f64 {
+        self.outer
+    }
+
+    /// The ratio `R/r ≥ 1` (bounded by the fatness parameter when built
+    /// from zone radii).
+    pub fn radius_ratio(&self) -> f64 {
+        self.outer / self.inner
+    }
+
+    /// The link status of pair `(i, j)`.
+    pub fn link(&self, i: usize, j: usize) -> QudgLink {
+        if i == j {
+            return QudgLink::Absent;
+        }
+        let d = self.positions[i].dist(self.positions[j]);
+        if d <= self.inner {
+            QudgLink::Guaranteed
+        } else if d <= self.outer {
+            QudgLink::Possible
+        } else {
+            QudgLink::Absent
+        }
+    }
+
+    /// Guaranteed neighbours of `i`.
+    pub fn guaranteed_neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).filter(move |j| self.link(i, *j) == QudgLink::Guaranteed)
+    }
+
+    /// Possible (but not guaranteed) neighbours of `i`.
+    pub fn possible_neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).filter(move |j| self.link(i, *j) == QudgLink::Possible)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> QuasiUnitDiskGraph {
+        QuasiUnitDiskGraph::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.8, 0.0),
+                Point::new(1.7, 0.0),
+                Point::new(4.0, 0.0),
+            ],
+            1.0,
+            2.0,
+        )
+    }
+
+    #[test]
+    fn link_classification() {
+        let g = g();
+        assert_eq!(g.link(0, 1), QudgLink::Guaranteed);
+        assert_eq!(g.link(0, 2), QudgLink::Possible);
+        assert_eq!(g.link(0, 3), QudgLink::Absent);
+        assert_eq!(g.link(2, 3), QudgLink::Absent); // 2.3 > 2.0
+        assert_eq!(g.link(1, 1), QudgLink::Absent); // no self-link
+    }
+
+    #[test]
+    fn link_symmetry() {
+        let g = g();
+        for i in 0..g.len() {
+            for j in 0..g.len() {
+                assert_eq!(g.link(i, j), g.link(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_iterators() {
+        let g = g();
+        assert_eq!(g.guaranteed_neighbors(0).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(g.possible_neighbors(0).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn ratio_and_zone_construction() {
+        let g = QuasiUnitDiskGraph::from_zone_radii(vec![Point::ORIGIN], 0.5, 1.5);
+        assert!((g.radius_ratio() - 3.0).abs() < 1e-12);
+        assert_eq!(g.inner_radius(), 0.5);
+        assert_eq!(g.outer_radius(), 1.5);
+    }
+
+    #[test]
+    fn degenerate_equal_radii_is_udg() {
+        let g = QuasiUnitDiskGraph::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.9, 0.0),
+                Point::new(3.0, 0.0),
+            ],
+            1.0,
+            1.0,
+        );
+        // No "possible" band: links are guaranteed or absent.
+        for i in 0..g.len() {
+            for j in 0..g.len() {
+                assert_ne!(g.link(i, j), QudgLink::Possible);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_radii_panic() {
+        let _ = QuasiUnitDiskGraph::new(vec![], 2.0, 1.0);
+    }
+}

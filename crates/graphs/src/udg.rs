@@ -1,0 +1,207 @@
+//! The unit disk graph (UDG) model.
+//!
+//! Stations are points in the plane; two stations are adjacent iff their
+//! distance is at most the (unit) radius. This is "the model of choice for
+//! many protocol designers" (paper, Section 1.1): it abstracts away
+//! interference entirely, which is precisely what Figures 2–4 criticise.
+
+use sinr_geometry::Point;
+
+/// A unit disk graph over a set of station positions.
+///
+/// The radius is configurable (the "unit" is a modelling choice); the
+/// classical UDG uses `radius = 1`.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_graphs::UnitDiskGraph;
+/// use sinr_geometry::Point;
+///
+/// let g = UnitDiskGraph::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(0.8, 0.0),
+///     Point::new(5.0, 0.0),
+/// ], 1.0);
+/// assert!(g.adjacent(0, 1));
+/// assert!(!g.adjacent(0, 2));
+/// assert_eq!(g.degree(0), 1);
+/// assert_eq!(g.edges().count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitDiskGraph {
+    positions: Vec<Point>,
+    radius: f64,
+}
+
+impl UnitDiskGraph {
+    /// Creates a UDG with the given positions and adjacency radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive and finite.
+    pub fn new(positions: Vec<Point>, radius: f64) -> Self {
+        assert!(
+            radius > 0.0 && radius.is_finite(),
+            "UDG radius must be positive, got {radius}"
+        );
+        UnitDiskGraph { positions, radius }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The adjacency radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The vertex positions.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// The position of vertex `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn position(&self, i: usize) -> Point {
+        self.positions[i]
+    }
+
+    /// Adjacency: `dist(sᵢ, sⱼ) ≤ radius` (self-loops excluded).
+    pub fn adjacent(&self, i: usize, j: usize) -> bool {
+        i != j && self.positions[i].dist(self.positions[j]) <= self.radius
+    }
+
+    /// Whether a point `p` is covered by vertex `i`'s disk.
+    pub fn covers(&self, i: usize, p: Point) -> bool {
+        self.positions[i].dist(p) <= self.radius
+    }
+
+    /// Iterator over the neighbours of vertex `i`.
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).filter(move |j| self.adjacent(i, *j))
+    }
+
+    /// The degree of vertex `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.neighbors(i).count()
+    }
+
+    /// Iterator over undirected edges `(i, j)` with `i < j`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.len())
+            .flat_map(move |i| ((i + 1)..self.len()).map(move |j| (i, j)))
+            .filter(move |(i, j)| self.adjacent(*i, *j))
+    }
+
+    /// Connected components as vertex lists (BFS).
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = vec![start];
+            seen[start] = true;
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                for v in self.neighbors(u) {
+                    if !seen[v] {
+                        seen[v] = true;
+                        comp.push(v);
+                        queue.push_back(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> UnitDiskGraph {
+        UnitDiskGraph::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.9, 0.0),
+                Point::new(1.8, 0.0),
+                Point::new(10.0, 0.0),
+            ],
+            1.0,
+        )
+    }
+
+    #[test]
+    fn adjacency_and_degrees() {
+        let g = chain();
+        assert!(g.adjacent(0, 1));
+        assert!(g.adjacent(1, 2));
+        assert!(!g.adjacent(0, 2));
+        assert!(!g.adjacent(0, 0)); // no self-loops
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = chain();
+        for i in 0..g.len() {
+            for j in 0..g.len() {
+                assert_eq!(g.adjacent(i, j), g.adjacent(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_distance_counts() {
+        // dist exactly equal to radius ⇒ adjacent (closed disk).
+        let g = UnitDiskGraph::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)], 1.0);
+        assert!(g.adjacent(0, 1));
+    }
+
+    #[test]
+    fn edges_enumeration() {
+        let g = chain();
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn components_partition() {
+        let g = chain();
+        let comps = g.components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3]);
+    }
+
+    #[test]
+    fn coverage() {
+        let g = chain();
+        assert!(g.covers(0, Point::new(0.5, 0.5)));
+        assert!(!g.covers(0, Point::new(1.5, 0.0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_radius_panics() {
+        let _ = UnitDiskGraph::new(vec![], 0.0);
+    }
+}

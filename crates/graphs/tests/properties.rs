@@ -1,0 +1,133 @@
+//! Property-based tests for the graph models and the SINR comparison.
+
+use proptest::prelude::*;
+use sinr_core::Network;
+use sinr_geometry::Point;
+use sinr_graphs::{classify_at, Comparison, InterferencePair, ProtocolModel, UnitDiskGraph};
+
+fn pts(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        ((-60i32..60), (-60i32..60))
+            .prop_map(|(x, y)| Point::new(x as f64 / 10.0, y as f64 / 10.0)),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// UDG adjacency is symmetric and respects the radius exactly.
+    #[test]
+    fn udg_symmetry(sites in pts(2..20), r in 0.2f64..4.0) {
+        let g = UnitDiskGraph::new(sites.clone(), r);
+        for i in 0..g.len() {
+            for j in 0..g.len() {
+                prop_assert_eq!(g.adjacent(i, j), g.adjacent(j, i));
+                if i != j {
+                    prop_assert_eq!(g.adjacent(i, j), sites[i].dist(sites[j]) <= r);
+                }
+            }
+        }
+    }
+
+    /// Protocol-model reception is unique: at most one station heard at
+    /// any point, and `heard_at` agrees with `is_heard`.
+    #[test]
+    fn protocol_uniqueness(
+        sites in pts(2..12),
+        r in 0.3f64..3.0,
+        qx in -8.0f64..8.0, qy in -8.0f64..8.0,
+        mask_bits in any::<u16>(),
+    ) {
+        let model = ProtocolModel::new(sites.clone(), r);
+        let tx: Vec<bool> = (0..sites.len()).map(|i| mask_bits & (1 << i) != 0).collect();
+        let q = Point::new(qx, qy);
+        let heard: Vec<usize> =
+            (0..sites.len()).filter(|&i| model.is_heard(&tx, i, q)).collect();
+        prop_assert!(heard.len() <= 1);
+        prop_assert_eq!(model.heard_at(&tx, q), heard.first().copied());
+    }
+
+    /// Components partition the vertex set.
+    #[test]
+    fn components_partition(sites in pts(1..25), r in 0.2f64..4.0) {
+        let g = UnitDiskGraph::new(sites, r);
+        let comps = g.components();
+        let mut seen = vec![false; g.len()];
+        for comp in &comps {
+            for &v in comp {
+                prop_assert!(!seen[v], "vertex {} in two components", v);
+                seen[v] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|s| *s));
+    }
+
+    /// The interference pair rejects reception whenever the plain UDG
+    /// protocol model would (Gi ⊇ Gc makes it strictly more conservative
+    /// for the same radius).
+    #[test]
+    fn interference_pair_conservative(
+        sites in pts(2..10),
+        r in 0.3f64..2.0,
+        mask_bits in any::<u16>(),
+    ) {
+        let n = sites.len();
+        let pair = InterferencePair::from_radii(sites.clone(), r, 2.0 * r);
+        let plain = InterferencePair::from_radii(sites.clone(), r, r);
+        let tx: Vec<bool> = (0..n).map(|i| mask_bits & (1 << i) != 0).collect();
+        for recv in 0..n {
+            for send in 0..n {
+                if pair.receives(&tx, recv, send) {
+                    prop_assert!(
+                        plain.receives(&tx, recv, send),
+                        "2-hop pair accepted what the plain pair rejected"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The SINR-vs-UDG classifier is consistent with the individual
+    /// models at every point.
+    #[test]
+    fn classifier_consistency(
+        sites in pts(2..7),
+        qx in -8.0f64..8.0, qy in -8.0f64..8.0,
+    ) {
+        // need distinct positions for a valid network
+        let mut unique = sites.clone();
+        unique.sort_by(|a, b| (a.x, a.y).partial_cmp(&(b.x, b.y)).unwrap());
+        unique.dedup_by(|a, b| a.dist(*b) < 1e-9);
+        prop_assume!(unique.len() >= 2);
+        let net = Network::uniform(unique.clone(), 0.02, 1.5).unwrap();
+        let udg = ProtocolModel::new(unique.clone(), 1.0);
+        let tx = vec![true; unique.len()];
+        let q = Point::new(qx, qy);
+        prop_assume!(!unique.contains(&q));
+        let outcome = classify_at(&net, &udg, &tx, q);
+        let udg_heard = udg.heard_at(&tx, q);
+        let sinr_heard = net.heard_at(q);
+        match outcome {
+            Comparison::AgreeSilent => {
+                prop_assert!(udg_heard.is_none() && sinr_heard.is_none())
+            }
+            Comparison::AgreeHeard(s) => {
+                prop_assert_eq!(udg_heard, Some(s.index()));
+                prop_assert_eq!(sinr_heard, Some(s));
+            }
+            Comparison::FalsePositive(s) => {
+                prop_assert_eq!(udg_heard, Some(s.index()));
+                prop_assert!(sinr_heard.is_none());
+            }
+            Comparison::FalseNegative(s) => {
+                prop_assert!(udg_heard.is_none());
+                prop_assert_eq!(sinr_heard, Some(s));
+            }
+            Comparison::Different { udg: u, sinr: s } => {
+                prop_assert_eq!(udg_heard, Some(u.index()));
+                prop_assert_eq!(sinr_heard, Some(s));
+            }
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! The Boundary Reconstruction Process (BRP) of Section 5.1.
+//!
+//! The paper's BRP walks `∂Q` clockwise, collecting the grid cells the
+//! boundary passes through; the `T?` cells are the 9-cells of the traced
+//! cells. We implement the trace as a breadth-first flood along the
+//! boundary: starting from the seed cell due north of the station
+//! (located by the same binary search the paper uses), neighbouring cells
+//! are tested with the boundary-cell predicate (corner signs resolved by
+//! the Sturm segment test in the ambiguous all-outside case). Because
+//! `∂Q` is a closed connected curve and boundary cells are 8-connected
+//! along it, the flood discovers exactly the cells the paper's clockwise
+//! walk visits — the output set is identical.
+
+use sinr_core::{Network, StationId};
+use sinr_geometry::{CellId, Grid, Vector};
+use std::collections::{HashSet, VecDeque};
+
+/// Statistics of one BRP run (the quantities the paper's analysis bounds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrpStats {
+    /// Grid spacing `γ` actually used.
+    pub gamma: f64,
+    /// Lower estimate `δ̃ ≤ δ(sᵢ, Hᵢ)` used for sizing.
+    pub delta_estimate: f64,
+    /// Upper estimate `Δ̃ ≥ Δ(sᵢ, Hᵢ)` used for sizing.
+    pub big_delta_estimate: f64,
+    /// Number of boundary cells traced (the paper's `m − 1`).
+    pub ring_cells: usize,
+    /// Number of segment tests performed.
+    pub segment_tests: usize,
+    /// Number of direct SINR corner evaluations performed.
+    pub sinr_evaluations: usize,
+}
+
+/// The outcome of a boundary reconstruction: the traced ring plus stats.
+#[derive(Debug, Clone)]
+pub struct BrpOutcome {
+    /// The grid the reconstruction ran on (aligned so `sᵢ` is a vertex).
+    pub grid: Grid,
+    /// The boundary cells (the clockwise walk's cell set).
+    pub ring: Vec<CellId>,
+    /// Run statistics.
+    pub stats: BrpStats,
+}
+
+/// Errors the reconstruction can report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrpError {
+    /// The zone is degenerate (`Hᵢ = {sᵢ}`, co-located stations).
+    DegenerateZone,
+    /// The zone is unbounded (trivial network).
+    UnboundedZone,
+    /// Theorem 3 requires `β > 1` (Theorem 4.2's fatness guarantee sizes
+    /// the grid; at `β ≤ 1` no constant bound exists).
+    ThresholdNotAboveOne(f64),
+    /// The requested resolution would create more cells than `max_cells`.
+    TooManyCells {
+        /// Estimated ring length.
+        estimated: usize,
+        /// Configured ceiling.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for BrpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrpError::DegenerateZone => write!(f, "zone is a single point (co-located stations)"),
+            BrpError::UnboundedZone => write!(f, "zone is unbounded (trivial network)"),
+            BrpError::TooManyCells { estimated, limit } => {
+                write!(
+                    f,
+                    "boundary ring needs ≈{estimated} cells, limit is {limit}"
+                )
+            }
+            BrpError::ThresholdNotAboveOne(beta) => {
+                write!(f, "point location requires β > 1, got β = {beta}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BrpError {}
+
+/// Estimates `δ̃` and `Δ̃` for station `i` following Section 5.2: measure
+/// the boundary distance in a few directions (each measurement is the
+/// paper's binary search), then pin the extremes with Theorem 4.2's
+/// constant-fatness guarantee.
+///
+/// Returns `(δ̃, Δ̃)` with `δ̃ ≤ δ ≤ Δ ≤ Δ̃`, or an error for degenerate or
+/// unbounded zones.
+pub fn estimate_zone_radii(
+    net: &Network,
+    i: StationId,
+    probe_directions: usize,
+) -> Result<(f64, f64), BrpError> {
+    if net.is_colocated(i) {
+        return Err(BrpError::DegenerateZone);
+    }
+    if net.beta() <= 1.0 {
+        return Err(BrpError::ThresholdNotAboveOne(net.beta()));
+    }
+    let k = probe_directions.max(3);
+    let zone = net.reception_zone(i);
+    let mut r_min = f64::INFINITY;
+    let mut r_max: f64 = 0.0;
+    for j in 0..k {
+        let theta = std::f64::consts::TAU * j as f64 / k as f64;
+        let r = zone.boundary_radius(theta).ok_or(BrpError::UnboundedZone)?;
+        r_min = r_min.min(r);
+        r_max = r_max.max(r);
+    }
+    // Two rigorous lower bounds on δ for convex zones (Theorem 1 applies:
+    // uniform power, α = 2, β > 1):
+    //   (a) Theorem 4.2: δ ≥ Δ/φ ≥ r_max/φ with φ = (√β+1)/(√β−1);
+    //   (b) hull containment: the zone contains the polygon through the
+    //       sampled boundary points, whose inradius w.r.t. the station is
+    //       at least r_min·cos(π/k).
+    let phi = (net.beta().sqrt() + 1.0) / (net.beta().sqrt() - 1.0);
+    let delta_est = (r_max / phi).max(r_min * (std::f64::consts::PI / k as f64).cos());
+    // Upper bounds on Δ: Theorem 4.2 (Δ ≤ φ·δ ≤ φ·r_min) and Theorem 4.1's
+    // closed form; both are safe, take the tighter.
+    let big_delta_est = (phi * r_min).max(r_max).min(
+        sinr_core::bounds::delta_upper_bound(net.kappa(i), net.noise(), net.beta())
+            .unwrap_or(f64::INFINITY),
+    );
+    Ok((delta_est, big_delta_est))
+}
+
+/// How boundary cells are recognised during the reconstruction.
+///
+/// Both strategies decide the same predicate — "does `∂Hᵢ` intersect the
+/// closed cell square?" — and produce identical rings; they differ in
+/// cost. The ablation bench `pointloc_build` quantifies the difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BoundaryPredicate {
+    /// First classify the four cell corners by direct SINR evaluation
+    /// (`O(n)` each): mixed signs ⇒ crossed; all inside ⇒ not crossed
+    /// (convexity); only the all-outside case falls back to the four Sturm
+    /// segment tests. This is the default.
+    #[default]
+    CornerFiltered,
+    /// The paper-literal route: run the Sturm segment test (`O(n²)`) on
+    /// each of the four cell edges, plus two corner evaluations to
+    /// distinguish "cell fully inside" from "fully outside" when no edge
+    /// is crossed.
+    SegmentTestsOnly,
+}
+
+/// Runs the boundary reconstruction for station `i` with the paper's grid
+/// spacing `γ = ε·δ̃²/(18·Δ̃)` (clamped to `δ̃/(2√2)` so the station's
+/// four surrounding cells stay strictly inside the zone), using the
+/// default [`BoundaryPredicate::CornerFiltered`] strategy.
+///
+/// `max_cells` caps the traced ring as a resource guard.
+///
+/// # Errors
+///
+/// Returns a [`BrpError`] for degenerate/unbounded zones or an over-budget
+/// resolution.
+pub fn reconstruct_boundary(
+    net: &Network,
+    i: StationId,
+    epsilon: f64,
+    max_cells: usize,
+) -> Result<BrpOutcome, BrpError> {
+    reconstruct_boundary_with(
+        net,
+        i,
+        epsilon,
+        max_cells,
+        BoundaryPredicate::CornerFiltered,
+    )
+}
+
+/// [`reconstruct_boundary`] with an explicit boundary-cell recognition
+/// strategy.
+///
+/// # Errors
+///
+/// Returns a [`BrpError`] for degenerate/unbounded zones or an over-budget
+/// resolution.
+pub fn reconstruct_boundary_with(
+    net: &Network,
+    i: StationId,
+    epsilon: f64,
+    max_cells: usize,
+    predicate: BoundaryPredicate,
+) -> Result<BrpOutcome, BrpError> {
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "ε must lie in (0, 1), got {epsilon}"
+    );
+    let (delta_est, big_delta_est) = estimate_zone_radii(net, i, 16)?;
+
+    // Section 5.1's choice, with the γ < δ̃/√2 safety clamp.
+    let gamma_paper = epsilon * delta_est * delta_est / (18.0 * big_delta_est);
+    let gamma = gamma_paper.min(delta_est / (2.0 * 2f64.sqrt()));
+    let est_ring = (2.0 * std::f64::consts::PI * big_delta_est / gamma).ceil() as usize;
+    if est_ring > max_cells {
+        return Err(BrpError::TooManyCells {
+            estimated: est_ring,
+            limit: max_cells,
+        });
+    }
+
+    let center = net.position(i);
+    let grid = Grid::new(center, gamma);
+    let zone = net.reception_zone(i);
+
+    // Seed: the boundary point due north (the paper's binary search north
+    // of s, which our ray-shooting bisection is).
+    let r_north = zone
+        .boundary_radius(std::f64::consts::FRAC_PI_2)
+        .ok_or(BrpError::UnboundedZone)?;
+    let seed_point = center + Vector::new(0.0, r_north);
+    let seed = grid.cell_of(seed_point);
+
+    let mut stats = BrpStats {
+        gamma,
+        delta_estimate: delta_est,
+        big_delta_estimate: big_delta_est,
+        ring_cells: 0,
+        segment_tests: 0,
+        sinr_evaluations: 0,
+    };
+
+    // Flood along the boundary over 8-neighbours.
+    let mut ring: Vec<CellId> = Vec::new();
+    let mut visited: HashSet<CellId> = HashSet::new();
+    let mut queue: VecDeque<CellId> = VecDeque::new();
+    visited.insert(seed);
+    if !is_boundary_counted(net, i, &grid, seed, predicate, &mut stats) {
+        // The seed contains a boundary point by construction; numerical
+        // skew can only put it in an adjacent cell — scan the 9-cell.
+        let mut found = None;
+        for c in seed.nine_cell() {
+            if c != seed && is_boundary_counted(net, i, &grid, c, predicate, &mut stats) {
+                found = Some(c);
+                break;
+            }
+        }
+        let c = found.expect("a boundary cell must exist near the seed point");
+        visited.insert(c);
+        queue.push_back(c);
+        ring.push(c);
+    } else {
+        queue.push_back(seed);
+        ring.push(seed);
+    }
+
+    while let Some(cell) = queue.pop_front() {
+        for nb in cell.neighbors() {
+            if visited.contains(&nb) {
+                continue;
+            }
+            visited.insert(nb);
+            if ring.len() > max_cells {
+                return Err(BrpError::TooManyCells {
+                    estimated: est_ring.max(ring.len()),
+                    limit: max_cells,
+                });
+            }
+            if is_boundary_counted(net, i, &grid, nb, predicate, &mut stats) {
+                ring.push(nb);
+                queue.push_back(nb);
+            }
+        }
+    }
+    stats.ring_cells = ring.len();
+    Ok(BrpOutcome { grid, ring, stats })
+}
+
+/// Boundary-cell predicate with bookkeeping (mirrors
+/// `segment_test::cell_is_boundary` but counts the work performed).
+fn is_boundary_counted(
+    net: &Network,
+    i: StationId,
+    grid: &Grid,
+    cell: CellId,
+    predicate: BoundaryPredicate,
+    stats: &mut BrpStats,
+) -> bool {
+    let beta = net.beta();
+    match predicate {
+        BoundaryPredicate::CornerFiltered => {
+            let mut inside = 0usize;
+            for corner in grid.cell_corners(cell) {
+                stats.sinr_evaluations += 1;
+                if net.sinr(i, corner) >= beta {
+                    inside += 1;
+                }
+            }
+            match inside {
+                1..=3 => true,
+                4 => false,
+                _ => sinr_geometry::GridEdge::ALL.iter().any(|e| {
+                    stats.segment_tests += 1;
+                    crate::segment_test::crossings_on_cell_edge(net, i, grid, cell, *e) > 0
+                }),
+            }
+        }
+        BoundaryPredicate::SegmentTestsOnly => {
+            let crossed = sinr_geometry::GridEdge::ALL.iter().any(|e| {
+                stats.segment_tests += 1;
+                crate::segment_test::crossings_on_cell_edge(net, i, grid, cell, *e) > 0
+            });
+            if crossed {
+                return true;
+            }
+            // No edge crossing ⇒ the square is entirely inside or entirely
+            // outside (a convex zone larger than the cell cannot hide in
+            // its interior) ⇒ not a boundary cell — except the
+            // measure-zero tangency where ∂Hᵢ touches a corner exactly.
+            for corner in grid.cell_corners(cell) {
+                stats.sinr_evaluations += 1;
+                let s = net.sinr(i, corner);
+                if (s - beta).abs() < 1e-12 * beta {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::Point;
+
+    fn net3() -> Network {
+        Network::uniform(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(6.0, 0.0),
+                Point::new(3.0, 5.0),
+            ],
+            0.0,
+            2.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn radii_estimates_bracket_truth() {
+        let net = net3();
+        for i in net.ids() {
+            let (lo, hi) = estimate_zone_radii(&net, i, 16).unwrap();
+            let profile = net.reception_zone(i).radial_profile(256).unwrap();
+            assert!(
+                lo <= profile.delta() + 1e-9,
+                "{i}: δ̃={lo} > δ={}",
+                profile.delta()
+            );
+            assert!(
+                hi >= profile.big_delta() - 1e-9,
+                "{i}: Δ̃={hi} < Δ={}",
+                profile.big_delta()
+            );
+        }
+    }
+
+    #[test]
+    fn ring_encircles_boundary() {
+        let net = net3();
+        let i = StationId(0);
+        let out = reconstruct_boundary(&net, i, 0.5, 2_000_000).unwrap();
+        assert!(!out.ring.is_empty());
+        // Every boundary point sampled by ray-shooting lies in some traced
+        // ring cell.
+        let zone = net.reception_zone(i);
+        let ring_set: HashSet<CellId> = out.ring.iter().copied().collect();
+        for k in 0..64 {
+            let theta = std::f64::consts::TAU * k as f64 / 64.0;
+            let p = zone.boundary_point(theta).unwrap();
+            let c = out.grid.cell_of(p);
+            // The containing cell, or an immediate neighbour (boundary
+            // points can sit exactly on cell edges), must be in the ring.
+            let hit = c.nine_cell().any(|nb| ring_set.contains(&nb));
+            assert!(hit, "boundary point at θ={theta} not covered by the ring");
+        }
+    }
+
+    #[test]
+    fn ring_length_matches_paper_bound() {
+        // m ≤ ⌈per(Q)/γ⌉ ≤ ⌈2πΔ̃/γ⌉ and the T? count is at most 9m.
+        let net = net3();
+        let i = StationId(0);
+        let out = reconstruct_boundary(&net, i, 0.4, 2_000_000).unwrap();
+        let bound = (2.0 * std::f64::consts::PI * out.stats.big_delta_estimate / out.stats.gamma)
+            .ceil() as usize;
+        // The flood's cell count is within a small constant of the walk's m
+        // (each unit of boundary length meets O(1) cells).
+        assert!(
+            out.stats.ring_cells <= 3 * bound,
+            "ring {} ≫ bound {bound}",
+            out.stats.ring_cells
+        );
+        assert!(out.stats.ring_cells >= 8, "suspiciously tiny ring");
+    }
+
+    #[test]
+    fn epsilon_refines_gamma() {
+        let net = net3();
+        let i = StationId(0);
+        let coarse = reconstruct_boundary(&net, i, 0.8, 2_000_000).unwrap();
+        let fine = reconstruct_boundary(&net, i, 0.1, 2_000_000).unwrap();
+        assert!(fine.stats.gamma < coarse.stats.gamma);
+        assert!(fine.stats.ring_cells > coarse.stats.ring_cells);
+    }
+
+    #[test]
+    fn degenerate_and_unbounded_errors() {
+        let colocated = Network::uniform(
+            vec![Point::ORIGIN, Point::ORIGIN, Point::new(2.0, 0.0)],
+            0.0,
+            2.0,
+        )
+        .unwrap();
+        assert_eq!(
+            reconstruct_boundary(&colocated, StationId(0), 0.5, 1_000_000).unwrap_err(),
+            BrpError::DegenerateZone
+        );
+        let trivial =
+            Network::uniform(vec![Point::ORIGIN, Point::new(2.0, 0.0)], 0.0, 1.0).unwrap();
+        assert_eq!(
+            reconstruct_boundary(&trivial, StationId(0), 0.5, 1_000_000).unwrap_err(),
+            BrpError::ThresholdNotAboveOne(1.0)
+        );
+    }
+
+    #[test]
+    fn predicate_strategies_agree() {
+        // The corner-filtered shortcut and the paper-literal pure segment
+        // tests recognise exactly the same boundary cells.
+        let net = net3();
+        for i in net.ids() {
+            let fast = reconstruct_boundary_with(
+                &net,
+                i,
+                0.5,
+                2_000_000,
+                BoundaryPredicate::CornerFiltered,
+            )
+            .unwrap();
+            let pure = reconstruct_boundary_with(
+                &net,
+                i,
+                0.5,
+                2_000_000,
+                BoundaryPredicate::SegmentTestsOnly,
+            )
+            .unwrap();
+            let mut a = fast.ring.clone();
+            let mut b = pure.ring.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{i}: strategies disagree on the ring");
+            // The corner filter eliminates the segment tests for
+            // mixed-corner cells (the ring itself); outside-neighbours
+            // still need the algebraic test, so the saving is a constant
+            // factor (~2–3×), not an order of magnitude.
+            assert!(
+                pure.stats.segment_tests as f64 > 1.5 * fast.stats.segment_tests.max(1) as f64,
+                "pure {} vs fast {}",
+                pure.stats.segment_tests,
+                fast.stats.segment_tests
+            );
+        }
+    }
+
+    #[test]
+    fn cell_budget_enforced() {
+        let net = net3();
+        let err = reconstruct_boundary(&net, StationId(0), 0.05, 64).unwrap_err();
+        assert!(matches!(err, BrpError::TooManyCells { .. }));
+    }
+
+    #[test]
+    #[should_panic]
+    fn epsilon_out_of_range_panics() {
+        let net = net3();
+        let _ = reconstruct_boundary(&net, StationId(0), 1.5, 1_000_000);
+    }
+}

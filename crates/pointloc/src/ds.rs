@@ -1,0 +1,309 @@
+//! The combined point-location structure `DS` of Theorem 3.
+//!
+//! One [`Qds`] per station plus a kd-tree over the stations. A query
+//! point's only possible transmitter is its nearest station
+//! (Observation 2.2: every zone lies strictly inside its station's
+//! Voronoi cell), so `locate` is one nearest-neighbour search
+//! (`O(log n)`) followed by one `O(1)` cell classification — matching the
+//! paper's query bound. The structure's size is `O(n·ε⁻¹)` and the
+//! preprocessing `O(n³·ε⁻¹)`: `O(n·ε⁻¹)` segment tests at `O(n²)` each.
+
+use crate::brp::BrpError;
+use crate::qds::{CellClass, Qds, QdsConfig};
+use sinr_core::{Network, StationId};
+use sinr_geometry::Point;
+use sinr_voronoi::KdTree;
+
+/// The answer of a point-location query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Located {
+    /// The point is guaranteed inside the reception zone of this station
+    /// (`p ∈ Hᵢ⁺ ⊆ Hᵢ`).
+    Reception(StationId),
+    /// The point lies in the uncertain band `Hᵢ?` of this station (the
+    /// only candidate); its true status is unresolved at resolution `ε`.
+    Uncertain(StationId),
+    /// The point is guaranteed outside every reception zone (`p ∈ H⁻`).
+    Silent,
+}
+
+impl Located {
+    /// The candidate station, if any.
+    pub fn station(&self) -> Option<StationId> {
+        match self {
+            Located::Reception(i) | Located::Uncertain(i) => Some(*i),
+            Located::Silent => None,
+        }
+    }
+}
+
+/// Errors from building a [`PointLocator`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointLocError {
+    /// Theorem 3 is stated for uniform power networks.
+    NonUniformPower,
+    /// Theorem 3 requires path loss `α = 2`.
+    UnsupportedPathLoss(f64),
+    /// Theorem 3 requires `β > 1`.
+    ThresholdNotAboveOne(f64),
+    /// A per-station build failed (unbounded zone or resource budget).
+    Station(StationId, BrpError),
+}
+
+impl std::fmt::Display for PointLocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PointLocError::NonUniformPower => {
+                write!(f, "point location requires a uniform power network")
+            }
+            PointLocError::UnsupportedPathLoss(a) => {
+                write!(f, "point location requires α = 2, got α = {a}")
+            }
+            PointLocError::ThresholdNotAboveOne(b) => {
+                write!(f, "point location requires β > 1, got β = {b}")
+            }
+            PointLocError::Station(i, e) => write!(f, "building QDS for {i}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PointLocError {}
+
+/// The full data structure of Theorem 3: per-station zone maps plus a
+/// nearest-station dispatcher.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_core::{Network, StationId};
+/// use sinr_geometry::Point;
+/// use sinr_pointloc::{Located, PointLocator, QdsConfig};
+///
+/// let net = Network::uniform(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(6.0, 0.0),
+///     Point::new(3.0, 5.0),
+/// ], 0.0, 2.0).unwrap();
+/// let ds = PointLocator::build(&net, &QdsConfig::with_epsilon(0.3)).unwrap();
+///
+/// // Far from everyone: silent, and the locator knows it.
+/// assert_eq!(ds.locate(Point::new(100.0, -80.0)), Located::Silent);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PointLocator {
+    maps: Vec<Qds>,
+    tree: KdTree,
+    positions: Vec<Point>,
+    epsilon: f64,
+}
+
+impl PointLocator {
+    /// Builds the structure: one [`Qds`] per station (`O(n³·ε⁻¹)` total
+    /// preprocessing) plus the kd-tree dispatcher (`O(n log n)`).
+    ///
+    /// # Errors
+    ///
+    /// * [`PointLocError::NonUniformPower`] /
+    ///   [`PointLocError::UnsupportedPathLoss`] /
+    ///   [`PointLocError::ThresholdNotAboveOne`] — Theorem 3
+    ///   preconditions;
+    /// * [`PointLocError::Station`] — a per-station reconstruction failed.
+    pub fn build(net: &Network, config: &QdsConfig) -> Result<Self, PointLocError> {
+        if !net.is_uniform_power() {
+            return Err(PointLocError::NonUniformPower);
+        }
+        if net.alpha() != 2.0 {
+            return Err(PointLocError::UnsupportedPathLoss(net.alpha()));
+        }
+        if net.beta() <= 1.0 {
+            return Err(PointLocError::ThresholdNotAboveOne(net.beta()));
+        }
+        let mut maps = Vec::with_capacity(net.len());
+        for i in net.ids() {
+            maps.push(Qds::build(net, i, config).map_err(|e| PointLocError::Station(i, e))?);
+        }
+        Ok(PointLocator {
+            maps,
+            tree: KdTree::build(net.positions().to_vec()),
+            positions: net.positions().to_vec(),
+            epsilon: config.epsilon,
+        })
+    }
+
+    /// The `ε` the structure was built with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of stations.
+    pub fn len(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// True when the structure covers no stations (never for a built one).
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+
+    /// The per-station maps.
+    pub fn maps(&self) -> &[Qds] {
+        &self.maps
+    }
+
+    /// Total number of `T?` cells across all stations (the structure's
+    /// dominant size term, `O(n·ε⁻¹)`).
+    pub fn total_question_cells(&self) -> usize {
+        self.maps.iter().map(|m| m.question_cell_count()).sum()
+    }
+
+    /// Locates a query point: `O(log n)` nearest-station dispatch plus an
+    /// `O(1)` cell classification.
+    pub fn locate(&self, p: Point) -> Located {
+        let Some((nearest, dist)) = self.tree.nearest(p) else {
+            return Located::Silent;
+        };
+        if dist == 0.0 {
+            // Exactly at a station: in its zone by definition (the {sᵢ}
+            // clause), even for degenerate zones.
+            return Located::Reception(StationId(nearest));
+        }
+        match self.maps[nearest].classify(p) {
+            CellClass::Plus => Located::Reception(StationId(nearest)),
+            CellClass::Question => Located::Uncertain(StationId(nearest)),
+            CellClass::Minus => Located::Silent,
+        }
+    }
+
+    /// Ground-truth comparison: evaluates the SINR model directly
+    /// (`O(n)`) — the baseline the data structure accelerates.
+    pub fn locate_naive(&self, net: &Network, p: Point) -> Option<StationId> {
+        debug_assert_eq!(net.positions(), &self.positions[..]);
+        net.heard_at(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net3() -> Network {
+        Network::uniform(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(6.0, 0.0),
+                Point::new(3.0, 5.0),
+            ],
+            0.0,
+            2.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn preconditions_enforced() {
+        let nonuniform = Network::builder()
+            .station(Point::ORIGIN)
+            .station_with_power(Point::new(3.0, 0.0), 2.0)
+            .threshold(2.0)
+            .build()
+            .unwrap();
+        assert_eq!(
+            PointLocator::build(&nonuniform, &QdsConfig::default()).unwrap_err(),
+            PointLocError::NonUniformPower
+        );
+        let alpha4 = Network::builder()
+            .station(Point::ORIGIN)
+            .station(Point::new(3.0, 0.0))
+            .threshold(2.0)
+            .path_loss(4.0)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            PointLocator::build(&alpha4, &QdsConfig::default()).unwrap_err(),
+            PointLocError::UnsupportedPathLoss(_)
+        ));
+        let beta1 = Network::uniform(vec![Point::ORIGIN, Point::new(3.0, 0.0)], 0.0, 1.0).unwrap();
+        assert!(matches!(
+            PointLocator::build(&beta1, &QdsConfig::default()).unwrap_err(),
+            PointLocError::ThresholdNotAboveOne(_)
+        ));
+    }
+
+    #[test]
+    fn locate_agrees_with_ground_truth() {
+        let net = net3();
+        let ds = PointLocator::build(&net, &QdsConfig::with_epsilon(0.25)).unwrap();
+        let mut uncertain = 0usize;
+        let mut total = 0usize;
+        for a in -30..=90 {
+            for b in -40..=90 {
+                let p = Point::new(a as f64 * 0.1, b as f64 * 0.1);
+                total += 1;
+                match ds.locate(p) {
+                    Located::Reception(i) => {
+                        assert!(net.is_heard(i, p), "claimed reception of {i} at {p}");
+                    }
+                    Located::Silent => {
+                        assert_eq!(net.heard_at(p), None, "claimed silence at {p}");
+                    }
+                    Located::Uncertain(_) => uncertain += 1,
+                }
+            }
+        }
+        // The uncertain band must be a small minority of the window.
+        assert!(
+            uncertain * 10 < total,
+            "{uncertain}/{total} uncertain answers"
+        );
+    }
+
+    #[test]
+    fn station_positions_locate_as_reception() {
+        let net = net3();
+        let ds = PointLocator::build(&net, &QdsConfig::with_epsilon(0.3)).unwrap();
+        for i in net.ids() {
+            assert_eq!(ds.locate(net.position(i)), Located::Reception(i));
+        }
+    }
+
+    #[test]
+    fn colocated_station_zone_is_the_point_itself() {
+        let net = Network::uniform(
+            vec![Point::ORIGIN, Point::ORIGIN, Point::new(4.0, 0.0)],
+            0.0,
+            2.0,
+        )
+        .unwrap();
+        let ds = PointLocator::build(&net, &QdsConfig::with_epsilon(0.3)).unwrap();
+        // At the shared location: reception by one of the co-located pair
+        // (the {sᵢ} clause — the kd-tree picks one of the zero-distance
+        // sites).
+        match ds.locate(Point::ORIGIN) {
+            Located::Reception(i) => assert!(i.index() <= 1),
+            other => panic!("expected reception at the shared site, got {other:?}"),
+        }
+        // Near (but not at) the pair: silent — they jam each other.
+        assert_eq!(ds.locate(Point::new(0.3, 0.0)), Located::Silent);
+    }
+
+    #[test]
+    fn size_scales_inverse_epsilon() {
+        let net = net3();
+        let small = PointLocator::build(&net, &QdsConfig::with_epsilon(0.5)).unwrap();
+        let large = PointLocator::build(&net, &QdsConfig::with_epsilon(0.1)).unwrap();
+        assert!(large.total_question_cells() > small.total_question_cells());
+        assert_eq!(small.len(), 3);
+        assert_eq!(small.epsilon(), 0.5);
+    }
+
+    #[test]
+    fn locate_naive_baseline() {
+        let net = net3();
+        let ds = PointLocator::build(&net, &QdsConfig::with_epsilon(0.3)).unwrap();
+        assert_eq!(
+            ds.locate_naive(&net, Point::new(0.1, 0.0)),
+            Some(StationId(0))
+        );
+        assert_eq!(ds.locate_naive(&net, Point::new(3.0, 1.8)), None);
+    }
+}

@@ -1,0 +1,417 @@
+//! The per-station data structure `QDS` of Section 5.1: column-compressed
+//! `T⁺ / T⁻ / T?` cell classification with `O(1)` queries.
+//!
+//! After the boundary reconstruction traces the cells crossed by `∂Hᵢ`,
+//! the `T?` zone is the union of their 9-cells. The paper stores, per grid
+//! column that contains `T?` cells, the (constant number of) `T?` cells of
+//! that column; cells between the uncertainty bands are `T⁺`, everything
+//! else is `T⁻`. We store per column the sorted row-intervals of `T?`
+//! cells plus an inside/outside flag per gap (decided once at build time),
+//! which answers any query with one hash lookup and a short scan.
+
+use crate::brp::{reconstruct_boundary_with, BoundaryPredicate, BrpError, BrpStats};
+use sinr_core::{Network, StationId};
+use sinr_geometry::{CellId, Grid, Point};
+use std::collections::HashMap;
+
+/// Classification of a query point relative to one reception zone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellClass {
+    /// Guaranteed inside the zone (`Hᵢ⁺ ⊆ Hᵢ`).
+    Plus,
+    /// Guaranteed outside the zone.
+    Minus,
+    /// Uncertain: within the `ε`-area boundary band `Hᵢ?`.
+    Question,
+}
+
+/// Build configuration for [`Qds`] / [`crate::PointLocator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QdsConfig {
+    /// The paper's performance parameter `0 < ε < 1`: the uncertain band's
+    /// area is at most an `ε`-fraction of the zone's area.
+    pub epsilon: f64,
+    /// Resource guard: maximum boundary-ring cells per station.
+    pub max_cells: usize,
+    /// Boundary-cell recognition strategy (see [`BoundaryPredicate`]).
+    pub predicate: BoundaryPredicate,
+}
+
+impl QdsConfig {
+    /// A configuration with the given `ε` and the default cell budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ε < 1`.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "ε must lie in (0, 1), got {epsilon}"
+        );
+        QdsConfig {
+            epsilon,
+            max_cells: 4_000_000,
+            predicate: BoundaryPredicate::default(),
+        }
+    }
+}
+
+impl Default for QdsConfig {
+    fn default() -> Self {
+        QdsConfig::with_epsilon(0.2)
+    }
+}
+
+/// One column's record: sorted disjoint row-intervals of `T?` cells and,
+/// for each gap *between* consecutive intervals, whether the gap is inside
+/// the zone.
+#[derive(Debug, Clone, PartialEq)]
+struct Column {
+    /// Sorted disjoint `[lo, hi]` row ranges of `T?` cells.
+    bands: Vec<(i64, i64)>,
+    /// `gap_inside[g]` classifies rows strictly between `bands[g]` and
+    /// `bands[g+1]`.
+    gap_inside: Vec<bool>,
+}
+
+/// The per-station approximate zone map: grid + compressed columns.
+#[derive(Debug, Clone)]
+pub struct Qds {
+    station: StationId,
+    /// Degenerate zones (co-located stations) have no grid.
+    grid: Option<Grid>,
+    columns: HashMap<i64, Column>,
+    stats: Option<BrpStats>,
+    /// Total number of `T?` cells (for area accounting).
+    question_cells: usize,
+}
+
+impl Qds {
+    /// Builds the structure for station `i` of a uniform power network
+    /// with `β > 1` and `α = 2`.
+    ///
+    /// Degenerate zones (co-located stations) build successfully into an
+    /// "everything is outside" map, matching `Hᵢ = {sᵢ}` up to the single
+    /// point `sᵢ` itself (which [`Qds::classify`] special-cases).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BrpError`] for unbounded zones (trivial networks),
+    /// `β ≤ 1`, or an over-budget resolution.
+    pub fn build(net: &Network, i: StationId, config: &QdsConfig) -> Result<Self, BrpError> {
+        match reconstruct_boundary_with(net, i, config.epsilon, config.max_cells, config.predicate)
+        {
+            Ok(outcome) => {
+                // Dilate ring cells to 9-cells, bucketing rows per column.
+                let mut col_rows: HashMap<i64, Vec<i64>> = HashMap::new();
+                for cell in &outcome.ring {
+                    for nb in cell.nine_cell() {
+                        col_rows.entry(nb.i).or_default().push(nb.j);
+                    }
+                }
+                let mut columns = HashMap::with_capacity(col_rows.len());
+                let mut question_cells = 0usize;
+                for (col, mut rows) in col_rows {
+                    rows.sort_unstable();
+                    rows.dedup();
+                    question_cells += rows.len();
+                    let bands = to_intervals(&rows);
+                    // Classify each gap once, by direct evaluation at the
+                    // centre of its first cell.
+                    let mut gap_inside = Vec::with_capacity(bands.len().saturating_sub(1));
+                    for band in bands.iter().take(bands.len().saturating_sub(1)) {
+                        let row = band.1 + 1;
+                        let p = outcome.grid.cell_center(CellId::new(col, row));
+                        gap_inside.push(net.is_heard(i, p));
+                    }
+                    columns.insert(col, Column { bands, gap_inside });
+                }
+                Ok(Qds {
+                    station: i,
+                    grid: Some(outcome.grid),
+                    columns,
+                    stats: Some(outcome.stats),
+                    question_cells,
+                })
+            }
+            Err(BrpError::DegenerateZone) => Ok(Qds {
+                station: i,
+                grid: None,
+                columns: HashMap::new(),
+                stats: None,
+                question_cells: 0,
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The station this map belongs to.
+    pub fn station_id(&self) -> StationId {
+        self.station
+    }
+
+    /// Build statistics (`None` for degenerate zones).
+    pub fn stats(&self) -> Option<&BrpStats> {
+        self.stats.as_ref()
+    }
+
+    /// Number of `T?` cells, i.e. `area(Hᵢ?) / γ²`.
+    pub fn question_cell_count(&self) -> usize {
+        self.question_cells
+    }
+
+    /// The total area of the uncertain zone `Hᵢ?`.
+    pub fn question_area(&self) -> f64 {
+        match &self.grid {
+            Some(g) => self.question_cells as f64 * g.cell_area(),
+            None => 0.0,
+        }
+    }
+
+    /// Number of stored columns (the structure's size is proportional to
+    /// this plus the total band count).
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Classifies a point against this zone in `O(1)` (hash lookup plus a
+    /// scan over the column's constant-size band list).
+    pub fn classify(&self, p: Point) -> CellClass {
+        let Some(grid) = &self.grid else {
+            // Degenerate zone: only the station point itself is inside.
+            return CellClass::Minus;
+        };
+        let cell = grid.cell_of(p);
+        let Some(column) = self.columns.get(&cell.i) else {
+            return CellClass::Minus;
+        };
+        let j = cell.j;
+        // Below the first band or above the last: outside.
+        let Some(&(first_lo, _)) = column.bands.first() else {
+            return CellClass::Minus;
+        };
+        let &(_, last_hi) = column.bands.last().expect("non-empty");
+        if j < first_lo || j > last_hi {
+            return CellClass::Minus;
+        }
+        for (g, &(lo, hi)) in column.bands.iter().enumerate() {
+            if j >= lo && j <= hi {
+                return CellClass::Question;
+            }
+            if j < lo {
+                // In the gap before band g (g ≥ 1 since j ≥ first_lo).
+                return if column.gap_inside[g - 1] {
+                    CellClass::Plus
+                } else {
+                    CellClass::Minus
+                };
+            }
+        }
+        CellClass::Minus
+    }
+}
+
+/// Merges a sorted deduplicated row list into maximal `[lo, hi]` runs.
+fn to_intervals(rows: &[i64]) -> Vec<(i64, i64)> {
+    let mut out: Vec<(i64, i64)> = Vec::new();
+    for &r in rows {
+        match out.last_mut() {
+            Some((_, hi)) if *hi + 1 == r => *hi = r,
+            _ => out.push((r, r)),
+        }
+    }
+    out
+}
+
+/// The result of verifying a built [`Qds`] against ground truth.
+///
+/// Produced by [`verify_qds`]; all three of the paper's guarantees are
+/// checked *empirically* on the constructed structure:
+///
+/// 1. `Hᵢ⁺ ⊆ Hᵢ` — sampled `T⁺` cells are heard;
+/// 2. `H⁻ ∩ Hᵢ = ∅` — sampled `T⁻` cells are not heard;
+/// 3. `area(Hᵢ?) ≤ ε · area(Hᵢ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QdsVerification {
+    /// Points sampled inside `T⁺` cells.
+    pub plus_samples: usize,
+    /// `T⁺` samples that were (wrongly) not heard.
+    pub plus_violations: usize,
+    /// Points sampled inside `T⁻` cells.
+    pub minus_samples: usize,
+    /// `T⁻` samples that were (wrongly) heard.
+    pub minus_violations: usize,
+    /// Measured `area(Hᵢ?)`.
+    pub question_area: f64,
+    /// Estimated `area(Hᵢ)` (boundary-polygon shoelace).
+    pub zone_area: f64,
+    /// The `ε` the structure was built with.
+    pub epsilon: f64,
+}
+
+impl QdsVerification {
+    /// True when all three guarantees hold on the sampled evidence.
+    pub fn holds(&self) -> bool {
+        self.plus_violations == 0
+            && self.minus_violations == 0
+            && self.question_area <= self.epsilon * self.zone_area * (1.0 + 1e-9)
+    }
+}
+
+/// Samples a dense point set around the zone of `qds.station_id()` and
+/// checks the three guarantees of Theorem 3. `res × res` points are drawn
+/// from a window 2.5× the zone's circumradius.
+pub fn verify_qds(net: &Network, qds: &Qds, config: &QdsConfig, res: usize) -> QdsVerification {
+    let i = qds.station_id();
+    let zone = net.reception_zone(i);
+    let zone_area = zone.area_estimate(720).unwrap_or(0.0);
+    let mut v = QdsVerification {
+        plus_samples: 0,
+        plus_violations: 0,
+        minus_samples: 0,
+        minus_violations: 0,
+        question_area: qds.question_area(),
+        zone_area,
+        epsilon: config.epsilon,
+    };
+    let center = net.position(i);
+    let radius = qds
+        .stats()
+        .map(|s| 2.5 * s.big_delta_estimate)
+        .unwrap_or(2.5 * net.kappa(i).max(1e-3));
+    for a in 0..res {
+        for b in 0..res {
+            let p = Point::new(
+                center.x + radius * (2.0 * a as f64 / (res - 1) as f64 - 1.0),
+                center.y + radius * (2.0 * b as f64 / (res - 1) as f64 - 1.0),
+            );
+            match qds.classify(p) {
+                CellClass::Plus => {
+                    v.plus_samples += 1;
+                    if !net.is_heard(i, p) {
+                        v.plus_violations += 1;
+                    }
+                }
+                CellClass::Minus => {
+                    v.minus_samples += 1;
+                    if net.is_heard(i, p) {
+                        v.minus_violations += 1;
+                    }
+                }
+                CellClass::Question => {}
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net3() -> Network {
+        Network::uniform(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(6.0, 0.0),
+                Point::new(3.0, 5.0),
+            ],
+            0.0,
+            2.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn intervals_merge() {
+        assert_eq!(
+            to_intervals(&[1, 2, 3, 7, 8, 12]),
+            vec![(1, 3), (7, 8), (12, 12)]
+        );
+        assert_eq!(to_intervals(&[]), vec![]);
+        assert_eq!(to_intervals(&[5]), vec![(5, 5)]);
+    }
+
+    #[test]
+    fn guarantees_hold() {
+        let net = net3();
+        let config = QdsConfig::with_epsilon(0.3);
+        for i in net.ids() {
+            let qds = Qds::build(&net, i, &config).unwrap();
+            let v = verify_qds(&net, &qds, &config, 101);
+            assert!(
+                v.holds(),
+                "station {i}: +viol={} −viol={} area(H?)={} ε·area(H)={}",
+                v.plus_violations,
+                v.minus_violations,
+                v.question_area,
+                v.epsilon * v.zone_area
+            );
+            assert!(
+                v.plus_samples > 0,
+                "station {i}: no T+ samples — degenerate test"
+            );
+            assert!(v.minus_samples > 0);
+        }
+    }
+
+    #[test]
+    fn area_fraction_shrinks_with_epsilon() {
+        let net = net3();
+        let i = StationId(0);
+        let zone_area = net.reception_zone(i).area_estimate(720).unwrap();
+        let mut last_fraction = f64::INFINITY;
+        for eps in [0.8, 0.4, 0.2, 0.1] {
+            let qds = Qds::build(&net, i, &QdsConfig::with_epsilon(eps)).unwrap();
+            let fraction = qds.question_area() / zone_area;
+            assert!(fraction <= eps + 1e-9, "ε={eps}: fraction {fraction}");
+            assert!(fraction < last_fraction);
+            last_fraction = fraction;
+        }
+    }
+
+    #[test]
+    fn classification_near_station_and_far() {
+        let net = net3();
+        let qds = Qds::build(&net, StationId(0), &QdsConfig::with_epsilon(0.3)).unwrap();
+        assert_eq!(qds.classify(Point::new(0.05, 0.05)), CellClass::Plus);
+        assert_eq!(qds.classify(Point::new(100.0, 100.0)), CellClass::Minus);
+        // On the boundary: must be Question (never a wrong definite answer).
+        let zone = net.reception_zone(StationId(0));
+        for k in 0..32 {
+            let theta = std::f64::consts::TAU * k as f64 / 32.0;
+            let p = zone.boundary_point(theta).unwrap();
+            assert_eq!(qds.classify(p), CellClass::Question, "θ={theta}");
+        }
+    }
+
+    #[test]
+    fn degenerate_zone_all_minus() {
+        let net = Network::uniform(
+            vec![Point::ORIGIN, Point::ORIGIN, Point::new(2.0, 0.0)],
+            0.0,
+            2.0,
+        )
+        .unwrap();
+        let qds = Qds::build(&net, StationId(0), &QdsConfig::default()).unwrap();
+        assert_eq!(qds.classify(Point::new(0.1, 0.0)), CellClass::Minus);
+        assert_eq!(qds.question_cell_count(), 0);
+        assert!(qds.stats().is_none());
+    }
+
+    #[test]
+    fn column_count_is_moderate() {
+        // Size O(ε⁻¹) per station (paper, Section 5.2): the column count
+        // at ε = 0.4 should be comfortably below the ring-cell count.
+        let net = net3();
+        let qds = Qds::build(&net, StationId(0), &QdsConfig::with_epsilon(0.4)).unwrap();
+        assert!(qds.column_count() > 0);
+        assert!(qds.column_count() <= qds.question_cell_count());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_epsilon_panics() {
+        let _ = QdsConfig::with_epsilon(1.0);
+    }
+}

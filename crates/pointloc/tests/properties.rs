@@ -1,0 +1,115 @@
+//! Property-based tests for the point-location structure: Theorem 3's
+//! guarantees must hold for *every* constructible input, not just the
+//! curated examples.
+
+use proptest::prelude::*;
+use sinr_core::{Network, StationId};
+use sinr_geometry::{Point, Segment};
+use sinr_pointloc::{segment_test, Located, PointLocator, Qds, QdsConfig};
+
+/// Separated station layouts (non-degenerate zones, honest numerics).
+fn layouts() -> impl Strategy<Value = Vec<Point>> {
+    (2usize..6, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pts: Vec<Point> = Vec::new();
+        let mut guard = 0;
+        while pts.len() < n && guard < 4_000 {
+            guard += 1;
+            let cand = Point::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0));
+            if pts.iter().all(|p| p.dist(cand) >= 1.2) {
+                pts.push(cand);
+            }
+        }
+        pts
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Definite answers of the locator are never wrong, anywhere.
+    #[test]
+    fn locator_definite_answers_sound(
+        pts in layouts(),
+        beta in 1.3f64..4.0,
+        noise in 0.0f64..0.05,
+        qx in -8.0f64..8.0,
+        qy in -8.0f64..8.0,
+    ) {
+        prop_assume!(pts.len() >= 2);
+        let net = Network::uniform(pts, noise, beta).unwrap();
+        let ds = PointLocator::build(&net, &QdsConfig::with_epsilon(0.35)).unwrap();
+        let p = Point::new(qx, qy);
+        match ds.locate(p) {
+            Located::Reception(i) => prop_assert!(net.is_heard(i, p)),
+            Located::Silent => prop_assert_eq!(net.heard_at(p), None),
+            Located::Uncertain(_) => {}
+        }
+    }
+
+    /// The ε-area bound holds for every station of every network.
+    #[test]
+    fn epsilon_area_bound(
+        pts in layouts(),
+        beta in 1.3f64..4.0,
+        eps in 0.15f64..0.6,
+    ) {
+        prop_assume!(pts.len() >= 2);
+        let net = Network::uniform(pts, 0.01, beta).unwrap();
+        let config = QdsConfig::with_epsilon(eps);
+        for i in net.ids() {
+            let qds = Qds::build(&net, i, &config).unwrap();
+            let Some(zone_area) = net.reception_zone(i).area_estimate(360) else { continue };
+            prop_assert!(
+                qds.question_area() <= eps * zone_area * (1.0 + 1e-6),
+                "{}: {} > {}", i, qds.question_area(), eps * zone_area
+            );
+        }
+    }
+
+    /// The segment test never reports more than two crossings for a
+    /// convex zone (Theorem 1 + Lemma 2.1), and zero for segments strictly
+    /// inside or far outside.
+    #[test]
+    fn segment_test_respects_convexity(
+        pts in layouts(),
+        beta in 1.2f64..5.0,
+        ax in -7.0f64..7.0, ay in -7.0f64..7.0,
+        bx in -7.0f64..7.0, by in -7.0f64..7.0,
+    ) {
+        prop_assume!(pts.len() >= 2);
+        let net = Network::uniform(pts, 0.02, beta).unwrap();
+        let seg = Segment::new(Point::new(ax, ay), Point::new(bx, by));
+        prop_assume!(seg.length() > 1e-6);
+        for i in net.ids() {
+            let crossings = segment_test(&net, i, &seg);
+            prop_assert!(crossings <= 2, "{}: {} crossings", i, crossings);
+        }
+        // A tiny segment at the station is strictly inside its zone.
+        let i = StationId(0);
+        let c = net.position(i);
+        let inside = Segment::new(c + sinr_geometry::Vector::new(0.01, 0.0),
+                                  c + sinr_geometry::Vector::new(0.0, 0.01));
+        prop_assert_eq!(segment_test(&net, i, &inside), 0);
+    }
+
+    /// Locate is consistent with nearest-station dispatch.
+    #[test]
+    fn locate_names_only_nearest(
+        pts in layouts(),
+        qx in -8.0f64..8.0,
+        qy in -8.0f64..8.0,
+    ) {
+        prop_assume!(pts.len() >= 2);
+        let net = Network::uniform(pts, 0.01, 2.0).unwrap();
+        let ds = PointLocator::build(&net, &QdsConfig::with_epsilon(0.35)).unwrap();
+        let p = Point::new(qx, qy);
+        if let Some(named) = ds.locate(p).station() {
+            let nearest = sinr_voronoi::naive_nearest(net.positions(), p).unwrap();
+            let dn = net.position(StationId(nearest)).dist(p);
+            let dd = net.position(named).dist(p);
+            prop_assert!((dd - dn).abs() < 1e-9, "named {} not nearest", named);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Explicit Voronoi diagrams by half-plane intersection.
+//!
+//! The cell of site `sᵢ` is the intersection of the half-planes
+//! "closer to `sᵢ` than to `sⱼ`" over all `j ≠ i` — each bounded by the
+//! *separation line* (perpendicular bisector) of Section 2.1 of the
+//! paper. Cells are clipped to a caller-supplied window, making every
+//! cell a bounded convex polygon (or empty for far-away duplicates).
+//!
+//! `O(n² log n)` construction. For the network sizes of the paper's
+//! experiments this is immaterial, and the explicit polygons enable
+//! verification (Observation 2.2: zone ⊂ cell) and rendering.
+
+use crate::kdtree::KdTree;
+use sinr_geometry::{BBox, ConvexPolygon, Line, Point};
+
+/// One Voronoi cell: the site index and its clipped polygon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoronoiCell {
+    /// Index of the owning site.
+    pub site: usize,
+    /// The cell polygon clipped to the diagram window; `None` when the
+    /// intersection with the window is empty or degenerate (e.g. a
+    /// duplicated site).
+    pub polygon: Option<ConvexPolygon>,
+}
+
+/// A Voronoi diagram over a set of sites, with explicit clipped cells and
+/// an embedded kd-tree for `O(log n)` nearest-site queries.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geometry::{BBox, Point};
+/// use sinr_voronoi::VoronoiDiagram;
+///
+/// let sites = vec![Point::new(-1.0, 0.0), Point::new(1.0, 0.0)];
+/// let window = BBox::centered_square(5.0);
+/// let vd = VoronoiDiagram::build(sites, window);
+/// assert_eq!(vd.nearest_site(Point::new(-0.5, 2.0)), Some(0));
+/// // The two half-window cells share the full window area.
+/// let total: f64 = vd.cells().iter()
+///     .filter_map(|c| c.polygon.as_ref().map(|p| p.area()))
+///     .sum();
+/// assert!((total - window.area()).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VoronoiDiagram {
+    sites: Vec<Point>,
+    window: BBox,
+    cells: Vec<VoronoiCell>,
+    tree: KdTree,
+}
+
+impl VoronoiDiagram {
+    /// Builds the diagram of `sites` clipped to `window`.
+    pub fn build(sites: Vec<Point>, window: BBox) -> Self {
+        let cells = (0..sites.len())
+            .map(|i| VoronoiCell {
+                site: i,
+                polygon: cell_polygon(&sites, i, &window),
+            })
+            .collect();
+        let tree = KdTree::build(sites.clone());
+        VoronoiDiagram {
+            sites,
+            window,
+            cells,
+            tree,
+        }
+    }
+
+    /// The sites.
+    pub fn sites(&self) -> &[Point] {
+        &self.sites
+    }
+
+    /// The clipping window.
+    pub fn window(&self) -> &BBox {
+        &self.window
+    }
+
+    /// All cells, indexed by site.
+    pub fn cells(&self) -> &[VoronoiCell] {
+        &self.cells
+    }
+
+    /// The cell of site `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn cell(&self, i: usize) -> &VoronoiCell {
+        &self.cells[i]
+    }
+
+    /// Nearest site to `q` (kd-tree, expected `O(log n)`), or `None` for
+    /// an empty diagram.
+    pub fn nearest_site(&self, q: Point) -> Option<usize> {
+        self.tree.nearest(q).map(|(i, _)| i)
+    }
+
+    /// Whether point `q` lies in the (closed, clipped) cell of site `i`.
+    pub fn cell_contains(&self, i: usize, q: Point) -> bool {
+        self.cells[i]
+            .polygon
+            .as_ref()
+            .is_some_and(|poly| poly.contains(q))
+    }
+}
+
+/// The clipped cell polygon of site `i`.
+fn cell_polygon(sites: &[Point], i: usize, window: &BBox) -> Option<ConvexPolygon> {
+    let mut lines: Vec<Line> = Vec::with_capacity(sites.len().saturating_sub(1));
+    for (j, s) in sites.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        // Half-plane "closer to sites[i] than to s": negative side of the
+        // bisector with the normal pointing from sites[i] to s.
+        match Line::bisector(sites[i], *s) {
+            Some(line) => lines.push(line),
+            None => return None, // duplicate site ⇒ empty cell (measure zero)
+        }
+    }
+    ConvexPolygon::from_halfplanes(window, &lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 8.0 - 4.0
+        };
+        (0..n).map(|_| Point::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn two_sites_split_the_window() {
+        let vd = VoronoiDiagram::build(
+            vec![Point::new(-1.0, 0.0), Point::new(1.0, 0.0)],
+            BBox::centered_square(4.0),
+        );
+        // Window [−4,4]² has area 64; the bisector splits it in half.
+        let a0 = vd.cell(0).polygon.as_ref().unwrap().area();
+        let a1 = vd.cell(1).polygon.as_ref().unwrap().area();
+        assert!((a0 - 32.0).abs() < 1e-9, "{a0}");
+        assert!((a1 - 32.0).abs() < 1e-9, "{a1}");
+        assert!(vd.cell_contains(0, Point::new(-2.0, 1.0)));
+        assert!(!vd.cell_contains(0, Point::new(2.0, 1.0)));
+    }
+
+    #[test]
+    fn cells_partition_window_area() {
+        let sites = pseudo_points(12, 7);
+        let window = BBox::centered_square(6.0);
+        let vd = VoronoiDiagram::build(sites, window);
+        let total: f64 = vd
+            .cells()
+            .iter()
+            .filter_map(|c| c.polygon.as_ref().map(|p| p.area()))
+            .sum();
+        assert!((total - window.area()).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn membership_matches_nearest() {
+        let sites = pseudo_points(20, 11);
+        let window = BBox::centered_square(6.0);
+        let vd = VoronoiDiagram::build(sites.clone(), window);
+        // Sample interior points: the containing cell must be the nearest
+        // site's cell (up to boundary ties).
+        let queries = pseudo_points(300, 5);
+        for q in queries {
+            if !window.contains(q) {
+                continue;
+            }
+            let nearest = vd.nearest_site(q).unwrap();
+            assert!(
+                vd.cell_contains(nearest, q),
+                "nearest cell must contain its point {q}"
+            );
+            // And no *strictly closer* other cell contains it.
+            for i in 0..sites.len() {
+                if i != nearest && vd.cell_contains(i, q) {
+                    // Only allowed on boundaries: distances must tie.
+                    let dn = sites[nearest].dist(q);
+                    let di = sites[i].dist(q);
+                    assert!((dn - di).abs() < 1e-7, "cells overlap at {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_sites_yield_empty_cell() {
+        let vd = VoronoiDiagram::build(
+            vec![Point::ORIGIN, Point::ORIGIN, Point::new(2.0, 0.0)],
+            BBox::centered_square(4.0),
+        );
+        assert!(vd.cell(0).polygon.is_none());
+        assert!(vd.cell(1).polygon.is_none());
+        assert!(vd.cell(2).polygon.is_some());
+    }
+
+    #[test]
+    fn sites_inside_their_own_cells() {
+        let sites = pseudo_points(15, 23);
+        let window = BBox::centered_square(8.0);
+        let vd = VoronoiDiagram::build(sites.clone(), window);
+        for (i, s) in sites.iter().enumerate() {
+            assert!(vd.cell_contains(i, *s), "site {i} outside its own cell");
+        }
+    }
+
+    #[test]
+    fn far_site_clipped_out() {
+        // A site far outside the window may still own window area or not;
+        // in this configuration the close sites shadow it completely.
+        let vd = VoronoiDiagram::build(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(0.5, 1.0),
+                Point::new(1000.0, 0.0),
+            ],
+            BBox::new(Point::new(-2.0, -2.0), Point::new(3.0, 3.0)),
+        );
+        assert!(
+            vd.cell(3).polygon.is_none(),
+            "distant site's cell should be clipped away"
+        );
+    }
+}

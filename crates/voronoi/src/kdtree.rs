@@ -1,0 +1,229 @@
+//! A 2-d kd-tree for nearest-neighbour queries.
+//!
+//! Used as the `O(log n)` proximity dispatch of the point-location data
+//! structure (Theorem 3): given a query point, only the nearest station
+//! can possibly be heard (Observation 2.2), and the kd-tree finds it
+//! without the naive linear scan.
+
+use sinr_geometry::Point;
+
+/// A static 2-d kd-tree over a set of sites.
+///
+/// Construction is `O(n log n)` by median splitting; nearest-neighbour
+/// queries run in expected `O(log n)` for well-distributed sites (worst
+/// case `O(n)`, as for all kd-trees).
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geometry::Point;
+/// use sinr_voronoi::KdTree;
+///
+/// let tree = KdTree::build(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(5.0, 5.0),
+///     Point::new(-3.0, 4.0),
+/// ]);
+/// let (idx, dist) = tree.nearest(Point::new(4.5, 4.5)).unwrap();
+/// assert_eq!(idx, 1);
+/// assert!(dist < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    /// Site positions in original order.
+    sites: Vec<Point>,
+    /// Tree nodes; `nodes[0]` is the root (when non-empty).
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// Index into `sites`.
+    site: usize,
+    /// Split axis: 0 = x, 1 = y.
+    axis: u8,
+    /// Left child index in `nodes`, `usize::MAX` for none.
+    left: usize,
+    /// Right child index in `nodes`, `usize::MAX` for none.
+    right: usize,
+}
+
+const NONE: usize = usize::MAX;
+
+impl KdTree {
+    /// Builds a kd-tree over the given sites (kept in original index
+    /// order for stable identification).
+    pub fn build(sites: Vec<Point>) -> Self {
+        let mut order: Vec<usize> = (0..sites.len()).collect();
+        let mut nodes = Vec::with_capacity(sites.len());
+        if !sites.is_empty() {
+            build_rec(&sites, &mut order[..], 0, &mut nodes);
+        }
+        KdTree { sites, nodes }
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// True when the tree holds no sites.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The site positions.
+    pub fn sites(&self) -> &[Point] {
+        &self.sites
+    }
+
+    /// The nearest site to `q`: returns `(site_index, distance)`, or
+    /// `None` for an empty tree.
+    pub fn nearest(&self, q: Point) -> Option<(usize, f64)> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let mut best = (NONE, f64::INFINITY);
+        self.search(0, q, &mut best);
+        Some((best.0, best.1.sqrt()))
+    }
+
+    fn search(&self, node_idx: usize, q: Point, best: &mut (usize, f64)) {
+        let node = self.nodes[node_idx];
+        let site = self.sites[node.site];
+        let d2 = site.dist_sq(q);
+        if d2 < best.1 || (d2 == best.1 && node.site < best.0) {
+            *best = (node.site, d2);
+        }
+        let diff = if node.axis == 0 {
+            q.x - site.x
+        } else {
+            q.y - site.y
+        };
+        let (near, far) = if diff <= 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if near != NONE {
+            self.search(near, q, best);
+        }
+        if far != NONE && diff * diff <= best.1 {
+            self.search(far, q, best);
+        }
+    }
+}
+
+fn build_rec(sites: &[Point], order: &mut [usize], axis: u8, nodes: &mut Vec<Node>) -> usize {
+    debug_assert!(!order.is_empty());
+    let mid = order.len() / 2;
+    order.select_nth_unstable_by(mid, |&a, &b| {
+        let (ka, kb) = if axis == 0 {
+            (sites[a].x, sites[b].x)
+        } else {
+            (sites[a].y, sites[b].y)
+        };
+        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let site = order[mid];
+    let this = nodes.len();
+    nodes.push(Node {
+        site,
+        axis,
+        left: NONE,
+        right: NONE,
+    });
+    let next_axis = 1 - axis;
+    // Split the order slice around the median without re-borrowing `this`.
+    let (left_slice, rest) = order.split_at_mut(mid);
+    let right_slice = &mut rest[1..];
+    if !left_slice.is_empty() {
+        let l = build_rec(sites, left_slice, next_axis, nodes);
+        nodes[this].left = l;
+    }
+    if !right_slice.is_empty() {
+        let r = build_rec(sites, right_slice, next_axis, nodes);
+        nodes[this].right = r;
+    }
+    this
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_nearest;
+
+    fn pseudo_points(n: usize, seed: u64, scale: f64) -> Vec<Point> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * scale - scale / 2.0
+        };
+        (0..n).map(|_| Point::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(KdTree::build(vec![]).nearest(Point::ORIGIN).is_none());
+        let t = KdTree::build(vec![Point::new(1.0, 2.0)]);
+        let (i, d) = t.nearest(Point::ORIGIN).unwrap();
+        assert_eq!(i, 0);
+        assert!((d - 5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_naive_on_random_sets() {
+        for n in [2usize, 3, 10, 100, 500] {
+            let sites = pseudo_points(n, 0xC0FFEE + n as u64, 20.0);
+            let tree = KdTree::build(sites.clone());
+            let queries = pseudo_points(200, 0xBEEF + n as u64, 30.0);
+            for q in queries {
+                let naive = naive_nearest(&sites, q).unwrap();
+                let (found, dist) = tree.nearest(q).unwrap();
+                // Equal distance is fine (ties); otherwise indexes must match.
+                let dn = sites[naive].dist(q);
+                assert!(
+                    (dist - dn).abs() < 1e-9,
+                    "n={n}: kd dist {dist} vs naive {dn} at {q}"
+                );
+                if (sites[found].dist(q) - dn).abs() > 1e-12 {
+                    panic!("n={n}: kd-tree returned non-nearest site");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_sites_handled() {
+        let sites = vec![Point::new(1.0, 1.0); 8];
+        let tree = KdTree::build(sites);
+        let (i, d) = tree.nearest(Point::new(1.0, 1.0)).unwrap();
+        assert!(i < 8);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn collinear_sites() {
+        let sites: Vec<Point> = (0..20).map(|k| Point::new(k as f64, 0.0)).collect();
+        let tree = KdTree::build(sites.clone());
+        for k in 0..20 {
+            let q = Point::new(k as f64 + 0.3, 5.0);
+            let (i, _) = tree.nearest(q).unwrap();
+            assert_eq!(i, k, "query over site {k}");
+        }
+    }
+
+    #[test]
+    fn query_at_site_positions() {
+        let sites = pseudo_points(50, 99, 10.0);
+        let tree = KdTree::build(sites.clone());
+        for (k, s) in sites.iter().enumerate() {
+            let (i, d) = tree.nearest(*s).unwrap();
+            assert!(d < 1e-12);
+            // Another site could coincide; distances must agree regardless.
+            assert!((sites[i].dist(*s)) < 1e-12, "site {k}");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Linear-scan nearest neighbour — the reference implementation.
+
+use sinr_geometry::Point;
+
+/// Returns the index of the site nearest to `q` (ties broken by lowest
+/// index), or `None` for an empty site set.
+///
+/// `O(n)` per query; the paper cites this as the baseline the `O(log n)`
+/// point-location dispatch improves upon.
+///
+/// # Examples
+///
+/// ```
+/// use sinr_geometry::Point;
+/// use sinr_voronoi::naive_nearest;
+///
+/// let sites = [Point::new(0.0, 0.0), Point::new(4.0, 0.0)];
+/// assert_eq!(naive_nearest(&sites, Point::new(1.0, 0.0)), Some(0));
+/// assert_eq!(naive_nearest(&sites, Point::new(3.0, 0.0)), Some(1));
+/// // Equidistant: the lower index wins.
+/// assert_eq!(naive_nearest(&sites, Point::new(2.0, 0.0)), Some(0));
+/// ```
+pub fn naive_nearest(sites: &[Point], q: Point) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, s) in sites.iter().enumerate() {
+        let d = s.dist_sq(q);
+        match best {
+            Some((_, bd)) if bd <= d => {}
+            _ => best = Some((i, d)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set() {
+        assert_eq!(naive_nearest(&[], Point::ORIGIN), None);
+    }
+
+    #[test]
+    fn single_site() {
+        assert_eq!(
+            naive_nearest(&[Point::new(5.0, 5.0)], Point::ORIGIN),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn tie_breaking_is_stable() {
+        let sites = [
+            Point::new(-1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        // The origin is equidistant from the first two; index 0 wins.
+        assert_eq!(naive_nearest(&sites, Point::ORIGIN), Some(0));
+    }
+}

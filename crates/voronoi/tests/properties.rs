@@ -1,0 +1,70 @@
+//! Property-based tests for the proximity substrate.
+
+use proptest::prelude::*;
+use sinr_geometry::{BBox, Point};
+use sinr_voronoi::{naive_nearest, KdTree, VoronoiDiagram};
+
+fn pts(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        ((-80i32..80), (-80i32..80)).prop_map(|(x, y)| Point::new(x as f64 / 8.0, y as f64 / 8.0)),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// kd-tree nearest equals the naive scan (in distance; ties may pick
+    /// different witnesses).
+    #[test]
+    fn kdtree_matches_naive(sites in pts(1..60), q in (-200i32..200, -200i32..200)) {
+        let q = Point::new(q.0 as f64 / 10.0, q.1 as f64 / 10.0);
+        let tree = KdTree::build(sites.clone());
+        let (kd_idx, kd_dist) = tree.nearest(q).unwrap();
+        let naive_idx = naive_nearest(&sites, q).unwrap();
+        let naive_dist = sites[naive_idx].dist(q);
+        prop_assert!((kd_dist - naive_dist).abs() < 1e-9,
+            "kd {} vs naive {}", kd_dist, naive_dist);
+        prop_assert!((sites[kd_idx].dist(q) - naive_dist).abs() < 1e-9);
+    }
+
+    /// Voronoi cells tile the window: areas sum to the window area, and
+    /// the nearest site's cell contains each sample point.
+    #[test]
+    fn cells_tile_window(sites in pts(2..15)) {
+        // Deduplicate: duplicated sites legitimately lose their cell.
+        let mut unique = sites.clone();
+        unique.sort_by(|a, b| (a.x, a.y).partial_cmp(&(b.x, b.y)).unwrap());
+        unique.dedup_by(|a, b| a.dist(*b) < 1e-9);
+        prop_assume!(unique.len() >= 2);
+        let window = BBox::centered_square(12.0);
+        let vd = VoronoiDiagram::build(unique.clone(), window);
+        let total: f64 = vd.cells().iter()
+            .filter_map(|c| c.polygon.as_ref().map(|p| p.area()))
+            .sum();
+        prop_assert!((total - window.area()).abs() < 1e-5,
+            "areas {} vs window {}", total, window.area());
+        // membership check on a coarse grid
+        for gx in -3..=3 {
+            for gy in -3..=3 {
+                let q = Point::new(gx as f64 * 3.3, gy as f64 * 3.3);
+                let n = vd.nearest_site(q).unwrap();
+                prop_assert!(vd.cell_contains(n, q), "nearest cell must contain {q}");
+            }
+        }
+    }
+
+    /// Each site lies in its own cell.
+    #[test]
+    fn sites_in_own_cells(sites in pts(2..20)) {
+        let mut unique = sites.clone();
+        unique.sort_by(|a, b| (a.x, a.y).partial_cmp(&(b.x, b.y)).unwrap());
+        unique.dedup_by(|a, b| a.dist(*b) < 1e-9);
+        prop_assume!(unique.len() >= 2);
+        let window = BBox::centered_square(15.0);
+        let vd = VoronoiDiagram::build(unique.clone(), window);
+        for (i, s) in unique.iter().enumerate() {
+            prop_assert!(vd.cell_contains(i, *s), "site {i} at {s} outside its cell");
+        }
+    }
+}

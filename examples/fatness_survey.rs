@@ -1,0 +1,85 @@
+//! Theorems 2 / 4.1 / 4.2 empirically: sweep the reception threshold β
+//! and the network size n, measure δ, Δ and the fatness parameter
+//! φ = Δ/δ, and compare against the paper's closed-form bounds.
+//!
+//! Run with: `cargo run --release --example fatness_survey`
+
+use sinr_diagrams::core::{bounds, gen, StationId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Theorem 4.2: φ ≤ (√β+1)/(√β−1), independent of n.\n");
+    println!("   β   |  n  | measured φ (worst) | Thm 4.2 bound | Thm 4.1 O(√n) bound");
+    println!("  -----+-----+--------------------+---------------+--------------------");
+
+    for beta in [1.5, 2.0, 3.0, 6.0, 10.0] {
+        for n in [2usize, 4, 8, 16] {
+            let mut worst = 0.0f64;
+            for seed in 0..5u64 {
+                let net =
+                    gen::random_separated_network(1000 * seed + n as u64, n, 6.0, 1.2, 0.01, beta)?;
+                for i in net.ids() {
+                    if let Some(profile) = net.reception_zone(i).radial_profile(128) {
+                        if let Some(phi) = profile.fatness() {
+                            worst = worst.max(phi);
+                        }
+                    }
+                }
+            }
+            let b42 = bounds::fatness_bound(beta).unwrap();
+            let b41 = bounds::fatness_bound_sqrt_n(n, beta).unwrap();
+            println!(
+                "  {beta:4.1} | {n:3} | {worst:18.4} | {b42:13.4} | {b41:18.4}{}",
+                if worst <= b42 {
+                    ""
+                } else {
+                    "  *** VIOLATION ***"
+                }
+            );
+        }
+    }
+
+    println!("\nTheorem 4.1 explicit bounds on δ and Δ (worst stations over seeds):");
+    println!("   n  | measured δ | δ lower bnd | measured Δ | Δ upper bnd");
+    println!("  ----+------------+-------------+------------+------------");
+    for n in [2usize, 4, 8, 16, 32] {
+        let net = gen::random_separated_network(4242 + n as u64, n, 8.0, 1.5, 0.02, 2.0)?;
+        let mut rows: Vec<(f64, f64, f64, f64)> = Vec::new();
+        for i in net.ids() {
+            let zb = bounds::zone_bounds(&net, i);
+            if let Some(profile) = net.reception_zone(i).radial_profile(128) {
+                rows.push((
+                    profile.delta(),
+                    zb.delta_lower,
+                    profile.big_delta(),
+                    zb.delta_upper.unwrap_or(f64::INFINITY),
+                ));
+            }
+        }
+        // Report the tightest case (smallest margin) per network.
+        if let Some(row) = rows
+            .iter()
+            .min_by(|a, b| (a.0 - a.1).partial_cmp(&(b.0 - b.1)).unwrap())
+        {
+            println!(
+                "  {n:3} | {:10.4} | {:11.4} | {:10.4} | {:10.4}",
+                row.0, row.1, row.2, row.3
+            );
+        }
+    }
+
+    println!("\nThe extreme layout of Theorem 4.1's δ analysis (all interferers");
+    println!("co-located at distance κ): measured δ approaches the bound.");
+    println!("   n  |   κ  | measured δ | δ lower bound | ratio");
+    for n in [2usize, 4, 8, 16, 64] {
+        let kappa = 2.0;
+        let net = sinr_diagrams::core::Network::uniform(gen::delta_extreme(n, kappa), 0.0, 2.0)?;
+        let zone = net.reception_zone(StationId(0));
+        let measured = zone.boundary_radius(0.0).unwrap();
+        let bound = bounds::delta_lower_bound(kappa, n, 0.0, 2.0);
+        println!(
+            "  {n:3} | {kappa:4.1} | {measured:10.6} | {bound:13.6} | {:5.3}",
+            measured / bound
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Figure 1 of the paper: reception is *dynamic* — moving one station or
+//! silencing another flips what a fixed receiver hears.
+//!
+//! Panel A: p hears s2. Panel B: s1 moves next to p — silence. Panel C:
+//! same placement, s3 silenced — p hears s1.
+//!
+//! Run with: `cargo run --example figure1_dynamics`
+
+use sinr_diagrams::diagram::figures::figure1;
+use sinr_diagrams::diagram::render;
+use sinr_diagrams::prelude::*;
+
+fn main() {
+    let fig = figure1();
+    let panels = [
+        ("(A) initial placement", &fig.panel_a),
+        ("(B) s1 moved next to p", &fig.panel_b),
+        ("(C) as (B), s3 silent", &fig.panel_c),
+    ];
+
+    println!("receiver p = {}", fig.receiver);
+    for (title, net) in panels {
+        let heard = net.heard_at(fig.receiver);
+        println!("\n=== {title} ===");
+        for i in net.ids() {
+            println!(
+                "  {} at {}  SINR(p) = {:.3}",
+                i,
+                net.position(i),
+                net.sinr(i, fig.receiver)
+            );
+        }
+        match heard {
+            Some(i) => println!("  → p hears {i}"),
+            None => println!("  → p hears nothing"),
+        }
+        let map = ReceptionMap::compute(net, fig.window, 72, 36);
+        print!("{}", render::ascii(&map));
+    }
+
+    println!("\npaper narration reproduced:");
+    println!("  (A) p hears s2: {:?}", fig.panel_a.heard_at(fig.receiver));
+    println!(
+        "  (B) p hears nothing: {:?}",
+        fig.panel_b.heard_at(fig.receiver)
+    );
+    println!("  (C) p hears s1: {:?}", fig.panel_c.heard_at(fig.receiver));
+}

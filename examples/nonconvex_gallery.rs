@@ -1,0 +1,82 @@
+//! Figure 5 and Theorem 1 side by side: the same station geometry is
+//! convex for β ≥ 1 and visibly non-convex for β < 1.
+//!
+//! Also demonstrates the algebraic convexity test of Lemma 2.1: Sturm
+//! counting of line/boundary crossings (≤ 2 ⟺ convex).
+//!
+//! Run with: `cargo run --release --example nonconvex_gallery`
+
+use sinr_diagrams::core::{convexity, Network};
+use sinr_diagrams::diagram::figures::figure5;
+use sinr_diagrams::diagram::{measure, render};
+use sinr_diagrams::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fig = figure5();
+    let positions = fig.network.positions().to_vec();
+
+    println!("station geometry: {positions:?}");
+    println!(
+        "noise N = {}, path loss α = 2, uniform power\n",
+        fig.network.noise()
+    );
+
+    for beta in [0.3, 0.7, 1.0, 1.5, 3.0] {
+        let net = Network::uniform(positions.clone(), fig.network.noise(), beta)?;
+        let window = BBox::centered_square(12.0);
+
+        // Segment-sampling convexity check per zone.
+        let mut total_violations = 0usize;
+        for i in net.ids() {
+            let zone = net.reception_zone(i);
+            if let Some(report) = convexity::check_zone_convexity(&zone, 32, 16, 1e-7) {
+                total_violations += report.violations.len();
+            }
+        }
+        // Raster-level convexity defect.
+        let defect = net
+            .ids()
+            .filter_map(|i| measure::measure_zone(&net, i, window, 201))
+            .map(|m| m.convexity_defect)
+            .fold(0.0f64, f64::max);
+
+        println!(
+            "β = {beta:3.1}  | segment violations: {total_violations:5} | hull defect: {defect:.4} | {}",
+            if beta >= 1.0 { "Theorem 1: must be convex" } else { "below 1: convexity not guaranteed" }
+        );
+    }
+
+    // Show the non-convex diagram itself.
+    let map = ReceptionMap::compute(&fig.network, BBox::centered_square(6.0), 72, 36);
+    println!("\nβ = 0.3 diagram (strongest station per pixel; note the dents):");
+    print!("{}", render::ascii(&map));
+
+    // Lemma 2.1 in action: aim a line through a violation and count
+    // boundary crossings algebraically.
+    for i in fig.network.ids() {
+        let zone = fig.network.reception_zone(i);
+        if let Some(report) = convexity::check_zone_convexity(&zone, 48, 24, 1e-7) {
+            if let Some(v) = report.violations.first() {
+                let crossings = convexity::boundary_crossings_on_line(
+                    &fig.network,
+                    i,
+                    v.p1,
+                    v.p2 - v.p1,
+                    -50.0,
+                    51.0,
+                );
+                println!(
+                    "\nLemma 2.1 witness for {i}: the line through ({:.2},{:.2})→({:.2},{:.2})",
+                    v.p1.x, v.p1.y, v.p2.x, v.p2.y
+                );
+                println!(
+                    "  crosses ∂H_{} {} times (convex would allow at most 2)",
+                    i.index(),
+                    crossings
+                );
+                break;
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Theorem 3 end-to-end: build the approximate point-location structure,
+//! verify its three guarantees, and race it against the naive O(n) query.
+//!
+//! Run with: `cargo run --release --example point_location`
+
+use sinr_diagrams::core::gen;
+use sinr_diagrams::pointloc::qds::verify_qds;
+use sinr_diagrams::pointloc::{Located, PointLocator, Qds, QdsConfig};
+use sinr_diagrams::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = gen::random_separated_network(7, 12, 8.0, 2.0, 0.01, 2.0)?;
+    println!("network: {net}");
+
+    let config = QdsConfig::with_epsilon(0.2);
+    let t0 = Instant::now();
+    let locator = PointLocator::build(&net, &config)?;
+    println!(
+        "built DS for n={} in {:.1?}: {} uncertainty cells total",
+        net.len(),
+        t0.elapsed(),
+        locator.total_question_cells()
+    );
+
+    // --- Verify the Theorem 3 guarantees per station ---------------------
+    println!("\nper-station guarantees (ε = {}):", config.epsilon);
+    println!("  station | T? cells | area(H?) | ε·area(H) | H+⊆H | H−∩H=∅");
+    for i in net.ids() {
+        let qds = Qds::build(&net, i, &config)?;
+        let v = verify_qds(&net, &qds, &config, 81);
+        println!(
+            "  {:7} | {:8} | {:8.4} | {:9.4} | {:4} | {}",
+            i.to_string(),
+            qds.question_cell_count(),
+            v.question_area,
+            v.epsilon * v.zone_area,
+            v.plus_violations == 0,
+            v.minus_violations == 0,
+        );
+    }
+
+    // --- Query showdown: DS (O(log n)) vs naive (O(n)) -------------------
+    let queries: Vec<Point> = {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        (0..100_000)
+            .map(|_| Point::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0)))
+            .collect()
+    };
+
+    let t0 = Instant::now();
+    let mut located = [0usize; 3];
+    for q in &queries {
+        match locator.locate(*q) {
+            Located::Reception(_) => located[0] += 1,
+            Located::Uncertain(_) => located[1] += 1,
+            Located::Silent => located[2] += 1,
+        }
+    }
+    let ds_time = t0.elapsed();
+
+    let t0 = Instant::now();
+    let mut naive_heard = 0usize;
+    for q in &queries {
+        if net.heard_at(*q).is_some() {
+            naive_heard += 1;
+        }
+    }
+    let naive_time = t0.elapsed();
+
+    println!("\n{} queries:", queries.len());
+    println!(
+        "  DS    : {:.1?} ({:.0} ns/query) → reception {} / uncertain {} / silent {}",
+        ds_time,
+        ds_time.as_nanos() as f64 / queries.len() as f64,
+        located[0],
+        located[1],
+        located[2]
+    );
+    println!(
+        "  naive : {:.1?} ({:.0} ns/query) → heard {}",
+        naive_time,
+        naive_time.as_nanos() as f64 / queries.len() as f64,
+        naive_heard
+    );
+    println!(
+        "  agreement: DS definite answers are consistent (reception ≤ naive ≤ reception+uncertain): {}",
+        located[0] <= naive_heard && naive_heard <= located[0] + located[1]
+    );
+    Ok(())
+}

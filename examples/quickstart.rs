@@ -1,0 +1,71 @@
+//! Quickstart: build a network, inspect reception, draw the diagram, and
+//! answer point-location queries.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sinr_diagrams::prelude::*;
+use sinr_diagrams::{core::bounds, diagram::render};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. A uniform power network (the paper's setting) ---------------
+    // Three stations, background noise N = 0.02, reception threshold β = 2,
+    // path loss α = 2.
+    let net = Network::builder()
+        .station(Point::new(-2.0, 0.0))
+        .station(Point::new(2.5, 0.5))
+        .station(Point::new(0.0, 3.0))
+        .background_noise(0.02)
+        .threshold(2.0)
+        .build()?;
+    println!("network: {net}");
+
+    // --- 2. Pointwise reception -----------------------------------------
+    let p = Point::new(-1.2, 0.3);
+    for i in net.ids() {
+        println!(
+            "  SINR({i}, {p}) = {:8.4}  heard: {}",
+            net.sinr(i, p),
+            net.is_heard(i, p)
+        );
+    }
+    println!("  heard_at({p}) = {:?}", net.heard_at(p));
+
+    // --- 3. Zone geometry: δ, Δ, fatness (Theorems 2, 4.1, 4.2) ---------
+    for i in net.ids() {
+        let zone = net.reception_zone(i);
+        let profile = zone.radial_profile(180).expect("bounded zones");
+        let zb = bounds::zone_bounds(&net, i);
+        println!(
+            "  {i}: δ={:.4} (≥{:.4}), Δ={:.4} (≤{:.4}), φ={:.3} (≤{:.3})",
+            profile.delta(),
+            zb.delta_lower,
+            profile.big_delta(),
+            zb.delta_upper.unwrap_or(f64::INFINITY),
+            profile.fatness().unwrap(),
+            zb.fatness_const.unwrap(),
+        );
+    }
+
+    // --- 4. The SINR diagram as ASCII art --------------------------------
+    let map = ReceptionMap::compute(&net, BBox::centered_square(6.0), 72, 36);
+    println!("\nSINR diagram (stations 0,1,2; '.' = silence):");
+    print!("{}", render::ascii(&map));
+
+    // --- 5. Approximate point location (Theorem 3) -----------------------
+    let locator = sinr_diagrams::pointloc::PointLocator::build(
+        &net,
+        &sinr_diagrams::pointloc::QdsConfig::with_epsilon(0.2),
+    )?;
+    println!(
+        "\npoint location (ε = 0.2, {} uncertainty cells):",
+        locator.total_question_cells()
+    );
+    for q in [
+        Point::new(-1.8, 0.1),
+        Point::new(0.4, 0.9),
+        Point::new(5.0, -4.0),
+    ] {
+        println!("  locate({q}) = {:?}", locator.locate(q));
+    }
+    Ok(())
+}

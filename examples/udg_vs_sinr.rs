@@ -1,0 +1,90 @@
+//! Figures 2–4 of the paper: where the unit-disk-graph (protocol) model
+//! and the SINR model disagree.
+//!
+//! * Figure 2 — *false positive*: UDG says the receiver hears s1; the
+//!   cumulative interference of three stations just outside the UDG
+//!   radius silences it in the SINR model.
+//! * Figures 3–4 — stations join one at a time; the models' answers
+//!   diverge step by step (including the *false negative* where the UDG
+//!   collision rule drops a message the SINR model delivers).
+//!
+//! Run with: `cargo run --example udg_vs_sinr`
+
+use sinr_diagrams::diagram::figures::{figure2, figure34};
+use sinr_diagrams::diagram::render;
+use sinr_diagrams::graphs::compare::compare_on_grid;
+use sinr_diagrams::prelude::*;
+
+fn main() {
+    // ---------------- Figure 2: cumulative interference -----------------
+    let fig2 = figure2();
+    let all = vec![true; 4];
+    println!(
+        "=== Figure 2: cumulative interference (β = {}) ===",
+        fig2.network.beta()
+    );
+    println!("receiver p = {}", fig2.receiver);
+    println!(
+        "  UDG model : p hears {:?}",
+        fig2.udg.heard_at(&all, fig2.receiver)
+    );
+    println!(
+        "  SINR model: p hears {:?}",
+        fig2.network.heard_at(fig2.receiver)
+    );
+    let counts = compare_on_grid(
+        &fig2.network,
+        &fig2.udg,
+        &all,
+        &BBox::centered_square(3.0),
+        61,
+    );
+    println!("  disagreement over a 3×3 window: {counts}");
+
+    let udg_map =
+        ReceptionMap::compute_protocol(&fig2.udg, &all, BBox::centered_square(3.0), 64, 32);
+    let sinr_map = ReceptionMap::compute(&fig2.network, BBox::centered_square(3.0), 64, 32);
+    println!("\n  UDG diagram:");
+    print!("{}", indent(&render::ascii(&udg_map)));
+    println!("  SINR diagram:");
+    print!("{}", indent(&render::ascii(&sinr_map)));
+
+    // ---------------- Figures 3–4: stepwise divergence ------------------
+    let fig34 = figure34();
+    println!("\n=== Figures 3–4: adding transmitters one at a time ===");
+    println!("receiver p = {}\n", fig34.receiver);
+    println!("  step | transmitting        | UDG hears | SINR hears | note");
+    println!("  -----+---------------------+-----------+------------+---------------------");
+    for step in &fig34.steps {
+        let tx: Vec<String> = step
+            .transmitting
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t)
+            .map(|(i, _)| format!("s{}", i + 1))
+            .collect();
+        let note = match (step.expected_udg, step.expected_sinr) {
+            (None, Some(_)) => "UDG false negative",
+            (Some(_), None) => "UDG false positive",
+            (a, b) if a == b => "models agree",
+            _ => "models differ",
+        };
+        // Display with the paper's 1-based station names (s1..s4).
+        let name = |s: Option<sinr_diagrams::core::StationId>| {
+            s.map(|s| format!("s{}", s.index() + 1))
+                .unwrap_or_else(|| "—".into())
+        };
+        println!(
+            "  {:4} | {:19} | {:9} | {:10} | {}",
+            step.step,
+            tx.join(", "),
+            name(step.expected_udg),
+            name(step.expected_sinr),
+            note,
+        );
+    }
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("    {l}\n")).collect()
+}

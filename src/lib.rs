@@ -1,0 +1,64 @@
+//! # sinr-diagrams
+//!
+//! A comprehensive Rust implementation of
+//!
+//! > **SINR Diagrams: Towards Algorithmically Usable SINR Models of
+//! > Wireless Networks.** Chen Avin, Yuval Emek, Erez Kantor, Zvi Lotker,
+//! > David Peleg, Liam Roditty. PODC 2009.
+//!
+//! This umbrella crate re-exports the component crates of the workspace:
+//!
+//! * [`geometry`] — planar computational-geometry kernel;
+//! * [`algebra`] — polynomials and Sturm-sequence root counting;
+//! * [`core`] — the SINR model: networks, reception zones, convexity and
+//!   fatness machinery (Theorems 1, 2, 4.1, 4.2);
+//! * [`graphs`] — graph-based models (UDG, disk graphs, Quasi-UDG,
+//!   protocol model) and SINR-vs-graph comparisons;
+//! * [`voronoi`] — Voronoi diagrams and nearest-neighbour search
+//!   (Observation 2.2, query dispatch of Theorem 3);
+//! * [`pointloc`] — the approximate point-location data structure of
+//!   Theorem 3 (Section 5);
+//! * [`diagram`] — rasterised reception maps and the paper's figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sinr_diagrams::prelude::*;
+//!
+//! // Three uniform-power stations (Figure 1(A) of the paper).
+//! let network = Network::builder()
+//!     .station(Point::new(-2.0, -1.0))
+//!     .station(Point::new(2.5, -1.5))
+//!     .station(Point::new(0.5, 2.0))
+//!     .background_noise(0.05)
+//!     .threshold(1.5)
+//!     .build()
+//!     .unwrap();
+//!
+//! // Who does a receiver at p hear?
+//! let p = Point::new(1.8, -1.0);
+//! let heard = network.heard_at(p);
+//! assert!(heard.is_some() || heard.is_none()); // depends on geometry
+//! ```
+
+pub use sinr_algebra as algebra;
+pub use sinr_core as core;
+pub use sinr_diagram as diagram;
+pub use sinr_geometry as geometry;
+pub use sinr_graphs as graphs;
+pub use sinr_pointloc as pointloc;
+pub use sinr_voronoi as voronoi;
+
+/// Convenient glob-import surface: the most commonly used types from every
+/// component crate.
+pub mod prelude {
+    pub use sinr_algebra::{BiPoly, Poly, SturmChain};
+    pub use sinr_core::{
+        Network, NetworkBuilder, PowerAssignment, ReceptionZone, Station, StationId,
+    };
+    pub use sinr_diagram::{Raster, ReceptionMap};
+    pub use sinr_geometry::{BBox, Ball, Grid, Line, Point, Segment, Vector};
+    pub use sinr_graphs::UnitDiskGraph;
+    pub use sinr_pointloc::{Located, PointLocator};
+    pub use sinr_voronoi::{KdTree, VoronoiDiagram};
+}

@@ -1,0 +1,141 @@
+//! Observation 2.2: in a non-trivial uniform power network, every
+//! reception zone is compact and *strictly contained* in the Voronoi cell
+//! of its station — the fact that makes nearest-station dispatch correct
+//! in Theorem 3's data structure.
+
+use sinr_diagrams::core::{gen, StationId};
+use sinr_diagrams::prelude::*;
+use sinr_diagrams::voronoi::naive_nearest;
+
+fn networks() -> Vec<sinr_diagrams::core::Network> {
+    let mut nets = Vec::new();
+    for seed in [1u64, 7, 42] {
+        nets.push(gen::random_separated_network(seed, 8, 6.0, 1.0, 0.02, 1.8).unwrap());
+    }
+    // Structured layouts.
+    nets.push(sinr_diagrams::core::Network::uniform(gen::ring(6, 4.0), 0.01, 2.5).unwrap());
+    nets.push(sinr_diagrams::core::Network::uniform(gen::grid(3, 3, 3.0), 0.0, 3.0).unwrap());
+    nets
+}
+
+#[test]
+fn zone_points_are_nearest_to_their_station() {
+    for net in networks() {
+        for i in net.ids() {
+            let zone = net.reception_zone(i);
+            if zone.is_degenerate() {
+                continue;
+            }
+            // Sample boundary points (the extreme points of the zone) and
+            // interior points; each must have sᵢ as its strictly nearest
+            // station.
+            for k in 0..48 {
+                let theta = std::f64::consts::TAU * k as f64 / 48.0;
+                let Some(r) = zone.boundary_radius(theta) else {
+                    continue;
+                };
+                for frac in [0.35, 0.8, 0.999] {
+                    let p = net.position(i)
+                        + sinr_diagrams::geometry::Vector::from_angle(theta) * (r * frac);
+                    let nearest = naive_nearest(net.positions(), p).unwrap();
+                    let d_own = net.position(i).dist(p);
+                    let d_near = net.position(StationId(nearest)).dist(p);
+                    assert!(
+                        (d_own - d_near).abs() < 1e-9,
+                        "zone point {p} of {i} closer to s{nearest} ({d_near} < {d_own})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn zone_strictly_inside_voronoi_cell() {
+    for net in networks() {
+        let window = net.bbox().inflated(30.0);
+        let vd = VoronoiDiagram::build(net.positions().to_vec(), window);
+        for i in net.ids() {
+            let zone = net.reception_zone(i);
+            if zone.is_degenerate() {
+                continue;
+            }
+            let Some(polygon) = &vd.cell(i.index()).polygon else {
+                continue;
+            };
+            let Some(boundary) = zone.boundary_polygon(64) else {
+                continue;
+            };
+            for p in boundary {
+                assert!(
+                    polygon.contains(p),
+                    "boundary point {p} of zone {i} escapes its Voronoi cell"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zones_are_bounded_for_nontrivial_networks() {
+    for net in networks() {
+        assert!(!net.is_trivial());
+        for i in net.ids() {
+            let zone = net.reception_zone(i);
+            if zone.is_degenerate() {
+                continue;
+            }
+            let profile = zone.radial_profile(64);
+            assert!(
+                profile.is_some(),
+                "zone {i} should be bounded (Observation 2.2)"
+            );
+        }
+    }
+}
+
+#[test]
+fn trivial_network_is_the_exception() {
+    // |S| = 2, N = 0, β = 1: the zones are half-planes (unbounded), the
+    // single case Observation 2.2 excludes.
+    let net = sinr_diagrams::core::Network::uniform(
+        vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)],
+        0.0,
+        1.0,
+    )
+    .unwrap();
+    assert!(net.is_trivial());
+    let zone = net.reception_zone(StationId(0));
+    assert!(zone.radial_profile(16).is_none());
+    // The half-plane picture: everything strictly left of the bisector
+    // x = 1 hears s0.
+    for y in [-5.0, 0.0, 5.0] {
+        assert!(net.is_heard(StationId(0), Point::new(0.5, y)));
+        assert!(!net.is_heard(StationId(0), Point::new(1.5, y)));
+    }
+    // Points on the bisector hear both stations at SINR exactly 1 = β.
+    assert!(net.is_heard(StationId(0), Point::new(1.0, 3.0)));
+    assert!(net.is_heard(StationId(1), Point::new(1.0, 3.0)));
+}
+
+#[test]
+fn kdtree_dispatch_equals_naive_dispatch() {
+    for net in networks() {
+        let tree = KdTree::build(net.positions().to_vec());
+        let mut state: u64 = 5;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 16.0 - 8.0
+        };
+        for _ in 0..200 {
+            let p = Point::new(next(), next());
+            let (kd, kd_dist) = tree.nearest(p).unwrap();
+            let nv = naive_nearest(net.positions(), p).unwrap();
+            let nv_dist = net.position(StationId(nv)).dist(p);
+            assert!((kd_dist - nv_dist).abs() < 1e-9, "distance mismatch at {p}");
+            let _ = kd;
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Theorem 3 end-to-end: the full point-location pipeline against ground
+//! truth, across network families and ε values.
+
+use sinr_diagrams::core::gen;
+use sinr_diagrams::pointloc::qds::verify_qds;
+use sinr_diagrams::pointloc::{Located, PointLocator, Qds, QdsConfig};
+use sinr_diagrams::prelude::*;
+
+/// Never-wrong property: definite answers always match direct evaluation.
+#[test]
+fn definite_answers_are_never_wrong() {
+    for (seed, n, beta) in [(3u64, 4usize, 2.0), (11, 8, 1.7), (29, 6, 4.0)] {
+        let net = gen::random_separated_network(seed, n, 6.0, 1.4, 0.01, beta).unwrap();
+        let ds = PointLocator::build(&net, &QdsConfig::with_epsilon(0.3)).unwrap();
+        let mut uncertain = 0usize;
+        let mut total = 0usize;
+        for a in -60..=60 {
+            for b in -60..=60 {
+                let p = Point::new(a as f64 * 0.15, b as f64 * 0.15);
+                total += 1;
+                match ds.locate(p) {
+                    Located::Reception(i) => {
+                        assert!(
+                            net.is_heard(i, p),
+                            "seed {seed}: wrong Reception({i}) at {p}"
+                        )
+                    }
+                    Located::Silent => {
+                        assert_eq!(net.heard_at(p), None, "seed {seed}: wrong Silent at {p}")
+                    }
+                    Located::Uncertain(i) => {
+                        uncertain += 1;
+                        // Uncertain must at least name the only candidate.
+                        if let Some(h) = net.heard_at(p) {
+                            assert_eq!(h, i, "uncertain candidate mismatch at {p}");
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            uncertain * 5 < total,
+            "seed {seed}: {uncertain}/{total} uncertain — band too fat"
+        );
+    }
+}
+
+/// The ε-area guarantee across ε values and stations.
+#[test]
+fn epsilon_area_guarantee() {
+    let net = gen::random_separated_network(17, 5, 5.0, 1.5, 0.02, 2.0).unwrap();
+    for eps in [0.5, 0.25, 0.1] {
+        let config = QdsConfig::with_epsilon(eps);
+        for i in net.ids() {
+            let qds = Qds::build(&net, i, &config).unwrap();
+            let zone_area = net.reception_zone(i).area_estimate(720).unwrap();
+            assert!(
+                qds.question_area() <= eps * zone_area * (1.0 + 1e-9),
+                "ε={eps} {i}: area(H?)={} > ε·area(H)={}",
+                qds.question_area(),
+                eps * zone_area
+            );
+        }
+    }
+}
+
+/// Full verification (the three guarantees) via the verifier helper.
+#[test]
+fn verifier_confirms_guarantees() {
+    let net = sinr_diagrams::core::Network::uniform(gen::ring(5, 4.0), 0.01, 2.5).unwrap();
+    let config = QdsConfig::with_epsilon(0.2);
+    for i in net.ids() {
+        let qds = Qds::build(&net, i, &config).unwrap();
+        let v = verify_qds(&net, &qds, &config, 121);
+        assert!(v.holds(), "{i}: {v:?}");
+        assert!(
+            v.plus_samples > 100,
+            "{i}: too few T+ samples ({})",
+            v.plus_samples
+        );
+    }
+}
+
+/// Structure size: total T? cells grow like 1/ε (paper: size O(n·ε⁻¹)).
+#[test]
+fn size_grows_inverse_epsilon() {
+    let net = gen::random_separated_network(23, 4, 5.0, 1.5, 0.0, 3.0).unwrap();
+    let sizes: Vec<usize> = [0.4, 0.2, 0.1]
+        .iter()
+        .map(|eps| {
+            PointLocator::build(&net, &QdsConfig::with_epsilon(*eps))
+                .unwrap()
+                .total_question_cells()
+        })
+        .collect();
+    assert!(sizes[1] > sizes[0] && sizes[2] > sizes[1]);
+    // Halving ε should roughly double the cell count (within generous
+    // slack: γ ∝ ε means ring cells ∝ 1/ε while the 9-cell dilation adds
+    // constant factors).
+    let r1 = sizes[1] as f64 / sizes[0] as f64;
+    let r2 = sizes[2] as f64 / sizes[1] as f64;
+    assert!(r1 > 1.3 && r1 < 3.5, "ratio {r1}");
+    assert!(r2 > 1.3 && r2 < 3.5, "ratio {r2}");
+}
+
+/// Dispatch correctness: the DS answer is consistent with the fact that
+/// only the nearest station can be heard.
+#[test]
+fn dispatch_respects_observation_2_2() {
+    let net = gen::random_separated_network(31, 7, 6.0, 1.3, 0.02, 2.2).unwrap();
+    let ds = PointLocator::build(&net, &QdsConfig::with_epsilon(0.3)).unwrap();
+    let tree = KdTree::build(net.positions().to_vec());
+    for a in -30..=30 {
+        for b in -30..=30 {
+            let p = Point::new(a as f64 * 0.3, b as f64 * 0.3);
+            if let Some(i) = ds.locate(p).station() {
+                let (nearest, _) = tree.nearest(p).unwrap();
+                assert_eq!(
+                    i.index(),
+                    nearest,
+                    "named station must be the nearest at {p}"
+                );
+            }
+        }
+    }
+}
+
+/// Degenerate family: colocated stations, huge noise, tight budgets.
+#[test]
+fn robustness_of_build() {
+    // Colocated pair plus normal stations: builds, locates sensibly.
+    let net = sinr_diagrams::core::Network::uniform(
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(0.0, 5.0),
+        ],
+        0.01,
+        2.0,
+    )
+    .unwrap();
+    let ds = PointLocator::build(&net, &QdsConfig::with_epsilon(0.3)).unwrap();
+    assert_eq!(ds.locate(Point::new(0.4, 0.0)), Located::Silent);
+    match ds.locate(Point::new(5.0, 0.05)) {
+        Located::Reception(i) | Located::Uncertain(i) => assert_eq!(i.index(), 2),
+        Located::Silent => panic!("next to s2 it cannot be silent"),
+    }
+
+    // Huge noise: zones shrink to tiny noise-limited discs; still fine.
+    let noisy = sinr_diagrams::core::Network::uniform(
+        vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+        5.0,
+        1.5,
+    )
+    .unwrap();
+    let ds = PointLocator::build(&noisy, &QdsConfig::with_epsilon(0.3)).unwrap();
+    // Noise-limited radius 1/√(βN) ≈ 0.365.
+    match ds.locate(Point::new(0.1, 0.0)) {
+        Located::Reception(i) | Located::Uncertain(i) => assert_eq!(i.index(), 0),
+        Located::Silent => panic!("inside the noise-limited disc"),
+    }
+    assert_eq!(ds.locate(Point::new(2.0, 0.0)), Located::Silent);
+
+    // A cell budget that cannot be met fails loudly, not silently.
+    let mut tight = QdsConfig::with_epsilon(0.05);
+    tight.max_cells = 10;
+    assert!(PointLocator::build(&net, &tight).is_err());
+}

@@ -1,0 +1,151 @@
+//! Structural facts from Section 4 of the paper, verified end-to-end:
+//!
+//! * **Lemma 4.3** (Section 4.2.1) — the two-station one-dimensional
+//!   closed forms for `μ_l`, `μ_r`;
+//! * **Lemma 4.4** (Section 4.2.2) — for *positive colinear* networks,
+//!   `δ = μ_r` (the rightward axis crossing) and `Δ = −μ_l` (the leftward
+//!   one), and the ratio respects the fatness bound;
+//! * **Corollary 4.5** — every zone point has `μ_l ≤ x ≤ μ_r`;
+//! * the **rotation reduction** of Section 4.2.3 — rotating all stations
+//!   onto the positive axis around the far point can only shrink `δ`
+//!   while preserving `Δ`.
+
+use sinr_diagrams::core::{bounds, gen, Network, StationId};
+use sinr_diagrams::prelude::*;
+
+fn colinear_net(offsets: &[f64], beta: f64) -> Network {
+    Network::uniform(gen::positive_colinear(offsets), 0.0, beta).unwrap()
+}
+
+#[test]
+fn lemma44_delta_is_rightward_crossing() {
+    // For positive colinear networks, δ is attained along +x (towards the
+    // interferers) and Δ along −x (away from all of them).
+    for (offsets, beta) in [
+        (vec![2.0, 3.0, 5.0], 2.0),
+        (vec![1.5, 6.0], 3.0),
+        (vec![2.0, 2.5, 3.0, 8.0, 12.0], 1.8),
+    ] {
+        let net = colinear_net(&offsets, beta);
+        let zone = net.reception_zone(StationId(0));
+        let mu_r = zone.boundary_radius(0.0).unwrap();
+        let mu_l = zone.boundary_radius(std::f64::consts::PI).unwrap();
+        let profile = zone.radial_profile(256).unwrap();
+        assert!(
+            (profile.delta() - mu_r).abs() < 1e-6 * mu_r,
+            "δ={} should equal the +x crossing {}",
+            profile.delta(),
+            mu_r
+        );
+        assert!(
+            (profile.big_delta() - mu_l).abs() < 1e-6 * mu_l,
+            "Δ={} should equal the −x crossing {}",
+            profile.big_delta(),
+            mu_l
+        );
+        // Lemma 4.4's ratio bound.
+        let bound = bounds::fatness_bound(beta).unwrap();
+        assert!(mu_l / mu_r <= bound + 1e-9);
+    }
+}
+
+#[test]
+fn corollary45_zone_within_axis_slab() {
+    // Corollary 4.5: (x, y) ∈ H₀ ⇒ μ_l ≤ x ≤ μ_r (with μ_l < 0 < μ_r as
+    // signed axis coordinates).
+    let net = colinear_net(&[2.0, 4.5, 7.0], 2.0);
+    let zone = net.reception_zone(StationId(0));
+    let mu_r = zone.boundary_radius(0.0).unwrap();
+    let mu_l = -zone.boundary_radius(std::f64::consts::PI).unwrap();
+    for k in 0..720 {
+        let theta = std::f64::consts::TAU * k as f64 / 720.0;
+        let p = zone.boundary_point(theta).unwrap();
+        assert!(
+            p.x >= mu_l - 1e-7 && p.x <= mu_r + 1e-7,
+            "boundary point {p} escapes the slab [{mu_l}, {mu_r}]"
+        );
+    }
+}
+
+#[test]
+fn lemma43_special_case_of_lemma44() {
+    // A positive colinear network with a single interferer is exactly the
+    // Lemma 4.3 setting (after scaling distance κ to 1).
+    let kappa = 3.0;
+    let beta = 2.5;
+    let net = colinear_net(&[kappa], beta);
+    let zone = net.reception_zone(StationId(0));
+    let (mu_l, mu_r) = bounds::lemma43_interval(beta, 1.0).unwrap();
+    // Closed forms are for unit spacing; scale by κ.
+    let toward = zone.boundary_radius(0.0).unwrap();
+    let away = zone.boundary_radius(std::f64::consts::PI).unwrap();
+    assert!((toward - kappa * mu_r).abs() < 1e-9);
+    assert!((away + kappa * mu_l).abs() < 1e-9);
+}
+
+#[test]
+fn rotation_reduction_shrinks_delta_keeps_big_delta() {
+    // Section 4.2.3: rotate each station sᵢ around the far point
+    // q = (−Δ, 0) onto the positive x-axis (aᵢ' = dist(sᵢ, q) − Δ). The
+    // resulting positive colinear network has the same Δ and a δ no
+    // larger than the original's.
+    let net = gen::random_separated_network(77, 6, 5.0, 1.2, 0.0, 2.0).unwrap();
+    let i = StationId(0);
+    // Normalise: move s₀ to the origin, rotate the far direction onto −x.
+    let zone = net.reception_zone(i);
+    let profile = zone.radial_profile(512).unwrap();
+    let theta_far = profile.big_delta_direction();
+    let big_delta = profile.big_delta();
+    let q = net.position(i) + sinr_diagrams::geometry::Vector::from_angle(theta_far) * big_delta;
+
+    // Build the rotated positive colinear network.
+    let offsets: Vec<f64> = net
+        .ids()
+        .filter(|j| *j != i)
+        .map(|j| net.position(j).dist(q) - big_delta)
+        .collect();
+    assert!(
+        offsets.iter().all(|a| *a > 0.0),
+        "s0 is heard at q ⇒ all others farther"
+    );
+    let rotated = Network::uniform(gen::positive_colinear(&offsets), 0.0, net.beta()).unwrap();
+    let rzone = rotated.reception_zone(StationId(0));
+    let rprofile = rzone.radial_profile(512).unwrap();
+
+    // Δ' = Δ (the SINR at q is unchanged: all distances to q preserved).
+    assert!(
+        (rprofile.big_delta() - big_delta).abs() < 1e-4 * big_delta,
+        "Δ'={} vs Δ={big_delta}",
+        rprofile.big_delta()
+    );
+    // δ' ≤ δ (each rotated station is at least as close to the ball
+    // B(s0, δ') as the original was).
+    assert!(
+        rprofile.delta() <= profile.delta() + 1e-6,
+        "δ'={} > δ={}",
+        rprofile.delta(),
+        profile.delta()
+    );
+}
+
+#[test]
+fn one_dimensional_embedding_consistency() {
+    // The paper analyses the 1-D embedding (Section 4.2.1) and then maps
+    // back to the plane: for the two-station network the planar zone's
+    // intersection with the axis is exactly [μ_l, μ_r].
+    let beta = 3.0;
+    let net = colinear_net(&[1.0], beta);
+    let (mu_l, mu_r) = bounds::lemma43_interval(beta, 1.0).unwrap();
+    for k in 0..200 {
+        let x = -1.5 + 3.0 * k as f64 / 199.0;
+        let p = Point::new(x, 0.0);
+        if p == net.position(StationId(1)) {
+            continue;
+        }
+        let inside = net.is_heard(StationId(0), p);
+        let in_interval = x >= mu_l - 1e-9 && x <= mu_r + 1e-9;
+        if (x - mu_l).abs() > 1e-6 && (x - mu_r).abs() > 1e-6 {
+            assert_eq!(inside, in_interval, "x={x}");
+        }
+    }
+}

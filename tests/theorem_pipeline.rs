@@ -1,0 +1,171 @@
+//! The theorem-level pipeline across structured workload families:
+//! convexity (Theorem 1), fatness (Theorems 2/4.1/4.2), characteristic
+//! polynomial degrees (Section 2.2) and Lemma 2.3 invariance — all through
+//! the public umbrella API.
+
+use sinr_diagrams::algebra::SturmChain;
+use sinr_diagrams::core::{bounds, charpoly, convexity, gen, Network, StationId};
+use sinr_diagrams::geometry::Similarity;
+use sinr_diagrams::prelude::*;
+
+fn families() -> Vec<(&'static str, Network)> {
+    vec![
+        (
+            "ring6",
+            Network::uniform(gen::ring(6, 4.0), 0.02, 2.0).unwrap(),
+        ),
+        (
+            "grid3x3",
+            Network::uniform(gen::grid(3, 3, 3.0), 0.01, 3.0).unwrap(),
+        ),
+        (
+            "colinear",
+            Network::uniform(gen::positive_colinear(&[2.0, 3.5, 6.0, 9.0]), 0.0, 2.0).unwrap(),
+        ),
+        ("clustered", {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+            let pts = gen::clustered(&mut rng, 3, 3, 6.0, 0.8);
+            Network::uniform(pts, 0.01, 2.5).unwrap()
+        }),
+        (
+            "extreme-delta",
+            Network::uniform(gen::delta_extreme(6, 2.0), 0.0, 2.0).unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn theorem1_convexity_across_families() {
+    for (name, net) in families() {
+        assert!(net.satisfies_convexity_preconditions(), "{name}");
+        for i in net.ids() {
+            let zone = net.reception_zone(i);
+            let Some(report) = convexity::check_zone_convexity(&zone, 18, 10, 1e-7) else {
+                continue;
+            };
+            assert!(
+                report.is_convex(),
+                "{name}/{i}: {} violations",
+                report.violations.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem2_fatness_across_families() {
+    for (name, net) in families() {
+        let bound = bounds::fatness_bound(net.beta()).unwrap();
+        for i in net.ids() {
+            let Some(profile) = net.reception_zone(i).radial_profile(128) else {
+                continue;
+            };
+            if let Some(phi) = profile.fatness() {
+                assert!(phi <= bound + 1e-6, "{name}/{i}: φ={phi} > {bound}");
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem41_bounds_across_families() {
+    for (name, net) in families() {
+        for i in net.ids() {
+            let zb = bounds::zone_bounds(&net, i);
+            let Some(profile) = net.reception_zone(i).radial_profile(128) else {
+                continue;
+            };
+            assert!(
+                profile.delta() >= zb.delta_lower - 1e-9,
+                "{name}/{i}: δ={} < {}",
+                profile.delta(),
+                zb.delta_lower
+            );
+            if let Some(up) = zb.delta_upper {
+                assert!(
+                    profile.big_delta() <= up + 1e-9,
+                    "{name}/{i}: Δ={} > {}",
+                    profile.big_delta(),
+                    up
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn characteristic_polynomial_degrees() {
+    for (name, net) in families() {
+        let expected = charpoly::expected_degree(&net);
+        let h = charpoly::restricted_to_line(
+            &net,
+            StationId(0),
+            Point::new(0.13, -0.77),
+            sinr_diagrams::geometry::Vector::new(1.0, 0.41),
+        );
+        assert_eq!(h.degree(), Some(expected), "{name}");
+        // Sturm on the restriction finds at most 2 roots on any window
+        // (convex zones, Lemma 2.1).
+        let count = SturmChain::new(&h).count_roots_in(-100.0, 100.0);
+        assert!(count <= 2, "{name}: {count} boundary crossings");
+    }
+}
+
+#[test]
+fn lemma_2_3_invariance_through_pipeline() {
+    // A similarity-transformed network has identical reception structure:
+    // same convexity verdicts, same fatness, scaled δ/Δ.
+    let net = Network::uniform(gen::ring(5, 3.0), 0.04, 2.0).unwrap();
+    let f = Similarity::new(0.7, 3.0, sinr_diagrams::geometry::Vector::new(10.0, -4.0));
+    let mapped = net.transformed(&f);
+    for i in net.ids() {
+        let p1 = net.reception_zone(i).radial_profile(64).unwrap();
+        let p2 = mapped.reception_zone(i).radial_profile(64).unwrap();
+        // Radii scale by σ = 3.
+        assert!(
+            (p2.delta() / p1.delta() - 3.0).abs() < 1e-3,
+            "{i}: δ ratio {}",
+            p2.delta() / p1.delta()
+        );
+        assert!((p2.big_delta() / p1.big_delta() - 3.0).abs() < 1e-3);
+        // Fatness is scale-invariant.
+        let (f1, f2) = (p1.fatness().unwrap(), p2.fatness().unwrap());
+        assert!((f1 - f2).abs() < 1e-4, "{i}: fatness {f1} vs {f2}");
+    }
+}
+
+#[test]
+fn heavier_interference_shrinks_zones() {
+    // Sanity of the model across the pipeline: adding a station can only
+    // reduce (or keep) every other zone.
+    let base = Network::uniform(gen::ring(4, 4.0), 0.01, 2.0).unwrap();
+    let bigger = base.with_station(Point::new(0.0, 0.0), 1.0).unwrap();
+    for i in base.ids() {
+        let before = base.reception_zone(i).radial_profile(64).unwrap();
+        let after = bigger.reception_zone(i).radial_profile(64).unwrap();
+        assert!(
+            after.big_delta() <= before.big_delta() + 1e-9,
+            "{i}: Δ grew after adding an interferer"
+        );
+        assert!(after.delta() <= before.delta() + 1e-9);
+    }
+}
+
+#[test]
+fn beta_one_zones_still_convex() {
+    // Theorem 1 explicitly includes β = 1 (non-trivial networks).
+    let net = Network::uniform(gen::ring(5, 4.0), 0.05, 1.0).unwrap();
+    assert!(!net.is_trivial());
+    for i in net.ids() {
+        let zone = net.reception_zone(i);
+        let Some(report) = convexity::check_zone_convexity(&zone, 16, 8, 1e-7) else {
+            continue;
+        };
+        assert!(
+            report.is_convex(),
+            "{i} at β=1: {}",
+            report.violations.len()
+        );
+    }
+}
