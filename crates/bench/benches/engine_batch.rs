@@ -1,0 +1,130 @@
+//! Engine bench: the batched query surface vs the scalar baseline.
+//!
+//! Measures `heard_at` (the scalar `O(n²)`-per-point loop) against
+//! `ExactScan::locate_batch` and `VoronoiAssisted::locate_batch`
+//! (amortized `O(n)` per point, chunked across cores) at
+//! `n ∈ {16, 256, 4096}` stations × 100k query points, then emits one
+//! JSON line per configuration through `sinr_bench::report::JsonLine` so
+//! the perf trajectory is grep-able from run logs.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use sinr_bench::report::JsonLine;
+use sinr_core::engine::{ExactScan, Located, QueryEngine, VoronoiAssisted};
+use sinr_core::{gen, Network};
+use sinr_geometry::Point;
+use std::hint::black_box;
+use std::time::Instant;
+
+const STATION_COUNTS: [usize; 3] = [16, 256, 4096];
+const QUERY_POINTS: usize = 100_000;
+
+/// Constant station density: the window half-width grows with `√n`.
+fn window_half(n: usize) -> f64 {
+    2.0 * (n as f64).sqrt()
+}
+
+fn setup(n: usize) -> (Network, Vec<Point>) {
+    let half = window_half(n);
+    let net = gen::random_uniform_network(42 + n as u64, n, half, 0.01, 2.0).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7 + n as u64);
+    let queries = gen::uniform_in_box(&mut rng, QUERY_POINTS, half * 1.1);
+    (net, queries)
+}
+
+/// Points per scalar iteration — the scalar loop is `O(n²)` per point, so
+/// the full 100k batch would take minutes at `n = 4096`; per-point costs
+/// are what the comparison normalizes on.
+fn scalar_sample(n: usize) -> usize {
+    (QUERY_POINTS / n).clamp(64, 8192)
+}
+
+fn bench_locate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_locate_batch");
+    group.sample_size(10);
+    for n in STATION_COUNTS {
+        let (net, queries) = setup(n);
+        let scalar_points = scalar_sample(n);
+        group.bench_with_input(BenchmarkId::new("scalar_heard_at", n), &n, |b, _| {
+            b.iter(|| {
+                let mut heard = 0usize;
+                for q in &queries[..scalar_points] {
+                    heard += usize::from(net.heard_at(black_box(*q)).is_some());
+                }
+                black_box(heard)
+            })
+        });
+        let exact = ExactScan::new(&net);
+        let mut out = vec![Located::Silent; queries.len()];
+        group.bench_with_input(BenchmarkId::new("exact_scan_batch", n), &n, |b, _| {
+            b.iter(|| {
+                exact.locate_batch(black_box(&queries), &mut out);
+                black_box(out.last().copied())
+            })
+        });
+        let voronoi = VoronoiAssisted::new(&net);
+        group.bench_with_input(BenchmarkId::new("voronoi_assisted_batch", n), &n, |b, _| {
+            b.iter(|| {
+                voronoi.locate_batch(black_box(&queries), &mut out);
+                black_box(out.last().copied())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_locate);
+
+/// One timed pass, reported as ns/point.
+fn time_ns_per_point(points: usize, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos() as f64 / points as f64
+}
+
+/// The JSON perf record: per-point costs and engine speedups, one line
+/// per station count.
+fn emit_json_lines() {
+    for n in STATION_COUNTS {
+        let (net, queries) = setup(n);
+        let scalar_points = scalar_sample(n);
+        let exact = ExactScan::new(&net);
+        let voronoi = VoronoiAssisted::new(&net);
+        let mut out = vec![Located::Silent; queries.len()];
+
+        // Correctness guard: the backends must agree with the ground
+        // truth before their timings mean anything.
+        voronoi.locate_batch(&queries, &mut out);
+        for (q, got) in queries.iter().zip(&out).take(512) {
+            assert_eq!(got.station(), net.heard_at(*q), "engine mismatch at {q}");
+        }
+
+        let scalar_ns = time_ns_per_point(scalar_points, || {
+            for q in &queries[..scalar_points] {
+                black_box(net.heard_at(black_box(*q)));
+            }
+        });
+        let exact_ns = time_ns_per_point(queries.len(), || {
+            exact.locate_batch(black_box(&queries), &mut out);
+        });
+        let voronoi_ns = time_ns_per_point(queries.len(), || {
+            voronoi.locate_batch(black_box(&queries), &mut out);
+        });
+
+        let line = JsonLine::new("engine_batch")
+            .int("stations", n as u64)
+            .int("query_points", queries.len() as u64)
+            .int("scalar_sample_points", scalar_points as u64)
+            .num("scalar_heard_at_ns_per_point", scalar_ns)
+            .num("exact_scan_ns_per_point", exact_ns)
+            .num("voronoi_assisted_ns_per_point", voronoi_ns)
+            .num("speedup_exact_vs_scalar", scalar_ns / exact_ns)
+            .num("speedup_voronoi_vs_scalar", scalar_ns / voronoi_ns);
+        println!("{}", line.render());
+    }
+}
+
+fn main() {
+    benches();
+    emit_json_lines();
+}

@@ -109,6 +109,76 @@ impl Table {
     }
 }
 
+/// A single machine-readable measurement record, rendered as one JSON
+/// line (`{"bench":"...","field":value,...}`) so perf trajectories can be
+/// tracked by grepping run logs across commits.
+#[derive(Debug, Clone)]
+pub struct JsonLine {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonLine {
+    /// Starts a record for the named benchmark.
+    pub fn new(bench: &str) -> Self {
+        let mut line = JsonLine { fields: Vec::new() };
+        line.fields
+            .push(("bench".into(), format!("\"{}\"", escape_json(bench))));
+        line
+    }
+
+    /// Appends a numeric field (non-finite values are emitted as JSON
+    /// `null`).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".into()
+        };
+        self.fields.push((key.into(), rendered));
+        self
+    }
+
+    /// Appends an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.into(), format!("{value}")));
+        self
+    }
+
+    /// Appends a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push((key.into(), format!("\"{}\"", escape_json(value))));
+        self
+    }
+
+    /// Renders the record as one JSON object on a single line.
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", escape_json(k), v))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            // RFC 8259 forbids raw control characters in strings.
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Formats an `Option<f64>` with fixed precision, `∞`/`—` for absences.
 pub fn opt_f(v: Option<f64>, prec: usize) -> String {
     match v {
@@ -158,6 +228,28 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut t = Table::new("bad", &["only one"]);
         t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        let line = JsonLine::new("a\tb\r\nc\u{1}").render();
+        assert_eq!(line, "{\"bench\":\"a\\tb\\r\\nc\\u0001\"}");
+    }
+
+    #[test]
+    fn json_line_renders() {
+        let line = JsonLine::new("engine_batch")
+            .int("stations", 4096)
+            .num("ns_per_point", 12.5)
+            .num("missing", f64::NAN)
+            .str("backend", "voronoi \"assisted\"")
+            .render();
+        assert_eq!(
+            line,
+            "{\"bench\":\"engine_batch\",\"stations\":4096,\
+             \"ns_per_point\":12.5,\"missing\":null,\
+             \"backend\":\"voronoi \\\"assisted\\\"\"}"
+        );
     }
 
     #[test]

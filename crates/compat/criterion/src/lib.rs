@@ -1,0 +1,258 @@
+//! Offline API-compatible subset of the `criterion` crate.
+//!
+//! Supports the surface the `sinr-diagrams` workspace uses: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), [`BenchmarkId`], [`Bencher::iter`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally lightweight: per benchmark it calibrates
+//! an iteration count targeting ~1 ms per sample, takes `sample_size`
+//! samples, and prints the median ns/iter to stdout. No plots, no saved
+//! baselines, no statistical tests — enough to rank kernels and track
+//! regressions by eye or by parsing the one-line-per-benchmark output.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (the std implementation).
+pub use std::hint::black_box;
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `self.name/id`.
+    pub fn bench_function<I: IntoBenchmarkId, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `self.name/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing happens per benchmark; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name, parameter, or both.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name plus a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into the string id used for reporting.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Median ns/iter of the last `iter` call, for the harness to report.
+    result_ns: Option<f64>,
+}
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(1);
+const MAX_TOTAL: Duration = Duration::from_millis(300);
+
+impl Bencher {
+    /// Times repeated calls of `f`, recording the median ns per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes ~TARGET_SAMPLE (or one call already exceeds it).
+        let mut iters: u64 = 1;
+        let mut elapsed;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= 1 << 24 {
+                break;
+            }
+            let growth = if elapsed.is_zero() {
+                16
+            } else {
+                (TARGET_SAMPLE.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            iters = iters.saturating_mul(growth);
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        let budget_start = Instant::now();
+        for _ in 1..self.sample_size {
+            if budget_start.elapsed() > MAX_TOTAL {
+                break;
+            }
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.result_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        sample_size,
+        result_ns: None,
+    };
+    f(&mut bencher);
+    match bencher.result_ns {
+        Some(ns) => println!("{id:<60} {:>14} ns/iter", format_ns(ns)),
+        None => println!("{id:<60} (no measurement)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 100.0 {
+        format!("{ns:.0}")
+    } else {
+        format!("{ns:.2}")
+    }
+}
+
+/// Bundles benchmark functions into one named runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (ignores harness CLI args).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_median() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("compat");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, n| {
+            b.iter(|| (0..*n).sum::<u64>())
+        });
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 10).into_benchmark_id(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(0.5).into_benchmark_id(), "0.5");
+    }
+}

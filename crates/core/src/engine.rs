@@ -1,0 +1,849 @@
+//! The batched, SoA-backed SINR query engine.
+//!
+//! The scalar functions of [`crate::sinr`] are the numeric ground truth,
+//! but they answer one `(station, point)` question at a time and re-derive
+//! everything per call — `heard_at` is `O(n²)` per point. The
+//! production-shaped query is *many points against one network*, and this
+//! module is that API:
+//!
+//! * [`SinrEvaluator`] — a per-network precomputation: stations in
+//!   structure-of-arrays layout (split `xs` / `ys` / `powers` vectors for
+//!   cache-friendly scans), the reception test rewritten division-free
+//!   (`E ≥ β·(I + N)` instead of `E/(I+N) ≥ β`), and the path-loss
+//!   attenuation monomorphized through the sealed [`PathLoss`] strategy so
+//!   the paper's `α = 2` case compiles to a single multiply-free division
+//!   per station. One evaluator pass answers "who is heard at `p`" in
+//!   `O(n)` — the scalar loop needs `O(n²)`.
+//! * [`QueryEngine`] — the backend-independent trait: [`QueryEngine::
+//!   locate`], [`QueryEngine::locate_batch`] and [`QueryEngine::
+//!   sinr_batch`]. Batch calls run chunked in parallel across the
+//!   available cores for large inputs.
+//! * Backends: [`ExactScan`] (one amortized SoA pass per point, exact for
+//!   every network), [`VoronoiAssisted`] (kd-tree nearest-station dispatch
+//!   per Observation 2.2, exact for uniform power, falling back to the
+//!   scan otherwise), and the Theorem-3 `PointLocator` of `sinr-pointloc`
+//!   (sublinear per query, `ε`-approximate near zone boundaries).
+//!
+//! The [`Located`] answer type lives here so that every backend — across
+//! crates — speaks the same language; `sinr-pointloc` re-exports it.
+//!
+//! ## Which backend?
+//!
+//! | backend | query cost | exact? | preconditions |
+//! |---|---|---|---|
+//! | [`ExactScan`] | `O(n)` | yes | none |
+//! | [`VoronoiAssisted`] | `O(n)`, smaller constants | yes | none (falls back to scan for non-uniform power) |
+//! | `PointLocator` | `O(log n)` | `ε`-approximate near `∂Hᵢ` | uniform power, `α = 2`, `β > 1` |
+//!
+//! ## Example
+//!
+//! ```
+//! use sinr_core::engine::{Located, QueryEngine, VoronoiAssisted};
+//! use sinr_core::{Network, StationId};
+//! use sinr_geometry::Point;
+//!
+//! let net = Network::uniform(
+//!     vec![Point::new(0.0, 0.0), Point::new(6.0, 0.0)],
+//!     0.0,
+//!     2.0,
+//! ).unwrap();
+//! let engine = VoronoiAssisted::new(&net);
+//!
+//! let queries = [Point::new(0.5, 0.0), Point::new(3.0, 0.0)];
+//! let mut answers = [Located::Silent; 2];
+//! engine.locate_batch(&queries, &mut answers);
+//! assert_eq!(answers[0], Located::Reception(StationId(0)));
+//! assert_eq!(answers[1], Located::Silent);
+//! ```
+
+use crate::network::Network;
+use crate::station::StationId;
+use sinr_algebra::KahanSum;
+use sinr_geometry::Point;
+use sinr_voronoi::KdTree;
+
+/// The answer of a point-location query, shared by every backend.
+///
+/// The exact backends ([`ExactScan`], [`VoronoiAssisted`]) never produce
+/// [`Located::Uncertain`]; the Theorem-3 approximate structure uses it for
+/// points inside the `ε`-area band `Hᵢ?` along a zone boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Located {
+    /// The point is inside the reception zone of this station
+    /// (`p ∈ Hᵢ`; for approximate backends `p ∈ Hᵢ⁺ ⊆ Hᵢ`).
+    Reception(StationId),
+    /// The point lies in the uncertain boundary band `Hᵢ?` of this
+    /// station (the only candidate); its true status is unresolved at the
+    /// backend's resolution.
+    Uncertain(StationId),
+    /// The point is outside every reception zone (`p ∈ H_∅`).
+    Silent,
+}
+
+impl Located {
+    /// The candidate station, if any.
+    pub fn station(&self) -> Option<StationId> {
+        match self {
+            Located::Reception(i) | Located::Uncertain(i) => Some(*i),
+            Located::Silent => None,
+        }
+    }
+}
+
+mod sealed {
+    /// Seals [`super::PathLoss`]: the algebraic machinery of this
+    /// workspace (characteristic polynomials, Sturm tests) is specific to
+    /// the implemented attenuation laws, so downstream crates must not add
+    /// their own.
+    pub trait Sealed {}
+    impl Sealed for super::InverseSquare {}
+    impl Sealed for super::GeneralAlpha {}
+}
+
+/// A path-loss attenuation strategy (sealed).
+///
+/// Monomorphizing the evaluator kernels over this trait gives the paper's
+/// `α = 2` setting a dedicated fast path — [`InverseSquare`] turns
+/// `dist(s, p)^{−α}` into one division by the squared distance, with no
+/// `powf` and no square root anywhere in the scan.
+pub trait PathLoss: sealed::Sealed + Copy + Send + Sync {
+    /// The attenuation `dist^{−α}` given the *squared* distance `d2 > 0`.
+    fn attenuation(self, d2: f64) -> f64;
+}
+
+/// The paper's default `α = 2`: attenuation is `1/d²`.
+#[derive(Debug, Clone, Copy)]
+pub struct InverseSquare;
+
+impl PathLoss for InverseSquare {
+    #[inline(always)]
+    fn attenuation(self, d2: f64) -> f64 {
+        1.0 / d2
+    }
+}
+
+/// General `α > 0`: attenuation is `(d²)^{−α/2}`.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneralAlpha {
+    half_alpha: f64,
+}
+
+impl GeneralAlpha {
+    /// The strategy for path-loss exponent `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        GeneralAlpha {
+            half_alpha: alpha / 2.0,
+        }
+    }
+}
+
+impl PathLoss for GeneralAlpha {
+    #[inline(always)]
+    fn attenuation(self, d2: f64) -> f64 {
+        d2.powf(-self.half_alpha)
+    }
+}
+
+/// Batches at least this long are processed in parallel chunks.
+const PARALLEL_BATCH_THRESHOLD: usize = 2048;
+
+/// Applies `f` to every input, writing results into `out` — chunked across
+/// the available cores when the batch is large, serial otherwise.
+///
+/// This is the shared batch driver of every [`QueryEngine`] backend
+/// (including the Theorem-3 locator in `sinr-pointloc`).
+///
+/// # Panics
+///
+/// Panics if `inputs` and `out` have different lengths.
+pub fn batch_map<I, O, F>(inputs: &[I], out: &mut [O], f: F)
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    assert_eq!(
+        inputs.len(),
+        out.len(),
+        "batch_map: {} inputs but {} output slots",
+        inputs.len(),
+        out.len()
+    );
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if inputs.len() < PARALLEL_BATCH_THRESHOLD || threads <= 1 {
+        for (p, slot) in inputs.iter().zip(out.iter_mut()) {
+            *slot = f(p);
+        }
+        return;
+    }
+    let chunk = inputs.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in inputs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(|| {
+                for (p, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = f(p);
+                }
+            });
+        }
+    });
+}
+
+/// One station scan: the quantities every reception decision needs.
+struct Scan {
+    /// Total energy `E(S, p)` (compensated sum).
+    total: f64,
+    /// Index of the maximum-energy station (first on ties).
+    best: usize,
+    /// Its energy.
+    best_energy: f64,
+}
+
+/// The SoA-backed per-network evaluator: build once, query many.
+///
+/// Station coordinates and powers are split into `xs` / `ys` / `powers`
+/// vectors so the per-point scan is three linear streams, and the
+/// reception test is evaluated division-free (`E ≥ β·(I + N)`).
+///
+/// The key algebraic fact making one pass sufficient: with
+/// `T = E(S, p)` the total energy, every station's SINR is
+/// `E(sᵢ,p) / (T − E(sᵢ,p) + N)`, which is *strictly increasing* in
+/// `E(sᵢ,p)`. The maximum-energy station is therefore the maximum-SINR
+/// station for **any** power assignment and any `β` — so `locate` needs
+/// one scan (total + argmax), not `n` interference sums.
+#[derive(Debug, Clone)]
+pub struct SinrEvaluator {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    powers: Vec<f64>,
+    uniform: bool,
+    noise: f64,
+    beta: f64,
+    alpha: f64,
+}
+
+impl SinrEvaluator {
+    /// Builds the evaluator for a network (an `O(n)` copy).
+    pub fn new(net: &Network) -> Self {
+        let n = net.len();
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for p in net.positions() {
+            xs.push(p.x);
+            ys.push(p.y);
+        }
+        let powers = net.ids().map(|i| net.power(i)).collect();
+        SinrEvaluator {
+            xs,
+            ys,
+            powers,
+            uniform: net.is_uniform_power(),
+            noise: net.noise(),
+            beta: net.beta(),
+            alpha: net.alpha(),
+        }
+    }
+
+    /// Number of stations.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when the evaluator covers no stations (never for one built
+    /// from a [`Network`], which has `n ≥ 2`).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The reception threshold `β`.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The background noise `N`.
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// The path-loss exponent `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// True when every station transmits with power 1.
+    pub fn is_uniform_power(&self) -> bool {
+        self.uniform
+    }
+
+    /// The position of station `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn position(&self, i: StationId) -> Point {
+        Point::new(self.xs[i.0], self.ys[i.0])
+    }
+
+    /// Dispatches `f` with the monomorphized path-loss strategy — `α = 2`
+    /// networks take the [`InverseSquare`] fast path.
+    #[inline]
+    fn with_kernel<T>(&self, f: impl FnOnce(&Self, DynKernel) -> T) -> T {
+        if self.alpha == 2.0 {
+            f(self, DynKernel::Square(InverseSquare))
+        } else {
+            f(self, DynKernel::General(GeneralAlpha::new(self.alpha)))
+        }
+    }
+
+    /// One SoA pass: total energy plus the maximum-energy station.
+    /// Returns `Err(j)` when `p` coincides with station `j` (first such
+    /// index — reception is then decided by the `{sᵢ}` zone clause).
+    #[inline]
+    fn scan<K: PathLoss>(&self, k: K, p: Point) -> Result<Scan, usize> {
+        let mut acc = KahanSum::new();
+        let mut best = 0usize;
+        let mut best_energy = f64::NEG_INFINITY;
+        for j in 0..self.xs.len() {
+            let dx = self.xs[j] - p.x;
+            let dy = self.ys[j] - p.y;
+            let d2 = dx * dx + dy * dy;
+            if d2 == 0.0 {
+                return Err(j);
+            }
+            let e = k.attenuation(d2) * self.powers[j];
+            acc.add(e);
+            if e > best_energy {
+                best_energy = e;
+                best = j;
+            }
+        }
+        Ok(Scan {
+            total: acc.value(),
+            best,
+            best_energy,
+        })
+    }
+
+    /// Energy of station `i` and the total energy, in one pass.
+    /// `Err(j)` when `p` coincides with station `j`.
+    #[inline]
+    fn energy_and_total<K: PathLoss>(&self, k: K, i: usize, p: Point) -> Result<(f64, f64), usize> {
+        let mut acc = KahanSum::new();
+        let mut e_i = 0.0;
+        for j in 0..self.xs.len() {
+            let dx = self.xs[j] - p.x;
+            let dy = self.ys[j] - p.y;
+            let d2 = dx * dx + dy * dy;
+            if d2 == 0.0 {
+                return Err(j);
+            }
+            let e = k.attenuation(d2) * self.powers[j];
+            acc.add(e);
+            if j == i {
+                e_i = e;
+            }
+        }
+        Ok((e_i, acc.value()))
+    }
+
+    #[inline]
+    fn locate_with<K: PathLoss>(&self, k: K, p: Point) -> Located {
+        match self.scan(k, p) {
+            // At a station's own position reception holds by the `{sᵢ}`
+            // clause; for co-located stations the scalar ground truth
+            // resolves to the first index, and `Err` carries exactly that.
+            Err(j) => Located::Reception(StationId(j)),
+            Ok(scan) => {
+                let interference_plus_noise = (scan.total - scan.best_energy) + self.noise;
+                // Division-free reception test: E ≥ β·(I + N). A
+                // non-positive denominator means the interference
+                // underflowed to zero with no noise — SINR is +∞.
+                if interference_plus_noise <= 0.0
+                    || scan.best_energy >= self.beta * interference_plus_noise
+                {
+                    Located::Reception(StationId(scan.best))
+                } else {
+                    Located::Silent
+                }
+            }
+        }
+    }
+
+    /// Decides reception for the single candidate station `i` (the
+    /// [`VoronoiAssisted`] path — `i` must be the maximum-energy station).
+    #[inline]
+    fn locate_candidate_with<K: PathLoss>(&self, k: K, i: usize, p: Point) -> Located {
+        match self.energy_and_total(k, i, p) {
+            Err(j) => Located::Reception(StationId(j)),
+            Ok((e_i, total)) => {
+                let interference_plus_noise = (total - e_i) + self.noise;
+                if interference_plus_noise <= 0.0 || e_i >= self.beta * interference_plus_noise {
+                    Located::Reception(StationId(i))
+                } else {
+                    Located::Silent
+                }
+            }
+        }
+    }
+
+    /// SINR of station `i` at `p`, matching [`crate::sinr::sinr`]'s
+    /// conventions for points coinciding with stations.
+    ///
+    /// Unlike the `locate` kernels, the interference is summed directly
+    /// over `j ≠ i` rather than derived as `total − eᵢ`: close to `sᵢ`
+    /// the energy dominates the total and the subtraction would cancel
+    /// catastrophically. (The `locate` decision is immune — cancellation
+    /// is only severe when `eᵢ ≫ I`, which is far from the `β`
+    /// boundary — but reported SINR values must be accurate everywhere.)
+    #[inline]
+    fn sinr_with<K: PathLoss>(&self, k: K, i: usize, p: Point) -> f64 {
+        let mut acc = KahanSum::new();
+        let mut e_i = 0.0;
+        for j in 0..self.xs.len() {
+            let dx = self.xs[j] - p.x;
+            let dy = self.ys[j] - p.y;
+            let d2 = dx * dx + dy * dy;
+            if d2 == 0.0 {
+                // `p` is at station `j`. At `sᵢ` itself the SINR is +∞
+                // unless an interferer is co-located (then 0); at another
+                // station the interference is +∞, so the SINR is 0.
+                if j != i && (self.xs[j] != self.xs[i] || self.ys[j] != self.ys[i]) {
+                    return 0.0;
+                }
+                let colocated = (0..self.xs.len())
+                    .any(|m| m != i && self.xs[m] == self.xs[i] && self.ys[m] == self.ys[i]);
+                return if colocated { 0.0 } else { f64::INFINITY };
+            }
+            let e = k.attenuation(d2) * self.powers[j];
+            if j == i {
+                e_i = e;
+            } else {
+                acc.add(e);
+            }
+        }
+        let denom = acc.value() + self.noise;
+        if denom <= 0.0 {
+            f64::INFINITY
+        } else {
+            e_i / denom
+        }
+    }
+
+    /// Who (if anyone) is heard at `p` — the `O(n)` single-pass answer,
+    /// equivalent to the scalar [`crate::sinr::heard_at`].
+    pub fn locate(&self, p: Point) -> Located {
+        self.with_kernel(|ev, k| match k {
+            DynKernel::Square(k) => ev.locate_with(k, p),
+            DynKernel::General(k) => ev.locate_with(k, p),
+        })
+    }
+
+    /// The SINR of station `i` at `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sinr(&self, i: StationId, p: Point) -> f64 {
+        assert!(i.0 < self.len(), "station {i} out of range");
+        self.with_kernel(|ev, k| match k {
+            DynKernel::Square(k) => ev.sinr_with(k, i.0, p),
+            DynKernel::General(k) => ev.sinr_with(k, i.0, p),
+        })
+    }
+
+    /// Batched [`SinrEvaluator::locate`]: answers are written into `out`,
+    /// chunked across cores for large batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` and `out` have different lengths.
+    pub fn locate_batch(&self, points: &[Point], out: &mut [Located]) {
+        self.with_kernel(|ev, k| match k {
+            DynKernel::Square(k) => batch_map(points, out, |p| ev.locate_with(k, *p)),
+            DynKernel::General(k) => batch_map(points, out, |p| ev.locate_with(k, *p)),
+        });
+    }
+
+    /// Batched [`SinrEvaluator::sinr`] for one station across many points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the slice lengths differ.
+    pub fn sinr_batch(&self, i: StationId, points: &[Point], out: &mut [f64]) {
+        assert!(i.0 < self.len(), "station {i} out of range");
+        self.with_kernel(|ev, k| match k {
+            DynKernel::Square(k) => batch_map(points, out, |p| ev.sinr_with(k, i.0, *p)),
+            DynKernel::General(k) => batch_map(points, out, |p| ev.sinr_with(k, i.0, *p)),
+        });
+    }
+}
+
+/// Runtime kernel choice, resolved once per call (not once per point).
+#[derive(Clone, Copy)]
+enum DynKernel {
+    Square(InverseSquare),
+    General(GeneralAlpha),
+}
+
+/// The backend-independent query interface: one network, many points.
+///
+/// Implementations: [`ExactScan`], [`VoronoiAssisted`] (this crate) and
+/// the Theorem-3 `PointLocator` (`sinr-pointloc`). All three agree with
+/// the scalar ground truth [`crate::sinr::heard_at`] wherever they answer
+/// definitely; only approximate backends may answer
+/// [`Located::Uncertain`].
+pub trait QueryEngine {
+    /// Who (if anyone) is heard at `p`?
+    fn locate(&self, p: Point) -> Located;
+
+    /// Batched [`QueryEngine::locate`]: `out[k]` receives the answer for
+    /// `points[k]`.
+    ///
+    /// The default implementation is a serial loop; the provided backends
+    /// override it with chunked parallel iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` and `out` have different lengths.
+    fn locate_batch(&self, points: &[Point], out: &mut [Located]) {
+        assert_eq!(
+            points.len(),
+            out.len(),
+            "locate_batch: {} points but {} output slots",
+            points.len(),
+            out.len()
+        );
+        for (p, slot) in points.iter().zip(out.iter_mut()) {
+            *slot = self.locate(*p);
+        }
+    }
+
+    /// The SINR of station `i` at each point, written into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the slice lengths differ.
+    fn sinr_batch(&self, i: StationId, points: &[Point], out: &mut [f64]);
+}
+
+/// The exact linear-scan backend: one amortized SoA pass per point.
+///
+/// Exact for **every** network (any power assignment, any `α`, any `β`).
+/// This is the engine-shaped replacement of the naive per-station loop:
+/// same answers, `O(n)` instead of `O(n²)` per point.
+#[derive(Debug, Clone)]
+pub struct ExactScan {
+    eval: SinrEvaluator,
+}
+
+impl ExactScan {
+    /// Builds the backend for a network.
+    pub fn new(net: &Network) -> Self {
+        ExactScan {
+            eval: SinrEvaluator::new(net),
+        }
+    }
+
+    /// Wraps an already-built evaluator.
+    pub fn from_evaluator(eval: SinrEvaluator) -> Self {
+        ExactScan { eval }
+    }
+
+    /// The underlying evaluator.
+    pub fn evaluator(&self) -> &SinrEvaluator {
+        &self.eval
+    }
+}
+
+impl QueryEngine for ExactScan {
+    fn locate(&self, p: Point) -> Located {
+        self.eval.locate(p)
+    }
+
+    fn locate_batch(&self, points: &[Point], out: &mut [Located]) {
+        self.eval.locate_batch(points, out);
+    }
+
+    fn sinr_batch(&self, i: StationId, points: &[Point], out: &mut [f64]) {
+        self.eval.sinr_batch(i, points, out);
+    }
+}
+
+/// The Observation-2.2 backend: kd-tree nearest-station dispatch.
+///
+/// For uniform power the maximum-energy station *is* the nearest station,
+/// so each query needs one `O(log n)` proximity search plus a single
+/// interference sum — no argmax bookkeeping in the hot loop. Exact for
+/// all `β` (for `β ≤ 1` the strongest heard station is the nearest one,
+/// by the same monotonicity as [`SinrEvaluator`]).
+///
+/// For non-uniform power the nearest station need not be the strongest,
+/// so construction transparently falls back to the exact scan.
+#[derive(Debug, Clone)]
+pub struct VoronoiAssisted {
+    eval: SinrEvaluator,
+    /// `None` ⇒ non-uniform power ⇒ exact-scan fallback.
+    tree: Option<KdTree>,
+}
+
+impl VoronoiAssisted {
+    /// Builds the backend: `O(n log n)` for the kd-tree.
+    pub fn new(net: &Network) -> Self {
+        let eval = SinrEvaluator::new(net);
+        let tree = eval
+            .is_uniform_power()
+            .then(|| KdTree::build(net.positions().to_vec()));
+        VoronoiAssisted { eval, tree }
+    }
+
+    /// The underlying evaluator.
+    pub fn evaluator(&self) -> &SinrEvaluator {
+        &self.eval
+    }
+
+    /// True when queries dispatch through the kd-tree (uniform power);
+    /// false when the backend is running on the exact-scan fallback.
+    pub fn uses_proximity_dispatch(&self) -> bool {
+        self.tree.is_some()
+    }
+
+    #[inline]
+    fn locate_via_tree<K: PathLoss>(&self, k: K, tree: &KdTree, p: Point) -> Located {
+        let (nearest, dist) = tree.nearest(p).expect("n ≥ 2 stations");
+        if dist == 0.0 {
+            // At a station's position: reception by the `{sᵢ}` clause (the
+            // kd-tree breaks co-location ties toward the smallest index,
+            // matching the scalar ground truth).
+            return Located::Reception(StationId(nearest));
+        }
+        self.eval.locate_candidate_with(k, nearest, p)
+    }
+}
+
+impl QueryEngine for VoronoiAssisted {
+    fn locate(&self, p: Point) -> Located {
+        match &self.tree {
+            None => self.eval.locate(p),
+            Some(tree) => self.eval.with_kernel(|_, k| match k {
+                DynKernel::Square(k) => self.locate_via_tree(k, tree, p),
+                DynKernel::General(k) => self.locate_via_tree(k, tree, p),
+            }),
+        }
+    }
+
+    fn locate_batch(&self, points: &[Point], out: &mut [Located]) {
+        match &self.tree {
+            None => self.eval.locate_batch(points, out),
+            Some(tree) => self.eval.with_kernel(|_, k| match k {
+                DynKernel::Square(k) => {
+                    batch_map(points, out, |p| self.locate_via_tree(k, tree, *p))
+                }
+                DynKernel::General(k) => {
+                    batch_map(points, out, |p| self.locate_via_tree(k, tree, *p))
+                }
+            }),
+        }
+    }
+
+    fn sinr_batch(&self, i: StationId, points: &[Point], out: &mut [f64]) {
+        self.eval.sinr_batch(i, points, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sinr;
+
+    fn nets() -> Vec<Network> {
+        vec![
+            // Uniform, β > 1, no noise.
+            Network::uniform(
+                vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(4.0, 0.0),
+                    Point::new(1.0, 3.0),
+                ],
+                0.0,
+                2.0,
+            )
+            .unwrap(),
+            // Uniform, β < 1, noisy.
+            Network::uniform(vec![Point::new(-2.0, 0.0), Point::new(2.0, 0.0)], 0.05, 0.4).unwrap(),
+            // Non-uniform power.
+            Network::builder()
+                .station_with_power(Point::new(0.0, 0.0), 4.0)
+                .station(Point::new(3.0, 0.0))
+                .station_with_power(Point::new(0.0, 5.0), 0.5)
+                .background_noise(0.01)
+                .threshold(1.5)
+                .build()
+                .unwrap(),
+            // α = 4.
+            Network::builder()
+                .station(Point::new(0.0, 0.0))
+                .station(Point::new(4.0, 1.0))
+                .path_loss(4.0)
+                .threshold(2.0)
+                .build()
+                .unwrap(),
+            // Co-located pair plus a third station.
+            Network::uniform(
+                vec![Point::ORIGIN, Point::ORIGIN, Point::new(3.0, 0.0)],
+                0.0,
+                2.0,
+            )
+            .unwrap(),
+        ]
+    }
+
+    fn grid_points(half: f64, steps: i32) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for a in -steps..=steps {
+            for b in -steps..=steps {
+                pts.push(Point::new(
+                    a as f64 * half / steps as f64,
+                    b as f64 * half / steps as f64,
+                ));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn exact_scan_matches_scalar_ground_truth() {
+        for net in nets() {
+            let engine = ExactScan::new(&net);
+            for p in grid_points(6.0, 25) {
+                let expected = sinr::heard_at(&net, p);
+                assert_eq!(
+                    engine.locate(p).station(),
+                    expected,
+                    "ExactScan disagrees at {p} in {net}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn voronoi_assisted_matches_scalar_ground_truth() {
+        for net in nets() {
+            let engine = VoronoiAssisted::new(&net);
+            assert_eq!(engine.uses_proximity_dispatch(), net.is_uniform_power());
+            for p in grid_points(6.0, 25) {
+                let expected = sinr::heard_at(&net, p);
+                assert_eq!(
+                    engine.locate(p).station(),
+                    expected,
+                    "VoronoiAssisted disagrees at {p} in {net}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn station_positions_locate_as_reception() {
+        for net in nets() {
+            for engine in [
+                Box::new(ExactScan::new(&net)) as Box<dyn QueryEngine>,
+                Box::new(VoronoiAssisted::new(&net)),
+            ] {
+                for i in net.ids() {
+                    let got = engine.locate(net.position(i));
+                    match got {
+                        Located::Reception(_) => {}
+                        other => panic!("station {i} of {net}: {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_agrees_with_scalar_calls_and_parallelizes() {
+        let net = Network::uniform(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(4.0, 0.0),
+                Point::new(1.0, 3.0),
+            ],
+            0.01,
+            1.5,
+        )
+        .unwrap();
+        let engine = VoronoiAssisted::new(&net);
+        // Above PARALLEL_BATCH_THRESHOLD so the chunked path runs.
+        let points = grid_points(5.0, 40);
+        assert!(points.len() > PARALLEL_BATCH_THRESHOLD);
+        let mut batch = vec![Located::Silent; points.len()];
+        engine.locate_batch(&points, &mut batch);
+        for (p, got) in points.iter().zip(&batch) {
+            assert_eq!(*got, engine.locate(*p), "batch/scalar mismatch at {p}");
+        }
+    }
+
+    #[test]
+    fn sinr_batch_matches_scalar_sinr() {
+        for net in nets() {
+            let eval = SinrEvaluator::new(&net);
+            let points = grid_points(5.0, 12);
+            let mut out = vec![0.0; points.len()];
+            for i in net.ids() {
+                eval.sinr_batch(i, &points, &mut out);
+                for (p, got) in points.iter().zip(&out) {
+                    let expected = sinr::sinr(&net, i, *p);
+                    if expected.is_infinite() {
+                        assert!(got.is_infinite(), "{i} at {p}: {got} vs ∞");
+                    } else {
+                        assert!(
+                            (got - expected).abs() <= 1e-9 * (1.0 + expected.abs()),
+                            "{i} at {p}: {got} vs {expected}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluator_accessors() {
+        let net = Network::builder()
+            .station_with_power(Point::new(1.0, 2.0), 3.0)
+            .station(Point::new(-1.0, 0.5))
+            .background_noise(0.07)
+            .threshold(2.5)
+            .path_loss(3.0)
+            .build()
+            .unwrap();
+        let eval = SinrEvaluator::new(&net);
+        assert_eq!(eval.len(), 2);
+        assert!(!eval.is_empty());
+        assert_eq!(eval.beta(), 2.5);
+        assert_eq!(eval.noise(), 0.07);
+        assert_eq!(eval.alpha(), 3.0);
+        assert!(!eval.is_uniform_power());
+        assert_eq!(eval.position(StationId(0)), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_map")]
+    fn mismatched_batch_lengths_panic() {
+        let net = Network::uniform(vec![Point::ORIGIN, Point::new(1.0, 0.0)], 0.0, 2.0).unwrap();
+        let engine = ExactScan::new(&net);
+        let mut out = vec![Located::Silent; 3];
+        engine.locate_batch(&[Point::ORIGIN], &mut out);
+    }
+
+    #[test]
+    fn batch_map_parallel_and_serial_agree() {
+        let inputs: Vec<u64> = (0..10_000).collect();
+        let mut out = vec![0u64; inputs.len()];
+        batch_map(&inputs, &mut out, |x| x * 3 + 1);
+        assert!(inputs.iter().zip(&out).all(|(x, y)| *y == x * 3 + 1));
+        let small: Vec<u64> = (0..7).collect();
+        let mut small_out = vec![0u64; 7];
+        batch_map(&small, &mut small_out, |x| x + 1);
+        assert_eq!(small_out, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+}

@@ -22,6 +22,46 @@
 //! itself); the *SINR diagram* is the partition of the plane into the `Hᵢ`
 //! and the silent remainder `H_∅`.
 //!
+//! ## Query engine
+//!
+//! The [`engine`] module is the production query surface: build a
+//! [`SinrEvaluator`] (a structure-of-arrays snapshot of the network with
+//! an `α = 2` fast path) once, then answer *batches* of point-location
+//! queries through the [`QueryEngine`] trait. Backend selection:
+//!
+//! * [`ExactScan`] — one amortized `O(n)` pass per point; exact for every
+//!   network (any power assignment, `α`, `β`). The safe default.
+//! * [`VoronoiAssisted`] — kd-tree nearest-station dispatch per
+//!   Observation 2.2; exact for uniform power (falls back to the scan
+//!   otherwise) with smaller per-query constants.
+//! * `PointLocator` (crate `sinr-pointloc`) — the Theorem-3 structure:
+//!   `O(log n)` queries that may answer [`Located::Uncertain`] inside an
+//!   `ε`-area band along zone boundaries; requires uniform power,
+//!   `α = 2`, `β > 1` and `O(n³·ε⁻¹)` preprocessing.
+//!
+//! All three implement [`QueryEngine`], so consumers (rasterisation,
+//! figures, benchmarks, servers) are backend-generic. Batch calls run
+//! chunked across cores. The scalar functions in [`sinr`] remain the
+//! ground truth the engine is tested against.
+//!
+//! ```
+//! use sinr_core::{Network, QueryEngine, Located};
+//! use sinr_geometry::Point;
+//!
+//! let net = Network::uniform(
+//!     vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0)],
+//!     0.0,
+//!     2.0,
+//! )?;
+//! let engine = net.query_engine();
+//! let points = [Point::new(0.5, 0.0), Point::new(2.0, 0.0)];
+//! let mut out = [Located::Silent; 2];
+//! engine.locate_batch(&points, &mut out);
+//! assert_eq!(out[0].station().map(|s| s.index()), Some(0));
+//! assert_eq!(out[1], Located::Silent);
+//! # Ok::<(), sinr_core::NetworkError>(())
+//! ```
+//!
 //! ## What this crate provides
 //!
 //! * [`Network`] / [`NetworkBuilder`] — model construction, validation,
@@ -66,6 +106,7 @@
 pub mod bounds;
 pub mod charpoly;
 pub mod convexity;
+pub mod engine;
 pub mod gen;
 pub mod network;
 pub mod power;
@@ -75,6 +116,7 @@ pub mod station;
 pub mod zone;
 
 pub use convexity::{ConvexityReport, ConvexityViolation};
+pub use engine::{ExactScan, Located, QueryEngine, SinrEvaluator, VoronoiAssisted};
 pub use network::{Network, NetworkBuilder, NetworkError};
 pub use power::PowerAssignment;
 pub use station::{Station, StationId};

@@ -247,6 +247,16 @@ impl Network {
         ReceptionZone::new(self, i)
     }
 
+    /// The recommended batched query backend for this network: a
+    /// [`VoronoiAssisted`](crate::engine::VoronoiAssisted) engine
+    /// (kd-tree dispatch for uniform power, exact-scan fallback
+    /// otherwise). Build it once, then use
+    /// [`QueryEngine::locate_batch`](crate::engine::QueryEngine::locate_batch)
+    /// for many points — `O(n)` per point instead of the scalar `O(n²)`.
+    pub fn query_engine(&self) -> crate::engine::VoronoiAssisted {
+        crate::engine::VoronoiAssisted::new(self)
+    }
+
     // --- Surgery (the paper's proof moves) -------------------------------
 
     /// The network with station `i` removed ("silenced", as in

@@ -96,7 +96,11 @@ pub fn merge_stations(
     }
     let s_star = replacement_station(p1, p2, (e1, e2))?;
     // Remove the higher index first so the lower one stays valid.
-    let (hi, lo) = if a.index() > b.index() { (a, b) } else { (b, a) };
+    let (hi, lo) = if a.index() > b.index() {
+        (a, b)
+    } else {
+        (b, a)
+    };
     let without_hi = net.without_station(hi).ok()?;
     let without_both = without_hi.without_station(lo).ok()?;
     without_both.with_station(s_star, 1.0).ok()
@@ -138,8 +142,7 @@ mod tests {
         let s0 = net.position(StationId(0));
         let p1 = Point::new(s0.x + 0.2, s0.y);
         let p2 = Point::new(s0.x - 0.15, s0.y + 0.18);
-        let e_pair =
-            |p: Point| sinr::energy_of_set(&net, [a, b].iter().copied(), p);
+        let e_pair = |p: Point| sinr::energy_of_set(&net, [a, b].iter().copied(), p);
         let s_star = replacement_station(p1, p2, (e_pair(p1), e_pair(p2))).unwrap();
 
         // (1) exact energies at the endpoints

@@ -92,11 +92,17 @@ pub fn is_heard(net: &Network, i: StationId, p: Point) -> bool {
 
 /// The station heard at `p`, if any (the strongest one when `β ≤ 1`
 /// permits several; unique automatically when `β > 1`).
+///
+/// This is the scalar `O(n²)` ground truth; for batched queries build a
+/// [`crate::engine::QueryEngine`] backend instead (`O(n)` per point).
 pub fn heard_at(net: &Network, p: Point) -> Option<StationId> {
     let mut best: Option<(StationId, f64)> = None;
     for i in net.ids() {
-        if is_heard(net, i, p) {
-            let v = sinr(net, i, p);
+        // One SINR evaluation per station, reused for both the reception
+        // test and the strongest-station comparison. The `{sᵢ}` clause of
+        // `is_heard` is preserved by checking the position directly.
+        let v = sinr(net, i, p);
+        if v >= net.beta() || p == net.position(i) {
             match best {
                 Some((_, b)) if b >= v => {}
                 _ => best = Some((i, v)),

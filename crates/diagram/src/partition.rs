@@ -33,7 +33,9 @@ pub type PartitionMap = Raster<Located>;
 /// assert_eq!(art.lines().count(), 32);
 /// ```
 pub fn compute(ds: &PointLocator, window: BBox, width: usize, height: usize) -> PartitionMap {
-    Raster::compute_with(window, width, height, |p| ds.locate(p))
+    // One batched pass through the shared QueryEngine interface (chunked
+    // across cores) instead of a scalar locate per pixel.
+    crate::raster::locate_raster(ds, window, width, height)
 }
 
 /// ASCII rendering of a partition: station digit for `Hᵢ⁺`, `?` for the

@@ -2,15 +2,18 @@
 //!
 //! The paper's figures are "numerically generated": a dense grid of
 //! receiver points, each labelled by the station heard there (if any).
-//! [`ReceptionMap::compute`] reproduces exactly that, with the
-//! Observation 2.2 optimisation: for uniform power and `β ≥ 1`, only the
-//! nearest station can be heard, so each pixel needs one nearest-station
-//! lookup and one SINR evaluation instead of `n`.
+//! [`ReceptionMap::compute`] reproduces exactly that on top of the
+//! batched query engine of `sinr_core`: all pixel centres are collected
+//! once and answered through
+//! [`QueryEngine::locate_batch`](sinr_core::QueryEngine::locate_batch) —
+//! chunked across cores, with the Observation 2.2 nearest-station
+//! dispatch for uniform power networks. Any backend works; see
+//! [`locate_raster`].
 
+use sinr_core::engine::{Located, QueryEngine};
 use sinr_core::{Network, StationId};
 use sinr_geometry::{BBox, Point};
 use sinr_graphs::ProtocolModel;
-use sinr_voronoi::KdTree;
 
 /// The label of one raster pixel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,6 +118,64 @@ impl<T: Copy> Raster<T> {
     }
 }
 
+impl<T> Raster<T> {
+    /// Wraps precomputed row-major cells (bottom row first) — the batched
+    /// counterpart of [`Raster::compute_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or `cells.len() != width *
+    /// height`.
+    pub fn from_cells(window: BBox, width: usize, height: usize, cells: Vec<T>) -> Self {
+        assert!(
+            width > 0 && height > 0,
+            "raster dimensions must be positive"
+        );
+        assert_eq!(cells.len(), width * height, "cell count mismatch");
+        Raster {
+            window,
+            width,
+            height,
+            cells,
+        }
+    }
+}
+
+/// All pixel centres of a raster, row-major bottom-first — the batch the
+/// query engine consumes.
+pub fn pixel_centers(window: &BBox, width: usize, height: usize) -> Vec<Point> {
+    let mut centers = Vec::with_capacity(width * height);
+    for row in 0..height {
+        for col in 0..width {
+            centers.push(pixel_center(window, width, height, col, row));
+        }
+    }
+    centers
+}
+
+/// Rasterises any [`QueryEngine`] backend over a window with one
+/// `locate_batch` call — exact backends yield reception maps, the
+/// Theorem-3 locator yields `H⁺ / H? / H⁻` partitions.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn locate_raster<E: QueryEngine + ?Sized>(
+    engine: &E,
+    window: BBox,
+    width: usize,
+    height: usize,
+) -> Raster<Located> {
+    assert!(
+        width > 0 && height > 0,
+        "raster dimensions must be positive"
+    );
+    let centers = pixel_centers(&window, width, height);
+    let mut located = vec![Located::Silent; centers.len()];
+    engine.locate_batch(&centers, &mut located);
+    Raster::from_cells(window, width, height, located)
+}
+
 fn pixel_center(window: &BBox, width: usize, height: usize, col: usize, row: usize) -> Point {
     Point::new(
         window.min.x + (col as f64 + 0.5) * window.width() / width as f64,
@@ -128,25 +189,36 @@ pub type ReceptionMap = Raster<PixelLabel>;
 impl ReceptionMap {
     /// Rasterises the SINR diagram of a network.
     ///
-    /// For uniform power with `β ≥ 1`, uses the nearest-station shortcut
-    /// of Observation 2.2; otherwise evaluates all stations per pixel.
+    /// All pixels are answered in one
+    /// [`locate_batch`](QueryEngine::locate_batch) pass through the
+    /// network's recommended engine — kd-tree nearest-station dispatch
+    /// (Observation 2.2) for uniform power, the exact SoA scan otherwise,
+    /// chunked across cores either way.
     pub fn compute(net: &Network, window: BBox, width: usize, height: usize) -> Self {
-        let shortcut = net.is_uniform_power() && net.beta() >= 1.0;
-        let tree = shortcut.then(|| KdTree::build(net.positions().to_vec()));
-        Raster::compute_with(window, width, height, |p| {
-            let heard = match &tree {
-                Some(tree) => {
-                    let (i, _) = tree.nearest(p).expect("n ≥ 2");
-                    let id = StationId(i);
-                    net.is_heard(id, p).then_some(id)
-                }
-                None => net.heard_at(p),
-            };
-            match heard {
-                Some(i) => PixelLabel::Heard(i),
-                None => PixelLabel::Silent,
-            }
-        })
+        ReceptionMap::compute_with_engine(&net.query_engine(), window, width, height)
+    }
+
+    /// Rasterises the diagram through a caller-supplied exact backend.
+    ///
+    /// The backend must answer definitely ([`Located::Uncertain`] pixels
+    /// are labelled silent — use [`locate_raster`] to rasterise an
+    /// approximate backend's full partition instead).
+    pub fn compute_with_engine<E: QueryEngine + ?Sized>(
+        engine: &E,
+        window: BBox,
+        width: usize,
+        height: usize,
+    ) -> Self {
+        let located = locate_raster(engine, window, width, height);
+        let cells = located
+            .cells
+            .iter()
+            .map(|l| match l {
+                Located::Reception(i) => PixelLabel::Heard(*i),
+                Located::Uncertain(_) | Located::Silent => PixelLabel::Silent,
+            })
+            .collect();
+        Raster::from_cells(window, width, height, cells)
     }
 
     /// Rasterises the UDG / protocol-model diagram for a transmit mask.

@@ -10,32 +10,14 @@
 
 use crate::brp::BrpError;
 use crate::qds::{CellClass, Qds, QdsConfig};
+use sinr_core::engine::{batch_map, QueryEngine, SinrEvaluator};
 use sinr_core::{Network, StationId};
 use sinr_geometry::Point;
 use sinr_voronoi::KdTree;
 
-/// The answer of a point-location query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Located {
-    /// The point is guaranteed inside the reception zone of this station
-    /// (`p ∈ Hᵢ⁺ ⊆ Hᵢ`).
-    Reception(StationId),
-    /// The point lies in the uncertain band `Hᵢ?` of this station (the
-    /// only candidate); its true status is unresolved at resolution `ε`.
-    Uncertain(StationId),
-    /// The point is guaranteed outside every reception zone (`p ∈ H⁻`).
-    Silent,
-}
-
-impl Located {
-    /// The candidate station, if any.
-    pub fn station(&self) -> Option<StationId> {
-        match self {
-            Located::Reception(i) | Located::Uncertain(i) => Some(*i),
-            Located::Silent => None,
-        }
-    }
-}
+// `Located` is the shared answer type of every `QueryEngine` backend; it
+// lives in `sinr_core::engine` and is re-exported here for compatibility.
+pub use sinr_core::engine::Located;
 
 /// Errors from building a [`PointLocator`].
 #[derive(Debug, Clone, PartialEq)]
@@ -95,6 +77,9 @@ pub struct PointLocator {
     tree: KdTree,
     positions: Vec<Point>,
     epsilon: f64,
+    /// Retained for `QueryEngine::sinr_batch` (the grid structure answers
+    /// zone membership, not SINR values).
+    eval: SinrEvaluator,
 }
 
 impl PointLocator {
@@ -127,6 +112,7 @@ impl PointLocator {
             tree: KdTree::build(net.positions().to_vec()),
             positions: net.positions().to_vec(),
             epsilon: config.epsilon,
+            eval: SinrEvaluator::new(net),
         })
     }
 
@@ -179,6 +165,20 @@ impl PointLocator {
     pub fn locate_naive(&self, net: &Network, p: Point) -> Option<StationId> {
         debug_assert_eq!(net.positions(), &self.positions[..]);
         net.heard_at(p)
+    }
+}
+
+impl QueryEngine for PointLocator {
+    fn locate(&self, p: Point) -> Located {
+        PointLocator::locate(self, p)
+    }
+
+    fn locate_batch(&self, points: &[Point], out: &mut [Located]) {
+        batch_map(points, out, |p| PointLocator::locate(self, *p));
+    }
+
+    fn sinr_batch(&self, i: StationId, points: &[Point], out: &mut [f64]) {
+        self.eval.sinr_batch(i, points, out);
     }
 }
 

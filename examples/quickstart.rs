@@ -1,5 +1,6 @@
-//! Quickstart: build a network, inspect reception, draw the diagram, and
-//! answer point-location queries.
+//! Quickstart: build a network, inspect reception, answer a batch of
+//! queries through the engine, draw the diagram, and run approximate
+//! point location.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -29,6 +30,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("  heard_at({p}) = {:?}", net.heard_at(p));
+
+    // --- 2b. Batched queries through the engine --------------------------
+    // Build once (SoA layout + Observation 2.2 kd-tree dispatch), then
+    // answer many points in one chunked-parallel pass: O(n) per point
+    // instead of the scalar O(n²).
+    let engine = net.query_engine();
+    let receivers: Vec<Point> = (-20..=20)
+        .flat_map(|a| (-20..=20).map(move |b| Point::new(a as f64 * 0.25, b as f64 * 0.25)))
+        .collect();
+    let mut answers = vec![Located::Silent; receivers.len()];
+    engine.locate_batch(&receivers, &mut answers);
+    let mut heard = vec![0usize; net.len()];
+    let mut silent = 0usize;
+    for a in &answers {
+        match a.station() {
+            Some(i) => heard[i.index()] += 1,
+            None => silent += 1,
+        }
+    }
+    println!(
+        "\nbatched {} receivers through {} dispatch: per-station {:?}, silent {}",
+        receivers.len(),
+        if engine.uses_proximity_dispatch() {
+            "kd-tree"
+        } else {
+            "exact-scan"
+        },
+        heard,
+        silent,
+    );
 
     // --- 3. Zone geometry: δ, Δ, fatness (Theorems 2, 4.1, 4.2) ---------
     for i in net.ids() {

@@ -11,7 +11,9 @@
 //! * [`geometry`] — planar computational-geometry kernel;
 //! * [`algebra`] — polynomials and Sturm-sequence root counting;
 //! * [`core`] — the SINR model: networks, reception zones, convexity and
-//!   fatness machinery (Theorems 1, 2, 4.1, 4.2);
+//!   fatness machinery (Theorems 1, 2, 4.1, 4.2), and the batched
+//!   [`QueryEngine`](prelude::QueryEngine) with its SoA
+//!   [`SinrEvaluator`](prelude::SinrEvaluator);
 //! * [`graphs`] — graph-based models (UDG, disk graphs, Quasi-UDG,
 //!   protocol model) and SINR-vs-graph comparisons;
 //! * [`voronoi`] — Voronoi diagrams and nearest-neighbour search
@@ -35,10 +37,23 @@
 //!     .build()
 //!     .unwrap();
 //!
-//! // Who does a receiver at p hear?
+//! // One scalar question: who does a receiver at p hear?
 //! let p = Point::new(1.8, -1.0);
 //! let heard = network.heard_at(p);
 //! assert!(heard.is_some() || heard.is_none()); // depends on geometry
+//!
+//! // Production-shaped question: many receivers, one network. Build a
+//! // query engine once (SoA layout + Observation 2.2 kd-tree dispatch)
+//! // and answer the whole batch in one chunked-parallel pass.
+//! let engine = network.query_engine();
+//! let receivers: Vec<Point> = (0..1000)
+//!     .map(|k| Point::new((k % 50) as f64 * 0.2 - 5.0, (k / 50) as f64 * 0.5 - 5.0))
+//!     .collect();
+//! let mut answers = vec![Located::Silent; receivers.len()];
+//! engine.locate_batch(&receivers, &mut answers);
+//! for (q, a) in receivers.iter().zip(&answers) {
+//!     assert_eq!(a.station(), network.heard_at(*q)); // engine ≡ ground truth
+//! }
 //! ```
 
 pub use sinr_algebra as algebra;
@@ -54,11 +69,12 @@ pub use sinr_voronoi as voronoi;
 pub mod prelude {
     pub use sinr_algebra::{BiPoly, Poly, SturmChain};
     pub use sinr_core::{
-        Network, NetworkBuilder, PowerAssignment, ReceptionZone, Station, StationId,
+        ExactScan, Located, Network, NetworkBuilder, PowerAssignment, QueryEngine, ReceptionZone,
+        SinrEvaluator, Station, StationId, VoronoiAssisted,
     };
     pub use sinr_diagram::{Raster, ReceptionMap};
     pub use sinr_geometry::{BBox, Ball, Grid, Line, Point, Segment, Vector};
     pub use sinr_graphs::UnitDiskGraph;
-    pub use sinr_pointloc::{Located, PointLocator};
+    pub use sinr_pointloc::PointLocator;
     pub use sinr_voronoi::{KdTree, VoronoiDiagram};
 }
