@@ -1,16 +1,20 @@
 //! Engine bench: the batched query surface vs the scalar baseline.
 //!
 //! Measures `heard_at` (the scalar `O(n²)`-per-point loop) against
-//! `ExactScan::locate_batch` and `VoronoiAssisted::locate_batch`
-//! (amortized `O(n)` per point, chunked across cores) at
+//! `ExactScan::locate_batch`, `SimdScan::locate_batch` (the explicitly
+//! vectorized scan — the JSON lines record which kernel the runtime
+//! detection picked) and `VoronoiAssisted::locate_batch` (amortized
+//! `O(n)` per point, work-stolen across cores) at
 //! `n ∈ {16, 256, 4096}` stations × 100k query points, then emits one
 //! JSON line per configuration through `sinr_bench::report::JsonLine` so
-//! the perf trajectory is grep-able from run logs.
+//! the perf trajectory is grep-able from run logs (CI archives these
+//! lines as the `engine-batch-json` artifact).
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use sinr_bench::report::JsonLine;
 use sinr_core::engine::{ExactScan, Located, QueryEngine, VoronoiAssisted};
+use sinr_core::simd::SimdScan;
 use sinr_core::{gen, Network};
 use sinr_geometry::Point;
 use std::hint::black_box;
@@ -62,6 +66,13 @@ fn bench_locate(c: &mut Criterion) {
                 black_box(out.last().copied())
             })
         });
+        let simd = SimdScan::new(&net);
+        group.bench_with_input(BenchmarkId::new("simd_scan_batch", n), &n, |b, _| {
+            b.iter(|| {
+                simd.locate_batch(black_box(&queries), &mut out);
+                black_box(out.last().copied())
+            })
+        });
         let voronoi = VoronoiAssisted::new(&net);
         group.bench_with_input(BenchmarkId::new("voronoi_assisted_batch", n), &n, |b, _| {
             b.iter(|| {
@@ -89,6 +100,7 @@ fn emit_json_lines() {
         let (net, queries) = setup(n);
         let scalar_points = scalar_sample(n);
         let exact = ExactScan::new(&net);
+        let simd = SimdScan::new(&net);
         let voronoi = VoronoiAssisted::new(&net);
         let mut out = vec![Located::Silent; queries.len()];
 
@@ -97,6 +109,10 @@ fn emit_json_lines() {
         voronoi.locate_batch(&queries, &mut out);
         for (q, got) in queries.iter().zip(&out).take(512) {
             assert_eq!(got.station(), net.heard_at(*q), "engine mismatch at {q}");
+        }
+        simd.locate_batch(&queries, &mut out);
+        for (q, got) in queries.iter().zip(&out).take(512) {
+            assert_eq!(got.station(), net.heard_at(*q), "SimdScan mismatch at {q}");
         }
 
         let scalar_ns = time_ns_per_point(scalar_points, || {
@@ -107,6 +123,9 @@ fn emit_json_lines() {
         let exact_ns = time_ns_per_point(queries.len(), || {
             exact.locate_batch(black_box(&queries), &mut out);
         });
+        let simd_ns = time_ns_per_point(queries.len(), || {
+            simd.locate_batch(black_box(&queries), &mut out);
+        });
         let voronoi_ns = time_ns_per_point(queries.len(), || {
             voronoi.locate_batch(black_box(&queries), &mut out);
         });
@@ -115,10 +134,14 @@ fn emit_json_lines() {
             .int("stations", n as u64)
             .int("query_points", queries.len() as u64)
             .int("scalar_sample_points", scalar_points as u64)
+            .str("simd_kernel", simd.kernel().name())
             .num("scalar_heard_at_ns_per_point", scalar_ns)
             .num("exact_scan_ns_per_point", exact_ns)
+            .num("simd_scan_ns_per_point", simd_ns)
             .num("voronoi_assisted_ns_per_point", voronoi_ns)
             .num("speedup_exact_vs_scalar", scalar_ns / exact_ns)
+            .num("speedup_simd_vs_scalar", scalar_ns / simd_ns)
+            .num("speedup_simd_vs_exact", exact_ns / simd_ns)
             .num("speedup_voronoi_vs_scalar", scalar_ns / voronoi_ns);
         println!("{}", line.render());
     }

@@ -16,13 +16,19 @@
 //!   `O(n)` — the scalar loop needs `O(n²)`.
 //! * [`QueryEngine`] — the backend-independent trait: [`QueryEngine::
 //!   locate`], [`QueryEngine::locate_batch`] and [`QueryEngine::
-//!   sinr_batch`]. Batch calls run chunked in parallel across the
-//!   available cores for large inputs.
+//!   sinr_batch`]. Large batches run in parallel through [`batch_map`],
+//!   a std-only work-stealing scheduler: the batch is cut into
+//!   fixed-size tiles and worker threads claim tiles through one atomic
+//!   counter, so skewed workloads (cheap rows next to expensive rows)
+//!   keep every core busy.
 //! * Backends: [`ExactScan`] (one amortized SoA pass per point, exact for
-//!   every network), [`VoronoiAssisted`] (kd-tree nearest-station dispatch
-//!   per Observation 2.2, exact for uniform power, falling back to the
-//!   scan otherwise), and the Theorem-3 `PointLocator` of `sinr-pointloc`
-//!   (sublinear per query, `ε`-approximate near zone boundaries).
+//!   every network), [`SimdScan`](crate::simd::SimdScan) (the same scan
+//!   explicitly vectorized — 4×f64 AVX2 lanes when the CPU has them,
+//!   with SSE2 and portable scalar fallbacks), [`VoronoiAssisted`]
+//!   (kd-tree nearest-station dispatch per Observation 2.2, exact for
+//!   uniform power, falling back to the scan otherwise), and the
+//!   Theorem-3 `PointLocator` of `sinr-pointloc` (sublinear per query,
+//!   `ε`-approximate near zone boundaries).
 //!
 //! The [`Located`] answer type lives here so that every backend — across
 //! crates — speaks the same language; `sinr-pointloc` re-exports it.
@@ -32,6 +38,7 @@
 //! | backend | query cost | exact? | preconditions |
 //! |---|---|---|---|
 //! | [`ExactScan`] | `O(n)` | yes | none |
+//! | [`SimdScan`](crate::simd::SimdScan) | `O(n)`, ~`lanes`× smaller constants | yes | none (runtime CPU detection, scalar fallback) |
 //! | [`VoronoiAssisted`] | `O(n)`, smaller constants | yes | none (falls back to scan for non-uniform power) |
 //! | `PointLocator` | `O(log n)` | `ε`-approximate near `∂Hᵢ` | uniform power, `α = 2`, `β > 1` |
 //!
@@ -144,19 +151,109 @@ impl PathLoss for GeneralAlpha {
     }
 }
 
-/// Batches at least this long are processed in parallel chunks.
-const PARALLEL_BATCH_THRESHOLD: usize = 2048;
+/// Batches at least this long are processed in parallel.
+///
+/// Public so the threshold-boundary regression tests (and downstream
+/// batch drivers) can pin behaviour exactly at the serial/parallel
+/// crossover.
+pub const PARALLEL_BATCH_THRESHOLD: usize = 2048;
 
-/// Applies `f` to every input, writing results into `out` — chunked across
-/// the available cores when the batch is large, serial otherwise.
+/// The work-stealing scheduler hands out the batch in tiles of this many
+/// inputs: coarse enough that the shared atomic counter is cold, fine
+/// enough that a skewed workload (some tiles cheap, some expensive)
+/// rebalances across threads.
+const STEAL_TILE: usize = 512;
+
+/// Minimum inputs per thread for the static split of
+/// [`batch_map_chunked`] — spawning a thread for fewer is pure overhead.
+const MIN_STATIC_CHUNK: usize = 512;
+
+/// The static split of [`batch_map_chunked`]: effective worker count and
+/// chunk length for a batch of `len` on `threads` cores, with the thread
+/// count clamped so no chunk is near-empty.
+///
+/// (Regression shape: `len` barely above [`PARALLEL_BATCH_THRESHOLD`] on
+/// a high-core machine used to yield `threads` chunks of a few points
+/// each; now at most `len.div_ceil(MIN_STATIC_CHUNK)` workers spawn.)
+fn static_split(len: usize, threads: usize) -> (usize, usize) {
+    let workers = threads.min(len.div_ceil(MIN_STATIC_CHUNK)).max(1);
+    (workers, len.div_ceil(workers))
+}
+
+/// Applies `f` to every input, writing results into `out` — work-stolen
+/// across the available cores when the batch is large, serial otherwise.
 ///
 /// This is the shared batch driver of every [`QueryEngine`] backend
-/// (including the Theorem-3 locator in `sinr-pointloc`).
+/// (including the Theorem-3 locator in `sinr-pointloc`). Large batches
+/// are split into fixed-size tiles claimed by worker threads through one
+/// atomic counter, so skewed per-input costs (e.g. rasters where some
+/// rows hit a fast path and others fall back to an exact scan) no longer
+/// idle whole threads the way the old one-chunk-per-core split did (that
+/// split survives as [`batch_map_chunked`] for comparison).
 ///
 /// # Panics
 ///
 /// Panics if `inputs` and `out` have different lengths.
 pub fn batch_map<I, O, F>(inputs: &[I], out: &mut [O], f: F)
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    assert_eq!(
+        inputs.len(),
+        out.len(),
+        "batch_map: {} inputs but {} output slots",
+        inputs.len(),
+        out.len()
+    );
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let len = inputs.len();
+    if len < PARALLEL_BATCH_THRESHOLD || threads <= 1 {
+        for (p, slot) in inputs.iter().zip(out.iter_mut()) {
+            *slot = f(p);
+        }
+        return;
+    }
+    let tiles = len.div_ceil(STEAL_TILE);
+    let workers = threads.min(tiles);
+    let next_tile = std::sync::atomic::AtomicUsize::new(0);
+    let slots = steal::OutputSlots::new(out);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let tile = next_tile.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let start = tile * STEAL_TILE;
+                if start >= len {
+                    break;
+                }
+                let end = (start + STEAL_TILE).min(len);
+                for (i, p) in inputs[start..end].iter().enumerate() {
+                    // Tiles are claimed exactly once (fetch_add), so every
+                    // index is written by exactly one worker.
+                    slots.write(start + i, f(p));
+                }
+            });
+        }
+    });
+}
+
+/// The PR-1 batch driver: one contiguous chunk per core, retained as the
+/// reference implementation the work-stealing [`batch_map`] is
+/// regression-tested against. Prefer [`batch_map`].
+///
+/// The chunk split clamps the effective thread count so every chunk has
+/// at least ~[`MIN_STATIC_CHUNK`]/2 inputs — the original split computed
+/// `len.div_ceil(threads)` unconditionally and spawned dozens of
+/// near-empty threads when `len` barely exceeded
+/// [`PARALLEL_BATCH_THRESHOLD`] on high-core machines.
+///
+/// # Panics
+///
+/// Panics if `inputs` and `out` have different lengths.
+pub fn batch_map_chunked<I, O, F>(inputs: &[I], out: &mut [O], f: F)
 where
     I: Sync,
     O: Send,
@@ -178,7 +275,7 @@ where
         }
         return;
     }
-    let chunk = inputs.len().div_ceil(threads);
+    let (_, chunk) = static_split(inputs.len(), threads);
     std::thread::scope(|scope| {
         for (in_chunk, out_chunk) in inputs.chunks(chunk).zip(out.chunks_mut(chunk)) {
             scope.spawn(|| {
@@ -190,14 +287,57 @@ where
     });
 }
 
+/// The one unsafe corner of the scheduler: a `Send + Sync` handle to the
+/// output slice that lets workers write disjoint slots concurrently.
+#[allow(unsafe_code)]
+mod steal {
+    /// Shared view of `&mut [O]` for the work-stealing workers.
+    ///
+    /// Soundness: the handle is created from an exclusive borrow that
+    /// outlives the thread scope, every index is written by exactly one
+    /// worker (tiles are claimed via `fetch_add`), and `write` bounds-
+    /// checks the index. Writes go through `&mut`-style assignment so the
+    /// previous value is dropped on the writing thread (hence `O: Send`).
+    pub(super) struct OutputSlots<O> {
+        ptr: *mut O,
+        len: usize,
+    }
+
+    // SAFETY: see the struct docs — slot ownership is partitioned by the
+    // tile counter, so no two threads touch the same index.
+    unsafe impl<O: Send> Send for OutputSlots<O> {}
+    unsafe impl<O: Send> Sync for OutputSlots<O> {}
+
+    impl<O> OutputSlots<O> {
+        pub(super) fn new(out: &mut [O]) -> Self {
+            OutputSlots {
+                ptr: out.as_mut_ptr(),
+                len: out.len(),
+            }
+        }
+
+        /// Writes `value` into slot `i`, dropping the previous value.
+        #[inline]
+        pub(super) fn write(&self, i: usize, value: O) {
+            assert!(i < self.len, "output slot {i} out of bounds ({})", self.len);
+            // SAFETY: `i` is in bounds (asserted) and, per the tile
+            // protocol, no other thread reads or writes this slot.
+            unsafe { *self.ptr.add(i) = value }
+        }
+    }
+}
+
 /// One station scan: the quantities every reception decision needs.
-struct Scan {
+///
+/// Produced by the scalar kernels here and by the vectorized kernels of
+/// [`crate::simd`]; consumed by [`SinrEvaluator::decide`].
+pub(crate) struct Scan {
     /// Total energy `E(S, p)` (compensated sum).
-    total: f64,
+    pub(crate) total: f64,
     /// Index of the maximum-energy station (first on ties).
-    best: usize,
+    pub(crate) best: usize,
     /// Its energy.
-    best_energy: f64,
+    pub(crate) best_energy: f64,
 }
 
 /// The SoA-backed per-network evaluator: build once, query many.
@@ -347,9 +487,19 @@ impl SinrEvaluator {
         Ok((e_i, acc.value()))
     }
 
+    /// The station arrays in structure-of-arrays layout:
+    /// `(xs, ys, powers)` — the streams the vectorized kernels of
+    /// [`crate::simd`] consume.
+    pub(crate) fn soa(&self) -> (&[f64], &[f64], &[f64]) {
+        (&self.xs, &self.ys, &self.powers)
+    }
+
+    /// Turns a completed [`Scan`] (or a coincident-station index) into
+    /// the reception decision — shared by the scalar kernels here and the
+    /// vectorized kernels of [`crate::simd`].
     #[inline]
-    fn locate_with<K: PathLoss>(&self, k: K, p: Point) -> Located {
-        match self.scan(k, p) {
+    pub(crate) fn decide(&self, scan: Result<Scan, usize>) -> Located {
+        match scan {
             // At a station's own position reception holds by the `{sᵢ}`
             // clause; for co-located stations the scalar ground truth
             // resolves to the first index, and `Err` carries exactly that.
@@ -368,6 +518,11 @@ impl SinrEvaluator {
                 }
             }
         }
+    }
+
+    #[inline]
+    fn locate_with<K: PathLoss>(&self, k: K, p: Point) -> Located {
+        self.decide(self.scan(k, p))
     }
 
     /// Decides reception for the single candidate station `i` (the
@@ -453,7 +608,7 @@ impl SinrEvaluator {
     }
 
     /// Batched [`SinrEvaluator::locate`]: answers are written into `out`,
-    /// chunked across cores for large batches.
+    /// work-stolen across cores for large batches.
     ///
     /// # Panics
     ///
@@ -501,7 +656,7 @@ pub trait QueryEngine {
     /// `points[k]`.
     ///
     /// The default implementation is a serial loop; the provided backends
-    /// override it with chunked parallel iteration.
+    /// override it with the work-stealing [`batch_map`] scheduler.
     ///
     /// # Panics
     ///
@@ -594,7 +749,18 @@ impl VoronoiAssisted {
         let tree = eval
             .is_uniform_power()
             .then(|| KdTree::build(net.positions().to_vec()));
-        VoronoiAssisted { eval, tree }
+        let backend = VoronoiAssisted { eval, tree };
+        // The documented contract of `uses_proximity_dispatch`: the
+        // Observation-2.2 shortcut is taken iff the power assignment is
+        // uniform — for non-uniform power the nearest station need not be
+        // the strongest, and dispatching through the kd-tree would be
+        // silently wrong (Kantor et al.'s weak/non-uniform scenarios).
+        debug_assert_eq!(
+            backend.uses_proximity_dispatch(),
+            backend.eval.is_uniform_power(),
+            "VoronoiAssisted dispatch contract violated"
+        );
+        backend
     }
 
     /// The underlying evaluator.
@@ -602,8 +768,15 @@ impl VoronoiAssisted {
         &self.eval
     }
 
-    /// True when queries dispatch through the kd-tree (uniform power);
-    /// false when the backend is running on the exact-scan fallback.
+    /// True when queries dispatch through the kd-tree, false when the
+    /// backend is running on the exact-scan fallback.
+    ///
+    /// This is the backend's **documented contract**, not an incidental
+    /// detail: proximity dispatch is used *iff* the network has uniform
+    /// power (Observation 2.2 only identifies the nearest station with
+    /// the strongest one in that case). The constructor `debug_assert`s
+    /// the equivalence, and the engine-equivalence suite pins that a
+    /// non-uniform network never takes the shortcut.
     pub fn uses_proximity_dispatch(&self) -> bool {
         self.tree.is_some()
     }
@@ -773,7 +946,7 @@ mod tests {
         )
         .unwrap();
         let engine = VoronoiAssisted::new(&net);
-        // Above PARALLEL_BATCH_THRESHOLD so the chunked path runs.
+        // Above PARALLEL_BATCH_THRESHOLD so the parallel path runs.
         let points = grid_points(5.0, 40);
         assert!(points.len() > PARALLEL_BATCH_THRESHOLD);
         let mut batch = vec![Located::Silent; points.len()];
@@ -845,5 +1018,62 @@ mod tests {
         let mut small_out = vec![0u64; 7];
         batch_map(&small, &mut small_out, |x| x + 1);
         assert_eq!(small_out, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn work_stealing_and_chunked_agree() {
+        // Sizes straddling the threshold and the tile size, including a
+        // non-multiple-of-tile length.
+        for len in [
+            PARALLEL_BATCH_THRESHOLD - 1,
+            PARALLEL_BATCH_THRESHOLD,
+            PARALLEL_BATCH_THRESHOLD + 1,
+            3 * STEAL_TILE + 17,
+            25_000,
+        ] {
+            let inputs: Vec<u64> = (0..len as u64).collect();
+            let mut stolen = vec![0u64; len];
+            let mut chunked = vec![u64::MAX; len];
+            batch_map(&inputs, &mut stolen, |x| x.wrapping_mul(0x9E37_79B9) ^ 7);
+            batch_map_chunked(&inputs, &mut chunked, |x| x.wrapping_mul(0x9E37_79B9) ^ 7);
+            assert_eq!(stolen, chunked, "schedulers disagree at len {len}");
+        }
+    }
+
+    #[test]
+    fn batch_map_drops_previous_values_exactly_once() {
+        // The work-stealing writer overwrites initialized slots; each old
+        // value must be dropped exactly once and each new value kept.
+        let len = PARALLEL_BATCH_THRESHOLD + 123;
+        let inputs: Vec<u64> = (0..len as u64).collect();
+        let mut out: Vec<std::sync::Arc<u64>> = (0..len as u64).map(std::sync::Arc::new).collect();
+        let probes: Vec<std::sync::Arc<u64>> = out.clone();
+        batch_map(&inputs, &mut out, |x| std::sync::Arc::new(x + 1));
+        for (x, slot) in inputs.iter().zip(&out) {
+            assert_eq!(**slot, x + 1);
+        }
+        // The originals are only referenced by `probes` now.
+        assert!(probes.iter().all(|p| std::sync::Arc::strong_count(p) == 1));
+    }
+
+    #[test]
+    fn static_split_clamps_thread_count() {
+        // Regression: a batch barely above the parallel threshold on a
+        // high-core machine must not shatter into near-empty chunks.
+        let (workers, chunk) = static_split(PARALLEL_BATCH_THRESHOLD + 1, 128);
+        assert_eq!(
+            workers,
+            (PARALLEL_BATCH_THRESHOLD + 1).div_ceil(MIN_STATIC_CHUNK)
+        );
+        assert!(chunk >= MIN_STATIC_CHUNK / 2, "chunk {chunk} too small");
+        assert!(workers * chunk > PARALLEL_BATCH_THRESHOLD);
+        // Plenty of work: every core gets a chunk.
+        let (workers, chunk) = static_split(1_000_000, 16);
+        assert_eq!(workers, 16);
+        assert_eq!(chunk, 62_500);
+        // Degenerate guards.
+        assert_eq!(static_split(1, 64), (1, 1));
+        let (w, c) = static_split(MIN_STATIC_CHUNK * 3, 2);
+        assert_eq!((w, c), (2, MIN_STATIC_CHUNK * 3 / 2));
     }
 }

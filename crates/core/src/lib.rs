@@ -31,6 +31,10 @@
 //!
 //! * [`ExactScan`] — one amortized `O(n)` pass per point; exact for every
 //!   network (any power assignment, `α`, `β`). The safe default.
+//! * [`SimdScan`] — the same exact scan explicitly vectorized
+//!   ([`simd`] module): 4×`f64` AVX2 lanes detected at runtime on
+//!   x86-64, with SSE2 and portable scalar fallbacks; per-lane
+//!   compensated summation. The raw-throughput default.
 //! * [`VoronoiAssisted`] — kd-tree nearest-station dispatch per
 //!   Observation 2.2; exact for uniform power (falls back to the scan
 //!   otherwise) with smaller per-query constants.
@@ -39,9 +43,10 @@
 //!   `ε`-area band along zone boundaries; requires uniform power,
 //!   `α = 2`, `β > 1` and `O(n³·ε⁻¹)` preprocessing.
 //!
-//! All three implement [`QueryEngine`], so consumers (rasterisation,
-//! figures, benchmarks, servers) are backend-generic. Batch calls run
-//! chunked across cores. The scalar functions in [`sinr`] remain the
+//! All four implement [`QueryEngine`], so consumers (rasterisation,
+//! figures, benchmarks, servers) are backend-generic. Large batch calls
+//! run through a std-only work-stealing scheduler
+//! ([`engine::batch_map`]). The scalar functions in [`sinr`] remain the
 //! ground truth the engine is tested against.
 //!
 //! ```
@@ -101,6 +106,10 @@
 //! ```
 
 #![deny(missing_docs)]
+// `unsafe` is denied everywhere except the two audited corners that need
+// it: the `std::arch` intrinsics of [`simd`] and the disjoint-slot output
+// writer of the work-stealing scheduler in [`engine`] (both opt out with
+// a scoped `allow` and documented safety contracts).
 #![deny(unsafe_code)]
 
 pub mod bounds;
@@ -111,6 +120,7 @@ pub mod gen;
 pub mod network;
 pub mod power;
 pub mod reductions;
+pub mod simd;
 pub mod sinr;
 pub mod station;
 pub mod zone;
@@ -119,5 +129,6 @@ pub use convexity::{ConvexityReport, ConvexityViolation};
 pub use engine::{ExactScan, Located, QueryEngine, SinrEvaluator, VoronoiAssisted};
 pub use network::{Network, NetworkBuilder, NetworkError};
 pub use power::PowerAssignment;
+pub use simd::{SimdKernel, SimdScan};
 pub use station::{Station, StationId};
 pub use zone::{RadialProfile, ReceptionZone};

@@ -1,0 +1,167 @@
+//! Serial/parallel crossover regression tests for the batch drivers.
+//!
+//! `batch_map` switches from a serial loop to the parallel scheduler at
+//! [`PARALLEL_BATCH_THRESHOLD`]; historically that boundary is where
+//! splitting bugs live (the PR-1 static split spawned dozens of
+//! near-empty threads for `len` barely above the threshold). These tests
+//! pin, for batch lengths `THRESHOLD − 1`, `THRESHOLD` and
+//! `THRESHOLD + 1`:
+//!
+//! * `locate_batch` ≡ per-point serial `locate`, **exactly** (`assert_eq`
+//!   on `Located`, no tolerance), for every backend — [`ExactScan`],
+//!   [`VoronoiAssisted`], every supported [`SimdScan`] kernel, and the
+//!   Theorem-3 `PointLocator`;
+//! * the work-stealing `batch_map` and the legacy clamped
+//!   `batch_map_chunked` compute identical results.
+//!
+//! Exactness holds because batch and serial answers run the *same*
+//! kernel per point — parallel scheduling must never change which code
+//! computes an answer, only where it runs.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use sinr_core::engine::{
+    batch_map, batch_map_chunked, ExactScan, Located, QueryEngine, VoronoiAssisted,
+    PARALLEL_BATCH_THRESHOLD,
+};
+use sinr_core::simd::{SimdKernel, SimdScan};
+use sinr_core::{Network, SinrEvaluator};
+use sinr_geometry::Point;
+use sinr_pointloc::{PointLocator, QdsConfig};
+
+/// The three batch lengths that straddle the serial/parallel crossover.
+const BOUNDARY_LENS: [usize; 3] = [
+    PARALLEL_BATCH_THRESHOLD - 1,
+    PARALLEL_BATCH_THRESHOLD,
+    PARALLEL_BATCH_THRESHOLD + 1,
+];
+
+/// A deterministic query batch of exactly `len` points spread over the
+/// window, including points at and just off the stations.
+fn query_batch(net: &Network, len: usize, seed: u64) -> Vec<Point> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut pts = Vec::with_capacity(len);
+    for i in net.ids() {
+        pts.push(net.position(i));
+    }
+    while pts.len() < len {
+        pts.push(Point::new(
+            rng.gen_range(-6.0..6.0),
+            rng.gen_range(-6.0..6.0),
+        ));
+    }
+    pts.truncate(len);
+    pts
+}
+
+/// Random small networks, uniform and non-uniform power.
+fn networks() -> impl Strategy<Value = Network> {
+    (2usize..6, any::<u64>(), any::<bool>()).prop_map(|(n, seed, uniform)| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pts: Vec<Point> = Vec::new();
+        let mut guard = 0;
+        while pts.len() < n && guard < 10_000 {
+            guard += 1;
+            let cand = Point::new(rng.gen_range(-5.0..=5.0), rng.gen_range(-5.0..=5.0));
+            if pts.iter().all(|p| p.dist(cand) >= 0.8) {
+                pts.push(cand);
+            }
+        }
+        let mut b = Network::builder().background_noise(0.02).threshold(1.5);
+        for p in pts {
+            if uniform {
+                b = b.station(p);
+            } else {
+                b = b.station_with_power(p, rng.gen_range(0.5..2.5));
+            }
+        }
+        b.build().expect("≥ 2 separated stations")
+    })
+}
+
+fn assert_batch_equals_serial<E: QueryEngine>(
+    name: &str,
+    engine: &E,
+    points: &[Point],
+) -> Result<(), TestCaseError> {
+    let mut batch = vec![Located::Silent; points.len()];
+    engine.locate_batch(points, &mut batch);
+    for (p, got) in points.iter().zip(&batch) {
+        let serial = engine.locate(*p);
+        prop_assert_eq!(
+            *got,
+            serial,
+            "{} batch/serial mismatch at {} (len {})",
+            name,
+            p,
+            points.len()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Every backend answers a batch exactly like a serial loop of
+    /// `locate` calls at all three crossover lengths.
+    #[test]
+    fn locate_batch_equals_serial_at_threshold_boundaries(
+        net in networks(),
+        seed in any::<u64>(),
+    ) {
+        for len in BOUNDARY_LENS {
+            let points = query_batch(&net, len, seed);
+            assert_batch_equals_serial("ExactScan", &ExactScan::new(&net), &points)?;
+            assert_batch_equals_serial("VoronoiAssisted", &VoronoiAssisted::new(&net), &points)?;
+            for kernel in [SimdKernel::Avx2, SimdKernel::Sse2, SimdKernel::Portable] {
+                if !kernel.is_supported() {
+                    continue;
+                }
+                let simd = SimdScan::with_kernel(SinrEvaluator::new(&net), kernel);
+                assert_batch_equals_serial(kernel.name(), &simd, &points)?;
+            }
+        }
+    }
+
+    /// The work-stealing scheduler and the legacy clamped static split
+    /// produce identical outputs at the crossover lengths (and the
+    /// serial path below the threshold is the same loop for both).
+    #[test]
+    fn schedulers_agree_at_threshold_boundaries(offset in 0u64..1024) {
+        for len in BOUNDARY_LENS {
+            let inputs: Vec<u64> = (offset..offset + len as u64).collect();
+            let mut stolen = vec![0u64; len];
+            let mut chunked = vec![u64::MAX; len];
+            batch_map(&inputs, &mut stolen, |x| x.rotate_left(7) ^ 0xA5A5);
+            batch_map_chunked(&inputs, &mut chunked, |x| x.rotate_left(7) ^ 0xA5A5);
+            prop_assert_eq!(&stolen, &chunked, "schedulers disagree at len {}", len);
+        }
+    }
+}
+
+/// The Theorem-3 QDS backend at the crossover lengths: its batch driver
+/// rides the same `batch_map`, and its per-point answers (including
+/// `Uncertain`) are deterministic, so batch ≡ serial exactly.
+#[test]
+fn qds_backend_batch_equals_serial_at_threshold_boundaries() {
+    let net = Network::uniform(
+        vec![
+            Point::new(-2.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 3.0),
+        ],
+        0.02,
+        2.0,
+    )
+    .unwrap();
+    let ds = PointLocator::build(&net, &QdsConfig::with_epsilon(0.3)).unwrap();
+    for len in BOUNDARY_LENS {
+        let points = query_batch(&net, len, 0xD5);
+        let mut batch = vec![Located::Silent; points.len()];
+        QueryEngine::locate_batch(&ds, &points, &mut batch);
+        for (p, got) in points.iter().zip(&batch) {
+            assert_eq!(*got, ds.locate(*p), "QDS batch/serial mismatch at {p}");
+        }
+    }
+}

@@ -16,6 +16,7 @@
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use sinr_core::engine::{ExactScan, Located, QueryEngine, VoronoiAssisted};
+use sinr_core::simd::SimdScan;
 use sinr_core::Network;
 use sinr_geometry::{Point, Vector};
 use sinr_pointloc::{PointLocator, QdsConfig};
@@ -102,23 +103,31 @@ fn near_decision_boundary(net: &Network, p: Point) -> bool {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// ExactScan and VoronoiAssisted agree with the scalar ground truth
-    /// on the full parameter space (modulo boundary-rounding ties).
+    /// ExactScan, SimdScan and VoronoiAssisted agree with the scalar
+    /// ground truth on the full parameter space (modulo boundary-rounding
+    /// ties).
     #[test]
     fn exact_backends_match_scalar_ground_truth(net in networks()) {
         let exact = ExactScan::new(&net);
+        let simd = SimdScan::new(&net);
         let voronoi = VoronoiAssisted::new(&net);
         prop_assert_eq!(voronoi.uses_proximity_dispatch(), net.is_uniform_power());
 
         let points = sample_points(&net);
         let mut exact_out = vec![Located::Silent; points.len()];
+        let mut simd_out = vec![Located::Silent; points.len()];
         let mut voronoi_out = vec![Located::Silent; points.len()];
         exact.locate_batch(&points, &mut exact_out);
+        simd.locate_batch(&points, &mut simd_out);
         voronoi.locate_batch(&points, &mut voronoi_out);
 
         for (k, p) in points.iter().enumerate() {
             let truth = net.heard_at(*p);
-            for (name, got) in [("ExactScan", exact_out[k]), ("VoronoiAssisted", voronoi_out[k])] {
+            for (name, got) in [
+                ("ExactScan", exact_out[k]),
+                ("SimdScan", simd_out[k]),
+                ("VoronoiAssisted", voronoi_out[k]),
+            ] {
                 prop_assert!(
                     !matches!(got, Located::Uncertain(_)),
                     "{} answered Uncertain at {} — exact backends never do", name, p
@@ -132,6 +141,42 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The documented `VoronoiAssisted` contract: a network with any
+    /// non-uniform power assignment **never** takes the Observation-2.2
+    /// proximity shortcut (the nearest station need not be the strongest
+    /// one), and its answers coincide with the exact scan bit-for-bit.
+    #[test]
+    fn non_uniform_power_never_uses_proximity_dispatch(
+        (n, seed) in (2usize..7, any::<u64>()),
+    ) {
+        let pts = separated_points(seed, n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xD15C);
+        let mut b = Network::builder().background_noise(0.01).threshold(1.5);
+        // At least one station with power ≠ 1 makes the assignment
+        // non-uniform by construction.
+        for (m, p) in pts.into_iter().enumerate() {
+            let power = if m == 0 { 3.0 } else { rng.gen_range(0.5..2.5) };
+            b = b.station_with_power(p, power);
+        }
+        let net = b.build().expect("≥ 2 separated stations");
+        prop_assert!(!net.is_uniform_power());
+
+        let voronoi = VoronoiAssisted::new(&net);
+        prop_assert!(
+            !voronoi.uses_proximity_dispatch(),
+            "non-uniform network took the Observation-2.2 shortcut: {}", net
+        );
+        // On the fallback, the backend IS the exact scan: identical
+        // answers everywhere, boundaries included.
+        let exact = ExactScan::new(&net);
+        let points = sample_points(&net);
+        let mut voronoi_out = vec![Located::Silent; points.len()];
+        let mut exact_out = vec![Located::Silent; points.len()];
+        voronoi.locate_batch(&points, &mut voronoi_out);
+        exact.locate_batch(&points, &mut exact_out);
+        prop_assert_eq!(voronoi_out, exact_out);
     }
 
     /// The scalar-consistency of `sinr_batch` across backends.

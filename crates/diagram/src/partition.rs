@@ -33,8 +33,8 @@ pub type PartitionMap = Raster<Located>;
 /// assert_eq!(art.lines().count(), 32);
 /// ```
 pub fn compute(ds: &PointLocator, window: BBox, width: usize, height: usize) -> PartitionMap {
-    // One batched pass through the shared QueryEngine interface (chunked
-    // across cores) instead of a scalar locate per pixel.
+    // One batched pass through the shared QueryEngine interface
+    // (work-stolen across cores) instead of a scalar locate per pixel.
     crate::raster::locate_raster(ds, window, width, height)
 }
 

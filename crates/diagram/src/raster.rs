@@ -6,7 +6,7 @@
 //! batched query engine of `sinr_core`: all pixel centres are collected
 //! once and answered through
 //! [`QueryEngine::locate_batch`](sinr_core::QueryEngine::locate_batch) —
-//! chunked across cores, with the Observation 2.2 nearest-station
+//! work-stolen across cores, with the Observation 2.2 nearest-station
 //! dispatch for uniform power networks. Any backend works; see
 //! [`locate_raster`].
 
@@ -51,7 +51,9 @@ impl<T: Copy> Raster<T> {
     ///
     /// # Panics
     ///
-    /// Panics if either dimension is zero.
+    /// Panics if either dimension is zero or the window is degenerate
+    /// (zero width or height — every pixel centre would collapse onto one
+    /// line, or go `NaN` under further arithmetic).
     pub fn compute_with(
         window: BBox,
         width: usize,
@@ -62,6 +64,7 @@ impl<T: Copy> Raster<T> {
             width > 0 && height > 0,
             "raster dimensions must be positive"
         );
+        assert_window(&window);
         let mut cells = Vec::with_capacity(width * height);
         for row in 0..height {
             for col in 0..width {
@@ -124,13 +127,14 @@ impl<T> Raster<T> {
     ///
     /// # Panics
     ///
-    /// Panics if either dimension is zero or `cells.len() != width *
-    /// height`.
+    /// Panics if either dimension is zero, the window is degenerate
+    /// (zero width or height), or `cells.len() != width * height`.
     pub fn from_cells(window: BBox, width: usize, height: usize, cells: Vec<T>) -> Self {
         assert!(
             width > 0 && height > 0,
             "raster dimensions must be positive"
         );
+        assert_window(&window);
         assert_eq!(cells.len(), width * height, "cell count mismatch");
         Raster {
             window,
@@ -141,9 +145,26 @@ impl<T> Raster<T> {
     }
 }
 
+/// Rejects sampling windows no pixel grid can span: a zero-width or
+/// zero-height `BBox` (e.g. built via `BBox::from_points` over collinear
+/// points) would collapse every pixel centre onto one line and poison
+/// any later division by the pixel extent with `NaN`/`∞`. `BBox::new`
+/// only forbids *inverted* corners, so the raster layer must check this.
+fn assert_window(window: &BBox) {
+    assert!(
+        window.width() > 0.0 && window.height() > 0.0,
+        "degenerate raster window {window}: width and height must both be positive"
+    );
+}
+
 /// All pixel centres of a raster, row-major bottom-first — the batch the
 /// query engine consumes.
+///
+/// # Panics
+///
+/// Panics if the window is degenerate (zero width or height).
 pub fn pixel_centers(window: &BBox, width: usize, height: usize) -> Vec<Point> {
+    assert_window(window);
     let mut centers = Vec::with_capacity(width * height);
     for row in 0..height {
         for col in 0..width {
@@ -159,7 +180,8 @@ pub fn pixel_centers(window: &BBox, width: usize, height: usize) -> Vec<Point> {
 ///
 /// # Panics
 ///
-/// Panics if either dimension is zero.
+/// Panics if either dimension is zero or the window is degenerate (zero
+/// width or height).
 pub fn locate_raster<E: QueryEngine + ?Sized>(
     engine: &E,
     window: BBox,
@@ -193,7 +215,7 @@ impl ReceptionMap {
     /// [`locate_batch`](QueryEngine::locate_batch) pass through the
     /// network's recommended engine — kd-tree nearest-station dispatch
     /// (Observation 2.2) for uniform power, the exact SoA scan otherwise,
-    /// chunked across cores either way.
+    /// work-stolen across cores either way.
     pub fn compute(net: &Network, window: BBox, width: usize, height: usize) -> Self {
         ReceptionMap::compute_with_engine(&net.query_engine(), window, width, height)
     }
@@ -359,5 +381,30 @@ mod tests {
     #[should_panic]
     fn zero_dimensions_panic() {
         let _ = Raster::compute_with(BBox::centered_square(1.0), 0, 4, |_| 0u8);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate raster window")]
+    fn zero_width_window_panics() {
+        // BBox::new allows flat boxes (only inverted corners are
+        // rejected) — e.g. BBox::from_points over collinear points.
+        let flat = BBox::new(Point::new(1.0, -2.0), Point::new(1.0, 2.0));
+        let _ = Raster::compute_with(flat, 8, 8, |_| 0u8);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate raster window")]
+    fn zero_height_window_panics() {
+        let flat = BBox::new(Point::new(-2.0, 1.0), Point::new(2.0, 1.0));
+        let _ = pixel_centers(&flat, 8, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate raster window")]
+    fn locate_raster_rejects_degenerate_window() {
+        let net = net2();
+        let engine = net.query_engine();
+        let flat = BBox::new(Point::ORIGIN, Point::new(0.0, 0.0));
+        let _ = locate_raster(&engine, flat, 4, 4);
     }
 }

@@ -174,6 +174,12 @@ impl QueryEngine for PointLocator {
     }
 
     fn locate_batch(&self, points: &[Point], out: &mut [Located]) {
+        // Rides the engine's shared work-stealing batch driver. That
+        // matters here more than for the uniform-cost scans: QDS queries
+        // are `O(log n)` when the grid answers and `O(n)` when a query
+        // misses every per-zone structure, so a static per-core split
+        // could strand the slow points on one thread; tile stealing
+        // rebalances them.
         batch_map(points, out, |p| PointLocator::locate(self, *p));
     }
 

@@ -33,8 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 2b. Batched queries through the engine --------------------------
     // Build once (SoA layout + Observation 2.2 kd-tree dispatch), then
-    // answer many points in one chunked-parallel pass: O(n) per point
-    // instead of the scalar O(n²).
+    // answer many points in one work-stolen parallel pass: O(n) per
+    // point instead of the scalar O(n²).
     let engine = net.query_engine();
     let receivers: Vec<Point> = (-20..=20)
         .flat_map(|a| (-20..=20).map(move |b| Point::new(a as f64 * 0.25, b as f64 * 0.25)))
@@ -59,6 +59,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         heard,
         silent,
+    );
+
+    // --- 2c. The vectorized backend --------------------------------------
+    // SimdScan runs the same exact scan several stations per instruction
+    // (AVX2 lanes when the CPU has them, detected once at build;
+    // portable fallback otherwise). Same trait, same answers.
+    let simd = SimdScan::new(&net);
+    let mut simd_answers = vec![Located::Silent; receivers.len()];
+    simd.locate_batch(&receivers, &mut simd_answers);
+    assert_eq!(simd_answers, answers, "backends agree through QueryEngine");
+    println!(
+        "SimdScan ({} kernel, {} lanes) agrees on all {} receivers",
+        simd.kernel().name(),
+        simd.kernel().lanes(),
+        receivers.len(),
     );
 
     // --- 3. Zone geometry: δ, Δ, fatness (Theorems 2, 4.1, 4.2) ---------

@@ -13,7 +13,10 @@
 //! * [`core`] — the SINR model: networks, reception zones, convexity and
 //!   fatness machinery (Theorems 1, 2, 4.1, 4.2), and the batched
 //!   [`QueryEngine`](prelude::QueryEngine) with its SoA
-//!   [`SinrEvaluator`](prelude::SinrEvaluator);
+//!   [`SinrEvaluator`](prelude::SinrEvaluator), the explicitly
+//!   vectorized [`SimdScan`](prelude::SimdScan) backend (runtime AVX2
+//!   detection, portable fallback) and a std-only work-stealing batch
+//!   scheduler;
 //! * [`graphs`] — graph-based models (UDG, disk graphs, Quasi-UDG,
 //!   protocol model) and SINR-vs-graph comparisons;
 //! * [`voronoi`] — Voronoi diagrams and nearest-neighbour search
@@ -44,7 +47,7 @@
 //!
 //! // Production-shaped question: many receivers, one network. Build a
 //! // query engine once (SoA layout + Observation 2.2 kd-tree dispatch)
-//! // and answer the whole batch in one chunked-parallel pass.
+//! // and answer the whole batch in one work-stolen parallel pass.
 //! let engine = network.query_engine();
 //! let receivers: Vec<Point> = (0..1000)
 //!     .map(|k| Point::new((k % 50) as f64 * 0.2 - 5.0, (k / 50) as f64 * 0.5 - 5.0))
@@ -70,7 +73,7 @@ pub mod prelude {
     pub use sinr_algebra::{BiPoly, Poly, SturmChain};
     pub use sinr_core::{
         ExactScan, Located, Network, NetworkBuilder, PowerAssignment, QueryEngine, ReceptionZone,
-        SinrEvaluator, Station, StationId, VoronoiAssisted,
+        SimdKernel, SimdScan, SinrEvaluator, Station, StationId, VoronoiAssisted,
     };
     pub use sinr_diagram::{Raster, ReceptionMap};
     pub use sinr_geometry::{BBox, Ball, Grid, Line, Point, Segment, Vector};
