@@ -1,4 +1,5 @@
-//! Engine bench: the batched query surface vs the scalar baseline.
+//! Engine bench: the batched query surface vs the scalar baseline, and
+//! the dynamic-churn scenario.
 //!
 //! Measures `heard_at` (the scalar `O(n²)`-per-point loop) against
 //! `ExactScan::locate_batch`, `SimdScan::locate_batch` (the explicitly
@@ -9,13 +10,23 @@
 //! JSON line per configuration through `sinr_bench::report::JsonLine` so
 //! the perf trajectory is grep-able from run logs (CI archives these
 //! lines as the `engine-batch-json` artifact).
+//!
+//! The **churn** scenario measures the epoch-versioned dynamic path: a
+//! timestep mixes in-place surgery (moves + an add + a swap-remove) with
+//! a `locate_batch` burst, and the same deterministic op/query sequence
+//! is run twice per backend — once keeping the engine in sync through
+//! incremental `NetworkDelta::apply`, once rebuilding the engine from
+//! scratch every step (the pre-dynamic behaviour of
+//! `examples/mobile_stations.rs`). Answers are asserted identical; the
+//! JSON lines (`"scenario":"churn"`) record ns/step for both and their
+//! ratio.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use sinr_bench::report::JsonLine;
 use sinr_core::engine::{ExactScan, Located, QueryEngine, VoronoiAssisted};
 use sinr_core::simd::SimdScan;
-use sinr_core::{gen, Network};
+use sinr_core::{gen, Network, StationId};
 use sinr_geometry::Point;
 use std::hint::black_box;
 use std::time::Instant;
@@ -147,7 +158,105 @@ fn emit_json_lines() {
     }
 }
 
+/// Churn scenario shape: per timestep, `CHURN_MOVES` station moves plus
+/// one add and one swap-remove (station count stays constant), followed
+/// by a `CHURN_BURST`-point `locate_batch`.
+const CHURN_STATIONS: [usize; 2] = [256, 4096];
+const CHURN_STEPS: usize = 48;
+const CHURN_BURST: usize = 64;
+const CHURN_MOVES: usize = 8;
+
+/// Replays the deterministic churn sequence once. `incremental = true`
+/// keeps one engine in sync via `apply`; `false` rebuilds the engine
+/// from scratch every step. Returns `(ns_per_step, per-step answers)`.
+fn churn_run<E: QueryEngine>(
+    build: impl Fn(&Network) -> E,
+    net0: &Network,
+    half: f64,
+    queries: &[Point],
+    incremental: bool,
+) -> (f64, Vec<Vec<Located>>) {
+    let mut net = net0.clone();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE + net0.len() as u64);
+    let mut answers = Vec::with_capacity(CHURN_STEPS);
+    let mut out = vec![Located::Silent; queries.len()];
+    let mut engine = build(&net);
+    let start = Instant::now();
+    for _ in 0..CHURN_STEPS {
+        for _ in 0..CHURN_MOVES {
+            let i = rng.gen_range(0..net.len());
+            let p = Point::new(rng.gen_range(-half..half), rng.gen_range(-half..half));
+            let delta = net.move_station(StationId(i), p).expect("valid move");
+            if incremental {
+                engine.apply(&delta).expect("deltas applied in order");
+            }
+        }
+        let p = Point::new(rng.gen_range(-half..half), rng.gen_range(-half..half));
+        let delta = net.add_station(p, 1.0).expect("valid add");
+        if incremental {
+            engine.apply(&delta).expect("deltas applied in order");
+        }
+        let i = rng.gen_range(0..net.len());
+        let delta = net.remove_station(StationId(i)).expect("valid remove");
+        if incremental {
+            engine.apply(&delta).expect("deltas applied in order");
+        } else {
+            engine = build(&net);
+        }
+        engine.locate_batch(black_box(queries), &mut out);
+        answers.push(out.clone());
+    }
+    let ns_per_step = start.elapsed().as_nanos() as f64 / CHURN_STEPS as f64;
+    (ns_per_step, answers)
+}
+
+/// The churn JSON record: incremental `apply` vs rebuild-from-scratch,
+/// per backend, with the answers of both runs asserted identical.
+fn emit_churn_json_lines() {
+    for n in CHURN_STATIONS {
+        let half = window_half(n);
+        let net = gen::random_uniform_network(1000 + n as u64, n, half, 0.01, 2.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99 + n as u64);
+        let queries = gen::uniform_in_box(&mut rng, CHURN_BURST, half * 1.1);
+        let simd_kernel = SimdScan::new(&net).kernel().name().to_string();
+
+        let emit = |backend: &str, inc_ns: f64, reb_ns: f64| {
+            let line = JsonLine::new("engine_batch")
+                .str("scenario", "churn")
+                .int("stations", n as u64)
+                .str("backend", backend)
+                .str("simd_kernel", &simd_kernel)
+                .int("steps", CHURN_STEPS as u64)
+                .int("ops_per_step", (CHURN_MOVES + 2) as u64)
+                .int("burst_points", CHURN_BURST as u64)
+                .num("incremental_ns_per_step", inc_ns)
+                .num("rebuild_ns_per_step", reb_ns)
+                .num("speedup_incremental_vs_rebuild", reb_ns / inc_ns);
+            println!("{}", line.render());
+        };
+
+        let (inc_ns, inc_answers) = churn_run(ExactScan::new, &net, half, &queries, true);
+        let (reb_ns, reb_answers) = churn_run(ExactScan::new, &net, half, &queries, false);
+        assert_eq!(inc_answers, reb_answers, "ExactScan churn answers diverge");
+        emit("exact_scan", inc_ns, reb_ns);
+
+        let (inc_ns, inc_answers) = churn_run(SimdScan::new, &net, half, &queries, true);
+        let (reb_ns, reb_answers) = churn_run(SimdScan::new, &net, half, &queries, false);
+        assert_eq!(inc_answers, reb_answers, "SimdScan churn answers diverge");
+        emit("simd_scan", inc_ns, reb_ns);
+
+        let (inc_ns, inc_answers) = churn_run(VoronoiAssisted::new, &net, half, &queries, true);
+        let (reb_ns, reb_answers) = churn_run(VoronoiAssisted::new, &net, half, &queries, false);
+        assert_eq!(
+            inc_answers, reb_answers,
+            "VoronoiAssisted churn answers diverge"
+        );
+        emit("voronoi_assisted", inc_ns, reb_ns);
+    }
+}
+
 fn main() {
     benches();
     emit_json_lines();
+    emit_churn_json_lines();
 }

@@ -33,13 +33,47 @@
 //! The [`Located`] answer type lives here so that every backend — across
 //! crates — speaks the same language; `sinr-pointloc` re-exports it.
 //!
+//! ## Epochs, deltas and the staleness contract
+//!
+//! Engines snapshot the network at construction, so any later
+//! [`Network`] surgery would silently desynchronize them. The epoch
+//! protocol closes that hole:
+//!
+//! * every [`Network`] carries a revision counter, bumped by the
+//!   in-place surgery ops ([`Network::add_station`],
+//!   [`Network::remove_station`], [`Network::move_station`],
+//!   [`Network::set_power`]), each of which emits a
+//!   [`NetworkDelta`](crate::network::NetworkDelta);
+//! * every engine records the revision it reflects
+//!   ([`QueryEngine::revision`]) and watches the network's counter;
+//!   querying a stale engine ([`QueryEngine::is_stale`]) **panics** with
+//!   a revision-mismatch message — a stale engine never answers, and in
+//!   particular never answers *wrong*;
+//! * [`QueryEngine::apply`] consumes one delta and patches the engine
+//!   incrementally — [`ExactScan`]/[`SimdScan`](crate::simd::SimdScan)
+//!   edit their SoA columns in place (`O(1)` per delta thanks to the
+//!   network's swap-remove index discipline), [`VoronoiAssisted`]
+//!   maintains its kd-tree through tombstones and an overflow list with
+//!   a rebuild-threshold heuristic (re-checking the uniform-power
+//!   dispatch contract on every power delta), and the Theorem-3
+//!   `PointLocator` patches its dispatcher eagerly while rebuilding
+//!   invalidated per-zone grids lazily, on first dispatch;
+//! * [`QueryEngine::sync`] is the catch-up path when the deltas were
+//!   lost (or came from a different network): rebuild from the current
+//!   network state.
+//!
+//! Deltas are bound to the emitting network *instance* and must be
+//! applied in order; [`SyncError`] reports skipped/foreign deltas, and
+//! backends with preconditions (the Theorem-3 locator) report mutations
+//! they cannot represent as [`SyncError::Unsupported`].
+//!
 //! ## Which backend?
 //!
 //! | backend | query cost | exact? | preconditions |
 //! |---|---|---|---|
 //! | [`ExactScan`] | `O(n)` | yes | none |
 //! | [`SimdScan`](crate::simd::SimdScan) | `O(n)`, ~`lanes`× smaller constants | yes | none (runtime CPU detection, scalar fallback) |
-//! | [`VoronoiAssisted`] | `O(n)`, smaller constants | yes | none (falls back to scan for non-uniform power) |
+//! | [`VoronoiAssisted`] | `O(n)`, smaller constants | yes (boundary rounding as `SimdScan` — the candidate sum rides the SIMD lanes) | none (falls back to scan for non-uniform power) |
 //! | `PointLocator` | `O(log n)` | `ε`-approximate near `∂Hᵢ` | uniform power, `α = 2`, `β > 1` |
 //!
 //! ## Example
@@ -63,11 +97,77 @@
 //! assert_eq!(answers[1], Located::Silent);
 //! ```
 
-use crate::network::Network;
+use crate::network::{DeltaOp, Network, NetworkDelta};
+use crate::simd::SimdKernel;
 use crate::station::StationId;
 use sinr_algebra::KahanSum;
 use sinr_geometry::Point;
 use sinr_voronoi::KdTree;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Why an engine could not be brought in sync with its network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyncError {
+    /// The delta does not apply on top of the engine's revision — a
+    /// delta was skipped, reordered, or applied twice. Recover with
+    /// [`QueryEngine::sync`].
+    RevisionMismatch {
+        /// The revision the engine currently reflects.
+        engine_revision: u64,
+        /// The revision the delta applies on top of.
+        delta_from: u64,
+    },
+    /// The delta was emitted by a different [`Network`] instance than
+    /// the engine was built from.
+    ForeignDelta,
+    /// The backend cannot represent the requested network state (e.g.
+    /// the Theorem-3 locator and a non-uniform power assignment).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncError::RevisionMismatch {
+                engine_revision,
+                delta_from,
+            } => write!(
+                f,
+                "delta applies on top of revision {delta_from} but the engine \
+                 is at revision {engine_revision} (delta skipped or replayed)"
+            ),
+            SyncError::ForeignDelta => {
+                write!(f, "delta was emitted by a different network instance")
+            }
+            SyncError::Unsupported(msg) => write!(f, "unsupported by this backend: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
+
+/// The engine side of the epoch protocol: the network's revision cell
+/// and the revision this engine's data reflects.
+#[derive(Debug, Clone)]
+struct EpochTag {
+    cell: Arc<AtomicU64>,
+    seen: u64,
+}
+
+impl EpochTag {
+    fn of(net: &Network) -> Self {
+        EpochTag {
+            cell: Arc::clone(net.epoch_cell()),
+            seen: net.revision(),
+        }
+    }
+
+    #[inline]
+    fn current(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
 
 /// The answer of a point-location query, shared by every backend.
 ///
@@ -361,6 +461,7 @@ pub struct SinrEvaluator {
     noise: f64,
     beta: f64,
     alpha: f64,
+    epoch: EpochTag,
 }
 
 impl SinrEvaluator {
@@ -382,7 +483,98 @@ impl SinrEvaluator {
             noise: net.noise(),
             beta: net.beta(),
             alpha: net.alpha(),
+            epoch: EpochTag::of(net),
         }
+    }
+
+    /// The network revision this evaluator's data reflects.
+    pub fn revision(&self) -> u64 {
+        self.epoch.seen
+    }
+
+    /// True when the source network has mutated past this evaluator.
+    pub fn is_stale(&self) -> bool {
+        self.epoch.current() != self.epoch.seen
+    }
+
+    /// Enforces the staleness contract on every query entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the source network has mutated past this engine's
+    /// revision — a stale engine must never answer (its answer could be
+    /// silently wrong). Catch up with
+    /// [`apply`](SinrEvaluator::apply)/[`sync`](SinrEvaluator::sync).
+    #[inline]
+    pub fn assert_fresh(&self) {
+        let now = self.epoch.current();
+        assert!(
+            now == self.epoch.seen,
+            "stale query engine: the network is at revision {now} but this engine \
+             was synced at revision {}; apply the missed NetworkDeltas or sync(&network)",
+            self.epoch.seen
+        );
+    }
+
+    /// Patches the evaluator in place with one [`NetworkDelta`] — `O(1)`
+    /// column surgery instead of the `O(n)` rebuild of
+    /// [`SinrEvaluator::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::ForeignDelta`] when the delta was emitted by a
+    /// different network; [`SyncError::RevisionMismatch`] when a delta
+    /// was skipped or replayed. The evaluator is untouched on error.
+    pub fn apply(&mut self, delta: &NetworkDelta) -> Result<(), SyncError> {
+        if !delta.is_from(&self.epoch.cell) {
+            return Err(SyncError::ForeignDelta);
+        }
+        if delta.from_revision() != self.epoch.seen {
+            return Err(SyncError::RevisionMismatch {
+                engine_revision: self.epoch.seen,
+                delta_from: delta.from_revision(),
+            });
+        }
+        match delta.op() {
+            DeltaOp::Add {
+                position, power, ..
+            } => {
+                self.xs.push(position.x);
+                self.ys.push(position.y);
+                self.powers.push(*power);
+            }
+            DeltaOp::Remove { id, .. } => {
+                self.xs.swap_remove(id.0);
+                self.ys.swap_remove(id.0);
+                self.powers.swap_remove(id.0);
+            }
+            DeltaOp::Move { id, to, .. } => {
+                self.xs[id.0] = to.x;
+                self.ys[id.0] = to.y;
+            }
+            DeltaOp::SetPower { id, to, .. } => {
+                self.powers[id.0] = *to;
+            }
+        }
+        self.uniform = delta.uniform_after();
+        self.epoch.seen = delta.to_revision();
+        Ok(())
+    }
+
+    /// Rebuilds from the network's current state — the catch-up path
+    /// when the deltas were lost, or when retargeting the evaluator at a
+    /// different network.
+    pub fn sync(&mut self, net: &Network) {
+        *self = SinrEvaluator::new(net);
+    }
+
+    /// The station positions as points, in current index order.
+    pub(crate) fn position_points(&self) -> Vec<Point> {
+        self.xs
+            .iter()
+            .zip(&self.ys)
+            .map(|(&x, &y)| Point::new(x, y))
+            .collect()
     }
 
     /// Number of stations.
@@ -465,28 +657,6 @@ impl SinrEvaluator {
         })
     }
 
-    /// Energy of station `i` and the total energy, in one pass.
-    /// `Err(j)` when `p` coincides with station `j`.
-    #[inline]
-    fn energy_and_total<K: PathLoss>(&self, k: K, i: usize, p: Point) -> Result<(f64, f64), usize> {
-        let mut acc = KahanSum::new();
-        let mut e_i = 0.0;
-        for j in 0..self.xs.len() {
-            let dx = self.xs[j] - p.x;
-            let dy = self.ys[j] - p.y;
-            let d2 = dx * dx + dy * dy;
-            if d2 == 0.0 {
-                return Err(j);
-            }
-            let e = k.attenuation(d2) * self.powers[j];
-            acc.add(e);
-            if j == i {
-                e_i = e;
-            }
-        }
-        Ok((e_i, acc.value()))
-    }
-
     /// The station arrays in structure-of-arrays layout:
     /// `(xs, ys, powers)` — the streams the vectorized kernels of
     /// [`crate::simd`] consume.
@@ -525,16 +695,19 @@ impl SinrEvaluator {
         self.decide(self.scan(k, p))
     }
 
-    /// Decides reception for the single candidate station `i` (the
-    /// [`VoronoiAssisted`] path — `i` must be the maximum-energy station).
+    /// Decides reception for the single candidate station `cand` (the
+    /// [`VoronoiAssisted`] path — `cand` must be the maximum-energy
+    /// station) from a candidate scan `(e_cand, total)` as produced by
+    /// [`crate::simd::candidate_scan`]; `Err(j)` is a point coinciding
+    /// with station `j`.
     #[inline]
-    fn locate_candidate_with<K: PathLoss>(&self, k: K, i: usize, p: Point) -> Located {
-        match self.energy_and_total(k, i, p) {
+    pub(crate) fn decide_candidate(&self, cand: usize, scan: Result<(f64, f64), usize>) -> Located {
+        match scan {
             Err(j) => Located::Reception(StationId(j)),
-            Ok((e_i, total)) => {
-                let interference_plus_noise = (total - e_i) + self.noise;
-                if interference_plus_noise <= 0.0 || e_i >= self.beta * interference_plus_noise {
-                    Located::Reception(StationId(i))
+            Ok((e_cand, total)) => {
+                let interference_plus_noise = (total - e_cand) + self.noise;
+                if interference_plus_noise <= 0.0 || e_cand >= self.beta * interference_plus_noise {
+                    Located::Reception(StationId(cand))
                 } else {
                     Located::Silent
                 }
@@ -587,7 +760,13 @@ impl SinrEvaluator {
 
     /// Who (if anyone) is heard at `p` — the `O(n)` single-pass answer,
     /// equivalent to the scalar [`crate::sinr::heard_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source network has mutated past this engine (see
+    /// [`SinrEvaluator::assert_fresh`]).
     pub fn locate(&self, p: Point) -> Located {
+        self.assert_fresh();
         self.with_kernel(|ev, k| match k {
             DynKernel::Square(k) => ev.locate_with(k, p),
             DynKernel::General(k) => ev.locate_with(k, p),
@@ -600,6 +779,7 @@ impl SinrEvaluator {
     ///
     /// Panics if `i` is out of range.
     pub fn sinr(&self, i: StationId, p: Point) -> f64 {
+        self.assert_fresh();
         assert!(i.0 < self.len(), "station {i} out of range");
         self.with_kernel(|ev, k| match k {
             DynKernel::Square(k) => ev.sinr_with(k, i.0, p),
@@ -614,6 +794,7 @@ impl SinrEvaluator {
     ///
     /// Panics if `points` and `out` have different lengths.
     pub fn locate_batch(&self, points: &[Point], out: &mut [Located]) {
+        self.assert_fresh();
         self.with_kernel(|ev, k| match k {
             DynKernel::Square(k) => batch_map(points, out, |p| ev.locate_with(k, *p)),
             DynKernel::General(k) => batch_map(points, out, |p| ev.locate_with(k, *p)),
@@ -626,6 +807,7 @@ impl SinrEvaluator {
     ///
     /// Panics if `i` is out of range or the slice lengths differ.
     pub fn sinr_batch(&self, i: StationId, points: &[Point], out: &mut [f64]) {
+        self.assert_fresh();
         assert!(i.0 < self.len(), "station {i} out of range");
         self.with_kernel(|ev, k| match k {
             DynKernel::Square(k) => batch_map(points, out, |p| ev.sinr_with(k, i.0, *p)),
@@ -680,6 +862,42 @@ pub trait QueryEngine {
     ///
     /// Panics if `i` is out of range or the slice lengths differ.
     fn sinr_batch(&self, i: StationId, points: &[Point], out: &mut [f64]);
+
+    // --- The dynamic path (epochs and deltas) ----------------------------
+
+    /// The network revision this engine currently answers for.
+    fn revision(&self) -> u64;
+
+    /// True when the source network has mutated past this engine —
+    /// queries will panic until [`QueryEngine::apply`] catches up on the
+    /// missed deltas or [`QueryEngine::sync`] rebuilds.
+    fn is_stale(&self) -> bool;
+
+    /// Applies one [`NetworkDelta`] incrementally, avoiding a rebuild.
+    ///
+    /// Deltas must be applied in emission order with none skipped; the
+    /// engine is unchanged on error.
+    ///
+    /// # Errors
+    ///
+    /// * [`SyncError::ForeignDelta`] — the delta came from a different
+    ///   network instance;
+    /// * [`SyncError::RevisionMismatch`] — a delta was skipped or
+    ///   replayed (recover with [`QueryEngine::sync`]);
+    /// * [`SyncError::Unsupported`] — the backend cannot represent the
+    ///   post-delta network (e.g. the Theorem-3 locator's uniform-power
+    ///   precondition).
+    fn apply(&mut self, delta: &NetworkDelta) -> Result<(), SyncError>;
+
+    /// Rebuilds the engine from the network's current state — the
+    /// catch-up path when deltas were lost, and the only way to retarget
+    /// an engine at a different network.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::Unsupported`] when the backend's preconditions do
+    /// not hold for `net`.
+    fn sync(&mut self, net: &Network) -> Result<(), SyncError>;
 }
 
 /// The exact linear-scan backend: one amortized SoA pass per point.
@@ -723,6 +941,148 @@ impl QueryEngine for ExactScan {
     fn sinr_batch(&self, i: StationId, points: &[Point], out: &mut [f64]) {
         self.eval.sinr_batch(i, points, out);
     }
+
+    fn revision(&self) -> u64 {
+        self.eval.revision()
+    }
+
+    fn is_stale(&self) -> bool {
+        self.eval.is_stale()
+    }
+
+    fn apply(&mut self, delta: &NetworkDelta) -> Result<(), SyncError> {
+        self.eval.apply(delta)
+    }
+
+    fn sync(&mut self, net: &Network) -> Result<(), SyncError> {
+        self.eval.sync(net);
+        Ok(())
+    }
+}
+
+/// The incrementally maintained nearest-station index of
+/// [`VoronoiAssisted`]: a static [`KdTree`] over a past snapshot, with
+/// **tombstones** for stations removed or relocated since, and a linear
+/// **overflow list** for stations added or moved since. Queries take the
+/// minimum over both (ties at equal squared distance break toward the
+/// smallest current index — exactly the fresh-tree rule, so an
+/// incrementally patched tree answers bit-for-bit like a rebuilt one).
+///
+/// When tombstones + overflow cross the rebuild threshold (a quarter of
+/// the stations, with a small-n floor) the structure is rebuilt from
+/// scratch — the amortized-rebuild heuristic that keeps the overflow
+/// scan from degrading the `O(log n)` dispatch toward `O(n)`.
+#[derive(Debug, Clone)]
+struct DynamicTree {
+    tree: KdTree,
+    /// kd-tree site slot → current station index; `None` = tombstone.
+    tree_to_cur: Vec<Option<usize>>,
+    /// current station index → where the station lives.
+    cur_to_slot: Vec<SlotRef>,
+    /// Stations living outside the tree: `(position, current index)`.
+    overflow: Vec<(Point, usize)>,
+    /// Number of tombstoned tree slots.
+    dead: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SlotRef {
+    /// Index into `DynamicTree::tree` sites.
+    Tree(usize),
+    /// Index into `DynamicTree::overflow`.
+    Overflow(usize),
+}
+
+impl DynamicTree {
+    fn build(positions: Vec<Point>) -> Self {
+        let n = positions.len();
+        DynamicTree {
+            tree: KdTree::build(positions),
+            tree_to_cur: (0..n).map(Some).collect(),
+            cur_to_slot: (0..n).map(SlotRef::Tree).collect(),
+            overflow: Vec::new(),
+            dead: 0,
+        }
+    }
+
+    /// Nearest live station: `(current index, squared distance)`.
+    fn nearest(&self, p: Point) -> (usize, f64) {
+        let mut best = self.tree.nearest_mapped(p, |slot| self.tree_to_cur[slot]);
+        for &(q, cur) in &self.overflow {
+            let d2 = q.dist_sq(p);
+            let better = match best {
+                None => true,
+                Some((bi, bd)) => d2 < bd || (d2 == bd && cur < bi),
+            };
+            if better {
+                best = Some((cur, d2));
+            }
+        }
+        best.expect("a built network has ≥ 2 stations")
+    }
+
+    /// Detaches station `i` from whichever store holds it (tombstoning a
+    /// tree slot, or swap-removing an overflow entry and re-pointing the
+    /// entry that took its place).
+    fn detach(&mut self, i: usize) {
+        match self.cur_to_slot[i] {
+            SlotRef::Tree(t) => {
+                self.tree_to_cur[t] = None;
+                self.dead += 1;
+            }
+            SlotRef::Overflow(o) => {
+                self.overflow.swap_remove(o);
+                if o < self.overflow.len() {
+                    let moved_cur = self.overflow[o].1;
+                    self.cur_to_slot[moved_cur] = SlotRef::Overflow(o);
+                }
+            }
+        }
+    }
+
+    /// Mirrors [`DeltaOp::Add`]: the new station gets the next index.
+    fn add(&mut self, position: Point) {
+        let cur = self.cur_to_slot.len();
+        self.cur_to_slot
+            .push(SlotRef::Overflow(self.overflow.len()));
+        self.overflow.push((position, cur));
+    }
+
+    /// Mirrors [`DeltaOp::Remove`]'s swap-remove index discipline.
+    fn remove(&mut self, i: usize, last_index: usize) {
+        self.detach(i);
+        if i != last_index {
+            // `detach` above may have re-pointed `last_index`'s slot ref
+            // (overflow swap), so read it only now.
+            let moved = self.cur_to_slot[last_index];
+            self.cur_to_slot[i] = moved;
+            match moved {
+                SlotRef::Tree(t) => self.tree_to_cur[t] = Some(i),
+                SlotRef::Overflow(o) => self.overflow[o].1 = i,
+            }
+        }
+        self.cur_to_slot.pop();
+    }
+
+    /// Mirrors [`DeltaOp::Move`]: in-tree stations are tombstoned and
+    /// reinserted into the overflow; overflow stations move in place.
+    fn relocate(&mut self, i: usize, to: Point) {
+        match self.cur_to_slot[i] {
+            SlotRef::Overflow(o) => self.overflow[o].0 = to,
+            SlotRef::Tree(t) => {
+                self.tree_to_cur[t] = None;
+                self.dead += 1;
+                self.cur_to_slot[i] = SlotRef::Overflow(self.overflow.len());
+                self.overflow.push((to, i));
+            }
+        }
+    }
+
+    /// The rebuild-threshold heuristic: rebuild once a quarter of the
+    /// stations (floor 16) have left the static tree.
+    fn should_rebuild(&self) -> bool {
+        self.dead + self.overflow.len() > (self.cur_to_slot.len() / 4).max(16)
+    }
 }
 
 /// The Observation-2.2 backend: kd-tree nearest-station dispatch.
@@ -733,13 +1093,26 @@ impl QueryEngine for ExactScan {
 /// all `β` (for `β ≤ 1` the strongest heard station is the nearest one,
 /// by the same monotonicity as [`SinrEvaluator`]).
 ///
+/// The candidate interference sum rides the vectorized lanes of
+/// [`crate::simd`] (the same runtime kernel selection as
+/// [`SimdScan`](crate::simd::SimdScan), minus the argmax bookkeeping the
+/// kd-tree dispatch makes redundant), so this backend shares `SimdScan`'s
+/// numerical contract: answers match the scalar ground truth everywhere
+/// except within rounding tolerance of a `SINR = β` decision boundary.
+///
 /// For non-uniform power the nearest station need not be the strongest,
-/// so construction transparently falls back to the exact scan.
+/// so construction transparently falls back to the exact scan. Under
+/// [`QueryEngine::apply`] the kd-tree is maintained through tombstones
+/// and an overflow list with a rebuild threshold (see [`DynamicTree`]),
+/// and the uniform-power dispatch contract is re-checked on every power
+/// delta.
 #[derive(Debug, Clone)]
 pub struct VoronoiAssisted {
     eval: SinrEvaluator,
     /// `None` ⇒ non-uniform power ⇒ exact-scan fallback.
-    tree: Option<KdTree>,
+    tree: Option<DynamicTree>,
+    /// The vectorized kernel for the candidate interference sum.
+    kernel: SimdKernel,
 }
 
 impl VoronoiAssisted {
@@ -748,8 +1121,12 @@ impl VoronoiAssisted {
         let eval = SinrEvaluator::new(net);
         let tree = eval
             .is_uniform_power()
-            .then(|| KdTree::build(net.positions().to_vec()));
-        let backend = VoronoiAssisted { eval, tree };
+            .then(|| DynamicTree::build(net.positions().to_vec()));
+        let backend = VoronoiAssisted {
+            eval,
+            tree,
+            kernel: SimdKernel::detect(),
+        };
         // The documented contract of `uses_proximity_dispatch`: the
         // Observation-2.2 shortcut is taken iff the power assignment is
         // uniform — for non-uniform power the nearest station need not be
@@ -775,22 +1152,32 @@ impl VoronoiAssisted {
     /// detail: proximity dispatch is used *iff* the network has uniform
     /// power (Observation 2.2 only identifies the nearest station with
     /// the strongest one in that case). The constructor `debug_assert`s
-    /// the equivalence, and the engine-equivalence suite pins that a
-    /// non-uniform network never takes the shortcut.
+    /// the equivalence, [`QueryEngine::apply`] re-checks it after every
+    /// delta (power changes can flip it either way), and the
+    /// engine-equivalence suite pins that a non-uniform network never
+    /// takes the shortcut.
     pub fn uses_proximity_dispatch(&self) -> bool {
         self.tree.is_some()
     }
 
+    /// The SIMD kernel the candidate interference sum resolved to.
+    pub fn kernel(&self) -> SimdKernel {
+        self.kernel
+    }
+
     #[inline]
-    fn locate_via_tree<K: PathLoss>(&self, k: K, tree: &KdTree, p: Point) -> Located {
-        let (nearest, dist) = tree.nearest(p).expect("n ≥ 2 stations");
-        if dist == 0.0 {
+    fn locate_via_tree(&self, tree: &DynamicTree, p: Point) -> Located {
+        let (nearest, d2) = tree.nearest(p);
+        if d2 == 0.0 {
             // At a station's position: reception by the `{sᵢ}` clause (the
             // kd-tree breaks co-location ties toward the smallest index,
             // matching the scalar ground truth).
             return Located::Reception(StationId(nearest));
         }
-        self.eval.locate_candidate_with(k, nearest, p)
+        self.eval.decide_candidate(
+            nearest,
+            crate::simd::candidate_scan(&self.eval, self.kernel, nearest, p),
+        )
     }
 }
 
@@ -798,29 +1185,69 @@ impl QueryEngine for VoronoiAssisted {
     fn locate(&self, p: Point) -> Located {
         match &self.tree {
             None => self.eval.locate(p),
-            Some(tree) => self.eval.with_kernel(|_, k| match k {
-                DynKernel::Square(k) => self.locate_via_tree(k, tree, p),
-                DynKernel::General(k) => self.locate_via_tree(k, tree, p),
-            }),
+            Some(tree) => {
+                self.eval.assert_fresh();
+                self.locate_via_tree(tree, p)
+            }
         }
     }
 
     fn locate_batch(&self, points: &[Point], out: &mut [Located]) {
         match &self.tree {
             None => self.eval.locate_batch(points, out),
-            Some(tree) => self.eval.with_kernel(|_, k| match k {
-                DynKernel::Square(k) => {
-                    batch_map(points, out, |p| self.locate_via_tree(k, tree, *p))
-                }
-                DynKernel::General(k) => {
-                    batch_map(points, out, |p| self.locate_via_tree(k, tree, *p))
-                }
-            }),
+            Some(tree) => {
+                self.eval.assert_fresh();
+                batch_map(points, out, |p| self.locate_via_tree(tree, *p));
+            }
         }
     }
 
     fn sinr_batch(&self, i: StationId, points: &[Point], out: &mut [f64]) {
         self.eval.sinr_batch(i, points, out);
+    }
+
+    fn revision(&self) -> u64 {
+        self.eval.revision()
+    }
+
+    fn is_stale(&self) -> bool {
+        self.eval.is_stale()
+    }
+
+    fn apply(&mut self, delta: &NetworkDelta) -> Result<(), SyncError> {
+        self.eval.apply(delta)?;
+        if !delta.uniform_after() {
+            // Power went (or stayed) non-uniform: the Observation-2.2
+            // shortcut is illegal — drop to the exact-scan fallback.
+            self.tree = None;
+        } else if let Some(tree) = &mut self.tree {
+            match delta.op() {
+                DeltaOp::Add { position, .. } => tree.add(*position),
+                DeltaOp::Remove { id, last_index, .. } => tree.remove(id.0, *last_index),
+                DeltaOp::Move { id, to, .. } => tree.relocate(id.0, *to),
+                // Uniform before and after: powers are all 1, nothing to
+                // index.
+                DeltaOp::SetPower { .. } => {}
+            }
+            if tree.should_rebuild() {
+                *tree = DynamicTree::build(self.eval.position_points());
+            }
+        } else {
+            // Power returned to uniform: proximity dispatch is legal
+            // again — rebuild the index over the current stations.
+            self.tree = Some(DynamicTree::build(self.eval.position_points()));
+        }
+        debug_assert_eq!(
+            self.uses_proximity_dispatch(),
+            self.eval.is_uniform_power(),
+            "VoronoiAssisted dispatch contract violated after apply"
+        );
+        Ok(())
+    }
+
+    fn sync(&mut self, net: &Network) -> Result<(), SyncError> {
+        *self = VoronoiAssisted::new(net);
+        Ok(())
     }
 }
 
@@ -906,11 +1333,20 @@ mod tests {
             assert_eq!(engine.uses_proximity_dispatch(), net.is_uniform_power());
             for p in grid_points(6.0, 25) {
                 let expected = sinr::heard_at(&net, p);
-                assert_eq!(
-                    engine.locate(p).station(),
-                    expected,
-                    "VoronoiAssisted disagrees at {p} in {net}"
-                );
+                let got = engine.locate(p).station();
+                if got != expected {
+                    // The candidate sum runs on the SIMD lanes, so (like
+                    // SimdScan) only genuine SINR = β boundary rounding
+                    // may differ from the scalar summation order.
+                    let boundary = net.ids().any(|i| {
+                        let s = sinr::sinr(&net, i, p);
+                        s.is_finite() && (s - net.beta()).abs() <= 1e-9 * (1.0 + net.beta())
+                    });
+                    assert!(
+                        boundary,
+                        "VoronoiAssisted disagrees at {p} in {net}: {got:?} vs {expected:?}"
+                    );
+                }
             }
         }
     }

@@ -49,6 +49,19 @@
 //! ([`engine::batch_map`]). The scalar functions in [`sinr`] remain the
 //! ground truth the engine is tested against.
 //!
+//! ## Dynamic networks (epochs and deltas)
+//!
+//! Networks are mutable **in place**: [`Network::add_station`],
+//! [`Network::remove_station`] (swap-remove), [`Network::move_station`]
+//! and [`Network::set_power`] bump the network's revision counter and
+//! emit a [`NetworkDelta`]. Engines track the revision they reflect —
+//! querying a mutated-but-unsynced engine panics with a revision
+//! mismatch (never a silently stale answer) — and
+//! [`QueryEngine::apply`] patches any backend incrementally instead of
+//! rebuilding, which is what makes mobile-station workloads
+//! (`examples/mobile_stations.rs`) run on the batched path. See the
+//! [`network`] and [`engine`] module docs for the full contract.
+//!
 //! ```
 //! use sinr_core::{Network, QueryEngine, Located};
 //! use sinr_geometry::Point;
@@ -71,7 +84,9 @@
 //!
 //! * [`Network`] / [`NetworkBuilder`] — model construction, validation,
 //!   similarity transforms (Lemma 2.3), station surgery (add / silence /
-//!   relocate — the operations used by the paper's reductions);
+//!   relocate — the operations used by the paper's reductions), and the
+//!   epoch-versioned in-place surgery with [`NetworkDelta`] emission and
+//!   stable [`StationKey`] handles;
 //! * [`sinr`] — energy, interference and SINR evaluation (Eq. (1));
 //! * [`charpoly`] — the characteristic polynomial `Hᵢ(x, y)` of degree
 //!   `2n` and its fast restriction to segments (the input to the Sturm
@@ -126,9 +141,9 @@ pub mod station;
 pub mod zone;
 
 pub use convexity::{ConvexityReport, ConvexityViolation};
-pub use engine::{ExactScan, Located, QueryEngine, SinrEvaluator, VoronoiAssisted};
-pub use network::{Network, NetworkBuilder, NetworkError};
+pub use engine::{ExactScan, Located, QueryEngine, SinrEvaluator, SyncError, VoronoiAssisted};
+pub use network::{DeltaOp, Network, NetworkBuilder, NetworkDelta, NetworkError};
 pub use power::PowerAssignment;
 pub use simd::{SimdKernel, SimdScan};
-pub use station::{Station, StationId};
+pub use station::{Station, StationId, StationKey};
 pub use zone::{RadialProfile, ReceptionZone};

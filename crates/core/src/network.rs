@@ -1,11 +1,41 @@
-//! The wireless network `A = ⟨S, ψ, N, β⟩` and its builder.
+//! The wireless network `A = ⟨S, ψ, N, β⟩`, its builder, and the
+//! epoch-versioned dynamic-surgery machinery.
+//!
+//! ## Epochs and deltas
+//!
+//! The paper notes that the SINR diagram "changes dynamically with time"
+//! (Section 1.1) and leaves dynamic settings open (Section 1.4). This
+//! module makes the model *mutable in place*: every [`Network`] carries a
+//! monotonically increasing **revision** counter (its *epoch*), and the
+//! in-place surgery operations — [`Network::add_station`],
+//! [`Network::remove_station`], [`Network::move_station`],
+//! [`Network::set_power`] — bump it and emit a [`NetworkDelta`]
+//! describing exactly what changed. Query engines record the revision
+//! they were built at and **refuse to answer for a stale network**
+//! (checked at query time); a delta can be
+//! [`apply`](crate::engine::QueryEngine::apply)-ed to bring an engine
+//! back in sync incrementally instead of rebuilding it.
+//!
+//! Removal is by **swap-remove**: the last station moves into the freed
+//! index, so only one index is disturbed per removal (and engines can
+//! patch their structure-of-arrays columns in `O(1)`). Callers that need
+//! to follow a station across removals use the stable
+//! [`StationKey`](crate::StationKey) handles
+//! ([`Network::station_key`] / [`Network::station_by_key`]).
+//!
+//! The classic immutable surgery ([`Network::with_station`],
+//! [`Network::with_station_moved`], [`Network::without_station`]) remains
+//! as the escape hatch for the paper's proof moves; the first two are now
+//! thin wrappers over the delta machinery (clone + in-place op).
 
 use crate::power::PowerAssignment;
 use crate::sinr;
-use crate::station::{Station, StationId};
+use crate::station::{Station, StationId, StationKey};
 use crate::zone::ReceptionZone;
 use sinr_geometry::{BBox, Point, Similarity};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Errors produced when building or transforming a [`Network`].
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +52,9 @@ pub enum NetworkError {
     InvalidPower(String),
     /// A station position was not finite.
     InvalidPosition(usize),
+    /// A surgery operation named a station index the network does not
+    /// have.
+    StationOutOfRange(usize),
 }
 
 impl fmt::Display for NetworkError {
@@ -41,17 +74,121 @@ impl fmt::Display for NetworkError {
             NetworkError::InvalidPosition(i) => {
                 write!(f, "station {i} has a non-finite position")
             }
+            NetworkError::StationOutOfRange(i) => {
+                write!(f, "station index {i} is out of range")
+            }
         }
     }
 }
 
 impl std::error::Error for NetworkError {}
 
+/// One in-place surgery step, described precisely enough for a query
+/// engine to patch itself instead of rebuilding.
+///
+/// Produced by [`Network::add_station`], [`Network::remove_station`],
+/// [`Network::move_station`] and [`Network::set_power`]; consumed by
+/// [`QueryEngine::apply`](crate::engine::QueryEngine::apply). A delta is
+/// bound to the network instance that emitted it (engines reject deltas
+/// from any other network) and to one revision step
+/// ([`NetworkDelta::from_revision`] → [`NetworkDelta::to_revision`]), so
+/// deltas must be applied in emission order with none skipped.
+#[derive(Debug, Clone)]
+pub struct NetworkDelta {
+    from_revision: u64,
+    to_revision: u64,
+    uniform_after: bool,
+    op: DeltaOp,
+    /// Identity of the emitting network (pointer-compared by engines so a
+    /// delta can never be applied to an engine of a different network).
+    source: Arc<AtomicU64>,
+}
+
+impl NetworkDelta {
+    /// The network revision this delta applies on top of.
+    pub fn from_revision(&self) -> u64 {
+        self.from_revision
+    }
+
+    /// The network revision reached after this delta.
+    pub fn to_revision(&self) -> u64 {
+        self.to_revision
+    }
+
+    /// Whether the power assignment is uniform *after* this delta (the
+    /// [`VoronoiAssisted`](crate::engine::VoronoiAssisted) dispatch
+    /// contract is re-checked against this on every application).
+    pub fn uniform_after(&self) -> bool {
+        self.uniform_after
+    }
+
+    /// What changed.
+    pub fn op(&self) -> &DeltaOp {
+        &self.op
+    }
+
+    /// True when `cell` is the epoch cell of the emitting network.
+    pub(crate) fn is_from(&self, cell: &Arc<AtomicU64>) -> bool {
+        Arc::ptr_eq(&self.source, cell)
+    }
+}
+
+/// The operation a [`NetworkDelta`] records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaOp {
+    /// A station was appended at index `id` (the previous station count).
+    Add {
+        /// Index of the new station.
+        id: StationId,
+        /// Its stable key.
+        key: StationKey,
+        /// Its position.
+        position: Point,
+        /// Its transmit power.
+        power: f64,
+    },
+    /// Station `id` was removed by swap-remove: the station formerly at
+    /// `last_index` (the old `n − 1`) now occupies index `id` (unless
+    /// `id == last_index`, in which case nothing moved).
+    Remove {
+        /// Index the station was removed from.
+        id: StationId,
+        /// The old last index whose station swapped into `id`.
+        last_index: usize,
+        /// Position of the removed station.
+        position: Point,
+        /// Power of the removed station.
+        power: f64,
+    },
+    /// Station `id` was relocated.
+    Move {
+        /// The station.
+        id: StationId,
+        /// Where it was.
+        from: Point,
+        /// Where it is now.
+        to: Point,
+    },
+    /// Station `id` changed transmit power.
+    SetPower {
+        /// The station.
+        id: StationId,
+        /// The previous power.
+        from: f64,
+        /// The new power.
+        to: f64,
+    },
+}
+
 /// A wireless network `A = ⟨S, ψ, N, β⟩` with path-loss exponent `α`.
 ///
-/// Immutable once built; the "surgery" methods (silencing, adding or
-/// relocating stations — the moves used throughout the paper's proofs and
-/// figures) return new networks.
+/// The *physics* fields are immutable after [`NetworkBuilder::build`];
+/// the station set is mutable through the epoch-versioned in-place
+/// surgery ops ([`Network::add_station`], [`Network::remove_station`],
+/// [`Network::move_station`], [`Network::set_power`] — see the [module
+/// docs](self)), while the classic copying surgery (silencing, adding or
+/// relocating stations — the moves used throughout the paper's proofs
+/// and figures) returns new networks.
 ///
 /// # Examples
 ///
@@ -71,13 +208,52 @@ impl std::error::Error for NetworkError {}
 /// assert!(net.is_uniform_power());
 /// # Ok::<(), sinr_core::NetworkError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct Network {
     positions: Vec<Point>,
     power: PowerAssignment,
     noise: f64,
     beta: f64,
     alpha: f64,
+    /// Stable per-station keys, index-aligned with `positions`.
+    keys: Vec<StationKey>,
+    /// The next key [`Network::add_station`] hands out (never reused).
+    next_key: u64,
+    /// The shared epoch cell: bumped by every in-place mutation and
+    /// observed by the engines built from this network, which is how a
+    /// stale engine detects it must not answer.
+    epoch: Arc<AtomicU64>,
+}
+
+impl Clone for Network {
+    /// Clones the network **data** with a fresh, independent epoch cell:
+    /// mutating a clone never invalidates engines built from the
+    /// original (and vice versa).
+    fn clone(&self) -> Self {
+        Network {
+            positions: self.positions.clone(),
+            power: self.power.clone(),
+            noise: self.noise,
+            beta: self.beta,
+            alpha: self.alpha,
+            keys: self.keys.clone(),
+            next_key: self.next_key,
+            epoch: Arc::new(AtomicU64::new(self.epoch.load(Ordering::Relaxed))),
+        }
+    }
+}
+
+impl PartialEq for Network {
+    /// Physics equality: `⟨S, ψ, N, β⟩` and `α`. The epoch counter and
+    /// the stable keys (which record churn *history*, not current
+    /// physics) do not participate.
+    fn eq(&self, other: &Self) -> bool {
+        self.positions == other.positions
+            && self.power == other.power
+            && self.noise == other.noise
+            && self.beta == other.beta
+            && self.alpha == other.alpha
+    }
 }
 
 impl Network {
@@ -257,10 +433,197 @@ impl Network {
         crate::engine::VoronoiAssisted::new(self)
     }
 
+    // --- Epochs and in-place surgery (the dynamic path) ------------------
+
+    /// The network's current revision (its *epoch*). Starts at 0 for a
+    /// freshly built network and increases by one per in-place surgery
+    /// op. Engines record this at build/sync time and refuse to answer
+    /// once it has moved on.
+    pub fn revision(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// The shared epoch cell engines subscribe to (see
+    /// [`crate::engine`]).
+    pub(crate) fn epoch_cell(&self) -> &Arc<AtomicU64> {
+        &self.epoch
+    }
+
+    /// The stable key of the station currently at index `i` (see
+    /// [`StationKey`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn station_key(&self, i: StationId) -> StationKey {
+        self.keys[i.0]
+    }
+
+    /// Resolves a stable key to the station's *current* index, or `None`
+    /// if the station has been removed.
+    pub fn station_by_key(&self, key: StationKey) -> Option<StationId> {
+        self.keys.iter().position(|k| *k == key).map(StationId)
+    }
+
+    /// Bumps the epoch and returns `(from, to)` for the delta.
+    fn bump_epoch(&mut self) -> (u64, u64) {
+        let from = self.epoch.load(Ordering::Relaxed);
+        self.epoch.store(from + 1, Ordering::Relaxed);
+        (from, from + 1)
+    }
+
+    fn delta(&self, (from, to): (u64, u64), op: DeltaOp) -> NetworkDelta {
+        NetworkDelta {
+            from_revision: from,
+            to_revision: to,
+            uniform_after: self.power.is_uniform(),
+            op,
+            source: Arc::clone(&self.epoch),
+        }
+    }
+
+    /// Appends a station **in place** at `position` with transmit power
+    /// `power`, bumping the epoch. The new station's index is the old
+    /// station count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] on an invalid power or position (the
+    /// network is left untouched and the epoch does not move).
+    pub fn add_station(
+        &mut self,
+        position: Point,
+        power: f64,
+    ) -> Result<NetworkDelta, NetworkError> {
+        if !(power > 0.0 && power.is_finite()) {
+            return Err(NetworkError::InvalidPower(format!("power {power}")));
+        }
+        if !position.is_finite() {
+            return Err(NetworkError::InvalidPosition(self.len()));
+        }
+        let id = StationId(self.len());
+        let key = StationKey(self.next_key);
+        self.next_key += 1;
+        self.power = self.power.extended(self.positions.len(), power);
+        self.positions.push(position);
+        self.keys.push(key);
+        let rev = self.bump_epoch();
+        Ok(self.delta(
+            rev,
+            DeltaOp::Add {
+                id,
+                key,
+                position,
+                power,
+            },
+        ))
+    }
+
+    /// Removes station `i` **in place** by swap-remove (the last station
+    /// moves into index `i`; see [`DeltaOp::Remove`]), bumping the epoch.
+    ///
+    /// Contrast with [`Network::without_station`], which preserves the
+    /// relative order of the survivors by shifting every index above `i`
+    /// down — the right semantics for the paper's proof narrations, but
+    /// `O(n)` index churn that no engine can patch incrementally.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetworkError::TooFewStations`] — fewer than two stations would
+    ///   remain;
+    /// * [`NetworkError::StationOutOfRange`] — no station at `i`.
+    pub fn remove_station(&mut self, i: StationId) -> Result<NetworkDelta, NetworkError> {
+        if self.len() <= 2 {
+            return Err(NetworkError::TooFewStations(self.len().saturating_sub(1)));
+        }
+        if i.0 >= self.len() {
+            return Err(NetworkError::StationOutOfRange(i.0));
+        }
+        let last_index = self.len() - 1;
+        let power = self.power.power(i.0);
+        let position = self.positions.swap_remove(i.0);
+        self.power.swap_remove(i.0);
+        self.keys.swap_remove(i.0);
+        let rev = self.bump_epoch();
+        Ok(self.delta(
+            rev,
+            DeltaOp::Remove {
+                id: i,
+                last_index,
+                position,
+                power,
+            },
+        ))
+    }
+
+    /// Moves station `i` **in place** to `position`, bumping the epoch.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetworkError::InvalidPosition`] — non-finite target;
+    /// * [`NetworkError::StationOutOfRange`] — no station at `i`.
+    pub fn move_station(
+        &mut self,
+        i: StationId,
+        position: Point,
+    ) -> Result<NetworkDelta, NetworkError> {
+        if !position.is_finite() {
+            return Err(NetworkError::InvalidPosition(i.0));
+        }
+        if i.0 >= self.len() {
+            return Err(NetworkError::StationOutOfRange(i.0));
+        }
+        let from = self.positions[i.0];
+        self.positions[i.0] = position;
+        let rev = self.bump_epoch();
+        Ok(self.delta(
+            rev,
+            DeltaOp::Move {
+                id: i,
+                from,
+                to: position,
+            },
+        ))
+    }
+
+    /// Changes the transmit power of station `i` **in place**, bumping
+    /// the epoch. Power changes can flip the network between uniform and
+    /// non-uniform — engines re-check their dispatch contracts on every
+    /// applied power delta.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetworkError::InvalidPower`] — non-positive or non-finite;
+    /// * [`NetworkError::StationOutOfRange`] — no station at `i`.
+    pub fn set_power(&mut self, i: StationId, power: f64) -> Result<NetworkDelta, NetworkError> {
+        if !(power > 0.0 && power.is_finite()) {
+            return Err(NetworkError::InvalidPower(format!("power {power}")));
+        }
+        if i.0 >= self.len() {
+            return Err(NetworkError::StationOutOfRange(i.0));
+        }
+        let from = self.power.power(i.0);
+        self.power.set(i.0, power, self.len());
+        let rev = self.bump_epoch();
+        Ok(self.delta(
+            rev,
+            DeltaOp::SetPower {
+                id: i,
+                from,
+                to: power,
+            },
+        ))
+    }
+
     // --- Surgery (the paper's proof moves) -------------------------------
 
     /// The network with station `i` removed ("silenced", as in
     /// Figure 1(C)). Station indices above `i` shift down by one.
+    ///
+    /// This is the *immutable, order-preserving* removal used by the
+    /// paper's reductions; the dynamic path is
+    /// [`Network::remove_station`] (in place, swap-remove, emits a
+    /// [`NetworkDelta`]).
     ///
     /// # Errors
     ///
@@ -277,9 +640,16 @@ impl Network {
             .zip(keep.iter())
             .filter_map(|(p, k)| k.then_some(*p))
             .collect();
+        let keys = self
+            .keys
+            .iter()
+            .zip(keep.iter())
+            .filter_map(|(key, k)| k.then_some(*key))
+            .collect();
         Ok(Network {
             positions,
             power: self.power.filtered(&keep),
+            keys,
             ..self.clone()
         })
     }
@@ -288,44 +658,35 @@ impl Network {
     /// (used by the noise-elimination reduction of Section 3.4 and by
     /// Lemma 3.10's replacement construction).
     ///
+    /// The immutable counterpart of [`Network::add_station`] — and since
+    /// this PR a thin wrapper over it (clone + in-place op), so the two
+    /// paths cannot drift.
+    ///
     /// # Errors
     ///
     /// Returns [`NetworkError`] on an invalid power or position.
     pub fn with_station(&self, position: Point, power: f64) -> Result<Network, NetworkError> {
-        if !(power > 0.0 && power.is_finite()) {
-            return Err(NetworkError::InvalidPower(format!("power {power}")));
-        }
-        if !position.is_finite() {
-            return Err(NetworkError::InvalidPosition(self.len()));
-        }
-        let mut positions = self.positions.clone();
-        positions.push(position);
-        Ok(Network {
-            power: self.power.extended(self.positions.len(), power),
-            positions,
-            ..self.clone()
-        })
+        let mut next = self.clone();
+        next.add_station(position, power)?;
+        Ok(next)
     }
 
-    /// The network with station `i` moved to `position` (Figure 1(B)).
+    /// The network with station `i` moved to `position` (Figure 1(B)) —
+    /// the immutable counterpart of (and a thin wrapper over)
+    /// [`Network::move_station`].
     ///
     /// # Errors
     ///
-    /// Returns [`NetworkError::InvalidPosition`] for a non-finite target.
+    /// Returns [`NetworkError::InvalidPosition`] for a non-finite target
+    /// and [`NetworkError::StationOutOfRange`] for a missing station.
     pub fn with_station_moved(
         &self,
         i: StationId,
         position: Point,
     ) -> Result<Network, NetworkError> {
-        if !position.is_finite() {
-            return Err(NetworkError::InvalidPosition(i.0));
-        }
-        let mut positions = self.positions.clone();
-        positions[i.0] = position;
-        Ok(Network {
-            positions,
-            ..self.clone()
-        })
+        let mut next = self.clone();
+        next.move_station(i, position)?;
+        Ok(next)
     }
 
     /// The network with the background noise replaced.
@@ -512,11 +873,14 @@ impl NetworkBuilder {
             }
         };
         Ok(Network {
+            keys: (0..self.positions.len() as u64).map(StationKey).collect(),
+            next_key: self.positions.len() as u64,
             positions: self.positions.clone(),
             power,
             noise: self.noise,
             beta: self.beta,
             alpha: self.alpha,
+            epoch: Arc::new(AtomicU64::new(0)),
         })
     }
 }
@@ -649,6 +1013,114 @@ mod tests {
             .unwrap();
         assert_eq!(moved.position(StationId(0)), Point::new(-1.0, -1.0));
         assert_eq!(moved.len(), 3);
+    }
+
+    #[test]
+    fn in_place_surgery_emits_sequential_deltas() {
+        let mut net = Network::uniform(
+            vec![Point::ORIGIN, Point::new(4.0, 0.0), Point::new(0.0, 4.0)],
+            0.01,
+            2.0,
+        )
+        .unwrap();
+        assert_eq!(net.revision(), 0);
+
+        let d1 = net.add_station(Point::new(2.0, 2.0), 1.0).unwrap();
+        assert_eq!((d1.from_revision(), d1.to_revision()), (0, 1));
+        assert!(d1.uniform_after());
+        assert!(matches!(
+            d1.op(),
+            DeltaOp::Add { id: StationId(3), power, .. } if *power == 1.0
+        ));
+        assert_eq!(net.len(), 4);
+        assert_eq!(net.revision(), 1);
+
+        let d2 = net
+            .move_station(StationId(0), Point::new(-1.0, 0.0))
+            .unwrap();
+        assert_eq!((d2.from_revision(), d2.to_revision()), (1, 2));
+        assert_eq!(net.position(StationId(0)), Point::new(-1.0, 0.0));
+
+        let d3 = net.set_power(StationId(1), 3.0).unwrap();
+        assert!(!d3.uniform_after());
+        assert!(!net.is_uniform_power());
+        assert_eq!(net.power(StationId(1)), 3.0);
+
+        // Swap-remove: the last station (index 3) moves into slot 1.
+        let before_last = net.position(StationId(3));
+        let d4 = net.remove_station(StationId(1)).unwrap();
+        assert!(matches!(
+            d4.op(),
+            DeltaOp::Remove {
+                id: StationId(1),
+                last_index: 3,
+                ..
+            }
+        ));
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.position(StationId(1)), before_last);
+        // The non-uniform power left with the removed station.
+        assert!(d4.uniform_after());
+        assert_eq!(net.revision(), 4);
+    }
+
+    #[test]
+    fn in_place_surgery_validation_leaves_epoch_alone() {
+        let mut net = two_station_net(2.0);
+        assert!(net.add_station(Point::new(1.0, 1.0), 0.0).is_err());
+        assert!(net.add_station(Point::new(f64::NAN, 0.0), 1.0).is_err());
+        assert!(net.move_station(StationId(7), Point::ORIGIN).is_err());
+        assert!(net.set_power(StationId(0), f64::INFINITY).is_err());
+        assert!(matches!(
+            net.remove_station(StationId(0)),
+            Err(NetworkError::TooFewStations(1))
+        ));
+        assert_eq!(net.revision(), 0);
+        let mut net3 = net.with_station(Point::new(0.0, 3.0), 1.0).unwrap();
+        assert!(matches!(
+            net3.remove_station(StationId(9)),
+            Err(NetworkError::StationOutOfRange(9))
+        ));
+    }
+
+    #[test]
+    fn stable_keys_survive_swap_remove() {
+        let mut net = Network::uniform(
+            vec![Point::ORIGIN, Point::new(4.0, 0.0), Point::new(0.0, 4.0)],
+            0.0,
+            2.0,
+        )
+        .unwrap();
+        let k2 = net.station_key(StationId(2));
+        net.remove_station(StationId(0)).unwrap();
+        assert_eq!(net.station_by_key(k2), Some(StationId(0)));
+        // Fresh keys are never reused.
+        let d = net.add_station(Point::new(1.0, 1.0), 1.0).unwrap();
+        let DeltaOp::Add { key, .. } = d.op() else {
+            panic!("expected Add");
+        };
+        assert_ne!(*key, k2);
+        assert_eq!(net.station_by_key(*key), Some(StationId(2)));
+    }
+
+    #[test]
+    fn clone_isolates_the_epoch() {
+        let mut net = Network::uniform(
+            vec![Point::ORIGIN, Point::new(4.0, 0.0), Point::new(0.0, 4.0)],
+            0.0,
+            2.0,
+        )
+        .unwrap();
+        let clone = net.clone();
+        net.move_station(StationId(0), Point::new(1.0, 1.0))
+            .unwrap();
+        assert_eq!(net.revision(), 1);
+        assert_eq!(clone.revision(), 0);
+        // Immutable surgery (clone + op) never disturbs the original.
+        let bigger = clone.with_station(Point::new(2.0, 2.0), 1.0).unwrap();
+        assert_eq!(clone.revision(), 0);
+        assert_eq!(bigger.len(), 4);
+        assert_eq!(bigger.revision(), 1);
     }
 
     #[test]

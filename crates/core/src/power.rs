@@ -78,6 +78,41 @@ impl PowerAssignment {
         }
     }
 
+    /// Removes station `i` by swap-remove (the last station takes index
+    /// `i`), matching the index surgery of
+    /// [`Network::remove_station`](crate::Network::remove_station).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range for a per-station assignment.
+    pub fn swap_remove(&mut self, i: usize) {
+        if let PowerAssignment::PerStation(v) = self {
+            v.swap_remove(i);
+        }
+    }
+
+    /// Sets the power of station `i` to `p` in a network of `n` stations,
+    /// materializing the per-station vector when a uniform assignment
+    /// becomes non-uniform. (A vector that returns to all-ones still
+    /// reports [`PowerAssignment::is_uniform`] as `true`.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ n`.
+    pub fn set(&mut self, i: usize, p: f64, n: usize) {
+        assert!(i < n, "station {i} out of range for {n} stations");
+        match self {
+            PowerAssignment::Uniform => {
+                if p != 1.0 {
+                    let mut v = vec![1.0; n];
+                    v[i] = p;
+                    *self = PowerAssignment::PerStation(v);
+                }
+            }
+            PowerAssignment::PerStation(v) => v[i] = p,
+        }
+    }
+
     /// The assignment with one more station of power `p` appended.
     pub fn extended(&self, n: usize, p: f64) -> PowerAssignment {
         if p == 1.0 && self.is_uniform() {
@@ -134,6 +169,23 @@ mod tests {
         assert!(PowerAssignment::PerStation(vec![f64::INFINITY])
             .validate(1)
             .is_err());
+    }
+
+    #[test]
+    fn swap_remove_and_set() {
+        let mut p = PowerAssignment::PerStation(vec![1.0, 2.0, 3.0]);
+        p.swap_remove(0);
+        assert_eq!(p, PowerAssignment::PerStation(vec![3.0, 2.0]));
+        let mut u = PowerAssignment::Uniform;
+        u.swap_remove(1);
+        assert!(u.is_uniform());
+        // set: uniform stays uniform for p = 1, materializes otherwise
+        u.set(0, 1.0, 2);
+        assert_eq!(u, PowerAssignment::Uniform);
+        u.set(1, 2.5, 2);
+        assert_eq!(u, PowerAssignment::PerStation(vec![1.0, 2.5]));
+        u.set(1, 1.0, 2);
+        assert!(u.is_uniform());
     }
 
     #[test]

@@ -79,8 +79,9 @@
 
 use crate::engine::{
     batch_map, GeneralAlpha, InverseSquare, Located, PathLoss, QueryEngine, Scan, SinrEvaluator,
+    SyncError,
 };
-use crate::network::Network;
+use crate::network::{Network, NetworkDelta};
 use crate::station::StationId;
 use sinr_algebra::KahanSum;
 use sinr_geometry::Point;
@@ -224,15 +225,56 @@ fn finish<K: PathLoss, const L: usize>(
     })
 }
 
+/// Merges the per-lane *sums* (no argmax) and finishes the `n mod L`
+/// tail serially, then derives the candidate station's energy directly —
+/// the [`candidate_scan`] counterpart of [`finish`]. Returns
+/// `(e_candidate, total)`, or `Err(j)` if a tail station coincides with
+/// `p`.
+fn finish_sum<K: PathLoss, const L: usize>(
+    eval: &SinrEvaluator,
+    k: K,
+    cand: usize,
+    p: Point,
+    lanes: LaneState<L>,
+) -> Result<(f64, f64), usize> {
+    let (xs, ys, powers) = eval.soa();
+    let mut acc = KahanSum::new();
+    if lanes.processed > 0 {
+        for l in 0..L {
+            acc.add(lanes.sum[l]);
+            acc.add(lanes.comp[l]);
+        }
+    }
+    for j in lanes.processed..xs.len() {
+        let dx = xs[j] - p.x;
+        let dy = ys[j] - p.y;
+        let d2 = dx * dx + dy * dy;
+        if d2 == 0.0 {
+            return Err(j);
+        }
+        acc.add(k.attenuation(d2) * powers[j]);
+    }
+    // Recompute the candidate's energy with the exact operation sequence
+    // of the scan kernels (`RN(RN(attenuation)·ψ)`), so the value is
+    // bit-identical to what a full scan would have recorded for it.
+    let dx = xs[cand] - p.x;
+    let dy = ys[cand] - p.y;
+    let d2 = dx * dx + dy * dy;
+    debug_assert!(d2 > 0.0, "coincident candidate must have been caught above");
+    Ok((k.attenuation(d2) * powers[cand], acc.value()))
+}
+
 /// The portable blocked kernel: `L` independent scalar lanes advanced in
 /// lock-step, each with its own Neumaier compensation — semantically the
 /// intrinsic kernels with the vector ISA erased. Also the only kernel
-/// for general `α` (lane-wise `powf`).
-fn scan_blocked<K: PathLoss, const L: usize>(
+/// for general `α` (lane-wise `powf`). With `TRACK_BEST = false` the
+/// argmax bookkeeping is compiled out (the [`candidate_scan`] path,
+/// where the kd-tree has already named the only candidate).
+fn blocked_lanes<K: PathLoss, const L: usize, const TRACK_BEST: bool>(
     eval: &SinrEvaluator,
     k: K,
     p: Point,
-) -> Result<Scan, usize> {
+) -> Result<LaneState<L>, usize> {
     let (xs, ys, powers) = eval.soa();
     let n = xs.len();
     let prefix = n - n % L;
@@ -258,7 +300,7 @@ fn scan_blocked<K: PathLoss, const L: usize>(
                 (e - t) + lanes.sum[l]
             };
             lanes.sum[l] = t;
-            if e > lanes.best_energy[l] {
+            if TRACK_BEST && e > lanes.best_energy[l] {
                 lanes.best_energy[l] = e;
                 lanes.best_index[l] = i;
             }
@@ -266,6 +308,16 @@ fn scan_blocked<K: PathLoss, const L: usize>(
         j += L;
     }
     lanes.processed = prefix;
+    Ok(lanes)
+}
+
+/// The full portable scan: blocked lanes, then the shared merge.
+fn scan_blocked<K: PathLoss, const L: usize>(
+    eval: &SinrEvaluator,
+    k: K,
+    p: Point,
+) -> Result<Scan, usize> {
+    let lanes = blocked_lanes::<K, L, true>(eval, k, p)?;
     finish(eval, k, p, lanes)
 }
 
@@ -280,7 +332,9 @@ mod x86 {
     ///
     /// Returns `Err(j)` when station `j` coincides with `p` (smallest
     /// such index). Lane `l` of the accumulators covers indices
-    /// `≡ l (mod 4)` within the prefix.
+    /// `≡ l (mod 4)` within the prefix. With `TRACK_BEST = false` the
+    /// argmax blends are compiled out (the candidate-sum path of
+    /// `VoronoiAssisted`, which already knows the only candidate).
     ///
     /// # Safety
     ///
@@ -288,7 +342,7 @@ mod x86 {
     /// deliberately avoids FMA — scalar-identical rounding matters more
     /// than the one fused add; see the `d2` comment below.)
     #[target_feature(enable = "avx2")]
-    pub(super) unsafe fn scan_avx2(
+    pub(super) unsafe fn scan_avx2<const TRACK_BEST: bool>(
         xs: &[f64],
         ys: &[f64],
         powers: &[f64],
@@ -345,11 +399,13 @@ mod x86 {
                     _mm256_blendv_pd(delta_e_big, delta_sum_big, sum_bigger),
                 );
                 sum = t;
-                // Per-lane first-strictly-greater argmax.
-                let gt = _mm256_cmp_pd::<_CMP_GT_OQ>(e, best_e);
-                best_e = _mm256_blendv_pd(best_e, e, gt);
-                best_i = _mm256_blendv_pd(best_i, idx, gt);
-                idx = _mm256_add_pd(idx, step);
+                if TRACK_BEST {
+                    // Per-lane first-strictly-greater argmax.
+                    let gt = _mm256_cmp_pd::<_CMP_GT_OQ>(e, best_e);
+                    best_e = _mm256_blendv_pd(best_e, e, gt);
+                    best_i = _mm256_blendv_pd(best_i, idx, gt);
+                    idx = _mm256_add_pd(idx, step);
+                }
                 j += 4;
             }
             _mm256_storeu_pd(lanes.sum.as_mut_ptr(), sum);
@@ -367,8 +423,9 @@ mod x86 {
 
     /// 2-lane SSE2 scan over the multiple-of-2 prefix — the x86-64
     /// baseline path, no runtime detection needed. Blends are synthesized
-    /// from `and`/`andnot`/`or` (`blendv` is SSE4.1).
-    pub(super) fn scan_sse2(
+    /// from `and`/`andnot`/`or` (`blendv` is SSE4.1). `TRACK_BEST` as in
+    /// [`scan_avx2`].
+    pub(super) fn scan_sse2<const TRACK_BEST: bool>(
         xs: &[f64],
         ys: &[f64],
         powers: &[f64],
@@ -416,10 +473,12 @@ mod x86 {
                 let delta_e_big = _mm_add_pd(_mm_sub_pd(e, t), sum);
                 comp = _mm_add_pd(comp, blend(delta_e_big, delta_sum_big, sum_bigger));
                 sum = t;
-                let gt = _mm_cmpgt_pd(e, best_e);
-                best_e = blend(best_e, e, gt);
-                best_i = blend(best_i, idx, gt);
-                idx = _mm_add_pd(idx, step);
+                if TRACK_BEST {
+                    let gt = _mm_cmpgt_pd(e, best_e);
+                    best_e = blend(best_e, e, gt);
+                    best_i = blend(best_i, idx, gt);
+                    idx = _mm_add_pd(idx, step);
+                }
                 j += 2;
             }
             _mm_storeu_pd(lanes.sum.as_mut_ptr(), sum);
@@ -501,11 +560,11 @@ impl SimdScan {
                 match self.kernel {
                     SimdKernel::Avx2 => {
                         // SAFETY: `with_kernel`/`detect` verified avx2.
-                        let lanes = unsafe { x86::scan_avx2(xs, ys, powers, p) }?;
+                        let lanes = unsafe { x86::scan_avx2::<true>(xs, ys, powers, p) }?;
                         return finish(&self.eval, k, p, lanes);
                     }
                     SimdKernel::Sse2 => {
-                        let lanes = x86::scan_sse2(xs, ys, powers, p)?;
+                        let lanes = x86::scan_sse2::<true>(xs, ys, powers, p)?;
                         return finish(&self.eval, k, p, lanes);
                     }
                     SimdKernel::Portable => {}
@@ -520,10 +579,12 @@ impl SimdScan {
 
 impl QueryEngine for SimdScan {
     fn locate(&self, p: Point) -> Located {
+        self.eval.assert_fresh();
         self.eval.decide(self.scan(p))
     }
 
     fn locate_batch(&self, points: &[Point], out: &mut [Located]) {
+        self.eval.assert_fresh();
         batch_map(points, out, |p| self.eval.decide(self.scan(*p)));
     }
 
@@ -531,6 +592,70 @@ impl QueryEngine for SimdScan {
         // Reported SINR values need the direct `j ≠ i` interference sum
         // (see `SinrEvaluator::sinr`); the scalar path is already exact.
         self.eval.sinr_batch(i, points, out);
+    }
+
+    fn revision(&self) -> u64 {
+        self.eval.revision()
+    }
+
+    fn is_stale(&self) -> bool {
+        self.eval.is_stale()
+    }
+
+    fn apply(&mut self, delta: &NetworkDelta) -> Result<(), SyncError> {
+        // The SoA patch is kernel-independent; the pinned/detected
+        // instruction set stays as constructed.
+        self.eval.apply(delta)
+    }
+
+    fn sync(&mut self, net: &Network) -> Result<(), SyncError> {
+        self.eval.sync(net);
+        Ok(())
+    }
+}
+
+/// Vectorized single-candidate scan: the total energy `E(S, p)` plus the
+/// candidate station's own energy, with **no argmax bookkeeping** — the
+/// [`crate::engine::VoronoiAssisted`] hot path, where Observation 2.2
+/// has already named the only possible transmitter. Runs on the same
+/// lane kernels (and the same per-lane Neumaier compensation) as the
+/// full scans, selected by the same `kernel` machinery; `α ≠ 2` networks
+/// take the portable blocked kernel.
+///
+/// Returns `(e_candidate, total)`, or `Err(j)` when `p` coincides with
+/// station `j` (smallest index).
+pub(crate) fn candidate_scan(
+    eval: &SinrEvaluator,
+    kernel: SimdKernel,
+    cand: usize,
+    p: Point,
+) -> Result<(f64, f64), usize> {
+    if eval.alpha() == 2.0 {
+        let k = InverseSquare;
+        #[cfg(target_arch = "x86_64")]
+        {
+            let (xs, ys, powers) = eval.soa();
+            match kernel {
+                SimdKernel::Avx2 => {
+                    // SAFETY: the kernel was verified at engine build.
+                    let lanes = unsafe { x86::scan_avx2::<false>(xs, ys, powers, p) }?;
+                    return finish_sum(eval, k, cand, p, lanes);
+                }
+                SimdKernel::Sse2 => {
+                    let lanes = x86::scan_sse2::<false>(xs, ys, powers, p)?;
+                    return finish_sum(eval, k, cand, p, lanes);
+                }
+                SimdKernel::Portable => {}
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = kernel;
+        let lanes = blocked_lanes::<_, PORTABLE_LANES, false>(eval, k, p)?;
+        finish_sum(eval, k, cand, p, lanes)
+    } else {
+        let k = GeneralAlpha::new(eval.alpha());
+        let lanes = blocked_lanes::<_, PORTABLE_LANES, false>(eval, k, p)?;
+        finish_sum(eval, k, cand, p, lanes)
     }
 }
 

@@ -39,6 +39,52 @@ impl From<usize> for StationId {
     }
 }
 
+/// A *stable* station handle that survives the index reshuffling of
+/// in-place network surgery.
+///
+/// [`StationId`] is a *positional* index: [`Network::remove_station`]
+/// (swap-remove) moves the last station into the freed slot, so indices
+/// are only valid until the next removal. A `StationKey` is handed out
+/// once per station ([`Network::station_key`]) and never reused; resolve
+/// it back to the current index with [`Network::station_by_key`].
+///
+/// [`Network::remove_station`]: crate::Network::remove_station
+/// [`Network::station_key`]: crate::Network::station_key
+/// [`Network::station_by_key`]: crate::Network::station_by_key
+///
+/// # Examples
+///
+/// ```
+/// use sinr_core::{Network, StationId};
+/// use sinr_geometry::Point;
+///
+/// let mut net = Network::uniform(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(4.0, 0.0),
+///     Point::new(0.0, 4.0),
+/// ], 0.0, 2.0)?;
+/// let key = net.station_key(StationId(2));
+/// net.remove_station(StationId(0))?; // s2 swaps into slot 0
+/// assert_eq!(net.station_by_key(key), Some(StationId(0)));
+/// # Ok::<(), sinr_core::NetworkError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StationKey(pub u64);
+
+impl StationKey {
+    /// The raw key value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for StationKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
 /// A transmitting radio station: an identifier, a position, and a transmit
 /// power.
 ///

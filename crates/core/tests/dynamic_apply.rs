@@ -1,0 +1,384 @@
+//! Dynamic-update equivalence: incremental [`QueryEngine::apply`] must be
+//! **bit-for-bit** indistinguishable from rebuilding the engine from the
+//! mutated network, for every backend and every supported SIMD kernel,
+//! across arbitrary add / move / remove / power-change sequences.
+//!
+//! The guarantee is exact (`assert_eq!` on [`Located`], `==` on `f64`
+//! SINR values), not tolerance-based: an incrementally patched engine
+//! runs the *same* kernels over the *same* SoA contents in the same
+//! order as a freshly built one — the network's swap-remove index
+//! discipline is mirrored one-for-one by the engine patch, and the
+//! dynamic kd-tree's tombstone/overflow search uses the fresh tree's tie
+//! rule. Any divergence is a bug in the patch path, not rounding.
+//!
+//! Also pinned here: the staleness contract (a mutated-but-unsynced
+//! engine refuses to answer), delta ordering (skipped deltas are
+//! [`SyncError::RevisionMismatch`]), delta provenance (foreign deltas
+//! are rejected), and remove-then-re-add of the same index.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use sinr_core::engine::{ExactScan, Located, QueryEngine, SyncError, VoronoiAssisted};
+use sinr_core::simd::{SimdKernel, SimdScan};
+use sinr_core::{Network, NetworkDelta, SinrEvaluator, StationId};
+use sinr_geometry::{Point, Vector};
+
+/// Separated stations (non-degenerate zones, honest numerics).
+fn separated_points(seed: u64, n: usize) -> Vec<Point> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut pts: Vec<Point> = Vec::with_capacity(n);
+    let mut guard = 0;
+    while pts.len() < n && guard < 10_000 {
+        guard += 1;
+        let cand = Point::new(rng.gen_range(-5.0..=5.0), rng.gen_range(-5.0..=5.0));
+        if pts.iter().all(|p| p.dist(cand) >= 0.8) {
+            pts.push(cand);
+        }
+    }
+    pts
+}
+
+/// Initial networks: uniform and non-uniform power, α ∈ {2, 3, 4}, β
+/// above and below 1 — the full space the engines claim.
+fn networks() -> impl Strategy<Value = Network> {
+    (
+        3usize..7,
+        any::<u64>(),
+        0usize..3,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(n, seed, alpha_idx, uniform, beta_low)| {
+            let pts = separated_points(seed, n);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xD11A);
+            let beta = if beta_low { 0.6 } else { 1.8 };
+            let mut b = Network::builder()
+                .background_noise(0.02)
+                .threshold(beta)
+                .path_loss([2.0, 3.0, 4.0][alpha_idx]);
+            for p in pts {
+                if uniform {
+                    b = b.station(p);
+                } else {
+                    b = b.station_with_power(p, rng.gen_range(0.5..2.5));
+                }
+            }
+            b.build().expect("≥ 3 separated stations")
+        })
+}
+
+/// One random surgery op applied to `net`, returning its delta.
+fn random_op(rng: &mut rand::rngs::StdRng, net: &mut Network) -> NetworkDelta {
+    let choice: usize = rng.gen_range(0..8);
+    match choice {
+        // Adds: half uniform power (keeps VoronoiAssisted on the
+        // proximity path), half weighted (exercises the fallback
+        // transition).
+        0 | 1 => {
+            let p = Point::new(rng.gen_range(-6.0..6.0), rng.gen_range(-6.0..6.0));
+            let power = if choice == 0 {
+                1.0
+            } else {
+                rng.gen_range(0.5..2.5)
+            };
+            net.add_station(p, power).expect("valid add")
+        }
+        2 | 3 if net.len() > 2 => {
+            let i = rng.gen_range(0..net.len());
+            net.remove_station(StationId(i)).expect("valid remove")
+        }
+        4 | 5 => {
+            let i = rng.gen_range(0..net.len());
+            let p = Point::new(rng.gen_range(-6.0..6.0), rng.gen_range(-6.0..6.0));
+            net.move_station(StationId(i), p).expect("valid move")
+        }
+        6 => {
+            let i = rng.gen_range(0..net.len());
+            let power = rng.gen_range(0.5..2.5);
+            net.set_power(StationId(i), power).expect("valid power")
+        }
+        // Power back to 1 (also the 2|3 guard fallthrough): exercises
+        // the non-uniform → uniform transition (VoronoiAssisted must
+        // re-enable the kd-tree).
+        _ => {
+            let i = rng.gen_range(0..net.len());
+            net.set_power(StationId(i), 1.0).expect("valid power")
+        }
+    }
+}
+
+/// Query sample: a grid over the churn window plus points at and just
+/// off every station (the degenerate corners).
+fn sample_points(net: &Network) -> Vec<Point> {
+    let mut pts = Vec::new();
+    for a in -9..=9 {
+        for b in -9..=9 {
+            pts.push(Point::new(a as f64 * 0.7, b as f64 * 0.7));
+        }
+    }
+    for i in net.ids() {
+        let s = net.position(i);
+        pts.push(s);
+        pts.push(s + Vector::new(1e-7, -1e-7));
+        pts.push(s + Vector::new(0.25, 0.15));
+    }
+    pts
+}
+
+/// `assert_eq!` on every locate answer and every `sinr_batch` value —
+/// exact f64 equality, no tolerance.
+fn assert_bit_identical<A: QueryEngine, B: QueryEngine>(
+    name: &str,
+    incremental: &A,
+    fresh: &B,
+    net: &Network,
+) -> Result<(), TestCaseError> {
+    let points = sample_points(net);
+    let mut inc_out = vec![Located::Silent; points.len()];
+    let mut fresh_out = vec![Located::Silent; points.len()];
+    incremental.locate_batch(&points, &mut inc_out);
+    fresh.locate_batch(&points, &mut fresh_out);
+    for (p, (a, b)) in points.iter().zip(inc_out.iter().zip(&fresh_out)) {
+        prop_assert_eq!(
+            *a,
+            *b,
+            "{}: incremental vs rebuild diverge at {} in {}",
+            name,
+            p,
+            net
+        );
+    }
+    let mut inc_sinr = vec![0.0; points.len()];
+    let mut fresh_sinr = vec![0.0; points.len()];
+    for i in net.ids() {
+        incremental.sinr_batch(i, &points, &mut inc_sinr);
+        fresh.sinr_batch(i, &points, &mut fresh_sinr);
+        for (p, (a, b)) in points.iter().zip(inc_sinr.iter().zip(&fresh_sinr)) {
+            // Exact equality (infinities compare equal to themselves).
+            prop_assert!(
+                a == b || (a.is_infinite() && b.is_infinite() && a.signum() == b.signum()),
+                "{}: sinr({}, {}) diverges: {} vs {}",
+                name,
+                i,
+                p,
+                a,
+                b
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// ExactScan: a long mixed surgery sequence, checked after every op.
+    #[test]
+    fn exact_scan_apply_equals_rebuild(net in networks(), seed in any::<u64>()) {
+        let mut net = net;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut engine = ExactScan::new(&net);
+        for _ in 0..12 {
+            let delta = random_op(&mut rng, &mut net);
+            prop_assert!(engine.is_stale());
+            engine.apply(&delta).expect("delta applies in order");
+            prop_assert!(!engine.is_stale());
+            prop_assert_eq!(engine.revision(), net.revision());
+        }
+        assert_bit_identical("ExactScan", &engine, &ExactScan::new(&net), &net)?;
+    }
+
+    /// SimdScan: every supported kernel, checked at the end of the
+    /// sequence (the kernels share the evaluator patch path).
+    #[test]
+    fn simd_scan_apply_equals_rebuild(net in networks(), seed in any::<u64>()) {
+        for kernel in [SimdKernel::Avx2, SimdKernel::Sse2, SimdKernel::Portable] {
+            if !kernel.is_supported() {
+                continue;
+            }
+            let mut net = net.clone();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut engine = SimdScan::with_kernel(SinrEvaluator::new(&net), kernel);
+            for _ in 0..12 {
+                let delta = random_op(&mut rng, &mut net);
+                engine.apply(&delta).expect("delta applies in order");
+            }
+            prop_assert_eq!(engine.kernel(), kernel, "kernel must survive apply");
+            let fresh = SimdScan::with_kernel(SinrEvaluator::new(&net), kernel);
+            assert_bit_identical(kernel.name(), &engine, &fresh, &net)?;
+        }
+    }
+
+    /// VoronoiAssisted: the tombstone/overflow kd-tree (plus its rebuild
+    /// heuristic and the uniform ↔ non-uniform dispatch transitions) must
+    /// be indistinguishable from a fresh tree — checked after every op so
+    /// intermediate tombstone states are exercised, not just the final
+    /// one.
+    #[test]
+    fn voronoi_assisted_apply_equals_rebuild(net in networks(), seed in any::<u64>()) {
+        let mut net = net;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut engine = VoronoiAssisted::new(&net);
+        for _ in 0..14 {
+            let delta = random_op(&mut rng, &mut net);
+            engine.apply(&delta).expect("delta applies in order");
+            let fresh = VoronoiAssisted::new(&net);
+            prop_assert_eq!(
+                engine.uses_proximity_dispatch(),
+                net.is_uniform_power(),
+                "dispatch contract after delta in {}", net
+            );
+            prop_assert_eq!(
+                fresh.uses_proximity_dispatch(),
+                engine.uses_proximity_dispatch()
+            );
+            assert_bit_identical("VoronoiAssisted", &engine, &fresh, &net)?;
+        }
+    }
+
+    /// Remove-then-re-add of the same index: the swap-remove slot is
+    /// immediately reused by a new station, both at the old last index
+    /// and in the middle — the classic aliasing trap for SoA patching.
+    #[test]
+    fn remove_then_re_add_same_index(net in networks(), seed in any::<u64>()) {
+        let mut net = net;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x0DD);
+        let mut exact = ExactScan::new(&net);
+        let mut voronoi = VoronoiAssisted::new(&net);
+        let mut simd = SimdScan::new(&net);
+        // Remove the last station (swap-remove degenerates to pop), then
+        // a middle one, re-adding after each removal — the re-added
+        // station takes the just-vacated index both times.
+        for victim in [net.len() - 1, 1] {
+            let removed_at = net.position(StationId(victim));
+            let d1 = net.remove_station(StationId(victim)).expect("n > 2");
+            // Re-add at a fresh position, then move it onto the removed
+            // station's exact coordinates to also pin position aliasing.
+            let p = Point::new(rng.gen_range(-6.0..6.0), rng.gen_range(-6.0..6.0));
+            let d2 = net.add_station(p, 1.0).expect("valid add");
+            let d3 = net
+                .move_station(StationId(net.len() - 1), removed_at)
+                .expect("valid move");
+            for d in [&d1, &d2, &d3] {
+                exact.apply(d).expect("in order");
+                voronoi.apply(d).expect("in order");
+                simd.apply(d).expect("in order");
+            }
+            assert_bit_identical("ExactScan", &exact, &ExactScan::new(&net), &net)?;
+            assert_bit_identical("VoronoiAssisted", &voronoi, &VoronoiAssisted::new(&net), &net)?;
+            assert_bit_identical("SimdScan", &simd, &SimdScan::new(&net), &net)?;
+        }
+    }
+}
+
+#[test]
+fn stale_engine_refuses_to_answer() {
+    let mut net = Network::uniform(
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(1.0, 3.0),
+        ],
+        0.01,
+        1.5,
+    )
+    .unwrap();
+    let engines: Vec<Box<dyn QueryEngine>> = vec![
+        Box::new(ExactScan::new(&net)),
+        Box::new(SimdScan::new(&net)),
+        Box::new(VoronoiAssisted::new(&net)),
+    ];
+    net.move_station(StationId(0), Point::new(-1.0, 0.0))
+        .unwrap();
+    for engine in engines {
+        assert!(engine.is_stale());
+        // A stale engine must never answer — locate panics with the
+        // revision mismatch rather than returning a possibly-wrong zone.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.locate(Point::new(0.5, 0.0))
+        }))
+        .expect_err("stale engine answered");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("stale query engine") && msg.contains("revision"),
+            "unexpected panic message: {msg}"
+        );
+    }
+}
+
+#[test]
+fn skipped_and_foreign_deltas_are_rejected() {
+    let mut net = Network::uniform(
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(1.0, 3.0),
+        ],
+        0.0,
+        2.0,
+    )
+    .unwrap();
+    let mut engine = ExactScan::new(&net);
+    let d1 = net
+        .move_station(StationId(0), Point::new(-1.0, 0.0))
+        .unwrap();
+    let d2 = net
+        .move_station(StationId(1), Point::new(5.0, 0.0))
+        .unwrap();
+    // Skipping d1 is a revision mismatch…
+    assert_eq!(
+        engine.apply(&d2),
+        Err(SyncError::RevisionMismatch {
+            engine_revision: 0,
+            delta_from: 1
+        })
+    );
+    // …in order works…
+    engine.apply(&d1).unwrap();
+    engine.apply(&d2).unwrap();
+    // …and replaying is again a mismatch.
+    assert!(matches!(
+        engine.apply(&d2),
+        Err(SyncError::RevisionMismatch { .. })
+    ));
+    // A delta from a clone (same data, different instance) is foreign.
+    let mut other = net.clone();
+    let foreign = other
+        .move_station(StationId(0), Point::new(0.5, 0.5))
+        .unwrap();
+    assert_eq!(engine.apply(&foreign), Err(SyncError::ForeignDelta));
+    // sync() is the catch-up path after any rejection.
+    engine.sync(&other).unwrap();
+    assert_eq!(engine.revision(), other.revision());
+    assert!(!engine.is_stale());
+}
+
+#[test]
+fn sync_retargets_and_unstales() {
+    let mut net = Network::uniform(
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(1.0, 3.0),
+        ],
+        0.01,
+        1.5,
+    )
+    .unwrap();
+    let mut engine = VoronoiAssisted::new(&net);
+    for _ in 0..3 {
+        net.add_station(Point::new(2.0, -2.0), 1.0).unwrap();
+        net.remove_station(StationId(0)).unwrap();
+    }
+    assert!(engine.is_stale());
+    engine.sync(&net).unwrap();
+    assert!(!engine.is_stale());
+    let fresh = VoronoiAssisted::new(&net);
+    for p in [
+        Point::new(0.3, 0.2),
+        Point::new(2.0, 0.0),
+        Point::new(9.0, 9.0),
+    ] {
+        assert_eq!(engine.locate(p), fresh.locate(p));
+    }
+}

@@ -10,10 +10,11 @@
 
 use crate::brp::BrpError;
 use crate::qds::{CellClass, Qds, QdsConfig};
-use sinr_core::engine::{batch_map, QueryEngine, SinrEvaluator};
-use sinr_core::{Network, StationId};
+use sinr_core::engine::{batch_map, QueryEngine, SinrEvaluator, SyncError};
+use sinr_core::{DeltaOp, Network, NetworkDelta, StationId};
 use sinr_geometry::Point;
 use sinr_voronoi::KdTree;
+use std::sync::OnceLock;
 
 // `Located` is the shared answer type of every `QueryEngine` backend; it
 // lives in `sinr_core::engine` and is re-exported here for compatibility.
@@ -54,6 +55,24 @@ impl std::error::Error for PointLocError {}
 /// The full data structure of Theorem 3: per-station zone maps plus a
 /// nearest-station dispatcher.
 ///
+/// ## Dynamic updates and per-station staleness
+///
+/// Under [`QueryEngine::apply`] the cheap parts — the SoA evaluator and
+/// the kd-tree dispatcher — are brought up to date eagerly, while the
+/// expensive per-station grid maps (`O(n²·ε⁻¹)` each to build) are
+/// handled **lazily**: every station's map is marked stale (any
+/// geometry or power change shifts interference globally, so every
+/// `∂Hᵢ` moves) and rebuilt only when a query actually dispatches to
+/// that station. A mobile workload whose queries concentrate around a
+/// few stations therefore pays reconstruction only for the zones it
+/// touches, instead of the full `O(n³·ε⁻¹)` rebuild.
+///
+/// If a lazy rebuild fails (unbounded zone, cell budget), queries for
+/// that station degrade to the exact `O(n)` evaluator scan — exact
+/// answers, never [`Located::Uncertain`], never wrong — until the next
+/// successful sync. Power deltas that break the Theorem-3 uniform-power
+/// precondition are rejected as [`SyncError::Unsupported`].
+///
 /// # Examples
 ///
 /// ```
@@ -73,12 +92,18 @@ impl std::error::Error for PointLocError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct PointLocator {
-    maps: Vec<Qds>,
+    /// Per-station zone maps. An unset cell is a zone invalidated by a
+    /// delta and not yet dispatched to; it is (re)built on first use
+    /// from `net`. `Err` records a failed lazy rebuild — queries then
+    /// degrade to the exact evaluator scan for that station.
+    maps: Vec<OnceLock<Result<Qds, BrpError>>>,
     tree: KdTree,
-    positions: Vec<Point>,
-    epsilon: f64,
+    /// Mirror of the source network's current state, kept in step by
+    /// `apply` — what lazy zone rebuilds are computed from.
+    net: Network,
+    config: QdsConfig,
     /// Retained for `QueryEngine::sinr_batch` (the grid structure answers
-    /// zone membership, not SINR values).
+    /// zone membership, not SINR values) and for the staleness guard.
     eval: SinrEvaluator,
 }
 
@@ -94,6 +119,22 @@ impl PointLocator {
     ///   preconditions;
     /// * [`PointLocError::Station`] — a per-station reconstruction failed.
     pub fn build(net: &Network, config: &QdsConfig) -> Result<Self, PointLocError> {
+        Self::check_preconditions(net)?;
+        let mut maps = Vec::with_capacity(net.len());
+        for i in net.ids() {
+            let qds = Qds::build(net, i, config).map_err(|e| PointLocError::Station(i, e))?;
+            maps.push(OnceLock::from(Ok(qds)));
+        }
+        Ok(PointLocator {
+            maps,
+            tree: KdTree::build(net.positions().to_vec()),
+            net: net.clone(),
+            config: *config,
+            eval: SinrEvaluator::new(net),
+        })
+    }
+
+    fn check_preconditions(net: &Network) -> Result<(), PointLocError> {
         if !net.is_uniform_power() {
             return Err(PointLocError::NonUniformPower);
         }
@@ -103,22 +144,12 @@ impl PointLocator {
         if net.beta() <= 1.0 {
             return Err(PointLocError::ThresholdNotAboveOne(net.beta()));
         }
-        let mut maps = Vec::with_capacity(net.len());
-        for i in net.ids() {
-            maps.push(Qds::build(net, i, config).map_err(|e| PointLocError::Station(i, e))?);
-        }
-        Ok(PointLocator {
-            maps,
-            tree: KdTree::build(net.positions().to_vec()),
-            positions: net.positions().to_vec(),
-            epsilon: config.epsilon,
-            eval: SinrEvaluator::new(net),
-        })
+        Ok(())
     }
 
     /// The `ε` the structure was built with.
     pub fn epsilon(&self) -> f64 {
-        self.epsilon
+        self.config.epsilon
     }
 
     /// Number of stations.
@@ -131,20 +162,44 @@ impl PointLocator {
         self.maps.is_empty()
     }
 
-    /// The per-station maps.
-    pub fn maps(&self) -> &[Qds] {
-        &self.maps
+    /// The number of stations whose zone map is currently *stale*:
+    /// invalidated by an applied delta and not yet lazily rebuilt
+    /// (queries dispatching to such a station pay the rebuild on first
+    /// touch). 0 for a freshly built or fully exercised structure.
+    pub fn stale_zones(&self) -> usize {
+        self.maps.iter().filter(|m| m.get().is_none()).count()
+    }
+
+    /// The station's zone map, building it now if it was invalidated by
+    /// a delta. `None` when (re)construction fails for this station
+    /// (queries then degrade to the exact scan).
+    fn map_for(&self, i: usize) -> Option<&Qds> {
+        self.maps[i]
+            .get_or_init(|| Qds::build(&self.net, StationId(i), &self.config))
+            .as_ref()
+            .ok()
     }
 
     /// Total number of `T?` cells across all stations (the structure's
-    /// dominant size term, `O(n·ε⁻¹)`).
+    /// dominant size term, `O(n·ε⁻¹)`). Forces any lazily invalidated
+    /// zone to rebuild; stations whose rebuild failed contribute 0.
     pub fn total_question_cells(&self) -> usize {
-        self.maps.iter().map(|m| m.question_cell_count()).sum()
+        (0..self.maps.len())
+            .map(|i| self.map_for(i).map_or(0, Qds::question_cell_count))
+            .sum()
     }
 
     /// Locates a query point: `O(log n)` nearest-station dispatch plus an
-    /// `O(1)` cell classification.
+    /// `O(1)` cell classification (plus a one-off zone rebuild when the
+    /// dispatched station's map was invalidated by an applied delta).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the source network has mutated past this engine's
+    /// revision (apply the missed deltas or
+    /// [`sync`](QueryEngine::sync)) — a stale locator never answers.
     pub fn locate(&self, p: Point) -> Located {
+        self.eval.assert_fresh();
         let Some((nearest, dist)) = self.tree.nearest(p) else {
             return Located::Silent;
         };
@@ -153,17 +208,21 @@ impl PointLocator {
             // clause), even for degenerate zones.
             return Located::Reception(StationId(nearest));
         }
-        match self.maps[nearest].classify(p) {
-            CellClass::Plus => Located::Reception(StationId(nearest)),
-            CellClass::Question => Located::Uncertain(StationId(nearest)),
-            CellClass::Minus => Located::Silent,
+        match self.map_for(nearest) {
+            Some(qds) => match qds.classify(p) {
+                CellClass::Plus => Located::Reception(StationId(nearest)),
+                CellClass::Question => Located::Uncertain(StationId(nearest)),
+                CellClass::Minus => Located::Silent,
+            },
+            // Zone reconstruction failed: answer exactly instead.
+            None => self.eval.locate(p),
         }
     }
 
     /// Ground-truth comparison: evaluates the SINR model directly
     /// (`O(n)`) — the baseline the data structure accelerates.
     pub fn locate_naive(&self, net: &Network, p: Point) -> Option<StationId> {
-        debug_assert_eq!(net.positions(), &self.positions[..]);
+        debug_assert_eq!(net.positions(), self.net.positions());
         net.heard_at(p)
     }
 }
@@ -179,12 +238,76 @@ impl QueryEngine for PointLocator {
         // are `O(log n)` when the grid answers and `O(n)` when a query
         // misses every per-zone structure, so a static per-core split
         // could strand the slow points on one thread; tile stealing
-        // rebalances them.
+        // rebalances them. (Concurrent first-touch rebuilds of the same
+        // invalidated zone are serialized by the per-station `OnceLock`.)
         batch_map(points, out, |p| PointLocator::locate(self, *p));
     }
 
     fn sinr_batch(&self, i: StationId, points: &[Point], out: &mut [f64]) {
         self.eval.sinr_batch(i, points, out);
+    }
+
+    fn revision(&self) -> u64 {
+        self.eval.revision()
+    }
+
+    fn is_stale(&self) -> bool {
+        self.eval.is_stale()
+    }
+
+    fn apply(&mut self, delta: &NetworkDelta) -> Result<(), SyncError> {
+        // Theorem 3 is stated for uniform power; a delta that leaves the
+        // network non-uniform cannot be represented here.
+        if !delta.uniform_after() {
+            return Err(SyncError::Unsupported(
+                "the Theorem-3 locator requires uniform power".into(),
+            ));
+        }
+        self.eval.apply(delta)?;
+        // Mirror the op onto the stored network copy (same validation
+        // already passed upstream, so failures are impossible here).
+        let mirrored = match delta.op() {
+            DeltaOp::Add {
+                position, power, ..
+            } => self.net.add_station(*position, *power).map(|_| ()),
+            DeltaOp::Remove { id, .. } => self.net.remove_station(*id).map(|_| ()),
+            DeltaOp::Move { id, to, .. } => self.net.move_station(*id, *to).map(|_| ()),
+            DeltaOp::SetPower { id, to, .. } => self.net.set_power(*id, *to).map(|_| ()),
+        };
+        mirrored.map_err(|e| SyncError::Unsupported(format!("mirror op failed: {e}")))?;
+        // Eager, cheap: the proximity dispatcher — but only geometry ops
+        // can move a site, so power deltas (which this backend only
+        // accepts when they keep the network uniform, i.e. 1 → 1) skip
+        // the O(n log n) rebuild entirely.
+        let geometry_changed = !matches!(delta.op(), DeltaOp::SetPower { .. });
+        // Lazy, expensive: every zone's boundary moved (interference is
+        // global), so all per-station maps are stale — they rebuild on
+        // first dispatch. Exception: a delta that changes nothing
+        // physically (1 → 1 power on a uniform network, a move to the
+        // same point) moves no boundary.
+        let physically_noop = matches!(
+            delta.op(),
+            DeltaOp::SetPower { from, to, .. } if from == to
+        ) || matches!(delta.op(), DeltaOp::Move { from, to, .. } if from == to);
+        if geometry_changed && !physically_noop {
+            self.tree = KdTree::build(self.net.positions().to_vec());
+        }
+        if !physically_noop {
+            self.maps = (0..self.net.len()).map(|_| OnceLock::new()).collect();
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self, net: &Network) -> Result<(), SyncError> {
+        // Lazy sync: validate, adopt the network, invalidate everything;
+        // zones rebuild on first dispatch (use `build` for an eager
+        // all-zones construction with per-station error reporting).
+        Self::check_preconditions(net).map_err(|e| SyncError::Unsupported(e.to_string()))?;
+        self.net = net.clone();
+        self.eval.sync(net);
+        self.tree = KdTree::build(net.positions().to_vec());
+        self.maps = (0..net.len()).map(|_| OnceLock::new()).collect();
+        Ok(())
     }
 }
 

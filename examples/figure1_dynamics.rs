@@ -4,13 +4,20 @@
 //! Panel A: p hears s2. Panel B: s1 moves next to p — silence. Panel C:
 //! same placement, s3 silenced — p hears s1.
 //!
+//! The panel-by-panel narration uses the paper's immutable scenes; the
+//! churn half then replays the same story on the **dynamic path**: one
+//! network mutated in place (`move_station`, `remove_station`), one
+//! engine following through incremental `NetworkDelta::apply`, and every
+//! panel's reception map rasterised through that single engine.
+//!
 //! Run with: `cargo run --example figure1_dynamics`
 
+use sinr_diagrams::core::engine::VoronoiAssisted;
 use sinr_diagrams::diagram::figures::figure1;
 use sinr_diagrams::diagram::render;
 use sinr_diagrams::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fig = figure1();
     let panels = [
         ("(A) initial placement", &fig.panel_a),
@@ -45,4 +52,57 @@ fn main() {
         fig.panel_b.heard_at(fig.receiver)
     );
     println!("  (C) p hears s1: {:?}", fig.panel_c.heard_at(fig.receiver));
+
+    // --- The churn half: the same story as in-place surgery -------------
+    //
+    // Panels B and C differ from A by exactly two ops: move s1 (index 0)
+    // next to p, then silence s3 (index 2). Instead of three networks and
+    // three engines, mutate ONE network and keep ONE engine in sync via
+    // deltas; a skipped `apply` would make the next query panic with a
+    // revision mismatch rather than answer stale.
+    println!("\n=== the same dynamics, replayed as in-place churn ===");
+    let mut net = fig.panel_a.clone();
+    let mut engine = VoronoiAssisted::new(&net);
+    let s1 = StationId(0);
+    let s3 = StationId(2);
+
+    println!(
+        "  A  (revision {}): p hears {:?}",
+        engine.revision(),
+        engine.locate(fig.receiver).station()
+    );
+
+    let delta = net.move_station(s1, fig.panel_b.position(s1))?;
+    engine.apply(&delta)?;
+    println!(
+        "  →B (revision {}, applied {:?} delta): p hears {:?}",
+        engine.revision(),
+        "Move",
+        engine.locate(fig.receiver).station()
+    );
+    let map_b = ReceptionMap::compute_with_engine(&engine, fig.window, 72, 36);
+    print!("{}", render::ascii(&map_b));
+
+    let delta = net.remove_station(s3)?;
+    engine.apply(&delta)?;
+    println!(
+        "  →C (revision {}, applied {:?} delta): p hears {:?}",
+        engine.revision(),
+        "Remove",
+        engine.locate(fig.receiver).station()
+    );
+    let map_c = ReceptionMap::compute_with_engine(&engine, fig.window, 72, 36);
+    print!("{}", render::ascii(&map_c));
+
+    // The incrementally reached states match the paper's prebuilt panels.
+    assert_eq!(net, fig.panel_c);
+    assert_eq!(
+        engine.locate(fig.receiver).station(),
+        fig.panel_c.heard_at(fig.receiver)
+    );
+    println!(
+        "  churn ≡ panels: the in-place network equals panel C and the engine \
+         answered every panel without a single rebuild"
+    );
+    Ok(())
 }

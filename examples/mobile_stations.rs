@@ -3,12 +3,17 @@
 //! time" (Section 1.1). A fixed receiver experiences reception handovers
 //! and outages as an interferer orbits the field.
 //!
-//! Also shows the zone-geometry time series: δ, Δ and fatness of a zone
-//! as the interference configuration changes — always respecting the
-//! Theorem 4.2 bound at every instant.
+//! Since the epoch-versioned dynamic path landed, this example runs the
+//! way a mobile workload should: **one** network mutated in place
+//! ([`Network::move_station`]) and **one** query engine kept in sync
+//! through [`QueryEngine::apply`] — no per-timestep rebuilds anywhere.
+//! Each timestep answers a whole batch of probe receivers through
+//! `locate_batch`, plus the zone-geometry time series (δ, Δ, fatness) of
+//! Theorem 4.2, which holds at every instant of the motion.
 //!
 //! Run with: `cargo run --release --example mobile_stations`
 
+use sinr_diagrams::core::engine::VoronoiAssisted;
 use sinr_diagrams::core::{bounds, Network, StationId};
 use sinr_diagrams::prelude::*;
 
@@ -20,28 +25,65 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let beta = 1.8;
     let noise = 0.02;
     let orbit_radius = 2.2;
+    let steps = 24;
+    let mobile = StationId(2);
+    let orbit = |k: usize| {
+        let theta = std::f64::consts::TAU * k as f64 / steps as f64;
+        Point::new(orbit_radius * theta.cos(), orbit_radius * theta.sin())
+    };
+
+    // A probe array around the receiver: the batched queries each
+    // timestep answers in one `locate_batch` pass.
+    let probes: Vec<Point> = (-2..=2)
+        .flat_map(|a| (-2..=2).map(move |b| receiver + Vector::new(a as f64 * 0.3, b as f64 * 0.3)))
+        .collect();
+    let mut located = vec![Located::Silent; probes.len()];
+
+    // ONE network, mutated in place; ONE engine, patched per delta.
+    let mut net = Network::uniform(vec![fixed_a, fixed_b, orbit(0)], noise, beta)?;
+    let mut engine = VoronoiAssisted::new(&net);
 
     println!("receiver at {receiver}; β = {beta}, N = {noise}");
-    println!("s0 = {fixed_a}, s1 = {fixed_b}, s2 orbits at radius {orbit_radius}\n");
-    println!("  t   | s2 position        | receiver hears | SINR(s0,p) | δ(H0)  | Δ(H0)  | φ(H0) (bound {:.3})",
+    println!("s0 = {fixed_a}, s1 = {fixed_b}, s2 orbits at radius {orbit_radius}");
+    println!(
+        "engine: VoronoiAssisted (kernel {}), kept in sync by NetworkDelta::apply\n",
+        engine.kernel().name()
+    );
+    println!("  t   | s2 position        | receiver hears | probes hearing s0 | SINR(s0,p) | δ(H0)  | Δ(H0)  | φ(H0) (bound {:.3})",
         bounds::fatness_bound(beta).unwrap());
 
-    let steps = 24;
     let mut heard_sequence = Vec::with_capacity(steps);
     for k in 0..steps {
-        let theta = std::f64::consts::TAU * k as f64 / steps as f64;
-        let mobile = Point::new(orbit_radius * theta.cos(), orbit_radius * theta.sin());
-        let net = Network::uniform(vec![fixed_a, fixed_b, mobile], noise, beta)?;
+        if k > 0 {
+            // The dynamic path: move the interferer in place and patch
+            // the engine with the emitted delta. Without the `apply`,
+            // the next query would panic with a revision mismatch — a
+            // stale engine never answers.
+            let delta = net.move_station(mobile, orbit(k))?;
+            assert!(engine.is_stale(), "mutation must stale the engine");
+            engine.apply(&delta)?;
+        }
+        assert!(!engine.is_stale());
+        assert_eq!(engine.revision(), net.revision());
 
-        let heard = net.heard_at(receiver);
+        let heard = engine.locate(receiver).station();
         heard_sequence.push(heard);
+        engine.locate_batch(&probes, &mut located);
+        let probes_s0 = located
+            .iter()
+            .filter(|l| l.station() == Some(StationId(0)))
+            .count();
+
         let zone = net.reception_zone(StationId(0));
         let profile = zone.radial_profile(90).expect("bounded zone");
+        let pos = net.position(mobile);
         println!(
-            "  {k:3} | ({:6.2}, {:6.2})   | {:14} | {:10.4} | {:6.4} | {:6.4} | {:.4}",
-            mobile.x,
-            mobile.y,
+            "  {k:3} | ({:6.2}, {:6.2})   | {:14} | {:9}/{:2}      | {:10.4} | {:6.4} | {:6.4} | {:.4}",
+            pos.x,
+            pos.y,
             heard.map(|i| i.to_string()).unwrap_or_else(|| "—".into()),
+            probes_s0,
+            probes.len(),
             net.sinr(StationId(0), receiver),
             profile.delta(),
             profile.big_delta(),
@@ -65,6 +107,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nacross one orbit: {handovers} reception changes, {outages} outage steps — \
          the \"dynamic diagram\" of Section 1.1 in action"
+    );
+    println!(
+        "network finished at revision {} after {} in-place moves; \
+         the engine followed via incremental apply, zero rebuilds",
+        net.revision(),
+        steps - 1
     );
     Ok(())
 }

@@ -15,8 +15,10 @@
 //!   [`QueryEngine`](prelude::QueryEngine) with its SoA
 //!   [`SinrEvaluator`](prelude::SinrEvaluator), the explicitly
 //!   vectorized [`SimdScan`](prelude::SimdScan) backend (runtime AVX2
-//!   detection, portable fallback) and a std-only work-stealing batch
-//!   scheduler;
+//!   detection, portable fallback), a std-only work-stealing batch
+//!   scheduler, and epoch-versioned dynamic networks whose in-place
+//!   surgery emits [`NetworkDelta`](prelude::NetworkDelta)s that every
+//!   engine applies incrementally (stale engines refuse to answer);
 //! * [`graphs`] — graph-based models (UDG, disk graphs, Quasi-UDG,
 //!   protocol model) and SINR-vs-graph comparisons;
 //! * [`voronoi`] — Voronoi diagrams and nearest-neighbour search
@@ -72,8 +74,9 @@ pub use sinr_voronoi as voronoi;
 pub mod prelude {
     pub use sinr_algebra::{BiPoly, Poly, SturmChain};
     pub use sinr_core::{
-        ExactScan, Located, Network, NetworkBuilder, PowerAssignment, QueryEngine, ReceptionZone,
-        SimdKernel, SimdScan, SinrEvaluator, Station, StationId, VoronoiAssisted,
+        DeltaOp, ExactScan, Located, Network, NetworkBuilder, NetworkDelta, PowerAssignment,
+        QueryEngine, ReceptionZone, SimdKernel, SimdScan, SinrEvaluator, Station, StationId,
+        StationKey, SyncError, VoronoiAssisted,
     };
     pub use sinr_diagram::{Raster, ReceptionMap};
     pub use sinr_geometry::{BBox, Ball, Grid, Line, Point, Segment, Vector};
