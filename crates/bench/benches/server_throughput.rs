@@ -1,0 +1,163 @@
+//! Server throughput bench: the streaming protocol end-to-end.
+//!
+//! Measures `LocateBatch` round trips through a live session — encode,
+//! frame, (socket), decode, engine batch, encode runs, frame, decode —
+//! for each exact backend over both transports:
+//!
+//! * `pipe` — the in-process [`PipeTransport`]: pure protocol + engine
+//!   cost, no kernel sockets (the floor the TCP numbers are read
+//!   against);
+//! * `tcp` — a real ephemeral-port loopback connection, thread per
+//!   session, exactly what `examples/query_server.rs` serves.
+//!
+//! A second scenario (`churn_stream`) interleaves a `Mutate` frame (the
+//! mobile-station timestep) between bursts, measuring the full
+//! mutate+query round trip that PR 3's incremental engines make
+//! rebuild-free.
+//!
+//! One JSON line per configuration via `sinr_bench::report::JsonLine`
+//! (`"bench":"server_throughput"`); the trend file is
+//! `perf/server_throughput.jsonl` and CI archives each run's lines as
+//! the `server-throughput-json` artifact.
+
+use rand::{Rng, SeedableRng};
+use sinr_bench::report::JsonLine;
+use sinr_core::{gen, Network, StationId, SurgeryOp};
+use sinr_geometry::Point;
+use sinr_server::{serve_in_process, BackendId, Client, Server, Transport};
+use std::time::Instant;
+
+const STATIONS: usize = 1024;
+const BURST_POINTS: usize = 16_384;
+const ROUNDS: usize = 6;
+const CHURN_STEPS: usize = 32;
+const CHURN_MOVES: usize = 4;
+const CHURN_BURST: usize = 1024;
+
+fn setup() -> (Network, Vec<Point>, Vec<Point>) {
+    let half = 2.0 * (STATIONS as f64).sqrt();
+    let net = gen::random_uniform_network(0x5EC, STATIONS, half, 0.01, 2.0).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EC + 1);
+    let burst = gen::uniform_in_box(&mut rng, BURST_POINTS, half * 1.1);
+    let churn_burst = gen::uniform_in_box(&mut rng, CHURN_BURST, half * 1.1);
+    (net, burst, churn_burst)
+}
+
+/// `ROUNDS` locate bursts through an established session; returns
+/// ns/point end-to-end.
+fn stream_scenario<T: Transport>(client: &mut Client<T>, burst: &[Point]) -> f64 {
+    // Warm-up round (first batch pays engine-side cache warming).
+    let (_, first) = client.locate_batch(burst).expect("warm-up burst");
+    assert_eq!(first.len(), burst.len());
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        let (_, answers) = client.locate_batch(burst).expect("burst");
+        assert_eq!(answers.len(), burst.len());
+    }
+    start.elapsed().as_nanos() as f64 / (ROUNDS * burst.len()) as f64
+}
+
+/// `CHURN_STEPS` timesteps of `Mutate` (moves) + a burst; returns
+/// (ns/step, ns/point-within-step).
+fn churn_scenario<T: Transport>(
+    client: &mut Client<T>,
+    net: &Network,
+    revision0: u64,
+    burst: &[Point],
+) -> (f64, f64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE);
+    let half = 2.0 * (STATIONS as f64).sqrt();
+    let mut revision = revision0;
+    let start = Instant::now();
+    for _ in 0..CHURN_STEPS {
+        let ops: Vec<SurgeryOp> = (0..CHURN_MOVES)
+            .map(|_| SurgeryOp::Move {
+                id: StationId(rng.gen_range(0..net.len())),
+                to: Point::new(rng.gen_range(-half..half), rng.gen_range(-half..half)),
+            })
+            .collect();
+        revision = client.mutate(revision, &ops).expect("timestep mutate");
+        let (rev, answers) = client.locate_batch(burst).expect("timestep burst");
+        assert_eq!(rev, revision);
+        assert_eq!(answers.len(), burst.len());
+    }
+    let ns = start.elapsed().as_nanos() as f64;
+    (
+        ns / CHURN_STEPS as f64,
+        ns / (CHURN_STEPS * burst.len()) as f64,
+    )
+}
+
+fn emit_stream(transport: &str, backend: BackendId, ns_per_point: f64) {
+    let line = JsonLine::new("server_throughput")
+        .str("scenario", "stream")
+        .str("transport", transport)
+        .str("backend", backend.name())
+        .int("stations", STATIONS as u64)
+        .int("burst_points", BURST_POINTS as u64)
+        .int("rounds", ROUNDS as u64)
+        .num("ns_per_point", ns_per_point)
+        .num("points_per_sec", 1e9 / ns_per_point);
+    println!("{}", line.render());
+}
+
+fn emit_churn(transport: &str, backend: BackendId, (ns_per_step, ns_per_point): (f64, f64)) {
+    let line = JsonLine::new("server_throughput")
+        .str("scenario", "churn_stream")
+        .str("transport", transport)
+        .str("backend", backend.name())
+        .int("stations", STATIONS as u64)
+        .int("steps", CHURN_STEPS as u64)
+        .int("moves_per_step", CHURN_MOVES as u64)
+        .int("burst_points", CHURN_BURST as u64)
+        .num("ns_per_step", ns_per_step)
+        .num("ns_per_point", ns_per_point);
+    println!("{}", line.render());
+}
+
+fn main() {
+    let (net, burst, churn_burst) = setup();
+    let backends = [
+        BackendId::ExactScan,
+        BackendId::SimdScan,
+        BackendId::VoronoiAssisted,
+    ];
+
+    // In-process pipe: protocol + engine cost, no sockets.
+    for backend in backends {
+        let mut client = serve_in_process();
+        client.bind_network(backend, 0.0, &net).expect("pipe bind");
+        let ns = stream_scenario(&mut client, &burst);
+        emit_stream("pipe", backend, ns);
+    }
+
+    // Real TCP loopback, one server for all sessions.
+    let server = Server::bind("127.0.0.1:0").expect("bind ephemeral");
+    let handle = server.spawn().expect("spawn server");
+    for backend in backends {
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        client.bind_network(backend, 0.0, &net).expect("tcp bind");
+        let ns = stream_scenario(&mut client, &burst);
+        emit_stream("tcp", backend, ns);
+    }
+
+    // Churn stream: mutate + burst per timestep, both transports, on
+    // the backend the dynamic path optimizes hardest (voronoi).
+    {
+        let mut client = serve_in_process();
+        let rev = client
+            .bind_network(BackendId::VoronoiAssisted, 0.0, &net)
+            .expect("pipe bind");
+        let churn = churn_scenario(&mut client, &net, rev, &churn_burst);
+        emit_churn("pipe", BackendId::VoronoiAssisted, churn);
+    }
+    {
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let rev = client
+            .bind_network(BackendId::VoronoiAssisted, 0.0, &net)
+            .expect("tcp bind");
+        let churn = churn_scenario(&mut client, &net, rev, &churn_burst);
+        emit_churn("tcp", BackendId::VoronoiAssisted, churn);
+    }
+    handle.shutdown();
+}

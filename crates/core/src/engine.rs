@@ -147,6 +147,46 @@ impl std::fmt::Display for SyncError {
 
 impl std::error::Error for SyncError {}
 
+/// Why an engine declined to answer a query.
+///
+/// This is the *recoverable* face of the staleness contract: the plain
+/// query entry points ([`QueryEngine::locate`] and friends) **panic** on
+/// a stale engine — a stale answer could be silently wrong, and a panic
+/// is the loudest possible refusal — while the fallible entry points
+/// ([`QueryEngine::try_locate`], [`QueryEngine::try_locate_batch`],
+/// [`QueryEngine::try_sinr_batch`]) report the same condition as this
+/// typed error, which long-lived services (the `sinr-server` session
+/// loop) serialize to their clients instead of dying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocateError {
+    /// The source network has mutated past the engine's revision; catch
+    /// up with [`QueryEngine::apply`] or [`QueryEngine::sync`].
+    Stale {
+        /// The revision the engine currently reflects.
+        engine_revision: u64,
+        /// The network's current revision.
+        network_revision: u64,
+    },
+}
+
+impl std::fmt::Display for LocateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LocateError::Stale {
+                engine_revision,
+                network_revision,
+            } => write!(
+                f,
+                "stale query engine: the network is at revision {network_revision} but this \
+                 engine was synced at revision {engine_revision}; apply the missed \
+                 NetworkDeltas or sync(&network)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LocateError {}
+
 /// The engine side of the epoch protocol: the network's revision cell
 /// and the revision this engine's data reflects.
 #[derive(Debug, Clone)]
@@ -497,6 +537,24 @@ impl SinrEvaluator {
         self.epoch.current() != self.epoch.seen
     }
 
+    /// The staleness check in fallible form: `Ok(())` when this
+    /// evaluator still reflects the source network, the
+    /// [`LocateError::Stale`] describing the revision gap otherwise.
+    ///
+    /// Every backend's [`QueryEngine::freshness`] delegates here.
+    #[inline]
+    pub fn freshness(&self) -> Result<(), LocateError> {
+        let now = self.epoch.current();
+        if now == self.epoch.seen {
+            Ok(())
+        } else {
+            Err(LocateError::Stale {
+                engine_revision: self.epoch.seen,
+                network_revision: now,
+            })
+        }
+    }
+
     /// Enforces the staleness contract on every query entry point.
     ///
     /// # Panics
@@ -505,15 +563,13 @@ impl SinrEvaluator {
     /// revision — a stale engine must never answer (its answer could be
     /// silently wrong). Catch up with
     /// [`apply`](SinrEvaluator::apply)/[`sync`](SinrEvaluator::sync).
+    /// The recoverable form of the same check is
+    /// [`SinrEvaluator::freshness`].
     #[inline]
     pub fn assert_fresh(&self) {
-        let now = self.epoch.current();
-        assert!(
-            now == self.epoch.seen,
-            "stale query engine: the network is at revision {now} but this engine \
-             was synced at revision {}; apply the missed NetworkDeltas or sync(&network)",
-            self.epoch.seen
-        );
+        if let Err(e) = self.freshness() {
+            panic!("{e}");
+        }
     }
 
     /// Patches the evaluator in place with one [`NetworkDelta`] — `O(1)`
@@ -865,6 +921,65 @@ pub trait QueryEngine {
 
     // --- The dynamic path (epochs and deltas) ----------------------------
 
+    /// The staleness contract in fallible form: `Ok(())` when the engine
+    /// still reflects its source network, [`LocateError::Stale`] (with
+    /// both revisions) otherwise.
+    ///
+    /// The plain query methods *panic* on staleness; the `try_*` methods
+    /// route through this check and return the error instead — the shape
+    /// a long-lived service needs to serialize the condition rather than
+    /// die. Implementations delegate to [`SinrEvaluator::freshness`].
+    fn freshness(&self) -> Result<(), LocateError>;
+
+    /// Fallible [`QueryEngine::locate`]: refuses a stale engine with a
+    /// typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`LocateError::Stale`] when the source network has mutated past
+    /// this engine.
+    fn try_locate(&self, p: Point) -> Result<Located, LocateError> {
+        self.freshness()?;
+        Ok(self.locate(p))
+    }
+
+    /// Fallible [`QueryEngine::locate_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`LocateError::Stale`] when the source network has mutated past
+    /// this engine; `out` is untouched on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` and `out` have different lengths.
+    fn try_locate_batch(&self, points: &[Point], out: &mut [Located]) -> Result<(), LocateError> {
+        self.freshness()?;
+        self.locate_batch(points, out);
+        Ok(())
+    }
+
+    /// Fallible [`QueryEngine::sinr_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`LocateError::Stale`] when the source network has mutated past
+    /// this engine; `out` is untouched on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the slice lengths differ.
+    fn try_sinr_batch(
+        &self,
+        i: StationId,
+        points: &[Point],
+        out: &mut [f64],
+    ) -> Result<(), LocateError> {
+        self.freshness()?;
+        self.sinr_batch(i, points, out);
+        Ok(())
+    }
+
     /// The network revision this engine currently answers for.
     fn revision(&self) -> u64;
 
@@ -940,6 +1055,10 @@ impl QueryEngine for ExactScan {
 
     fn sinr_batch(&self, i: StationId, points: &[Point], out: &mut [f64]) {
         self.eval.sinr_batch(i, points, out);
+    }
+
+    fn freshness(&self) -> Result<(), LocateError> {
+        self.eval.freshness()
     }
 
     fn revision(&self) -> u64 {
@@ -1206,6 +1325,10 @@ impl QueryEngine for VoronoiAssisted {
         self.eval.sinr_batch(i, points, out);
     }
 
+    fn freshness(&self) -> Result<(), LocateError> {
+        self.eval.freshness()
+    }
+
     fn revision(&self) -> u64 {
         self.eval.revision()
     }
@@ -1248,6 +1371,121 @@ impl QueryEngine for VoronoiAssisted {
     fn sync(&mut self, net: &Network) -> Result<(), SyncError> {
         *self = VoronoiAssisted::new(net);
         Ok(())
+    }
+}
+
+/// A backend chosen at runtime: any [`QueryEngine`] behind one owned,
+/// object-safe handle.
+///
+/// The concrete backends are distinct types (deliberately — batch hot
+/// loops monomorphize over them), which is the wrong shape for callers
+/// that pick a backend from a config value, a CLI flag, or a network
+/// client's `Bind` frame (`sinr-server`). `BoxedEngine` erases the type
+/// while keeping the whole [`QueryEngine`] contract, including the
+/// dynamic path (`apply`/`sync`), and remembers a stable backend name
+/// for logs and wire responses.
+///
+/// Constructors cover this crate's backends; [`BoxedEngine::new`] wraps
+/// any other implementation (e.g. the Theorem-3 `PointLocator` of
+/// `sinr-pointloc`).
+///
+/// # Examples
+///
+/// ```
+/// use sinr_core::engine::{BoxedEngine, QueryEngine};
+/// use sinr_core::Network;
+/// use sinr_geometry::Point;
+///
+/// let net = Network::uniform(
+///     vec![Point::new(0.0, 0.0), Point::new(6.0, 0.0)],
+///     0.0,
+///     2.0,
+/// ).unwrap();
+/// let engine = match "simd_scan" {
+///     "exact_scan" => BoxedEngine::exact_scan(&net),
+///     "simd_scan" => BoxedEngine::simd_scan(&net),
+///     _ => BoxedEngine::voronoi_assisted(&net),
+/// };
+/// assert_eq!(engine.backend_name(), "simd_scan");
+/// assert!(engine.locate(Point::new(0.5, 0.0)).station().is_some());
+/// ```
+pub struct BoxedEngine {
+    inner: Box<dyn QueryEngine + Send>,
+    backend: &'static str,
+}
+
+impl std::fmt::Debug for BoxedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoxedEngine")
+            .field("backend", &self.backend)
+            .field("revision", &self.inner.revision())
+            .finish()
+    }
+}
+
+impl BoxedEngine {
+    /// Wraps any engine under the given stable backend name.
+    pub fn new<E: QueryEngine + Send + 'static>(backend: &'static str, engine: E) -> Self {
+        BoxedEngine {
+            inner: Box::new(engine),
+            backend,
+        }
+    }
+
+    /// An [`ExactScan`] behind the erased handle (`"exact_scan"`).
+    pub fn exact_scan(net: &Network) -> Self {
+        BoxedEngine::new("exact_scan", ExactScan::new(net))
+    }
+
+    /// A [`SimdScan`](crate::simd::SimdScan) behind the erased handle
+    /// (`"simd_scan"`).
+    pub fn simd_scan(net: &Network) -> Self {
+        BoxedEngine::new("simd_scan", crate::simd::SimdScan::new(net))
+    }
+
+    /// A [`VoronoiAssisted`] behind the erased handle
+    /// (`"voronoi_assisted"`).
+    pub fn voronoi_assisted(net: &Network) -> Self {
+        BoxedEngine::new("voronoi_assisted", VoronoiAssisted::new(net))
+    }
+
+    /// The stable name of the wrapped backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend
+    }
+}
+
+impl QueryEngine for BoxedEngine {
+    fn locate(&self, p: Point) -> Located {
+        self.inner.locate(p)
+    }
+
+    fn locate_batch(&self, points: &[Point], out: &mut [Located]) {
+        self.inner.locate_batch(points, out);
+    }
+
+    fn sinr_batch(&self, i: StationId, points: &[Point], out: &mut [f64]) {
+        self.inner.sinr_batch(i, points, out);
+    }
+
+    fn freshness(&self) -> Result<(), LocateError> {
+        self.inner.freshness()
+    }
+
+    fn revision(&self) -> u64 {
+        self.inner.revision()
+    }
+
+    fn is_stale(&self) -> bool {
+        self.inner.is_stale()
+    }
+
+    fn apply(&mut self, delta: &NetworkDelta) -> Result<(), SyncError> {
+        self.inner.apply(delta)
+    }
+
+    fn sync(&mut self, net: &Network) -> Result<(), SyncError> {
+        self.inner.sync(net)
     }
 }
 

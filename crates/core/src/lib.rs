@@ -141,8 +141,14 @@ pub mod station;
 pub mod zone;
 
 pub use convexity::{ConvexityReport, ConvexityViolation};
-pub use engine::{ExactScan, Located, QueryEngine, SinrEvaluator, SyncError, VoronoiAssisted};
-pub use network::{DeltaOp, Network, NetworkBuilder, NetworkDelta, NetworkError};
+pub use engine::{
+    BoxedEngine, ExactScan, LocateError, Located, QueryEngine, SinrEvaluator, SyncError,
+    VoronoiAssisted,
+};
+pub use network::{
+    BatchSurgeryError, DeltaOp, Network, NetworkBuilder, NetworkDelta, NetworkError, SurgeryOp,
+    WireError,
+};
 pub use power::PowerAssignment;
 pub use simd::{SimdKernel, SimdScan};
 pub use station::{Station, StationId, StationKey};

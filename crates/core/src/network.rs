@@ -180,6 +180,208 @@ pub enum DeltaOp {
     },
 }
 
+/// A requested in-place surgery step, in plain serializable form.
+///
+/// [`SurgeryOp`] is the *request* shape of the dynamic path, the way
+/// [`DeltaOp`] is the *record* shape: a caller (a test harness, a replay
+/// log, a network client of `sinr-server`) describes what it wants done,
+/// [`Network::apply_op`] performs it, and the emitted [`NetworkDelta`]
+/// records what actually happened (swap-remove index discipline,
+/// uniformity after, revision fencing).
+///
+/// Ops carry no revision and no instance binding — validation happens at
+/// application time against the network they are applied to. The binary
+/// wire encoding ([`SurgeryOp::encode_into`] / [`SurgeryOp::decode`]) is
+/// what `sinr-server`'s `Mutate` frames carry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SurgeryOp {
+    /// Append a station (mirrors [`Network::add_station`]).
+    Add {
+        /// Where the new station transmits from.
+        position: Point,
+        /// Its transmit power.
+        power: f64,
+    },
+    /// Remove the station at `id` by swap-remove (mirrors
+    /// [`Network::remove_station`]).
+    Remove {
+        /// The station to remove.
+        id: StationId,
+    },
+    /// Relocate station `id` (mirrors [`Network::move_station`]).
+    Move {
+        /// The station to move.
+        id: StationId,
+        /// Its new position.
+        to: Point,
+    },
+    /// Change station `id`'s transmit power (mirrors
+    /// [`Network::set_power`]).
+    SetPower {
+        /// The station.
+        id: StationId,
+        /// Its new power.
+        power: f64,
+    },
+}
+
+/// Wire tags of the [`SurgeryOp`] variants (one byte each).
+const OP_TAG_ADD: u8 = 0;
+const OP_TAG_REMOVE: u8 = 1;
+const OP_TAG_MOVE: u8 = 2;
+const OP_TAG_SET_POWER: u8 = 3;
+
+/// Why a [`SurgeryOp`] could not be decoded from bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the op did.
+    Truncated {
+        /// How many more bytes the op needed.
+        missing: usize,
+    },
+    /// The leading tag byte does not name a [`SurgeryOp`] variant.
+    UnknownOpTag(u8),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { missing } => {
+                write!(f, "surgery op truncated: {missing} more bytes needed")
+            }
+            WireError::UnknownOpTag(tag) => write!(f, "unknown surgery-op tag {tag:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl SurgeryOp {
+    /// Appends the op's binary wire form (tag byte + little-endian
+    /// fields) to `buf`. The inverse of [`SurgeryOp::decode`].
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            SurgeryOp::Add { position, power } => {
+                buf.push(OP_TAG_ADD);
+                buf.extend_from_slice(&position.x.to_le_bytes());
+                buf.extend_from_slice(&position.y.to_le_bytes());
+                buf.extend_from_slice(&power.to_le_bytes());
+            }
+            SurgeryOp::Remove { id } => {
+                buf.push(OP_TAG_REMOVE);
+                buf.extend_from_slice(&(id.0 as u32).to_le_bytes());
+            }
+            SurgeryOp::Move { id, to } => {
+                buf.push(OP_TAG_MOVE);
+                buf.extend_from_slice(&(id.0 as u32).to_le_bytes());
+                buf.extend_from_slice(&to.x.to_le_bytes());
+                buf.extend_from_slice(&to.y.to_le_bytes());
+            }
+            SurgeryOp::SetPower { id, power } => {
+                buf.push(OP_TAG_SET_POWER);
+                buf.extend_from_slice(&(id.0 as u32).to_le_bytes());
+                buf.extend_from_slice(&power.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decodes one op from the front of `bytes`, returning it together
+    /// with the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when `bytes` ends mid-op;
+    /// [`WireError::UnknownOpTag`] for an unrecognized tag byte. Decoding
+    /// never panics on adversarial input (non-finite floats are *not*
+    /// rejected here — they fail [`Network::apply_op`]'s validation, the
+    /// single authority on model invariants).
+    pub fn decode(bytes: &[u8]) -> Result<(SurgeryOp, usize), WireError> {
+        fn f64_at(bytes: &[u8], at: usize) -> Result<f64, WireError> {
+            let end = at + 8;
+            if bytes.len() < end {
+                return Err(WireError::Truncated {
+                    missing: end - bytes.len(),
+                });
+            }
+            Ok(f64::from_le_bytes(bytes[at..end].try_into().expect("8")))
+        }
+        fn u32_at(bytes: &[u8], at: usize) -> Result<u32, WireError> {
+            let end = at + 4;
+            if bytes.len() < end {
+                return Err(WireError::Truncated {
+                    missing: end - bytes.len(),
+                });
+            }
+            Ok(u32::from_le_bytes(bytes[at..end].try_into().expect("4")))
+        }
+        let Some(&tag) = bytes.first() else {
+            return Err(WireError::Truncated { missing: 1 });
+        };
+        match tag {
+            OP_TAG_ADD => Ok((
+                SurgeryOp::Add {
+                    position: Point::new(f64_at(bytes, 1)?, f64_at(bytes, 9)?),
+                    power: f64_at(bytes, 17)?,
+                },
+                25,
+            )),
+            OP_TAG_REMOVE => Ok((
+                SurgeryOp::Remove {
+                    id: StationId(u32_at(bytes, 1)? as usize),
+                },
+                5,
+            )),
+            OP_TAG_MOVE => Ok((
+                SurgeryOp::Move {
+                    id: StationId(u32_at(bytes, 1)? as usize),
+                    to: Point::new(f64_at(bytes, 5)?, f64_at(bytes, 13)?),
+                },
+                21,
+            )),
+            OP_TAG_SET_POWER => Ok((
+                SurgeryOp::SetPower {
+                    id: StationId(u32_at(bytes, 1)? as usize),
+                    power: f64_at(bytes, 5)?,
+                },
+                13,
+            )),
+            other => Err(WireError::UnknownOpTag(other)),
+        }
+    }
+}
+
+/// A batched surgery application that failed partway (see
+/// [`Network::apply_ops`]): the ops before `index` were applied and
+/// their deltas are returned so engines can still be brought in sync
+/// with the partially mutated network.
+#[derive(Debug, Clone)]
+pub struct BatchSurgeryError {
+    /// Deltas of the successfully applied prefix (in emission order).
+    pub applied: Vec<NetworkDelta>,
+    /// Index of the op that failed.
+    pub index: usize,
+    /// Why it failed.
+    pub error: NetworkError,
+}
+
+impl fmt::Display for BatchSurgeryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "surgery op #{} failed after {} applied: {}",
+            self.index,
+            self.applied.len(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for BatchSurgeryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
 /// A wireless network `A = ⟨S, ψ, N, β⟩` with path-loss exponent `α`.
 ///
 /// The *physics* fields are immutable after [`NetworkBuilder::build`];
@@ -613,6 +815,62 @@ impl Network {
                 to: power,
             },
         ))
+    }
+
+    /// Performs one requested [`SurgeryOp`] — the dynamic dispatch
+    /// counterpart of calling [`Network::add_station`] /
+    /// [`Network::remove_station`] / [`Network::move_station`] /
+    /// [`Network::set_power`] directly.
+    ///
+    /// # Errors
+    ///
+    /// The respective op's [`NetworkError`]; the network is untouched and
+    /// the epoch does not move on error.
+    pub fn apply_op(&mut self, op: &SurgeryOp) -> Result<NetworkDelta, NetworkError> {
+        match op {
+            SurgeryOp::Add { position, power } => self.add_station(*position, *power),
+            SurgeryOp::Remove { id } => self.remove_station(*id),
+            SurgeryOp::Move { id, to } => self.move_station(*id, *to),
+            SurgeryOp::SetPower { id, power } => self.set_power(*id, *power),
+        }
+    }
+
+    /// Applies a whole timestep of surgery ops in one pass, returning
+    /// every emitted delta in order — the batched/coalesced counterpart
+    /// of calling [`Network::apply_op`] in a loop, and the application
+    /// path of `sinr-server`'s `Mutate` frames.
+    ///
+    /// Ops are applied strictly in sequence (later ops see the index
+    /// shifts of earlier ones, exactly as the one-at-a-time path would),
+    /// and each op bumps the epoch by one, so the returned deltas chain
+    /// `from_revision → to_revision` gaplessly and feed
+    /// [`QueryEngine::apply`](crate::engine::QueryEngine::apply)
+    /// unchanged. Equivalence with the one-at-a-time path is pinned
+    /// bit-for-bit (per backend) by `tests/dynamic_apply.rs`.
+    ///
+    /// # Errors
+    ///
+    /// On the first failing op the batch stops: the *prefix stays
+    /// applied* (this is in-place surgery, not a transaction) and the
+    /// returned [`BatchSurgeryError`] carries the prefix's deltas, the
+    /// failing index and the underlying [`NetworkError`], so callers can
+    /// still bring their engines in sync with the partially mutated
+    /// network.
+    pub fn apply_ops(&mut self, ops: &[SurgeryOp]) -> Result<Vec<NetworkDelta>, BatchSurgeryError> {
+        let mut applied = Vec::with_capacity(ops.len());
+        for (index, op) in ops.iter().enumerate() {
+            match self.apply_op(op) {
+                Ok(delta) => applied.push(delta),
+                Err(error) => {
+                    return Err(BatchSurgeryError {
+                        applied,
+                        index,
+                        error,
+                    })
+                }
+            }
+        }
+        Ok(applied)
     }
 
     // --- Surgery (the paper's proof moves) -------------------------------

@@ -78,8 +78,8 @@
 #![allow(unsafe_code)]
 
 use crate::engine::{
-    batch_map, GeneralAlpha, InverseSquare, Located, PathLoss, QueryEngine, Scan, SinrEvaluator,
-    SyncError,
+    batch_map, GeneralAlpha, InverseSquare, LocateError, Located, PathLoss, QueryEngine, Scan,
+    SinrEvaluator, SyncError,
 };
 use crate::network::{Network, NetworkDelta};
 use crate::station::StationId;
@@ -592,6 +592,10 @@ impl QueryEngine for SimdScan {
         // Reported SINR values need the direct `j ≠ i` interference sum
         // (see `SinrEvaluator::sinr`); the scalar path is already exact.
         self.eval.sinr_batch(i, points, out);
+    }
+
+    fn freshness(&self) -> Result<(), LocateError> {
+        self.eval.freshness()
     }
 
     fn revision(&self) -> u64 {

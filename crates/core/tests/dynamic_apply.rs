@@ -20,7 +20,7 @@ use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use sinr_core::engine::{ExactScan, Located, QueryEngine, SyncError, VoronoiAssisted};
 use sinr_core::simd::{SimdKernel, SimdScan};
-use sinr_core::{Network, NetworkDelta, SinrEvaluator, StationId};
+use sinr_core::{Network, NetworkDelta, NetworkError, SinrEvaluator, StationId, SurgeryOp};
 use sinr_geometry::{Point, Vector};
 
 /// Separated stations (non-degenerate zones, honest numerics).
@@ -105,6 +105,47 @@ fn random_op(rng: &mut rand::rngs::StdRng, net: &mut Network) -> NetworkDelta {
             net.set_power(StationId(i), 1.0).expect("valid power")
         }
     }
+}
+
+/// A random *timestep* of surgery as a plain [`SurgeryOp`] list,
+/// generated against (and applied to) a scratch mirror so every op in
+/// the list is valid by construction when replayed in order.
+fn random_op_list(
+    rng: &mut rand::rngs::StdRng,
+    scratch: &mut Network,
+    steps: usize,
+) -> Vec<SurgeryOp> {
+    let mut ops = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let op = match rng.gen_range(0..8) {
+            0 | 1 => SurgeryOp::Add {
+                position: Point::new(rng.gen_range(-6.0..6.0), rng.gen_range(-6.0..6.0)),
+                power: if rng.gen_range(0..2) == 0 {
+                    1.0
+                } else {
+                    rng.gen_range(0.5..2.5)
+                },
+            },
+            2 | 3 if scratch.len() > 2 => SurgeryOp::Remove {
+                id: StationId(rng.gen_range(0..scratch.len())),
+            },
+            4 | 5 => SurgeryOp::Move {
+                id: StationId(rng.gen_range(0..scratch.len())),
+                to: Point::new(rng.gen_range(-6.0..6.0), rng.gen_range(-6.0..6.0)),
+            },
+            6 => SurgeryOp::SetPower {
+                id: StationId(rng.gen_range(0..scratch.len())),
+                power: rng.gen_range(0.5..2.5),
+            },
+            _ => SurgeryOp::SetPower {
+                id: StationId(rng.gen_range(0..scratch.len())),
+                power: 1.0,
+            },
+        };
+        scratch.apply_op(&op).expect("op valid against the scratch");
+        ops.push(op);
+    }
+    ops
 }
 
 /// Query sample: a grid over the churn window plus points at and just
@@ -269,6 +310,173 @@ proptest! {
             assert_bit_identical("SimdScan", &simd, &SimdScan::new(&net), &net)?;
         }
     }
+
+    /// `Network::apply_ops` (a whole timestep in one call) must be
+    /// indistinguishable — network state, revision trail, and every
+    /// backend's answers, bit-for-bit — from applying the same ops one
+    /// at a time through `Network::apply_op`.
+    #[test]
+    fn apply_ops_equals_one_at_a_time(net in networks(), seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xBA7C);
+        let mut scratch = net.clone();
+        let ops = random_op_list(&mut rng, &mut scratch, 10);
+
+        // One-at-a-time path: its own network instance + engines.
+        let mut one = net.clone();
+        let mut one_exact = ExactScan::new(&one);
+        let mut one_voronoi = VoronoiAssisted::new(&one);
+        let mut one_simd = SimdScan::new(&one);
+        for op in &ops {
+            let delta = one.apply_op(op).expect("valid by construction");
+            one_exact.apply(&delta).expect("in order");
+            one_voronoi.apply(&delta).expect("in order");
+            one_simd.apply(&delta).expect("in order");
+        }
+
+        // Batched path: one call, every delta returned in order.
+        let mut batched = net.clone();
+        let mut b_exact = ExactScan::new(&batched);
+        let mut b_voronoi = VoronoiAssisted::new(&batched);
+        let mut b_simd = SimdScan::new(&batched);
+        let deltas = batched.apply_ops(&ops).expect("valid by construction");
+        prop_assert_eq!(deltas.len(), ops.len());
+        for (k, delta) in deltas.iter().enumerate() {
+            prop_assert_eq!(delta.from_revision(), k as u64, "gapless revision chain");
+            prop_assert_eq!(delta.to_revision(), k as u64 + 1);
+            b_exact.apply(delta).expect("in order");
+            b_voronoi.apply(delta).expect("in order");
+            b_simd.apply(delta).expect("in order");
+        }
+
+        // Same physics, same revision, and (scratch took the same ops
+        // through yet another path) same as the generator's mirror.
+        prop_assert_eq!(&one, &batched, "network state diverged");
+        prop_assert_eq!(&scratch, &batched, "scratch mirror diverged");
+        prop_assert_eq!(one.revision(), batched.revision());
+
+        // Every backend answers identically under both application
+        // styles, and identically to a fresh rebuild.
+        assert_bit_identical("ExactScan one-vs-batch", &one_exact, &b_exact, &batched)?;
+        assert_bit_identical("Voronoi one-vs-batch", &one_voronoi, &b_voronoi, &batched)?;
+        assert_bit_identical("Simd one-vs-batch", &one_simd, &b_simd, &batched)?;
+        assert_bit_identical("ExactScan batch-vs-fresh", &b_exact, &ExactScan::new(&batched), &batched)?;
+        assert_bit_identical("Voronoi batch-vs-fresh", &b_voronoi, &VoronoiAssisted::new(&batched), &batched)?;
+        assert_bit_identical("Simd batch-vs-fresh", &b_simd, &SimdScan::new(&batched), &batched)?;
+    }
+}
+
+#[test]
+fn apply_ops_partial_failure_keeps_prefix_and_reports_index() {
+    let mut net = Network::uniform(
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(1.0, 3.0),
+        ],
+        0.01,
+        1.5,
+    )
+    .unwrap();
+    let mut engine = VoronoiAssisted::new(&net);
+    let ops = [
+        SurgeryOp::Move {
+            id: StationId(0),
+            to: Point::new(-1.0, 0.0),
+        },
+        SurgeryOp::Add {
+            position: Point::new(2.0, 2.0),
+            power: 1.0,
+        },
+        // Fails: no station 50.
+        SurgeryOp::SetPower {
+            id: StationId(50),
+            power: 2.0,
+        },
+        // Never reached.
+        SurgeryOp::Remove { id: StationId(0) },
+    ];
+    let err = net.apply_ops(&ops).expect_err("op #2 is invalid");
+    assert_eq!(err.index, 2);
+    assert_eq!(err.applied.len(), 2);
+    assert!(matches!(err.error, NetworkError::StationOutOfRange(50)));
+    // The error is a real std error with the cause chained.
+    assert!(std::error::Error::source(&err).is_some());
+    assert!(err.to_string().contains("op #2"));
+
+    // The prefix really was applied: revision 2, the move + add visible,
+    // the suffix not.
+    assert_eq!(net.revision(), 2);
+    assert_eq!(net.len(), 4);
+    assert_eq!(net.position(StationId(0)), Point::new(-1.0, 0.0));
+
+    // Engines catch up from the error's deltas and agree with a rebuild.
+    for delta in &err.applied {
+        engine.apply(delta).expect("prefix deltas are in order");
+    }
+    assert!(!engine.is_stale());
+    let fresh = VoronoiAssisted::new(&net);
+    for p in [
+        Point::new(0.3, 0.2),
+        Point::new(2.0, 2.0),
+        Point::new(-4.0, 1.0),
+    ] {
+        assert_eq!(engine.locate(p), fresh.locate(p));
+    }
+}
+
+#[test]
+fn surgery_op_wire_round_trip() {
+    let ops = [
+        SurgeryOp::Add {
+            position: Point::new(1.5, -2.25),
+            power: 0.75,
+        },
+        SurgeryOp::Remove { id: StationId(7) },
+        SurgeryOp::Move {
+            id: StationId(3),
+            to: Point::new(-0.5, 9.0),
+        },
+        SurgeryOp::SetPower {
+            id: StationId(0),
+            power: 2.5,
+        },
+    ];
+    // Concatenated encoding decodes back op-for-op.
+    let mut buf = Vec::new();
+    for op in &ops {
+        op.encode_into(&mut buf);
+    }
+    let mut at = 0;
+    for op in &ops {
+        let (decoded, used) = SurgeryOp::decode(&buf[at..]).expect("decodes");
+        assert_eq!(&decoded, op);
+        at += used;
+    }
+    assert_eq!(at, buf.len(), "no trailing bytes");
+
+    // Every proper prefix of the first op (a 25-byte Add) is a typed
+    // truncation error, never a panic.
+    for cut in 0..25 {
+        assert!(
+            matches!(
+                SurgeryOp::decode(&buf[..cut]),
+                Err(sinr_core::WireError::Truncated { .. })
+            ),
+            "prefix of {cut} bytes must be Truncated"
+        );
+    }
+    assert!(matches!(
+        SurgeryOp::decode(&[]),
+        Err(sinr_core::WireError::Truncated { missing: 1 })
+    ));
+    assert!(matches!(
+        SurgeryOp::decode(&[0, 1, 2]),
+        Err(sinr_core::WireError::Truncated { .. })
+    ));
+    assert!(matches!(
+        SurgeryOp::decode(&[42, 0, 0, 0, 0]),
+        Err(sinr_core::WireError::UnknownOpTag(42))
+    ));
 }
 
 #[test]

@@ -10,7 +10,7 @@
 
 use crate::brp::BrpError;
 use crate::qds::{CellClass, Qds, QdsConfig};
-use sinr_core::engine::{batch_map, QueryEngine, SinrEvaluator, SyncError};
+use sinr_core::engine::{batch_map, LocateError, QueryEngine, SinrEvaluator, SyncError};
 use sinr_core::{DeltaOp, Network, NetworkDelta, StationId};
 use sinr_geometry::Point;
 use sinr_voronoi::KdTree;
@@ -245,6 +245,10 @@ impl QueryEngine for PointLocator {
 
     fn sinr_batch(&self, i: StationId, points: &[Point], out: &mut [f64]) {
         self.eval.sinr_batch(i, points, out);
+    }
+
+    fn freshness(&self) -> Result<(), LocateError> {
+        self.eval.freshness()
     }
 
     fn revision(&self) -> u64 {

@@ -1,0 +1,268 @@
+//! The client half of the protocol: typed request/response round trips
+//! over any [`Transport`].
+//!
+//! [`Client`] is deliberately thin — one method per request frame, each
+//! returning the revision stamped on the response so callers can fence
+//! their own mirrors (the e2e differential suite compares server
+//! answers against a local [`sinr_core::ExactScan`] *at the same
+//! revision*; the revision plumbing is what makes that comparison
+//! well-defined under concurrent mutation).
+//!
+//! [`serve_in_process`] wires a client straight to a session loop over
+//! the in-process [`PipeTransport`] — the loopback-free path used by
+//! tests and the `server_throughput` bench to measure protocol cost
+//! without kernel sockets.
+
+use crate::protocol::{
+    decode_response, encode_request, BackendId, ErrorCode, NetworkSpec, ProtocolError, Request,
+    Response,
+};
+use crate::session::serve_session;
+use crate::transport::{duplex, PipeTransport, RecvError, TcpTransport, Transport};
+use sinr_core::{Located, Network, StationId, SurgeryOp};
+use sinr_geometry::Point;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed sending.
+    Io(io::Error),
+    /// The transport failed receiving.
+    Recv(RecvError),
+    /// The server's response did not decode.
+    Protocol(ProtocolError),
+    /// The server answered with a typed error frame.
+    Server {
+        /// The error code.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+    },
+    /// The server closed the connection instead of answering.
+    ConnectionClosed,
+    /// The server answered with the wrong response type for the
+    /// request.
+    UnexpectedResponse(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "send failed: {e}"),
+            ClientError::Recv(e) => write!(f, "receive failed: {e}"),
+            ClientError::Protocol(e) => write!(f, "undecodable response: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            ClientError::ConnectionClosed => write!(f, "server closed the connection"),
+            ClientError::UnexpectedResponse(what) => {
+                write!(f, "unexpected response type (wanted {what})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Recv(e) => Some(e),
+            ClientError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<RecvError> for ClientError {
+    fn from(e: RecvError) -> Self {
+        ClientError::Recv(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct Client<T: Transport> {
+    transport: T,
+}
+
+impl Client<TcpTransport> {
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from [`TcpStream::connect`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        // See the server side: whole-frame writes + request/response
+        // round trips make Nagle pure latency.
+        let _ = stream.set_nodelay(true);
+        Ok(Client::new(TcpTransport::new(stream)))
+    }
+}
+
+impl<T: Transport> Client<T> {
+    /// Wraps an already-connected transport.
+    pub fn new(transport: T) -> Self {
+        Client { transport }
+    }
+
+    /// Binds the session: ships `net` and the backend choice, returns
+    /// the server-side starting revision.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::AlreadyBound`] /
+    /// [`ErrorCode::InvalidNetwork`] / [`ErrorCode::BackendBuild`], or
+    /// any transport failure.
+    pub fn bind_network(
+        &mut self,
+        backend: BackendId,
+        epsilon: f64,
+        net: &Network,
+    ) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Bind {
+            backend,
+            epsilon,
+            network: NetworkSpec::of(net),
+        })? {
+            Response::Bound { revision, .. } => Ok(revision),
+            other => Err(unexpected(other, "Bound")),
+        }
+    }
+
+    /// Streams one batch of point-location queries; returns the
+    /// revision the answers are valid for and one answer per point.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] (e.g. [`ErrorCode::NotBound`]) or any
+    /// transport failure.
+    pub fn locate_batch(&mut self, points: &[Point]) -> Result<(u64, Vec<Located>), ClientError> {
+        match self.roundtrip(&Request::LocateBatch {
+            points: points.to_vec(),
+        })? {
+            Response::Located { revision, answers } => Ok((revision, answers)),
+            other => Err(unexpected(other, "Located")),
+        }
+    }
+
+    /// Streams one batch of SINR samples for `station`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] (e.g. [`ErrorCode::StationOutOfRange`])
+    /// or any transport failure.
+    pub fn sinr_batch(
+        &mut self,
+        station: StationId,
+        points: &[Point],
+    ) -> Result<(u64, Vec<f64>), ClientError> {
+        match self.roundtrip(&Request::SinrBatch {
+            station,
+            points: points.to_vec(),
+        })? {
+            Response::Sinrs { revision, values } => Ok((revision, values)),
+            other => Err(unexpected(other, "Sinrs")),
+        }
+    }
+
+    /// Applies a timestep of surgery ops, revision-fenced at
+    /// `expected_revision`; returns the network's revision afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::RevisionMismatch`]
+    /// (nothing applied) or [`ErrorCode::Surgery`] (prefix applied —
+    /// the message names the failing op), or any transport failure.
+    pub fn mutate(
+        &mut self,
+        expected_revision: u64,
+        ops: &[SurgeryOp],
+    ) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Mutate {
+            expected_revision,
+            ops: ops.to_vec(),
+        })? {
+            Response::Mutated { revision, .. } => Ok(revision),
+            other => Err(unexpected(other, "Mutated")),
+        }
+    }
+
+    /// One request frame out, one response frame back.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, undecodable responses, and server `Error`
+    /// frames (as [`ClientError::Server`]).
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.transport.send_frame(&encode_request(request))?;
+        self.recv()
+    }
+
+    /// Sends raw payload bytes as one frame — the fuzz suites' way of
+    /// shipping malformed payloads through a well-formed framing layer.
+    ///
+    /// # Errors
+    ///
+    /// Any transport send failure.
+    pub fn send_raw(&mut self, payload: &[u8]) -> Result<(), ClientError> {
+        Ok(self.transport.send_frame(payload)?)
+    }
+
+    /// Receives and decodes one response frame; a server `Error` frame
+    /// becomes [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, [`ClientError::ConnectionClosed`] on EOF,
+    /// undecodable responses.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let payload = self
+            .transport
+            .recv_frame()?
+            .ok_or(ClientError::ConnectionClosed)?;
+        match decode_response(&payload)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            response => Ok(response),
+        }
+    }
+
+    /// The underlying transport (e.g. to reach the raw [`TcpStream`]).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+}
+
+fn unexpected(got: Response, wanted: &'static str) -> ClientError {
+    // The decoded-but-wrong-type response is deliberately dropped: the
+    // variant name is enough to diagnose a protocol-order bug.
+    let _ = got;
+    ClientError::UnexpectedResponse(wanted)
+}
+
+/// A client wired directly to a session loop over the in-process pipe:
+/// no sockets, no ports, same frames. The session thread ends when the
+/// returned client is dropped (the pipe closes, the session sees a
+/// clean EOF).
+pub fn serve_in_process() -> Client<PipeTransport> {
+    let (client_end, server_end) = duplex();
+    std::thread::Builder::new()
+        .name("sinr-server-pipe-session".into())
+        .spawn(move || serve_session(server_end))
+        .expect("spawn pipe session thread");
+    Client::new(client_end)
+}

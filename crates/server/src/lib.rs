@@ -1,0 +1,111 @@
+//! # sinr-server
+//!
+//! A streaming batched point-location server for SINR diagrams: the
+//! network face of the workspace's
+//! [`QueryEngine`](sinr_core::QueryEngine) machinery (the paper's
+//! Theorem-3 query structures and the Observation-2.2 dispatch become
+//! "algorithmically usable" at scale only when batches of query points
+//! can be served continuously — this crate is that service).
+//!
+//! The design is std-only and thread-per-connection (no async runtime
+//! exists in this workspace): each TCP connection gets one **session**
+//! owning one [`Network`](sinr_core::Network) and one
+//! [`BoxedEngine`](sinr_core::BoxedEngine), chosen by the client at
+//! bind time. A session then accepts an arbitrary interleaving of
+//! query and mutation frames, so a mobile-station client streams
+//! `Mutate` + `LocateBatch` forever against one engine that is patched
+//! incrementally (PR 3's [`NetworkDelta`](sinr_core::NetworkDelta)
+//! path) — never rebuilt, never re-shipped.
+//!
+//! ## Wire protocol
+//!
+//! Every frame is a little-endian `u32` payload length followed by the
+//! payload; payloads at most [`MAX_FRAME_LEN`](transport::MAX_FRAME_LEN)
+//! bytes (16 MiB). All integers little-endian; all reals IEEE-754
+//! `f64`, little-endian. The first payload byte is the frame tag:
+//!
+//! | tag | direction | frame | body layout |
+//! |-----|-----------|-------|-------------|
+//! | `0x01` | → | `Bind` | backend `u8`, epsilon `f64`, noise `f64`, beta `f64`, alpha `f64`, n `u32`, n × (x `f64`, y `f64`, power `f64`) |
+//! | `0x02` | → | `LocateBatch` | count `u32`, count × (x `f64`, y `f64`) |
+//! | `0x03` | → | `SinrBatch` | station `u32`, count `u32`, count × (x `f64`, y `f64`) |
+//! | `0x04` | → | `Mutate` | expected_revision `u64`, op_count `u32`, ops (see below) |
+//! | `0x81` | ← | `Bound` | revision `u64`, backend `u8` |
+//! | `0x82` | ← | `Located` | revision `u64`, total `u32`, runs × (kind `u8`, station `u32`, len `u32`) |
+//! | `0x83` | ← | `Sinrs` | revision `u64`, count `u32`, count × `f64` |
+//! | `0x84` | ← | `Mutated` | revision `u64`, applied `u32` |
+//! | `0xEE` | ← | `Error` | code `u8`, msg_len `u16`, msg (UTF-8) |
+//!
+//! `Located` responses are run-length encoded (kind `0` = reception,
+//! `1` = uncertain, `2` = silent with station `0`; runs must sum to
+//! `total`). Surgery ops are the
+//! [`SurgeryOp`](sinr_core::SurgeryOp) wire encoding of `sinr-core`:
+//! tag `u8` (`0` add: x, y, power as `f64`; `1` remove: id `u32`;
+//! `2` move: id `u32`, x, y; `3` set-power: id `u32`, power).
+//!
+//! **Backend ids** (`Bind` byte): `0` `exact_scan`, `1` `simd_scan`,
+//! `2` `voronoi_assisted`, `3` `qds` (Theorem 3; uses `epsilon`).
+//!
+//! **Error codes**: see [`protocol::ErrorCode`] — `1` malformed frame,
+//! `2` unknown backend, `3` not bound, `4` already bound, `5` invalid
+//! network, `6` backend build, `7` revision mismatch, `8` surgery,
+//! `9` station out of range, `10` stale, `11` oversized, `12`
+//! unsupported (unbinds), `13` internal (closes). Unless noted, the
+//! session survives an error and processes the next frame.
+//!
+//! **Revision fencing.** Every response carries the network revision it
+//! is valid for; `Mutate` carries the revision its ops were computed
+//! against and is rejected (`7`) on any mismatch — a delta computed
+//! against a foreign or stale revision can never be applied silently.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sinr_core::{Network, StationId, SurgeryOp};
+//! use sinr_geometry::Point;
+//! use sinr_server::{serve_in_process, BackendId};
+//!
+//! let net = Network::uniform(
+//!     vec![Point::new(0.0, 0.0), Point::new(6.0, 0.0)],
+//!     0.0,
+//!     2.0,
+//! ).unwrap();
+//!
+//! // In-process session (swap for `Client::connect(addr)` + `Server::bind`
+//! // over TCP — same frames either way).
+//! let mut client = serve_in_process();
+//! let revision = client.bind_network(BackendId::SimdScan, 0.0, &net).unwrap();
+//!
+//! // Stream a query batch…
+//! let (rev, answers) = client
+//!     .locate_batch(&[Point::new(0.5, 0.0), Point::new(3.0, 0.0)])
+//!     .unwrap();
+//! assert_eq!(rev, revision);
+//! assert_eq!(answers[0].station(), Some(StationId(0)));
+//!
+//! // …then mutate in place (revision-fenced) and keep querying: the
+//! // server patches its engine with the emitted deltas, no rebuilds.
+//! let rev = client
+//!     .mutate(rev, &[SurgeryOp::Move { id: StationId(1), to: Point::new(2.0, 0.0) }])
+//!     .unwrap();
+//! let (rev2, _) = client.locate_batch(&[Point::new(0.5, 0.0)]).unwrap();
+//! assert_eq!(rev2, rev);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod transport;
+
+pub use client::{serve_in_process, Client, ClientError};
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, BackendId, ErrorCode,
+    NetworkSpec, ProtocolError, Request, Response,
+};
+pub use server::{Server, ServerHandle};
+pub use session::serve_session;
+pub use transport::{duplex, IoTransport, PipeTransport, RecvError, TcpTransport, Transport};

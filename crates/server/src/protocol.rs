@@ -1,0 +1,996 @@
+//! The payload grammar: typed requests/responses and their binary
+//! codecs.
+//!
+//! Every frame payload starts with one tag byte; all integers are
+//! little-endian, all reals are IEEE-754 `f64` in little-endian byte
+//! order. The full frame layout table lives in the [crate docs](crate).
+//!
+//! Decoding is total: any byte string either parses into a
+//! [`Request`]/[`Response`] or yields a typed [`ProtocolError`] — no
+//! panics, no unchecked allocations (declared element counts are
+//! validated against the bytes actually present *before* any buffer is
+//! sized, so a 12-byte frame cannot ask for a 4-billion-point vector).
+
+use sinr_core::{Located, Network, NetworkError, StationId, SurgeryOp, WireError};
+use sinr_geometry::Point;
+
+/// Request tags (client → server).
+const TAG_BIND: u8 = 0x01;
+const TAG_LOCATE_BATCH: u8 = 0x02;
+const TAG_SINR_BATCH: u8 = 0x03;
+const TAG_MUTATE: u8 = 0x04;
+
+/// Response tags (server → client).
+const TAG_BOUND: u8 = 0x81;
+const TAG_LOCATED: u8 = 0x82;
+const TAG_SINRS: u8 = 0x83;
+const TAG_MUTATED: u8 = 0x84;
+const TAG_ERROR: u8 = 0xEE;
+
+/// Run kinds of the run-length-encoded `Located` answer stream.
+const RUN_RECEPTION: u8 = 0;
+const RUN_UNCERTAIN: u8 = 1;
+const RUN_SILENT: u8 = 2;
+
+/// The backend a session binds, as named on the wire (one byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendId {
+    /// `0` — [`sinr_core::ExactScan`]: exact for every network.
+    ExactScan,
+    /// `1` — [`sinr_core::SimdScan`]: the vectorized exact scan.
+    SimdScan,
+    /// `2` — [`sinr_core::VoronoiAssisted`]: kd-tree dispatch
+    /// (Observation 2.2), exact-scan fallback for non-uniform power.
+    VoronoiAssisted,
+    /// `3` — the Theorem-3 `PointLocator` of `sinr-pointloc`:
+    /// `O(log n)` queries, may answer [`Located::Uncertain`]; requires
+    /// uniform power, `α = 2`, `β > 1`.
+    Qds,
+}
+
+impl BackendId {
+    /// Every backend, in wire-id order.
+    pub const ALL: [BackendId; 4] = [
+        BackendId::ExactScan,
+        BackendId::SimdScan,
+        BackendId::VoronoiAssisted,
+        BackendId::Qds,
+    ];
+
+    /// The wire byte.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            BackendId::ExactScan => 0,
+            BackendId::SimdScan => 1,
+            BackendId::VoronoiAssisted => 2,
+            BackendId::Qds => 3,
+        }
+    }
+
+    /// Parses the wire byte.
+    pub fn from_wire(b: u8) -> Option<BackendId> {
+        BackendId::ALL.into_iter().find(|id| id.to_wire() == b)
+    }
+
+    /// The stable textual name (`exact_scan`, `simd_scan`,
+    /// `voronoi_assisted`, `qds`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendId::ExactScan => "exact_scan",
+            BackendId::SimdScan => "simd_scan",
+            BackendId::VoronoiAssisted => "voronoi_assisted",
+            BackendId::Qds => "qds",
+        }
+    }
+
+    /// Parses the textual name (the CLI/config-file spelling).
+    pub fn from_name(s: &str) -> Option<BackendId> {
+        BackendId::ALL.into_iter().find(|id| id.name() == s)
+    }
+}
+
+impl std::fmt::Display for BackendId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A network description as carried by a `Bind` frame: enough to
+/// reconstruct a [`Network`] server-side (validation stays with
+/// [`Network`]'s builder — the wire layer does not re-model it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSpec {
+    /// Background noise `N`.
+    pub noise: f64,
+    /// Reception threshold `β`.
+    pub beta: f64,
+    /// Path-loss exponent `α`.
+    pub alpha: f64,
+    /// Stations as `(position, transmit power)`, in index order.
+    pub stations: Vec<(Point, f64)>,
+}
+
+impl NetworkSpec {
+    /// The spec describing `net`'s current state.
+    pub fn of(net: &Network) -> NetworkSpec {
+        NetworkSpec {
+            noise: net.noise(),
+            beta: net.beta(),
+            alpha: net.alpha(),
+            stations: net.stations().map(|s| (s.position, s.power)).collect(),
+        }
+    }
+
+    /// Builds the described network.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`Network`]'s builder rejects (too few stations,
+    /// non-finite coordinates, invalid noise/threshold/power/path-loss).
+    pub fn build(&self) -> Result<Network, NetworkError> {
+        let mut b = Network::builder()
+            .background_noise(self.noise)
+            .threshold(self.beta)
+            .path_loss(self.alpha);
+        for (p, power) in &self.stations {
+            b = b.station_with_power(*p, *power);
+        }
+        b.build()
+    }
+}
+
+/// A client→server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Binds the session: the network to serve and the backend to serve
+    /// it with. Must be the first frame; exactly one per session.
+    Bind {
+        /// The backend to build.
+        backend: BackendId,
+        /// Approximation parameter for [`BackendId::Qds`] (ignored by
+        /// the exact backends).
+        epsilon: f64,
+        /// The network to serve.
+        network: NetworkSpec,
+    },
+    /// A batch of point-location queries.
+    LocateBatch {
+        /// The query points.
+        points: Vec<Point>,
+    },
+    /// A batch of SINR evaluations for one station.
+    SinrBatch {
+        /// The station whose SINR is sampled.
+        station: StationId,
+        /// The sample points.
+        points: Vec<Point>,
+    },
+    /// A timestep of network surgery, revision-fenced: the server
+    /// rejects the frame unless its network is exactly at
+    /// `expected_revision` (so a delta computed against another
+    /// revision can never be applied silently).
+    Mutate {
+        /// The revision the ops were computed against.
+        expected_revision: u64,
+        /// The surgery ops, applied in order via
+        /// [`Network::apply_ops`].
+        ops: Vec<SurgeryOp>,
+    },
+}
+
+/// A server→client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The session is bound and ready.
+    Bound {
+        /// The served network's revision (0 for a fresh bind).
+        revision: u64,
+        /// The backend actually built.
+        backend: BackendId,
+    },
+    /// Answers to a `LocateBatch`, index-aligned with the request
+    /// points (run-length encoded on the wire).
+    Located {
+        /// The revision the answers are valid for.
+        revision: u64,
+        /// One answer per query point.
+        answers: Vec<Located>,
+    },
+    /// Answers to a `SinrBatch`.
+    Sinrs {
+        /// The revision the values are valid for.
+        revision: u64,
+        /// One SINR value per sample point.
+        values: Vec<f64>,
+    },
+    /// A `Mutate` was applied in full.
+    Mutated {
+        /// The network's revision after the whole timestep.
+        revision: u64,
+        /// Number of ops applied.
+        applied: u32,
+    },
+    /// The request failed; the session stays usable unless the
+    /// [`ErrorCode`] docs say otherwise.
+    Error {
+        /// What failed.
+        code: ErrorCode,
+        /// Human-readable detail (the underlying typed error's
+        /// `Display` output).
+        message: String,
+    },
+}
+
+/// Error codes of [`Response::Error`] (one byte on the wire).
+///
+/// Unless noted, the error is *per-request*: the session survives and
+/// the next frame is processed normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// `1` — the frame payload did not parse; the offending frame is
+    /// dropped (frame boundaries are intact, the session continues).
+    MalformedFrame,
+    /// `2` — `Bind` named an unknown backend id.
+    UnknownBackend,
+    /// `3` — a query/mutate frame arrived before a successful `Bind`.
+    NotBound,
+    /// `4` — a second `Bind` on an already-bound session.
+    AlreadyBound,
+    /// `5` — the `Bind` network failed [`Network`] validation.
+    InvalidNetwork,
+    /// `6` — the backend refused the network (e.g. the Theorem-3
+    /// preconditions).
+    BackendBuild,
+    /// `7` — `Mutate`'s `expected_revision` does not match the session
+    /// network (ops computed against a foreign/stale revision). Nothing
+    /// was applied.
+    RevisionMismatch,
+    /// `8` — a surgery op failed validation mid-timestep; the ops
+    /// before it **stay applied** (the message carries the failing
+    /// index) and the engine is re-synced to the resulting revision.
+    Surgery,
+    /// `9` — `SinrBatch` named a station the network does not have.
+    StationOutOfRange,
+    /// `10` — the engine reported staleness at query time
+    /// ([`sinr_core::LocateError`]); re-sync and retry.
+    Stale,
+    /// `11` — a frame length prefix exceeded
+    /// [`MAX_FRAME_LEN`](crate::transport::MAX_FRAME_LEN); the stream
+    /// position is unrecoverable, the server closes the connection
+    /// after sending this.
+    Oversized,
+    /// `12` — after a mutate, the bound backend cannot represent the
+    /// new network (e.g. QDS and non-uniform power); the session is
+    /// **unbound** (subsequent queries get [`ErrorCode::NotBound`]).
+    Unsupported,
+    /// `13` — the server caught an unexpected panic while handling the
+    /// frame; it closes the connection after sending this.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Every code, in wire order.
+    pub const ALL: [ErrorCode; 13] = [
+        ErrorCode::MalformedFrame,
+        ErrorCode::UnknownBackend,
+        ErrorCode::NotBound,
+        ErrorCode::AlreadyBound,
+        ErrorCode::InvalidNetwork,
+        ErrorCode::BackendBuild,
+        ErrorCode::RevisionMismatch,
+        ErrorCode::Surgery,
+        ErrorCode::StationOutOfRange,
+        ErrorCode::Stale,
+        ErrorCode::Oversized,
+        ErrorCode::Unsupported,
+        ErrorCode::Internal,
+    ];
+
+    /// The wire byte.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            ErrorCode::MalformedFrame => 1,
+            ErrorCode::UnknownBackend => 2,
+            ErrorCode::NotBound => 3,
+            ErrorCode::AlreadyBound => 4,
+            ErrorCode::InvalidNetwork => 5,
+            ErrorCode::BackendBuild => 6,
+            ErrorCode::RevisionMismatch => 7,
+            ErrorCode::Surgery => 8,
+            ErrorCode::StationOutOfRange => 9,
+            ErrorCode::Stale => 10,
+            ErrorCode::Oversized => 11,
+            ErrorCode::Unsupported => 12,
+            ErrorCode::Internal => 13,
+        }
+    }
+
+    /// Parses the wire byte.
+    pub fn from_wire(b: u8) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.to_wire() == b)
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}({})", self, self.to_wire())
+    }
+}
+
+/// Why a frame payload failed to decode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The payload was empty (no tag byte).
+    EmptyFrame,
+    /// The tag byte names no known frame type.
+    UnknownTag(u8),
+    /// A field ran past the end of the payload, or a declared element
+    /// count promised more bytes than the payload holds.
+    Truncated {
+        /// Which field was being read.
+        what: &'static str,
+        /// How many more bytes it needed.
+        missing: usize,
+    },
+    /// The payload continued past the end of the frame's fields.
+    Trailing {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// `Bind` carried an unknown backend byte.
+    UnknownBackend(u8),
+    /// An `Error` response carried an unknown code byte.
+    UnknownErrorCode(u8),
+    /// A `Located` run carried an unknown kind byte.
+    UnknownRunKind(u8),
+    /// The `Located` runs did not sum to the declared answer count.
+    RunLengthMismatch {
+        /// The declared total.
+        declared: u64,
+        /// What the runs actually summed to.
+        decoded: u64,
+    },
+    /// A `Located` response declared more answers than any legal
+    /// request could have asked for. Run-length coding means the byte
+    /// budget cannot bound this count (one 9-byte run can claim 2³²
+    /// answers), so it gets its own explicit cap.
+    AnswerCountTooLarge {
+        /// The declared total.
+        declared: u64,
+        /// The cap ([`MAX_FRAME_LEN`](crate::transport::MAX_FRAME_LEN)
+        /// divided by the 16-byte wire size of a query point).
+        limit: u64,
+    },
+    /// An `Error` response message was not UTF-8.
+    BadMessageEncoding,
+    /// A surgery op inside `Mutate` failed to decode.
+    Op(WireError),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::EmptyFrame => write!(f, "empty frame payload"),
+            ProtocolError::UnknownTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            ProtocolError::Truncated { what, missing } => {
+                write!(
+                    f,
+                    "frame truncated reading {what}: {missing} more bytes needed"
+                )
+            }
+            ProtocolError::Trailing { extra } => {
+                write!(f, "{extra} trailing bytes after the frame's fields")
+            }
+            ProtocolError::UnknownBackend(b) => write!(f, "unknown backend id {b}"),
+            ProtocolError::UnknownErrorCode(b) => write!(f, "unknown error code {b}"),
+            ProtocolError::UnknownRunKind(b) => write!(f, "unknown Located run kind {b}"),
+            ProtocolError::RunLengthMismatch { declared, decoded } => write!(
+                f,
+                "Located runs sum to {decoded} answers but {declared} were declared"
+            ),
+            ProtocolError::AnswerCountTooLarge { declared, limit } => write!(
+                f,
+                "Located declares {declared} answers but no request can ask for more than {limit}"
+            ),
+            ProtocolError::BadMessageEncoding => write!(f, "error message is not UTF-8"),
+            ProtocolError::Op(e) => write!(f, "bad surgery op: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Op(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ProtocolError {
+    fn from(e: WireError) -> Self {
+        ProtocolError::Op(e)
+    }
+}
+
+/// Bounded sequential reader over a frame payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ProtocolError> {
+        if self.remaining() < n {
+            return Err(ProtocolError::Truncated {
+                what,
+                missing: n - self.remaining(),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, ProtocolError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, ProtocolError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2"),
+        ))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4"),
+        ))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8"),
+        ))
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64, ProtocolError> {
+        Ok(f64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8"),
+        ))
+    }
+
+    fn point(&mut self, what: &'static str) -> Result<Point, ProtocolError> {
+        Ok(Point::new(self.f64(what)?, self.f64(what)?))
+    }
+
+    /// A declared element count, pre-validated against the bytes left:
+    /// `count · elem_size` must fit in what remains, so adversarial
+    /// counts can never drive an allocation past the frame itself.
+    fn count(&mut self, elem_size: usize, what: &'static str) -> Result<usize, ProtocolError> {
+        let n = self.u32(what)? as usize;
+        let need = n.saturating_mul(elem_size);
+        if need > self.remaining() {
+            return Err(ProtocolError::Truncated {
+                what,
+                missing: need - self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    fn finish(&self) -> Result<(), ProtocolError> {
+        if self.remaining() != 0 {
+            return Err(ProtocolError::Trailing {
+                extra: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn push_point(buf: &mut Vec<u8>, p: Point) {
+    buf.extend_from_slice(&p.x.to_le_bytes());
+    buf.extend_from_slice(&p.y.to_le_bytes());
+}
+
+/// Encodes a request into a frame payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match req {
+        Request::Bind {
+            backend,
+            epsilon,
+            network,
+        } => {
+            buf.push(TAG_BIND);
+            buf.push(backend.to_wire());
+            buf.extend_from_slice(&epsilon.to_le_bytes());
+            buf.extend_from_slice(&network.noise.to_le_bytes());
+            buf.extend_from_slice(&network.beta.to_le_bytes());
+            buf.extend_from_slice(&network.alpha.to_le_bytes());
+            buf.extend_from_slice(&(network.stations.len() as u32).to_le_bytes());
+            for (p, power) in &network.stations {
+                push_point(&mut buf, *p);
+                buf.extend_from_slice(&power.to_le_bytes());
+            }
+        }
+        Request::LocateBatch { points } => {
+            buf.push(TAG_LOCATE_BATCH);
+            buf.extend_from_slice(&(points.len() as u32).to_le_bytes());
+            for p in points {
+                push_point(&mut buf, *p);
+            }
+        }
+        Request::SinrBatch { station, points } => {
+            buf.push(TAG_SINR_BATCH);
+            buf.extend_from_slice(&(station.0 as u32).to_le_bytes());
+            buf.extend_from_slice(&(points.len() as u32).to_le_bytes());
+            for p in points {
+                push_point(&mut buf, *p);
+            }
+        }
+        Request::Mutate {
+            expected_revision,
+            ops,
+        } => {
+            buf.push(TAG_MUTATE);
+            buf.extend_from_slice(&expected_revision.to_le_bytes());
+            buf.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+            for op in ops {
+                op.encode_into(&mut buf);
+            }
+        }
+    }
+    buf
+}
+
+/// Decodes a frame payload as a request.
+///
+/// # Errors
+///
+/// A typed [`ProtocolError`]; never panics, never over-allocates.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
+    let mut c = Cursor::new(payload);
+    let tag = c.u8("frame tag").map_err(|_| ProtocolError::EmptyFrame)?;
+    let req = match tag {
+        TAG_BIND => {
+            let backend_byte = c.u8("backend id")?;
+            let backend = BackendId::from_wire(backend_byte)
+                .ok_or(ProtocolError::UnknownBackend(backend_byte))?;
+            let epsilon = c.f64("epsilon")?;
+            let noise = c.f64("noise")?;
+            let beta = c.f64("beta")?;
+            let alpha = c.f64("alpha")?;
+            let n = c.count(24, "station count")?;
+            let mut stations = Vec::with_capacity(n);
+            for _ in 0..n {
+                let p = c.point("station position")?;
+                let power = c.f64("station power")?;
+                stations.push((p, power));
+            }
+            Request::Bind {
+                backend,
+                epsilon,
+                network: NetworkSpec {
+                    noise,
+                    beta,
+                    alpha,
+                    stations,
+                },
+            }
+        }
+        TAG_LOCATE_BATCH => {
+            let n = c.count(16, "point count")?;
+            let mut points = Vec::with_capacity(n);
+            for _ in 0..n {
+                points.push(c.point("query point")?);
+            }
+            Request::LocateBatch { points }
+        }
+        TAG_SINR_BATCH => {
+            let station = StationId(c.u32("station id")? as usize);
+            let n = c.count(16, "point count")?;
+            let mut points = Vec::with_capacity(n);
+            for _ in 0..n {
+                points.push(c.point("sample point")?);
+            }
+            Request::SinrBatch { station, points }
+        }
+        TAG_MUTATE => {
+            let expected_revision = c.u64("expected revision")?;
+            // Smallest op is 5 bytes (Remove).
+            let n = c.count(5, "op count")?;
+            // The count bounds wire bytes, not heap bytes: an in-memory
+            // op is ~6× its smallest wire form, so a full pre-allocation
+            // would let a 16 MiB frame pin ~100 MB before one op
+            // decodes. Cap the *hint*; the vector still grows to any
+            // honest op count.
+            let mut ops = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let (op, used) = SurgeryOp::decode(&c.bytes[c.pos..])?;
+                c.pos += used;
+                ops.push(op);
+            }
+            Request::Mutate {
+                expected_revision,
+                ops,
+            }
+        }
+        other => return Err(ProtocolError::UnknownTag(other)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Encodes a response into a frame payload. `Located` answers are
+/// run-length encoded: long stretches of identical answers (the common
+/// shape — zones are contiguous regions) compress to 9 bytes per run.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match resp {
+        Response::Bound { revision, backend } => {
+            buf.push(TAG_BOUND);
+            buf.extend_from_slice(&revision.to_le_bytes());
+            buf.push(backend.to_wire());
+        }
+        Response::Located { revision, answers } => {
+            buf.push(TAG_LOCATED);
+            buf.extend_from_slice(&revision.to_le_bytes());
+            buf.extend_from_slice(&(answers.len() as u32).to_le_bytes());
+            let mut i = 0;
+            while i < answers.len() {
+                let mut j = i + 1;
+                while j < answers.len() && answers[j] == answers[i] {
+                    j += 1;
+                }
+                let (kind, station) = match answers[i] {
+                    Located::Reception(s) => (RUN_RECEPTION, s.0 as u32),
+                    Located::Uncertain(s) => (RUN_UNCERTAIN, s.0 as u32),
+                    Located::Silent => (RUN_SILENT, 0),
+                };
+                buf.push(kind);
+                buf.extend_from_slice(&station.to_le_bytes());
+                buf.extend_from_slice(&((j - i) as u32).to_le_bytes());
+                i = j;
+            }
+        }
+        Response::Sinrs { revision, values } => {
+            buf.push(TAG_SINRS);
+            buf.extend_from_slice(&revision.to_le_bytes());
+            buf.extend_from_slice(&(values.len() as u32).to_le_bytes());
+            for v in values {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Response::Mutated { revision, applied } => {
+            buf.push(TAG_MUTATED);
+            buf.extend_from_slice(&revision.to_le_bytes());
+            buf.extend_from_slice(&applied.to_le_bytes());
+        }
+        Response::Error { code, message } => {
+            buf.push(TAG_ERROR);
+            buf.push(code.to_wire());
+            // Truncate oversized messages on a char boundary: cutting a
+            // multi-byte character in half would make the frame fail
+            // decode_response's UTF-8 check and lose the typed error.
+            let mut len = message.len().min(u16::MAX as usize);
+            while !message.is_char_boundary(len) {
+                len -= 1;
+            }
+            buf.extend_from_slice(&(len as u16).to_le_bytes());
+            buf.extend_from_slice(&message.as_bytes()[..len]);
+        }
+    }
+    buf
+}
+
+/// Decodes a frame payload as a response.
+///
+/// # Errors
+///
+/// A typed [`ProtocolError`]; never panics, never over-allocates.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
+    let mut c = Cursor::new(payload);
+    let tag = c.u8("frame tag").map_err(|_| ProtocolError::EmptyFrame)?;
+    let resp = match tag {
+        TAG_BOUND => {
+            let revision = c.u64("revision")?;
+            let backend_byte = c.u8("backend id")?;
+            let backend = BackendId::from_wire(backend_byte)
+                .ok_or(ProtocolError::UnknownBackend(backend_byte))?;
+            Response::Bound { revision, backend }
+        }
+        TAG_LOCATED => {
+            let revision = c.u64("revision")?;
+            let total = c.u32("answer count")? as u64;
+            // Run-length coding breaks the bytes-present bound every
+            // other collection gets from `Cursor::count` (a 9-byte run
+            // can claim 2³² answers), so cap the total explicitly: no
+            // legal request fits more than MAX_FRAME_LEN/16 query
+            // points, so no honest response answers more.
+            let limit = (crate::transport::MAX_FRAME_LEN / 16) as u64;
+            if total > limit {
+                return Err(ProtocolError::AnswerCountTooLarge {
+                    declared: total,
+                    limit,
+                });
+            }
+            let mut answers = Vec::new();
+            let mut decoded: u64 = 0;
+            while decoded < total {
+                let kind = c.u8("run kind")?;
+                let station = c.u32("run station")? as usize;
+                let len = c.u32("run length")? as u64;
+                let answer = match kind {
+                    RUN_RECEPTION => Located::Reception(StationId(station)),
+                    RUN_UNCERTAIN => Located::Uncertain(StationId(station)),
+                    RUN_SILENT => Located::Silent,
+                    other => return Err(ProtocolError::UnknownRunKind(other)),
+                };
+                decoded = decoded.saturating_add(len);
+                if len == 0 || decoded > total {
+                    return Err(ProtocolError::RunLengthMismatch {
+                        declared: total,
+                        decoded,
+                    });
+                }
+                answers.extend(std::iter::repeat_n(answer, len as usize));
+            }
+            Response::Located { revision, answers }
+        }
+        TAG_SINRS => {
+            let revision = c.u64("revision")?;
+            let n = c.count(8, "value count")?;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(c.f64("sinr value")?);
+            }
+            Response::Sinrs { revision, values }
+        }
+        TAG_MUTATED => Response::Mutated {
+            revision: c.u64("revision")?,
+            applied: c.u32("applied count")?,
+        },
+        TAG_ERROR => {
+            let code_byte = c.u8("error code")?;
+            let code = ErrorCode::from_wire(code_byte)
+                .ok_or(ProtocolError::UnknownErrorCode(code_byte))?;
+            let len = c.u16("message length")? as usize;
+            let raw = c.take(len, "message bytes")?;
+            let message = std::str::from_utf8(raw)
+                .map_err(|_| ProtocolError::BadMessageEncoding)?
+                .to_owned();
+            Response::Error { code, message }
+        }
+        other => return Err(ProtocolError::UnknownTag(other)),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> NetworkSpec {
+        NetworkSpec {
+            noise: 0.02,
+            beta: 1.5,
+            alpha: 2.0,
+            stations: vec![
+                (Point::new(0.0, 0.0), 1.0),
+                (Point::new(4.0, 0.0), 1.0),
+                (Point::new(1.0, 3.0), 2.5),
+            ],
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Bind {
+                backend: BackendId::VoronoiAssisted,
+                epsilon: 0.3,
+                network: sample_spec(),
+            },
+            Request::LocateBatch {
+                points: vec![Point::new(0.5, -0.25), Point::new(1e9, -1e-9)],
+            },
+            Request::SinrBatch {
+                station: StationId(2),
+                points: vec![Point::new(0.0, 0.0)],
+            },
+            Request::Mutate {
+                expected_revision: 41,
+                ops: vec![
+                    SurgeryOp::Add {
+                        position: Point::new(2.0, 2.0),
+                        power: 1.0,
+                    },
+                    SurgeryOp::Remove { id: StationId(1) },
+                    SurgeryOp::Move {
+                        id: StationId(0),
+                        to: Point::new(-1.0, 0.5),
+                    },
+                    SurgeryOp::SetPower {
+                        id: StationId(2),
+                        power: 0.75,
+                    },
+                ],
+            },
+            Request::LocateBatch { points: vec![] },
+        ];
+        for req in &reqs {
+            let bytes = encode_request(req);
+            assert_eq!(&decode_request(&bytes).unwrap(), req, "for {req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Bound {
+                revision: 7,
+                backend: BackendId::Qds,
+            },
+            Response::Located {
+                revision: 3,
+                answers: vec![
+                    Located::Reception(StationId(0)),
+                    Located::Reception(StationId(0)),
+                    Located::Silent,
+                    Located::Uncertain(StationId(4)),
+                    Located::Silent,
+                ],
+            },
+            Response::Located {
+                revision: 0,
+                answers: vec![],
+            },
+            Response::Sinrs {
+                revision: 9,
+                values: vec![0.5, f64::INFINITY, 0.0],
+            },
+            Response::Mutated {
+                revision: 12,
+                applied: 4,
+            },
+            Response::Error {
+                code: ErrorCode::RevisionMismatch,
+                message: "expected 3, at 5".into(),
+            },
+        ];
+        for resp in &resps {
+            let bytes = encode_response(resp);
+            assert_eq!(&decode_response(&bytes).unwrap(), resp, "for {resp:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_error_messages_truncate_on_char_boundaries() {
+        // 'é' is 2 bytes and every occurrence starts at an even offset,
+        // so a blind cut at u16::MAX (odd) would split one in half and
+        // the frame would fail the decoder's UTF-8 check.
+        let resp = Response::Error {
+            code: ErrorCode::Internal,
+            message: "é".repeat(40_000),
+        };
+        let bytes = encode_response(&resp);
+        match decode_response(&bytes).expect("truncated frame must still decode") {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::Internal);
+                assert_eq!(message.len(), u16::MAX as usize - 1);
+                assert!(message.chars().all(|c| c == 'é'));
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn located_runs_compress() {
+        let answers = vec![Located::Reception(StationId(3)); 10_000];
+        let bytes = encode_response(&Response::Located {
+            revision: 0,
+            answers,
+        });
+        // tag + revision + count + one 9-byte run.
+        assert_eq!(bytes.len(), 1 + 8 + 4 + 9);
+    }
+
+    #[test]
+    fn malformed_payloads_yield_typed_errors() {
+        assert_eq!(decode_request(&[]), Err(ProtocolError::EmptyFrame));
+        assert_eq!(
+            decode_request(&[0x7F]),
+            Err(ProtocolError::UnknownTag(0x7F))
+        );
+        // Bind with an unknown backend id.
+        assert_eq!(
+            decode_request(&[TAG_BIND, 200]),
+            Err(ProtocolError::UnknownBackend(200))
+        );
+        // LocateBatch whose count promises more points than the frame holds.
+        let mut lying = vec![TAG_LOCATE_BATCH];
+        lying.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            decode_request(&lying),
+            Err(ProtocolError::Truncated { .. })
+        ));
+        // Trailing garbage after a valid frame.
+        let mut trailing = encode_request(&Request::LocateBatch { points: vec![] });
+        trailing.push(0xAA);
+        assert_eq!(
+            decode_request(&trailing),
+            Err(ProtocolError::Trailing { extra: 1 })
+        );
+        // Mutate with a bad op tag.
+        let mut bad_op = vec![TAG_MUTATE];
+        bad_op.extend_from_slice(&0u64.to_le_bytes());
+        bad_op.extend_from_slice(&1u32.to_le_bytes());
+        bad_op.extend_from_slice(&[99, 0, 0, 0, 0]);
+        assert!(matches!(
+            decode_request(&bad_op),
+            Err(ProtocolError::Op(WireError::UnknownOpTag(99)))
+        ));
+        // A lying Located frame declaring ~4 billion answers in one
+        // 9-byte run: must be rejected by the explicit answer cap
+        // before any allocation happens (run-length coding sidesteps
+        // the bytes-present bound, so this is its own check).
+        let mut lying_rle = vec![TAG_LOCATED];
+        lying_rle.extend_from_slice(&0u64.to_le_bytes());
+        lying_rle.extend_from_slice(&u32::MAX.to_le_bytes());
+        lying_rle.push(RUN_SILENT);
+        lying_rle.extend_from_slice(&0u32.to_le_bytes());
+        lying_rle.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_response(&lying_rle),
+            Err(ProtocolError::AnswerCountTooLarge { declared, .. }) if declared == u32::MAX as u64
+        ));
+        // Located runs overshooting their declared total.
+        let mut overshoot = vec![TAG_LOCATED];
+        overshoot.extend_from_slice(&0u64.to_le_bytes());
+        overshoot.extend_from_slice(&2u32.to_le_bytes());
+        overshoot.push(RUN_SILENT);
+        overshoot.extend_from_slice(&0u32.to_le_bytes());
+        overshoot.extend_from_slice(&3u32.to_le_bytes());
+        assert!(matches!(
+            decode_response(&overshoot),
+            Err(ProtocolError::RunLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn backend_and_error_code_wire_bytes_are_stable() {
+        for id in BackendId::ALL {
+            assert_eq!(BackendId::from_wire(id.to_wire()), Some(id));
+            assert_eq!(BackendId::from_name(id.name()), Some(id));
+        }
+        assert_eq!(BackendId::from_wire(99), None);
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::from_wire(code.to_wire()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_wire(0), None);
+    }
+
+    #[test]
+    fn network_spec_round_trips_through_build() {
+        let spec = sample_spec();
+        let net = spec.build().unwrap();
+        assert_eq!(NetworkSpec::of(&net), spec);
+        // Invalid specs surface the model's own validation.
+        let bad = NetworkSpec {
+            beta: -1.0,
+            ..sample_spec()
+        };
+        assert!(bad.build().is_err());
+    }
+}

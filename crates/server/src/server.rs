@@ -1,0 +1,161 @@
+//! The TCP face: a std-only, thread-per-connection accept loop.
+//!
+//! No async runtime exists in this workspace (and none is needed for
+//! the target workload: long-lived sessions streaming large batches —
+//! throughput-bound, not connection-count-bound), so the server is the
+//! simplest thing that scales to that shape: one OS thread per
+//! connection, each running [`serve_session`] over a
+//! [`TcpTransport`](crate::transport::TcpTransport), sharing nothing.
+//!
+//! [`Server::spawn`] runs the accept loop in the background and returns
+//! a [`ServerHandle`] whose [`shutdown`](ServerHandle::shutdown) stops
+//! accepting and joins the remaining sessions (disconnect clients
+//! first, or shutdown will wait for them). [`Server::serve_sessions`]
+//! is the inline variant for examples and CI: serve exactly `n`
+//! connections, then return.
+
+use crate::session::serve_session;
+use crate::transport::IoTransport;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A bound listener, not yet accepting.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Binds the listener (use port 0 for an ephemeral port, then read
+    /// [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from [`TcpListener::bind`].
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound address (the ephemeral port when bound to port 0).
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from [`TcpListener::local_addr`].
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and serves exactly `sessions` connections (each on its
+    /// own thread), joins them all, then returns — the inline mode the
+    /// client/server example pair and CI smoke tests use.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from accepting.
+    pub fn serve_sessions(&self, sessions: usize) -> io::Result<()> {
+        let mut handles = Vec::with_capacity(sessions);
+        for _ in 0..sessions {
+            let (stream, _) = self.listener.accept()?;
+            handles.push(spawn_session(stream));
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// Starts the accept loop on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from reading the local address.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let listener = self.listener;
+        let accept = std::thread::Builder::new()
+            .name("sinr-server-accept".into())
+            .spawn(move || {
+                let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+                for stream in listener.incoming() {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        sessions.push(spawn_session(stream));
+                    }
+                    // Reap sessions that already finished so the list
+                    // stays proportional to *live* connections.
+                    sessions.retain(|h| !h.is_finished());
+                }
+                for handle in sessions {
+                    let _ = handle.join();
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(ServerHandle {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+}
+
+fn spawn_session(stream: TcpStream) -> JoinHandle<()> {
+    // Request/response framing with small Mutate frames: Nagle +
+    // delayed ACK would serialize every round trip on a timer tick
+    // (measured ~100× on the churn_stream bench). Frames are written
+    // whole, so there is nothing for Nagle to coalesce anyway.
+    let _ = stream.set_nodelay(true);
+    std::thread::Builder::new()
+        .name("sinr-server-session".into())
+        .spawn(move || serve_session(IoTransport::new(stream)))
+        .expect("spawn session thread")
+}
+
+/// A running background server (see [`Server::spawn`]).
+///
+/// Dropping the handle shuts the server down (same as
+/// [`ServerHandle::shutdown`]).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, then joins the accept loop and every live
+    /// session. Sessions end when their client disconnects — close the
+    /// clients before calling this, or it will wait for them.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}

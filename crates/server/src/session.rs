@@ -1,0 +1,282 @@
+//! The per-connection session loop: decode → dispatch → encode.
+//!
+//! One session serves one client over one [`Transport`]. The session
+//! owns its [`Network`] and its [`BoxedEngine`] — sessions share
+//! nothing, so a hostile or crashing client can never poison a
+//! neighbouring session (isolation the e2e and fuzz suites pin).
+//!
+//! Error discipline (the hard part of a long-lived server):
+//!
+//! * **Malformed payloads** get a typed [`ErrorCode::MalformedFrame`]
+//!   reply and the session continues — frame boundaries come from the
+//!   length prefix, so one bad payload does not desynchronize the
+//!   stream.
+//! * **Oversized frames** get [`ErrorCode::Oversized`] and then the
+//!   connection closes: after a lying length prefix the stream position
+//!   is meaningless.
+//! * **Semantic failures** (unknown backend, revision fences, surgery
+//!   validation, staleness) are per-request typed errors; the session
+//!   survives.
+//! * **Panics** while handling a frame are caught, answered with
+//!   [`ErrorCode::Internal`], and close only this session. The handler
+//!   itself is written not to panic — the catch is the last line of
+//!   defence, not the error path.
+
+use crate::protocol::{decode_request, encode_response, BackendId, ErrorCode, Request, Response};
+use crate::transport::{RecvError, Transport};
+use sinr_core::engine::BoxedEngine;
+use sinr_core::{Located, Network, NetworkDelta, QueryEngine};
+use sinr_pointloc::{PointLocator, QdsConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The bound half of a session: one network, one engine, built by the
+/// `Bind` frame and mutated only by `Mutate` frames.
+struct BoundState {
+    net: Network,
+    engine: BoxedEngine,
+    backend: BackendId,
+}
+
+/// Serves one client to completion: reads frames until the peer closes
+/// (or the stream becomes unrecoverable) and answers every request with
+/// exactly one response frame.
+///
+/// Never panics out: frame handling runs under `catch_unwind`, and a
+/// caught panic answers [`ErrorCode::Internal`] before dropping the
+/// connection.
+pub fn serve_session<T: Transport>(mut transport: T) {
+    let mut state: Option<BoundState> = None;
+    loop {
+        let payload = match transport.recv_frame() {
+            Ok(Some(payload)) => payload,
+            // Clean close on a frame boundary: the session is over.
+            Ok(None) => return,
+            Err(RecvError::Oversized { len }) => {
+                let _ = send(
+                    &mut transport,
+                    &error(
+                        ErrorCode::Oversized,
+                        format!("frame length {len} exceeds the limit"),
+                    ),
+                );
+                return;
+            }
+            // I/O failure or EOF mid-frame: nothing sensible to say.
+            Err(_) => return,
+        };
+        let request = match decode_request(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                let code = match e {
+                    crate::protocol::ProtocolError::UnknownBackend(_) => ErrorCode::UnknownBackend,
+                    _ => ErrorCode::MalformedFrame,
+                };
+                if send(&mut transport, &error(code, e.to_string())).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle(&mut state, request)));
+        let (response, close) = match outcome {
+            Ok(response) => {
+                // An Unsupported error unbinds (documented on the code):
+                // the engine can no longer represent the network.
+                if matches!(
+                    response,
+                    Response::Error {
+                        code: ErrorCode::Unsupported,
+                        ..
+                    }
+                ) {
+                    state = None;
+                }
+                (response, false)
+            }
+            Err(_) => (
+                error(
+                    ErrorCode::Internal,
+                    "panic while handling the frame; closing this session".to_string(),
+                ),
+                true,
+            ),
+        };
+        if send(&mut transport, &response).is_err() || close {
+            return;
+        }
+    }
+}
+
+fn send<T: Transport>(transport: &mut T, response: &Response) -> std::io::Result<()> {
+    transport.send_frame(&encode_response(response))
+}
+
+fn error(code: ErrorCode, message: String) -> Response {
+    Response::Error { code, message }
+}
+
+/// Builds the requested backend over `net`.
+fn build_backend(backend: BackendId, epsilon: f64, net: &Network) -> Result<BoxedEngine, Response> {
+    match backend {
+        BackendId::ExactScan => Ok(BoxedEngine::exact_scan(net)),
+        BackendId::SimdScan => Ok(BoxedEngine::simd_scan(net)),
+        BackendId::VoronoiAssisted => Ok(BoxedEngine::voronoi_assisted(net)),
+        BackendId::Qds => {
+            if !(epsilon > 0.0 && epsilon < 1.0) {
+                return Err(error(
+                    ErrorCode::BackendBuild,
+                    format!("qds needs 0 < epsilon < 1, got {epsilon}"),
+                ));
+            }
+            PointLocator::build(net, &QdsConfig::with_epsilon(epsilon))
+                .map(|locator| BoxedEngine::new("qds", locator))
+                .map_err(|e| error(ErrorCode::BackendBuild, e.to_string()))
+        }
+    }
+}
+
+/// Brings the engine up to date with deltas the session network just
+/// emitted: incremental [`QueryEngine::apply`] per delta, falling back
+/// to a full [`QueryEngine::sync`] if any application is refused. A
+/// failed sync means the backend cannot represent the mutated network
+/// at all — reported as [`ErrorCode::Unsupported`] (the caller unbinds).
+fn catch_up(bound: &mut BoundState, deltas: &[NetworkDelta]) -> Result<(), Response> {
+    for delta in deltas {
+        if bound.engine.apply(delta).is_err() {
+            break;
+        }
+    }
+    if bound.engine.is_stale() {
+        bound.engine.sync(&bound.net).map_err(|e| {
+            error(
+                ErrorCode::Unsupported,
+                format!(
+                    "backend {} cannot represent the mutated network: {e}",
+                    bound.backend
+                ),
+            )
+        })?;
+    }
+    Ok(())
+}
+
+/// One request → one response. Pure with respect to the transport.
+fn handle(state: &mut Option<BoundState>, request: Request) -> Response {
+    match request {
+        Request::Bind {
+            backend,
+            epsilon,
+            network,
+        } => {
+            if state.is_some() {
+                return error(
+                    ErrorCode::AlreadyBound,
+                    "this session is already bound; open a new connection".to_string(),
+                );
+            }
+            let net = match network.build() {
+                Ok(net) => net,
+                Err(e) => return error(ErrorCode::InvalidNetwork, e.to_string()),
+            };
+            let engine = match build_backend(backend, epsilon, &net) {
+                Ok(engine) => engine,
+                Err(resp) => return resp,
+            };
+            let revision = net.revision();
+            *state = Some(BoundState {
+                net,
+                engine,
+                backend,
+            });
+            Response::Bound { revision, backend }
+        }
+        Request::LocateBatch { points } => {
+            let Some(bound) = state.as_ref() else {
+                return not_bound();
+            };
+            let mut answers = vec![Located::Silent; points.len()];
+            match bound.engine.try_locate_batch(&points, &mut answers) {
+                Ok(()) => Response::Located {
+                    revision: bound.engine.revision(),
+                    answers,
+                },
+                Err(e) => error(ErrorCode::Stale, e.to_string()),
+            }
+        }
+        Request::SinrBatch { station, points } => {
+            let Some(bound) = state.as_ref() else {
+                return not_bound();
+            };
+            if station.0 >= bound.net.len() {
+                return error(
+                    ErrorCode::StationOutOfRange,
+                    format!(
+                        "station {} out of range (network has {})",
+                        station.0,
+                        bound.net.len()
+                    ),
+                );
+            }
+            let mut values = vec![0.0; points.len()];
+            match bound.engine.try_sinr_batch(station, &points, &mut values) {
+                Ok(()) => Response::Sinrs {
+                    revision: bound.engine.revision(),
+                    values,
+                },
+                Err(e) => error(ErrorCode::Stale, e.to_string()),
+            }
+        }
+        Request::Mutate {
+            expected_revision,
+            ops,
+        } => {
+            let Some(bound) = state.as_mut() else {
+                return not_bound();
+            };
+            let current = bound.net.revision();
+            if expected_revision != current {
+                return error(
+                    ErrorCode::RevisionMismatch,
+                    format!(
+                        "mutate was computed against revision {expected_revision} but the \
+                         session network is at revision {current}; nothing was applied"
+                    ),
+                );
+            }
+            match bound.net.apply_ops(&ops) {
+                Ok(deltas) => {
+                    if let Err(resp) = catch_up(bound, &deltas) {
+                        return resp;
+                    }
+                    Response::Mutated {
+                        revision: bound.net.revision(),
+                        applied: deltas.len() as u32,
+                    }
+                }
+                Err(batch) => {
+                    // The prefix stays applied (in-place surgery, not a
+                    // transaction): re-sync the engine to it, then report
+                    // the failing op. The revision in the message tells
+                    // the client where the session network now is.
+                    if let Err(resp) = catch_up(bound, &batch.applied) {
+                        return resp;
+                    }
+                    error(
+                        ErrorCode::Surgery,
+                        format!(
+                            "{batch}; session network is now at revision {}",
+                            bound.net.revision()
+                        ),
+                    )
+                }
+            }
+        }
+    }
+}
+
+fn not_bound() -> Response {
+    error(
+        ErrorCode::NotBound,
+        "session is not bound; send a Bind frame first".to_string(),
+    )
+}

@@ -1,0 +1,375 @@
+//! Protocol fuzz/property suite: malformed frames must yield typed
+//! protocol errors and must never panic a server thread or poison
+//! another session.
+//!
+//! Two attack surfaces, two harnesses:
+//!
+//! * **payload level** (well-formed framing, garbage inside): driven
+//!   over the in-process pipe with an owned session thread, so "the
+//!   session did not panic" is a literal `JoinHandle::join` assertion;
+//! * **framing level** (truncated length prefixes, oversized claims,
+//!   mid-frame disconnects): driven over real TCP with raw
+//!   `TcpStream` writes, because the typed client cannot even express
+//!   these — followed every time by a fresh well-behaved client
+//!   proving the server still serves.
+
+use proptest::prelude::*;
+use sinr_core::{Network, StationId, SurgeryOp};
+use sinr_geometry::Point;
+use sinr_server::{
+    decode_response, duplex, serve_session, BackendId, Client, ClientError, ErrorCode,
+    PipeTransport, Response, Server,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn tiny_network() -> Network {
+    Network::uniform(
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(1.0, 3.0),
+        ],
+        0.01,
+        1.5,
+    )
+    .unwrap()
+}
+
+/// A session loop on its own thread over a pipe, with the join handle
+/// kept so the test can assert the thread exited *without panicking*.
+fn owned_session() -> (Client<PipeTransport>, std::thread::JoinHandle<()>) {
+    let (client_end, server_end) = duplex();
+    let handle = std::thread::spawn(move || serve_session(server_end));
+    (Client::new(client_end), handle)
+}
+
+/// Reads one raw frame off a TCP stream (test-side framing).
+fn read_frame_raw(stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut prefix = [0u8; 4];
+    stream.read_exact(&mut prefix).ok()?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).ok()?;
+    Some(payload)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary payload bytes through well-formed framing: every frame
+    /// gets exactly one response (a typed error for undecodable ones,
+    /// never a success out of thin air for a session that was never
+    /// bound), and the session thread exits cleanly afterwards.
+    #[test]
+    fn arbitrary_payloads_never_panic_the_session(
+        frames in collection::vec(collection::vec(any::<u8>(), 0..256), 1..8)
+    ) {
+        let (mut client, handle) = owned_session();
+        for payload in &frames {
+            client.send_raw(payload).expect("framing layer is well-formed");
+            match client.recv() {
+                // Typed server-side rejection: the expected outcome.
+                Err(ClientError::Server { .. }) => {}
+                // A payload that happens to decode as a valid request
+                // on an unbound session would still be a Server error
+                // (NotBound); a random valid *Bind* is the only success
+                // path and needs ≥ 2 finite valid stations — allowed,
+                // but then it must really be a Bound response.
+                Ok(Response::Bound { .. }) => {}
+                Ok(other) => prop_assert!(false, "garbage produced {other:?}"),
+                Err(other) => prop_assert!(false, "session died: {other}"),
+            }
+        }
+        // The session survives the whole spray and still serves.
+        drop(client);
+        prop_assert!(handle.join().is_ok(), "session thread panicked");
+    }
+
+    /// A malformed payload must not disturb an already-bound session:
+    /// the binding, the revision, and subsequent answers are intact.
+    #[test]
+    fn malformed_frames_do_not_poison_the_bound_state(
+        garbage in collection::vec(any::<u8>(), 1..128)
+    ) {
+        let (mut client, handle) = owned_session();
+        let net = tiny_network();
+        let revision = client
+            .bind_network(BackendId::ExactScan, 0.0, &net)
+            .expect("bind");
+
+        // Force the payload to be undecodable regardless of what the
+        // generator drew: 0x7F is no known tag.
+        let mut payload = vec![0x7F];
+        payload.extend(&garbage);
+        client.send_raw(&payload).expect("send");
+        match client.recv() {
+            Err(ClientError::Server { code, .. }) => {
+                prop_assert_eq!(code, ErrorCode::MalformedFrame)
+            }
+            other => prop_assert!(false, "expected MalformedFrame, got {other:?}"),
+        }
+
+        let (rev, answers) = client
+            .locate_batch(&[Point::new(0.5, 0.0)])
+            .expect("session still bound and serving");
+        prop_assert_eq!(rev, revision);
+        prop_assert_eq!(answers.len(), 1);
+        drop(client);
+        prop_assert!(handle.join().is_ok(), "session thread panicked");
+    }
+
+    /// Unknown backend bytes in `Bind` yield the dedicated typed code,
+    /// and the session remains usable for a correct `Bind` afterwards.
+    #[test]
+    fn bad_backend_ids_yield_unknown_backend(bad in 4u8..255) {
+        let (mut client, handle) = owned_session();
+        client.send_raw(&[0x01, bad]).expect("send");
+        match client.recv() {
+            Err(ClientError::Server { code, .. }) => {
+                prop_assert_eq!(code, ErrorCode::UnknownBackend)
+            }
+            other => prop_assert!(false, "expected UnknownBackend, got {other:?}"),
+        }
+        let net = tiny_network();
+        prop_assert_eq!(
+            client.bind_network(BackendId::ExactScan, 0.0, &net).expect("bind after error"),
+            0
+        );
+        drop(client);
+        prop_assert!(handle.join().is_ok(), "session thread panicked");
+    }
+
+    /// Mutations fenced at any wrong revision (the "delta with a
+    /// foreign revision" case) are rejected whole, with the typed code,
+    /// leaving the session serving at the unmoved revision.
+    #[test]
+    fn foreign_revision_mutates_are_fenced(wrong in 1u64..u64::MAX) {
+        let (mut client, handle) = owned_session();
+        let net = tiny_network();
+        let revision = client
+            .bind_network(BackendId::VoronoiAssisted, 0.0, &net)
+            .expect("bind");
+        prop_assert_eq!(revision, 0);
+        let op = SurgeryOp::Move { id: StationId(0), to: Point::new(1.0, 1.0) };
+        match client.mutate(wrong, &[op]) {
+            Err(ClientError::Server { code, .. }) => {
+                prop_assert_eq!(code, ErrorCode::RevisionMismatch)
+            }
+            other => prop_assert!(false, "expected RevisionMismatch, got {other:?}"),
+        }
+        let (rev, _) = client.locate_batch(&[Point::new(0.0, 1.0)]).expect("serving");
+        prop_assert_eq!(rev, revision, "nothing may have been applied");
+        drop(client);
+        prop_assert!(handle.join().is_ok(), "session thread panicked");
+    }
+
+    /// `Mutate` frames whose op bytes are truncated mid-op are rejected
+    /// as malformed without touching the bound network.
+    #[test]
+    fn truncated_mutate_ops_are_malformed_not_applied(cut in 1usize..20) {
+        let (mut client, handle) = owned_session();
+        let net = tiny_network();
+        client.bind_network(BackendId::ExactScan, 0.0, &net).expect("bind");
+
+        // A well-formed Mutate payload, then cut `cut` bytes off the end.
+        let mut payload = vec![0x04];
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        for op in [
+            SurgeryOp::Move { id: StationId(0), to: Point::new(2.0, 2.0) },
+            SurgeryOp::Add { position: Point::new(-1.0, 2.0), power: 1.0 },
+        ] {
+            op.encode_into(&mut payload);
+        }
+        let cut = cut.min(payload.len() - 14); // keep tag + header intact
+        payload.truncate(payload.len() - cut);
+        client.send_raw(&payload).expect("send");
+        match client.recv() {
+            Err(ClientError::Server { code, .. }) => {
+                prop_assert_eq!(code, ErrorCode::MalformedFrame)
+            }
+            other => prop_assert!(false, "expected MalformedFrame, got {other:?}"),
+        }
+        // Revision 0 still: nothing was applied.
+        let (rev, _) = client.locate_batch(&[Point::new(0.5, 0.5)]).expect("serving");
+        prop_assert_eq!(rev, 0);
+        drop(client);
+        prop_assert!(handle.join().is_ok(), "session thread panicked");
+    }
+}
+
+proptest! {
+    // TCP cases open real sockets; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Truncated length prefixes / mid-frame disconnects over real TCP:
+    /// the server closes that connection quietly and keeps accepting —
+    /// proven by a well-behaved client immediately afterwards.
+    #[test]
+    fn truncated_prefixes_close_quietly_and_server_keeps_serving(
+        partial in collection::vec(any::<u8>(), 0..7)
+    ) {
+        let server = Server::bind("127.0.0.1:0").expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let addr = handle.addr();
+
+        {
+            let mut raw = TcpStream::connect(addr).expect("connect raw");
+            // 0–6 bytes: either a truncated prefix, or a full prefix
+            // promising more payload than ever arrives.
+            raw.write_all(&partial).expect("write partial");
+            raw.shutdown(std::net::Shutdown::Write).ok();
+            // Whatever happens, the server must not hang this read
+            // forever: it either closes silently (truncation) or (full
+            // prefix + missing payload ≡ truncation) closes too.
+            let mut sink = Vec::new();
+            let _ = raw.take(1024).read_to_end(&mut sink);
+        }
+
+        let mut client = Client::connect(addr).expect("connect after abuse");
+        let net = tiny_network();
+        client.bind_network(BackendId::SimdScan, 0.0, &net).expect("bind");
+        let (_, answers) = client.locate_batch(&[Point::new(0.2, 0.1)]).expect("serving");
+        prop_assert_eq!(answers.len(), 1);
+        drop(client);
+        handle.shutdown();
+    }
+
+    /// A length prefix past MAX_FRAME_LEN gets the typed `Oversized`
+    /// error and then the connection closes (the stream position is
+    /// unrecoverable after a lying prefix).
+    #[test]
+    fn oversized_prefixes_get_typed_error_then_close(
+        over in (16u32 * 1024 * 1024 + 1)..u32::MAX
+    ) {
+        let server = Server::bind("127.0.0.1:0").expect("bind");
+        let handle = server.spawn().expect("spawn");
+
+        let mut raw = TcpStream::connect(handle.addr()).expect("connect raw");
+        raw.write_all(&over.to_le_bytes()).expect("write prefix");
+        let payload = read_frame_raw(&mut raw).expect("server answers before closing");
+        match decode_response(&payload).expect("decodable error frame") {
+            Response::Error { code, .. } => prop_assert_eq!(code, ErrorCode::Oversized),
+            other => prop_assert!(false, "expected Oversized error, got {other:?}"),
+        }
+        // …and then EOF.
+        let mut rest = Vec::new();
+        let _ = raw.take(64).read_to_end(&mut rest);
+        prop_assert!(rest.is_empty(), "connection must close after Oversized");
+        handle.shutdown();
+    }
+}
+
+/// Deterministic corner: an empty payload (length 0) is a legal frame
+/// whose payload fails to decode — typed MalformedFrame, session lives.
+#[test]
+fn empty_frame_is_malformed_not_fatal() {
+    let (mut client, handle) = owned_session();
+    client.send_raw(&[]).expect("send empty frame");
+    match client.recv() {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::MalformedFrame);
+            assert!(message.contains("empty"), "message: {message}");
+        }
+        other => panic!("expected MalformedFrame, got {other:?}"),
+    }
+    let net = tiny_network();
+    client
+        .bind_network(BackendId::ExactScan, 0.0, &net)
+        .expect("bind after empty frame");
+    drop(client);
+    assert!(handle.join().is_ok());
+}
+
+/// Deterministic corner: double Bind is AlreadyBound and leaves the
+/// first binding untouched.
+#[test]
+fn double_bind_is_typed_and_harmless() {
+    let (mut client, handle) = owned_session();
+    let net = tiny_network();
+    let revision = client
+        .bind_network(BackendId::ExactScan, 0.0, &net)
+        .expect("first bind");
+    match client.bind_network(BackendId::SimdScan, 0.0, &net) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::AlreadyBound),
+        other => panic!("expected AlreadyBound, got {other:?}"),
+    }
+    let (rev, _) = client
+        .locate_batch(&[Point::new(0.0, 0.0)])
+        .expect("original binding serves");
+    assert_eq!(rev, revision);
+    drop(client);
+    assert!(handle.join().is_ok());
+}
+
+/// Deterministic corner: queries before Bind are NotBound; a SinrBatch
+/// for a station the network lacks is StationOutOfRange.
+#[test]
+fn not_bound_and_station_range_are_typed() {
+    let (mut client, handle) = owned_session();
+    match client.locate_batch(&[Point::new(0.0, 0.0)]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::NotBound),
+        other => panic!("expected NotBound, got {other:?}"),
+    }
+    let net = tiny_network();
+    client
+        .bind_network(BackendId::VoronoiAssisted, 0.0, &net)
+        .expect("bind");
+    match client.sinr_batch(StationId(99), &[Point::new(0.0, 0.0)]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::StationOutOfRange),
+        other => panic!("expected StationOutOfRange, got {other:?}"),
+    }
+    drop(client);
+    assert!(handle.join().is_ok());
+}
+
+/// Deterministic corner: a Bind whose network fails model validation
+/// (too few stations) is InvalidNetwork and the session stays usable.
+#[test]
+fn invalid_network_bind_is_typed() {
+    let (mut client, handle) = owned_session();
+    // Handcraft a Bind with a single station: tag, backend, epsilon,
+    // noise, beta, alpha, n = 1, one station record.
+    let mut payload = vec![0x01, 0u8];
+    for v in [0.0f64, 0.0, 1.0, 2.0] {
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    payload.extend_from_slice(&1u32.to_le_bytes());
+    for v in [0.0f64, 0.0, 1.0] {
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    client.send_raw(&payload).expect("send");
+    match client.recv() {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::InvalidNetwork);
+            assert!(message.contains("at least 2"), "message: {message}");
+        }
+        other => panic!("expected InvalidNetwork, got {other:?}"),
+    }
+    let net = tiny_network();
+    client
+        .bind_network(BackendId::ExactScan, 0.0, &net)
+        .expect("bind after invalid network");
+    drop(client);
+    assert!(handle.join().is_ok());
+}
+
+/// Deterministic corner: a qds Bind on a network violating the
+/// Theorem-3 preconditions (β ≤ 1 here) is BackendBuild, typed.
+#[test]
+fn qds_precondition_failure_is_backend_build() {
+    let (mut client, handle) = owned_session();
+    let net = Network::uniform(
+        vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0)],
+        0.0,
+        0.8, // β ≤ 1: Theorem 3 does not apply
+    )
+    .unwrap();
+    match client.bind_network(BackendId::Qds, 0.3, &net) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BackendBuild),
+        other => panic!("expected BackendBuild, got {other:?}"),
+    }
+    drop(client);
+    assert!(handle.join().is_ok());
+}

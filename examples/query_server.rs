@@ -1,0 +1,115 @@
+//! The streaming query server as a runnable binary.
+//!
+//! Modes:
+//!
+//! * no arguments — **self-demo**: bind an ephemeral port, drive a short
+//!   TCP client session against it in-process, shut down (what CI's
+//!   example smoke loop runs);
+//! * `--serve-one [--listen ADDR]` — accept exactly one connection,
+//!   serve it to completion, exit (the server half of the CI
+//!   client/server pair smoke);
+//! * `--listen ADDR` — serve forever, thread per connection.
+//!
+//! Run with: `cargo run --release --example query_server -- --listen 127.0.0.1:7878`
+
+use sinr_diagrams::prelude::*;
+use sinr_diagrams::server::{BackendId, Client, Server};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let listen = args
+        .iter()
+        .position(|a| a == "--listen")
+        .map(|i| args.get(i + 1).cloned().ok_or("--listen needs an address"))
+        .transpose()?;
+    let serve_one = args.iter().any(|a| a == "--serve-one");
+
+    match (listen, serve_one) {
+        (addr, true) => {
+            let server = Server::bind(addr.as_deref().unwrap_or("127.0.0.1:0"))?;
+            println!("serving one session on {}", server.local_addr()?);
+            server.serve_sessions(1)?;
+            println!("session complete; exiting");
+        }
+        (Some(addr), false) => {
+            let server = Server::bind(addr.as_str())?;
+            println!(
+                "serving on {} (thread per connection; ctrl-c to stop)",
+                server.local_addr()?
+            );
+            // The background accept loop serves sessions concurrently
+            // (serve_sessions(1) would serialize clients); this thread
+            // only has to stay alive.
+            let _handle = server.spawn()?;
+            loop {
+                std::thread::park();
+            }
+        }
+        (None, false) => self_demo()?,
+    }
+    Ok(())
+}
+
+/// Everything over one ephemeral TCP port: bind a network, stream a
+/// batch, mutate in place, stream again — the round trip CI smokes.
+fn self_demo() -> Result<(), Box<dyn std::error::Error>> {
+    let server = Server::bind("127.0.0.1:0")?;
+    let handle = server.spawn()?;
+    println!("self-demo server on {}", handle.addr());
+
+    let net = Network::builder()
+        .station(Point::new(-2.0, 0.0))
+        .station(Point::new(2.0, 0.0))
+        .station(Point::new(0.0, 3.0))
+        .background_noise(0.01)
+        .threshold(1.5)
+        .build()?;
+
+    let mut client = Client::connect(handle.addr())?;
+    let revision = client.bind_network(BackendId::VoronoiAssisted, 0.0, &net)?;
+    println!("bound voronoi_assisted at revision {revision}");
+
+    let probes: Vec<Point> = (0..1000)
+        .map(|k| Point::new((k % 40) as f64 * 0.2 - 4.0, (k / 40) as f64 * 0.3 - 3.0))
+        .collect();
+    let (rev, answers) = client.locate_batch(&probes)?;
+    let heard = answers.iter().filter(|a| a.station().is_some()).count();
+    println!(
+        "locate_batch: {heard}/{} probes in some reception zone (revision {rev})",
+        probes.len()
+    );
+
+    // Differential check against the local ground truth.
+    let local = ExactScan::new(&net);
+    for (p, a) in probes.iter().zip(&answers) {
+        assert_eq!(*a, local.locate(*p), "server answer diverged at {p}");
+    }
+    println!(
+        "all {} answers bit-identical to a local ExactScan",
+        probes.len()
+    );
+
+    let rev = client.mutate(
+        rev,
+        &[SurgeryOp::Move {
+            id: StationId(2),
+            to: Point::new(1.0, -2.0),
+        }],
+    )?;
+    let (rev2, after) = client.locate_batch(&probes)?;
+    assert_eq!(rev2, rev);
+    let moved = net.with_station_moved(StationId(2), Point::new(1.0, -2.0))?;
+    let local = ExactScan::new(&moved);
+    for (p, a) in probes.iter().zip(&after) {
+        assert_eq!(*a, local.locate(*p), "post-mutate answer diverged at {p}");
+    }
+    let changed = answers.iter().zip(&after).filter(|(a, b)| a != b).count();
+    println!(
+        "after moving s2 in place: {changed} probes changed zone (revision {rev}); verified again"
+    );
+
+    drop(client);
+    handle.shutdown();
+    println!("server shut down cleanly");
+    Ok(())
+}

@@ -25,7 +25,17 @@
 //!   (Observation 2.2, query dispatch of Theorem 3);
 //! * [`pointloc`] — the approximate point-location data structure of
 //!   Theorem 3 (Section 5);
-//! * [`diagram`] — rasterised reception maps and the paper's figures.
+//! * [`diagram`] — rasterised reception maps and the paper's figures;
+//! * [`server`] — the streaming batched-query server: a length-prefixed
+//!   binary protocol over TCP (std-only, thread per connection) whose
+//!   sessions bind a network plus any backend
+//!   ([`BackendId`](prelude::BackendId)) and then interleave
+//!   `LocateBatch` / `SinrBatch` / `Mutate` frames — dynamic updates
+//!   stream through the same [`NetworkDelta`](prelude::NetworkDelta)
+//!   machinery, revision-fenced, with no engine rebuilds (see the
+//!   [`server`] crate docs for the full frame-layout table, backend ids
+//!   and error codes, and `examples/query_server.rs` /
+//!   `examples/query_client.rs` for the runnable pair).
 //!
 //! ## Quickstart
 //!
@@ -59,6 +69,13 @@
 //! for (q, a) in receivers.iter().zip(&answers) {
 //!     assert_eq!(a.station(), network.heard_at(*q)); // engine ≡ ground truth
 //! }
+//!
+//! // Served over the wire: the same batches through a streaming session
+//! // (in-process here; `Server::bind` + `Client::connect` for real TCP).
+//! let mut client = sinr_diagrams::server::serve_in_process();
+//! client.bind_network(BackendId::SimdScan, 0.0, &network).unwrap();
+//! let (_, served) = client.locate_batch(&receivers).unwrap();
+//! assert_eq!(served.len(), receivers.len());
 //! ```
 
 pub use sinr_algebra as algebra;
@@ -67,6 +84,7 @@ pub use sinr_diagram as diagram;
 pub use sinr_geometry as geometry;
 pub use sinr_graphs as graphs;
 pub use sinr_pointloc as pointloc;
+pub use sinr_server as server;
 pub use sinr_voronoi as voronoi;
 
 /// Convenient glob-import surface: the most commonly used types from every
@@ -74,13 +92,14 @@ pub use sinr_voronoi as voronoi;
 pub mod prelude {
     pub use sinr_algebra::{BiPoly, Poly, SturmChain};
     pub use sinr_core::{
-        DeltaOp, ExactScan, Located, Network, NetworkBuilder, NetworkDelta, PowerAssignment,
-        QueryEngine, ReceptionZone, SimdKernel, SimdScan, SinrEvaluator, Station, StationId,
-        StationKey, SyncError, VoronoiAssisted,
+        BoxedEngine, DeltaOp, ExactScan, LocateError, Located, Network, NetworkBuilder,
+        NetworkDelta, PowerAssignment, QueryEngine, ReceptionZone, SimdKernel, SimdScan,
+        SinrEvaluator, Station, StationId, StationKey, SurgeryOp, SyncError, VoronoiAssisted,
     };
     pub use sinr_diagram::{Raster, ReceptionMap};
     pub use sinr_geometry::{BBox, Ball, Grid, Line, Point, Segment, Vector};
     pub use sinr_graphs::UnitDiskGraph;
     pub use sinr_pointloc::PointLocator;
+    pub use sinr_server::{BackendId, Client, Server};
     pub use sinr_voronoi::{KdTree, VoronoiDiagram};
 }
