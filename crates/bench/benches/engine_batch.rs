@@ -11,6 +11,14 @@
 //! the perf trajectory is grep-able from run logs (CI archives these
 //! lines as the `engine-batch-json` artifact).
 //!
+//! The **tiled** scenario (PR 5) compares the spatially-coherent tiled
+//! executor — what `locate_batch` runs for ≥ 2048 points × ≥ 128
+//! stations — against the per-point path (the same serial kernels
+//! driven through `batch_map`), per backend, answers asserted
+//! identical; its `"scenario":"tiled"` lines carry the executor's
+//! pruning statistics (mean candidate-set size, certified-decision
+//! fallback fraction).
+//!
 //! The **churn** scenario measures the epoch-versioned dynamic path: a
 //! timestep mixes in-place surgery (moves + an add + a swap-remove) with
 //! a `locate_batch` burst, and the same deterministic op/query sequence
@@ -24,8 +32,9 @@
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 use sinr_bench::report::JsonLine;
-use sinr_core::engine::{ExactScan, Located, QueryEngine, VoronoiAssisted};
-use sinr_core::simd::SimdScan;
+use sinr_core::engine::{batch_map, ExactScan, Located, QueryEngine, VoronoiAssisted, BATCH_TILE};
+use sinr_core::simd::{SimdKernel, SimdScan};
+use sinr_core::tile::{self, Select, TileConfig, TileStats};
 use sinr_core::{gen, Network, StationId};
 use sinr_geometry::Point;
 use std::hint::black_box;
@@ -146,6 +155,7 @@ fn emit_json_lines() {
             .int("query_points", queries.len() as u64)
             .int("scalar_sample_points", scalar_points as u64)
             .str("simd_kernel", simd.kernel().name())
+            .int("avx512_detected", SimdKernel::Avx512.is_supported() as u64)
             .num("scalar_heard_at_ns_per_point", scalar_ns)
             .num("exact_scan_ns_per_point", exact_ns)
             .num("simd_scan_ns_per_point", simd_ns)
@@ -155,7 +165,119 @@ fn emit_json_lines() {
             .num("speedup_simd_vs_exact", exact_ns / simd_ns)
             .num("speedup_voronoi_vs_scalar", scalar_ns / voronoi_ns);
         println!("{}", line.render());
+
+        // Tiled-vs-per-point lines only where the tiled executor
+        // actually engages — at n = 16 both timed paths are the same
+        // per-point scheduler and a "tiled" line would be noise.
+        if TileConfig::default().engages(queries.len(), n) {
+            emit_tiled_json_lines(n, &net, &queries);
+        }
     }
+}
+
+/// The tiled-executor record: the spatially-coherent tiled batch path
+/// (what `locate_batch` now runs for large batches) against the PR 3/4
+/// per-point path (the same serial kernels driven point-by-point
+/// through `batch_map`), per backend, answers asserted identical. One
+/// `"scenario":"tiled"` line per backend per station count, with the
+/// executor's pruning statistics.
+fn emit_tiled_json_lines(n: usize, net: &Network, queries: &[Point]) {
+    let exact = ExactScan::new(net);
+    let simd = SimdScan::new(net);
+    let voronoi = VoronoiAssisted::new(net);
+    let mut tiled = vec![Located::Silent; queries.len()];
+    let mut perpoint = vec![Located::Silent; queries.len()];
+
+    let emit = |backend: &str, kernel: &str, tiled_ns: f64, pp_ns: f64, stats: TileStats| {
+        let line = JsonLine::new("engine_batch")
+            .str("scenario", "tiled")
+            .int("stations", n as u64)
+            .str("backend", backend)
+            .str("simd_kernel", kernel)
+            .int("avx512_detected", SimdKernel::Avx512.is_supported() as u64)
+            .int("query_points", queries.len() as u64)
+            .int("tile_points", BATCH_TILE as u64)
+            .num("tiled_ns_per_point", tiled_ns)
+            .num("perpoint_ns_per_point", pp_ns)
+            .num("speedup_tiled_vs_perpoint", pp_ns / tiled_ns)
+            .int("tiles", stats.tiles)
+            .int("pruned_tiles", stats.pruned_tiles)
+            .num(
+                "mean_candidates",
+                stats.mean_candidates().unwrap_or(f64::NAN),
+            )
+            .num(
+                "fallback_fraction",
+                stats.fallback_points as f64 / stats.points as f64,
+            );
+        println!("{}", line.render());
+    };
+
+    // ExactScan: tiled locate_batch vs the per-point scalar kernel.
+    let tiled_ns = time_ns_per_point(queries.len(), || {
+        exact.locate_batch(black_box(queries), &mut tiled);
+    });
+    let pp_ns = time_ns_per_point(queries.len(), || {
+        batch_map(black_box(queries), &mut perpoint, |p| exact.locate(*p));
+    });
+    assert_eq!(tiled, perpoint, "ExactScan tiled/per-point answers diverge");
+    let stats = tile::locate_batch_tiled(
+        exact.evaluator(),
+        SimdKernel::Portable,
+        Select::MaxEnergy,
+        queries,
+        &mut tiled,
+        &TileConfig::default(),
+        |p| exact.evaluator().locate(p),
+    );
+    emit("exact_scan", "portable", tiled_ns, pp_ns, stats);
+
+    // SimdScan: tiled with its detected kernel vs per-point full scans.
+    let tiled_ns = time_ns_per_point(queries.len(), || {
+        simd.locate_batch(black_box(queries), &mut tiled);
+    });
+    let pp_ns = time_ns_per_point(queries.len(), || {
+        batch_map(black_box(queries), &mut perpoint, |p| simd.locate(*p));
+    });
+    assert_eq!(tiled, perpoint, "SimdScan tiled/per-point answers diverge");
+    let stats = tile::locate_batch_tiled(
+        simd.evaluator(),
+        simd.kernel(),
+        Select::MaxEnergy,
+        queries,
+        &mut tiled,
+        &TileConfig::default(),
+        |p| simd.locate(p),
+    );
+    emit("simd_scan", simd.kernel().name(), tiled_ns, pp_ns, stats);
+
+    // VoronoiAssisted: tiled nearest-mode vs the per-point kd-tree walk.
+    let tiled_ns = time_ns_per_point(queries.len(), || {
+        voronoi.locate_batch(black_box(queries), &mut tiled);
+    });
+    let pp_ns = time_ns_per_point(queries.len(), || {
+        batch_map(black_box(queries), &mut perpoint, |p| voronoi.locate(*p));
+    });
+    assert_eq!(
+        tiled, perpoint,
+        "VoronoiAssisted tiled/per-point answers diverge"
+    );
+    let stats = tile::locate_batch_tiled(
+        voronoi.evaluator(),
+        voronoi.kernel(),
+        Select::Nearest,
+        queries,
+        &mut tiled,
+        &TileConfig::default(),
+        |p| voronoi.locate(p),
+    );
+    emit(
+        "voronoi_assisted",
+        voronoi.kernel().name(),
+        tiled_ns,
+        pp_ns,
+        stats,
+    );
 }
 
 /// Churn scenario shape: per timestep, `CHURN_MOVES` station moves plus

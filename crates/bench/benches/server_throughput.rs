@@ -13,7 +13,11 @@
 //! A second scenario (`churn_stream`) interleaves a `Mutate` frame (the
 //! mobile-station timestep) between bursts, measuring the full
 //! mutate+query round trip that PR 3's incremental engines make
-//! rebuild-free.
+//! rebuild-free. A third (`pipelined_stream`, PR 5) re-runs the locate
+//! stream with `frames_in_flight ∈ {1, 4, 8}` request frames kept
+//! outstanding through `Client::locate_batches_pipelined` — the
+//! `frames_in_flight > 1` lines show what hiding the per-burst round
+//! trip behind engine compute buys end-to-end.
 //!
 //! One JSON line per configuration via `sinr_bench::report::JsonLine`
 //! (`"bench":"server_throughput"`); the trend file is
@@ -41,6 +45,33 @@ fn setup() -> (Network, Vec<Point>, Vec<Point>) {
     let burst = gen::uniform_in_box(&mut rng, BURST_POINTS, half * 1.1);
     let churn_burst = gen::uniform_in_box(&mut rng, CHURN_BURST, half * 1.1);
     (net, burst, churn_burst)
+}
+
+/// `ROUNDS` bursts streamed with `in_flight` request frames kept
+/// outstanding (the PR-5 pipelined client): the engine computes one
+/// burst while later bursts are already in the transport, so the tiled
+/// batch executor is never starved between bursts. Returns ns/point
+/// end-to-end; answers are length-checked here and pinned bit-identical
+/// to the request/response mode by the e2e suite.
+fn pipelined_scenario<T: Transport>(
+    client: &mut Client<T>,
+    burst: &[Point],
+    in_flight: usize,
+) -> f64 {
+    let bursts: Vec<&[Point]> = (0..ROUNDS).map(|_| burst).collect();
+    // Warm-up round.
+    let (_, first) = client.locate_batch(burst).expect("warm-up burst");
+    assert_eq!(first.len(), burst.len());
+    let start = Instant::now();
+    let results = client
+        .locate_batches_pipelined(&bursts, in_flight)
+        .expect("pipelined stream");
+    let ns = start.elapsed().as_nanos() as f64 / (ROUNDS * burst.len()) as f64;
+    assert_eq!(results.len(), ROUNDS);
+    for (_, answers) in &results {
+        assert_eq!(answers.len(), burst.len());
+    }
+    ns
 }
 
 /// `ROUNDS` locate bursts through an established session; returns
@@ -101,6 +132,20 @@ fn emit_stream(transport: &str, backend: BackendId, ns_per_point: f64) {
     println!("{}", line.render());
 }
 
+fn emit_pipelined(transport: &str, backend: BackendId, in_flight: usize, ns_per_point: f64) {
+    let line = JsonLine::new("server_throughput")
+        .str("scenario", "pipelined_stream")
+        .str("transport", transport)
+        .str("backend", backend.name())
+        .int("stations", STATIONS as u64)
+        .int("burst_points", BURST_POINTS as u64)
+        .int("rounds", ROUNDS as u64)
+        .int("frames_in_flight", in_flight as u64)
+        .num("ns_per_point", ns_per_point)
+        .num("points_per_sec", 1e9 / ns_per_point);
+    println!("{}", line.render());
+}
+
 fn emit_churn(transport: &str, backend: BackendId, (ns_per_step, ns_per_point): (f64, f64)) {
     let line = JsonLine::new("server_throughput")
         .str("scenario", "churn_stream")
@@ -139,6 +184,27 @@ fn main() {
         client.bind_network(backend, 0.0, &net).expect("tcp bind");
         let ns = stream_scenario(&mut client, &burst);
         emit_stream("tcp", backend, ns);
+    }
+
+    // Pipelined stream: the same bursts with multiple request frames
+    // kept in flight, both transports, on the throughput backend.
+    // `frames_in_flight = 1` degenerates to the request/response loop
+    // (the baseline the >1 windows are read against).
+    for in_flight in [1usize, 4, 8] {
+        let mut client = serve_in_process();
+        client
+            .bind_network(BackendId::SimdScan, 0.0, &net)
+            .expect("pipe bind");
+        let ns = pipelined_scenario(&mut client, &burst, in_flight);
+        emit_pipelined("pipe", BackendId::SimdScan, in_flight, ns);
+    }
+    for in_flight in [1usize, 4, 8] {
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        client
+            .bind_network(BackendId::SimdScan, 0.0, &net)
+            .expect("tcp bind");
+        let ns = pipelined_scenario(&mut client, &burst, in_flight);
+        emit_pipelined("tcp", BackendId::SimdScan, in_flight, ns);
     }
 
     // Churn stream: mutate + burst per timestep, both transports, on

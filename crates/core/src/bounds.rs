@@ -10,7 +10,15 @@
 //!
 //! whence `φ = Δ/δ = O(√n)`; Theorem 4.2 improves the fatness bound to the
 //! constant `(√β + 1)/(√β − 1)`.
+//!
+//! Besides the paper's closed forms, this module hosts the *per-tile*
+//! distance/energy envelopes the tiled batch executor ([`crate::tile`])
+//! builds its pruning certificates from: the same zone-radius reasoning
+//! (energy is monotone in distance, so distance bounds become energy
+//! bounds), applied to the bounding box of a query tile instead of a
+//! single station's `κ`.
 
+use crate::engine::PathLoss;
 use crate::network::Network;
 use crate::station::StationId;
 
@@ -113,6 +121,67 @@ pub fn lemma43_interval(beta: f64, psi1: f64) -> Option<(f64, f64)> {
     }
     let root = bp.sqrt();
     Some((-(root + 1.0) / (bp - 1.0), (root - 1.0) / (bp - 1.0)))
+}
+
+/// The squared-distance envelope `(min d², max d²)` from any point of
+/// the axis-aligned box `[min_x, max_x] × [min_y, max_y]` to the point
+/// `(x, y)`.
+///
+/// The minimum clamps to the box (0 when the point is inside), the
+/// maximum is attained at a box corner. Both are elementary rounded
+/// expressions over finite inputs, so their relative error is a few
+/// ulps — callers that need *certified* one-sided bounds (the tiled
+/// executor's pruning, see [`energy_envelope`]) must widen by an
+/// explicit margin.
+pub fn dist2_range_to_box(
+    min_x: f64,
+    min_y: f64,
+    max_x: f64,
+    max_y: f64,
+    x: f64,
+    y: f64,
+) -> (f64, f64) {
+    let dx_out = (min_x - x).max(x - max_x).max(0.0);
+    let dy_out = (min_y - y).max(y - max_y).max(0.0);
+    let dx_far = (x - min_x).max(max_x - x);
+    let dy_far = (y - min_y).max(max_y - y);
+    (
+        dx_out * dx_out + dy_out * dy_out,
+        dx_far * dx_far + dy_far * dy_far,
+    )
+}
+
+/// A certified energy envelope `[lo, hi]` of one station (power `w`,
+/// path loss `k`) over a query region with squared-distance envelope
+/// `(min_d2, max_d2)`: for every point `p` of the region, the
+/// floating-point energy any scan kernel computes for this station
+/// satisfies `lo ≤ e(p) ≤ hi`.
+///
+/// Energy is monotone decreasing in distance (the same monotonicity
+/// behind the Theorem 4.1 zone radii above), so the distance envelope
+/// becomes an energy envelope; `margin` widens both sides
+/// multiplicatively to absorb the rounding of this computation *and* of
+/// the kernels' `RN(RN(attenuation)·ψ)` (a relative `margin` of `1e-12`
+/// dwarfs the few-ulp worst case). A station inside the region
+/// (`min_d2 = 0`) gets `hi = ∞` — it can never be pruned.
+pub fn energy_envelope<K: PathLoss>(
+    k: K,
+    w: f64,
+    min_d2: f64,
+    max_d2: f64,
+    margin: f64,
+) -> (f64, f64) {
+    let lo = if max_d2 > 0.0 {
+        k.attenuation(max_d2) * w * (1.0 - margin)
+    } else {
+        f64::INFINITY
+    };
+    let hi = if min_d2 > 0.0 {
+        k.attenuation(min_d2) * w * (1.0 + margin)
+    } else {
+        f64::INFINITY
+    };
+    (lo, hi)
 }
 
 /// All closed-form bounds for one station of a network, bundled.
@@ -290,6 +359,56 @@ mod tests {
             let (ml2, mr2) = lemma43_interval(beta, 3.0).unwrap();
             assert!(-ml2 / mr2 < bound);
         }
+    }
+
+    #[test]
+    fn box_distance_envelope() {
+        // Point inside the box: min 0, max at the far corner.
+        let (lo, hi) = dist2_range_to_box(0.0, 0.0, 4.0, 2.0, 1.0, 1.0);
+        assert_eq!(lo, 0.0);
+        // Farthest corner is (4, 2): 3² + 1².
+        assert_eq!(hi, 9.0 + 1.0);
+        // Point left of the box.
+        let (lo, hi) = dist2_range_to_box(0.0, 0.0, 4.0, 2.0, -3.0, 1.0);
+        assert_eq!(lo, 9.0);
+        // Farthest corners are (4, 0) and (4, 2): 7² + 1².
+        assert_eq!(hi, 49.0 + 1.0);
+        // Degenerate box = point-to-point distance both ways.
+        let (lo, hi) = dist2_range_to_box(1.0, 1.0, 1.0, 1.0, 4.0, 5.0);
+        assert_eq!(lo, 25.0);
+        assert_eq!(hi, 25.0);
+        // Envelope brackets the true distance for sampled points.
+        for t in 0..=10 {
+            let p = Point::new(t as f64 * 0.4, t as f64 * 0.2);
+            let (lo, hi) = dist2_range_to_box(0.0, 0.0, 4.0, 2.0, 7.0, -3.0);
+            let d2 = p.dist_sq(Point::new(7.0, -3.0));
+            assert!(lo <= d2 && d2 <= hi, "{p}: {d2} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn energy_envelope_brackets_kernel_energies() {
+        use crate::engine::{GeneralAlpha, InverseSquare, PathLoss};
+        let margin = 1e-12;
+        for (d_min, d_max) in [(0.25, 9.0), (1.0, 1.0), (4.0, 1e6)] {
+            let (lo, hi) = energy_envelope(InverseSquare, 1.5, d_min, d_max, margin);
+            // The exact kernel energies at both ends are inside.
+            assert!(lo <= InverseSquare.attenuation(d_max) * 1.5);
+            assert!(hi >= InverseSquare.attenuation(d_min) * 1.5);
+            assert!(lo <= hi);
+            let k = GeneralAlpha::new(3.0);
+            let (lo, hi) = energy_envelope(k, 2.0, d_min, d_max, margin);
+            assert!(lo <= k.attenuation(d_max) * 2.0);
+            assert!(hi >= k.attenuation(d_min) * 2.0);
+        }
+        // A station touching the region can never be pruned: top = ∞.
+        let (_, hi) = energy_envelope(InverseSquare, 1.0, 0.0, 4.0, margin);
+        assert_eq!(hi, f64::INFINITY);
+        let (lo, hi) = energy_envelope(InverseSquare, 1.0, 0.0, 0.0, margin);
+        assert_eq!((lo, hi), (f64::INFINITY, f64::INFINITY));
+        // Infinitely far: contributes nothing, prunable at zero.
+        let (lo, _) = energy_envelope(InverseSquare, 1.0, f64::INFINITY, f64::INFINITY, margin);
+        assert_eq!(lo, 0.0);
     }
 
     #[test]

@@ -23,8 +23,8 @@
 //!   keep every core busy.
 //! * Backends: [`ExactScan`] (one amortized SoA pass per point, exact for
 //!   every network), [`SimdScan`](crate::simd::SimdScan) (the same scan
-//!   explicitly vectorized — 4×f64 AVX2 lanes when the CPU has them,
-//!   with SSE2 and portable scalar fallbacks), [`VoronoiAssisted`]
+//!   explicitly vectorized — 8×f64 AVX-512 or 4×f64 AVX2 lanes when the
+//!   CPU has them, with SSE2 and portable scalar fallbacks), [`VoronoiAssisted`]
 //!   (kd-tree nearest-station dispatch per Observation 2.2, exact for
 //!   uniform power, falling back to the scan otherwise), and the
 //!   Theorem-3 `PointLocator` of `sinr-pointloc` (sublinear per query,
@@ -75,6 +75,51 @@
 //! | [`SimdScan`](crate::simd::SimdScan) | `O(n)`, ~`lanes`× smaller constants | yes | none (runtime CPU detection, scalar fallback) |
 //! | [`VoronoiAssisted`] | `O(n)`, smaller constants | yes (boundary rounding as `SimdScan` — the candidate sum rides the SIMD lanes) | none (falls back to scan for non-uniform power) |
 //! | `PointLocator` | `O(log n)` | `ε`-approximate near `∂Hᵢ` | uniform power, `α = 2`, `β > 1` |
+//!
+//! ## Execution model
+//!
+//! How a `locate_batch` call actually runs, in order of engagement:
+//!
+//! 1. **Serial** — batches shorter than [`PARALLEL_BATCH_THRESHOLD`]
+//!    run a plain per-point loop on the calling thread.
+//! 2. **Per-point work stealing** — longer batches against *small*
+//!    networks (fewer than
+//!    [`TILED_MIN_STATIONS`](crate::tile::TILED_MIN_STATIONS) stations)
+//!    are cut into [`BATCH_TILE`]-input tiles claimed by worker threads
+//!    through one atomic counter ([`batch_map`]).
+//! 3. **Spatially-coherent tiled execution** ([`crate::tile`]) — longer
+//!    batches against larger networks are Morton-sorted into
+//!    [`BATCH_TILE`]-point spatial tiles (an index permutation; output
+//!    positions never change), and each tile amortizes its work:
+//!    * one `O(n)` pass computes every station's certified energy
+//!      envelope over the tile's bounding box
+//!      ([`crate::bounds::energy_envelope`]); stations provably
+//!      dominated everywhere in the tile are **pruned** from the
+//!      per-point scans, their interference carried as a certified
+//!      residual interval;
+//!    * each point scans only the gathered candidate columns (through
+//!      the same SIMD kernels as the full scans), and the reception
+//!      test is evaluated at both ends of the residual interval — a
+//!      **pruning certificate**: agreement on both ends proves the
+//!      full scan would decide identically;
+//!    * **fallback conditions**: a point whose certificate is
+//!      inconclusive (its margin to the `SINR = β` boundary is inside
+//!      the interval width), any tile containing a non-finite query
+//!      point, and any tile where pruning cannot drop ≳ 1/8 of the
+//!      stations re-run the backend's own serial kernel, point by
+//!      point — so tiled answers are **bit-identical** to the serial
+//!      path for every backend and kernel (pinned by the
+//!      tiled-differential and permutation-invariance suites).
+//!
+//!    Tiles are also the stealable work units, so the scheduler knob is
+//!    shared: [`BATCH_TILE`] is both the steal granularity and the
+//!    spatial tile size ([`crate::tile::TileConfig`] makes it tunable
+//!    per call).
+//!
+//! `sinr_batch` uses the Morton tiling for spatial locality only (same
+//! per-point computation, bit-identical values); the Theorem-3
+//! `PointLocator` reuses the tile grouping so queries dispatching to
+//! the same zone grid are processed together.
 //!
 //! ## Example
 //!
@@ -298,11 +343,15 @@ impl PathLoss for GeneralAlpha {
 /// crossover.
 pub const PARALLEL_BATCH_THRESHOLD: usize = 2048;
 
-/// The work-stealing scheduler hands out the batch in tiles of this many
-/// inputs: coarse enough that the shared atomic counter is cold, fine
-/// enough that a skewed workload (some tiles cheap, some expensive)
-/// rebalances across threads.
-const STEAL_TILE: usize = 512;
+/// The batch granularity: both the work-stealing scheduler and the
+/// spatial tiler of [`crate::tile`] hand out work in tiles of this many
+/// inputs — **one knob, not two**. Coarse enough that the shared atomic
+/// counter is cold and a tile's Morton bounding box is worth pruning
+/// against, fine enough that skewed workloads rebalance across threads
+/// and tiles stay spatially tight. Bench-tunable per call through
+/// [`crate::tile::TileConfig::tile_points`] (this constant is its
+/// default); the `engine_batch` bench sweeps it.
+pub const BATCH_TILE: usize = 512;
 
 /// Minimum inputs per thread for the static split of
 /// [`batch_map_chunked`] — spawning a thread for fewer is pure overhead.
@@ -357,25 +406,17 @@ where
         }
         return;
     }
-    let tiles = len.div_ceil(STEAL_TILE);
-    let workers = threads.min(tiles);
-    let next_tile = std::sync::atomic::AtomicUsize::new(0);
     let slots = steal::OutputSlots::new(out);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let tile = next_tile.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let start = tile * STEAL_TILE;
-                if start >= len {
-                    break;
-                }
-                let end = (start + STEAL_TILE).min(len);
-                for (i, p) in inputs[start..end].iter().enumerate() {
-                    // Tiles are claimed exactly once (fetch_add), so every
-                    // index is written by exactly one worker.
-                    slots.write(start + i, f(p));
-                }
-            });
+    // One scheduler for the whole crate: the same tile-claiming loop
+    // drives this per-point path and the spatial executors of
+    // `crate::tile`.
+    crate::tile::steal_tiles::<(), _>(len.div_ceil(BATCH_TILE), |tile, _scratch| {
+        let start = tile * BATCH_TILE;
+        let end = (start + BATCH_TILE).min(len);
+        for (i, p) in inputs[start..end].iter().enumerate() {
+            // Tiles are claimed exactly once (fetch_add), so every
+            // index is written by exactly one worker.
+            slots.write(start + i, f(p));
         }
     });
 }
@@ -430,15 +471,18 @@ where
 /// The one unsafe corner of the scheduler: a `Send + Sync` handle to the
 /// output slice that lets workers write disjoint slots concurrently.
 #[allow(unsafe_code)]
-mod steal {
+pub(crate) mod steal {
     /// Shared view of `&mut [O]` for the work-stealing workers.
     ///
     /// Soundness: the handle is created from an exclusive borrow that
     /// outlives the thread scope, every index is written by exactly one
-    /// worker (tiles are claimed via `fetch_add`), and `write` bounds-
-    /// checks the index. Writes go through `&mut`-style assignment so the
-    /// previous value is dropped on the writing thread (hence `O: Send`).
-    pub(super) struct OutputSlots<O> {
+    /// worker (contiguous tiles are claimed via `fetch_add`, and the
+    /// Morton-permuted tiles of [`crate::tile`] own disjoint index sets
+    /// because the order is a permutation), and `write` bounds-checks
+    /// the index. Writes go through `&mut`-style assignment so the
+    /// previous value is dropped on the writing thread (hence
+    /// `O: Send`).
+    pub(crate) struct OutputSlots<O> {
         ptr: *mut O,
         len: usize,
     }
@@ -449,7 +493,7 @@ mod steal {
     unsafe impl<O: Send> Sync for OutputSlots<O> {}
 
     impl<O> OutputSlots<O> {
-        pub(super) fn new(out: &mut [O]) -> Self {
+        pub(crate) fn new(out: &mut [O]) -> Self {
             OutputSlots {
                 ptr: out.as_mut_ptr(),
                 len: out.len(),
@@ -458,7 +502,7 @@ mod steal {
 
         /// Writes `value` into slot `i`, dropping the previous value.
         #[inline]
-        pub(super) fn write(&self, i: usize, value: O) {
+        pub(crate) fn write(&self, i: usize, value: O) {
             assert!(i < self.len, "output slot {i} out of bounds ({})", self.len);
             // SAFETY: `i` is in bounds (asserted) and, per the tile
             // protocol, no other thread reads or writes this slot.
@@ -751,6 +795,17 @@ impl SinrEvaluator {
         self.decide(self.scan(k, p))
     }
 
+    /// The scalar per-point kernel without the freshness check — the
+    /// serial ground truth the tiled executor ([`crate::tile`]) falls
+    /// back to per point (batch entry points assert freshness once).
+    #[inline]
+    pub(crate) fn locate_scalar(&self, p: Point) -> Located {
+        self.with_kernel(|ev, k| match k {
+            DynKernel::Square(k) => ev.locate_with(k, p),
+            DynKernel::General(k) => ev.locate_with(k, p),
+        })
+    }
+
     /// Decides reception for the single candidate station `cand` (the
     /// [`VoronoiAssisted`] path — `cand` must be the maximum-energy
     /// station) from a candidate scan `(e_cand, total)` as produced by
@@ -843,21 +898,42 @@ impl SinrEvaluator {
         })
     }
 
-    /// Batched [`SinrEvaluator::locate`]: answers are written into `out`,
-    /// work-stolen across cores for large batches.
+    /// Batched [`SinrEvaluator::locate`]: answers are written into `out`.
+    /// Large batches against large networks run through the
+    /// spatially-coherent tiled executor of [`crate::tile`] (Morton
+    /// tiles, certified candidate pruning, serial-kernel fallback —
+    /// bit-identical answers); everything else takes the per-point
+    /// work-stealing path. See the module-level [execution
+    /// model](self#execution-model).
     ///
     /// # Panics
     ///
     /// Panics if `points` and `out` have different lengths.
     pub fn locate_batch(&self, points: &[Point], out: &mut [Located]) {
         self.assert_fresh();
+        let cfg = crate::tile::TileConfig::default();
+        if cfg.engages(points.len(), self.len()) {
+            crate::tile::locate_batch_tiled(
+                self,
+                crate::simd::SimdKernel::Portable,
+                crate::tile::Select::MaxEnergy,
+                points,
+                out,
+                &cfg,
+                |p| self.locate_scalar(p),
+            );
+            return;
+        }
         self.with_kernel(|ev, k| match k {
             DynKernel::Square(k) => batch_map(points, out, |p| ev.locate_with(k, *p)),
             DynKernel::General(k) => batch_map(points, out, |p| ev.locate_with(k, *p)),
         });
     }
 
-    /// Batched [`SinrEvaluator::sinr`] for one station across many points.
+    /// Batched [`SinrEvaluator::sinr`] for one station across many
+    /// points — scheduled in Morton-tile order for spatial coherence
+    /// (the per-point computation is unchanged, so values are
+    /// bit-identical to serial [`SinrEvaluator::sinr`] calls).
     ///
     /// # Panics
     ///
@@ -865,9 +941,14 @@ impl SinrEvaluator {
     pub fn sinr_batch(&self, i: StationId, points: &[Point], out: &mut [f64]) {
         self.assert_fresh();
         assert!(i.0 < self.len(), "station {i} out of range");
+        let cfg = crate::tile::TileConfig::default();
         self.with_kernel(|ev, k| match k {
-            DynKernel::Square(k) => batch_map(points, out, |p| ev.sinr_with(k, i.0, *p)),
-            DynKernel::General(k) => batch_map(points, out, |p| ev.sinr_with(k, i.0, *p)),
+            DynKernel::Square(k) => {
+                crate::tile::batch_map_morton(points, out, &cfg, |p| ev.sinr_with(k, i.0, p))
+            }
+            DynKernel::General(k) => {
+                crate::tile::batch_map_morton(points, out, &cfg, |p| ev.sinr_with(k, i.0, p))
+            }
         });
     }
 }
@@ -1316,6 +1397,23 @@ impl QueryEngine for VoronoiAssisted {
             None => self.eval.locate_batch(points, out),
             Some(tree) => {
                 self.eval.assert_fresh();
+                let cfg = crate::tile::TileConfig::default();
+                if cfg.engages(points.len(), self.eval.len()) {
+                    // Tiled nearest-station dispatch: the per-tile
+                    // candidate set plays the kd-tree's role (the
+                    // nearest station always survives pruning), with
+                    // the serial tree walk as the per-point fallback.
+                    crate::tile::locate_batch_tiled(
+                        &self.eval,
+                        self.kernel,
+                        crate::tile::Select::Nearest,
+                        points,
+                        out,
+                        &cfg,
+                        |p| self.locate_via_tree(tree, p),
+                    );
+                    return;
+                }
                 batch_map(points, out, |p| self.locate_via_tree(tree, *p));
             }
         }
@@ -1702,7 +1800,7 @@ mod tests {
             PARALLEL_BATCH_THRESHOLD - 1,
             PARALLEL_BATCH_THRESHOLD,
             PARALLEL_BATCH_THRESHOLD + 1,
-            3 * STEAL_TILE + 17,
+            3 * BATCH_TILE + 17,
             25_000,
         ] {
             let inputs: Vec<u64> = (0..len as u64).collect();

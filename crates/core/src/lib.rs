@@ -32,9 +32,9 @@
 //! * [`ExactScan`] — one amortized `O(n)` pass per point; exact for every
 //!   network (any power assignment, `α`, `β`). The safe default.
 //! * [`SimdScan`] — the same exact scan explicitly vectorized
-//!   ([`simd`] module): 4×`f64` AVX2 lanes detected at runtime on
-//!   x86-64, with SSE2 and portable scalar fallbacks; per-lane
-//!   compensated summation. The raw-throughput default.
+//!   ([`simd`] module): 8×`f64` AVX-512 or 4×`f64` AVX2 lanes detected
+//!   at runtime on x86-64, with SSE2 and portable scalar fallbacks;
+//!   per-lane compensated summation. The raw-throughput default.
 //! * [`VoronoiAssisted`] — kd-tree nearest-station dispatch per
 //!   Observation 2.2; exact for uniform power (falls back to the scan
 //!   otherwise) with smaller per-query constants.
@@ -45,9 +45,12 @@
 //!
 //! All four implement [`QueryEngine`], so consumers (rasterisation,
 //! figures, benchmarks, servers) are backend-generic. Large batch calls
-//! run through a std-only work-stealing scheduler
-//! ([`engine::batch_map`]). The scalar functions in [`sinr`] remain the
-//! ground truth the engine is tested against.
+//! run through the spatially-coherent tiled executor of [`tile`]
+//! (Morton-ordered tiles, certified per-tile candidate pruning,
+//! bit-identical answers) on top of a std-only work-stealing scheduler
+//! ([`engine::batch_map`]); see the [execution
+//! model](engine#execution-model). The scalar functions in [`sinr`]
+//! remain the ground truth the engine is tested against.
 //!
 //! ## Dynamic networks (epochs and deltas)
 //!
@@ -138,6 +141,7 @@ pub mod reductions;
 pub mod simd;
 pub mod sinr;
 pub mod station;
+pub mod tile;
 pub mod zone;
 
 pub use convexity::{ConvexityReport, ConvexityViolation};
@@ -152,4 +156,5 @@ pub use network::{
 pub use power::PowerAssignment;
 pub use simd::{SimdKernel, SimdScan};
 pub use station::{Station, StationId, StationKey};
+pub use tile::{TileConfig, TileStats};
 pub use zone::{RadialProfile, ReceptionZone};

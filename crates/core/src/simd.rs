@@ -5,10 +5,13 @@
 //! scan is three linear streams begging to be processed several stations
 //! per instruction. This module does exactly that:
 //!
-//! * **AVX2** (x86-64, detected at *runtime*): 4 × `f64` lanes —
+//! * **AVX-512F** (x86-64, detected at *runtime*): 8 × `f64` lanes —
 //!   distance, attenuation, compensated accumulation and the argmax
-//!   bookkeeping all stay in vector registers; one `vdivpd` per four
-//!   stations on the paper's `α = 2` fast path.
+//!   bookkeeping all stay in vector registers, with the comparisons in
+//!   dedicated mask registers; one `vdivpd` per eight stations on the
+//!   paper's `α = 2` fast path.
+//! * **AVX2** (x86-64, detected at *runtime*): the same kernel at
+//!   4 × `f64` lanes for machines without AVX-512.
 //! * **SSE2** (x86-64 baseline, always available): the same kernel at
 //!   2 × `f64` lanes.
 //! * **Portable** (any architecture, and every `α ≠ 2` network): a
@@ -45,9 +48,9 @@
 //! per query. The chosen kernel is observable through
 //! [`SimdScan::kernel`] (and is emitted by the `engine_batch` bench JSON
 //! lines), and [`SimdScan::with_kernel`] pins a specific kernel for
-//! differential testing. Binaries need no special `RUSTFLAGS`: the AVX2
-//! path is compiled behind `#[target_feature]` and only ever entered
-//! after the runtime check.
+//! differential testing. Binaries need no special `RUSTFLAGS`: the
+//! AVX-512 and AVX2 paths are compiled behind `#[target_feature]` and
+//! only ever entered after the runtime check.
 //!
 //! This module is one of the two audited `unsafe` corners of the
 //! workspace (`std::arch` intrinsics and the raw loads they require);
@@ -89,6 +92,9 @@ use sinr_geometry::Point;
 /// The instruction set a [`SimdScan`] resolved to at construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SimdKernel {
+    /// 8 × `f64` AVX-512F lanes (x86-64, detected at runtime; the
+    /// intrinsics are stable since Rust 1.89).
+    Avx512,
     /// 4 × `f64` AVX2 lanes (x86-64, detected at runtime).
     Avx2,
     /// 2 × `f64` SSE2 lanes (part of the x86-64 baseline).
@@ -98,9 +104,19 @@ pub enum SimdKernel {
 }
 
 impl SimdKernel {
+    /// Every kernel, widest first — the order `detect` prefers and the
+    /// order differential tests iterate.
+    pub const ALL: [SimdKernel; 4] = [
+        SimdKernel::Avx512,
+        SimdKernel::Avx2,
+        SimdKernel::Sse2,
+        SimdKernel::Portable,
+    ];
+
     /// Number of `f64` lanes the kernel processes per step.
     pub fn lanes(self) -> usize {
         match self {
+            SimdKernel::Avx512 => 8,
             SimdKernel::Avx2 => 4,
             SimdKernel::Sse2 => 2,
             SimdKernel::Portable => PORTABLE_LANES,
@@ -110,6 +126,7 @@ impl SimdKernel {
     /// Short stable name (used in bench JSON lines).
     pub fn name(self) -> &'static str {
         match self {
+            SimdKernel::Avx512 => "avx512",
             SimdKernel::Avx2 => "avx2",
             SimdKernel::Sse2 => "sse2",
             SimdKernel::Portable => "portable",
@@ -124,8 +141,10 @@ impl SimdKernel {
             SimdKernel::Sse2 => true,
             #[cfg(target_arch = "x86_64")]
             SimdKernel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            SimdKernel::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
             #[cfg(not(target_arch = "x86_64"))]
-            SimdKernel::Sse2 | SimdKernel::Avx2 => false,
+            SimdKernel::Sse2 | SimdKernel::Avx2 | SimdKernel::Avx512 => false,
         }
     }
 
@@ -133,7 +152,9 @@ impl SimdKernel {
     pub fn detect() -> SimdKernel {
         #[cfg(target_arch = "x86_64")]
         {
-            if SimdKernel::Avx2.is_supported() {
+            if SimdKernel::Avx512.is_supported() {
+                SimdKernel::Avx512
+            } else if SimdKernel::Avx2.is_supported() {
                 SimdKernel::Avx2
             } else {
                 SimdKernel::Sse2
@@ -176,14 +197,17 @@ impl<const L: usize> LaneState<L> {
 /// Merges the per-lane accumulators and finishes the `n mod L` tail
 /// serially, producing the same [`Scan`] the scalar kernels feed to
 /// [`SinrEvaluator::decide`]. Returns `Err(j)` if a tail station
-/// coincides with `p`.
+/// coincides with `p`. Operates on raw SoA columns so the tiled batch
+/// executor ([`crate::tile`]) can run it over gathered candidate
+/// columns as well as whole-network ones.
 fn finish<K: PathLoss, const L: usize>(
-    eval: &SinrEvaluator,
+    xs: &[f64],
+    ys: &[f64],
+    powers: &[f64],
     k: K,
     p: Point,
     lanes: LaneState<L>,
 ) -> Result<Scan, usize> {
-    let (xs, ys, powers) = eval.soa();
     // Lane merge: per-lane sums and their compensation terms feed one
     // scalar Kahan accumulator (value = sum + comp, so adding both terms
     // loses nothing); equal best energies break toward the smaller
@@ -271,11 +295,12 @@ fn finish_sum<K: PathLoss, const L: usize>(
 /// argmax bookkeeping is compiled out (the [`candidate_scan`] path,
 /// where the kd-tree has already named the only candidate).
 fn blocked_lanes<K: PathLoss, const L: usize, const TRACK_BEST: bool>(
-    eval: &SinrEvaluator,
+    xs: &[f64],
+    ys: &[f64],
+    powers: &[f64],
     k: K,
     p: Point,
 ) -> Result<LaneState<L>, usize> {
-    let (xs, ys, powers) = eval.soa();
     let n = xs.len();
     let prefix = n - n % L;
     let mut lanes = LaneState::<L>::fresh();
@@ -313,12 +338,64 @@ fn blocked_lanes<K: PathLoss, const L: usize, const TRACK_BEST: bool>(
 
 /// The full portable scan: blocked lanes, then the shared merge.
 fn scan_blocked<K: PathLoss, const L: usize>(
-    eval: &SinrEvaluator,
+    xs: &[f64],
+    ys: &[f64],
+    powers: &[f64],
     k: K,
     p: Point,
 ) -> Result<Scan, usize> {
-    let lanes = blocked_lanes::<K, L, true>(eval, k, p)?;
-    finish(eval, k, p, lanes)
+    let lanes = blocked_lanes::<K, L, true>(xs, ys, powers, k, p)?;
+    finish(xs, ys, powers, k, p, lanes)
+}
+
+/// One full argmax scan of arbitrary SoA columns on the named kernel —
+/// the entry point shared by [`SimdScan`] (whole-network columns) and
+/// the tiled batch executor of [`crate::tile`] (gathered candidate
+/// columns). Per-station energies are computed with the exact same
+/// operation sequence on every kernel (`RN(RN(attenuation)·ψ)`), so the
+/// reported `best_energy` is bit-identical across kernels and to the
+/// scalar ground truth; only the `total`'s summation *order* (and hence
+/// ordinary rounding) differs. Returns `Err(j)` when station `j`
+/// coincides with `p` (smallest such index).
+///
+/// `kernel` must be supported on the current machine (pinned at engine
+/// construction); `α ≠ 2` always takes the portable blocked kernel
+/// (`powf` has no vector form).
+pub(crate) fn scan_slices(
+    kernel: SimdKernel,
+    alpha: f64,
+    xs: &[f64],
+    ys: &[f64],
+    powers: &[f64],
+    p: Point,
+) -> Result<Scan, usize> {
+    if alpha == 2.0 {
+        let k = InverseSquare;
+        #[cfg(target_arch = "x86_64")]
+        match kernel {
+            SimdKernel::Avx512 => {
+                // SAFETY: support was verified at kernel selection time
+                // (`detect`/`with_kernel`/`is_supported`).
+                let lanes = unsafe { x86::scan_avx512::<true>(xs, ys, powers, p) }?;
+                return finish(xs, ys, powers, k, p, lanes);
+            }
+            SimdKernel::Avx2 => {
+                // SAFETY: as above.
+                let lanes = unsafe { x86::scan_avx2::<true>(xs, ys, powers, p) }?;
+                return finish(xs, ys, powers, k, p, lanes);
+            }
+            SimdKernel::Sse2 => {
+                let lanes = x86::scan_sse2::<true>(xs, ys, powers, p)?;
+                return finish(xs, ys, powers, k, p, lanes);
+            }
+            SimdKernel::Portable => {}
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = kernel;
+        scan_blocked::<_, PORTABLE_LANES>(xs, ys, powers, k, p)
+    } else {
+        scan_blocked::<_, PORTABLE_LANES>(xs, ys, powers, GeneralAlpha::new(alpha), p)
+    }
 }
 
 /// The x86-64 intrinsic kernels (α = 2 only: attenuation is one divide).
@@ -327,6 +404,94 @@ mod x86 {
     use super::LaneState;
     use sinr_geometry::Point;
     use std::arch::x86_64::*;
+
+    /// 8-lane AVX-512F scan over the multiple-of-8 prefix.
+    ///
+    /// The same kernel as [`scan_avx2`] at twice the width, with the
+    /// comparisons living in `__mmask8` registers instead of blend
+    /// vectors. Returns `Err(j)` when station `j` coincides with `p`
+    /// (smallest such index — the lowest set mask bit is the lowest
+    /// lane). With `TRACK_BEST = false` the argmax blends are compiled
+    /// out. Deliberately FMA-free, like the narrower kernels: every
+    /// energy must round exactly as `RN(RN(dx²)+RN(dy²))` then
+    /// `RN(RN(1/d²)·ψ)` so prefix, tail and ground truth agree
+    /// bit-for-bit per station.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified `avx512f` at runtime.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn scan_avx512<const TRACK_BEST: bool>(
+        xs: &[f64],
+        ys: &[f64],
+        powers: &[f64],
+        p: Point,
+    ) -> Result<LaneState<8>, usize> {
+        let n = xs.len();
+        let prefix = n - n % 8;
+        let mut lanes = LaneState::<8>::fresh();
+        lanes.processed = prefix;
+        unsafe {
+            let px = _mm512_set1_pd(p.x);
+            let py = _mm512_set1_pd(p.y);
+            let zero = _mm512_setzero_pd();
+            let one = _mm512_set1_pd(1.0);
+            let mut sum = zero;
+            let mut comp = zero;
+            let mut best_e = _mm512_set1_pd(f64::NEG_INFINITY);
+            let mut best_i = zero;
+            // `_mm512_set_pd` lists the highest lane first: lane 0 = 0.0.
+            let mut idx = _mm512_set_pd(7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0, 0.0);
+            let step = _mm512_set1_pd(8.0);
+            let mut j = 0usize;
+            while j < prefix {
+                let x = _mm512_loadu_pd(xs.as_ptr().add(j));
+                let y = _mm512_loadu_pd(ys.as_ptr().add(j));
+                let w = _mm512_loadu_pd(powers.as_ptr().add(j));
+                let dx = _mm512_sub_pd(x, px);
+                let dy = _mm512_sub_pd(y, py);
+                // No FMA: see the function docs.
+                let d2 = _mm512_add_pd(_mm512_mul_pd(dx, dx), _mm512_mul_pd(dy, dy));
+                let coincident = _mm512_cmp_pd_mask::<_CMP_EQ_OQ>(d2, zero);
+                if coincident != 0 {
+                    return Err(j + coincident.trailing_zeros() as usize);
+                }
+                // α = 2 attenuation times power: RN(RN(1/d²)·ψ).
+                let e = _mm512_mul_pd(_mm512_div_pd(one, d2), w);
+                // Per-lane Neumaier step (the branch becomes a masked
+                // blend; `_mm512_abs_pd` keeps us inside AVX512F — the
+                // bitwise `_mm512_and_pd` trick would need AVX512DQ).
+                let t = _mm512_add_pd(sum, e);
+                let sum_bigger =
+                    _mm512_cmp_pd_mask::<_CMP_GE_OQ>(_mm512_abs_pd(sum), _mm512_abs_pd(e));
+                let delta_sum_big = _mm512_add_pd(_mm512_sub_pd(sum, t), e);
+                let delta_e_big = _mm512_add_pd(_mm512_sub_pd(e, t), sum);
+                comp = _mm512_add_pd(
+                    comp,
+                    _mm512_mask_blend_pd(sum_bigger, delta_e_big, delta_sum_big),
+                );
+                sum = t;
+                if TRACK_BEST {
+                    // Per-lane first-strictly-greater argmax.
+                    let gt = _mm512_cmp_pd_mask::<_CMP_GT_OQ>(e, best_e);
+                    best_e = _mm512_mask_blend_pd(gt, best_e, e);
+                    best_i = _mm512_mask_blend_pd(gt, best_i, idx);
+                    idx = _mm512_add_pd(idx, step);
+                }
+                j += 8;
+            }
+            _mm512_storeu_pd(lanes.sum.as_mut_ptr(), sum);
+            _mm512_storeu_pd(lanes.comp.as_mut_ptr(), comp);
+            _mm512_storeu_pd(lanes.best_energy.as_mut_ptr(), best_e);
+            let mut raw_idx = [0.0f64; 8];
+            _mm512_storeu_pd(raw_idx.as_mut_ptr(), best_i);
+            for (slot, raw) in lanes.best_index.iter_mut().zip(raw_idx) {
+                // Indices are exact in f64 (slice lengths < 2⁵³).
+                *slot = raw as usize;
+            }
+        }
+        Ok(lanes)
+    }
 
     /// 4-lane AVX2 scan over the multiple-of-4 prefix.
     ///
@@ -552,28 +717,8 @@ impl SimdScan {
 
     /// One vectorized scan of all stations.
     fn scan(&self, p: Point) -> Result<Scan, usize> {
-        if self.eval.alpha() == 2.0 {
-            let k = InverseSquare;
-            #[cfg(target_arch = "x86_64")]
-            {
-                let (xs, ys, powers) = self.eval.soa();
-                match self.kernel {
-                    SimdKernel::Avx2 => {
-                        // SAFETY: `with_kernel`/`detect` verified avx2.
-                        let lanes = unsafe { x86::scan_avx2::<true>(xs, ys, powers, p) }?;
-                        return finish(&self.eval, k, p, lanes);
-                    }
-                    SimdKernel::Sse2 => {
-                        let lanes = x86::scan_sse2::<true>(xs, ys, powers, p)?;
-                        return finish(&self.eval, k, p, lanes);
-                    }
-                    SimdKernel::Portable => {}
-                }
-            }
-            scan_blocked::<_, PORTABLE_LANES>(&self.eval, k, p)
-        } else {
-            scan_blocked::<_, PORTABLE_LANES>(&self.eval, GeneralAlpha::new(self.eval.alpha()), p)
-        }
+        let (xs, ys, powers) = self.eval.soa();
+        scan_slices(self.kernel, self.eval.alpha(), xs, ys, powers, p)
     }
 }
 
@@ -585,6 +730,23 @@ impl QueryEngine for SimdScan {
 
     fn locate_batch(&self, points: &[Point], out: &mut [Located]) {
         self.eval.assert_fresh();
+        let cfg = crate::tile::TileConfig::default();
+        if cfg.engages(points.len(), self.eval.len()) {
+            // Tiled execution with this engine's pinned kernel driving
+            // the candidate scans and its own full scan as the
+            // per-point fallback (see `crate::tile` for the
+            // bit-identity contract).
+            crate::tile::locate_batch_tiled(
+                &self.eval,
+                self.kernel,
+                crate::tile::Select::MaxEnergy,
+                points,
+                out,
+                &cfg,
+                |p| self.eval.decide(self.scan(p)),
+            );
+            return;
+        }
         batch_map(points, out, |p| self.eval.decide(self.scan(*p)));
     }
 
@@ -634,31 +796,34 @@ pub(crate) fn candidate_scan(
     cand: usize,
     p: Point,
 ) -> Result<(f64, f64), usize> {
+    let (xs, ys, powers) = eval.soa();
     if eval.alpha() == 2.0 {
         let k = InverseSquare;
         #[cfg(target_arch = "x86_64")]
-        {
-            let (xs, ys, powers) = eval.soa();
-            match kernel {
-                SimdKernel::Avx2 => {
-                    // SAFETY: the kernel was verified at engine build.
-                    let lanes = unsafe { x86::scan_avx2::<false>(xs, ys, powers, p) }?;
-                    return finish_sum(eval, k, cand, p, lanes);
-                }
-                SimdKernel::Sse2 => {
-                    let lanes = x86::scan_sse2::<false>(xs, ys, powers, p)?;
-                    return finish_sum(eval, k, cand, p, lanes);
-                }
-                SimdKernel::Portable => {}
+        match kernel {
+            SimdKernel::Avx512 => {
+                // SAFETY: the kernel was verified at engine build.
+                let lanes = unsafe { x86::scan_avx512::<false>(xs, ys, powers, p) }?;
+                return finish_sum(eval, k, cand, p, lanes);
             }
+            SimdKernel::Avx2 => {
+                // SAFETY: the kernel was verified at engine build.
+                let lanes = unsafe { x86::scan_avx2::<false>(xs, ys, powers, p) }?;
+                return finish_sum(eval, k, cand, p, lanes);
+            }
+            SimdKernel::Sse2 => {
+                let lanes = x86::scan_sse2::<false>(xs, ys, powers, p)?;
+                return finish_sum(eval, k, cand, p, lanes);
+            }
+            SimdKernel::Portable => {}
         }
         #[cfg(not(target_arch = "x86_64"))]
         let _ = kernel;
-        let lanes = blocked_lanes::<_, PORTABLE_LANES, false>(eval, k, p)?;
+        let lanes = blocked_lanes::<_, PORTABLE_LANES, false>(xs, ys, powers, k, p)?;
         finish_sum(eval, k, cand, p, lanes)
     } else {
         let k = GeneralAlpha::new(eval.alpha());
-        let lanes = blocked_lanes::<_, PORTABLE_LANES, false>(eval, k, p)?;
+        let lanes = blocked_lanes::<_, PORTABLE_LANES, false>(xs, ys, powers, k, p)?;
         finish_sum(eval, k, cand, p, lanes)
     }
 }
@@ -715,6 +880,16 @@ mod tests {
                 2.0,
             )
             .unwrap(),
+            // n = 11: a real vector prefix *and* tail on the 8-lane
+            // AVX-512 kernel (the smaller nets are pure tail there).
+            Network::uniform(
+                (0..11)
+                    .map(|i| Point::new(i as f64 * 2.5, ((i * 7) % 5) as f64))
+                    .collect(),
+                0.01,
+                1.8,
+            )
+            .unwrap(),
         ]
     }
 
@@ -732,7 +907,7 @@ mod tests {
     }
 
     fn supported_kernels() -> Vec<SimdKernel> {
-        [SimdKernel::Avx2, SimdKernel::Sse2, SimdKernel::Portable]
+        SimdKernel::ALL
             .into_iter()
             .filter(|k| k.is_supported())
             .collect()
@@ -827,12 +1002,15 @@ mod tests {
 
     #[test]
     fn kernel_metadata() {
+        assert_eq!(SimdKernel::Avx512.lanes(), 8);
         assert_eq!(SimdKernel::Avx2.lanes(), 4);
         assert_eq!(SimdKernel::Sse2.lanes(), 2);
         assert_eq!(SimdKernel::Portable.lanes(), 4);
+        assert_eq!(SimdKernel::Avx512.name(), "avx512");
         assert_eq!(SimdKernel::Avx2.name(), "avx2");
         assert_eq!(SimdKernel::Sse2.name(), "sse2");
         assert_eq!(SimdKernel::Portable.name(), "portable");
         assert!(SimdKernel::Portable.is_supported());
+        assert_eq!(SimdKernel::ALL.len(), 4);
     }
 }

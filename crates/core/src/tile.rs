@@ -1,0 +1,648 @@
+//! Spatially-coherent tiled batch execution.
+//!
+//! The per-point batch path treats a 100k-point `locate_batch` as 100k
+//! independent queries: every point pays a full station scan (or its own
+//! kd-tree walk). But SINR diagrams have exploitable spatial structure —
+//! reception zones are fat and convex (Theorem 1 / Theorem 4.2), so
+//! *nearby query points share almost all of their per-point work*. This
+//! module is the batch-level amortization of that observation (the
+//! regime of Aronov & Katz's batched point location): sort the batch
+//! into Morton-ordered spatial tiles, compute a **shared, certified
+//! candidate set** once per tile, and run the SIMD kernels over short
+//! contiguous candidate columns instead of the whole network.
+//!
+//! ## The pipeline
+//!
+//! 1. **Morton ordering** — each query point is mapped to a 16-bit ×
+//!    16-bit grid cell over the batch's bounding box and the cells are
+//!    interleaved into a Z-order key; a stable radix sort by that key
+//!    yields an index *permutation* (the input and output slices are
+//!    never reordered — answers land at their original positions, so the
+//!    output is positionally identical to the per-point path).
+//! 2. **Per-tile candidate pruning** — consecutive runs of
+//!    [`TileConfig::tile_points`] sorted points form a tile. One `O(n)`
+//!    pass over the station columns computes each station's certified
+//!    energy envelope over the tile's bounding box
+//!    ([`crate::bounds::energy_envelope`]); stations whose envelope top
+//!    is *provably dominated* (below the best envelope bottom `M`) can
+//!    never be the strongest station for any point of the tile and are
+//!    dropped from the per-point scan. Their interference is not
+//!    dropped — it is carried as a certified residual interval
+//!    `[L_R, U_R]` (the sums of the pruned envelopes).
+//! 3. **Certified per-point decision** — each point scans only the
+//!    gathered candidate columns (through the same SIMD kernels as the
+//!    full scans — AVX-512/AVX2/SSE2/portable). Per-station energies are
+//!    bit-identical to the full scan's by kernel contract, so the argmax
+//!    (or nearest-station) choice is *exact*. The reception test is then
+//!    evaluated at both ends of the residual interval: if both ends
+//!    agree, the decision is certified and emitted; if they disagree
+//!    (the point sits within the interval's width of the `SINR = β`
+//!    boundary), the point **falls back to the backend's own serial
+//!    kernel** — never an approximate answer.
+//!
+//! ## The correctness contract
+//!
+//! Answers are **bit-identical** to the serial per-point path of the
+//! same backend, for every input ordering — pinned by the
+//! permutation-invariance and tiled-vs-serial differential suites. The
+//! certificates are one-sided with explicit rounding margins
+//! ([`BOUND_MARGIN`], [`TOTAL_MARGIN`]), so floating-point looseness can
+//! only ever cause a fallback (a perf event), never a changed answer.
+//! Tiles whose points are not all finite fall back wholesale.
+//!
+//! Tiles are the work-stealing scheduler's unit (the same
+//! [`BATCH_TILE`]-point granularity as the
+//! per-point scheduler), so skewed tiles rebalance across cores exactly
+//! like skewed points did.
+
+use crate::bounds::{dist2_range_to_box, energy_envelope};
+use crate::engine::steal::OutputSlots;
+use crate::engine::{
+    GeneralAlpha, InverseSquare, Located, PathLoss, SinrEvaluator, BATCH_TILE,
+    PARALLEL_BATCH_THRESHOLD,
+};
+use crate::simd::{self, SimdKernel};
+use crate::station::StationId;
+use sinr_geometry::Point;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Relative widening applied to each station's per-tile energy envelope
+/// so it certifiably brackets the kernels' rounded energies (worst case
+/// a few ulps ≈ `1e-15`; four orders of magnitude of slack).
+pub const BOUND_MARGIN: f64 = 1e-12;
+
+/// Relative widening applied to the total-energy interval before the
+/// certified reception test, absorbing every summation-order difference
+/// between kernels (compensated or plain, any lane count, any station
+/// count the engine supports). Points whose reception margin is tighter
+/// than this fall back to the serial kernel.
+pub const TOTAL_MARGIN: f64 = 1e-8;
+
+/// Below this many stations the pruned tile path is not engaged by the
+/// default config: the full scan is already a few dozen nanoseconds, so
+/// Morton sorting and per-tile envelopes would cost more than they save.
+pub const TILED_MIN_STATIONS: usize = 128;
+
+/// Tuning knobs of the tiled executor.
+///
+/// The defaults are the shared batch granularity
+/// ([`BATCH_TILE`] points per tile — one knob
+/// for both the work-stealing scheduler and the spatial tiler) and the
+/// thresholds the engines ship with; benches and differential tests
+/// construct custom configs to sweep the tile size or force the tiled
+/// path onto small inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct TileConfig {
+    /// Query points per spatial tile (and per stolen work unit).
+    pub tile_points: usize,
+    /// Minimum station count for the pruned path to pay for itself.
+    pub min_stations: usize,
+    /// Minimum batch length; shorter batches stay on the serial loop.
+    pub min_points: usize,
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        TileConfig {
+            tile_points: BATCH_TILE,
+            min_stations: TILED_MIN_STATIONS,
+            min_points: PARALLEL_BATCH_THRESHOLD,
+        }
+    }
+}
+
+impl TileConfig {
+    /// True when a batch of `n_points` against `n_stations` should take
+    /// the pruned tiled path under this config.
+    pub fn engages(&self, n_points: usize, n_stations: usize) -> bool {
+        n_points >= self.min_points && n_stations >= self.min_stations
+    }
+}
+
+/// How the tiled executor selects each point's candidate transmitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Select {
+    /// Maximum-energy station (first index on exact energy ties) — the
+    /// rule of the full scans ([`crate::engine::ExactScan`],
+    /// [`crate::simd::SimdScan`]); exact for every network.
+    MaxEnergy,
+    /// Nearest station (first index on exact squared-distance ties) —
+    /// the Observation-2.2 dispatch of
+    /// [`crate::engine::VoronoiAssisted`]. Only equivalent to
+    /// `MaxEnergy` for uniform power; callers must not use it otherwise
+    /// (the engines never do).
+    Nearest,
+}
+
+/// Aggregate observability of one tiled run (for benches and tests —
+/// the counters say nothing about answers, which are always exact).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TileStats {
+    /// Total query points.
+    pub points: u64,
+    /// Tiles processed.
+    pub tiles: u64,
+    /// Tiles that ran the pruned candidate path (the rest fell back
+    /// wholesale: non-finite points, or pruning could not drop enough
+    /// stations to pay for the gather).
+    pub pruned_tiles: u64,
+    /// Σ |candidate set| over pruned tiles (divide by `pruned_tiles`
+    /// for the mean candidate count the per-point scans actually ran).
+    pub candidate_stations: u64,
+    /// Points whose certified decision was inconclusive and re-ran the
+    /// backend's serial kernel.
+    pub fallback_points: u64,
+}
+
+impl TileStats {
+    /// Mean candidate-set size over the pruned tiles (`None` when no
+    /// tile took the pruned path).
+    pub fn mean_candidates(&self) -> Option<f64> {
+        (self.pruned_tiles > 0).then(|| self.candidate_stations as f64 / self.pruned_tiles as f64)
+    }
+}
+
+/// Spreads the low 16 bits of `v` to the even bit positions.
+fn spread16(v: u32) -> u32 {
+    let mut x = v & 0xFFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555;
+    x
+}
+
+/// The Morton (Z-order) permutation of `points`: indices sorted by the
+/// interleaved 16+16-bit grid cell over the batch bounding box, ties
+/// (and non-finite points, which all map to the max key) in original
+/// order — the sort is a stable two-pass radix, so the permutation is
+/// deterministic for any input.
+pub fn morton_order(points: &[Point]) -> Vec<u32> {
+    assert!(
+        points.len() <= u32::MAX as usize,
+        "batches beyond u32::MAX points are unsupported"
+    );
+    let mut min_x = f64::INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for p in points {
+        if p.x.is_finite() && p.y.is_finite() {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+    }
+    let scale_x = grid_scale(min_x, max_x);
+    let scale_y = grid_scale(min_y, max_y);
+    let mut keyed: Vec<(u32, u32)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let key = if p.x.is_finite() && p.y.is_finite() {
+                // `as u32` saturates, so the top grid row stays in range.
+                let gx = ((p.x - min_x) * scale_x) as u32;
+                let gy = ((p.y - min_y) * scale_y) as u32;
+                spread16(gx.min(0xFFFF)) | (spread16(gy.min(0xFFFF)) << 1)
+            } else {
+                u32::MAX
+            };
+            (key, i as u32)
+        })
+        .collect();
+    // Stable LSD radix sort: O(n), and stability gives the
+    // deterministic original-order tie rule for free. The digit width
+    // follows the batch size — two 16-bit passes amortize their 64k
+    // histograms only on large batches; smaller batches take four
+    // 8-bit passes so a threshold-sized call does not pay ~1 MiB of
+    // histogram zeroing to sort a few thousand keys.
+    let (digit_bits, shifts): (u32, &[u32]) = if keyed.len() >= 1 << 15 {
+        (16, &[0, 16])
+    } else {
+        (8, &[0, 8, 16, 24])
+    };
+    let mask = (1u32 << digit_bits) - 1;
+    let mut aux = vec![(0u32, 0u32); keyed.len()];
+    let mut counts = vec![0usize; 1 << digit_bits];
+    for &shift in shifts {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for &(k, _) in &keyed {
+            counts[((k >> shift) & mask) as usize] += 1;
+        }
+        let mut pos = 0usize;
+        for c in counts.iter_mut() {
+            let n = *c;
+            *c = pos;
+            pos += n;
+        }
+        for &(k, i) in &keyed {
+            let d = ((k >> shift) & mask) as usize;
+            aux[counts[d]] = (k, i);
+            counts[d] += 1;
+        }
+        std::mem::swap(&mut keyed, &mut aux);
+    }
+    keyed.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Cells-per-unit for one axis of the Morton grid (0 collapses the axis
+/// when the extent is degenerate or not finite).
+fn grid_scale(min: f64, max: f64) -> f64 {
+    let width = max - min;
+    if width > 0.0 && width.is_finite() {
+        65535.0 / width
+    } else {
+        0.0
+    }
+}
+
+/// Runs `f(tile_index, &mut scratch)` over `0..num_tiles`, work-stolen
+/// across the available cores through one atomic counter (inline when
+/// one worker suffices). Each worker owns one `S` scratch value for the
+/// whole run, so per-tile allocations amortize away.
+///
+/// This is the **one** work-stealing scheduler of the crate:
+/// [`crate::engine::batch_map`]'s parallel branch and both tiled
+/// executors here run through it, so the worker-count clamp and the
+/// `fetch_add` claim protocol (which the `OutputSlots` soundness
+/// argument leans on) exist in exactly one place.
+pub(crate) fn steal_tiles<S: Default, F: Fn(usize, &mut S) + Sync>(num_tiles: usize, f: F) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = threads.min(num_tiles);
+    if workers <= 1 {
+        let mut scratch = S::default();
+        for t in 0..num_tiles {
+            f(t, &mut scratch);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut scratch = S::default();
+                loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= num_tiles {
+                        break;
+                    }
+                    f(t, &mut scratch);
+                }
+            });
+        }
+    });
+}
+
+/// Morton-permuted tile scheduling for an arbitrary per-point function:
+/// same answers as a serial loop of `f` (it *is* `f`, per point — only
+/// the visit order and the thread placement change), with spatially
+/// coherent tiles as the stealable work units. This is the
+/// locality-only flavour of the executor — the Theorem-3 `PointLocator`
+/// routes `locate_batch` through it so queries dispatching to the same
+/// zone grid are processed together, and `sinr_batch` uses it for its
+/// batch path.
+///
+/// # Panics
+///
+/// Panics if `points` and `out` have different lengths.
+pub fn batch_map_morton<O, F>(points: &[Point], out: &mut [O], cfg: &TileConfig, f: F)
+where
+    O: Send,
+    F: Fn(Point) -> O + Sync,
+{
+    assert_eq!(
+        points.len(),
+        out.len(),
+        "batch_map: {} points but {} output slots",
+        points.len(),
+        out.len()
+    );
+    let tile = cfg.tile_points.max(1);
+    if points.len() < cfg.min_points {
+        for (p, slot) in points.iter().zip(out.iter_mut()) {
+            *slot = f(*p);
+        }
+        return;
+    }
+    let order = morton_order(points);
+    let slots = OutputSlots::new(out);
+    let num_tiles = order.len().div_ceil(tile);
+    steal_tiles::<(), _>(num_tiles, |t, _scratch| {
+        let idxs = &order[t * tile..((t + 1) * tile).min(order.len())];
+        for &i in idxs {
+            // The Morton order is a permutation, so tiles own disjoint
+            // original indices and every slot is written exactly once.
+            slots.write(i as usize, f(points[i as usize]));
+        }
+    });
+}
+
+/// Per-worker scratch of the pruned executor: the per-station envelope
+/// columns and the gathered candidate SoA columns, reused across tiles.
+#[derive(Default)]
+struct Scratch {
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    cxs: Vec<f64>,
+    cys: Vec<f64>,
+    cws: Vec<f64>,
+    cidx: Vec<u32>,
+}
+
+/// The reception test of [`SinrEvaluator::decide`] evaluated at an
+/// assumed total energy — the exact expression shape of the serial
+/// kernels, which is (weakly) anti-monotone in `total` under rounding,
+/// making one-sided certification sound: reception at the interval's
+/// top certifies reception at the kernel's true total, non-reception at
+/// the bottom certifies silence.
+#[inline]
+fn receives_at_total(best_e: f64, total: f64, noise: f64, beta: f64) -> bool {
+    let interference_plus_noise = (total - best_e) + noise;
+    interference_plus_noise <= 0.0 || best_e >= beta * interference_plus_noise
+}
+
+/// The per-point outcome of a certified tile scan.
+enum Certified {
+    Answer(Located),
+    /// The decision sits within the residual interval of the `β`
+    /// boundary — re-run the backend's serial kernel.
+    Fallback,
+}
+
+/// The tile-pruned batch executor behind
+/// [`QueryEngine::locate_batch`](crate::engine::QueryEngine::locate_batch)
+/// for the scan backends: Morton tiles, per-tile certified candidate
+/// sets, SIMD candidate scans, certified decisions with serial-kernel
+/// fallback (see the [module docs](self) for the pipeline and the
+/// bit-identity contract).
+///
+/// `fallback` must be the *serial per-point kernel of the calling
+/// backend* — it is consulted verbatim for non-finite tiles, unpruned
+/// tiles and uncertifiable points, which is what makes the executor's
+/// answers bit-identical to that backend's serial path. `kernel` drives
+/// the candidate scans (any supported kernel yields identical answers;
+/// backends pass their pinned kernel). `Select::Nearest` additionally
+/// requires uniform power (the Observation-2.2 precondition — the
+/// caller's contract, as for [`crate::engine::VoronoiAssisted`]).
+///
+/// Returns run statistics; answers are written into `out` at their
+/// original positions.
+///
+/// # Panics
+///
+/// Panics if `points` and `out` have different lengths.
+pub fn locate_batch_tiled<F>(
+    eval: &SinrEvaluator,
+    kernel: SimdKernel,
+    select: Select,
+    points: &[Point],
+    out: &mut [Located],
+    cfg: &TileConfig,
+    fallback: F,
+) -> TileStats
+where
+    F: Fn(Point) -> Located + Sync,
+{
+    assert_eq!(
+        points.len(),
+        out.len(),
+        "batch_map: {} points but {} output slots",
+        points.len(),
+        out.len()
+    );
+    debug_assert!(
+        select == Select::MaxEnergy || eval.is_uniform_power(),
+        "Select::Nearest requires uniform power (Observation 2.2)"
+    );
+    let tile = cfg.tile_points.max(1);
+    let order = morton_order(points);
+    let slots = OutputSlots::new(out);
+    let num_tiles = order.len().div_ceil(tile);
+    let (xs, ys, ws) = eval.soa();
+    let n = xs.len();
+    let alpha = eval.alpha();
+    let noise = eval.noise();
+    let beta = eval.beta();
+    let pruned_tiles = AtomicU64::new(0);
+    let candidate_stations = AtomicU64::new(0);
+    let fallback_points = AtomicU64::new(0);
+    steal_tiles::<Scratch, _>(num_tiles, |t, scratch| {
+        let idxs = &order[t * tile..((t + 1) * tile).min(order.len())];
+        // Tile bounding box; a non-finite point poisons every envelope,
+        // so such tiles run the serial kernel wholesale.
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        let mut finite = true;
+        for &i in idxs {
+            let p = points[i as usize];
+            if !(p.x.is_finite() && p.y.is_finite()) {
+                finite = false;
+                break;
+            }
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        if !finite {
+            for &i in idxs {
+                slots.write(i as usize, fallback(points[i as usize]));
+            }
+            return;
+        }
+        // Certified per-station energy envelopes over the tile box, and
+        // the best envelope bottom M: a station whose top is below M is
+        // provably never the strongest anywhere in the tile.
+        scratch.lb.clear();
+        scratch.ub.clear();
+        let mut m = f64::NEG_INFINITY;
+        let k_general = GeneralAlpha::new(alpha);
+        for j in 0..n {
+            let (d_min, d_max) = dist2_range_to_box(min_x, min_y, max_x, max_y, xs[j], ys[j]);
+            let (lo, hi) = if alpha == 2.0 {
+                energy_envelope(InverseSquare, ws[j], d_min, d_max, BOUND_MARGIN)
+            } else {
+                energy_envelope(k_general, ws[j], d_min, d_max, BOUND_MARGIN)
+            };
+            scratch.lb.push(lo);
+            scratch.ub.push(hi);
+            if lo > m {
+                m = lo;
+            }
+        }
+        // Candidate gather (ascending index — the argmax/argmin
+        // first-index tie rules ride on this) and the residual
+        // interference interval over the pruned stations.
+        scratch.cxs.clear();
+        scratch.cys.clear();
+        scratch.cws.clear();
+        scratch.cidx.clear();
+        let mut resid_lo = 0.0f64;
+        let mut resid_hi = 0.0f64;
+        for j in 0..n {
+            if scratch.ub[j] >= m {
+                scratch.cidx.push(j as u32);
+                scratch.cxs.push(xs[j]);
+                scratch.cys.push(ys[j]);
+                scratch.cws.push(ws[j]);
+            } else {
+                resid_lo += scratch.lb[j];
+                resid_hi += scratch.ub[j];
+            }
+        }
+        let n_c = scratch.cidx.len();
+        // Pruning that keeps ~everything cannot pay for the gather and
+        // the certification: run the serial kernel directly.
+        if n_c * 8 >= n * 7 {
+            for &i in idxs {
+                slots.write(i as usize, fallback(points[i as usize]));
+            }
+            return;
+        }
+        pruned_tiles.fetch_add(1, Ordering::Relaxed);
+        candidate_stations.fetch_add(n_c as u64, Ordering::Relaxed);
+        let mut tile_fallbacks = 0u64;
+        for &i in idxs {
+            let p = points[i as usize];
+            let outcome = match select {
+                Select::MaxEnergy => {
+                    certify_max_energy(kernel, alpha, scratch, p, resid_lo, resid_hi, noise, beta)
+                }
+                Select::Nearest => {
+                    certify_nearest(alpha, scratch, p, resid_lo, resid_hi, noise, beta)
+                }
+            };
+            let answer = match outcome {
+                Certified::Answer(a) => a,
+                Certified::Fallback => {
+                    tile_fallbacks += 1;
+                    fallback(p)
+                }
+            };
+            slots.write(i as usize, answer);
+        }
+        if tile_fallbacks > 0 {
+            fallback_points.fetch_add(tile_fallbacks, Ordering::Relaxed);
+        }
+    });
+    TileStats {
+        points: points.len() as u64,
+        tiles: num_tiles as u64,
+        pruned_tiles: pruned_tiles.into_inner(),
+        candidate_stations: candidate_stations.into_inner(),
+        fallback_points: fallback_points.into_inner(),
+    }
+}
+
+/// Certified decision from the interval `[S_C + L_R, S_C + U_R]`
+/// (widened by [`TOTAL_MARGIN`]) around every kernel's rounded total.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn certify_decision(
+    best: StationId,
+    best_e: f64,
+    s_c: f64,
+    resid_lo: f64,
+    resid_hi: f64,
+    noise: f64,
+    beta: f64,
+) -> Certified {
+    let hi = (s_c + resid_hi) * (1.0 + TOTAL_MARGIN);
+    let lo = (s_c + resid_lo) * (1.0 - TOTAL_MARGIN);
+    if receives_at_total(best_e, hi, noise, beta) {
+        Certified::Answer(Located::Reception(best))
+    } else if !receives_at_total(best_e, lo, noise, beta) {
+        Certified::Answer(Located::Silent)
+    } else {
+        Certified::Fallback
+    }
+}
+
+/// One certified point in `MaxEnergy` mode: SIMD argmax scan of the
+/// candidate columns (per-station energies bit-identical to the full
+/// scan, so the argmax index is exact), then the certified decision.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn certify_max_energy(
+    kernel: SimdKernel,
+    alpha: f64,
+    scratch: &Scratch,
+    p: Point,
+    resid_lo: f64,
+    resid_hi: f64,
+    noise: f64,
+    beta: f64,
+) -> Certified {
+    match simd::scan_slices(kernel, alpha, &scratch.cxs, &scratch.cys, &scratch.cws, p) {
+        // Coincident stations always survive pruning (their envelope
+        // top is ∞), so the first coincident candidate is the first
+        // coincident station of the whole scan.
+        Err(c) => Certified::Answer(Located::Reception(StationId(scratch.cidx[c] as usize))),
+        Ok(scan) => certify_decision(
+            StationId(scratch.cidx[scan.best] as usize),
+            scan.best_energy,
+            scan.total,
+            resid_lo,
+            resid_hi,
+            noise,
+            beta,
+        ),
+    }
+}
+
+/// One certified point in `Nearest` mode: exact nearest candidate by
+/// squared distance (strictly-less, first index on exact ties — the
+/// kd-tree's documented rule; the nearest station always survives
+/// pruning since for uniform power it is also the strongest), then the
+/// certified decision with its energy.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn certify_nearest(
+    alpha: f64,
+    scratch: &Scratch,
+    p: Point,
+    resid_lo: f64,
+    resid_hi: f64,
+    noise: f64,
+    beta: f64,
+) -> Certified {
+    let mut best = 0usize;
+    let mut best_d2 = f64::INFINITY;
+    let mut sum = 0.0f64;
+    let k_general = GeneralAlpha::new(alpha);
+    for c in 0..scratch.cidx.len() {
+        let dx = scratch.cxs[c] - p.x;
+        let dy = scratch.cys[c] - p.y;
+        let d2 = dx * dx + dy * dy;
+        if d2 < best_d2 {
+            best_d2 = d2;
+            best = c;
+        }
+        // Plain positive sum: only feeds the certified bounds, whose
+        // TOTAL_MARGIN dwarfs the uncompensated rounding.
+        sum += if alpha == 2.0 {
+            InverseSquare.attenuation(d2) * scratch.cws[c]
+        } else {
+            k_general.attenuation(d2) * scratch.cws[c]
+        };
+    }
+    let station = StationId(scratch.cidx[best] as usize);
+    if best_d2 == 0.0 {
+        // At a station's position: reception by the `{sᵢ}` clause, tie
+        // toward the smallest index — the serial tree path's rule.
+        return Certified::Answer(Located::Reception(station));
+    }
+    // The candidate's energy, computed with the exact operation
+    // sequence of every scan kernel (`RN(RN(attenuation)·ψ)`).
+    let best_e = if alpha == 2.0 {
+        InverseSquare.attenuation(best_d2) * scratch.cws[best]
+    } else {
+        k_general.attenuation(best_d2) * scratch.cws[best]
+    };
+    certify_decision(station, best_e, sum, resid_lo, resid_hi, noise, beta)
+}

@@ -21,11 +21,12 @@
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use sinr_core::engine::{
-    batch_map, batch_map_chunked, ExactScan, Located, QueryEngine, VoronoiAssisted,
+    batch_map, batch_map_chunked, ExactScan, Located, QueryEngine, VoronoiAssisted, BATCH_TILE,
     PARALLEL_BATCH_THRESHOLD,
 };
 use sinr_core::simd::{SimdKernel, SimdScan};
-use sinr_core::{Network, SinrEvaluator};
+use sinr_core::tile::{TileConfig, TILED_MIN_STATIONS};
+use sinr_core::{gen, Network, SinrEvaluator};
 use sinr_geometry::Point;
 use sinr_pointloc::{PointLocator, QdsConfig};
 
@@ -114,7 +115,7 @@ proptest! {
             let points = query_batch(&net, len, seed);
             assert_batch_equals_serial("ExactScan", &ExactScan::new(&net), &points)?;
             assert_batch_equals_serial("VoronoiAssisted", &VoronoiAssisted::new(&net), &points)?;
-            for kernel in [SimdKernel::Avx2, SimdKernel::Sse2, SimdKernel::Portable] {
+            for kernel in SimdKernel::ALL {
                 if !kernel.is_supported() {
                     continue;
                 }
@@ -137,6 +138,82 @@ proptest! {
             batch_map_chunked(&inputs, &mut chunked, |x| x.rotate_left(7) ^ 0xA5A5);
             prop_assert_eq!(&stolen, &chunked, "schedulers disagree at len {}", len);
         }
+    }
+}
+
+/// The PR-5 spatial tiler and the work-stealing scheduler share one
+/// batch-granularity knob: `TileConfig`'s default tile size IS
+/// `BATCH_TILE`, and its default engagement thresholds are the
+/// documented constants. A drift here means someone re-introduced a
+/// second knob.
+#[test]
+fn tile_config_defaults_share_the_batch_knob() {
+    let cfg = TileConfig::default();
+    assert_eq!(cfg.tile_points, BATCH_TILE);
+    assert_eq!(cfg.min_points, PARALLEL_BATCH_THRESHOLD);
+    assert_eq!(cfg.min_stations, TILED_MIN_STATIONS);
+    assert!(cfg.engages(PARALLEL_BATCH_THRESHOLD, TILED_MIN_STATIONS));
+    assert!(!cfg.engages(PARALLEL_BATCH_THRESHOLD - 1, TILED_MIN_STATIONS));
+    assert!(!cfg.engages(PARALLEL_BATCH_THRESHOLD, TILED_MIN_STATIONS - 1));
+}
+
+/// The tiled-executor crossover: at `TILED_MIN_STATIONS ± 1` stations
+/// and `PARALLEL_BATCH_THRESHOLD ± 1` points — every combination of
+/// which path (serial / per-point parallel / tiled) runs — all backends
+/// and kernels stay bit-identical to the serial per-point loop.
+#[test]
+fn tiled_executor_threshold_boundaries_stay_serial_identical() {
+    for stations in [TILED_MIN_STATIONS - 1, TILED_MIN_STATIONS] {
+        let half = 2.0 * (stations as f64).sqrt();
+        let net = gen::random_uniform_network(0x71E5 + stations as u64, stations, half, 0.01, 2.0)
+            .unwrap();
+        for len in BOUNDARY_LENS {
+            let points = query_batch_window(&net, len, 0xAB, half * 1.1);
+            assert_batch_equals_serial_exact("ExactScan", &ExactScan::new(&net), &points);
+            assert_batch_equals_serial_exact(
+                "VoronoiAssisted",
+                &VoronoiAssisted::new(&net),
+                &points,
+            );
+            for kernel in SimdKernel::ALL {
+                if !kernel.is_supported() {
+                    continue;
+                }
+                let simd = SimdScan::with_kernel(SinrEvaluator::new(&net), kernel);
+                assert_batch_equals_serial_exact(kernel.name(), &simd, &points);
+            }
+        }
+    }
+}
+
+/// Like `query_batch` but spread over the given window (the tiled-scale
+/// networks live in larger windows than the ±6 proptest nets).
+fn query_batch_window(net: &Network, len: usize, seed: u64, half: f64) -> Vec<Point> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut pts = Vec::with_capacity(len);
+    for i in net.ids().take(32) {
+        pts.push(net.position(i));
+    }
+    while pts.len() < len {
+        pts.push(Point::new(
+            rng.gen_range(-half..half),
+            rng.gen_range(-half..half),
+        ));
+    }
+    pts.truncate(len);
+    pts
+}
+
+fn assert_batch_equals_serial_exact<E: QueryEngine>(name: &str, engine: &E, points: &[Point]) {
+    let mut batch = vec![Located::Silent; points.len()];
+    engine.locate_batch(points, &mut batch);
+    for (p, got) in points.iter().zip(&batch) {
+        assert_eq!(
+            *got,
+            engine.locate(*p),
+            "{name} batch/serial mismatch at {p} (len {})",
+            points.len()
+        );
     }
 }
 

@@ -233,7 +233,7 @@ proptest! {
     /// sequence (the kernels share the evaluator patch path).
     #[test]
     fn simd_scan_apply_equals_rebuild(net in networks(), seed in any::<u64>()) {
-        for kernel in [SimdKernel::Avx2, SimdKernel::Sse2, SimdKernel::Portable] {
+        for kernel in SimdKernel::ALL {
             if !kernel.is_supported() {
                 continue;
             }

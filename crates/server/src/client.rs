@@ -93,6 +93,19 @@ impl From<ProtocolError> for ClientError {
     }
 }
 
+/// Default cap on unanswered request bytes a pipelined stream keeps in
+/// flight ([`Client::locate_batches_pipelined`]): conservative against
+/// default TCP socket buffering, so a blocking client can never wedge
+/// against a session blocked writing responses (see the method docs
+/// for the argument). 64 KiB.
+pub const PIPELINE_REQUEST_BUDGET: usize = 64 * 1024;
+
+/// Encoded size of a `LocateBatch` frame payload: tag, count, and 16
+/// bytes per point (see the crate docs' frame table).
+fn locate_wire_size(points: &[Point]) -> usize {
+    5 + 16 * points.len()
+}
+
 /// A connected protocol client.
 #[derive(Debug)]
 pub struct Client<T: Transport> {
@@ -158,6 +171,133 @@ impl<T: Transport> Client<T> {
             Response::Located { revision, answers } => Ok((revision, answers)),
             other => Err(unexpected(other, "Located")),
         }
+    }
+
+    /// Sends one `LocateBatch` frame **without waiting for the
+    /// response** — the pipelined half of [`Client::locate_batch`].
+    /// Pair each send with one later [`Client::recv_located`]; the
+    /// session loop answers strictly in request order, so responses
+    /// arrive in send order (see the crate docs' *Pipelining* section).
+    ///
+    /// # Errors
+    ///
+    /// Any transport send failure.
+    pub fn send_locate_batch(&mut self, points: &[Point]) -> Result<(), ClientError> {
+        Ok(self
+            .transport
+            .send_frame(&encode_request(&Request::LocateBatch {
+                points: points.to_vec(),
+            }))?)
+    }
+
+    /// Receives one `Located` response for an earlier
+    /// [`Client::send_locate_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`], transport failures, or
+    /// [`ClientError::UnexpectedResponse`] if the pairing discipline
+    /// was violated.
+    pub fn recv_located(&mut self) -> Result<(u64, Vec<Located>), ClientError> {
+        match self.recv()? {
+            Response::Located { revision, answers } => Ok((revision, answers)),
+            other => Err(unexpected(other, "Located")),
+        }
+    }
+
+    /// Pipelined point location: streams every burst with up to
+    /// `in_flight` request frames outstanding before the first response
+    /// is read, keeping the server's tiled batch executor fed while
+    /// later bursts are still in transit. With `in_flight == 1` this
+    /// degenerates to the request/response loop of
+    /// [`Client::locate_batch`]; answers are identical either way
+    /// (pinned by the e2e differential suite) — only the idle time
+    /// between bursts changes.
+    ///
+    /// Besides the frame-count window, outstanding *request bytes* are
+    /// capped at [`PIPELINE_REQUEST_BUDGET`] — the deadlock guard for
+    /// blocking transports: a client that keeps writing requests while
+    /// the single-threaded session is blocked writing a response the
+    /// client has not read can wedge both sides once the socket
+    /// buffers in both directions fill. Keeping unanswered request
+    /// bytes within what the transport is guaranteed to buffer means
+    /// every send completes without the server having to read, so the
+    /// client always reaches its next `recv` and drains the responses
+    /// that unblock the server. For very large bursts the budget
+    /// degrades the window toward lock-step (which is safe for frames
+    /// of any size); on transports with ample or unbounded buffering
+    /// (the in-process pipe) use
+    /// [`Client::locate_batches_pipelined_with_budget`] to widen it.
+    ///
+    /// Returns one `(revision, answers)` per burst, in burst order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_flight == 0`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::locate_batch`]; on any error the pipeline is
+    /// abandoned mid-stream (the session itself stays healthy — the
+    /// remaining responses are simply unread and the transport should
+    /// be dropped or drained by the caller).
+    pub fn locate_batches_pipelined(
+        &mut self,
+        bursts: &[&[Point]],
+        in_flight: usize,
+    ) -> Result<Vec<(u64, Vec<Located>)>, ClientError> {
+        self.locate_batches_pipelined_with_budget(bursts, in_flight, PIPELINE_REQUEST_BUDGET)
+    }
+
+    /// [`Client::locate_batches_pipelined`] with an explicit
+    /// outstanding-request byte budget. Safe to raise only when the
+    /// transport path is known to buffer at least `budget` request
+    /// bytes while the peer is not reading — true for the in-process
+    /// [`PipeTransport`] (unbounded queues) and for TCP stacks
+    /// configured with correspondingly large send+receive buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_flight == 0`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::locate_batches_pipelined`].
+    pub fn locate_batches_pipelined_with_budget(
+        &mut self,
+        bursts: &[&[Point]],
+        in_flight: usize,
+        budget: usize,
+    ) -> Result<Vec<(u64, Vec<Located>)>, ClientError> {
+        assert!(
+            in_flight > 0,
+            "a pipeline needs at least one frame in flight"
+        );
+        let mut results = Vec::with_capacity(bursts.len());
+        let mut pending: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let mut outstanding = 0usize;
+        let mut sent = 0usize;
+        while results.len() < bursts.len() {
+            // Fill the window as far as the frame count and the byte
+            // budget allow; with nothing outstanding a frame of any
+            // size may go (plain request/response is always safe).
+            while sent < bursts.len() && pending.len() < in_flight {
+                let size = locate_wire_size(bursts[sent]);
+                if !pending.is_empty() && outstanding + size > budget {
+                    break;
+                }
+                self.send_locate_batch(bursts[sent])?;
+                outstanding += size;
+                pending.push_back(size);
+                sent += 1;
+            }
+            results.push(self.recv_located()?);
+            let answered = pending
+                .pop_front()
+                .expect("every response matches a pending request");
+            outstanding -= answered;
+        }
+        Ok(results)
     }
 
     /// Streams one batch of SINR samples for `station`.

@@ -58,6 +58,24 @@
 //! against and is rejected (`7`) on any mismatch — a delta computed
 //! against a foreign or stale revision can never be applied silently.
 //!
+//! **Pipelining.** The session loop answers every request with exactly
+//! one response, in request order (error frames included — an error is
+//! that request's response). Clients may therefore keep multiple
+//! request frames in flight and match responses to requests purely by
+//! order, with no request ids on the wire. Use
+//! [`Client::send_locate_batch`]/[`Client::recv_located`] for manual
+//! windowing or [`Client::locate_batches_pipelined`] for a fixed
+//! frames-in-flight window; answers are bit-identical to the
+//! request/response loop (pinned by the e2e differential suite), but
+//! the per-burst round-trip gap — during which a request/response
+//! server sits idle — overlaps with compute, which is what keeps the
+//! engine-side tiled batch executor continuously fed. Blocking
+//! clients must bound unanswered request *bytes* to what the
+//! transport buffers (the session does not read ahead while
+//! computing); the shipped helper enforces
+//! [`client::PIPELINE_REQUEST_BUDGET`] and degrades toward lock-step
+//! for oversized bursts.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -101,7 +119,7 @@ pub mod server;
 pub mod session;
 pub mod transport;
 
-pub use client::{serve_in_process, Client, ClientError};
+pub use client::{serve_in_process, Client, ClientError, PIPELINE_REQUEST_BUDGET};
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, BackendId, ErrorCode,
     NetworkSpec, ProtocolError, Request, Response,

@@ -5,6 +5,29 @@
 //! nothing, so a hostile or crashing client can never poison a
 //! neighbouring session (isolation the e2e and fuzz suites pin).
 //!
+//! ## Pipelined mode
+//!
+//! The loop's discipline — **exactly one response per request, emitted
+//! strictly in request order, never reordered and never coalesced** —
+//! is a load-bearing protocol guarantee, not an implementation detail:
+//! it is what makes client pipelining safe. A client may keep multiple
+//! request frames in flight; while the engine chews on one
+//! `LocateBatch`, the peer's subsequent frames queue in the transport,
+//! so the tiled batch executor always has a full batch waiting and the
+//! inter-burst round-trip idle disappears. One caveat is the client's,
+//! not the loop's: this loop does not read ahead while computing, so a
+//! *blocking* client must bound its unanswered request bytes to what
+//! the transport buffers (or it can wedge against a session blocked
+//! writing a response the client is not draining) — the shipped
+//! pipelined client enforces exactly that budget
+//! ([`PIPELINE_REQUEST_BUDGET`](crate::client::PIPELINE_REQUEST_BUDGET)). [`Client::locate_batches_pipelined`](crate::client::Client::locate_batches_pipelined)
+//! is the client half; the e2e suite pins that pipelined answers are
+//! bit-identical to request/response answers, and
+//! `server_throughput`'s `pipelined_stream` scenario measures the win.
+//! Mid-stream errors keep their slot in the response order (an error
+//! frame *is* that request's response), so a pipelined client never
+//! loses frame alignment.
+//!
 //! Error discipline (the hard part of a long-lived server):
 //!
 //! * **Malformed payloads** get a typed [`ErrorCode::MalformedFrame`]

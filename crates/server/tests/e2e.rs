@@ -477,3 +477,102 @@ fn hostile_client_does_not_poison_neighbour_sessions() {
     drop(good);
     handle.shutdown();
 }
+
+/// Pipelined mode ≡ request/response mode, bit-for-bit, over both
+/// transports — the PR-5 contract: keeping multiple `LocateBatch`
+/// frames in flight changes scheduling (the engine's tiled executor is
+/// never starved between bursts), never answers. The bound network is
+/// large enough (and the bursts long enough) that the server-side
+/// engine actually runs the tiled pruned path.
+#[test]
+fn pipelined_locate_stream_matches_request_response() {
+    let n = 160; // ≥ TILED_MIN_STATIONS: the session engine tiles.
+    let half = 2.0 * (n as f64).sqrt();
+    let net = sinr_core::gen::random_uniform_network(0x9139, n, half, 0.01, 2.0).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x9139 ^ 1);
+    let bursts: Vec<Vec<Point>> = (0..6)
+        .map(|_| {
+            (0..2200)
+                .map(|_| {
+                    Point::new(
+                        rng.gen_range(-half * 1.1..half * 1.1),
+                        rng.gen_range(-half * 1.1..half * 1.1),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let burst_refs: Vec<&[Point]> = bursts.iter().map(|b| b.as_slice()).collect();
+
+    let server = Server::bind("127.0.0.1:0").expect("bind ephemeral");
+    let handle = server.spawn().expect("spawn server");
+
+    for backend in [BackendId::SimdScan, BackendId::VoronoiAssisted] {
+        // Request/response reference over TCP.
+        let mut rr = Client::connect(handle.addr()).expect("connect rr");
+        rr.bind_network(backend, 0.0, &net).expect("bind rr");
+        let reference: Vec<(u64, Vec<Located>)> = bursts
+            .iter()
+            .map(|b| rr.locate_batch(b).expect("rr burst"))
+            .collect();
+
+        // The same stream pipelined at several window sizes, TCP.
+        for in_flight in [1usize, 3, 6] {
+            let mut piped = Client::connect(handle.addr()).expect("connect piped");
+            piped.bind_network(backend, 0.0, &net).expect("bind piped");
+            let got = piped
+                .locate_batches_pipelined(&burst_refs, in_flight)
+                .expect("pipelined stream");
+            assert_eq!(
+                got, reference,
+                "{backend}: pipelined (window {in_flight}) diverged from request/response"
+            );
+        }
+
+        // And over the in-process pipe: same frames, no sockets. The
+        // pipe buffers unboundedly, so the widened byte budget lets
+        // the full window actually stay in flight.
+        let mut piped = sinr_server::serve_in_process();
+        piped.bind_network(backend, 0.0, &net).expect("bind pipe");
+        let got = piped
+            .locate_batches_pipelined_with_budget(&burst_refs, 6, usize::MAX)
+            .expect("pipe pipelined stream");
+        assert_eq!(got, reference, "{backend}: pipe pipelined diverged");
+
+        // The reference itself against a fresh local engine.
+        let local = fresh_local(backend, &net);
+        for ((rev, answers), burst) in reference.iter().zip(&bursts) {
+            assert_eq!(*rev, net.revision());
+            let mut expected = vec![Located::Silent; burst.len()];
+            local.locate_batch(burst, &mut expected);
+            assert_eq!(answers, &expected, "{backend}: server diverged from local");
+        }
+    }
+    handle.shutdown();
+}
+
+/// An error frame occupies its request's slot in the response order, so
+/// a pipelined client never loses alignment: Located, Error, Located —
+/// exactly the send order.
+#[test]
+fn pipelined_errors_keep_their_response_slot() {
+    let net = random_network(0xE5, true);
+    let mut client = sinr_server::serve_in_process();
+    client
+        .bind_network(BackendId::ExactScan, 0.0, &net)
+        .expect("bind");
+    let burst = vec![Point::new(0.1, 0.2); 64];
+    client.send_locate_batch(&burst).expect("send 1");
+    client.send_raw(&[0x7F, 1, 2, 3]).expect("send malformed");
+    client.send_locate_batch(&burst).expect("send 2");
+    let (rev1, first) = client.recv_located().expect("first answer");
+    match client.recv() {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::MalformedFrame, "slot 2 is the error")
+        }
+        other => panic!("expected the malformed-frame error in slot 2, got {other:?}"),
+    }
+    let (rev2, second) = client.recv_located().expect("third answer");
+    assert_eq!(rev1, rev2);
+    assert_eq!(first, second, "identical bursts, identical answers");
+}

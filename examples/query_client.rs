@@ -131,6 +131,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{handovers} probe handovers observed across the orbit; every batch bit-identical to the local mirror");
 
+    // Pipelined phase (PR 5): the same session now keeps several
+    // `LocateBatch` frames in flight. The session loop answers strictly
+    // in request order, so the answers must be bit-identical to the
+    // request/response loop above — only the idle gap between bursts
+    // changes.
+    let (_, reference) = client.locate_batch(&probes)?;
+    let bursts: Vec<&[Point]> = (0..6).map(|_| probes.as_slice()).collect();
+    let start = Instant::now();
+    let piped = client.locate_batches_pipelined(&bursts, 4)?;
+    let elapsed = start.elapsed();
+    for (rev, answers) in &piped {
+        assert_eq!(
+            *rev, revision,
+            "pipelined answers fenced at the final revision"
+        );
+        assert_eq!(
+            answers, &reference,
+            "pipelined answers diverged from request/response"
+        );
+    }
+    println!(
+        "pipelined: {} bursts × {} probes, window 4 (byte-budgeted), {:.1} ms ({:.0} points/s) — answers identical to request/response",
+        bursts.len(),
+        probes.len(),
+        elapsed.as_secs_f64() * 1e3,
+        (bursts.len() * probes.len()) as f64 / elapsed.as_secs_f64()
+    );
+
     drop(client);
     if let Some(handle) = handle {
         handle.shutdown();

@@ -63,8 +63,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 2c. The vectorized backend --------------------------------------
     // SimdScan runs the same exact scan several stations per instruction
-    // (AVX2 lanes when the CPU has them, detected once at build;
-    // portable fallback otherwise). Same trait, same answers.
+    // (8-lane AVX-512 or 4-lane AVX2 when the CPU has them, detected
+    // once at build; portable fallback otherwise). Same trait, same
+    // answers. Batches of ≥ 2048 points against ≥ 128 stations
+    // additionally run through the spatially-coherent tiled executor
+    // (Morton tiles + certified candidate pruning — see the
+    // `sinr_core::engine` "execution model" docs); answers stay
+    // bit-identical to the serial path either way.
     let simd = SimdScan::new(&net);
     let mut simd_answers = vec![Located::Silent; receivers.len()];
     simd.locate_batch(&receivers, &mut simd_answers);
