@@ -28,14 +28,31 @@
 //! `examples/mobile_stations.rs`). Answers are asserted identical; the
 //! JSON lines (`"scenario":"churn"`) record ns/step for both and their
 //! ratio.
+//!
+//! The **channel_mc** scenario (PR 6) measures the stochastic-channel
+//! Monte-Carlo executor — `reception_probability_batch`, whose SoA
+//! columns, Morton tiling and unit-power tile envelopes are built once
+//! with only per-trial gains varying — against the rebuild-per-trial
+//! baseline (draw the same gain stream, build a scaled `Network` and a
+//! fresh engine every trial, run its one-shot `locate_batch`).
+//! Probabilities are asserted bit-identical; the `"scenario":
+//! "channel_mc"` lines record trials/sec, ns per point-trial on both
+//! paths and their ratio, which must stay ≥ 5×.
+//!
+//! The **scheduling** scenario condenses `examples/link_scheduling.rs`
+//! into a timed loop — greedy SINR-threshold link scheduling with
+//! per-slot fading gains applied as power surgery — and emits one
+//! `"scenario":"scheduling"` line with ns/step and queue outcomes.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 use sinr_bench::report::JsonLine;
-use sinr_core::engine::{batch_map, ExactScan, Located, QueryEngine, VoronoiAssisted, BATCH_TILE};
+use sinr_core::engine::{
+    batch_map, BoxedEngine, ExactScan, Located, QueryEngine, VoronoiAssisted, BATCH_TILE,
+};
 use sinr_core::simd::{SimdKernel, SimdScan};
 use sinr_core::tile::{self, Select, TileConfig, TileStats};
-use sinr_core::{gen, Network, StationId};
+use sinr_core::{gen, ChannelModel, McConfig, Network, StationId, SurgeryOp};
 use sinr_geometry::Point;
 use std::hint::black_box;
 use std::time::Instant;
@@ -377,8 +394,219 @@ fn emit_churn_json_lines() {
     }
 }
 
+/// Channel Monte-Carlo scenario shape: one big network, a moderate
+/// point batch of spatially-coherent receiver patches (coverage
+/// heatmaps around hotspots — the workload
+/// `reception_probability_batch` exists for), many trials. Each patch
+/// is one Morton tile, so the tile envelopes built once up front prune
+/// almost the whole network on every trial; the rebuild-per-trial
+/// baseline re-pays prep each trial and, at this one-shot batch size,
+/// its own `locate_batch` heuristic stays on the full-scan path.
+const MC_STATIONS: usize = 4096;
+const MC_POINTS: usize = 1024;
+const MC_PATCHES: usize = 2;
+const MC_PATCH_RADIUS: f64 = 4.0;
+const MC_TRIALS: u32 = 256;
+const MC_SEED: u64 = 0x5EED_CAFE;
+
+/// The rebuild-per-trial baseline: what Monte-Carlo reception
+/// probability costs *without* the channel subsystem — draw the same
+/// public gain stream, build a scaled [`Network`] and a fresh engine
+/// for every trial, run its `locate_batch`, and count receptions.
+fn naive_reception_probs(
+    net: &Network,
+    channel: &ChannelModel,
+    points: &[Point],
+    build: impl Fn(&Network) -> BoxedEngine,
+) -> (f64, Vec<f64>) {
+    let mut counts = vec![0u32; points.len()];
+    let mut gains = vec![1.0; net.len()];
+    let mut out = vec![Located::Silent; points.len()];
+    let start = Instant::now();
+    for trial in 0..MC_TRIALS {
+        channel.gains_for_trial(MC_SEED, trial, &mut gains);
+        let mut b = Network::builder()
+            .background_noise(net.noise())
+            .threshold(net.beta())
+            .path_loss(net.alpha());
+        for (s, g) in net.stations().zip(&gains) {
+            b = b.station_with_power(s.position, s.power * g);
+        }
+        let scaled = b.build().expect("scaled network");
+        let engine = build(&scaled);
+        engine.locate_batch(black_box(points), &mut out);
+        for (c, l) in counts.iter_mut().zip(&out) {
+            *c += u32::from(l.station().is_some());
+        }
+    }
+    let ns_per_point_trial =
+        start.elapsed().as_nanos() as f64 / (points.len() as f64 * MC_TRIALS as f64);
+    let probs = counts
+        .iter()
+        .map(|&c| c as f64 / MC_TRIALS as f64)
+        .collect();
+    (ns_per_point_trial, probs)
+}
+
+/// The channel Monte-Carlo record: `reception_probability_batch` (SoA
+/// columns, Morton tiling and envelopes built once; only per-trial
+/// gains vary) against the rebuild-per-trial baseline, per backend,
+/// probabilities asserted bit-identical. One `"scenario":"channel_mc"`
+/// line per backend.
+fn emit_channel_mc_json_lines() {
+    let half = window_half(MC_STATIONS);
+    let net = gen::random_uniform_network(0xC4A7, MC_STATIONS, half, 0.01, 2.0).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC4A7 ^ 1);
+    let stations: Vec<Point> = net.stations().map(|s| s.position).collect();
+    let points: Vec<Point> = (0..MC_POINTS)
+        .map(|k| {
+            let c = stations[(k % MC_PATCHES) * stations.len() / MC_PATCHES];
+            Point::new(
+                c.x + rng.gen_range(-MC_PATCH_RADIUS..MC_PATCH_RADIUS),
+                c.y + rng.gen_range(-MC_PATCH_RADIUS..MC_PATCH_RADIUS),
+            )
+        })
+        .collect();
+    // Log-normal only: its gains are strictly positive, which is what
+    // lets the baseline realize each trial as a valid scaled Network.
+    let channel = ChannelModel::LogNormalShadowing { sigma_db: 4.0 };
+    let mc = McConfig::new(MC_TRIALS, MC_SEED);
+    let simd_kernel = SimdScan::new(&net).kernel().name().to_string();
+
+    type BuildEngine = Box<dyn Fn(&Network) -> BoxedEngine>;
+    let backends: [(&str, BuildEngine); 2] = [
+        ("exact_scan", Box::new(BoxedEngine::exact_scan)),
+        ("simd_scan", Box::new(BoxedEngine::simd_scan)),
+    ];
+    for (backend, build) in backends {
+        let engine = build(&net);
+        let mut mc_probs = vec![0.0; points.len()];
+        let start = Instant::now();
+        engine
+            .reception_probability_batch(&channel, mc, &points, &mut mc_probs)
+            .expect("channel Monte-Carlo");
+        let mc_ns = start.elapsed().as_nanos() as f64 / (points.len() as f64 * MC_TRIALS as f64);
+
+        let (naive_ns, naive_probs) = naive_reception_probs(&net, &channel, &points, &build);
+        for (k, (got, want)) in mc_probs.iter().zip(&naive_probs).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{backend}: channel-MC diverged from rebuild-per-trial at point {k}"
+            );
+        }
+
+        let speedup = naive_ns / mc_ns;
+        assert!(
+            speedup >= 5.0,
+            "{backend}: SoA-reuse speedup {speedup:.1}x below the 5x floor"
+        );
+        let line = JsonLine::new("engine_batch")
+            .str("scenario", "channel_mc")
+            .str("backend", backend)
+            .str("channel", "log_normal_4db")
+            .str("query_shape", "clustered_patches")
+            .str("simd_kernel", &simd_kernel)
+            .int("stations", MC_STATIONS as u64)
+            .int("query_points", MC_POINTS as u64)
+            .int("trials", MC_TRIALS as u64)
+            .num(
+                "trials_per_sec",
+                1e9 * MC_TRIALS as f64 / (mc_ns * points.len() as f64 * MC_TRIALS as f64),
+            )
+            .num("mc_ns_per_point_trial", mc_ns)
+            .num("naive_ns_per_point_trial", naive_ns)
+            .num("speedup_mc_vs_rebuild", speedup);
+        println!("{}", line.render());
+    }
+}
+
+/// Scheduling scenario shape (the condensed `link_scheduling` loop: no
+/// server, no probes — just arrivals, the greedy feasible-set search
+/// realized as `SetPower` timesteps, and service).
+const SCHED_LINKS: usize = 10;
+const SCHED_STEPS: usize = 512;
+const SCHED_LAMBDA: f64 = 0.3;
+
+/// The scheduling record: ns per queue-stability timestep (each step =
+/// Bernoulli arrivals + a greedy SINR-feasible-set search where every
+/// candidate transmit pattern is an incremental `SetPower` timestep on
+/// the dynamic engine). One `"scenario":"scheduling"` line.
+fn emit_scheduling_json_line() {
+    let beta = 2.0;
+    let mut b = Network::builder().background_noise(0.01).threshold(beta);
+    let mut receivers = Vec::with_capacity(SCHED_LINKS);
+    for k in 0..SCHED_LINKS {
+        let theta = std::f64::consts::TAU * k as f64 / SCHED_LINKS as f64;
+        let (sin, cos) = theta.sin_cos();
+        b = b.station(Point::new(4.0 * cos, 4.0 * sin));
+        receivers.push(Point::new(3.0 * cos, 3.0 * sin));
+    }
+    let mut net = b.build().expect("ring network");
+    let mut engine = BoxedEngine::simd_scan(&net);
+    let fading = ChannelModel::LogNormalShadowing { sigma_db: 2.0 };
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5C4E);
+    let mut backlog = [0usize; SCHED_LINKS];
+    let mut gains = vec![1.0; SCHED_LINKS];
+    let (mut served, mut mutates) = (0u64, 0u64);
+    let start = Instant::now();
+    for step in 0..SCHED_STEPS {
+        for q in backlog.iter_mut() {
+            *q += usize::from(rng.gen_range(0.0..1.0) < SCHED_LAMBDA);
+        }
+        fading.gains_for_trial(0xFAD, step as u32, &mut gains);
+        let mut active: Vec<usize> = (0..SCHED_LINKS).filter(|&i| backlog[i] > 0).collect();
+        while !active.is_empty() {
+            let ops: Vec<SurgeryOp> = (0..SCHED_LINKS)
+                .map(|i| SurgeryOp::SetPower {
+                    id: StationId(i),
+                    power: if active.contains(&i) { gains[i] } else { 1e-9 },
+                })
+                .collect();
+            for delta in net.apply_ops(&ops).expect("powers") {
+                engine.apply(&delta).expect("incremental apply");
+            }
+            mutates += 1;
+            let mut worst: Option<(usize, f64)> = None;
+            for (slot, &i) in active.iter().enumerate() {
+                let mut sinr = [0.0];
+                engine.sinr_batch(StationId(i), &receivers[i..i + 1], &mut sinr);
+                if sinr[0] < beta && worst.is_none_or(|(_, w)| sinr[0] < w) {
+                    worst = Some((slot, sinr[0]));
+                }
+            }
+            match worst {
+                None => break,
+                Some((slot, _)) => {
+                    active.remove(slot);
+                }
+            }
+        }
+        for &i in &active {
+            backlog[i] -= 1;
+            served += 1;
+        }
+    }
+    let ns_per_step = start.elapsed().as_nanos() as f64 / SCHED_STEPS as f64;
+
+    let line = JsonLine::new("engine_batch")
+        .str("scenario", "scheduling")
+        .str("backend", "simd_scan")
+        .int("links", SCHED_LINKS as u64)
+        .int("steps", SCHED_STEPS as u64)
+        .num("lambda", SCHED_LAMBDA)
+        .int("mutate_timesteps", mutates)
+        .int("served_packets", served)
+        .int("final_backlog", backlog.iter().sum::<usize>() as u64)
+        .num("ns_per_step", ns_per_step);
+    println!("{}", line.render());
+}
+
 fn main() {
     benches();
     emit_json_lines();
     emit_churn_json_lines();
+    emit_channel_mc_json_lines();
+    emit_scheduling_json_line();
 }

@@ -121,6 +121,43 @@
 //! `PointLocator` reuses the tile grouping so queries dispatching to
 //! the same zone grid are processed together.
 //!
+//! ## Stochastic channels
+//!
+//! [`QueryEngine::reception_probability_batch`] and
+//! [`QueryEngine::sinr_quantiles_batch`] layer a stochastic
+//! [`ChannelModel`](crate::channel::ChannelModel) over the
+//! deterministic model by **gain folding**: a channel trial is a
+//! multiplicative per-station gain vector `g`, and since the received
+//! energy is linear in transmit power,
+//! `Eⱼ(p | gain gⱼ) = gⱼ · ψⱼ / d(sⱼ, p)^α`, evaluating a trial is
+//! exactly evaluating the deterministic model on scaled powers
+//! `gⱼ·ψⱼ`. Everything power-independent is therefore built **once**
+//! per call — the SoA columns, the Morton point tiling, and each
+//! station's *unit-power* energy envelope per tile — and a trial costs
+//! two multiplies per station per tile (scaling the cached `[lo, hi]`
+//! envelope by `gⱼ·ψⱼ`) before the usual certified pruning and
+//! candidate scan run unchanged. A gain of exactly `0.0` (a deep-fade
+//! draw) times an infinite envelope top (station inside the tile box)
+//! is NaN; the executor **widens** such envelopes to the trivial
+//! `[0, ∞]` so the station stays a candidate and the pruning
+//! certificate stays sound. Uncertain points fall back to the
+//! backend's serial kernel on the scaled evaluator, so per-trial
+//! answers are bit-identical to rebuilding a scaled network and
+//! engine from scratch — the degenerate
+//! [`ChannelModel::Deterministic`](crate::channel::ChannelModel::Deterministic)
+//! channel short-circuits through the backend's own `locate_batch`
+//! and returns exactly `0.0`/`1.0`.
+//!
+//! The **seeding contract** makes every run replayable from one
+//! explicit `u64` ([`McConfig`](crate::channel::McConfig)): trial `t`
+//! draws from `StdRng::seed_from_u64(seed ^ (t+1)·0x9E37_79B9_…)`,
+//! composed atoms consume one shared stream in atom order, and every
+//! atom draws unconditionally — so trial gains depend only on
+//! `(seed, trial, model, n)`, never on thread scheduling or which
+//! worker claimed the trial. The same seed over the wire
+//! (`ReceptionProbBatch`) reproduces the same probabilities
+//! bit-for-bit on any machine.
+//!
 //! ## Example
 //!
 //! ```
@@ -142,6 +179,7 @@
 //! assert_eq!(answers[1], Located::Silent);
 //! ```
 
+use crate::channel::{ChannelError, ChannelModel, McConfig};
 use crate::network::{DeltaOp, Network, NetworkDelta};
 use crate::simd::SimdKernel;
 use crate::station::StationId;
@@ -668,6 +706,22 @@ impl SinrEvaluator {
         *self = SinrEvaluator::new(net);
     }
 
+    /// Overwrites the power column with `base[j] · gains[j]` — the
+    /// gain-folding step of the stochastic channel layer
+    /// ([`crate::channel`]): a channel trial is the deterministic model
+    /// on the scaled powers, so only this column changes between trials
+    /// while `xs`/`ys` (and everything derived from them) are reused.
+    /// The uniform-power flag is recomputed, keeping the
+    /// Observation-2.2 dispatch contract honest on scaled clones.
+    pub(crate) fn set_scaled_powers(&mut self, base: &[f64], gains: &[f64]) {
+        debug_assert_eq!(base.len(), self.powers.len());
+        debug_assert_eq!(gains.len(), self.powers.len());
+        for ((w, &b), &g) in self.powers.iter_mut().zip(base).zip(gains) {
+            *w = b * g;
+        }
+        self.uniform = self.powers.iter().all(|&w| w == 1.0);
+    }
+
     /// The station positions as points, in current index order.
     pub(crate) fn position_points(&self) -> Vec<Point> {
         self.xs
@@ -1061,6 +1115,78 @@ pub trait QueryEngine {
         Ok(())
     }
 
+    // --- Stochastic channels ([`crate::channel`]) ------------------------
+
+    /// Monte-Carlo reception probability under a stochastic channel:
+    /// `out[k]` receives the fraction of `mc.trials` seeded channel
+    /// draws ([`ChannelModel::gains_for_trial`]) in which `points[k]`
+    /// receives *some* station. Identity channels answer exactly `0.0` /
+    /// `1.0`, bit-identical to [`QueryEngine::locate_batch`] (the
+    /// degenerate-channel contract); see [`crate::channel`] for the
+    /// gain-folding construction and the seeding contract.
+    ///
+    /// The default implementation declines with
+    /// [`ChannelError::Unsupported`] — backends whose structures assume
+    /// the deterministic power assignment (the Theorem-3 locator) keep
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::Stale`] on a stale engine (`out` untouched),
+    /// [`ChannelError::InvalidChannel`] for a malformed model or trial
+    /// count, [`ChannelError::Unsupported`] from backends without the
+    /// stochastic path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` and `out` have different lengths.
+    fn reception_probability_batch(
+        &self,
+        model: &ChannelModel,
+        mc: McConfig,
+        points: &[Point],
+        out: &mut [f64],
+    ) -> Result<(), ChannelError> {
+        let _ = (model, mc, points, out);
+        Err(ChannelError::Unsupported(
+            "this backend does not implement stochastic channels",
+        ))
+    }
+
+    /// Monte-Carlo SINR distribution of station `i`: for each point, the
+    /// requested `quantiles` (each in `[0, 1]`, nearest-rank over the
+    /// `mc.trials` sampled SINR values) are written row-major into `out`
+    /// (`out[k * quantiles.len() + q]` is quantile `q` of point `k`).
+    /// Per-trial values are bit-identical to
+    /// [`QueryEngine::sinr_batch`] on the gain-scaled network.
+    ///
+    /// The default implementation declines with
+    /// [`ChannelError::Unsupported`].
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryEngine::reception_probability_batch`], plus
+    /// [`ChannelError::InvalidChannel`] for quantiles outside `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `out` is not
+    /// `points.len() × quantiles.len()` long.
+    fn sinr_quantiles_batch(
+        &self,
+        model: &ChannelModel,
+        mc: McConfig,
+        i: StationId,
+        points: &[Point],
+        quantiles: &[f64],
+        out: &mut [f64],
+    ) -> Result<(), ChannelError> {
+        let _ = (model, mc, i, points, quantiles, out);
+        Err(ChannelError::Unsupported(
+            "this backend does not implement stochastic channels",
+        ))
+    }
+
     /// The network revision this engine currently answers for.
     fn revision(&self) -> u64;
 
@@ -1140,6 +1266,37 @@ impl QueryEngine for ExactScan {
 
     fn freshness(&self) -> Result<(), LocateError> {
         self.eval.freshness()
+    }
+
+    fn reception_probability_batch(
+        &self,
+        model: &ChannelModel,
+        mc: McConfig,
+        points: &[Point],
+        out: &mut [f64],
+    ) -> Result<(), ChannelError> {
+        crate::channel::reception_probability_driver(
+            &self.eval,
+            SimdKernel::Portable,
+            model,
+            mc,
+            points,
+            out,
+            |ev, p| ev.locate_scalar(p),
+            |pts, located| self.eval.locate_batch(pts, located),
+        )
+    }
+
+    fn sinr_quantiles_batch(
+        &self,
+        model: &ChannelModel,
+        mc: McConfig,
+        i: StationId,
+        points: &[Point],
+        quantiles: &[f64],
+        out: &mut [f64],
+    ) -> Result<(), ChannelError> {
+        crate::channel::sinr_quantiles_driver(&self.eval, model, mc, i, points, quantiles, out)
     }
 
     fn revision(&self) -> u64 {
@@ -1427,6 +1584,43 @@ impl QueryEngine for VoronoiAssisted {
         self.eval.freshness()
     }
 
+    fn reception_probability_batch(
+        &self,
+        model: &ChannelModel,
+        mc: McConfig,
+        points: &[Point],
+        out: &mut [f64],
+    ) -> Result<(), ChannelError> {
+        // Identity channels route through `locate_batch` inside the
+        // driver (so degenerate answers keep this backend's tree-based
+        // summation order bit-for-bit); non-identity trials scale the
+        // powers, which is generally *non-uniform* — the Observation-2.2
+        // shortcut is illegal there, so the per-trial serial kernel is
+        // the exact scalar scan.
+        crate::channel::reception_probability_driver(
+            &self.eval,
+            self.kernel,
+            model,
+            mc,
+            points,
+            out,
+            |ev, p| ev.locate_scalar(p),
+            |pts, located| self.locate_batch(pts, located),
+        )
+    }
+
+    fn sinr_quantiles_batch(
+        &self,
+        model: &ChannelModel,
+        mc: McConfig,
+        i: StationId,
+        points: &[Point],
+        quantiles: &[f64],
+        out: &mut [f64],
+    ) -> Result<(), ChannelError> {
+        crate::channel::sinr_quantiles_driver(&self.eval, model, mc, i, points, quantiles, out)
+    }
+
     fn revision(&self) -> u64 {
         self.eval.revision()
     }
@@ -1568,6 +1762,30 @@ impl QueryEngine for BoxedEngine {
 
     fn freshness(&self) -> Result<(), LocateError> {
         self.inner.freshness()
+    }
+
+    fn reception_probability_batch(
+        &self,
+        model: &ChannelModel,
+        mc: McConfig,
+        points: &[Point],
+        out: &mut [f64],
+    ) -> Result<(), ChannelError> {
+        self.inner
+            .reception_probability_batch(model, mc, points, out)
+    }
+
+    fn sinr_quantiles_batch(
+        &self,
+        model: &ChannelModel,
+        mc: McConfig,
+        i: StationId,
+        points: &[Point],
+        quantiles: &[f64],
+        out: &mut [f64],
+    ) -> Result<(), ChannelError> {
+        self.inner
+            .sinr_quantiles_batch(model, mc, i, points, quantiles, out)
     }
 
     fn revision(&self) -> u64 {

@@ -52,6 +52,20 @@
 //! model](engine#execution-model). The scalar functions in [`sinr`]
 //! remain the ground truth the engine is tested against.
 //!
+//! ## Stochastic channels
+//!
+//! The [`channel`] module layers fading/shadowing over the deterministic
+//! engines: a sealed [`ChannelModel`] family (log-normal shadowing,
+//! Rayleigh fading, fixed gain offsets, and their composition) draws
+//! seeded multiplicative per-station gain vectors, and
+//! [`QueryEngine::reception_probability_batch`] /
+//! [`QueryEngine::sinr_quantiles_batch`] answer Monte-Carlo reception
+//! probability and SINR-distribution quantiles by folding the gains into
+//! the power column — the SoA layout, Morton tiling and SIMD kernels are
+//! built once and reused across every trial. Identity channels answer
+//! bit-identically to `locate_batch`; see the [`channel`] module docs
+//! for the gain-folding math and the seeding contract.
+//!
 //! ## Dynamic networks (epochs and deltas)
 //!
 //! Networks are mutable **in place**: [`Network::add_station`],
@@ -131,6 +145,7 @@
 #![deny(unsafe_code)]
 
 pub mod bounds;
+pub mod channel;
 pub mod charpoly;
 pub mod convexity;
 pub mod engine;
@@ -144,6 +159,7 @@ pub mod station;
 pub mod tile;
 pub mod zone;
 
+pub use channel::{ChannelError, ChannelModel, McConfig};
 pub use convexity::{ConvexityReport, ConvexityViolation};
 pub use engine::{
     BoxedEngine, ExactScan, LocateError, Located, QueryEngine, SinrEvaluator, SyncError,

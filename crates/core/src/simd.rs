@@ -760,6 +760,44 @@ impl QueryEngine for SimdScan {
         self.eval.freshness()
     }
 
+    fn reception_probability_batch(
+        &self,
+        model: &crate::channel::ChannelModel,
+        mc: crate::channel::McConfig,
+        points: &[Point],
+        out: &mut [f64],
+    ) -> Result<(), crate::channel::ChannelError> {
+        // The pinned kernel drives both the candidate scans and the
+        // per-trial serial fallback, so every trial's reception bit is
+        // exactly what this engine's `locate` would answer on the
+        // gain-scaled network.
+        crate::channel::reception_probability_driver(
+            &self.eval,
+            self.kernel,
+            model,
+            mc,
+            points,
+            out,
+            |ev, p| {
+                let (xs, ys, powers) = ev.soa();
+                ev.decide(scan_slices(self.kernel, ev.alpha(), xs, ys, powers, p))
+            },
+            |pts, located| self.locate_batch(pts, located),
+        )
+    }
+
+    fn sinr_quantiles_batch(
+        &self,
+        model: &crate::channel::ChannelModel,
+        mc: crate::channel::McConfig,
+        i: StationId,
+        points: &[Point],
+        quantiles: &[f64],
+        out: &mut [f64],
+    ) -> Result<(), crate::channel::ChannelError> {
+        crate::channel::sinr_quantiles_driver(&self.eval, model, mc, i, points, quantiles, out)
+    }
+
     fn revision(&self) -> u64 {
         self.eval.revision()
     }

@@ -359,7 +359,7 @@ struct Scratch {
 /// top certifies reception at the kernel's true total, non-reception at
 /// the bottom certifies silence.
 #[inline]
-fn receives_at_total(best_e: f64, total: f64, noise: f64, beta: f64) -> bool {
+pub(crate) fn receives_at_total(best_e: f64, total: f64, noise: f64, beta: f64) -> bool {
     let interference_plus_noise = (total - best_e) + noise;
     interference_plus_noise <= 0.0 || best_e >= beta * interference_plus_noise
 }

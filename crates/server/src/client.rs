@@ -19,7 +19,7 @@ use crate::protocol::{
 };
 use crate::session::serve_session;
 use crate::transport::{duplex, PipeTransport, RecvError, TcpTransport, Transport};
-use sinr_core::{Located, Network, StationId, SurgeryOp};
+use sinr_core::{ChannelModel, Located, Network, StationId, SurgeryOp};
 use sinr_geometry::Point;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -339,6 +339,37 @@ impl<T: Transport> Client<T> {
         })? {
             Response::Mutated { revision, .. } => Ok(revision),
             other => Err(unexpected(other, "Mutated")),
+        }
+    }
+
+    /// Streams one batch of seeded Monte-Carlo reception-probability
+    /// queries under `channel`; returns the revision the probabilities
+    /// are valid for and one probability per point. Replayable: the
+    /// same `(trials, seed, channel, points)` at the same revision
+    /// answers bit-identically (the e2e suite pins server answers
+    /// against a fresh local engine).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::ChannelUnsupported`]
+    /// (the session is then **unbound**) or
+    /// [`ErrorCode::InvalidChannel`] / [`ErrorCode::Stale`]
+    /// (per-request), or any transport failure.
+    pub fn reception_prob_batch(
+        &mut self,
+        trials: u32,
+        seed: u64,
+        channel: &ChannelModel,
+        points: &[Point],
+    ) -> Result<(u64, Vec<f64>), ClientError> {
+        match self.roundtrip(&Request::ReceptionProbBatch {
+            trials,
+            seed,
+            channel: channel.clone(),
+            points: points.to_vec(),
+        })? {
+            Response::ReceptionProbs { revision, values } => Ok((revision, values)),
+            other => Err(unexpected(other, "ReceptionProbs")),
         }
     }
 

@@ -30,10 +30,12 @@
 //! | `0x02` | → | `LocateBatch` | count `u32`, count × (x `f64`, y `f64`) |
 //! | `0x03` | → | `SinrBatch` | station `u32`, count `u32`, count × (x `f64`, y `f64`) |
 //! | `0x04` | → | `Mutate` | expected_revision `u64`, op_count `u32`, ops (see below) |
+//! | `0x05` | → | `ReceptionProbBatch` | trials `u32`, seed `u64`, channel (see below), count `u32`, count × (x `f64`, y `f64`) |
 //! | `0x81` | ← | `Bound` | revision `u64`, backend `u8` |
 //! | `0x82` | ← | `Located` | revision `u64`, total `u32`, runs × (kind `u8`, station `u32`, len `u32`) |
 //! | `0x83` | ← | `Sinrs` | revision `u64`, count `u32`, count × `f64` |
 //! | `0x84` | ← | `Mutated` | revision `u64`, applied `u32` |
+//! | `0x85` | ← | `ReceptionProbs` | revision `u64`, count `u32`, count × `f64` |
 //! | `0xEE` | ← | `Error` | code `u8`, msg_len `u16`, msg (UTF-8) |
 //!
 //! `Located` responses are run-length encoded (kind `0` = reception,
@@ -43,6 +45,15 @@
 //! tag `u8` (`0` add: x, y, power as `f64`; `1` remove: id `u32`;
 //! `2` move: id `u32`, x, y; `3` set-power: id `u32`, power).
 //!
+//! **Channel atoms** (`ReceptionProbBatch` body; see
+//! [`ChannelModel`](sinr_core::ChannelModel)): tag `u8` — `0`
+//! deterministic; `1` log-normal shadowing: sigma_db `f64`; `2`
+//! Rayleigh fading; `3` fixed gains: count `u32`, count × `f64`; `4`
+//! composed: atom_count `u8`, atoms (no nesting — a `Composed` inside a
+//! `Composed` fails decode). The answers are seeded Monte-Carlo
+//! reception probabilities, bit-identical on replay of the same
+//! `(trials, seed, channel, points)` at the same revision.
+//!
 //! **Backend ids** (`Bind` byte): `0` `exact_scan`, `1` `simd_scan`,
 //! `2` `voronoi_assisted`, `3` `qds` (Theorem 3; uses `epsilon`).
 //!
@@ -50,7 +61,8 @@
 //! `2` unknown backend, `3` not bound, `4` already bound, `5` invalid
 //! network, `6` backend build, `7` revision mismatch, `8` surgery,
 //! `9` station out of range, `10` stale, `11` oversized, `12`
-//! unsupported (unbinds), `13` internal (closes). Unless noted, the
+//! unsupported (unbinds), `13` internal (closes), `14` channel
+//! unsupported (unbinds), `15` invalid channel. Unless noted, the
 //! session survives an error and processes the next frame.
 //!
 //! **Revision fencing.** Every response carries the network revision it

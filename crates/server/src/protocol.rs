@@ -11,7 +11,7 @@
 //! validated against the bytes actually present *before* any buffer is
 //! sized, so a 12-byte frame cannot ask for a 4-billion-point vector).
 
-use sinr_core::{Located, Network, NetworkError, StationId, SurgeryOp, WireError};
+use sinr_core::{ChannelModel, Located, Network, NetworkError, StationId, SurgeryOp, WireError};
 use sinr_geometry::Point;
 
 /// Request tags (client → server).
@@ -19,13 +19,22 @@ const TAG_BIND: u8 = 0x01;
 const TAG_LOCATE_BATCH: u8 = 0x02;
 const TAG_SINR_BATCH: u8 = 0x03;
 const TAG_MUTATE: u8 = 0x04;
+const TAG_RECEPTION_PROB_BATCH: u8 = 0x05;
 
 /// Response tags (server → client).
 const TAG_BOUND: u8 = 0x81;
 const TAG_LOCATED: u8 = 0x82;
 const TAG_SINRS: u8 = 0x83;
 const TAG_MUTATED: u8 = 0x84;
+const TAG_RECEPTION_PROBS: u8 = 0x85;
 const TAG_ERROR: u8 = 0xEE;
+
+/// Atom tags of the [`ChannelModel`] wire encoding (one byte each).
+const CHANNEL_DETERMINISTIC: u8 = 0;
+const CHANNEL_LOG_NORMAL: u8 = 1;
+const CHANNEL_RAYLEIGH: u8 = 2;
+const CHANNEL_FIXED_GAINS: u8 = 3;
+const CHANNEL_COMPOSED: u8 = 4;
 
 /// Run kinds of the run-length-encoded `Located` answer stream.
 const RUN_RECEPTION: u8 = 0;
@@ -176,6 +185,22 @@ pub enum Request {
         /// [`Network::apply_ops`].
         ops: Vec<SurgeryOp>,
     },
+    /// A batch of seeded Monte-Carlo reception-probability queries
+    /// under a stochastic [`ChannelModel`]
+    /// ([`sinr_core::QueryEngine::reception_probability_batch`]).
+    /// Fully replayable: the same `(trials, seed, channel, points)`
+    /// against the same network revision answers bit-identically on
+    /// every conforming server.
+    ReceptionProbBatch {
+        /// Monte-Carlo trial count (`1..=`[`sinr_core::channel::MAX_TRIALS`]).
+        trials: u32,
+        /// The base RNG seed; see the channel module's seeding contract.
+        seed: u64,
+        /// The stochastic channel to sample.
+        channel: ChannelModel,
+        /// The query points.
+        points: Vec<Point>,
+    },
 }
 
 /// A server→client frame.
@@ -209,6 +234,14 @@ pub enum Response {
         revision: u64,
         /// Number of ops applied.
         applied: u32,
+    },
+    /// Answers to a `ReceptionProbBatch`, index-aligned with the
+    /// request points.
+    ReceptionProbs {
+        /// The revision the probabilities are valid for.
+        revision: u64,
+        /// One reception probability (in `[0, 1]`) per query point.
+        values: Vec<f64>,
     },
     /// The request failed; the session stays usable unless the
     /// [`ErrorCode`] docs say otherwise.
@@ -266,11 +299,21 @@ pub enum ErrorCode {
     /// `13` — the server caught an unexpected panic while handling the
     /// frame; it closes the connection after sending this.
     Internal,
+    /// `14` — the bound backend does not implement stochastic channels
+    /// ([`sinr_core::ChannelError::Unsupported`]); like
+    /// [`ErrorCode::Unsupported`], the session is **unbound**
+    /// (subsequent queries get [`ErrorCode::NotBound`]).
+    ChannelUnsupported,
+    /// `15` — the `ReceptionProbBatch` channel spec or Monte-Carlo
+    /// config failed [`ChannelModel`] validation (bad `σ`, wrong gain
+    /// vector length, zero trials, …). Per-request: the session
+    /// survives.
+    InvalidChannel,
 }
 
 impl ErrorCode {
     /// Every code, in wire order.
-    pub const ALL: [ErrorCode; 13] = [
+    pub const ALL: [ErrorCode; 15] = [
         ErrorCode::MalformedFrame,
         ErrorCode::UnknownBackend,
         ErrorCode::NotBound,
@@ -284,6 +327,8 @@ impl ErrorCode {
         ErrorCode::Oversized,
         ErrorCode::Unsupported,
         ErrorCode::Internal,
+        ErrorCode::ChannelUnsupported,
+        ErrorCode::InvalidChannel,
     ];
 
     /// The wire byte.
@@ -302,6 +347,8 @@ impl ErrorCode {
             ErrorCode::Oversized => 11,
             ErrorCode::Unsupported => 12,
             ErrorCode::Internal => 13,
+            ErrorCode::ChannelUnsupported => 14,
+            ErrorCode::InvalidChannel => 15,
         }
     }
 
@@ -365,6 +412,13 @@ pub enum ProtocolError {
     BadMessageEncoding,
     /// A surgery op inside `Mutate` failed to decode.
     Op(WireError),
+    /// A `ReceptionProbBatch` channel atom carried an unknown tag byte.
+    UnknownChannelTag(u8),
+    /// A `ReceptionProbBatch` channel nested a `Composed` atom inside
+    /// another `Composed` — the model family is flat by construction
+    /// ([`ChannelModel::validate`] rejects it), so the wire grammar
+    /// rejects it too rather than decode an always-invalid value.
+    NestedChannelCompose,
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -394,6 +448,10 @@ impl std::fmt::Display for ProtocolError {
             ),
             ProtocolError::BadMessageEncoding => write!(f, "error message is not UTF-8"),
             ProtocolError::Op(e) => write!(f, "bad surgery op: {e}"),
+            ProtocolError::UnknownChannelTag(b) => write!(f, "unknown channel atom tag {b}"),
+            ProtocolError::NestedChannelCompose => {
+                write!(f, "Composed channel atom nested inside another Composed")
+            }
         }
     }
 }
@@ -502,6 +560,70 @@ fn push_point(buf: &mut Vec<u8>, p: Point) {
     buf.extend_from_slice(&p.y.to_le_bytes());
 }
 
+/// Encodes one channel atom (recursing once for `Composed`): a tag
+/// byte, then the atom's parameters.
+fn encode_channel(buf: &mut Vec<u8>, model: &ChannelModel) {
+    match model {
+        ChannelModel::Deterministic => buf.push(CHANNEL_DETERMINISTIC),
+        ChannelModel::LogNormalShadowing { sigma_db } => {
+            buf.push(CHANNEL_LOG_NORMAL);
+            buf.extend_from_slice(&sigma_db.to_le_bytes());
+        }
+        ChannelModel::RayleighFading => buf.push(CHANNEL_RAYLEIGH),
+        ChannelModel::FixedGains { gains } => {
+            buf.push(CHANNEL_FIXED_GAINS);
+            buf.extend_from_slice(&(gains.len() as u32).to_le_bytes());
+            for g in gains {
+                buf.extend_from_slice(&g.to_le_bytes());
+            }
+        }
+        ChannelModel::Composed(atoms) => {
+            buf.push(CHANNEL_COMPOSED);
+            buf.push(atoms.len() as u8);
+            for atom in atoms {
+                encode_channel(buf, atom);
+            }
+        }
+    }
+}
+
+/// Decodes one channel atom. The wire grammar mirrors
+/// [`ChannelModel::validate`]'s structural rule — `Composed` cannot
+/// nest — so `allow_compose` is false while inside one; semantic
+/// validation (finite `σ`, gain count vs the bound network, atom
+/// limits) stays with the engine, surfacing as
+/// [`ErrorCode::InvalidChannel`] rather than a decode failure.
+fn decode_channel(c: &mut Cursor<'_>, allow_compose: bool) -> Result<ChannelModel, ProtocolError> {
+    let tag = c.u8("channel atom tag")?;
+    Ok(match tag {
+        CHANNEL_DETERMINISTIC => ChannelModel::Deterministic,
+        CHANNEL_LOG_NORMAL => ChannelModel::LogNormalShadowing {
+            sigma_db: c.f64("shadowing sigma")?,
+        },
+        CHANNEL_RAYLEIGH => ChannelModel::RayleighFading,
+        CHANNEL_FIXED_GAINS => {
+            let n = c.count(8, "gain count")?;
+            let mut gains = Vec::with_capacity(n);
+            for _ in 0..n {
+                gains.push(c.f64("gain value")?);
+            }
+            ChannelModel::FixedGains { gains }
+        }
+        CHANNEL_COMPOSED => {
+            if !allow_compose {
+                return Err(ProtocolError::NestedChannelCompose);
+            }
+            let n = c.u8("composed atom count")? as usize;
+            let mut atoms = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                atoms.push(decode_channel(c, false)?);
+            }
+            ChannelModel::Composed(atoms)
+        }
+        other => return Err(ProtocolError::UnknownChannelTag(other)),
+    })
+}
+
 /// Encodes a request into a frame payload.
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut buf = Vec::new();
@@ -547,6 +669,21 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             buf.extend_from_slice(&(ops.len() as u32).to_le_bytes());
             for op in ops {
                 op.encode_into(&mut buf);
+            }
+        }
+        Request::ReceptionProbBatch {
+            trials,
+            seed,
+            channel,
+            points,
+        } => {
+            buf.push(TAG_RECEPTION_PROB_BATCH);
+            buf.extend_from_slice(&trials.to_le_bytes());
+            buf.extend_from_slice(&seed.to_le_bytes());
+            encode_channel(&mut buf, channel);
+            buf.extend_from_slice(&(points.len() as u32).to_le_bytes());
+            for p in points {
+                push_point(&mut buf, *p);
             }
         }
     }
@@ -625,6 +762,22 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
                 ops,
             }
         }
+        TAG_RECEPTION_PROB_BATCH => {
+            let trials = c.u32("trial count")?;
+            let seed = c.u64("seed")?;
+            let channel = decode_channel(&mut c, true)?;
+            let n = c.count(16, "point count")?;
+            let mut points = Vec::with_capacity(n);
+            for _ in 0..n {
+                points.push(c.point("query point")?);
+            }
+            Request::ReceptionProbBatch {
+                trials,
+                seed,
+                channel,
+                points,
+            }
+        }
         other => return Err(ProtocolError::UnknownTag(other)),
     };
     c.finish()?;
@@ -675,6 +828,14 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             buf.push(TAG_MUTATED);
             buf.extend_from_slice(&revision.to_le_bytes());
             buf.extend_from_slice(&applied.to_le_bytes());
+        }
+        Response::ReceptionProbs { revision, values } => {
+            buf.push(TAG_RECEPTION_PROBS);
+            buf.extend_from_slice(&revision.to_le_bytes());
+            buf.extend_from_slice(&(values.len() as u32).to_le_bytes());
+            for v in values {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
         }
         Response::Error { code, message } => {
             buf.push(TAG_ERROR);
@@ -760,6 +921,15 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
             revision: c.u64("revision")?,
             applied: c.u32("applied count")?,
         },
+        TAG_RECEPTION_PROBS => {
+            let revision = c.u64("revision")?;
+            let n = c.count(8, "probability count")?;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(c.f64("probability value")?);
+            }
+            Response::ReceptionProbs { revision, values }
+        }
         TAG_ERROR => {
             let code_byte = c.u8("error code")?;
             let code = ErrorCode::from_wire(code_byte)
@@ -828,6 +998,24 @@ mod tests {
                 ],
             },
             Request::LocateBatch { points: vec![] },
+            Request::ReceptionProbBatch {
+                trials: 256,
+                seed: 0xDEAD_BEEF_F00D_u64,
+                channel: ChannelModel::Deterministic,
+                points: vec![Point::new(0.25, -3.0)],
+            },
+            Request::ReceptionProbBatch {
+                trials: 1,
+                seed: 0,
+                channel: ChannelModel::Composed(vec![
+                    ChannelModel::LogNormalShadowing { sigma_db: 4.0 },
+                    ChannelModel::RayleighFading,
+                    ChannelModel::FixedGains {
+                        gains: vec![0.5, 1.0, 2.0],
+                    },
+                ]),
+                points: vec![],
+            },
         ];
         for req in &reqs {
             let bytes = encode_request(req);
@@ -863,6 +1051,10 @@ mod tests {
             Response::Mutated {
                 revision: 12,
                 applied: 4,
+            },
+            Response::ReceptionProbs {
+                revision: 5,
+                values: vec![0.0, 0.5, 1.0],
             },
             Response::Error {
                 code: ErrorCode::RevisionMismatch,
@@ -966,6 +1158,55 @@ mod tests {
             decode_response(&overshoot),
             Err(ProtocolError::RunLengthMismatch { .. })
         ));
+        // ReceptionProbBatch with an unknown channel atom tag.
+        let mut bad_channel = vec![TAG_RECEPTION_PROB_BATCH];
+        bad_channel.extend_from_slice(&8u32.to_le_bytes());
+        bad_channel.extend_from_slice(&0u64.to_le_bytes());
+        bad_channel.push(77);
+        assert_eq!(
+            decode_request(&bad_channel),
+            Err(ProtocolError::UnknownChannelTag(77))
+        );
+        // Truncated shadowing sigma.
+        let mut short_sigma = vec![TAG_RECEPTION_PROB_BATCH];
+        short_sigma.extend_from_slice(&8u32.to_le_bytes());
+        short_sigma.extend_from_slice(&0u64.to_le_bytes());
+        short_sigma.push(CHANNEL_LOG_NORMAL);
+        short_sigma.extend_from_slice(&[0, 0, 0]);
+        assert!(matches!(
+            decode_request(&short_sigma),
+            Err(ProtocolError::Truncated {
+                what: "shadowing sigma",
+                ..
+            })
+        ));
+        // FixedGains whose count promises more gains than the frame holds.
+        let mut lying_gains = vec![TAG_RECEPTION_PROB_BATCH];
+        lying_gains.extend_from_slice(&8u32.to_le_bytes());
+        lying_gains.extend_from_slice(&0u64.to_le_bytes());
+        lying_gains.push(CHANNEL_FIXED_GAINS);
+        lying_gains.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            decode_request(&lying_gains),
+            Err(ProtocolError::Truncated {
+                what: "gain count",
+                ..
+            })
+        ));
+        // Composed nested inside Composed: structurally invalid, the
+        // grammar rejects it rather than decode an always-invalid value.
+        let mut nested = vec![TAG_RECEPTION_PROB_BATCH];
+        nested.extend_from_slice(&8u32.to_le_bytes());
+        nested.extend_from_slice(&0u64.to_le_bytes());
+        nested.push(CHANNEL_COMPOSED);
+        nested.push(1);
+        nested.push(CHANNEL_COMPOSED);
+        nested.push(0);
+        nested.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            decode_request(&nested),
+            Err(ProtocolError::NestedChannelCompose)
+        );
     }
 
     #[test]

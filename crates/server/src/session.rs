@@ -48,7 +48,7 @@
 use crate::protocol::{decode_request, encode_response, BackendId, ErrorCode, Request, Response};
 use crate::transport::{RecvError, Transport};
 use sinr_core::engine::BoxedEngine;
-use sinr_core::{Located, Network, NetworkDelta, QueryEngine};
+use sinr_core::{ChannelError, Located, McConfig, Network, NetworkDelta, QueryEngine};
 use sinr_pointloc::{PointLocator, QdsConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -103,12 +103,13 @@ pub fn serve_session<T: Transport>(mut transport: T) {
         let outcome = catch_unwind(AssertUnwindSafe(|| handle(&mut state, request)));
         let (response, close) = match outcome {
             Ok(response) => {
-                // An Unsupported error unbinds (documented on the code):
-                // the engine can no longer represent the network.
+                // An Unsupported/ChannelUnsupported error unbinds
+                // (documented on the codes): the engine can no longer
+                // serve what the session is asking of it.
                 if matches!(
                     response,
                     Response::Error {
-                        code: ErrorCode::Unsupported,
+                        code: ErrorCode::Unsupported | ErrorCode::ChannelUnsupported,
                         ..
                     }
                 ) {
@@ -292,6 +293,38 @@ fn handle(state: &mut Option<BoundState>, request: Request) -> Response {
                         ),
                     )
                 }
+            }
+        }
+        Request::ReceptionProbBatch {
+            trials,
+            seed,
+            channel,
+            points,
+        } => {
+            let Some(bound) = state.as_ref() else {
+                return not_bound();
+            };
+            let mc = McConfig { trials, seed };
+            let mut values = vec![0.0; points.len()];
+            match bound
+                .engine
+                .reception_probability_batch(&channel, mc, &points, &mut values)
+            {
+                Ok(()) => Response::ReceptionProbs {
+                    revision: bound.engine.revision(),
+                    values,
+                },
+                Err(ChannelError::Unsupported(msg)) => error(
+                    ErrorCode::ChannelUnsupported,
+                    format!(
+                        "backend {} cannot serve stochastic channels: {msg}",
+                        bound.backend
+                    ),
+                ),
+                Err(e @ ChannelError::InvalidChannel(_)) => {
+                    error(ErrorCode::InvalidChannel, e.to_string())
+                }
+                Err(ChannelError::Stale(e)) => error(ErrorCode::Stale, e.to_string()),
             }
         }
     }

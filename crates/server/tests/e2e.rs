@@ -16,9 +16,30 @@
 
 use rand::{Rng, SeedableRng};
 use sinr_core::engine::{BoxedEngine, QueryEngine};
-use sinr_core::{ExactScan, Located, Network, StationId, SurgeryOp};
+use sinr_core::{ChannelModel, ExactScan, Located, McConfig, Network, StationId, SurgeryOp};
 use sinr_geometry::Point;
 use sinr_server::{BackendId, Client, ClientError, ErrorCode, Server, TcpTransport};
+
+/// A random stochastic channel valid for `n` stations — every shape the
+/// wire grammar can carry.
+fn random_channel(rng: &mut rand::rngs::StdRng, n: usize) -> ChannelModel {
+    match rng.gen_range(0..5) {
+        0 => ChannelModel::Deterministic,
+        1 => ChannelModel::LogNormalShadowing {
+            sigma_db: rng.gen_range(0.5..6.0),
+        },
+        2 => ChannelModel::RayleighFading,
+        3 => ChannelModel::FixedGains {
+            gains: (0..n).map(|_| rng.gen_range(0.25..4.0)).collect(),
+        },
+        _ => ChannelModel::Composed(vec![
+            ChannelModel::LogNormalShadowing {
+                sigma_db: rng.gen_range(0.5..6.0),
+            },
+            ChannelModel::RayleighFading,
+        ]),
+    }
+}
 
 /// Well-separated random stations (same discipline as the core dynamic
 /// suite: non-degenerate zones, honest numerics).
@@ -128,7 +149,7 @@ fn drive_session(
     assert_eq!(revision, mirror.revision(), "bind revision");
     let mut checks = 0;
     for round in 0..rounds {
-        match rng.gen_range(0..10) {
+        match rng.gen_range(0..12) {
             // Mutate: a timestep of surgery, revision-fenced.
             0..=3 => {
                 let ops = random_timestep(&mut rng, &mut mirror, uniform_only);
@@ -154,6 +175,39 @@ fn drive_session(
                     assert!(
                         got == want || (got.is_infinite() && want.is_infinite()),
                         "sinr diff at point {k}: {got} vs {want} ({backend}, seed {seed})"
+                    );
+                }
+                checks += points.len();
+            }
+            // ReceptionProbBatch: seeded Monte-Carlo answers must be
+            // bit-for-bit replayable by a fresh local engine of the
+            // same backend, same (trials, seed, channel), same revision.
+            5 | 6 => {
+                let channel = random_channel(&mut rng, mirror.len());
+                let trials = rng.gen_range(4..24);
+                let mc_seed = seed ^ ((round as u64) << 17);
+                let count = rng.gen_range(1..96);
+                let points = random_queries(&mut rng, count);
+                let (rev, values) = client
+                    .reception_prob_batch(trials, mc_seed, &channel, &points)
+                    .unwrap_or_else(|e| panic!("reception_prob_batch round {round}: {e}"));
+                assert_eq!(rev, mirror.revision());
+                let local = fresh_local(backend, &mirror);
+                let mut expected = vec![0.0; points.len()];
+                local
+                    .reception_probability_batch(
+                        &channel,
+                        McConfig::new(trials, mc_seed),
+                        &points,
+                        &mut expected,
+                    )
+                    .expect("local replay");
+                for (k, (got, want)) in values.iter().zip(&expected).enumerate() {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "reception-prob diff at point {k}: {got} vs {want} \
+                         ({backend}, seed {seed}, round {round})"
                     );
                 }
                 checks += points.len();
@@ -575,4 +629,157 @@ fn pipelined_errors_keep_their_response_slot() {
     let (rev2, second) = client.recv_located().expect("third answer");
     assert_eq!(rev1, rev2);
     assert_eq!(first, second, "identical bursts, identical answers");
+}
+
+/// The qds backend does not implement stochastic channels: a
+/// `ReceptionProbBatch` gets the typed `ChannelUnsupported` error, the
+/// session is unbound afterwards (same discipline as `Unsupported`),
+/// and a fresh `Bind` on the same connection brings it back.
+#[test]
+fn qds_channel_request_unbinds_with_typed_error() {
+    let net = Network::uniform(
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(6.0, 0.0),
+            Point::new(3.0, 5.0),
+        ],
+        0.0,
+        2.0,
+    )
+    .unwrap();
+    let mut client = sinr_server::serve_in_process();
+    client
+        .bind_network(BackendId::Qds, 0.3, &net)
+        .expect("qds bind");
+
+    let err = client
+        .reception_prob_batch(
+            16,
+            7,
+            &ChannelModel::RayleighFading,
+            &[Point::new(0.5, 0.0)],
+        )
+        .expect_err("qds must refuse stochastic channels");
+    match err {
+        ClientError::Server { code, message } => {
+            assert_eq!(code, ErrorCode::ChannelUnsupported);
+            assert!(
+                message.contains("qds"),
+                "message names the backend: {message}"
+            );
+        }
+        other => panic!("wrong error: {other}"),
+    }
+    // Unbound: the next query is NotBound, exactly like `Unsupported`.
+    let err = client
+        .locate_batch(&[Point::new(0.0, 0.0)])
+        .expect_err("session must be unbound after ChannelUnsupported");
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::NotBound),
+        other => panic!("wrong error: {other}"),
+    }
+    // The connection itself survives: rebinding works.
+    client
+        .bind_network(BackendId::ExactScan, 0.0, &net)
+        .expect("rebind after unbind");
+    let (_, values) = client
+        .reception_prob_batch(
+            16,
+            7,
+            &ChannelModel::RayleighFading,
+            &[Point::new(0.5, 0.0)],
+        )
+        .expect("exact_scan serves channels");
+    assert_eq!(values.len(), 1);
+
+    // Invalid channel specs are per-request: the session survives them.
+    let err = client
+        .reception_prob_batch(
+            16,
+            7,
+            &ChannelModel::LogNormalShadowing { sigma_db: -1.0 },
+            &[Point::new(0.5, 0.0)],
+        )
+        .expect_err("negative sigma is invalid");
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::InvalidChannel),
+        other => panic!("wrong error: {other}"),
+    }
+    let err = client
+        .reception_prob_batch(0, 7, &ChannelModel::RayleighFading, &[Point::new(0.5, 0.0)])
+        .expect_err("zero trials is invalid");
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::InvalidChannel),
+        other => panic!("wrong error: {other}"),
+    }
+    let (_, values) = client
+        .reception_prob_batch(16, 7, &ChannelModel::Deterministic, &[Point::new(0.5, 0.0)])
+        .expect("session survives InvalidChannel");
+    assert_eq!(values.len(), 1);
+}
+
+/// Seeded `ReceptionProbBatch` answers are pinned across the server
+/// boundary and across mutation: after a churn of surgery frames, the
+/// server's (incrementally patched) engine answers the same seeded
+/// Monte-Carlo batch bit-identically to a fresh local engine at the
+/// same revision — and replaying the identical request frame returns
+/// the identical bytes.
+#[test]
+fn seeded_reception_probs_pinned_across_server_and_mutation() {
+    let server = Server::bind("127.0.0.1:0").expect("bind ephemeral");
+    let handle = server.spawn().expect("spawn server");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
+    let mut mirror = random_network(0xC0FFEE, false);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let mut revision = client
+        .bind_network(BackendId::SimdScan, 0.0, &mirror)
+        .expect("bind");
+
+    // Churn the network so the served engine is the patched one, never
+    // a fresh build.
+    for _ in 0..12 {
+        let ops = random_timestep(&mut rng, &mut mirror, false);
+        revision = client.mutate(revision, &ops).expect("mutate");
+    }
+    assert_eq!(revision, mirror.revision());
+
+    let channel = ChannelModel::Composed(vec![
+        ChannelModel::LogNormalShadowing { sigma_db: 4.0 },
+        ChannelModel::RayleighFading,
+    ]);
+    let points = random_queries(&mut rng, 300);
+    let (rev, first) = client
+        .reception_prob_batch(48, 0x5EED, &channel, &points)
+        .expect("server answers");
+    assert_eq!(rev, mirror.revision());
+
+    let local = fresh_local(BackendId::SimdScan, &mirror);
+    let mut expected = vec![0.0; points.len()];
+    local
+        .reception_probability_batch(&channel, McConfig::new(48, 0x5EED), &points, &mut expected)
+        .expect("local replay");
+    for (k, (got, want)) in first.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "server diverged from fresh local engine at point {k}"
+        );
+    }
+
+    // Replaying the identical request is bit-identical.
+    let (_, second) = client
+        .reception_prob_batch(48, 0x5EED, &channel, &points)
+        .expect("replay");
+    assert_eq!(
+        first.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        second.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+    );
+    // A different seed decorrelates (some point must differ).
+    let (_, other_seed) = client
+        .reception_prob_batch(48, 0x5EED ^ 1, &channel, &points)
+        .expect("other seed");
+    assert_ne!(first, other_seed, "different seeds must decorrelate");
+    drop(client);
+    handle.shutdown();
 }

@@ -355,6 +355,117 @@ fn invalid_network_bind_is_typed() {
     assert!(handle.join().is_ok());
 }
 
+/// Deterministic corners for malformed `ReceptionProbBatch` channel
+/// specs: unknown atom tags, truncated parameters, lying gain counts
+/// and nested composition are all MalformedFrame at the decode layer —
+/// the session survives each and keeps serving.
+#[test]
+fn malformed_channel_specs_are_malformed_frames_not_fatal() {
+    let (mut client, handle) = owned_session();
+    let net = tiny_network();
+    let revision = client
+        .bind_network(BackendId::ExactScan, 0.0, &net)
+        .expect("bind");
+
+    // Common ReceptionProbBatch header: tag, trials = 8, seed = 0.
+    let header = || {
+        let mut p = vec![0x05];
+        p.extend_from_slice(&8u32.to_le_bytes());
+        p.extend_from_slice(&0u64.to_le_bytes());
+        p
+    };
+
+    // Unknown channel atom tag.
+    let mut unknown_atom = header();
+    unknown_atom.push(200);
+    // Truncated shadowing sigma (atom tag present, parameter cut short).
+    let mut short_sigma = header();
+    short_sigma.push(1);
+    short_sigma.extend_from_slice(&[0u8, 0, 0]);
+    // FixedGains declaring more gains than the frame carries.
+    let mut lying_gains = header();
+    lying_gains.push(3);
+    lying_gains.extend_from_slice(&u32::MAX.to_le_bytes());
+    // Composed nested inside Composed.
+    let mut nested = header();
+    nested.push(4);
+    nested.push(1);
+    nested.push(4);
+    nested.push(0);
+    nested.extend_from_slice(&0u32.to_le_bytes());
+    // A valid channel but the frame ends before the point count.
+    let mut no_points = header();
+    no_points.push(0);
+
+    for (what, payload) in [
+        ("unknown atom tag", unknown_atom),
+        ("truncated sigma", short_sigma),
+        ("lying gain count", lying_gains),
+        ("nested compose", nested),
+        ("missing point count", no_points),
+    ] {
+        client.send_raw(&payload).expect("send");
+        match client.recv() {
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::MalformedFrame, "{what}")
+            }
+            other => panic!("{what}: expected MalformedFrame, got {other:?}"),
+        }
+        // The binding is intact after every malformed spec.
+        let (rev, answers) = client
+            .locate_batch(&[Point::new(0.5, 0.0)])
+            .expect("session still serving");
+        assert_eq!(rev, revision, "{what}");
+        assert_eq!(answers.len(), 1, "{what}");
+    }
+    drop(client);
+    assert!(handle.join().is_ok(), "session thread panicked");
+}
+
+/// Deterministic corner: a channel spec that *decodes* but fails the
+/// engine's semantic validation (zero trials, wrong gain count) is the
+/// per-request InvalidChannel error — not MalformedFrame, not fatal.
+#[test]
+fn decodable_but_invalid_channels_are_invalid_channel() {
+    use sinr_core::ChannelModel;
+    let (mut client, handle) = owned_session();
+    let net = tiny_network();
+    client
+        .bind_network(BackendId::SimdScan, 0.0, &net)
+        .expect("bind");
+
+    // Zero trials: decodes fine, rejected by McConfig validation.
+    match client.reception_prob_batch(0, 1, &ChannelModel::Deterministic, &[Point::new(0.5, 0.0)]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::InvalidChannel),
+        other => panic!("expected InvalidChannel, got {other:?}"),
+    }
+    // Wrong gain-vector length for the bound 3-station network.
+    let bad_gains = ChannelModel::FixedGains {
+        gains: vec![1.0, 2.0],
+    };
+    match client.reception_prob_batch(8, 1, &bad_gains, &[Point::new(0.5, 0.0)]) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::InvalidChannel);
+            assert!(message.contains("gain"), "message: {message}");
+        }
+        other => panic!("expected InvalidChannel, got {other:?}"),
+    }
+    // The session survives and serves the corrected request.
+    let (_, values) = client
+        .reception_prob_batch(
+            8,
+            1,
+            &ChannelModel::FixedGains {
+                gains: vec![1.0, 2.0, 0.5],
+            },
+            &[Point::new(0.5, 0.0)],
+        )
+        .expect("session survives InvalidChannel");
+    assert_eq!(values.len(), 1);
+    drop(client);
+    assert!(handle.join().is_ok());
+}
+
 /// Deterministic corner: a qds Bind on a network violating the
 /// Theorem-3 preconditions (β ≤ 1 here) is BackendBuild, typed.
 #[test]

@@ -30,7 +30,10 @@
 //!   binary protocol over TCP (std-only, thread per connection) whose
 //!   sessions bind a network plus any backend
 //!   ([`BackendId`](prelude::BackendId)) and then interleave
-//!   `LocateBatch` / `SinrBatch` / `Mutate` frames — dynamic updates
+//!   `LocateBatch` / `SinrBatch` / `ReceptionProbBatch` (seeded
+//!   Monte-Carlo reception probability under a stochastic
+//!   [`ChannelModel`](prelude::ChannelModel)) / `Mutate` frames —
+//!   dynamic updates
 //!   stream through the same [`NetworkDelta`](prelude::NetworkDelta)
 //!   machinery, revision-fenced, with no engine rebuilds (see the
 //!   [`server`] crate docs for the full frame-layout table, backend ids
@@ -92,9 +95,10 @@ pub use sinr_voronoi as voronoi;
 pub mod prelude {
     pub use sinr_algebra::{BiPoly, Poly, SturmChain};
     pub use sinr_core::{
-        BoxedEngine, DeltaOp, ExactScan, LocateError, Located, Network, NetworkBuilder,
-        NetworkDelta, PowerAssignment, QueryEngine, ReceptionZone, SimdKernel, SimdScan,
-        SinrEvaluator, Station, StationId, StationKey, SurgeryOp, SyncError, VoronoiAssisted,
+        BoxedEngine, ChannelError, ChannelModel, DeltaOp, ExactScan, LocateError, Located,
+        McConfig, Network, NetworkBuilder, NetworkDelta, PowerAssignment, QueryEngine,
+        ReceptionZone, SimdKernel, SimdScan, SinrEvaluator, Station, StationId, StationKey,
+        SurgeryOp, SyncError, VoronoiAssisted,
     };
     pub use sinr_diagram::{Raster, ReceptionMap};
     pub use sinr_geometry::{BBox, Ball, Grid, Line, Point, Segment, Vector};
