@@ -17,7 +17,12 @@
 //! stream with `frames_in_flight ∈ {1, 4, 8}` request frames kept
 //! outstanding through `Client::locate_batches_pipelined` — the
 //! `frames_in_flight > 1` lines show what hiding the per-burst round
-//! trip behind engine compute buys end-to-end.
+//! trip behind engine compute buys end-to-end. A fourth
+//! (`multiplexed`, PR 7) drives many concurrently-connected light
+//! clients attached to one registered network, once on the
+//! thread-per-connection server and once on the fixed worker pool —
+//! the pair of lines quantifies what multiplexing costs (or saves)
+//! at the many-light-clients extreme.
 //!
 //! One JSON line per configuration via `sinr_bench::report::JsonLine`
 //! (`"bench":"server_throughput"`); the trend file is
@@ -37,6 +42,10 @@ const ROUNDS: usize = 6;
 const CHURN_STEPS: usize = 32;
 const CHURN_MOVES: usize = 4;
 const CHURN_BURST: usize = 1024;
+const MUX_CLIENTS: usize = 64;
+const MUX_WORKERS: usize = 4;
+const MUX_BURSTS: usize = 16;
+const MUX_BURST_POINTS: usize = 256;
 
 fn setup() -> (Network, Vec<Point>, Vec<Point>) {
     let half = 2.0 * (STATIONS as f64).sqrt();
@@ -146,6 +155,56 @@ fn emit_pipelined(transport: &str, backend: BackendId, in_flight: usize, ns_per_
     println!("{}", line.render());
 }
 
+/// `MUX_CLIENTS` concurrently-connected light clients, all attached to
+/// one registered network, each streaming `MUX_BURSTS` small bursts —
+/// the many-light-clients shape the worker pool exists for. Returns
+/// aggregate ns/point across all clients (wall time / total points).
+fn multiplexed_scenario(addr: std::net::SocketAddr) -> f64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x30B);
+    let half = 2.0 * (STATIONS as f64).sqrt();
+    let burst = gen::uniform_in_box(&mut rng, MUX_BURST_POINTS, half * 1.1);
+
+    // Connect + attach everyone before the clock starts; the bench
+    // measures steady-state serving, not connection setup.
+    let mut clients: Vec<Client<_>> = (0..MUX_CLIENTS)
+        .map(|_| {
+            let mut c = Client::connect(addr).expect("connect");
+            c.attach("mux", BackendId::SimdScan, 0.0).expect("attach");
+            c
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for client in &mut clients {
+            let burst = &burst;
+            s.spawn(move || {
+                for _ in 0..MUX_BURSTS {
+                    let (_, answers) = client.locate_batch(burst).expect("mux burst");
+                    assert_eq!(answers.len(), burst.len());
+                }
+            });
+        }
+    });
+    let total_points = (MUX_CLIENTS * MUX_BURSTS * MUX_BURST_POINTS) as f64;
+    start.elapsed().as_nanos() as f64 / total_points
+}
+
+fn emit_multiplexed(serving: &str, workers: usize, ns_per_point: f64) {
+    let line = JsonLine::new("server_throughput")
+        .str("scenario", "multiplexed")
+        .str("transport", "tcp")
+        .str("serving", serving)
+        .str("backend", BackendId::SimdScan.name())
+        .int("stations", STATIONS as u64)
+        .int("clients", MUX_CLIENTS as u64)
+        .int("workers", workers as u64)
+        .int("bursts_per_client", MUX_BURSTS as u64)
+        .int("burst_points", MUX_BURST_POINTS as u64)
+        .num("ns_per_point", ns_per_point)
+        .num("points_per_sec", 1e9 / ns_per_point);
+    println!("{}", line.render());
+}
+
 fn emit_churn(transport: &str, backend: BackendId, (ns_per_step, ns_per_point): (f64, f64)) {
     let line = JsonLine::new("server_throughput")
         .str("scenario", "churn_stream")
@@ -226,4 +285,29 @@ fn main() {
         emit_churn("tcp", BackendId::VoronoiAssisted, churn);
     }
     handle.shutdown();
+
+    // Multiplexed: many light clients on one shared named network,
+    // thread-per-connection vs the fixed worker pool (PR 7). Same
+    // protocol, same engine snapshots — the lines differ only in how
+    // sessions are scheduled onto OS threads.
+    {
+        let server = Server::bind("127.0.0.1:0").expect("bind ephemeral");
+        let handle = server.spawn().expect("spawn threaded");
+        let mut registrar = Client::connect(handle.addr()).expect("connect");
+        registrar.register_network("mux", &net).expect("register");
+        let ns = multiplexed_scenario(handle.addr());
+        emit_multiplexed("thread_per_conn", MUX_CLIENTS, ns);
+        drop(registrar);
+        handle.shutdown();
+    }
+    {
+        let server = Server::bind("127.0.0.1:0").expect("bind ephemeral");
+        let handle = server.spawn_pooled(MUX_WORKERS).expect("spawn pooled");
+        let mut registrar = Client::connect(handle.addr()).expect("connect");
+        registrar.register_network("mux", &net).expect("register");
+        let ns = multiplexed_scenario(handle.addr());
+        emit_multiplexed("worker_pool", MUX_WORKERS, ns);
+        drop(registrar);
+        handle.shutdown();
+    }
 }

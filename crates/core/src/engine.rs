@@ -706,6 +706,20 @@ impl SinrEvaluator {
         *self = SinrEvaluator::new(net);
     }
 
+    /// Detaches the evaluator from its source network's epoch cell,
+    /// pinning it **fresh forever** at its current revision: later
+    /// mutations of the source network no longer flip it stale (and its
+    /// deltas no longer apply — [`SinrEvaluator::apply`] refuses them as
+    /// [`SyncError::ForeignDelta`]). A frozen evaluator is an immutable
+    /// snapshot of the revision it answers for; this is the primitive
+    /// behind [`crate::snapshot`]'s shared engine snapshots.
+    pub fn freeze(&mut self) {
+        self.epoch = EpochTag {
+            cell: Arc::new(AtomicU64::new(self.epoch.seen)),
+            seen: self.epoch.seen,
+        };
+    }
+
     /// Overwrites the power column with `base[j] · gains[j]` — the
     /// gain-folding step of the stochastic channel layer
     /// ([`crate::channel`]): a channel trial is the deterministic model
@@ -1220,6 +1234,22 @@ pub trait QueryEngine {
     /// [`SyncError::Unsupported`] when the backend's preconditions do
     /// not hold for `net`.
     fn sync(&mut self, net: &Network) -> Result<(), SyncError>;
+
+    /// Detaches the engine from its source network, pinning it **fresh
+    /// forever** at its current revision: later mutations of the source
+    /// network no longer flip it stale, and its deltas no longer apply
+    /// ([`SyncError::ForeignDelta`]). A frozen engine is an immutable
+    /// snapshot of the revision it answers for — the primitive behind
+    /// the RCU-style shared snapshots of [`crate::snapshot`] (a *live*
+    /// clone still shares the source's epoch cell and would go stale
+    /// mid-batch at the next mutation; freezing the clone is what makes
+    /// it safely shareable).
+    ///
+    /// The default is a no-op, which is only correct for engines whose
+    /// freshness never changes (e.g. test doubles without an epoch tag);
+    /// every epoch-tracking backend overrides it via
+    /// [`SinrEvaluator::freeze`].
+    fn freeze(&mut self) {}
 }
 
 /// The exact linear-scan backend: one amortized SoA pass per point.
@@ -1314,6 +1344,10 @@ impl QueryEngine for ExactScan {
     fn sync(&mut self, net: &Network) -> Result<(), SyncError> {
         self.eval.sync(net);
         Ok(())
+    }
+
+    fn freeze(&mut self) {
+        self.eval.freeze();
     }
 }
 
@@ -1664,6 +1698,10 @@ impl QueryEngine for VoronoiAssisted {
         *self = VoronoiAssisted::new(net);
         Ok(())
     }
+
+    fn freeze(&mut self) {
+        self.eval.freeze();
+    }
 }
 
 /// A backend chosen at runtime: any [`QueryEngine`] behind one owned,
@@ -1702,8 +1740,32 @@ impl QueryEngine for VoronoiAssisted {
 /// assert!(engine.locate(Point::new(0.5, 0.0)).station().is_some());
 /// ```
 pub struct BoxedEngine {
-    inner: Box<dyn QueryEngine + Send>,
+    inner: Box<dyn CloneableEngine>,
     backend: &'static str,
+}
+
+/// Object-safe clone support for the erased engine: a blanket impl
+/// covers every cloneable, thread-safe [`QueryEngine`], so
+/// [`BoxedEngine`] itself can be [`Clone`] + [`Sync`] — the shape
+/// snapshot publication ([`crate::snapshot`]) needs (clone the master,
+/// freeze the clone, share it behind an `Arc`).
+trait CloneableEngine: QueryEngine + Send + Sync {
+    fn boxed_clone(&self) -> Box<dyn CloneableEngine>;
+}
+
+impl<E: QueryEngine + Clone + Send + Sync + 'static> CloneableEngine for E {
+    fn boxed_clone(&self) -> Box<dyn CloneableEngine> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for BoxedEngine {
+    fn clone(&self) -> Self {
+        BoxedEngine {
+            inner: self.inner.boxed_clone(),
+            backend: self.backend,
+        }
+    }
 }
 
 impl std::fmt::Debug for BoxedEngine {
@@ -1716,8 +1778,13 @@ impl std::fmt::Debug for BoxedEngine {
 }
 
 impl BoxedEngine {
-    /// Wraps any engine under the given stable backend name.
-    pub fn new<E: QueryEngine + Send + 'static>(backend: &'static str, engine: E) -> Self {
+    /// Wraps any engine under the given stable backend name. The engine
+    /// must be `Clone + Send + Sync` so the erased handle stays
+    /// cloneable and shareable (every shipped backend is).
+    pub fn new<E: QueryEngine + Clone + Send + Sync + 'static>(
+        backend: &'static str,
+        engine: E,
+    ) -> Self {
         BoxedEngine {
             inner: Box::new(engine),
             backend,
@@ -1802,6 +1869,10 @@ impl QueryEngine for BoxedEngine {
 
     fn sync(&mut self, net: &Network) -> Result<(), SyncError> {
         self.inner.sync(net)
+    }
+
+    fn freeze(&mut self) {
+        self.inner.freeze();
     }
 }
 

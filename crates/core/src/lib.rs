@@ -79,6 +79,20 @@
 //! (`examples/mobile_stations.rs`) run on the batched path. See the
 //! [`network`] and [`engine`] module docs for the full contract.
 //!
+//! ## Shared engines (RCU snapshots)
+//!
+//! Between mutations the diagram is a pure function of the network, so
+//! one engine can serve any number of concurrent readers. The
+//! [`snapshot`] module packages that as read-copy-update publication:
+//! a [`SnapshotStore`] keeps a private master engine in step with a
+//! live network via the epoch/delta path and publishes an immutable,
+//! [frozen](QueryEngine::freeze) [`EngineSnapshot`] per revision behind
+//! an [`Arc`](std::sync::Arc). Readers never block (loading a snapshot
+//! is an `Arc` clone); mutations publish a *new* snapshot while
+//! in-flight batches finish on the old one, which deallocates when its
+//! last reader releases it. `sinr-server`'s named-network registry
+//! serves N sessions from one store per (network, backend) this way.
+//!
 //! ```
 //! use sinr_core::{Network, QueryEngine, Located};
 //! use sinr_geometry::Point;
@@ -155,6 +169,7 @@ pub mod power;
 pub mod reductions;
 pub mod simd;
 pub mod sinr;
+pub mod snapshot;
 pub mod station;
 pub mod tile;
 pub mod zone;
@@ -171,6 +186,7 @@ pub use network::{
 };
 pub use power::PowerAssignment;
 pub use simd::{SimdKernel, SimdScan};
+pub use snapshot::{EngineSnapshot, SnapshotError, SnapshotStore};
 pub use station::{Station, StationId, StationKey};
 pub use tile::{TileConfig, TileStats};
 pub use zone::{RadialProfile, ReceptionZone};

@@ -816,6 +816,10 @@ impl QueryEngine for SimdScan {
         self.eval.sync(net);
         Ok(())
     }
+
+    fn freeze(&mut self) {
+        self.eval.freeze();
+    }
 }
 
 /// Vectorized single-candidate scan: the total energy `E(S, p)` plus the

@@ -323,6 +323,13 @@ impl QueryEngine for PointLocator {
         self.maps = (0..net.len()).map(|_| OnceLock::new()).collect();
         Ok(())
     }
+
+    fn freeze(&mut self) {
+        // `self.net` is already a private mirror (its epoch cell is this
+        // locator's own), so detaching the evaluator is the whole job;
+        // lazy zone rebuilds keep reading the mirror as before.
+        self.eval.freeze();
+    }
 }
 
 #[cfg(test)]

@@ -373,6 +373,89 @@ impl<T: Transport> Client<T> {
         }
     }
 
+    /// Publishes `net` under a server-wide `name` so any session on
+    /// this server can [`Client::attach`] to it; returns the registered
+    /// network's starting revision. Does **not** bind or attach the
+    /// registering session.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::NameTaken`] /
+    /// [`ErrorCode::InvalidNetwork`], or any transport failure.
+    pub fn register_network(&mut self, name: &str, net: &Network) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Register {
+            name: name.to_owned(),
+            network: NetworkSpec::of(net),
+        })? {
+            Response::Registered { revision } => Ok(revision),
+            other => Err(unexpected(other, "Registered")),
+        }
+    }
+
+    /// Attaches this session to the network registered under `name`:
+    /// queries are served from the engine snapshot shared with every
+    /// other session attached with the same `backend` and `epsilon`,
+    /// and `Mutate` publishes a new snapshot all of them observe.
+    /// Returns the revision of the snapshot this session will see next.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::UnknownNetwork`] /
+    /// [`ErrorCode::AlreadyBound`] / [`ErrorCode::BackendBuild`], or
+    /// any transport failure.
+    pub fn attach(
+        &mut self,
+        name: &str,
+        backend: BackendId,
+        epsilon: f64,
+    ) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Attach {
+            name: name.to_owned(),
+            backend,
+            epsilon,
+        })? {
+            Response::Attached { revision, .. } => Ok(revision),
+            other => Err(unexpected(other, "Attached")),
+        }
+    }
+
+    /// Streams one batch of seeded Monte-Carlo SINR-quantile queries
+    /// for `station` under `channel`: returns the revision, and the
+    /// row-major matrix of `points.len() × quantiles.len()` values
+    /// (`values[k * quantiles.len() + q]` is quantile `q` of point
+    /// `k`). Replayable like [`Client::reception_prob_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::StationOutOfRange`] /
+    /// [`ErrorCode::ChannelUnsupported`] (unbinds/detaches) /
+    /// [`ErrorCode::InvalidChannel`] / [`ErrorCode::Stale`], or any
+    /// transport failure.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sinr_quantiles_batch(
+        &mut self,
+        station: StationId,
+        trials: u32,
+        seed: u64,
+        channel: &ChannelModel,
+        quantiles: &[f64],
+        points: &[Point],
+    ) -> Result<(u64, Vec<f64>), ClientError> {
+        match self.roundtrip(&Request::SinrQuantilesBatch {
+            station,
+            trials,
+            seed,
+            channel: channel.clone(),
+            quantiles: quantiles.to_vec(),
+            points: points.to_vec(),
+        })? {
+            Response::SinrQuantiles {
+                revision, values, ..
+            } => Ok((revision, values)),
+            other => Err(unexpected(other, "SinrQuantiles")),
+        }
+    }
+
     /// One request frame out, one response frame back.
     ///
     /// # Errors

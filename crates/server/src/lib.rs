@@ -7,13 +7,35 @@
 //! "algorithmically usable" at scale only when batches of query points
 //! can be served continuously — this crate is that service).
 //!
-//! The design is std-only and thread-per-connection (no async runtime
-//! exists in this workspace): each TCP connection gets one **session**
-//! owning one [`Network`](sinr_core::Network) and one
-//! [`BoxedEngine`](sinr_core::BoxedEngine), chosen by the client at
-//! bind time. A session then accepts an arbitrary interleaving of
-//! query and mutation frames, so a mobile-station client streams
-//! `Mutate` + `LocateBatch` forever against one engine that is patched
+//! The design is std-only (no async runtime exists in this workspace)
+//! with **two serving modes** and **two engine-ownership modes**,
+//! chosen independently:
+//!
+//! * **Engine ownership.** A session either `Bind`s — it gets a private
+//!   [`Network`](sinr_core::Network) and
+//!   [`BoxedEngine`](sinr_core::BoxedEngine), the original share-nothing
+//!   path — or `Attach`es to a network another session `Register`ed
+//!   under a server-wide name. Attached sessions share **one**
+//!   [`SnapshotStore`](sinr_core::SnapshotStore) per (network, backend,
+//!   epsilon): queries run against the immutable
+//!   [`EngineSnapshot`](sinr_core::EngineSnapshot) published for the
+//!   current revision, and a `Mutate` publishes a new snapshot that
+//!   every attached session observes at its next request while
+//!   in-flight batches finish on the old one (RCU — see
+//!   [`registry`] and `sinr_core::snapshot`). Memory scales with the
+//!   number of *(network, backend)* pairs, not the session count.
+//! * **Serving mode.** [`Server::spawn`] is classic
+//!   thread-per-connection — one blocking thread per session, ideal for
+//!   few heavy clients. [`Server::spawn_pooled`] multiplexes all
+//!   connections over a small fixed worker pool (nonblocking sockets, a
+//!   readiness poll loop, per-session state machines) — ideal for
+//!   hundreds of light clients, where a thread each would thrash. Both
+//!   drive the same [`session::SessionCore`], so behavior is identical
+//!   frame-for-frame.
+//!
+//! Either way a session accepts an arbitrary interleaving of query and
+//! mutation frames, so a mobile-station client streams `Mutate` +
+//! `LocateBatch` forever against one engine that is patched
 //! incrementally (PR 3's [`NetworkDelta`](sinr_core::NetworkDelta)
 //! path) — never rebuilt, never re-shipped.
 //!
@@ -31,12 +53,22 @@
 //! | `0x03` | → | `SinrBatch` | station `u32`, count `u32`, count × (x `f64`, y `f64`) |
 //! | `0x04` | → | `Mutate` | expected_revision `u64`, op_count `u32`, ops (see below) |
 //! | `0x05` | → | `ReceptionProbBatch` | trials `u32`, seed `u64`, channel (see below), count `u32`, count × (x `f64`, y `f64`) |
+//! | `0x06` | → | `Register` | name (see below), then the `Bind` network block: noise `f64`, beta `f64`, alpha `f64`, n `u32`, n × (x `f64`, y `f64`, power `f64`) |
+//! | `0x07` | → | `Attach` | name (see below), backend `u8`, epsilon `f64` |
+//! | `0x08` | → | `SinrQuantilesBatch` | station `u32`, trials `u32`, seed `u64`, channel (see below), q_count `u32`, q_count × `f64`, count `u32`, count × (x `f64`, y `f64`) |
 //! | `0x81` | ← | `Bound` | revision `u64`, backend `u8` |
 //! | `0x82` | ← | `Located` | revision `u64`, total `u32`, runs × (kind `u8`, station `u32`, len `u32`) |
 //! | `0x83` | ← | `Sinrs` | revision `u64`, count `u32`, count × `f64` |
 //! | `0x84` | ← | `Mutated` | revision `u64`, applied `u32` |
 //! | `0x85` | ← | `ReceptionProbs` | revision `u64`, count `u32`, count × `f64` |
+//! | `0x86` | ← | `Registered` | revision `u64` |
+//! | `0x87` | ← | `Attached` | revision `u64`, backend `u8` |
+//! | `0x88` | ← | `SinrQuantiles` | revision `u64`, quantiles `u32`, count `u32`, count × `f64` (row-major: point-major rows of `quantiles` values; `quantiles` divides count) |
 //! | `0xEE` | ← | `Error` | code `u8`, msg_len `u16`, msg (UTF-8) |
+//!
+//! **Names** (`Register`/`Attach`): len `u8` (1–255), len bytes of
+//! UTF-8. A name registers a network server-wide for the lifetime of
+//! the server process; names are exact-match, case-sensitive.
 //!
 //! `Located` responses are run-length encoded (kind `0` = reception,
 //! `1` = uncertain, `2` = silent with station `0`; runs must sum to
@@ -62,8 +94,9 @@
 //! network, `6` backend build, `7` revision mismatch, `8` surgery,
 //! `9` station out of range, `10` stale, `11` oversized, `12`
 //! unsupported (unbinds), `13` internal (closes), `14` channel
-//! unsupported (unbinds), `15` invalid channel. Unless noted, the
-//! session survives an error and processes the next frame.
+//! unsupported (unbinds/detaches), `15` invalid channel, `16` name
+//! taken, `17` unknown network (detaches an attached session). Unless
+//! noted, the session survives an error and processes the next frame.
 //!
 //! **Revision fencing.** Every response carries the network revision it
 //! is valid for; `Mutate` carries the revision its ops were computed
@@ -127,6 +160,7 @@
 
 pub mod client;
 pub mod protocol;
+pub mod registry;
 pub mod server;
 pub mod session;
 pub mod transport;
@@ -136,6 +170,9 @@ pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, BackendId, ErrorCode,
     NetworkSpec, ProtocolError, Request, Response,
 };
+pub use registry::{AttachHandle, NamedNetwork, NetworkRegistry};
 pub use server::{Server, ServerHandle};
-pub use session::serve_session;
-pub use transport::{duplex, IoTransport, PipeTransport, RecvError, TcpTransport, Transport};
+pub use session::{serve_session, serve_session_with_registry, SessionCore};
+pub use transport::{
+    duplex, IoTransport, PipeTransport, PolledIo, RecvError, TcpTransport, Transport,
+};

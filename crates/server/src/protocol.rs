@@ -20,6 +20,9 @@ const TAG_LOCATE_BATCH: u8 = 0x02;
 const TAG_SINR_BATCH: u8 = 0x03;
 const TAG_MUTATE: u8 = 0x04;
 const TAG_RECEPTION_PROB_BATCH: u8 = 0x05;
+const TAG_REGISTER: u8 = 0x06;
+const TAG_ATTACH: u8 = 0x07;
+const TAG_SINR_QUANTILES_BATCH: u8 = 0x08;
 
 /// Response tags (server → client).
 const TAG_BOUND: u8 = 0x81;
@@ -27,7 +30,13 @@ const TAG_LOCATED: u8 = 0x82;
 const TAG_SINRS: u8 = 0x83;
 const TAG_MUTATED: u8 = 0x84;
 const TAG_RECEPTION_PROBS: u8 = 0x85;
+const TAG_REGISTERED: u8 = 0x86;
+const TAG_ATTACHED: u8 = 0x87;
+const TAG_SINR_QUANTILES: u8 = 0x88;
 const TAG_ERROR: u8 = 0xEE;
+
+/// Bounds on a named network's name (wire: length byte + UTF-8 bytes).
+pub const MAX_NETWORK_NAME_LEN: usize = 255;
 
 /// Atom tags of the [`ChannelModel`] wire encoding (one byte each).
 const CHANNEL_DETERMINISTIC: u8 = 0;
@@ -201,6 +210,50 @@ pub enum Request {
         /// The query points.
         points: Vec<Point>,
     },
+    /// Publishes a network under a server-wide name so that any number
+    /// of sessions can [`Request::Attach`] to it and share one engine
+    /// snapshot per (backend, revision) — the registry path, as opposed
+    /// to [`Request::Bind`]'s private-engine path. Works in any session
+    /// state (registering does not bind the registering session).
+    Register {
+        /// The registry name (1–[`MAX_NETWORK_NAME_LEN`] UTF-8 bytes).
+        name: String,
+        /// The network to publish.
+        network: NetworkSpec,
+    },
+    /// Attaches the session to a registered network: queries are served
+    /// from the shared [`sinr_core::EngineSnapshot`] current at each
+    /// request, and `Mutate` publishes a new snapshot every attached
+    /// session observes at its next revision fence.
+    Attach {
+        /// The name the network was registered under.
+        name: String,
+        /// The backend to serve it with (shared with every other
+        /// session attached via the same backend and epsilon).
+        backend: BackendId,
+        /// Approximation parameter for [`BackendId::Qds`] (ignored by
+        /// the exact backends).
+        epsilon: f64,
+    },
+    /// A batch of seeded Monte-Carlo SINR-distribution queries for one
+    /// station ([`sinr_core::QueryEngine::sinr_quantiles_batch`]): for
+    /// each point, the requested quantiles (nearest-rank over `trials`
+    /// sampled SINR values) of station `station`'s SINR under the
+    /// channel. Replayable like [`Request::ReceptionProbBatch`].
+    SinrQuantilesBatch {
+        /// The station whose SINR distribution is sampled.
+        station: StationId,
+        /// Monte-Carlo trial count.
+        trials: u32,
+        /// The base RNG seed.
+        seed: u64,
+        /// The stochastic channel to sample.
+        channel: ChannelModel,
+        /// The quantiles to report, each in `[0, 1]`.
+        quantiles: Vec<f64>,
+        /// The query points.
+        points: Vec<Point>,
+    },
 }
 
 /// A server→client frame.
@@ -241,6 +294,29 @@ pub enum Response {
         /// The revision the probabilities are valid for.
         revision: u64,
         /// One reception probability (in `[0, 1]`) per query point.
+        values: Vec<f64>,
+    },
+    /// The network is registered ([`Request::Register`]).
+    Registered {
+        /// The registered network's starting revision.
+        revision: u64,
+    },
+    /// The session is attached to a registered network
+    /// ([`Request::Attach`]).
+    Attached {
+        /// The revision of the snapshot the session will observe next.
+        revision: u64,
+        /// The backend serving the shared snapshots.
+        backend: BackendId,
+    },
+    /// Answers to a `SinrQuantilesBatch`.
+    SinrQuantiles {
+        /// The revision the values are valid for.
+        revision: u64,
+        /// Number of quantiles per point (the row width of `values`).
+        quantiles: u32,
+        /// Row-major: `values[k * quantiles + q]` is quantile `q` of
+        /// point `k`.
         values: Vec<f64>,
     },
     /// The request failed; the session stays usable unless the
@@ -309,11 +385,20 @@ pub enum ErrorCode {
     /// vector length, zero trials, …). Per-request: the session
     /// survives.
     InvalidChannel,
+    /// `16` — `Register` named a network that already exists in the
+    /// registry. Per-request: the session survives (and may `Attach` to
+    /// the existing network instead).
+    NameTaken,
+    /// `17` — `Attach` named a network the registry does not have, or
+    /// the network a session was attached to can no longer be served by
+    /// its backend (the shared store was poisoned by a mutation — the
+    /// session is then **detached**, like [`ErrorCode::Unsupported`]).
+    UnknownNetwork,
 }
 
 impl ErrorCode {
     /// Every code, in wire order.
-    pub const ALL: [ErrorCode; 15] = [
+    pub const ALL: [ErrorCode; 17] = [
         ErrorCode::MalformedFrame,
         ErrorCode::UnknownBackend,
         ErrorCode::NotBound,
@@ -329,6 +414,8 @@ impl ErrorCode {
         ErrorCode::Internal,
         ErrorCode::ChannelUnsupported,
         ErrorCode::InvalidChannel,
+        ErrorCode::NameTaken,
+        ErrorCode::UnknownNetwork,
     ];
 
     /// The wire byte.
@@ -349,6 +436,8 @@ impl ErrorCode {
             ErrorCode::Internal => 13,
             ErrorCode::ChannelUnsupported => 14,
             ErrorCode::InvalidChannel => 15,
+            ErrorCode::NameTaken => 16,
+            ErrorCode::UnknownNetwork => 17,
         }
     }
 
@@ -419,6 +508,10 @@ pub enum ProtocolError {
     /// ([`ChannelModel::validate`] rejects it), so the wire grammar
     /// rejects it too rather than decode an always-invalid value.
     NestedChannelCompose,
+    /// A `Register`/`Attach` network name was structurally invalid:
+    /// empty, or not UTF-8 (the length bound is enforced by the 1-byte
+    /// wire length itself).
+    InvalidName(&'static str),
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -451,6 +544,9 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::UnknownChannelTag(b) => write!(f, "unknown channel atom tag {b}"),
             ProtocolError::NestedChannelCompose => {
                 write!(f, "Composed channel atom nested inside another Composed")
+            }
+            ProtocolError::InvalidName(reason) => {
+                write!(f, "invalid network name: {reason}")
             }
         }
     }
@@ -560,6 +656,60 @@ fn push_point(buf: &mut Vec<u8>, p: Point) {
     buf.extend_from_slice(&p.y.to_le_bytes());
 }
 
+/// Encodes a registry name: a length byte, then that many UTF-8 bytes.
+/// Callers (the typed [`Request`] constructors) are trusted to stay
+/// within [`MAX_NETWORK_NAME_LEN`]; longer names are truncated at a
+/// char boundary rather than silently corrupting the frame.
+fn push_name(buf: &mut Vec<u8>, name: &str) {
+    let mut len = name.len().min(MAX_NETWORK_NAME_LEN);
+    while !name.is_char_boundary(len) {
+        len -= 1;
+    }
+    buf.push(len as u8);
+    buf.extend_from_slice(&name.as_bytes()[..len]);
+}
+
+fn push_spec(buf: &mut Vec<u8>, network: &NetworkSpec) {
+    buf.extend_from_slice(&network.noise.to_le_bytes());
+    buf.extend_from_slice(&network.beta.to_le_bytes());
+    buf.extend_from_slice(&network.alpha.to_le_bytes());
+    buf.extend_from_slice(&(network.stations.len() as u32).to_le_bytes());
+    for (p, power) in &network.stations {
+        push_point(buf, *p);
+        buf.extend_from_slice(&power.to_le_bytes());
+    }
+}
+
+fn decode_name(c: &mut Cursor<'_>) -> Result<String, ProtocolError> {
+    let len = c.u8("name length")? as usize;
+    if len == 0 {
+        return Err(ProtocolError::InvalidName("empty name"));
+    }
+    let raw = c.take(len, "name bytes")?;
+    std::str::from_utf8(raw)
+        .map(str::to_owned)
+        .map_err(|_| ProtocolError::InvalidName("not UTF-8"))
+}
+
+fn decode_spec(c: &mut Cursor<'_>) -> Result<NetworkSpec, ProtocolError> {
+    let noise = c.f64("noise")?;
+    let beta = c.f64("beta")?;
+    let alpha = c.f64("alpha")?;
+    let n = c.count(24, "station count")?;
+    let mut stations = Vec::with_capacity(n);
+    for _ in 0..n {
+        let p = c.point("station position")?;
+        let power = c.f64("station power")?;
+        stations.push((p, power));
+    }
+    Ok(NetworkSpec {
+        noise,
+        beta,
+        alpha,
+        stations,
+    })
+}
+
 /// Encodes one channel atom (recursing once for `Composed`): a tag
 /// byte, then the atom's parameters.
 fn encode_channel(buf: &mut Vec<u8>, model: &ChannelModel) {
@@ -636,14 +786,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             buf.push(TAG_BIND);
             buf.push(backend.to_wire());
             buf.extend_from_slice(&epsilon.to_le_bytes());
-            buf.extend_from_slice(&network.noise.to_le_bytes());
-            buf.extend_from_slice(&network.beta.to_le_bytes());
-            buf.extend_from_slice(&network.alpha.to_le_bytes());
-            buf.extend_from_slice(&(network.stations.len() as u32).to_le_bytes());
-            for (p, power) in &network.stations {
-                push_point(&mut buf, *p);
-                buf.extend_from_slice(&power.to_le_bytes());
-            }
+            push_spec(&mut buf, network);
         }
         Request::LocateBatch { points } => {
             buf.push(TAG_LOCATE_BATCH);
@@ -686,6 +829,43 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 push_point(&mut buf, *p);
             }
         }
+        Request::Register { name, network } => {
+            buf.push(TAG_REGISTER);
+            push_name(&mut buf, name);
+            push_spec(&mut buf, network);
+        }
+        Request::Attach {
+            name,
+            backend,
+            epsilon,
+        } => {
+            buf.push(TAG_ATTACH);
+            push_name(&mut buf, name);
+            buf.push(backend.to_wire());
+            buf.extend_from_slice(&epsilon.to_le_bytes());
+        }
+        Request::SinrQuantilesBatch {
+            station,
+            trials,
+            seed,
+            channel,
+            quantiles,
+            points,
+        } => {
+            buf.push(TAG_SINR_QUANTILES_BATCH);
+            buf.extend_from_slice(&(station.0 as u32).to_le_bytes());
+            buf.extend_from_slice(&trials.to_le_bytes());
+            buf.extend_from_slice(&seed.to_le_bytes());
+            encode_channel(&mut buf, channel);
+            buf.extend_from_slice(&(quantiles.len() as u32).to_le_bytes());
+            for q in quantiles {
+                buf.extend_from_slice(&q.to_le_bytes());
+            }
+            buf.extend_from_slice(&(points.len() as u32).to_le_bytes());
+            for p in points {
+                push_point(&mut buf, *p);
+            }
+        }
     }
     buf
 }
@@ -704,25 +884,11 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
             let backend = BackendId::from_wire(backend_byte)
                 .ok_or(ProtocolError::UnknownBackend(backend_byte))?;
             let epsilon = c.f64("epsilon")?;
-            let noise = c.f64("noise")?;
-            let beta = c.f64("beta")?;
-            let alpha = c.f64("alpha")?;
-            let n = c.count(24, "station count")?;
-            let mut stations = Vec::with_capacity(n);
-            for _ in 0..n {
-                let p = c.point("station position")?;
-                let power = c.f64("station power")?;
-                stations.push((p, power));
-            }
+            let network = decode_spec(&mut c)?;
             Request::Bind {
                 backend,
                 epsilon,
-                network: NetworkSpec {
-                    noise,
-                    beta,
-                    alpha,
-                    stations,
-                },
+                network,
             }
         }
         TAG_LOCATE_BATCH => {
@@ -775,6 +941,47 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
                 trials,
                 seed,
                 channel,
+                points,
+            }
+        }
+        TAG_REGISTER => {
+            let name = decode_name(&mut c)?;
+            let network = decode_spec(&mut c)?;
+            Request::Register { name, network }
+        }
+        TAG_ATTACH => {
+            let name = decode_name(&mut c)?;
+            let backend_byte = c.u8("backend id")?;
+            let backend = BackendId::from_wire(backend_byte)
+                .ok_or(ProtocolError::UnknownBackend(backend_byte))?;
+            let epsilon = c.f64("epsilon")?;
+            Request::Attach {
+                name,
+                backend,
+                epsilon,
+            }
+        }
+        TAG_SINR_QUANTILES_BATCH => {
+            let station = StationId(c.u32("station id")? as usize);
+            let trials = c.u32("trial count")?;
+            let seed = c.u64("seed")?;
+            let channel = decode_channel(&mut c, true)?;
+            let nq = c.count(8, "quantile count")?;
+            let mut quantiles = Vec::with_capacity(nq);
+            for _ in 0..nq {
+                quantiles.push(c.f64("quantile value")?);
+            }
+            let n = c.count(16, "point count")?;
+            let mut points = Vec::with_capacity(n);
+            for _ in 0..n {
+                points.push(c.point("query point")?);
+            }
+            Request::SinrQuantilesBatch {
+                station,
+                trials,
+                seed,
+                channel,
+                quantiles,
                 points,
             }
         }
@@ -832,6 +1039,28 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::ReceptionProbs { revision, values } => {
             buf.push(TAG_RECEPTION_PROBS);
             buf.extend_from_slice(&revision.to_le_bytes());
+            buf.extend_from_slice(&(values.len() as u32).to_le_bytes());
+            for v in values {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Response::Registered { revision } => {
+            buf.push(TAG_REGISTERED);
+            buf.extend_from_slice(&revision.to_le_bytes());
+        }
+        Response::Attached { revision, backend } => {
+            buf.push(TAG_ATTACHED);
+            buf.extend_from_slice(&revision.to_le_bytes());
+            buf.push(backend.to_wire());
+        }
+        Response::SinrQuantiles {
+            revision,
+            quantiles,
+            values,
+        } => {
+            buf.push(TAG_SINR_QUANTILES);
+            buf.extend_from_slice(&revision.to_le_bytes());
+            buf.extend_from_slice(&quantiles.to_le_bytes());
             buf.extend_from_slice(&(values.len() as u32).to_le_bytes());
             for v in values {
                 buf.extend_from_slice(&v.to_le_bytes());
@@ -930,6 +1159,30 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
             }
             Response::ReceptionProbs { revision, values }
         }
+        TAG_REGISTERED => Response::Registered {
+            revision: c.u64("revision")?,
+        },
+        TAG_ATTACHED => {
+            let revision = c.u64("revision")?;
+            let backend_byte = c.u8("backend id")?;
+            let backend = BackendId::from_wire(backend_byte)
+                .ok_or(ProtocolError::UnknownBackend(backend_byte))?;
+            Response::Attached { revision, backend }
+        }
+        TAG_SINR_QUANTILES => {
+            let revision = c.u64("revision")?;
+            let quantiles = c.u32("quantile width")?;
+            let n = c.count(8, "quantile value count")?;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(c.f64("quantile value")?);
+            }
+            Response::SinrQuantiles {
+                revision,
+                quantiles,
+                values,
+            }
+        }
         TAG_ERROR => {
             let code_byte = c.u8("error code")?;
             let code = ErrorCode::from_wire(code_byte)
@@ -1016,6 +1269,23 @@ mod tests {
                 ]),
                 points: vec![],
             },
+            Request::Register {
+                name: "cell-grid/région-7".into(),
+                network: sample_spec(),
+            },
+            Request::Attach {
+                name: "cell-grid/région-7".into(),
+                backend: BackendId::Qds,
+                epsilon: 0.25,
+            },
+            Request::SinrQuantilesBatch {
+                station: StationId(1),
+                trials: 128,
+                seed: 42,
+                channel: ChannelModel::RayleighFading,
+                quantiles: vec![0.1, 0.5, 0.9],
+                points: vec![Point::new(0.5, -0.25), Point::new(-2.0, 3.0)],
+            },
         ];
         for req in &reqs {
             let bytes = encode_request(req);
@@ -1059,6 +1329,24 @@ mod tests {
             Response::Error {
                 code: ErrorCode::RevisionMismatch,
                 message: "expected 3, at 5".into(),
+            },
+            Response::Registered { revision: 0 },
+            Response::Attached {
+                revision: 17,
+                backend: BackendId::SimdScan,
+            },
+            Response::SinrQuantiles {
+                revision: 4,
+                quantiles: 3,
+                values: vec![0.0, 1.5, f64::INFINITY, 0.25, 0.5, 0.75],
+            },
+            Response::Error {
+                code: ErrorCode::NameTaken,
+                message: "grid".into(),
+            },
+            Response::Error {
+                code: ErrorCode::UnknownNetwork,
+                message: "no such network".into(),
             },
         ];
         for resp in &resps {
@@ -1207,6 +1495,64 @@ mod tests {
             decode_request(&nested),
             Err(ProtocolError::NestedChannelCompose)
         );
+        // Register with an empty name.
+        let mut empty_name = vec![TAG_REGISTER];
+        empty_name.push(0);
+        assert_eq!(
+            decode_request(&empty_name),
+            Err(ProtocolError::InvalidName("empty name"))
+        );
+        // Attach with a non-UTF-8 name.
+        let mut bad_name = vec![TAG_ATTACH];
+        bad_name.push(2);
+        bad_name.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(
+            decode_request(&bad_name),
+            Err(ProtocolError::InvalidName("not UTF-8"))
+        );
+        // Attach whose name length byte promises more bytes than exist.
+        let mut short_name = vec![TAG_ATTACH];
+        short_name.push(10);
+        short_name.extend_from_slice(b"abc");
+        assert!(matches!(
+            decode_request(&short_name),
+            Err(ProtocolError::Truncated {
+                what: "name bytes",
+                ..
+            })
+        ));
+        // SinrQuantilesBatch whose quantile count promises more values
+        // than the frame holds.
+        let mut lying_q = vec![TAG_SINR_QUANTILES_BATCH];
+        lying_q.extend_from_slice(&0u32.to_le_bytes());
+        lying_q.extend_from_slice(&8u32.to_le_bytes());
+        lying_q.extend_from_slice(&0u64.to_le_bytes());
+        lying_q.push(CHANNEL_DETERMINISTIC);
+        lying_q.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_request(&lying_q),
+            Err(ProtocolError::Truncated {
+                what: "quantile count",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn oversized_names_truncate_on_char_boundaries() {
+        // 'é' is 2 bytes; MAX_NETWORK_NAME_LEN is odd, so the blind cut
+        // would split one in half.
+        let req = Request::Register {
+            name: "é".repeat(200),
+            network: sample_spec(),
+        };
+        match decode_request(&encode_request(&req)).unwrap() {
+            Request::Register { name, .. } => {
+                assert_eq!(name.len(), MAX_NETWORK_NAME_LEN - 1);
+                assert!(name.chars().all(|c| c == 'é'));
+            }
+            other => panic!("expected Register, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! The server-side registry of **named networks**: the shared-engine
+//! serving path.
+//!
+//! `Bind` gives a session a private network and a private engine —
+//! isolation at the cost of one engine *per session*. The registry is
+//! the shared alternative: a network is [registered](NetworkRegistry::register)
+//! once under a name, any number of sessions [attach](NetworkRegistry::attach)
+//! to it, and all sessions attached with the same (backend, epsilon)
+//! share **one** [`SnapshotStore`] — one engine per (network, backend,
+//! revision), regardless of session count.
+//!
+//! Mutation goes through [`NamedNetwork::mutate`]: the network is
+//! revision-fenced exactly like the private path, the emitted deltas
+//! advance every store (incremental [`sinr_core::QueryEngine::apply`],
+//! one publication per store), and every attached session observes the
+//! new snapshot at its next request. A store whose backend cannot
+//! represent the mutated network (e.g. the Theorem-3 locator after a
+//! non-uniform `SetPower`) is poisoned and dropped from the registry;
+//! sessions holding it see the poison on their next load and detach.
+//!
+//! Lock discipline: the registry map lock and a network's inner lock
+//! are never held together, and the store mutex nests strictly inside
+//! the network lock (mutation advances stores while fencing the
+//! network). Readers never take the network lock at all — queries go
+//! `Arc<SnapshotStore> → Arc<EngineSnapshot>`, both brief mutex-clone
+//! hops.
+
+use crate::protocol::{BackendId, NetworkSpec, MAX_NETWORK_NAME_LEN};
+use sinr_core::engine::BoxedEngine;
+use sinr_core::{EngineSnapshot, Network, NetworkDelta, NetworkError, SnapshotStore, SurgeryOp};
+use sinr_pointloc::{PointLocator, QdsConfig};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Builds the requested backend over `net`, as one erased engine.
+///
+/// # Errors
+///
+/// A human-readable build failure (bad `epsilon`, Theorem-3
+/// preconditions) — the caller maps it onto
+/// [`ErrorCode::BackendBuild`](crate::protocol::ErrorCode::BackendBuild).
+pub fn build_backend(
+    backend: BackendId,
+    epsilon: f64,
+    net: &Network,
+) -> Result<BoxedEngine, String> {
+    match backend {
+        BackendId::ExactScan => Ok(BoxedEngine::exact_scan(net)),
+        BackendId::SimdScan => Ok(BoxedEngine::simd_scan(net)),
+        BackendId::VoronoiAssisted => Ok(BoxedEngine::voronoi_assisted(net)),
+        BackendId::Qds => {
+            if !(epsilon > 0.0 && epsilon < 1.0) {
+                return Err(format!("qds needs 0 < epsilon < 1, got {epsilon}"));
+            }
+            PointLocator::build(net, &QdsConfig::with_epsilon(epsilon))
+                .map(|locator| BoxedEngine::new("qds", locator))
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Why a [`NetworkRegistry::register`] failed.
+#[derive(Debug)]
+pub enum RegisterError {
+    /// The name is already registered.
+    NameTaken,
+    /// The name is empty or longer than [`MAX_NETWORK_NAME_LEN`] bytes
+    /// (unreachable via the wire, whose length byte enforces the bound;
+    /// reachable through the in-process API).
+    InvalidName,
+    /// The network spec failed [`Network`] validation.
+    InvalidNetwork(NetworkError),
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::NameTaken => write!(f, "a network with this name is already registered"),
+            RegisterError::InvalidName => {
+                write!(f, "network names must be 1..={MAX_NETWORK_NAME_LEN} bytes")
+            }
+            RegisterError::InvalidNetwork(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// Why a [`NetworkRegistry::attach`] failed.
+#[derive(Debug)]
+pub enum AttachError {
+    /// No network is registered under that name.
+    UnknownNetwork,
+    /// The backend refused the network (see [`build_backend`]).
+    BackendBuild(String),
+}
+
+impl std::fmt::Display for AttachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttachError::UnknownNetwork => write!(f, "no network registered under this name"),
+            AttachError::BackendBuild(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AttachError {}
+
+/// Why a [`NamedNetwork::mutate`] failed.
+#[derive(Debug)]
+pub enum MutateError {
+    /// The ops were computed against another revision; nothing was
+    /// applied.
+    RevisionMismatch {
+        /// What the mutator expected.
+        expected: u64,
+        /// Where the network actually is.
+        current: u64,
+    },
+    /// An op failed validation mid-timestep; the prefix stays applied
+    /// (and was published to every store).
+    Surgery {
+        /// The batch error's display output (names the failing op).
+        message: String,
+        /// The network's revision after the applied prefix.
+        revision: u64,
+    },
+}
+
+/// What a successful [`NamedNetwork::mutate`] reports.
+#[derive(Debug, Clone, Copy)]
+pub struct MutateOk {
+    /// The network's revision after the whole timestep.
+    pub revision: u64,
+    /// Number of ops applied.
+    pub applied: u32,
+}
+
+/// One store per engine flavour serving a named network: the backend
+/// plus (for [`BackendId::Qds`]) the approximation parameter, compared
+/// bitwise so attaching with the same `epsilon` shares the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct StoreKey {
+    backend: BackendId,
+    epsilon_bits: u64,
+}
+
+impl StoreKey {
+    fn new(backend: BackendId, epsilon: f64) -> StoreKey {
+        StoreKey {
+            backend,
+            // Exact backends ignore epsilon — normalize so every attach
+            // shares one store regardless of the junk in the field.
+            epsilon_bits: match backend {
+                BackendId::Qds => epsilon.to_bits(),
+                _ => 0,
+            },
+        }
+    }
+}
+
+/// A registered network: the live [`Network`] plus the shared
+/// [`SnapshotStore`]s serving it (one per attached backend flavour).
+#[derive(Debug)]
+pub struct NamedNetwork {
+    name: String,
+    inner: Mutex<NamedInner>,
+}
+
+#[derive(Debug)]
+struct NamedInner {
+    net: Network,
+    stores: HashMap<StoreKey, Arc<SnapshotStore>>,
+}
+
+impl NamedNetwork {
+    /// The registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The live network's current revision.
+    pub fn revision(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("named network lock")
+            .net
+            .revision()
+    }
+
+    /// The live network's current station count.
+    pub fn stations(&self) -> usize {
+        self.inner.lock().expect("named network lock").net.len()
+    }
+
+    /// A clone of the live network at its current revision (test and
+    /// example observability — differential suites rebuild local
+    /// engines from this).
+    pub fn network(&self) -> Network {
+        self.inner.lock().expect("named network lock").net.clone()
+    }
+
+    /// Number of live snapshot stores (one per attached backend
+    /// flavour) — the memory-scaling observable: N sessions attached
+    /// with one backend keep this at 1.
+    pub fn store_count(&self) -> usize {
+        self.inner.lock().expect("named network lock").stores.len()
+    }
+
+    /// The currently published snapshot of the store for
+    /// (`backend`, `epsilon`), if one exists and is healthy — `Arc`
+    /// identity is the test observable for snapshot sharing.
+    pub fn snapshot(&self, backend: BackendId, epsilon: f64) -> Option<Arc<EngineSnapshot>> {
+        let inner = self.inner.lock().expect("named network lock");
+        let store = inner.stores.get(&StoreKey::new(backend, epsilon))?;
+        store.load().ok()
+    }
+
+    /// Applies a revision-fenced timestep of surgery to the live
+    /// network and publishes the result to **every** store: after this
+    /// returns, each healthy store's next load answers for the new
+    /// revision, while snapshots already loaded by in-flight batches
+    /// stay valid at their own revision (RCU). Stores whose backend
+    /// cannot represent the mutated network are poisoned and dropped —
+    /// their sessions detach on next use.
+    ///
+    /// # Errors
+    ///
+    /// [`MutateError::RevisionMismatch`] (nothing applied) or
+    /// [`MutateError::Surgery`] (prefix applied and published).
+    pub fn mutate(
+        &self,
+        expected_revision: u64,
+        ops: &[SurgeryOp],
+    ) -> Result<MutateOk, MutateError> {
+        let mut inner = self.inner.lock().expect("named network lock");
+        let current = inner.net.revision();
+        if expected_revision != current {
+            return Err(MutateError::RevisionMismatch {
+                expected: expected_revision,
+                current,
+            });
+        }
+        match inner.net.apply_ops(ops) {
+            Ok(deltas) => {
+                let applied = deltas.len() as u32;
+                Self::advance_stores(&mut inner, &deltas);
+                Ok(MutateOk {
+                    revision: inner.net.revision(),
+                    applied,
+                })
+            }
+            Err(batch) => {
+                Self::advance_stores(&mut inner, &batch.applied);
+                Err(MutateError::Surgery {
+                    message: batch.to_string(),
+                    revision: inner.net.revision(),
+                })
+            }
+        }
+    }
+
+    fn advance_stores(inner: &mut NamedInner, deltas: &[NetworkDelta]) {
+        let NamedInner { net, stores } = inner;
+        // A store that cannot follow is poisoned by its own `advance`;
+        // dropping it here keeps later attaches building fresh (the
+        // poisoned Arc keeps erroring for the sessions still holding it).
+        stores.retain(|_, store| store.advance(net, deltas).is_ok());
+    }
+}
+
+/// The server-wide name → network map. Shared behind an [`Arc`] by
+/// every session a server accepts (each [`crate::Server`] owns one).
+#[derive(Debug, Default)]
+pub struct NetworkRegistry {
+    networks: Mutex<HashMap<String, Arc<NamedNetwork>>>,
+}
+
+/// What [`NetworkRegistry::attach`] hands a session: the named network
+/// (for mutation) and the shared snapshot store (for queries).
+#[derive(Debug, Clone)]
+pub struct AttachHandle {
+    /// The attached network.
+    pub network: Arc<NamedNetwork>,
+    /// The shared store for the requested backend flavour.
+    pub store: Arc<SnapshotStore>,
+    /// The published revision at attach time.
+    pub revision: u64,
+}
+
+impl NetworkRegistry {
+    /// An empty registry.
+    pub fn new() -> NetworkRegistry {
+        NetworkRegistry::default()
+    }
+
+    /// Builds and registers a network under `name`; returns its
+    /// starting revision.
+    ///
+    /// # Errors
+    ///
+    /// See [`RegisterError`]. On error nothing is registered.
+    pub fn register(&self, name: &str, spec: &NetworkSpec) -> Result<u64, RegisterError> {
+        if name.is_empty() || name.len() > MAX_NETWORK_NAME_LEN {
+            return Err(RegisterError::InvalidName);
+        }
+        let net = spec.build().map_err(RegisterError::InvalidNetwork)?;
+        let mut networks = self.networks.lock().expect("registry lock");
+        if networks.contains_key(name) {
+            return Err(RegisterError::NameTaken);
+        }
+        let revision = net.revision();
+        networks.insert(
+            name.to_owned(),
+            Arc::new(NamedNetwork {
+                name: name.to_owned(),
+                inner: Mutex::new(NamedInner {
+                    net,
+                    stores: HashMap::new(),
+                }),
+            }),
+        );
+        Ok(revision)
+    }
+
+    /// Attaches to a registered network with the given backend flavour,
+    /// creating the shared store on first attach and joining it on
+    /// every later one.
+    ///
+    /// # Errors
+    ///
+    /// See [`AttachError`].
+    pub fn attach(
+        &self,
+        name: &str,
+        backend: BackendId,
+        epsilon: f64,
+    ) -> Result<AttachHandle, AttachError> {
+        let network = self.get(name).ok_or(AttachError::UnknownNetwork)?;
+        let key = StoreKey::new(backend, epsilon);
+        let store = {
+            let mut inner = network.inner.lock().expect("named network lock");
+            match inner.stores.get(&key) {
+                Some(store) => Arc::clone(store),
+                None => {
+                    let engine = build_backend(backend, epsilon, &inner.net)
+                        .map_err(AttachError::BackendBuild)?;
+                    let store = Arc::new(SnapshotStore::new(&inner.net, engine));
+                    inner.stores.insert(key, Arc::clone(&store));
+                    store
+                }
+            }
+        };
+        // A store in the map is healthy by construction (mutation drops
+        // poisoned ones under the same lock we just held).
+        let revision = store
+            .revision()
+            .map_err(|e| AttachError::BackendBuild(e.to_string()))?;
+        Ok(AttachHandle {
+            network,
+            store,
+            revision,
+        })
+    }
+
+    /// The named network, if registered.
+    pub fn get(&self, name: &str) -> Option<Arc<NamedNetwork>> {
+        self.networks
+            .lock()
+            .expect("registry lock")
+            .get(name)
+            .cloned()
+    }
+
+    /// Every registered name, in no particular order.
+    pub fn names(&self) -> Vec<String> {
+        self.networks
+            .lock()
+            .expect("registry lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+}

@@ -1,31 +1,74 @@
-//! The TCP face: a std-only, thread-per-connection accept loop.
+//! The TCP face: accept loops, session threading, shutdown.
 //!
-//! No async runtime exists in this workspace (and none is needed for
-//! the target workload: long-lived sessions streaming large batches —
-//! throughput-bound, not connection-count-bound), so the server is the
-//! simplest thing that scales to that shape: one OS thread per
-//! connection, each running [`serve_session`] over a
-//! [`TcpTransport`](crate::transport::TcpTransport), sharing nothing.
+//! No async runtime exists in this workspace, so both serving modes are
+//! std-only:
 //!
-//! [`Server::spawn`] runs the accept loop in the background and returns
-//! a [`ServerHandle`] whose [`shutdown`](ServerHandle::shutdown) stops
-//! accepting and joins the remaining sessions (disconnect clients
-//! first, or shutdown will wait for them). [`Server::serve_sessions`]
-//! is the inline variant for examples and CI: serve exactly `n`
-//! connections, then return.
+//! * **Thread-per-connection** ([`Server::spawn`],
+//!   [`Server::serve_sessions`]) — one OS thread per connection, each
+//!   running the blocking session loop over a
+//!   [`TcpTransport`](crate::transport::TcpTransport). The right shape
+//!   for few heavy clients: a session streaming large batches keeps its
+//!   thread busy with engine work, and the kernel's blocking reads are
+//!   the cheapest possible readiness mechanism. It stops being right
+//!   when connections are many and light — hundreds of threads exist
+//!   mostly to sleep in `read(2)`, and every mutation wakes a stampede.
+//! * **Worker pool** ([`Server::spawn_pooled`]) — a small fixed pool of
+//!   workers multiplexes *all* connections: sockets are nonblocking
+//!   ([`PolledIo`]), each connection is a [`SessionCore`] state
+//!   machine, and a worker round-robins its connections, treating
+//!   `WouldBlock` as "idle, move on". Hundreds of concurrent light
+//!   clients cost hundreds of small buffers, not hundreds of stacks.
+//!   Fairness is per-frame: a worker serves at most a bounded number of
+//!   frames per connection per visit.
+//!
+//! Both modes drive the same state machine through the same
+//! [`Transport`](crate::transport::Transport) trait, share one
+//! [`NetworkRegistry`] per server, and speak identical frames — the e2e
+//! suite pins bit-identical answers across the two.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] stops accepting, **closes every live
+//! session's socket** (a registered `TcpStream` clone per session —
+//! `shutdown(2)` unblocks a session thread parked in `read`), and joins
+//! with a bounded wait. Idle connected clients therefore no longer wedge
+//! shutdown — their sessions observe EOF and exit; a session that still
+//! refuses to die within the bound is abandoned (leaked thread) rather
+//! than hanging the caller forever.
 
-use crate::session::serve_session;
-use crate::transport::IoTransport;
+use crate::protocol::{encode_response, ErrorCode, Response};
+use crate::registry::NetworkRegistry;
+use crate::session::{serve_session_with_registry, SessionCore};
+use crate::transport::{IoTransport, PolledIo, RecvError};
+use crate::Transport;
+use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-/// A bound listener, not yet accepting.
+/// How long [`ServerHandle::shutdown`] waits for threads to finish
+/// after closing their sockets before abandoning them.
+const SHUTDOWN_JOIN_BOUND: Duration = Duration::from_secs(10);
+
+/// Frames one pooled connection may consume per worker visit before the
+/// worker moves on (fairness bound: one chatty pipelined client cannot
+/// starve its neighbours on the same worker).
+const FRAMES_PER_VISIT: usize = 8;
+
+/// How long an idle pooled worker parks between polls of its
+/// connections. Low enough to stay invisible next to engine work, high
+/// enough that an idle pool burns no measurable CPU.
+const WORKER_IDLE_PARK: Duration = Duration::from_micros(500);
+
+/// A bound listener, not yet accepting. Every session this server ever
+/// serves — threaded or pooled — shares its [`NetworkRegistry`].
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
+    registry: Arc<NetworkRegistry>,
 }
 
 impl Server {
@@ -38,6 +81,7 @@ impl Server {
     pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
+            registry: Arc::new(NetworkRegistry::new()),
         })
     }
 
@@ -50,6 +94,12 @@ impl Server {
         self.listener.local_addr()
     }
 
+    /// The server-wide registry of named networks (for in-process
+    /// introspection: tests assert snapshot sharing through it).
+    pub fn registry(&self) -> Arc<NetworkRegistry> {
+        Arc::clone(&self.registry)
+    }
+
     /// Accepts and serves exactly `sessions` connections (each on its
     /// own thread), joins them all, then returns — the inline mode the
     /// client/server example pair and CI smoke tests use.
@@ -58,10 +108,15 @@ impl Server {
     ///
     /// Any [`io::Error`] from accepting.
     pub fn serve_sessions(&self, sessions: usize) -> io::Result<()> {
+        let roster = Arc::new(Roster::default());
         let mut handles = Vec::with_capacity(sessions);
         for _ in 0..sessions {
             let (stream, _) = self.listener.accept()?;
-            handles.push(spawn_session(stream));
+            handles.push(spawn_session(
+                stream,
+                Arc::clone(&self.registry),
+                Arc::clone(&roster),
+            ));
         }
         for handle in handles {
             let _ = handle.join();
@@ -69,7 +124,8 @@ impl Server {
         Ok(())
     }
 
-    /// Starts the accept loop on a background thread.
+    /// Starts the thread-per-connection accept loop on a background
+    /// thread.
     ///
     /// # Errors
     ///
@@ -77,7 +133,10 @@ impl Server {
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let roster = Arc::new(Roster::default());
+        let registry = Arc::clone(&self.registry);
         let stop_flag = Arc::clone(&stop);
+        let roster_accept = Arc::clone(&roster);
         let listener = self.listener;
         let accept = std::thread::Builder::new()
             .name("sinr-server-accept".into())
@@ -88,38 +147,309 @@ impl Server {
                         break;
                     }
                     if let Ok(stream) = stream {
-                        sessions.push(spawn_session(stream));
+                        sessions.push(spawn_session(
+                            stream,
+                            Arc::clone(&registry),
+                            Arc::clone(&roster_accept),
+                        ));
                     }
                     // Reap sessions that already finished so the list
                     // stays proportional to *live* connections.
                     sessions.retain(|h| !h.is_finished());
                 }
                 for handle in sessions {
-                    let _ = handle.join();
+                    join_bounded(handle, SHUTDOWN_JOIN_BOUND);
                 }
             })
             .expect("spawn accept thread");
         Ok(ServerHandle {
             addr,
             stop,
+            roster,
+            registry: self.registry,
             accept: Some(accept),
+            workers: Vec::new(),
+        })
+    }
+
+    /// Starts the worker-pool server: an accept thread distributes
+    /// connections round-robin over `workers` (clamped to at least 1)
+    /// fixed worker threads, each multiplexing its share of connections
+    /// as nonblocking [`SessionCore`] state machines. Connection count
+    /// is bounded only by file descriptors — the thread count never
+    /// grows.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from reading the local address.
+    pub fn spawn_pooled(self, workers: usize) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let workers = workers.max(1);
+        let stop = Arc::new(AtomicBool::new(false));
+        let registry = Arc::clone(&self.registry);
+        let intakes: Vec<Arc<Mutex<Vec<TcpStream>>>> = (0..workers)
+            .map(|_| Arc::new(Mutex::new(Vec::new())))
+            .collect();
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for (i, intake) in intakes.iter().enumerate() {
+            let intake = Arc::clone(intake);
+            let stop = Arc::clone(&stop);
+            let registry = Arc::clone(&registry);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sinr-server-worker-{i}"))
+                    .spawn(move || worker_loop(&intake, &stop, &registry))
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        let stop_flag = Arc::clone(&stop);
+        let listener = self.listener;
+        let accept = std::thread::Builder::new()
+            .name("sinr-server-accept".into())
+            .spawn(move || {
+                let mut next = 0usize;
+                for stream in listener.incoming() {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        intakes[next % intakes.len()]
+                            .lock()
+                            .expect("intake lock")
+                            .push(stream);
+                        next += 1;
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+
+        Ok(ServerHandle {
+            addr,
+            stop,
+            roster: Arc::new(Roster::default()),
+            registry: self.registry,
+            accept: Some(accept),
+            workers: worker_handles,
         })
     }
 }
 
-fn spawn_session(stream: TcpStream) -> JoinHandle<()> {
+fn spawn_session(
+    stream: TcpStream,
+    registry: Arc<NetworkRegistry>,
+    roster: Arc<Roster>,
+) -> JoinHandle<()> {
     // Request/response framing with small Mutate frames: Nagle +
     // delayed ACK would serialize every round trip on a timer tick
     // (measured ~100× on the churn_stream bench). Frames are written
     // whole, so there is nothing for Nagle to coalesce anyway.
     let _ = stream.set_nodelay(true);
+    let admitted = roster.register(&stream);
     std::thread::Builder::new()
         .name("sinr-server-session".into())
-        .spawn(move || serve_session(IoTransport::new(stream)))
+        .spawn(move || {
+            let Some(id) = admitted else {
+                // The server is already shutting down: the roster shut
+                // the socket before we got here.
+                return;
+            };
+            serve_session_with_registry(IoTransport::new(stream), registry);
+            roster.deregister(id);
+        })
         .expect("spawn session thread")
 }
 
-/// A running background server (see [`Server::spawn`]).
+/// The live-session book of a threaded server: one `TcpStream` clone
+/// per session, so shutdown can `shutdown(2)` sockets that session
+/// threads are blocked reading (an idle connected client would
+/// otherwise pin its thread — and the whole shutdown — forever).
+#[derive(Debug, Default)]
+struct Roster {
+    inner: Mutex<RosterInner>,
+}
+
+#[derive(Debug, Default)]
+struct RosterInner {
+    next_id: u64,
+    streams: HashMap<u64, TcpStream>,
+    closing: bool,
+}
+
+impl Roster {
+    /// Admits a session, keeping a socket clone for shutdown. `None`
+    /// refuses the session (the roster is closing; the socket was shut
+    /// down in place).
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let mut inner = self.inner.lock().expect("roster lock");
+        if inner.closing {
+            let _ = stream.shutdown(Shutdown::Both);
+            return None;
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        // A failed clone just means this session is untracked (shutdown
+        // cannot unblock it early); serving it is still correct.
+        if let Ok(clone) = stream.try_clone() {
+            inner.streams.insert(id, clone);
+        }
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.inner.lock().expect("roster lock").streams.remove(&id);
+    }
+
+    /// Shuts down every tracked socket and refuses all future
+    /// admissions.
+    fn close_all(&self) {
+        let mut inner = self.inner.lock().expect("roster lock");
+        inner.closing = true;
+        for stream in inner.streams.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        inner.streams.clear();
+    }
+}
+
+/// One pooled connection: its buffered nonblocking socket and its
+/// protocol state machine.
+struct PooledSession {
+    io: PolledIo,
+    core: SessionCore,
+    /// A fatal response (Internal/Oversized) is queued but not fully
+    /// flushed; close as soon as it drains.
+    closing: bool,
+}
+
+enum Step {
+    /// Did real work this visit (keep the pool hot).
+    Progress,
+    /// Nothing to do (candidate for parking).
+    Idle,
+    /// The connection is over; drop the session.
+    Done,
+}
+
+impl PooledSession {
+    fn step(&mut self) -> Step {
+        // Drain queued response bytes first: a peer that has not read
+        // its answers yet gets no new requests processed (the same
+        // backpressure a blocking session applies by blocking in
+        // `send_frame`).
+        match self.io.flush_pending() {
+            Ok(_) => {}
+            Err(_) => return Step::Done,
+        }
+        if self.io.wants_write() {
+            return Step::Idle;
+        }
+        if self.closing {
+            return Step::Done;
+        }
+        let mut progressed = false;
+        for _ in 0..FRAMES_PER_VISIT {
+            match self.io.recv_frame() {
+                Ok(Some(payload)) => {
+                    progressed = true;
+                    let (frame, close) = self.core.handle_payload(&payload);
+                    if self.io.send_frame(&frame).is_err() {
+                        return Step::Done;
+                    }
+                    if close {
+                        return self.finish();
+                    }
+                    if self.io.wants_write() {
+                        // Backpressure: wait for the peer to drain
+                        // before decoding its next request.
+                        return Step::Progress;
+                    }
+                }
+                Ok(None) => return Step::Done,
+                Err(RecvError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(RecvError::Oversized { len }) => {
+                    let _ = self.io.send_frame(&encode_response(&Response::Error {
+                        code: ErrorCode::Oversized,
+                        message: format!("frame length {len} exceeds the limit"),
+                    }));
+                    return self.finish();
+                }
+                Err(_) => return Step::Done,
+            }
+        }
+        if progressed {
+            Step::Progress
+        } else {
+            Step::Idle
+        }
+    }
+
+    /// The connection must close, but a final frame may still be
+    /// queued: give it a chance to drain before dropping.
+    fn finish(&mut self) -> Step {
+        let _ = self.io.flush_pending();
+        if self.io.wants_write() {
+            self.closing = true;
+            Step::Progress
+        } else {
+            Step::Done
+        }
+    }
+}
+
+fn worker_loop(intake: &Mutex<Vec<TcpStream>>, stop: &AtomicBool, registry: &Arc<NetworkRegistry>) {
+    let mut sessions: Vec<PooledSession> = Vec::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            // Dropping a PolledIo closes its socket: every connection —
+            // idle or mid-stream — is torn down. A last flush attempt
+            // delivers responses already computed.
+            for session in &mut sessions {
+                let _ = session.io.flush_pending();
+            }
+            return;
+        }
+        for stream in intake.lock().expect("intake lock").drain(..) {
+            let _ = stream.set_nodelay(true);
+            if let Ok(io) = PolledIo::new(stream) {
+                sessions.push(PooledSession {
+                    io,
+                    core: SessionCore::new(Arc::clone(registry)),
+                    closing: false,
+                });
+            }
+        }
+        let mut progressed = false;
+        sessions.retain_mut(|session| match session.step() {
+            Step::Progress => {
+                progressed = true;
+                true
+            }
+            Step::Idle => true,
+            Step::Done => false,
+        });
+        if !progressed {
+            std::thread::park_timeout(WORKER_IDLE_PARK);
+        }
+    }
+}
+
+/// Joins with a deadline; an over-deadline thread is abandoned (better
+/// a leaked thread than a shutdown that never returns).
+fn join_bounded(handle: JoinHandle<()>, bound: Duration) {
+    let deadline = Instant::now() + bound;
+    while !handle.is_finished() {
+        if Instant::now() >= deadline {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let _ = handle.join();
+}
+
+/// A running background server (see [`Server::spawn`] and
+/// [`Server::spawn_pooled`]).
 ///
 /// Dropping the handle shuts the server down (same as
 /// [`ServerHandle::shutdown`]).
@@ -127,7 +457,10 @@ fn spawn_session(stream: TcpStream) -> JoinHandle<()> {
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    roster: Arc<Roster>,
+    registry: Arc<NetworkRegistry>,
     accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -136,9 +469,15 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting, then joins the accept loop and every live
-    /// session. Sessions end when their client disconnects — close the
-    /// clients before calling this, or it will wait for them.
+    /// The server-wide registry of named networks (tests use this to
+    /// observe snapshot sharing from outside the protocol).
+    pub fn registry(&self) -> Arc<NetworkRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Stops accepting, closes every live session's socket (so idle
+    /// connected clients cannot wedge the join — their sessions see EOF
+    /// and exit), and joins all server threads with a bounded wait.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -150,7 +489,12 @@ impl ServerHandle {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
-        let _ = accept.join();
+        // Unblock session threads parked in read(2).
+        self.roster.close_all();
+        join_bounded(accept, SHUTDOWN_JOIN_BOUND);
+        for worker in self.workers.drain(..) {
+            join_bounded(worker, SHUTDOWN_JOIN_BOUND);
+        }
     }
 }
 

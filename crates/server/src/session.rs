@@ -1,9 +1,26 @@
-//! The per-connection session loop: decode → dispatch → encode.
+//! The per-connection session state machine: decode → dispatch → encode.
 //!
-//! One session serves one client over one [`Transport`]. The session
-//! owns its [`Network`] and its [`BoxedEngine`] — sessions share
-//! nothing, so a hostile or crashing client can never poison a
-//! neighbouring session (isolation the e2e and fuzz suites pin).
+//! One [`SessionCore`] serves one client. It is transport-agnostic —
+//! [`serve_session`] drives it over a blocking [`Transport`], and the
+//! worker-pool server drives many cores over polled transports from a
+//! fixed set of threads — and it runs in one of three modes:
+//!
+//! * **Unbound** — fresh session; only `Bind`, `Attach` and `Register`
+//!   do real work.
+//! * **Private** (`Bind`) — the legacy share-nothing path: the session
+//!   owns its [`Network`] and its [`BoxedEngine`], so a hostile or
+//!   crashing client can never poison a neighbouring session. Behavior
+//!   on this path is pinned bit-identical to the pre-registry server by
+//!   the e2e and fuzz suites.
+//! * **Attached** (`Attach`) — the shared path: queries are served from
+//!   the [`Arc<EngineSnapshot>`](sinr_core::EngineSnapshot) currently
+//!   published by a [`SnapshotStore`] shared with every other session
+//!   attached to the same (network, backend, epsilon). `Mutate` goes
+//!   through the named network's revision fence and publishes a new
+//!   snapshot; a batch already running keeps its loaded `Arc` (RCU — it
+//!   finishes on the old snapshot, which frees when released).
+//!
+//! `Register` works in any mode and does not change the session's mode.
 //!
 //! ## Pipelined mode
 //!
@@ -40,129 +57,412 @@
 //! * **Semantic failures** (unknown backend, revision fences, surgery
 //!   validation, staleness) are per-request typed errors; the session
 //!   survives.
+//! * **Mode-ending failures**: [`ErrorCode::Unsupported`] and
+//!   [`ErrorCode::ChannelUnsupported`] unbind/detach the session, and
+//!   [`ErrorCode::UnknownNetwork`] detaches an *attached* session (its
+//!   shared store was poisoned by a mutation its backend cannot
+//!   represent). Subsequent queries get [`ErrorCode::NotBound`].
 //! * **Panics** while handling a frame are caught, answered with
 //!   [`ErrorCode::Internal`], and close only this session. The handler
 //!   itself is written not to panic — the catch is the last line of
 //!   defence, not the error path.
 
 use crate::protocol::{decode_request, encode_response, BackendId, ErrorCode, Request, Response};
-use crate::transport::{RecvError, Transport};
+use crate::registry::{
+    build_backend, AttachError, MutateError, NamedNetwork, NetworkRegistry, RegisterError,
+};
+use crate::transport::{RecvError, Transport, MAX_FRAME_LEN};
 use sinr_core::engine::BoxedEngine;
-use sinr_core::{ChannelError, Located, McConfig, Network, NetworkDelta, QueryEngine};
-use sinr_pointloc::{PointLocator, QdsConfig};
+use sinr_core::{
+    ChannelError, ChannelModel, Located, McConfig, Network, NetworkDelta, QueryEngine,
+    SnapshotStore, StationId,
+};
+use sinr_geometry::Point;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
-/// The bound half of a session: one network, one engine, built by the
-/// `Bind` frame and mutated only by `Mutate` frames.
+/// The private half of a session: one network, one engine, built by the
+/// `Bind` frame and mutated only by this session's `Mutate` frames.
 struct BoundState {
     net: Network,
     engine: BoxedEngine,
     backend: BackendId,
 }
 
-/// Serves one client to completion: reads frames until the peer closes
-/// (or the stream becomes unrecoverable) and answers every request with
-/// exactly one response frame.
-///
-/// Never panics out: frame handling runs under `catch_unwind`, and a
-/// caught panic answers [`ErrorCode::Internal`] before dropping the
-/// connection.
-pub fn serve_session<T: Transport>(mut transport: T) {
-    let mut state: Option<BoundState> = None;
-    loop {
-        let payload = match transport.recv_frame() {
-            Ok(Some(payload)) => payload,
-            // Clean close on a frame boundary: the session is over.
-            Ok(None) => return,
-            Err(RecvError::Oversized { len }) => {
-                let _ = send(
-                    &mut transport,
-                    &error(
-                        ErrorCode::Oversized,
-                        format!("frame length {len} exceeds the limit"),
-                    ),
-                );
-                return;
-            }
-            // I/O failure or EOF mid-frame: nothing sensible to say.
-            Err(_) => return,
-        };
-        let request = match decode_request(&payload) {
+/// The shared half of a session: a handle onto a registered network and
+/// the snapshot store shared with every session attached alike.
+struct AttachedState {
+    network: Arc<NamedNetwork>,
+    store: Arc<SnapshotStore>,
+    backend: BackendId,
+}
+
+/// What the session is currently serving.
+enum Mode {
+    Unbound,
+    Private(BoundState),
+    Attached(AttachedState),
+}
+
+/// The transport-independent session state machine: feed it one request
+/// payload at a time ([`SessionCore::handle_payload`]), send back the
+/// bytes it returns. Both the blocking per-connection loop
+/// ([`serve_session`]) and the worker-pool server drive sessions
+/// through this type, so the two serving modes cannot drift apart.
+pub struct SessionCore {
+    registry: Arc<NetworkRegistry>,
+    mode: Mode,
+}
+
+impl SessionCore {
+    /// A fresh, unbound session over `registry`.
+    pub fn new(registry: Arc<NetworkRegistry>) -> SessionCore {
+        SessionCore {
+            registry,
+            mode: Mode::Unbound,
+        }
+    }
+
+    /// Handles one request payload (the frame body, length prefix
+    /// already stripped) and returns the encoded response frame body
+    /// plus whether the connection must close after sending it (a
+    /// caught panic — [`ErrorCode::Internal`]).
+    ///
+    /// Never panics out: dispatch runs under `catch_unwind`.
+    pub fn handle_payload(&mut self, payload: &[u8]) -> (Vec<u8>, bool) {
+        let request = match decode_request(payload) {
             Ok(request) => request,
             Err(e) => {
                 let code = match e {
                     crate::protocol::ProtocolError::UnknownBackend(_) => ErrorCode::UnknownBackend,
                     _ => ErrorCode::MalformedFrame,
                 };
-                if send(&mut transport, &error(code, e.to_string())).is_err() {
-                    return;
-                }
-                continue;
+                return (encode_response(&error(code, e.to_string())), false);
             }
         };
-        let outcome = catch_unwind(AssertUnwindSafe(|| handle(&mut state, request)));
-        let (response, close) = match outcome {
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.handle(request)));
+        match outcome {
             Ok(response) => {
-                // An Unsupported/ChannelUnsupported error unbinds
-                // (documented on the codes): the engine can no longer
-                // serve what the session is asking of it.
-                if matches!(
+                // An Unsupported/ChannelUnsupported error unbinds or
+                // detaches (documented on the codes): the engine can no
+                // longer serve what the session is asking of it. An
+                // UnknownNetwork error on an *attached* session means
+                // its shared store was poisoned — detach likewise.
+                let mode_over = matches!(
                     response,
                     Response::Error {
                         code: ErrorCode::Unsupported | ErrorCode::ChannelUnsupported,
                         ..
                     }
-                ) {
-                    state = None;
+                ) || (matches!(
+                    response,
+                    Response::Error {
+                        code: ErrorCode::UnknownNetwork,
+                        ..
+                    }
+                ) && matches!(self.mode, Mode::Attached(_)));
+                if mode_over {
+                    self.mode = Mode::Unbound;
                 }
-                (response, false)
+                (encode_response(&response), false)
             }
             Err(_) => (
-                error(
+                encode_response(&error(
                     ErrorCode::Internal,
                     "panic while handling the frame; closing this session".to_string(),
-                ),
+                )),
                 true,
             ),
-        };
-        if send(&mut transport, &response).is_err() || close {
-            return;
+        }
+    }
+
+    /// One request → one response. Pure with respect to the transport.
+    fn handle(&mut self, request: Request) -> Response {
+        match request {
+            Request::Bind {
+                backend,
+                epsilon,
+                network,
+            } => {
+                if !matches!(self.mode, Mode::Unbound) {
+                    return already_bound();
+                }
+                let net = match network.build() {
+                    Ok(net) => net,
+                    Err(e) => return error(ErrorCode::InvalidNetwork, e.to_string()),
+                };
+                let engine = match build_backend(backend, epsilon, &net) {
+                    Ok(engine) => engine,
+                    Err(msg) => return error(ErrorCode::BackendBuild, msg),
+                };
+                let revision = net.revision();
+                self.mode = Mode::Private(BoundState {
+                    net,
+                    engine,
+                    backend,
+                });
+                Response::Bound { revision, backend }
+            }
+            Request::Register { name, network } => match self.registry.register(&name, &network) {
+                Ok(revision) => Response::Registered { revision },
+                Err(RegisterError::NameTaken) => error(
+                    ErrorCode::NameTaken,
+                    format!("network name '{name}' is already registered"),
+                ),
+                // Unreachable from the wire (the name codec enforces the
+                // length bound), reachable through in-process use.
+                Err(e @ RegisterError::InvalidName) => {
+                    error(ErrorCode::MalformedFrame, e.to_string())
+                }
+                Err(RegisterError::InvalidNetwork(e)) => {
+                    error(ErrorCode::InvalidNetwork, e.to_string())
+                }
+            },
+            Request::Attach {
+                name,
+                backend,
+                epsilon,
+            } => {
+                if !matches!(self.mode, Mode::Unbound) {
+                    return already_bound();
+                }
+                match self.registry.attach(&name, backend, epsilon) {
+                    Ok(handle) => {
+                        let revision = handle.revision;
+                        self.mode = Mode::Attached(AttachedState {
+                            network: handle.network,
+                            store: handle.store,
+                            backend,
+                        });
+                        Response::Attached { revision, backend }
+                    }
+                    Err(AttachError::UnknownNetwork) => error(
+                        ErrorCode::UnknownNetwork,
+                        format!("no network registered under '{name}'"),
+                    ),
+                    Err(AttachError::BackendBuild(msg)) => error(ErrorCode::BackendBuild, msg),
+                }
+            }
+            Request::LocateBatch { points } => match &self.mode {
+                Mode::Unbound => not_bound(),
+                Mode::Private(bound) => locate_on(&bound.engine, &points),
+                Mode::Attached(att) => match load_snapshot(att) {
+                    Ok(snap) => locate_on(snap.engine(), &points),
+                    Err(resp) => resp,
+                },
+            },
+            Request::SinrBatch { station, points } => match &self.mode {
+                Mode::Unbound => not_bound(),
+                Mode::Private(bound) => sinrs_on(&bound.engine, bound.net.len(), station, &points),
+                Mode::Attached(att) => match load_snapshot(att) {
+                    Ok(snap) => sinrs_on(snap.engine(), snap.stations(), station, &points),
+                    Err(resp) => resp,
+                },
+            },
+            Request::Mutate {
+                expected_revision,
+                ops,
+            } => match &mut self.mode {
+                Mode::Unbound => not_bound(),
+                Mode::Private(bound) => {
+                    let current = bound.net.revision();
+                    if expected_revision != current {
+                        return error(
+                            ErrorCode::RevisionMismatch,
+                            format!(
+                                "mutate was computed against revision {expected_revision} but the \
+                                 session network is at revision {current}; nothing was applied"
+                            ),
+                        );
+                    }
+                    match bound.net.apply_ops(&ops) {
+                        Ok(deltas) => {
+                            if let Err(resp) = catch_up(bound, &deltas) {
+                                return resp;
+                            }
+                            Response::Mutated {
+                                revision: bound.net.revision(),
+                                applied: deltas.len() as u32,
+                            }
+                        }
+                        Err(batch) => {
+                            // The prefix stays applied (in-place surgery,
+                            // not a transaction): re-sync the engine to it,
+                            // then report the failing op. The revision in
+                            // the message tells the client where the
+                            // session network now is.
+                            if let Err(resp) = catch_up(bound, &batch.applied) {
+                                return resp;
+                            }
+                            error(
+                                ErrorCode::Surgery,
+                                format!(
+                                    "{batch}; session network is now at revision {}",
+                                    bound.net.revision()
+                                ),
+                            )
+                        }
+                    }
+                }
+                Mode::Attached(att) => match att.network.mutate(expected_revision, &ops) {
+                    Ok(ok) => Response::Mutated {
+                        revision: ok.revision,
+                        applied: ok.applied,
+                    },
+                    Err(MutateError::RevisionMismatch { expected, current }) => error(
+                        ErrorCode::RevisionMismatch,
+                        format!(
+                            "mutate was computed against revision {expected} but network '{}' \
+                             is at revision {current}; nothing was applied",
+                            att.network.name()
+                        ),
+                    ),
+                    Err(MutateError::Surgery { message, revision }) => error(
+                        ErrorCode::Surgery,
+                        format!(
+                            "{message}; network '{}' is now at revision {revision}",
+                            att.network.name()
+                        ),
+                    ),
+                },
+            },
+            Request::ReceptionProbBatch {
+                trials,
+                seed,
+                channel,
+                points,
+            } => match &self.mode {
+                Mode::Unbound => not_bound(),
+                Mode::Private(bound) => reception_on(
+                    &bound.engine,
+                    bound.backend,
+                    trials,
+                    seed,
+                    &channel,
+                    &points,
+                ),
+                Mode::Attached(att) => match load_snapshot(att) {
+                    Ok(snap) => {
+                        reception_on(snap.engine(), att.backend, trials, seed, &channel, &points)
+                    }
+                    Err(resp) => resp,
+                },
+            },
+            Request::SinrQuantilesBatch {
+                station,
+                trials,
+                seed,
+                channel,
+                quantiles,
+                points,
+            } => match &self.mode {
+                Mode::Unbound => not_bound(),
+                Mode::Private(bound) => quantiles_on(
+                    &bound.engine,
+                    bound.net.len(),
+                    bound.backend,
+                    station,
+                    trials,
+                    seed,
+                    &channel,
+                    &quantiles,
+                    &points,
+                ),
+                Mode::Attached(att) => match load_snapshot(att) {
+                    Ok(snap) => quantiles_on(
+                        snap.engine(),
+                        snap.stations(),
+                        att.backend,
+                        station,
+                        trials,
+                        seed,
+                        &channel,
+                        &quantiles,
+                        &points,
+                    ),
+                    Err(resp) => resp,
+                },
+            },
         }
     }
 }
 
-fn send<T: Transport>(transport: &mut T, response: &Response) -> std::io::Result<()> {
-    transport.send_frame(&encode_response(response))
+/// Serves one client to completion over a **private** registry: reads
+/// frames until the peer closes (or the stream becomes unrecoverable)
+/// and answers every request with exactly one response frame. With a
+/// per-session registry, `Register`ed networks are invisible to other
+/// sessions — the share-nothing contract of the original server. Accept
+/// loops that want shared networks use
+/// [`serve_session_with_registry`].
+///
+/// Never panics out: frame handling runs under `catch_unwind`, and a
+/// caught panic answers [`ErrorCode::Internal`] before dropping the
+/// connection.
+pub fn serve_session<T: Transport>(transport: T) {
+    serve_session_with_registry(transport, Arc::new(NetworkRegistry::new()));
+}
+
+/// [`serve_session`] against a shared [`NetworkRegistry`]: every
+/// session served with the same `registry` sees the same named
+/// networks and shares their snapshot stores.
+pub fn serve_session_with_registry<T: Transport>(mut transport: T, registry: Arc<NetworkRegistry>) {
+    let mut core = SessionCore::new(registry);
+    loop {
+        let payload = match transport.recv_frame() {
+            Ok(Some(payload)) => payload,
+            // Clean close on a frame boundary: the session is over.
+            Ok(None) => return,
+            Err(RecvError::Oversized { len }) => {
+                let _ = transport.send_frame(&encode_response(&error(
+                    ErrorCode::Oversized,
+                    format!("frame length {len} exceeds the limit"),
+                )));
+                return;
+            }
+            // I/O failure or EOF mid-frame: nothing sensible to say.
+            Err(_) => return,
+        };
+        let (frame, close) = core.handle_payload(&payload);
+        if transport.send_frame(&frame).is_err() || close {
+            return;
+        }
+    }
 }
 
 fn error(code: ErrorCode, message: String) -> Response {
     Response::Error { code, message }
 }
 
-/// Builds the requested backend over `net`.
-fn build_backend(backend: BackendId, epsilon: f64, net: &Network) -> Result<BoxedEngine, Response> {
-    match backend {
-        BackendId::ExactScan => Ok(BoxedEngine::exact_scan(net)),
-        BackendId::SimdScan => Ok(BoxedEngine::simd_scan(net)),
-        BackendId::VoronoiAssisted => Ok(BoxedEngine::voronoi_assisted(net)),
-        BackendId::Qds => {
-            if !(epsilon > 0.0 && epsilon < 1.0) {
-                return Err(error(
-                    ErrorCode::BackendBuild,
-                    format!("qds needs 0 < epsilon < 1, got {epsilon}"),
-                ));
-            }
-            PointLocator::build(net, &QdsConfig::with_epsilon(epsilon))
-                .map(|locator| BoxedEngine::new("qds", locator))
-                .map_err(|e| error(ErrorCode::BackendBuild, e.to_string()))
-        }
-    }
+fn not_bound() -> Response {
+    error(
+        ErrorCode::NotBound,
+        "session is not bound; send a Bind or Attach frame first".to_string(),
+    )
 }
 
-/// Brings the engine up to date with deltas the session network just
-/// emitted: incremental [`QueryEngine::apply`] per delta, falling back
-/// to a full [`QueryEngine::sync`] if any application is refused. A
-/// failed sync means the backend cannot represent the mutated network
+fn already_bound() -> Response {
+    error(
+        ErrorCode::AlreadyBound,
+        "this session is already bound; open a new connection".to_string(),
+    )
+}
+
+/// The attached session's current snapshot, or the typed detach error
+/// (the caller returns it; [`SessionCore::handle_payload`] sees the
+/// [`ErrorCode::UnknownNetwork`] and drops the session to unbound).
+fn load_snapshot(att: &AttachedState) -> Result<Arc<sinr_core::EngineSnapshot>, Response> {
+    att.store.load().map_err(|e| {
+        error(
+            ErrorCode::UnknownNetwork,
+            format!("detached from network '{}': {e}", att.network.name()),
+        )
+    })
+}
+
+/// Brings a private engine up to date with deltas the session network
+/// just emitted: incremental [`QueryEngine::apply`] per delta, falling
+/// back to a full [`QueryEngine::sync`] if any application is refused.
+/// A failed sync means the backend cannot represent the mutated network
 /// at all — reported as [`ErrorCode::Unsupported`] (the caller unbinds).
 fn catch_up(bound: &mut BoundState, deltas: &[NetworkDelta]) -> Result<(), Response> {
     for delta in deltas {
@@ -184,155 +484,118 @@ fn catch_up(bound: &mut BoundState, deltas: &[NetworkDelta]) -> Result<(), Respo
     Ok(())
 }
 
-/// One request → one response. Pure with respect to the transport.
-fn handle(state: &mut Option<BoundState>, request: Request) -> Response {
-    match request {
-        Request::Bind {
-            backend,
-            epsilon,
-            network,
-        } => {
-            if state.is_some() {
-                return error(
-                    ErrorCode::AlreadyBound,
-                    "this session is already bound; open a new connection".to_string(),
-                );
-            }
-            let net = match network.build() {
-                Ok(net) => net,
-                Err(e) => return error(ErrorCode::InvalidNetwork, e.to_string()),
-            };
-            let engine = match build_backend(backend, epsilon, &net) {
-                Ok(engine) => engine,
-                Err(resp) => return resp,
-            };
-            let revision = net.revision();
-            *state = Some(BoundState {
-                net,
-                engine,
-                backend,
-            });
-            Response::Bound { revision, backend }
-        }
-        Request::LocateBatch { points } => {
-            let Some(bound) = state.as_ref() else {
-                return not_bound();
-            };
-            let mut answers = vec![Located::Silent; points.len()];
-            match bound.engine.try_locate_batch(&points, &mut answers) {
-                Ok(()) => Response::Located {
-                    revision: bound.engine.revision(),
-                    answers,
-                },
-                Err(e) => error(ErrorCode::Stale, e.to_string()),
-            }
-        }
-        Request::SinrBatch { station, points } => {
-            let Some(bound) = state.as_ref() else {
-                return not_bound();
-            };
-            if station.0 >= bound.net.len() {
-                return error(
-                    ErrorCode::StationOutOfRange,
-                    format!(
-                        "station {} out of range (network has {})",
-                        station.0,
-                        bound.net.len()
-                    ),
-                );
-            }
-            let mut values = vec![0.0; points.len()];
-            match bound.engine.try_sinr_batch(station, &points, &mut values) {
-                Ok(()) => Response::Sinrs {
-                    revision: bound.engine.revision(),
-                    values,
-                },
-                Err(e) => error(ErrorCode::Stale, e.to_string()),
-            }
-        }
-        Request::Mutate {
-            expected_revision,
-            ops,
-        } => {
-            let Some(bound) = state.as_mut() else {
-                return not_bound();
-            };
-            let current = bound.net.revision();
-            if expected_revision != current {
-                return error(
-                    ErrorCode::RevisionMismatch,
-                    format!(
-                        "mutate was computed against revision {expected_revision} but the \
-                         session network is at revision {current}; nothing was applied"
-                    ),
-                );
-            }
-            match bound.net.apply_ops(&ops) {
-                Ok(deltas) => {
-                    if let Err(resp) = catch_up(bound, &deltas) {
-                        return resp;
-                    }
-                    Response::Mutated {
-                        revision: bound.net.revision(),
-                        applied: deltas.len() as u32,
-                    }
-                }
-                Err(batch) => {
-                    // The prefix stays applied (in-place surgery, not a
-                    // transaction): re-sync the engine to it, then report
-                    // the failing op. The revision in the message tells
-                    // the client where the session network now is.
-                    if let Err(resp) = catch_up(bound, &batch.applied) {
-                        return resp;
-                    }
-                    error(
-                        ErrorCode::Surgery,
-                        format!(
-                            "{batch}; session network is now at revision {}",
-                            bound.net.revision()
-                        ),
-                    )
-                }
-            }
-        }
-        Request::ReceptionProbBatch {
-            trials,
-            seed,
-            channel,
-            points,
-        } => {
-            let Some(bound) = state.as_ref() else {
-                return not_bound();
-            };
-            let mc = McConfig { trials, seed };
-            let mut values = vec![0.0; points.len()];
-            match bound
-                .engine
-                .reception_probability_batch(&channel, mc, &points, &mut values)
-            {
-                Ok(()) => Response::ReceptionProbs {
-                    revision: bound.engine.revision(),
-                    values,
-                },
-                Err(ChannelError::Unsupported(msg)) => error(
-                    ErrorCode::ChannelUnsupported,
-                    format!(
-                        "backend {} cannot serve stochastic channels: {msg}",
-                        bound.backend
-                    ),
-                ),
-                Err(e @ ChannelError::InvalidChannel(_)) => {
-                    error(ErrorCode::InvalidChannel, e.to_string())
-                }
-                Err(ChannelError::Stale(e)) => error(ErrorCode::Stale, e.to_string()),
-            }
-        }
+fn locate_on(engine: &BoxedEngine, points: &[Point]) -> Response {
+    let mut answers = vec![Located::Silent; points.len()];
+    match engine.try_locate_batch(points, &mut answers) {
+        Ok(()) => Response::Located {
+            revision: engine.revision(),
+            answers,
+        },
+        Err(e) => error(ErrorCode::Stale, e.to_string()),
     }
 }
 
-fn not_bound() -> Response {
-    error(
-        ErrorCode::NotBound,
-        "session is not bound; send a Bind frame first".to_string(),
-    )
+fn sinrs_on(
+    engine: &BoxedEngine,
+    stations: usize,
+    station: StationId,
+    points: &[Point],
+) -> Response {
+    if station.0 >= stations {
+        return error(
+            ErrorCode::StationOutOfRange,
+            format!(
+                "station {} out of range (network has {})",
+                station.0, stations
+            ),
+        );
+    }
+    let mut values = vec![0.0; points.len()];
+    match engine.try_sinr_batch(station, points, &mut values) {
+        Ok(()) => Response::Sinrs {
+            revision: engine.revision(),
+            values,
+        },
+        Err(e) => error(ErrorCode::Stale, e.to_string()),
+    }
+}
+
+fn reception_on(
+    engine: &BoxedEngine,
+    backend: BackendId,
+    trials: u32,
+    seed: u64,
+    channel: &ChannelModel,
+    points: &[Point],
+) -> Response {
+    let mc = McConfig { trials, seed };
+    let mut values = vec![0.0; points.len()];
+    match engine.reception_probability_batch(channel, mc, points, &mut values) {
+        Ok(()) => Response::ReceptionProbs {
+            revision: engine.revision(),
+            values,
+        },
+        Err(ChannelError::Unsupported(msg)) => error(
+            ErrorCode::ChannelUnsupported,
+            format!("backend {backend} cannot serve stochastic channels: {msg}"),
+        ),
+        Err(e @ ChannelError::InvalidChannel(_)) => error(ErrorCode::InvalidChannel, e.to_string()),
+        Err(ChannelError::Stale(e)) => error(ErrorCode::Stale, e.to_string()),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn quantiles_on(
+    engine: &BoxedEngine,
+    stations: usize,
+    backend: BackendId,
+    station: StationId,
+    trials: u32,
+    seed: u64,
+    channel: &ChannelModel,
+    quantiles: &[f64],
+    points: &[Point],
+) -> Response {
+    if station.0 >= stations {
+        return error(
+            ErrorCode::StationOutOfRange,
+            format!(
+                "station {} out of range (network has {})",
+                station.0, stations
+            ),
+        );
+    }
+    // The response carries points × quantiles f64s; refuse grids whose
+    // *response* could not fit in one frame (the request decoded fine,
+    // but answering it would break the framing contract). 17 bytes of
+    // header: tag + revision + quantile width + value count.
+    let cells = points.len().checked_mul(quantiles.len());
+    match cells {
+        Some(cells) if 17 + 8 * cells <= MAX_FRAME_LEN => {}
+        _ => {
+            return error(
+                ErrorCode::MalformedFrame,
+                format!(
+                    "quantile grid ({} points x {} quantiles) exceeds the response frame limit",
+                    points.len(),
+                    quantiles.len()
+                ),
+            )
+        }
+    }
+    let mc = McConfig { trials, seed };
+    let mut values = vec![0.0; points.len() * quantiles.len()];
+    match engine.sinr_quantiles_batch(channel, mc, station, points, quantiles, &mut values) {
+        Ok(()) => Response::SinrQuantiles {
+            revision: engine.revision(),
+            quantiles: quantiles.len() as u32,
+            values,
+        },
+        Err(ChannelError::Unsupported(msg)) => error(
+            ErrorCode::ChannelUnsupported,
+            format!("backend {backend} cannot serve stochastic channels: {msg}"),
+        ),
+        Err(e @ ChannelError::InvalidChannel(_)) => error(ErrorCode::InvalidChannel, e.to_string()),
+        Err(ChannelError::Stale(e)) => error(ErrorCode::Stale, e.to_string()),
+    }
 }

@@ -14,6 +14,17 @@
 //! connection dying *mid-frame* is [`RecvError::TruncatedFrame`], and a
 //! length prefix beyond [`MAX_FRAME_LEN`] is [`RecvError::Oversized`]
 //! (detected **before** any allocation — a 4-byte prefix can claim 4 GiB).
+//!
+//! Three implementations ship: the blocking [`IoTransport`] (one
+//! thread per connection), the in-process [`PipeTransport`] (tests and
+//! benches, no sockets), and the nonblocking [`PolledIo`] the
+//! worker-pool server multiplexes — same trait, so the session state
+//! machine cannot tell them apart. `PolledIo` extends the contract in
+//! one backward-compatible way: `recv_frame` returns
+//! `Err(RecvError::Io(e))` with `e.kind() == WouldBlock` when no
+//! complete frame has arrived *yet* (not an error — poll again), and
+//! `send_frame` queues into an internal buffer that
+//! [`PolledIo::flush_pending`] drains as the socket accepts it.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -177,6 +188,177 @@ impl<S: Read + Write + Send> Transport for IoTransport<S> {
     }
 }
 
+/// Cap on bytes queued in a [`PolledIo`]'s outgoing buffer: two maximal
+/// frames. A session whose peer stops draining responses while more
+/// queue up is a *slow consumer*; once the cap would be exceeded the
+/// send fails and the worker drops the connection, so one stalled
+/// client cannot pin unbounded server memory.
+pub const MAX_PENDING_OUT: usize = 2 * (MAX_FRAME_LEN + 4);
+
+/// A nonblocking, buffered [`Transport`] over a [`TcpStream`]: the
+/// per-connection I/O state of the worker-pool server
+/// ([`Server::spawn_pooled`](crate::server::Server::spawn_pooled)).
+///
+/// The stream is switched to nonblocking mode at construction. Reads
+/// accumulate in an input buffer until a complete length-prefixed frame
+/// is present; [`Transport::recv_frame`] then returns it, and otherwise
+/// returns a `WouldBlock` [`RecvError::Io`] — the *poll again* signal,
+/// which the worker loop treats as "this session is idle", never as a
+/// failure. Writes queue in an output buffer (bounded by
+/// [`MAX_PENDING_OUT`]) that [`PolledIo::flush_pending`] drains
+/// opportunistically.
+#[derive(Debug)]
+pub struct PolledIo {
+    stream: TcpStream,
+    in_buf: Vec<u8>,
+    out_buf: VecDeque<u8>,
+    peer_closed: bool,
+}
+
+impl PolledIo {
+    /// Wraps `stream`, switching it to nonblocking mode.
+    ///
+    /// # Errors
+    ///
+    /// The `set_nonblocking` syscall failing.
+    pub fn new(stream: TcpStream) -> io::Result<PolledIo> {
+        stream.set_nonblocking(true)?;
+        Ok(PolledIo {
+            stream,
+            in_buf: Vec::new(),
+            out_buf: VecDeque::new(),
+            peer_closed: false,
+        })
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Whether response bytes are still queued for the socket.
+    pub fn wants_write(&self) -> bool {
+        !self.out_buf.is_empty()
+    }
+
+    /// Writes queued response bytes until the socket stops accepting
+    /// them; `Ok(true)` means the queue fully drained.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error other than `WouldBlock` (which is `Ok(false)`).
+    pub fn flush_pending(&mut self) -> io::Result<bool> {
+        while !self.out_buf.is_empty() {
+            let (front, _) = self.out_buf.as_slices();
+            match self.stream.write(front) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.out_buf.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Pops one complete frame from the input buffer, if present.
+    fn take_frame(&mut self) -> Result<Option<Vec<u8>>, RecvError> {
+        if self.in_buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.in_buf[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(RecvError::Oversized { len: len as u64 });
+        }
+        if self.in_buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = self.in_buf[4..4 + len].to_vec();
+        self.in_buf.drain(..4 + len);
+        Ok(Some(payload))
+    }
+
+    /// Bytes the buffered partial frame still needs (for the truncation
+    /// report when the peer vanishes mid-frame).
+    fn missing(&self) -> usize {
+        if self.in_buf.len() < 4 {
+            4 - self.in_buf.len()
+        } else {
+            let len = u32::from_le_bytes(self.in_buf[..4].try_into().expect("4 bytes")) as usize;
+            4 + len - self.in_buf.len()
+        }
+    }
+
+    /// One nonblocking read burst into the input buffer; `Ok(0)` is EOF.
+    fn try_fill(&mut self) -> io::Result<usize> {
+        let mut chunk = [0u8; 64 * 1024];
+        let n = self.stream.read(&mut chunk)?;
+        self.in_buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+}
+
+impl Transport for PolledIo {
+    /// Queues the frame; bytes reach the socket opportunistically (here
+    /// and in later [`PolledIo::flush_pending`] calls).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for an oversized payload, an out-of-space error
+    /// when the peer is a slow consumer (queue past
+    /// [`MAX_PENDING_OUT`]), or any real socket error while
+    /// opportunistically flushing.
+    fn send_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "frame payload of {} bytes exceeds MAX_FRAME_LEN",
+                    payload.len()
+                ),
+            ));
+        }
+        if self.out_buf.len() + 4 + payload.len() > MAX_PENDING_OUT {
+            return Err(io::Error::other(
+                "slow consumer: outgoing frame queue exceeds MAX_PENDING_OUT",
+            ));
+        }
+        self.out_buf.extend((payload.len() as u32).to_le_bytes());
+        self.out_buf.extend(payload.iter().copied());
+        self.flush_pending().map(|_| ())
+    }
+
+    /// A buffered complete frame, else one read burst, else
+    /// `WouldBlock` (poll again later — not a failure).
+    fn recv_frame(&mut self) -> Result<Option<Vec<u8>>, RecvError> {
+        loop {
+            if let Some(frame) = self.take_frame()? {
+                return Ok(Some(frame));
+            }
+            if self.peer_closed {
+                return if self.in_buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(RecvError::TruncatedFrame {
+                        missing: self.missing(),
+                    })
+                };
+            }
+            match self.try_fill() {
+                Ok(0) => self.peer_closed = true,
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Err(RecvError::Io(e));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(RecvError::Io(e)),
+            }
+        }
+    }
+}
+
 /// One direction of the in-process pipe.
 #[derive(Debug, Default)]
 struct Half {
@@ -331,5 +513,97 @@ mod tests {
         drop(b);
         let err = a.send_frame(b"x").unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    fn poll_recv(polled: &mut PolledIo) -> Vec<u8> {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match polled.recv_frame() {
+                Ok(Some(frame)) => return frame,
+                Ok(None) => panic!("peer closed while a frame was expected"),
+                Err(RecvError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {
+                    assert!(std::time::Instant::now() < deadline, "frame never arrived");
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err(e) => panic!("recv failed: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn polled_io_round_trips_and_reports_would_block() {
+        let (client, server) = tcp_pair();
+        let mut client = IoTransport::new(client);
+        let mut polled = PolledIo::new(server).unwrap();
+
+        // Nothing sent yet: WouldBlock, not an error or a close.
+        match polled.recv_frame() {
+            Err(RecvError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::WouldBlock),
+            other => panic!("expected WouldBlock, got {other:?}"),
+        }
+
+        client.send_frame(b"ping").unwrap();
+        client.send_frame(b"").unwrap();
+        assert_eq!(poll_recv(&mut polled), b"ping");
+        assert_eq!(poll_recv(&mut polled), b"");
+
+        // Frames sent through the polled side arrive at the blocking
+        // peer (opportunistic flush).
+        polled.send_frame(b"pong").unwrap();
+        while polled.wants_write() {
+            polled.flush_pending().unwrap();
+        }
+        assert_eq!(client.recv_frame().unwrap().unwrap(), b"pong");
+
+        // Clean close: EOF on a frame boundary is Ok(None).
+        drop(client);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match polled.recv_frame() {
+                Ok(None) => break,
+                Err(RecvError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {
+                    assert!(std::time::Instant::now() < deadline, "close never observed");
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                other => panic!("expected clean close, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn polled_io_reassembles_split_frames() {
+        let (client, server) = tcp_pair();
+        let mut polled = PolledIo::new(server).unwrap();
+        let payload = vec![7u8; 1000];
+        let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&payload);
+
+        // Dribble the frame in three chunks with pauses: recv must
+        // buffer partial bytes across WouldBlock polls.
+        let mut client = client;
+        for chunk in wire.chunks(400) {
+            client.write_all(chunk).unwrap();
+            client.flush().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            // Poll in between: either WouldBlock (frame incomplete) or
+            // the completed frame on the last chunk.
+            match polled.recv_frame() {
+                Ok(Some(frame)) => {
+                    assert_eq!(frame, payload);
+                    return;
+                }
+                Err(RecvError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {}
+                other => panic!("unexpected recv outcome: {other:?}"),
+            }
+        }
+        assert_eq!(poll_recv(&mut polled), payload);
     }
 }

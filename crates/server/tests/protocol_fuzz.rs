@@ -466,6 +466,164 @@ fn decodable_but_invalid_channels_are_invalid_channel() {
     assert!(handle.join().is_ok());
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The new tags (`Register` 0x06, `Attach` 0x07,
+    /// `SinrQuantilesBatch` 0x08) under arbitrary body bytes: typed
+    /// errors only, no panics, no phantom successes. (A random body
+    /// that happens to decode as a valid `Register` is the one
+    /// legitimate success path, mirroring the `Bind` caveat above.)
+    #[test]
+    fn arbitrary_named_frame_bodies_never_panic(
+        tag in 6u8..9,
+        body in collection::vec(any::<u8>(), 0..192)
+    ) {
+        let (mut client, handle) = owned_session();
+        let mut payload = vec![tag];
+        payload.extend(&body);
+        client.send_raw(&payload).expect("send");
+        match client.recv() {
+            Err(ClientError::Server { .. }) => {}
+            Ok(Response::Registered { .. }) if tag == 6 => {}
+            Ok(other) => prop_assert!(false, "garbage tag {tag} produced {other:?}"),
+            Err(other) => prop_assert!(false, "session died: {other}"),
+        }
+        drop(client);
+        prop_assert!(handle.join().is_ok(), "session thread panicked");
+    }
+
+    /// Name-length bytes lying about the frame (claiming more bytes
+    /// than arrive, or zero) are MalformedFrame for both named frames,
+    /// and the session keeps serving.
+    #[test]
+    fn lying_name_lengths_are_malformed(claimed in 1u8..255, tag in 6u8..8) {
+        let (mut client, handle) = owned_session();
+        // Ship strictly fewer name bytes than the length byte claims.
+        let shipped = (claimed as usize).saturating_sub(1);
+        let mut payload = vec![tag, claimed];
+        payload.extend(std::iter::repeat_n(b'x', shipped));
+        client.send_raw(&payload).expect("send");
+        match client.recv() {
+            Err(ClientError::Server { code, .. }) => {
+                prop_assert_eq!(code, ErrorCode::MalformedFrame)
+            }
+            other => prop_assert!(false, "expected MalformedFrame, got {other:?}"),
+        }
+        // Zero-length names are refused outright.
+        let zero = vec![tag, 0u8];
+        client.send_raw(&zero).expect("send");
+        match client.recv() {
+            Err(ClientError::Server { code, .. }) => {
+                prop_assert_eq!(code, ErrorCode::MalformedFrame)
+            }
+            other => prop_assert!(false, "expected MalformedFrame, got {other:?}"),
+        }
+        let net = tiny_network();
+        client.bind_network(BackendId::ExactScan, 0.0, &net).expect("still serving");
+        drop(client);
+        prop_assert!(handle.join().is_ok(), "session thread panicked");
+    }
+
+    /// A well-formed `SinrQuantilesBatch` cut short anywhere in its
+    /// body is MalformedFrame, and the binding survives untouched.
+    #[test]
+    fn truncated_quantiles_frames_are_malformed(cut in 1usize..40) {
+        let (mut client, handle) = owned_session();
+        let net = tiny_network();
+        client.bind_network(BackendId::ExactScan, 0.0, &net).expect("bind");
+
+        // tag, station, trials, seed, deterministic channel, 2
+        // quantiles, 2 points.
+        let mut payload = vec![0x08];
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&8u32.to_le_bytes());
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.push(0);
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        for q in [0.25f64, 0.75] {
+            payload.extend_from_slice(&q.to_le_bytes());
+        }
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        for v in [0.5f64, 0.0, 3.0, 0.5] {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        let cut = cut.min(payload.len() - 2); // keep at least the tag
+        payload.truncate(payload.len() - cut);
+        client.send_raw(&payload).expect("send");
+        match client.recv() {
+            Err(ClientError::Server { code, .. }) => {
+                prop_assert_eq!(code, ErrorCode::MalformedFrame)
+            }
+            other => prop_assert!(false, "expected MalformedFrame, got {other:?}"),
+        }
+        let (rev, _) = client.locate_batch(&[Point::new(0.5, 0.0)]).expect("serving");
+        prop_assert_eq!(rev, 0);
+        drop(client);
+        prop_assert!(handle.join().is_ok(), "session thread panicked");
+    }
+}
+
+/// Deterministic corner: non-UTF-8 name bytes are MalformedFrame for
+/// both named frames; the session survives and the name stays free.
+#[test]
+fn non_utf8_names_are_malformed() {
+    let (mut client, handle) = owned_session();
+    for tag in [0x06u8, 0x07] {
+        let mut payload = vec![tag, 3u8, 0xFF, 0xFE, 0xFD];
+        if tag == 0x07 {
+            payload.push(0); // backend
+            payload.extend_from_slice(&0.0f64.to_le_bytes()); // epsilon
+        }
+        client.send_raw(&payload).expect("send");
+        match client.recv() {
+            Err(ClientError::Server { code, message }) => {
+                assert_eq!(code, ErrorCode::MalformedFrame, "tag {tag:#04x}");
+                assert!(message.contains("UTF-8"), "tag {tag:#04x}: {message}");
+            }
+            other => panic!("tag {tag:#04x}: expected MalformedFrame, got {other:?}"),
+        }
+    }
+    let net = tiny_network();
+    client
+        .register_network("fine", &net)
+        .expect("valid name still free");
+    drop(client);
+    assert!(handle.join().is_ok());
+}
+
+/// Deterministic corner: registry errors are per-request — NameTaken
+/// on a duplicate Register, UnknownNetwork on a dangling Attach — and
+/// the session survives both into a working Attach.
+#[test]
+fn registry_errors_are_typed_and_survivable() {
+    let (mut client, handle) = owned_session();
+    let net = tiny_network();
+    match client.attach("nowhere", BackendId::ExactScan, 0.0) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::UnknownNetwork),
+        other => panic!("expected UnknownNetwork, got {other:?}"),
+    }
+    client.register_network("here", &net).expect("register");
+    match client.register_network("here", &net) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::NameTaken);
+            assert!(message.contains("here"), "message: {message}");
+        }
+        other => panic!("expected NameTaken, got {other:?}"),
+    }
+    let rev = client
+        .attach("here", BackendId::ExactScan, 0.0)
+        .expect("attach after errors");
+    assert_eq!(rev, 0);
+    let (rev, answers) = client
+        .locate_batch(&[Point::new(0.5, 0.0)])
+        .expect("attached session serves");
+    assert_eq!(rev, 0);
+    assert_eq!(answers.len(), 1);
+    drop(client);
+    assert!(handle.join().is_ok());
+}
+
 /// Deterministic corner: a qds Bind on a network violating the
 /// Theorem-3 preconditions (β ≤ 1 here) is BackendBuild, typed.
 #[test]

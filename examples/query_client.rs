@@ -159,6 +159,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (bursts.len() * probes.len()) as f64 / elapsed.as_secs_f64()
     );
 
+    // Shared phase (PR 7, in-process mode only — the external pair
+    // partner serves exactly one connection): publish the final network
+    // under a name and attach a second session to it. Both sessions now
+    // answer from the same shared engine snapshot, and the attached one
+    // is verified against the same local mirror.
+    if handle.is_some() {
+        client.register_network("orbit", &mirror)?;
+        let mut observer = Client::connect(&addr)?;
+        let rev = observer.attach("orbit", BackendId::VoronoiAssisted, 0.0)?;
+        let (r, answers) = observer.locate_batch(&probes)?;
+        assert_eq!(r, rev);
+        let local = ExactScan::new(&mirror);
+        let mut expected = vec![Located::Silent; probes.len()];
+        local.locate_batch(&probes, &mut expected);
+        assert_eq!(
+            answers, expected,
+            "attached observer diverged from the mirror"
+        );
+        println!(
+            "attached observer on shared network 'orbit': {} probes verified against the mirror",
+            probes.len()
+        );
+        drop(observer);
+    }
+
     drop(client);
     if let Some(handle) = handle {
         handle.shutdown();

@@ -3,14 +3,19 @@
 //! Modes:
 //!
 //! * no arguments — **self-demo**: bind an ephemeral port, drive a short
-//!   TCP client session against it in-process, shut down (what CI's
-//!   example smoke loop runs);
+//!   TCP client session against it in-process (private `Bind` first,
+//!   then a shared `Register`/`Attach` round with concurrent sessions
+//!   on one named network), shut down (what CI's example smoke loop
+//!   runs);
 //! * `--serve-one [--listen ADDR]` — accept exactly one connection,
 //!   serve it to completion, exit (the server half of the CI
 //!   client/server pair smoke);
-//! * `--listen ADDR` — serve forever, thread per connection.
+//! * `--listen ADDR` — serve forever, thread per connection;
+//! * `--listen ADDR --pool N` — serve forever on a fixed pool of N
+//!   worker threads multiplexing every connection (the
+//!   many-light-clients mode).
 //!
-//! Run with: `cargo run --release --example query_server -- --listen 127.0.0.1:7878`
+//! Run with: `cargo run --release --example query_server -- --listen 127.0.0.1:7878 --pool 4`
 
 use sinr_diagrams::prelude::*;
 use sinr_diagrams::server::{BackendId, Client, Server};
@@ -23,6 +28,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|i| args.get(i + 1).cloned().ok_or("--listen needs an address"))
         .transpose()?;
     let serve_one = args.iter().any(|a| a == "--serve-one");
+    let pool: Option<usize> = args
+        .iter()
+        .position(|a| a == "--pool")
+        .map(|i| {
+            args.get(i + 1)
+                .ok_or("--pool needs a worker count")?
+                .parse()
+                .map_err(|e| format!("--pool: {e}"))
+        })
+        .transpose()?;
 
     match (listen, serve_one) {
         (addr, true) => {
@@ -33,14 +48,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         (Some(addr), false) => {
             let server = Server::bind(addr.as_str())?;
-            println!(
-                "serving on {} (thread per connection; ctrl-c to stop)",
-                server.local_addr()?
-            );
+            let local = server.local_addr()?;
             // The background accept loop serves sessions concurrently
             // (serve_sessions(1) would serialize clients); this thread
             // only has to stay alive.
-            let _handle = server.spawn()?;
+            let _handle = match pool {
+                Some(workers) => {
+                    println!("serving on {local} ({workers}-worker pool; ctrl-c to stop)");
+                    server.spawn_pooled(workers)?
+                }
+                None => {
+                    println!("serving on {local} (thread per connection; ctrl-c to stop)");
+                    server.spawn()?
+                }
+            };
             loop {
                 std::thread::park();
             }
@@ -108,6 +129,52 @@ fn self_demo() -> Result<(), Box<dyn std::error::Error>> {
         "after moving s2 in place: {changed} probes changed zone (revision {rev}); verified again"
     );
 
+    // Shared phase (PR 7): publish the mutated network under a name and
+    // let several sessions answer from ONE shared engine snapshot —
+    // versus the private engine each `Bind` above built for itself.
+    let rev = client.register_network("demo", &moved)?;
+    println!("registered the current network as 'demo' (revision {rev})");
+    let mut attached: Vec<Client<_>> = (0..3)
+        .map(|_| {
+            let mut c = Client::connect(handle.addr())?;
+            c.attach("demo", BackendId::SimdScan, 0.0)?;
+            Ok::<_, Box<dyn std::error::Error>>(c)
+        })
+        .collect::<Result<_, _>>()?;
+    for (i, c) in attached.iter_mut().enumerate() {
+        let (rev, answers) = c.locate_batch(&probes)?;
+        assert_eq!(rev, 0, "fresh name starts at revision 0");
+        let heard = answers.iter().filter(|a| a.station().is_some()).count();
+        println!(
+            "attached session {i}: {heard}/{} probes heard",
+            probes.len()
+        );
+    }
+    let shared = handle
+        .registry()
+        .get("demo")
+        .expect("the registered network");
+    println!(
+        "{} attached sessions share {} engine store(s): memory scales with (network, backend), not sessions",
+        attached.len(),
+        shared.store_count()
+    );
+    // One session mutates the named network; everyone observes the new
+    // revision on their next request (RCU snapshot publication).
+    let rev = attached[0].mutate(
+        0,
+        &[SurgeryOp::SetPower {
+            id: StationId(0),
+            power: 1.5,
+        }],
+    )?;
+    for c in &mut attached {
+        let (r, _) = c.locate_batch(&probes)?;
+        assert_eq!(r, rev, "every attached session observes the mutation");
+    }
+    println!("one Mutate on 'demo' published revision {rev} to all attached sessions");
+
+    drop(attached);
     drop(client);
     handle.shutdown();
     println!("server shut down cleanly");
