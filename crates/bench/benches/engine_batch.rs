@@ -43,6 +43,19 @@
 //! into a timed loop — greedy SINR-threshold link scheduling with
 //! per-slot fading gains applied as power surgery — and emits one
 //! `"scenario":"scheduling"` line with ns/step and queue outcomes.
+//!
+//! The **heatmap** scenario (PR 8) rasterises a megapixel reception map
+//! over a zoomed window of the `n = 4096` network twice — dense
+//! (`ReceptionMap::compute_with_engine`, every pixel centre located)
+//! and hierarchical (`compute_hierarchical_with_engine`, quadtree
+//! refinement over interval certificates) — asserts the rasters equal,
+//! and emits one `"scenario":"heatmap"` line per grid size with
+//! `ns_per_point` (hierarchical, the headline), `dense_ns_per_point`,
+//! their ratio and `cells_evaluated_fraction` (the share of pixels that
+//! actually paid per-point evaluation). The bench itself fails if the
+//! hierarchical path falls below its per-grid speedup floor (5× at
+//! 1024², 10× at 2048²) or evaluates ≥ 15% of the 2048² grid, so a
+//! trend line certifies the pruning, not just the wall clock.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
@@ -53,7 +66,8 @@ use sinr_core::engine::{
 use sinr_core::simd::{SimdKernel, SimdScan};
 use sinr_core::tile::{self, Select, TileConfig, TileStats};
 use sinr_core::{gen, ChannelModel, McConfig, Network, StationId, SurgeryOp};
-use sinr_geometry::Point;
+use sinr_diagram::ReceptionMap;
+use sinr_geometry::{BBox, Point};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -603,10 +617,112 @@ fn emit_scheduling_json_line() {
     println!("{}", line.render());
 }
 
+/// Heatmap scenario shape: the `n = 4096` default network (half-width
+/// 128), rasterised over a 12×12-unit zoom window (a few dozen
+/// reception zones, each spanning hundreds of pixels — the regime
+/// hierarchical refinement exists for: ambiguous pixels hug the zone
+/// boundaries, whose length grows with the window's *diameter* while
+/// the dense cost grows with its *area*) at megapixel grid sizes.
+const HEATMAP_STATIONS: usize = 4096;
+const HEATMAP_HALF: f64 = 6.0;
+const HEATMAP_GRIDS: [usize; 2] = [1024, 2048];
+/// Timing repetitions per path; the recorded value is the minimum (the
+/// usual robust estimator on a shared, 1-core CI box, where the dense
+/// baseline alone jitters ±15% run to run).
+const HEATMAP_REPS: usize = 3;
+/// Internal floors: a heatmap trend line certifies both the wall clock
+/// and the pruning, so regressions fail the bench rather than merely
+/// drifting the numbers. The speedup floor is per grid — boundary
+/// pixels are a *diameter* phenomenon, so the hierarchical economy
+/// improves with resolution and the megapixel grid must clear 10×.
+const HEATMAP_MIN_SPEEDUP: [(usize, f64); 2] = [(1024, 5.0), (2048, 10.0)];
+const HEATMAP_MAX_FRACTION: f64 = 0.15;
+
+/// The heatmap record: dense rasterisation (locate every pixel centre
+/// through the tiled batch executor) vs hierarchical quadtree
+/// refinement (interval certificates resolve certified-uniform cells
+/// wholesale; only boundary-straddling cells pay per-point work), the
+/// rasters asserted equal. One `"scenario":"heatmap"` line per grid.
+fn emit_heatmap_json_lines() {
+    let net = gen::random_uniform_network(
+        42 + HEATMAP_STATIONS as u64,
+        HEATMAP_STATIONS,
+        window_half(HEATMAP_STATIONS),
+        0.01,
+        2.0,
+    )
+    .unwrap();
+    let window = BBox::centered_square(HEATMAP_HALF);
+    let engine = SimdScan::new(&net);
+
+    for grid in HEATMAP_GRIDS {
+        let pixels = (grid * grid) as u64;
+
+        let mut dense_ns = f64::INFINITY;
+        let mut dense = None;
+        for _ in 0..HEATMAP_REPS {
+            let start = Instant::now();
+            let map = ReceptionMap::compute_with_engine(&engine, window, grid, grid);
+            dense_ns = dense_ns.min(start.elapsed().as_nanos() as f64 / pixels as f64);
+            dense = Some(map);
+        }
+        let dense = dense.expect("HEATMAP_REPS > 0");
+
+        let mut hier_ns = f64::INFINITY;
+        let mut hier = None;
+        for _ in 0..HEATMAP_REPS {
+            let start = Instant::now();
+            let run = ReceptionMap::compute_hierarchical_with_engine(&engine, window, grid, grid);
+            hier_ns = hier_ns.min(start.elapsed().as_nanos() as f64 / pixels as f64);
+            hier = Some(run);
+        }
+        let (hier, stats) = hier.expect("HEATMAP_REPS > 0");
+
+        assert_eq!(dense, hier, "{grid}²: hierarchical diverged from dense");
+        assert_eq!(stats.pixels, pixels, "{grid}²: pixel accounting");
+
+        let speedup = dense_ns / hier_ns;
+        let fraction = stats.fraction();
+        let floor = HEATMAP_MIN_SPEEDUP
+            .iter()
+            .find(|(g, _)| *g == grid)
+            .map(|(_, f)| *f)
+            .expect("every heatmap grid has a speedup floor");
+        assert!(
+            speedup >= floor,
+            "{grid}²: hierarchical speedup {speedup:.1}x below the {floor}x floor"
+        );
+        assert!(
+            fraction < HEATMAP_MAX_FRACTION,
+            "{grid}²: evaluated {:.1}% of pixels (ceiling {:.0}%)",
+            fraction * 100.0,
+            HEATMAP_MAX_FRACTION * 100.0
+        );
+
+        let line = JsonLine::new("engine_batch")
+            .str("scenario", "heatmap")
+            .str("backend", "simd_scan")
+            .str("simd_kernel", engine.kernel().name())
+            .int("stations", HEATMAP_STATIONS as u64)
+            .int("grid", grid as u64)
+            .int("query_points", pixels)
+            .num("window_half", HEATMAP_HALF)
+            .num("ns_per_point", hier_ns)
+            .num("dense_ns_per_point", dense_ns)
+            .num("speedup_hier_vs_dense", speedup)
+            .int("cells_evaluated", stats.cells_evaluated)
+            .int("point_certified", stats.point_certified)
+            .int("certificates", stats.certificates)
+            .num("cells_evaluated_fraction", fraction);
+        println!("{}", line.render());
+    }
+}
+
 fn main() {
     benches();
     emit_json_lines();
     emit_churn_json_lines();
     emit_channel_mc_json_lines();
     emit_scheduling_json_line();
+    emit_heatmap_json_lines();
 }

@@ -116,10 +116,55 @@
 //!    spatial tile size ([`crate::tile::TileConfig`] makes it tunable
 //!    per call).
 //!
-//! `sinr_batch` uses the Morton tiling for spatial locality only (same
-//! per-point computation, bit-identical values); the Theorem-3
-//! `PointLocator` reuses the tile grouping so queries dispatching to
-//! the same zone grid are processed together.
+//! `sinr_batch` routes through the same certified tiled executor
+//! ([`crate::tile::sinr_batch_tiled`]): Morton tiling for spatial
+//! locality, plus a **bulk-zero certificate** — a tile where the
+//! queried station's energy envelope tops out at exactly `0.0` while
+//! noise or some other station's energy is provably positive writes
+//! `+0.0` for the whole tile without per-point evaluation (exact, not
+//! approximate: the inverse-square kernel's correctly-rounded
+//! arithmetic makes the envelope bound itself bit-exact there). All
+//! other points re-run the engine's own serial kernel, so `sinr_batch`
+//! stays bit-identical to the serial path; the Theorem-3 `PointLocator`
+//! reuses the tile grouping so queries dispatching to the same zone
+//! grid are processed together.
+//!
+//! ## Interval certificates
+//!
+//! [`QueryEngine::sinr_bounds_cell`] extends the per-tile envelope
+//! machinery into a queryable API: a [`CellCert`](crate::tile::CellCert)
+//! carries, for an axis-aligned cell, a certified `[lo, hi]` SINR
+//! interval per station ([`CellCert::sinr`](crate::tile::CellCert::sinr))
+//! and a whole-cell decision
+//! ([`CellDecision`](crate::tile::CellDecision)):
+//!
+//! * **`Reception(i)`** is claimed only when every *other* station is
+//!   certified silent across the cell **and** station `i`'s reception
+//!   test passes at the adversarial ends of the interference interval —
+//!   sound for every point of the cell under the same
+//!   `BOUND_MARGIN`/deep-fade widening rules as the batch certificates
+//!   (the margins are one-sided: looseness degrades to `Mixed`, never
+//!   to a wrong uniform claim);
+//! * **`Silent`** requires every station's certified silence;
+//! * **`Mixed`** is the honest "subdivide or evaluate per-point"
+//!   answer, and the *only* possible answer for cells touching
+//!   non-finite coordinates.
+//!
+//! Certificates chain: passing a parent cell's certificate for a
+//! contained child re-envelopes only the parent's surviving candidates
+//! (certified-silent stations freeze into a shared interference
+//! residual), so quadtree refinement costs `O(candidates)` per cell,
+//! not `O(n)`. [`QueryEngine::locate_in_cell`] closes the loop at
+//! point scale: individual points inside a certified cell are answered
+//! from the certificate's candidates alone (exact kernel energies plus
+//! the frozen residual bracket, `O(candidates)` per point,
+//! bit-identical to [`QueryEngine::locate`] wherever the margins pin
+//! the answer), so refinement leaves only the truly ambiguous sliver
+//! of points to full batched evaluation. The default implementations
+//! return `None`/`false` — backends without sound envelopes (the
+//! ε-approximate Theorem-3 locator) opt out, and callers degrade to
+//! dense evaluation. `sinr-diagram` builds hierarchical rasterisation
+//! on exactly this contract.
 //!
 //! ## Stochastic channels
 //!
@@ -999,9 +1044,13 @@ impl SinrEvaluator {
     }
 
     /// Batched [`SinrEvaluator::sinr`] for one station across many
-    /// points — scheduled in Morton-tile order for spatial coherence
-    /// (the per-point computation is unchanged, so values are
-    /// bit-identical to serial [`SinrEvaluator::sinr`] calls).
+    /// points — scheduled in Morton-tile order for spatial coherence.
+    /// Batches that clear [`TileConfig`](crate::tile::TileConfig)'s
+    /// engagement thresholds run the certified tiled executor
+    /// ([`crate::tile::sinr_batch_tiled`]): tiles whose value is
+    /// provably `+0.0` everywhere are bulk-filled, every other point
+    /// runs the unchanged per-point kernel — so values stay
+    /// bit-identical to serial [`SinrEvaluator::sinr`] calls.
     ///
     /// # Panics
     ///
@@ -1010,6 +1059,21 @@ impl SinrEvaluator {
         self.assert_fresh();
         assert!(i.0 < self.len(), "station {i} out of range");
         let cfg = crate::tile::TileConfig::default();
+        if cfg.engages(points.len(), self.len()) {
+            self.with_kernel(|ev, k| match k {
+                DynKernel::Square(k) => {
+                    crate::tile::sinr_batch_tiled(ev, i, points, out, &cfg, |p| {
+                        ev.sinr_with(k, i.0, p)
+                    });
+                }
+                DynKernel::General(k) => {
+                    crate::tile::sinr_batch_tiled(ev, i, points, out, &cfg, |p| {
+                        ev.sinr_with(k, i.0, p)
+                    });
+                }
+            });
+            return;
+        }
         self.with_kernel(|ev, k| match k {
             DynKernel::Square(k) => {
                 crate::tile::batch_map_morton(points, out, &cfg, |p| ev.sinr_with(k, i.0, p))
@@ -1018,6 +1082,49 @@ impl SinrEvaluator {
                 crate::tile::batch_map_morton(points, out, &cfg, |p| ev.sinr_with(k, i.0, p))
             }
         });
+    }
+
+    /// Interval-certified evaluation of the axis-aligned cell
+    /// `[min, max]`: per-station energy envelopes, leave-one-out
+    /// interference brackets, certified SINR intervals
+    /// ([`CellCert::sinr`](crate::tile::CellCert::sinr)) and — when the
+    /// margins allow — a uniform reception
+    /// [`CellDecision`](crate::tile::CellDecision) for the whole cell.
+    ///
+    /// Pass a certificate of a **containing** cell as `parent` to
+    /// re-envelope only its surviving candidates (the refinement
+    /// contract; see [`crate::tile`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is stale.
+    pub fn sinr_bounds_cell(
+        &self,
+        min: Point,
+        max: Point,
+        parent: Option<&crate::tile::CellCert>,
+    ) -> crate::tile::CellCert {
+        self.assert_fresh();
+        crate::tile::cell_certificate(self, min, max, parent)
+    }
+
+    /// Certified batched location against an ancestor cell certificate
+    /// — the evaluator-level worker behind
+    /// [`QueryEngine::locate_in_cell`]: candidate-only certified
+    /// decisions ([`crate::tile::locate_in_cell`]); points the margins
+    /// cannot pin come back `None` for the caller's batch path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is stale or the slice lengths differ.
+    pub fn locate_in_cell(
+        &self,
+        cert: &crate::tile::CellCert,
+        points: &[Point],
+        out: &mut [Option<Located>],
+    ) {
+        self.assert_fresh();
+        crate::tile::locate_in_cell(self, crate::tile::Select::MaxEnergy, cert, points, out);
     }
 }
 
@@ -1127,6 +1234,64 @@ pub trait QueryEngine {
         self.freshness()?;
         self.sinr_batch(i, points, out);
         Ok(())
+    }
+
+    // --- Interval certificates ([`crate::tile`]) -------------------------
+
+    /// Interval-certified evaluation of one axis-aligned cell: a
+    /// [`CellCert`](crate::tile::CellCert) bracketing every station's
+    /// SINR over `[min, max]` and, when the certified brackets clear the
+    /// margins, a uniform [`CellDecision`](crate::tile::CellDecision)
+    /// that is **sound for this backend's own `locate`** at every point
+    /// of the cell. Certificates chain: pass a containing cell's
+    /// certificate as `parent` so only its surviving candidate stations
+    /// are re-enveloped (the quadtree-refinement contract).
+    ///
+    /// The default declines with `None` — backends that cannot tie the
+    /// envelope arithmetic to their answer path (approximate locators)
+    /// keep it, and consumers must fall back to per-point evaluation.
+    /// The exact backends override it via the generic executor.
+    fn sinr_bounds_cell(
+        &self,
+        min: Point,
+        max: Point,
+        parent: Option<&crate::tile::CellCert>,
+    ) -> Option<crate::tile::CellCert> {
+        let _ = (min, max, parent);
+        None
+    }
+
+    /// Certified per-point location against an ancestor cell
+    /// certificate: for each point (all of which must lie inside
+    /// `cert`'s cell), writes `Some` of this backend's own
+    /// [`QueryEngine::locate`] answer when the certificate's surviving
+    /// candidates plus its frozen residual bracket pin the decision
+    /// ([`crate::tile::locate_in_cell`] — `O(candidates)` instead of a
+    /// full scan), `None` when they cannot — those points belong on
+    /// [`QueryEngine::locate_batch`]. Returns `true` when the backend
+    /// supports the path at all. Every `Some` is bit-identical to
+    /// `locate_batch` on the same point. This is how the quadtree
+    /// rasteriser keeps boundary pixels cheap: their spatial scatter
+    /// defeats batch-level tile pruning, but the refinement already
+    /// holds a tight certificate for each one.
+    ///
+    /// The default declines with `false` (`out` untouched) — paired
+    /// with [`QueryEngine::sinr_bounds_cell`]'s default, so backends
+    /// without certificates route consumers back to
+    /// [`QueryEngine::locate_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` and `out` have different lengths (like every
+    /// batched method).
+    fn locate_in_cell(
+        &self,
+        cert: &crate::tile::CellCert,
+        points: &[Point],
+        out: &mut [Option<Located>],
+    ) -> bool {
+        let _ = (cert, points, out);
+        false
     }
 
     // --- Stochastic channels ([`crate::channel`]) ------------------------
@@ -1292,6 +1457,25 @@ impl QueryEngine for ExactScan {
 
     fn sinr_batch(&self, i: StationId, points: &[Point], out: &mut [f64]) {
         self.eval.sinr_batch(i, points, out);
+    }
+
+    fn sinr_bounds_cell(
+        &self,
+        min: Point,
+        max: Point,
+        parent: Option<&crate::tile::CellCert>,
+    ) -> Option<crate::tile::CellCert> {
+        Some(self.eval.sinr_bounds_cell(min, max, parent))
+    }
+
+    fn locate_in_cell(
+        &self,
+        cert: &crate::tile::CellCert,
+        points: &[Point],
+        out: &mut [Option<Located>],
+    ) -> bool {
+        self.eval.locate_in_cell(cert, points, out);
+        true
     }
 
     fn freshness(&self) -> Result<(), LocateError> {
@@ -1614,6 +1798,45 @@ impl QueryEngine for VoronoiAssisted {
         self.eval.sinr_batch(i, points, out);
     }
 
+    fn sinr_bounds_cell(
+        &self,
+        min: Point,
+        max: Point,
+        parent: Option<&crate::tile::CellCert>,
+    ) -> Option<crate::tile::CellCert> {
+        // Sound for the tree dispatch too: a certified Reception pins a
+        // strict unique argmax, which under the uniform powers this
+        // backend's shortcut requires is also the unique nearest
+        // station; certified Silent fails every station's test
+        // including whichever one the tree walk picks.
+        Some(self.eval.sinr_bounds_cell(min, max, parent))
+    }
+
+    fn locate_in_cell(
+        &self,
+        cert: &crate::tile::CellCert,
+        points: &[Point],
+        out: &mut [Option<Located>],
+    ) -> bool {
+        match &self.tree {
+            None => self.eval.locate_in_cell(cert, points, out),
+            Some(_) => {
+                self.eval.assert_fresh();
+                // Nearest-candidate certified decisions — the kd-tree's
+                // selection rule; uncertifiable points stay `None` for
+                // the caller's tiled batch path.
+                crate::tile::locate_in_cell(
+                    &self.eval,
+                    crate::tile::Select::Nearest,
+                    cert,
+                    points,
+                    out,
+                );
+            }
+        }
+        true
+    }
+
     fn freshness(&self) -> Result<(), LocateError> {
         self.eval.freshness()
     }
@@ -1825,6 +2048,24 @@ impl QueryEngine for BoxedEngine {
 
     fn sinr_batch(&self, i: StationId, points: &[Point], out: &mut [f64]) {
         self.inner.sinr_batch(i, points, out);
+    }
+
+    fn sinr_bounds_cell(
+        &self,
+        min: Point,
+        max: Point,
+        parent: Option<&crate::tile::CellCert>,
+    ) -> Option<crate::tile::CellCert> {
+        self.inner.sinr_bounds_cell(min, max, parent)
+    }
+
+    fn locate_in_cell(
+        &self,
+        cert: &crate::tile::CellCert,
+        points: &[Point],
+        out: &mut [Option<Located>],
+    ) -> bool {
+        self.inner.locate_in_cell(cert, points, out)
     }
 
     fn freshness(&self) -> Result<(), LocateError> {

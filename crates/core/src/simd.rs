@@ -756,6 +756,39 @@ impl QueryEngine for SimdScan {
         self.eval.sinr_batch(i, points, out);
     }
 
+    fn sinr_bounds_cell(
+        &self,
+        min: Point,
+        max: Point,
+        parent: Option<&crate::tile::CellCert>,
+    ) -> Option<crate::tile::CellCert> {
+        // The intrinsics kernels' summation-order differences are
+        // inside `TOTAL_MARGIN`, so the generic certificate covers this
+        // backend's lane-reassociated scans too.
+        Some(self.eval.sinr_bounds_cell(min, max, parent))
+    }
+
+    fn locate_in_cell(
+        &self,
+        cert: &crate::tile::CellCert,
+        points: &[Point],
+        out: &mut [Option<Located>],
+    ) -> bool {
+        self.eval.assert_fresh();
+        // Candidate-certified decisions (the scalar candidate energies
+        // are bit-identical to every kernel's, so the certified argmax
+        // matches the vectorized scans); uncertifiable points stay
+        // `None` for the caller's tiled batch path.
+        crate::tile::locate_in_cell(
+            &self.eval,
+            crate::tile::Select::MaxEnergy,
+            cert,
+            points,
+            out,
+        );
+        true
+    }
+
     fn freshness(&self) -> Result<(), LocateError> {
         self.eval.freshness()
     }

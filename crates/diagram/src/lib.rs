@@ -8,6 +8,9 @@
 //!
 //! * [`ReceptionMap`] — a pixel raster labelling each sample point with
 //!   the station heard there (SINR or protocol model);
+//! * [`quadtree`] — hierarchical rasterisation: interval-certified
+//!   quadtree refinement that resolves whole cells away from the zone
+//!   boundaries and stays bit-identical to the dense path;
 //! * [`render`] — ASCII, PGM/PPM and CSV writers for reception maps;
 //! * [`figures`] — the exact scenes of the paper's Figures 1–5 with
 //!   their narrated reception outcomes, used by the reproduction harness;
@@ -23,7 +26,9 @@
 pub mod figures;
 pub mod measure;
 pub mod partition;
+pub mod quadtree;
 pub mod raster;
 pub mod render;
 
+pub use quadtree::HierarchicalStats;
 pub use raster::{PixelLabel, Raster, ReceptionMap};

@@ -198,7 +198,13 @@ pub fn locate_raster<E: QueryEngine + ?Sized>(
     Raster::from_cells(window, width, height, located)
 }
 
-fn pixel_center(window: &BBox, width: usize, height: usize, col: usize, row: usize) -> Point {
+pub(crate) fn pixel_center(
+    window: &BBox,
+    width: usize,
+    height: usize,
+    col: usize,
+    row: usize,
+) -> Point {
     Point::new(
         window.min.x + (col as f64 + 0.5) * window.width() / width as f64,
         window.min.y + (row as f64 + 0.5) * window.height() / height as f64,

@@ -456,6 +456,63 @@ impl<T: Transport> Client<T> {
         }
     }
 
+    /// Rasterises the session's SINR diagram over `[min, max]` at
+    /// `width × height` pixels, server-side, by hierarchical
+    /// (interval-certified quadtree) refinement — answers are
+    /// bit-identical to locating every pixel centre, but the server
+    /// pays per-point evaluation only near the zone boundaries.
+    /// Returns the revision, one [`Located`] per pixel (bottom-first
+    /// row-major: `cells[row * width + col]`), and how many pixels the
+    /// server actually evaluated per-point (the economy observable).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::MalformedFrame`]
+    /// (degenerate window, zero or frame-overflowing grid) /
+    /// [`ErrorCode::NotBound`] / [`ErrorCode::Stale`], or any transport
+    /// failure.
+    pub fn heatmap_batch(
+        &mut self,
+        min: Point,
+        max: Point,
+        width: u32,
+        height: u32,
+    ) -> Result<(u64, Vec<Located>, u64), ClientError> {
+        match self.roundtrip(&Request::HeatmapBatch {
+            min,
+            max,
+            width,
+            height,
+        })? {
+            Response::Heatmap {
+                revision,
+                cells,
+                cells_evaluated,
+                ..
+            } => Ok((revision, cells, cells_evaluated)),
+            other => Err(unexpected(other, "Heatmap")),
+        }
+    }
+
+    /// Removes the network registered under `name`, provided no session
+    /// is currently attached to it. Works in any session mode and does
+    /// not change this session's mode; sessions already attached keep
+    /// working (only the *name* disappears — unregistering is `unlink`,
+    /// not revocation).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::UnknownNetwork`] /
+    /// [`ErrorCode::StillAttached`], or any transport failure.
+    pub fn unregister_network(&mut self, name: &str) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Unregister {
+            name: name.to_owned(),
+        })? {
+            Response::Unregistered => Ok(()),
+            other => Err(unexpected(other, "Unregistered")),
+        }
+    }
+
     /// One request frame out, one response frame back.
     ///
     /// # Errors

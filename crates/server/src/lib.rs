@@ -56,6 +56,8 @@
 //! | `0x06` | → | `Register` | name (see below), then the `Bind` network block: noise `f64`, beta `f64`, alpha `f64`, n `u32`, n × (x `f64`, y `f64`, power `f64`) |
 //! | `0x07` | → | `Attach` | name (see below), backend `u8`, epsilon `f64` |
 //! | `0x08` | → | `SinrQuantilesBatch` | station `u32`, trials `u32`, seed `u64`, channel (see below), q_count `u32`, q_count × `f64`, count `u32`, count × (x `f64`, y `f64`) |
+//! | `0x09` | → | `HeatmapBatch` | min_x `f64`, min_y `f64`, max_x `f64`, max_y `f64`, width `u32`, height `u32` |
+//! | `0x0A` | → | `Unregister` | name (see below) |
 //! | `0x81` | ← | `Bound` | revision `u64`, backend `u8` |
 //! | `0x82` | ← | `Located` | revision `u64`, total `u32`, runs × (kind `u8`, station `u32`, len `u32`) |
 //! | `0x83` | ← | `Sinrs` | revision `u64`, count `u32`, count × `f64` |
@@ -64,11 +66,29 @@
 //! | `0x86` | ← | `Registered` | revision `u64` |
 //! | `0x87` | ← | `Attached` | revision `u64`, backend `u8` |
 //! | `0x88` | ← | `SinrQuantiles` | revision `u64`, quantiles `u32`, count `u32`, count × `f64` (row-major: point-major rows of `quantiles` values; `quantiles` divides count) |
+//! | `0x89` | ← | `Heatmap` | revision `u64`, width `u32`, height `u32`, cells_evaluated `u64`, runs × (kind `u8`, station `u32`, len `u32`) |
+//! | `0x8A` | ← | `Unregistered` | (empty) |
 //! | `0xEE` | ← | `Error` | code `u8`, msg_len `u16`, msg (UTF-8) |
 //!
-//! **Names** (`Register`/`Attach`): len `u8` (1–255), len bytes of
-//! UTF-8. A name registers a network server-wide for the lifetime of
-//! the server process; names are exact-match, case-sensitive.
+//! **Names** (`Register`/`Attach`/`Unregister`): len `u8` (1–255), len
+//! bytes of UTF-8. A name registers a network server-wide until it is
+//! `Unregister`ed (refused with code `18` while sessions are attached;
+//! sessions that attached before an unregister keep their engine —
+//! unregistering unlinks the *name*, it never revokes an attachment);
+//! names are exact-match, case-sensitive.
+//!
+//! **Heatmaps.** `HeatmapBatch` rasterises the session's SINR diagram
+//! over the axis-aligned window `[min, max]` at `width × height`
+//! pixels, server-side, by the hierarchical (interval-certified
+//! quadtree) refinement of `sinr-diagram` — bit-identical to locating
+//! every pixel centre, but per-point evaluation is paid only near the
+//! zone boundaries, and `cells_evaluated` reports exactly how many
+//! pixels paid it. Pixels are `Located` runs in bottom-first row-major
+//! order (`cells[row * width + col]`); uncertain pixels are the
+//! backend's own `Uncertain` answers, exactly as a `LocateBatch` of the
+//! pixel centres would produce. Grids whose response cannot fit one
+//! frame (worst case 9 bytes/pixel + 25 header) are refused with code
+//! `1` before any computation.
 //!
 //! `Located` responses are run-length encoded (kind `0` = reception,
 //! `1` = uncertain, `2` = silent with station `0`; runs must sum to
@@ -95,8 +115,9 @@
 //! `9` station out of range, `10` stale, `11` oversized, `12`
 //! unsupported (unbinds), `13` internal (closes), `14` channel
 //! unsupported (unbinds/detaches), `15` invalid channel, `16` name
-//! taken, `17` unknown network (detaches an attached session). Unless
-//! noted, the session survives an error and processes the next frame.
+//! taken, `17` unknown network (detaches an attached session), `18`
+//! still attached (`Unregister` refused). Unless noted, the session
+//! survives an error and processes the next frame.
 //!
 //! **Revision fencing.** Every response carries the network revision it
 //! is valid for; `Mutate` carries the revision its ops were computed
@@ -170,7 +191,7 @@ pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, BackendId, ErrorCode,
     NetworkSpec, ProtocolError, Request, Response,
 };
-pub use registry::{AttachHandle, NamedNetwork, NetworkRegistry};
+pub use registry::{AttachGuard, AttachHandle, NamedNetwork, NetworkRegistry, UnregisterError};
 pub use server::{Server, ServerHandle};
 pub use session::{serve_session, serve_session_with_registry, SessionCore};
 pub use transport::{

@@ -23,6 +23,8 @@ const TAG_RECEPTION_PROB_BATCH: u8 = 0x05;
 const TAG_REGISTER: u8 = 0x06;
 const TAG_ATTACH: u8 = 0x07;
 const TAG_SINR_QUANTILES_BATCH: u8 = 0x08;
+const TAG_HEATMAP_BATCH: u8 = 0x09;
+const TAG_UNREGISTER: u8 = 0x0A;
 
 /// Response tags (server → client).
 const TAG_BOUND: u8 = 0x81;
@@ -33,6 +35,8 @@ const TAG_RECEPTION_PROBS: u8 = 0x85;
 const TAG_REGISTERED: u8 = 0x86;
 const TAG_ATTACHED: u8 = 0x87;
 const TAG_SINR_QUANTILES: u8 = 0x88;
+const TAG_HEATMAP: u8 = 0x89;
+const TAG_UNREGISTERED: u8 = 0x8A;
 const TAG_ERROR: u8 = 0xEE;
 
 /// Bounds on a named network's name (wire: length byte + UTF-8 bytes).
@@ -254,6 +258,32 @@ pub enum Request {
         /// The query points.
         points: Vec<Point>,
     },
+    /// A reception-map raster over a window: the server labels every
+    /// pixel centre of a `width × height` grid (row-major, bottom row
+    /// first) and streams the labels back run-length encoded
+    /// ([`Response::Heatmap`]). Served from both Private and Attached
+    /// sessions; the server renders hierarchically (quadtree refinement
+    /// over interval certificates) but the pixels are bit-identical to
+    /// a dense per-pixel evaluation on the same backend.
+    HeatmapBatch {
+        /// Window minimum corner (finite; strictly below `max` on both
+        /// axes).
+        min: Point,
+        /// Window maximum corner.
+        max: Point,
+        /// Raster width in pixels (`≥ 1`).
+        width: u32,
+        /// Raster height in pixels (`≥ 1`).
+        height: u32,
+    },
+    /// Removes a network from the server-wide registry. Fails with
+    /// [`ErrorCode::StillAttached`] while any session is attached to it
+    /// (detach by unbinding/closing those sessions first); succeeds
+    /// idempotently from any session, bound or not.
+    Unregister {
+        /// The name the network was registered under.
+        name: String,
+    },
 }
 
 /// A server→client frame.
@@ -319,6 +349,29 @@ pub enum Response {
         /// point `k`.
         values: Vec<f64>,
     },
+    /// Answers to a `HeatmapBatch`: one label per pixel, row-major
+    /// bottom-first, run-length encoded on the wire (zones are
+    /// contiguous, so rasters compress extremely well).
+    Heatmap {
+        /// The revision the raster is valid for.
+        revision: u64,
+        /// Raster width in pixels (echoes the request).
+        width: u32,
+        /// Raster height in pixels (echoes the request).
+        height: u32,
+        /// How many pixels the server actually evaluated per-point
+        /// (the rest were resolved wholesale from interval
+        /// certificates) — observability only, answers never depend on
+        /// it.
+        cells_evaluated: u64,
+        /// One answer per pixel (`width · height` of them):
+        /// `Reception`/`Silent` labels; `Uncertain` never occurs (the
+        /// raster projection folds it into `Silent` server-side).
+        cells: Vec<Located>,
+    },
+    /// The network was removed from the registry
+    /// ([`Request::Unregister`]).
+    Unregistered,
     /// The request failed; the session stays usable unless the
     /// [`ErrorCode`] docs say otherwise.
     Error {
@@ -394,11 +447,15 @@ pub enum ErrorCode {
     /// its backend (the shared store was poisoned by a mutation — the
     /// session is then **detached**, like [`ErrorCode::Unsupported`]).
     UnknownNetwork,
+    /// `18` — `Unregister` named a network that sessions are still
+    /// attached to; nothing was removed. Per-request: the session
+    /// survives (retry once the attached sessions detach or close).
+    StillAttached,
 }
 
 impl ErrorCode {
     /// Every code, in wire order.
-    pub const ALL: [ErrorCode; 17] = [
+    pub const ALL: [ErrorCode; 18] = [
         ErrorCode::MalformedFrame,
         ErrorCode::UnknownBackend,
         ErrorCode::NotBound,
@@ -416,6 +473,7 @@ impl ErrorCode {
         ErrorCode::InvalidChannel,
         ErrorCode::NameTaken,
         ErrorCode::UnknownNetwork,
+        ErrorCode::StillAttached,
     ];
 
     /// The wire byte.
@@ -438,6 +496,7 @@ impl ErrorCode {
             ErrorCode::InvalidChannel => 15,
             ErrorCode::NameTaken => 16,
             ErrorCode::UnknownNetwork => 17,
+            ErrorCode::StillAttached => 18,
         }
     }
 
@@ -656,6 +715,56 @@ fn push_point(buf: &mut Vec<u8>, p: Point) {
     buf.extend_from_slice(&p.y.to_le_bytes());
 }
 
+/// Run-length encodes a `Located` stream (shared by `Located` and
+/// `Heatmap` responses): each run is a kind byte, a station id, and a
+/// length — 9 bytes for any stretch of identical answers.
+fn push_runs(buf: &mut Vec<u8>, answers: &[Located]) {
+    let mut i = 0;
+    while i < answers.len() {
+        let mut j = i + 1;
+        while j < answers.len() && answers[j] == answers[i] {
+            j += 1;
+        }
+        let (kind, station) = match answers[i] {
+            Located::Reception(s) => (RUN_RECEPTION, s.0 as u32),
+            Located::Uncertain(s) => (RUN_UNCERTAIN, s.0 as u32),
+            Located::Silent => (RUN_SILENT, 0),
+        };
+        buf.push(kind);
+        buf.extend_from_slice(&station.to_le_bytes());
+        buf.extend_from_slice(&((j - i) as u32).to_le_bytes());
+        i = j;
+    }
+}
+
+/// Decodes exactly `total` run-length encoded answers. The caller must
+/// have bounded `total` already (run-length coding sidesteps the
+/// bytes-present bound `Cursor::count` gives other collections).
+fn decode_runs(c: &mut Cursor<'_>, total: u64) -> Result<Vec<Located>, ProtocolError> {
+    let mut answers = Vec::new();
+    let mut decoded: u64 = 0;
+    while decoded < total {
+        let kind = c.u8("run kind")?;
+        let station = c.u32("run station")? as usize;
+        let len = c.u32("run length")? as u64;
+        let answer = match kind {
+            RUN_RECEPTION => Located::Reception(StationId(station)),
+            RUN_UNCERTAIN => Located::Uncertain(StationId(station)),
+            RUN_SILENT => Located::Silent,
+            other => return Err(ProtocolError::UnknownRunKind(other)),
+        };
+        decoded = decoded.saturating_add(len);
+        if len == 0 || decoded > total {
+            return Err(ProtocolError::RunLengthMismatch {
+                declared: total,
+                decoded,
+            });
+        }
+        answers.extend(std::iter::repeat_n(answer, len as usize));
+    }
+    Ok(answers)
+}
+
 /// Encodes a registry name: a length byte, then that many UTF-8 bytes.
 /// Callers (the typed [`Request`] constructors) are trusted to stay
 /// within [`MAX_NETWORK_NAME_LEN`]; longer names are truncated at a
@@ -866,6 +975,22 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 push_point(&mut buf, *p);
             }
         }
+        Request::HeatmapBatch {
+            min,
+            max,
+            width,
+            height,
+        } => {
+            buf.push(TAG_HEATMAP_BATCH);
+            push_point(&mut buf, *min);
+            push_point(&mut buf, *max);
+            buf.extend_from_slice(&width.to_le_bytes());
+            buf.extend_from_slice(&height.to_le_bytes());
+        }
+        Request::Unregister { name } => {
+            buf.push(TAG_UNREGISTER);
+            push_name(&mut buf, name);
+        }
     }
     buf
 }
@@ -985,6 +1110,22 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
                 points,
             }
         }
+        TAG_HEATMAP_BATCH => {
+            let min = c.point("window min")?;
+            let max = c.point("window max")?;
+            let width = c.u32("grid width")?;
+            let height = c.u32("grid height")?;
+            Request::HeatmapBatch {
+                min,
+                max,
+                width,
+                height,
+            }
+        }
+        TAG_UNREGISTER => {
+            let name = decode_name(&mut c)?;
+            Request::Unregister { name }
+        }
         other => return Err(ProtocolError::UnknownTag(other)),
     };
     c.finish()?;
@@ -1006,22 +1147,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             buf.push(TAG_LOCATED);
             buf.extend_from_slice(&revision.to_le_bytes());
             buf.extend_from_slice(&(answers.len() as u32).to_le_bytes());
-            let mut i = 0;
-            while i < answers.len() {
-                let mut j = i + 1;
-                while j < answers.len() && answers[j] == answers[i] {
-                    j += 1;
-                }
-                let (kind, station) = match answers[i] {
-                    Located::Reception(s) => (RUN_RECEPTION, s.0 as u32),
-                    Located::Uncertain(s) => (RUN_UNCERTAIN, s.0 as u32),
-                    Located::Silent => (RUN_SILENT, 0),
-                };
-                buf.push(kind);
-                buf.extend_from_slice(&station.to_le_bytes());
-                buf.extend_from_slice(&((j - i) as u32).to_le_bytes());
-                i = j;
-            }
+            push_runs(&mut buf, answers);
         }
         Response::Sinrs { revision, values } => {
             buf.push(TAG_SINRS);
@@ -1065,6 +1191,23 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             for v in values {
                 buf.extend_from_slice(&v.to_le_bytes());
             }
+        }
+        Response::Heatmap {
+            revision,
+            width,
+            height,
+            cells_evaluated,
+            cells,
+        } => {
+            buf.push(TAG_HEATMAP);
+            buf.extend_from_slice(&revision.to_le_bytes());
+            buf.extend_from_slice(&width.to_le_bytes());
+            buf.extend_from_slice(&height.to_le_bytes());
+            buf.extend_from_slice(&cells_evaluated.to_le_bytes());
+            push_runs(&mut buf, cells);
+        }
+        Response::Unregistered => {
+            buf.push(TAG_UNREGISTERED);
         }
         Response::Error { code, message } => {
             buf.push(TAG_ERROR);
@@ -1114,27 +1257,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
                     limit,
                 });
             }
-            let mut answers = Vec::new();
-            let mut decoded: u64 = 0;
-            while decoded < total {
-                let kind = c.u8("run kind")?;
-                let station = c.u32("run station")? as usize;
-                let len = c.u32("run length")? as u64;
-                let answer = match kind {
-                    RUN_RECEPTION => Located::Reception(StationId(station)),
-                    RUN_UNCERTAIN => Located::Uncertain(StationId(station)),
-                    RUN_SILENT => Located::Silent,
-                    other => return Err(ProtocolError::UnknownRunKind(other)),
-                };
-                decoded = decoded.saturating_add(len);
-                if len == 0 || decoded > total {
-                    return Err(ProtocolError::RunLengthMismatch {
-                        declared: total,
-                        decoded,
-                    });
-                }
-                answers.extend(std::iter::repeat_n(answer, len as usize));
-            }
+            let answers = decode_runs(&mut c, total)?;
             Response::Located { revision, answers }
         }
         TAG_SINRS => {
@@ -1183,6 +1306,33 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
                 values,
             }
         }
+        TAG_HEATMAP => {
+            let revision = c.u64("revision")?;
+            let width = c.u32("grid width")?;
+            let height = c.u32("grid height")?;
+            let cells_evaluated = c.u64("cells evaluated")?;
+            let total = width as u64 * height as u64;
+            // Same cap rationale as `TAG_LOCATED`, scaled to the raster
+            // wire density: a heatmap answer costs at least 9 bytes per
+            // worst-case run, and the session refuses grids whose
+            // answers could not fit a frame, so neither does decode.
+            let limit = (crate::transport::MAX_FRAME_LEN / 9) as u64;
+            if total > limit {
+                return Err(ProtocolError::AnswerCountTooLarge {
+                    declared: total,
+                    limit,
+                });
+            }
+            let cells = decode_runs(&mut c, total)?;
+            Response::Heatmap {
+                revision,
+                width,
+                height,
+                cells_evaluated,
+                cells,
+            }
+        }
+        TAG_UNREGISTERED => Response::Unregistered,
         TAG_ERROR => {
             let code_byte = c.u8("error code")?;
             let code = ErrorCode::from_wire(code_byte)
@@ -1286,6 +1436,15 @@ mod tests {
                 quantiles: vec![0.1, 0.5, 0.9],
                 points: vec![Point::new(0.5, -0.25), Point::new(-2.0, 3.0)],
             },
+            Request::HeatmapBatch {
+                min: Point::new(-3.5, -1.25),
+                max: Point::new(4.0, 2.75),
+                width: 640,
+                height: 480,
+            },
+            Request::Unregister {
+                name: "cell-grid/région-7".into(),
+            },
         ];
         for req in &reqs {
             let bytes = encode_request(req);
@@ -1347,6 +1506,25 @@ mod tests {
             Response::Error {
                 code: ErrorCode::UnknownNetwork,
                 message: "no such network".into(),
+            },
+            Response::Heatmap {
+                revision: 21,
+                width: 3,
+                height: 2,
+                cells_evaluated: 4,
+                cells: vec![
+                    Located::Reception(StationId(1)),
+                    Located::Reception(StationId(1)),
+                    Located::Silent,
+                    Located::Silent,
+                    Located::Uncertain(StationId(0)),
+                    Located::Reception(StationId(2)),
+                ],
+            },
+            Response::Unregistered,
+            Response::Error {
+                code: ErrorCode::StillAttached,
+                message: "2 session(s) are still attached".into(),
             },
         ];
         for resp in &resps {
@@ -1445,6 +1623,44 @@ mod tests {
         assert!(matches!(
             decode_response(&overshoot),
             Err(ProtocolError::RunLengthMismatch { .. })
+        ));
+        // A lying Heatmap frame declaring a ~16-terapixel grid in one
+        // run: rejected by the explicit raster cap (same rationale as
+        // the Located cap — RLE sidesteps the bytes-present bound).
+        let mut lying_heatmap = vec![TAG_HEATMAP];
+        lying_heatmap.extend_from_slice(&0u64.to_le_bytes());
+        lying_heatmap.extend_from_slice(&u32::MAX.to_le_bytes());
+        lying_heatmap.extend_from_slice(&4096u32.to_le_bytes());
+        lying_heatmap.extend_from_slice(&0u64.to_le_bytes());
+        lying_heatmap.push(RUN_SILENT);
+        lying_heatmap.extend_from_slice(&0u32.to_le_bytes());
+        lying_heatmap.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_response(&lying_heatmap),
+            Err(ProtocolError::AnswerCountTooLarge { declared, .. })
+                if declared == u32::MAX as u64 * 4096
+        ));
+        // Heatmap runs not covering the full grid.
+        let mut short_grid = vec![TAG_HEATMAP];
+        short_grid.extend_from_slice(&0u64.to_le_bytes());
+        short_grid.extend_from_slice(&2u32.to_le_bytes());
+        short_grid.extend_from_slice(&2u32.to_le_bytes());
+        short_grid.extend_from_slice(&0u64.to_le_bytes());
+        short_grid.push(RUN_SILENT);
+        short_grid.extend_from_slice(&0u32.to_le_bytes());
+        short_grid.extend_from_slice(&3u32.to_le_bytes());
+        assert!(matches!(
+            decode_response(&short_grid),
+            Err(ProtocolError::Truncated { .. }) | Err(ProtocolError::RunLengthMismatch { .. })
+        ));
+        // Truncated HeatmapBatch request (window but no grid dims).
+        let mut short_heatmap = vec![TAG_HEATMAP_BATCH];
+        for v in [-1.0f64, -1.0, 1.0, 1.0] {
+            short_heatmap.extend_from_slice(&v.to_le_bytes());
+        }
+        assert!(matches!(
+            decode_request(&short_heatmap),
+            Err(ProtocolError::Truncated { .. })
         ));
         // ReceptionProbBatch with an unknown channel atom tag.
         let mut bad_channel = vec![TAG_RECEPTION_PROB_BATCH];

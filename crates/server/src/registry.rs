@@ -30,6 +30,7 @@ use sinr_core::engine::BoxedEngine;
 use sinr_core::{EngineSnapshot, Network, NetworkDelta, NetworkError, SnapshotStore, SurgeryOp};
 use sinr_pointloc::{PointLocator, QdsConfig};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Builds the requested backend over `net`, as one erased engine.
@@ -159,12 +160,56 @@ impl StoreKey {
     }
 }
 
+/// Why a [`NetworkRegistry::unregister`] failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum UnregisterError {
+    /// No network is registered under that name.
+    UnknownNetwork,
+    /// Sessions are still attached; the name stays registered. Detach
+    /// them (close the sessions) and retry.
+    StillAttached {
+        /// How many attachments were alive at the time of the call.
+        attached: usize,
+    },
+}
+
+impl std::fmt::Display for UnregisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnregisterError::UnknownNetwork => write!(f, "no network registered under this name"),
+            UnregisterError::StillAttached { attached } => write!(
+                f,
+                "{attached} session(s) are still attached to this network"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UnregisterError {}
+
 /// A registered network: the live [`Network`] plus the shared
 /// [`SnapshotStore`]s serving it (one per attached backend flavour).
 #[derive(Debug)]
 pub struct NamedNetwork {
     name: String,
+    /// Live attachments (one per undropped [`AttachGuard`]); gates
+    /// [`NetworkRegistry::unregister`].
+    attached: AtomicUsize,
     inner: Mutex<NamedInner>,
+}
+
+/// The refcount half of an [`AttachHandle`]: one attachment, released
+/// exactly once when the last clone of the handle drops — cloning a
+/// handle shares the guard rather than double-counting.
+#[derive(Debug)]
+pub struct AttachGuard {
+    network: Arc<NamedNetwork>,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        self.network.attached.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 #[derive(Debug)]
@@ -205,6 +250,12 @@ impl NamedNetwork {
     /// with one backend keep this at 1.
     pub fn store_count(&self) -> usize {
         self.inner.lock().expect("named network lock").stores.len()
+    }
+
+    /// Number of live attachments (undropped [`AttachGuard`]s) — the
+    /// count that gates [`NetworkRegistry::unregister`].
+    pub fn attached_count(&self) -> usize {
+        self.attached.load(Ordering::Acquire)
     }
 
     /// The currently published snapshot of the store for
@@ -286,6 +337,9 @@ pub struct AttachHandle {
     pub store: Arc<SnapshotStore>,
     /// The published revision at attach time.
     pub revision: u64,
+    /// The attachment refcount token: the network counts as attached
+    /// until the last clone of this handle drops.
+    pub guard: Arc<AttachGuard>,
 }
 
 impl NetworkRegistry {
@@ -314,6 +368,7 @@ impl NetworkRegistry {
             name.to_owned(),
             Arc::new(NamedNetwork {
                 name: name.to_owned(),
+                attached: AtomicUsize::new(0),
                 inner: Mutex::new(NamedInner {
                     net,
                     stores: HashMap::new(),
@@ -356,11 +411,40 @@ impl NetworkRegistry {
         let revision = store
             .revision()
             .map_err(|e| AttachError::BackendBuild(e.to_string()))?;
+        network.attached.fetch_add(1, Ordering::AcqRel);
+        let guard = Arc::new(AttachGuard {
+            network: Arc::clone(&network),
+        });
         Ok(AttachHandle {
             network,
             store,
             revision,
+            guard,
         })
+    }
+
+    /// Removes a registered network, provided no session is attached.
+    ///
+    /// The attachment check and the removal run under the registry
+    /// lock, but an `attach` racing this call may have already looked
+    /// the network up: that attacher keeps a working (now anonymous)
+    /// handle — its snapshots stay valid, only the *name* is gone. This
+    /// is the same semantics a file gets from `unlink(2)` with open
+    /// descriptors, and it is why unregistration can never poison a
+    /// running session.
+    ///
+    /// # Errors
+    ///
+    /// See [`UnregisterError`]. On error nothing changes.
+    pub fn unregister(&self, name: &str) -> Result<(), UnregisterError> {
+        let mut networks = self.networks.lock().expect("registry lock");
+        let network = networks.get(name).ok_or(UnregisterError::UnknownNetwork)?;
+        let attached = network.attached.load(Ordering::Acquire);
+        if attached > 0 {
+            return Err(UnregisterError::StillAttached { attached });
+        }
+        networks.remove(name);
+        Ok(())
     }
 
     /// The named network, if registered.

@@ -19,7 +19,12 @@
 //!   `WouldBlock` as "idle, move on". Hundreds of concurrent light
 //!   clients cost hundreds of small buffers, not hundreds of stacks.
 //!   Fairness is per-frame: a worker serves at most a bounded number of
-//!   frames per connection per visit.
+//!   frames per connection per visit. An idle worker does not spin or
+//!   park on a timer: it blocks in `poll(2)` over its sessions' sockets
+//!   (plus `POLLOUT` for sessions with queued response bytes) and a
+//!   wake pipe the accept thread writes after handing it a connection —
+//!   zero syscalls while nothing happens, single-digit-microsecond
+//!   wake-ups when something does (see [`readiness`](self)).
 //!
 //! Both modes drive the same state machine through the same
 //! [`Transport`](crate::transport::Transport) trait, share one
@@ -58,10 +63,152 @@ const SHUTDOWN_JOIN_BOUND: Duration = Duration::from_secs(10);
 /// starve its neighbours on the same worker).
 const FRAMES_PER_VISIT: usize = 8;
 
-/// How long an idle pooled worker parks between polls of its
-/// connections. Low enough to stay invisible next to engine work, high
-/// enough that an idle pool burns no measurable CPU.
-const WORKER_IDLE_PARK: Duration = Duration::from_micros(500);
+/// Upper bound on one blocking readiness wait. The wake pipe makes the
+/// timeout a belt-and-braces backstop (new connections and shutdown
+/// both write it), not the latency floor — a worker wakes the instant
+/// any of its fds turns ready.
+const WORKER_WAIT_MS: i32 = 1000;
+
+/// Blocking readiness for idle pooled workers.
+///
+/// On Unix this is a raw `poll(2)` over every session socket (`POLLIN`,
+/// plus `POLLOUT` for sessions with queued response bytes) and the read
+/// end of an anonymous wake pipe; the accept thread writes one byte to
+/// the pipe after handing the worker a connection, and shutdown writes
+/// it too, so a blocked worker never misses either. The FFI is confined
+/// to this module — everything else in the crate stays
+/// `deny(unsafe_code)`.
+///
+/// Elsewhere the module degrades to a timed sleep with the same
+/// signature (wakes are no-ops; the sweep loop re-polls on the same
+/// bounded cadence the old park-based worker used).
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod readiness {
+    use super::PooledSession;
+    use std::io::{self, PipeReader, PipeWriter, Read, Write};
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::os::raw::{c_int, c_ulong};
+    use std::sync::Arc;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: RawFd,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    /// The worker-side end: owns the wake pipe's reader and builds the
+    /// poll set each wait.
+    pub(super) struct Readiness {
+        reader: PipeReader,
+        fds: Vec<PollFd>,
+    }
+
+    /// The producer-side end: one byte per [`Waker::wake`], cheap to
+    /// clone and share between the accept thread and the shutdown path.
+    #[derive(Clone, Debug)]
+    pub(super) struct Waker {
+        writer: Arc<PipeWriter>,
+    }
+
+    impl Waker {
+        /// Unblocks the paired worker's current (and next) wait.
+        pub(super) fn wake(&self) {
+            let _ = (&*self.writer).write(&[1u8]);
+        }
+    }
+
+    /// A connected (worker, producer) wake pair.
+    pub(super) fn wake_pair() -> io::Result<(Readiness, Waker)> {
+        let (reader, writer) = io::pipe()?;
+        Ok((
+            Readiness {
+                reader,
+                fds: Vec::new(),
+            },
+            Waker {
+                writer: Arc::new(writer),
+            },
+        ))
+    }
+
+    impl Readiness {
+        /// Blocks until any session socket is readable (or writable,
+        /// for sessions with queued output), the wake pipe is written,
+        /// or `timeout_ms` elapses — whichever comes first. Spurious
+        /// returns are fine; the caller re-sweeps its sessions either
+        /// way.
+        pub(super) fn wait(&mut self, sessions: &[PooledSession], timeout_ms: i32) {
+            self.fds.clear();
+            self.fds.push(PollFd {
+                fd: self.reader.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+            for session in sessions {
+                self.fds.push(PollFd {
+                    fd: session.io.get_ref().as_raw_fd(),
+                    events: if session.io.wants_write() {
+                        POLLIN | POLLOUT
+                    } else {
+                        POLLIN
+                    },
+                    revents: 0,
+                });
+            }
+            // SAFETY: `fds` points at `self.fds.len()` properly
+            // initialized `PollFd`s (layout-compatible with `struct
+            // pollfd`) that outlive the call; `poll` writes only their
+            // `revents` fields.
+            let rc = unsafe { poll(self.fds.as_mut_ptr(), self.fds.len() as c_ulong, timeout_ms) };
+            if rc > 0 && self.fds[0].revents != 0 {
+                // Drain a burst of wake bytes. The fd is readable, so
+                // this single read cannot block; any bytes beyond the
+                // buffer just make the next wait return immediately.
+                let mut sink = [0u8; 64];
+                let _ = self.reader.read(&mut sink);
+            }
+        }
+    }
+}
+
+/// Timed-sleep fallback where `poll(2)` is unavailable: same API, wakes
+/// are no-ops, waits are bounded naps (the pre-readiness worker
+/// behaviour).
+#[cfg(not(unix))]
+mod readiness {
+    use super::PooledSession;
+    use std::io;
+
+    pub(super) struct Readiness;
+
+    #[derive(Clone, Debug)]
+    pub(super) struct Waker;
+
+    impl Waker {
+        pub(super) fn wake(&self) {}
+    }
+
+    pub(super) fn wake_pair() -> io::Result<(Readiness, Waker)> {
+        Ok((Readiness, Waker))
+    }
+
+    impl Readiness {
+        pub(super) fn wait(&mut self, _sessions: &[PooledSession], _timeout_ms: i32) {
+            std::thread::park_timeout(std::time::Duration::from_micros(500));
+        }
+    }
+}
+
+use readiness::{wake_pair, Readiness, Waker};
 
 /// A bound listener, not yet accepting. Every session this server ever
 /// serves — threaded or pooled — shares its [`NetworkRegistry`].
@@ -169,6 +316,7 @@ impl Server {
             registry: self.registry,
             accept: Some(accept),
             workers: Vec::new(),
+            wakers: Vec::new(),
         })
     }
 
@@ -192,20 +340,24 @@ impl Server {
             .collect();
 
         let mut worker_handles = Vec::with_capacity(workers);
+        let mut wakers = Vec::with_capacity(workers);
         for (i, intake) in intakes.iter().enumerate() {
+            let (readiness, waker) = wake_pair()?;
+            wakers.push(waker);
             let intake = Arc::clone(intake);
             let stop = Arc::clone(&stop);
             let registry = Arc::clone(&registry);
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("sinr-server-worker-{i}"))
-                    .spawn(move || worker_loop(&intake, &stop, &registry))
+                    .spawn(move || worker_loop(&intake, &stop, &registry, readiness))
                     .expect("spawn worker thread"),
             );
         }
 
         let stop_flag = Arc::clone(&stop);
         let listener = self.listener;
+        let accept_wakers = wakers.clone();
         let accept = std::thread::Builder::new()
             .name("sinr-server-accept".into())
             .spawn(move || {
@@ -215,10 +367,11 @@ impl Server {
                         break;
                     }
                     if let Ok(stream) = stream {
-                        intakes[next % intakes.len()]
-                            .lock()
-                            .expect("intake lock")
-                            .push(stream);
+                        let i = next % intakes.len();
+                        intakes[i].lock().expect("intake lock").push(stream);
+                        // After the push, so the woken worker always
+                        // finds the connection in its intake.
+                        accept_wakers[i].wake();
                         next += 1;
                     }
                 }
@@ -232,6 +385,7 @@ impl Server {
             registry: self.registry,
             accept: Some(accept),
             workers: worker_handles,
+            wakers,
         })
     }
 }
@@ -398,7 +552,12 @@ impl PooledSession {
     }
 }
 
-fn worker_loop(intake: &Mutex<Vec<TcpStream>>, stop: &AtomicBool, registry: &Arc<NetworkRegistry>) {
+fn worker_loop(
+    intake: &Mutex<Vec<TcpStream>>,
+    stop: &AtomicBool,
+    registry: &Arc<NetworkRegistry>,
+    mut readiness: Readiness,
+) {
     let mut sessions: Vec<PooledSession> = Vec::new();
     loop {
         if stop.load(Ordering::SeqCst) {
@@ -430,7 +589,11 @@ fn worker_loop(intake: &Mutex<Vec<TcpStream>>, stop: &AtomicBool, registry: &Arc
             Step::Done => false,
         });
         if !progressed {
-            std::thread::park_timeout(WORKER_IDLE_PARK);
+            // Every session is idle: block until a socket turns ready
+            // or the accept thread / shutdown writes the wake pipe.
+            // Waking spuriously (or on the timeout backstop) just runs
+            // one more sweep that finds nothing.
+            readiness.wait(&sessions, WORKER_WAIT_MS);
         }
     }
 }
@@ -461,6 +624,10 @@ pub struct ServerHandle {
     registry: Arc<NetworkRegistry>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// One per pooled worker (empty for threaded servers): shutdown
+    /// writes them so workers blocked in a readiness wait exit promptly
+    /// instead of riding out the timeout backstop.
+    wakers: Vec<Waker>,
 }
 
 impl ServerHandle {
@@ -491,6 +658,10 @@ impl ServerHandle {
         let _ = TcpStream::connect(self.addr);
         // Unblock session threads parked in read(2).
         self.roster.close_all();
+        // Unblock pooled workers blocked in their readiness wait.
+        for waker in &self.wakers {
+            waker.wake();
+        }
         join_bounded(accept, SHUTDOWN_JOIN_BOUND);
         for worker in self.workers.drain(..) {
             join_bounded(worker, SHUTDOWN_JOIN_BOUND);

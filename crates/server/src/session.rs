@@ -69,7 +69,8 @@
 
 use crate::protocol::{decode_request, encode_response, BackendId, ErrorCode, Request, Response};
 use crate::registry::{
-    build_backend, AttachError, MutateError, NamedNetwork, NetworkRegistry, RegisterError,
+    build_backend, AttachError, AttachGuard, MutateError, NamedNetwork, NetworkRegistry,
+    RegisterError, UnregisterError,
 };
 use crate::transport::{RecvError, Transport, MAX_FRAME_LEN};
 use sinr_core::engine::BoxedEngine;
@@ -95,6 +96,10 @@ struct AttachedState {
     network: Arc<NamedNetwork>,
     store: Arc<SnapshotStore>,
     backend: BackendId,
+    /// Holds the registry attachment alive: dropping this state (detach,
+    /// unbind, session end) releases the refcount that gates
+    /// [`NetworkRegistry::unregister`].
+    _guard: Arc<AttachGuard>,
 }
 
 /// What the session is currently serving.
@@ -233,6 +238,7 @@ impl SessionCore {
                             network: handle.network,
                             store: handle.store,
                             backend,
+                            _guard: handle.guard,
                         });
                         Response::Attached { revision, backend }
                     }
@@ -383,6 +389,30 @@ impl SessionCore {
                     Err(resp) => resp,
                 },
             },
+            Request::HeatmapBatch {
+                min,
+                max,
+                width,
+                height,
+            } => match &self.mode {
+                Mode::Unbound => not_bound(),
+                Mode::Private(bound) => heatmap_on(&bound.engine, min, max, width, height),
+                Mode::Attached(att) => match load_snapshot(att) {
+                    Ok(snap) => heatmap_on(snap.engine(), min, max, width, height),
+                    Err(resp) => resp,
+                },
+            },
+            Request::Unregister { name } => match self.registry.unregister(&name) {
+                Ok(()) => Response::Unregistered,
+                Err(UnregisterError::UnknownNetwork) => error(
+                    ErrorCode::UnknownNetwork,
+                    format!("no network registered under '{name}'"),
+                ),
+                Err(e @ UnregisterError::StillAttached { .. }) => error(
+                    ErrorCode::StillAttached,
+                    format!("cannot unregister '{name}': {e}"),
+                ),
+            },
         }
     }
 }
@@ -492,6 +522,76 @@ fn locate_on(engine: &BoxedEngine, points: &[Point]) -> Response {
             answers,
         },
         Err(e) => error(ErrorCode::Stale, e.to_string()),
+    }
+}
+
+/// Serves a `HeatmapBatch`: rasterises the engine's SINR diagram over
+/// the window by hierarchical (interval-certified quadtree) refinement
+/// — bit-identical to a dense per-pixel sweep, but paying per-point
+/// evaluation only near the zone boundaries. The raster rows are
+/// returned bottom-first, row-major, as [`Located`] runs.
+fn heatmap_on(engine: &BoxedEngine, min: Point, max: Point, width: u32, height: u32) -> Response {
+    if width == 0
+        || height == 0
+        || !min.is_finite()
+        || !max.is_finite()
+        || !(max.x - min.x).is_finite()
+        || !(max.y - min.y).is_finite()
+        || max.x <= min.x
+        || max.y <= min.y
+    {
+        return error(
+            ErrorCode::MalformedFrame,
+            format!(
+                "heatmap window must be finite with positive extent and positive grid \
+                 dimensions (got [{min:?}, {max:?}] at {width}x{height})"
+            ),
+        );
+    }
+    // Refuse grids whose *response* could not fit in one frame: 25
+    // bytes of header (tag + revision + dims + cells_evaluated) plus a
+    // worst-case 9-byte run per pixel.
+    let cells = (width as usize).checked_mul(height as usize);
+    match cells
+        .and_then(|c| c.checked_mul(9))
+        .and_then(|b| b.checked_add(25))
+    {
+        Some(bytes) if bytes <= MAX_FRAME_LEN => {}
+        _ => {
+            return error(
+                ErrorCode::MalformedFrame,
+                format!("heatmap grid {width}x{height} exceeds the response frame limit"),
+            )
+        }
+    }
+    if engine.is_stale() {
+        return error(
+            ErrorCode::Stale,
+            "engine is stale relative to its network".to_string(),
+        );
+    }
+    let window = sinr_geometry::BBox::new(min, max);
+    let (map, stats) = sinr_diagram::ReceptionMap::compute_hierarchical_with_engine(
+        engine,
+        window,
+        width as usize,
+        height as usize,
+    );
+    let mut answers = Vec::with_capacity(width as usize * height as usize);
+    for row in 0..height as usize {
+        for col in 0..width as usize {
+            answers.push(match map.at(col, row) {
+                sinr_diagram::PixelLabel::Heard(i) => Located::Reception(i),
+                sinr_diagram::PixelLabel::Silent => Located::Silent,
+            });
+        }
+    }
+    Response::Heatmap {
+        revision: engine.revision(),
+        width,
+        height,
+        cells_evaluated: stats.cells_evaluated,
+        cells: answers,
     }
 }
 

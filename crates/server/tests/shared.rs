@@ -703,3 +703,182 @@ fn pooled_shutdown_returns_despite_idle_sessions() {
     drop(active);
     drop(idle);
 }
+
+/// `HeatmapBatch` differential: the server's hierarchical raster must
+/// equal a local dense raster pixel-for-pixel, in both engine-ownership
+/// modes, and the guard rails (degenerate window, oversized grid,
+/// unbound session) must answer typed errors without killing the
+/// session.
+#[test]
+fn heatmap_batch_differential_and_guards() {
+    let server = Server::bind("127.0.0.1:0").expect("bind");
+    let handle = server.spawn().expect("spawn");
+    let addr = handle.addr();
+    let net = grid_network(3);
+    let min = Point::new(-4.0, -3.0);
+    let max = Point::new(10.0, 9.5);
+    let (w, h) = (96u32, 64u32);
+
+    let check = |client: &mut Client<TcpTransport>, backend: BackendId, what: &str| {
+        let (rev, cells, cells_evaluated) = client
+            .heatmap_batch(min, max, w, h)
+            .unwrap_or_else(|e| panic!("{what}: heatmap failed: {e}"));
+        assert_eq!(rev, net.revision(), "{what}: revision fence");
+        assert_eq!(cells.len(), (w * h) as usize, "{what}: pixel count");
+        assert!(
+            cells_evaluated <= u64::from(w * h),
+            "{what}: evaluated more pixels than exist"
+        );
+        // The server contract: identical to locating every pixel centre
+        // on the same backend (dense raster, bottom-first row-major).
+        let local = fresh_local(backend, &net);
+        let dense = sinr_diagram::ReceptionMap::compute_with_engine(
+            &local,
+            sinr_geometry::BBox::new(min, max),
+            w as usize,
+            h as usize,
+        );
+        for row in 0..h as usize {
+            for col in 0..w as usize {
+                let expected = match dense.at(col, row) {
+                    sinr_diagram::PixelLabel::Heard(i) => Located::Reception(i),
+                    sinr_diagram::PixelLabel::Silent => Located::Silent,
+                };
+                assert_eq!(
+                    cells[row * w as usize + col],
+                    expected,
+                    "{what}: pixel ({col}, {row})"
+                );
+            }
+        }
+    };
+
+    // Private mode.
+    let mut private = Client::connect(addr).expect("connect");
+    private
+        .bind_network(BackendId::VoronoiAssisted, 0.0, &net)
+        .expect("bind");
+    check(&mut private, BackendId::VoronoiAssisted, "private");
+
+    // Attached mode (shared snapshot).
+    let mut registrar = Client::connect(addr).expect("connect");
+    registrar.register_network("heat", &net).expect("register");
+    let mut attached = Client::connect(addr).expect("connect");
+    attached
+        .attach("heat", BackendId::SimdScan, 0.0)
+        .expect("attach");
+    check(&mut attached, BackendId::SimdScan, "attached");
+
+    // Unbound session: NotBound, survivable.
+    let mut unbound = Client::connect(addr).expect("connect");
+    match unbound.heatmap_batch(min, max, w, h) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::NotBound),
+        other => panic!("expected NotBound, got {other:?}"),
+    }
+
+    // Degenerate windows and zero dims: MalformedFrame, survivable.
+    for (bad_min, bad_max, bw, bh) in [
+        (min, max, 0u32, 64u32),
+        (min, max, 64, 0),
+        (min, Point::new(min.x, max.y), 8, 8),
+        (min, Point::new(max.x, min.y), 8, 8),
+        (Point::new(f64::NAN, 0.0), max, 8, 8),
+        (Point::new(f64::NEG_INFINITY, -1.0), max, 8, 8),
+    ] {
+        match private.heatmap_batch(bad_min, bad_max, bw, bh) {
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(
+                    code,
+                    ErrorCode::MalformedFrame,
+                    "for {bad_min:?}..{bad_max:?} {bw}x{bh}"
+                )
+            }
+            other => panic!("expected MalformedFrame, got {other:?}"),
+        }
+    }
+    // A grid whose worst-case response overflows one frame: refused
+    // before any computation (2048² × 9 B/pixel > 16 MiB)…
+    match private.heatmap_batch(min, max, 2048, 2048) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::MalformedFrame),
+        other => panic!("expected MalformedFrame for oversized grid, got {other:?}"),
+    }
+    // …and the session still serves afterwards.
+    check(
+        &mut private,
+        BackendId::VoronoiAssisted,
+        "private after errors",
+    );
+
+    drop(private);
+    drop(registrar);
+    drop(attached);
+    drop(unbound);
+    handle.shutdown();
+}
+
+/// `Unregister` lifecycle: unknown names are typed, live attachments
+/// refuse with `StillAttached`, a detached network unregisters, and the
+/// name becomes reusable — with the refcount observable through the
+/// registry the whole way.
+#[test]
+fn unregister_refcount_lifecycle() {
+    let server = Server::bind("127.0.0.1:0").expect("bind");
+    let registry = server.registry();
+    let handle = server.spawn().expect("spawn");
+    let addr = handle.addr();
+    let net = grid_network(2);
+
+    let mut admin = Client::connect(addr).expect("connect");
+    match admin.unregister_network("ghost") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::UnknownNetwork),
+        other => panic!("expected UnknownNetwork, got {other:?}"),
+    }
+    admin.register_network("grid", &net).expect("register");
+    assert_eq!(
+        registry.get("grid").expect("registered").attached_count(),
+        0
+    );
+
+    let mut attacher = Client::connect(addr).expect("connect");
+    attacher
+        .attach("grid", BackendId::ExactScan, 0.0)
+        .expect("attach");
+    assert_eq!(
+        registry.get("grid").expect("registered").attached_count(),
+        1
+    );
+    match admin.unregister_network("grid") {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::StillAttached);
+            assert!(message.contains("1 session"), "message: {message}");
+        }
+        other => panic!("expected StillAttached, got {other:?}"),
+    }
+    // The refusal changed nothing: the attached session keeps serving.
+    attacher
+        .locate_batch(&[Point::new(0.0, 0.0)])
+        .expect("still attached and serving");
+
+    // Closing the attached session releases the refcount (the session
+    // thread drops its guard on EOF — poll for it).
+    drop(attacher);
+    let network = registry.get("grid").expect("still registered");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while network.attached_count() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "attachment refcount never released after session close"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    admin.unregister_network("grid").expect("unregister");
+    assert!(registry.get("grid").is_none(), "name gone after unregister");
+
+    // The name is reusable immediately.
+    admin
+        .register_network("grid", &net)
+        .expect("re-register after unregister");
+
+    drop(admin);
+    handle.shutdown();
+}
