@@ -19,6 +19,14 @@
 //! pruning statistics (mean candidate-set size, certified-decision
 //! fallback fraction).
 //!
+//! The **nonuniform** scenario (PR 9) runs `VoronoiAssisted` on a
+//! clustered-power network — where dispatch is the weighted
+//! (power-diagram) kd-tree walk, not nearest-station — against
+//! `ExactScan` on the same network (the engine non-uniform queries
+//! fell back to before weighted dispatch), answers asserted
+//! bit-identical to a same-kernel `SimdScan`; its
+//! `"scenario":"nonuniform"` line must clear a 2× speedup floor.
+//!
 //! The **churn** scenario measures the epoch-versioned dynamic path: a
 //! timestep mixes in-place surgery (moves + an add + a swap-remove) with
 //! a `locate_batch` burst, and the same deterministic op/query sequence
@@ -282,7 +290,9 @@ fn emit_tiled_json_lines(n: usize, net: &Network, queries: &[Point]) {
     );
     emit("simd_scan", simd.kernel().name(), tiled_ns, pp_ns, stats);
 
-    // VoronoiAssisted: tiled nearest-mode vs the per-point kd-tree walk.
+    // VoronoiAssisted: tiled nearest-mode (valid here — the bench
+    // network is uniform-power, matching the backend's own dispatch)
+    // vs the per-point kd-tree walk.
     let tiled_ns = time_ns_per_point(queries.len(), || {
         voronoi.locate_batch(black_box(queries), &mut tiled);
     });
@@ -617,6 +627,98 @@ fn emit_scheduling_json_line() {
     println!("{}", line.render());
 }
 
+/// Non-uniform scenario shape: the `n = 4096` station layout with a
+/// **clustered** power assignment — one high-power "macro" station per
+/// 64 (8× power), everything else jittered around unit power — the
+/// power-diagram regime where nearest-station dispatch would be wrong
+/// and the weighted (max `P·att(d²)`) kd-tree walk earns its keep.
+const NONUNIFORM_STATIONS: usize = 4096;
+const NONUNIFORM_MACRO_EVERY: usize = 64;
+const NONUNIFORM_MACRO_POWER: f64 = 8.0;
+/// Timing repetitions per path; the recorded value is the minimum.
+const NONUNIFORM_REPS: usize = 3;
+/// Internal floor: the weighted-dispatch batch path must beat the
+/// exact-scan engine — the path every non-uniform `VoronoiAssisted`
+/// query fell back to before the power-diagram dispatch landed — by at
+/// least this factor, so the trend line certifies the dispatch engages
+/// rather than merely existing.
+const NONUNIFORM_MIN_SPEEDUP: f64 = 2.0;
+
+/// The non-uniform record: `VoronoiAssisted::locate_batch` on a
+/// clustered-power network (weighted kd-tree dispatch + `MaxEnergy`
+/// tile envelopes) against `ExactScan::locate_batch` on the same
+/// network (what non-uniform queries cost pre-dispatch), answers
+/// asserted bit-identical to a same-kernel `SimdScan`. One
+/// `"scenario":"nonuniform"` line.
+fn emit_nonuniform_json_lines() {
+    let n = NONUNIFORM_STATIONS;
+    let half = window_half(n);
+    let layout = gen::random_uniform_network(42 + n as u64, n, half, 0.01, 2.0).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xD1FF ^ n as u64);
+    let mut b = Network::builder()
+        .background_noise(0.01)
+        .threshold(2.0)
+        .path_loss(2.0);
+    for (k, s) in layout.stations().enumerate() {
+        let power = if k % NONUNIFORM_MACRO_EVERY == 0 {
+            NONUNIFORM_MACRO_POWER
+        } else {
+            rng.gen_range(0.5..1.5)
+        };
+        b = b.station_with_power(s.position, power);
+    }
+    let net = b.build().expect("clustered-power network");
+    assert!(!net.is_uniform_power(), "scenario needs non-uniform power");
+    let queries = gen::uniform_in_box(&mut rng, QUERY_POINTS, half * 1.1);
+
+    let exact = ExactScan::new(&net);
+    let voronoi = VoronoiAssisted::new(&net);
+    let mut out = vec![Located::Silent; queries.len()];
+    let mut want = vec![Located::Silent; queries.len()];
+
+    // Correctness guard: the weighted dispatch must reproduce the
+    // same-kernel exhaustive scan bit-for-bit before its timing means
+    // anything (the differential suites pin this at small n; this
+    // covers the bench's own 4096-station instance).
+    let simd = SimdScan::with_kernel(sinr_core::SinrEvaluator::new(&net), voronoi.kernel());
+    voronoi.locate_batch(&queries, &mut out);
+    simd.locate_batch(&queries, &mut want);
+    assert_eq!(out, want, "weighted dispatch diverged from SimdScan");
+
+    let mut voronoi_ns = f64::INFINITY;
+    for _ in 0..NONUNIFORM_REPS {
+        voronoi_ns = voronoi_ns.min(time_ns_per_point(queries.len(), || {
+            voronoi.locate_batch(black_box(&queries), &mut out);
+        }));
+    }
+    let mut exact_ns = f64::INFINITY;
+    for _ in 0..NONUNIFORM_REPS {
+        exact_ns = exact_ns.min(time_ns_per_point(queries.len(), || {
+            exact.locate_batch(black_box(&queries), &mut want);
+        }));
+    }
+
+    let speedup = exact_ns / voronoi_ns;
+    assert!(
+        speedup >= NONUNIFORM_MIN_SPEEDUP,
+        "nonuniform: weighted dispatch {speedup:.1}x below the {NONUNIFORM_MIN_SPEEDUP}x floor"
+    );
+    let line = JsonLine::new("engine_batch")
+        .str("scenario", "nonuniform")
+        .str("backend", "voronoi_assisted")
+        .str("power_shape", "clustered")
+        .str("simd_kernel", voronoi.kernel().name())
+        .int("avx512_detected", SimdKernel::Avx512.is_supported() as u64)
+        .int("stations", n as u64)
+        .int("query_points", queries.len() as u64)
+        .int("macro_every", NONUNIFORM_MACRO_EVERY as u64)
+        .num("macro_power", NONUNIFORM_MACRO_POWER)
+        .num("ns_per_point", voronoi_ns)
+        .num("exact_scan_ns_per_point", exact_ns)
+        .num("speedup_weighted_vs_exact", speedup);
+    println!("{}", line.render());
+}
+
 /// Heatmap scenario shape: the `n = 4096` default network (half-width
 /// 128), rasterised over a 12×12-unit zoom window (a few dozen
 /// reception zones, each spanning hundreds of pixels — the regime
@@ -721,6 +823,7 @@ fn emit_heatmap_json_lines() {
 fn main() {
     benches();
     emit_json_lines();
+    emit_nonuniform_json_lines();
     emit_churn_json_lines();
     emit_channel_mc_json_lines();
     emit_scheduling_json_line();

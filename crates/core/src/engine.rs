@@ -53,9 +53,10 @@
 //!   incrementally — [`ExactScan`]/[`SimdScan`](crate::simd::SimdScan)
 //!   edit their SoA columns in place (`O(1)` per delta thanks to the
 //!   network's swap-remove index discipline), [`VoronoiAssisted`]
-//!   maintains its kd-tree through tombstones and an overflow list with
-//!   a rebuild-threshold heuristic (re-checking the uniform-power
-//!   dispatch contract on every power delta), and the Theorem-3
+//!   maintains its weighted kd-tree through tombstones and an overflow
+//!   list with a rebuild-threshold heuristic (power deltas re-weight
+//!   the index in place, so uniform ↔ non-uniform transitions keep the
+//!   tree), and the Theorem-3
 //!   `PointLocator` patches its dispatcher eagerly while rebuilding
 //!   invalidated per-zone grids lazily, on first dispatch;
 //! * [`QueryEngine::sync`] is the catch-up path when the deltas were
@@ -73,7 +74,7 @@
 //! |---|---|---|---|
 //! | [`ExactScan`] | `O(n)` | yes | none |
 //! | [`SimdScan`](crate::simd::SimdScan) | `O(n)`, ~`lanes`× smaller constants | yes | none (runtime CPU detection, scalar fallback) |
-//! | [`VoronoiAssisted`] | `O(n)`, smaller constants | yes (boundary rounding as `SimdScan` — the candidate sum rides the SIMD lanes) | none (falls back to scan for non-uniform power) |
+//! | [`VoronoiAssisted`] | `O(n)`, smaller constants | yes (boundary rounding as `SimdScan` — the candidate sum rides the SIMD lanes) | none (non-uniform power dispatches through the weighted tree — the power-diagram cell lookup) |
 //! | `PointLocator` | `O(log n)` | `ε`-approximate near `∂Hᵢ` | uniform power, `α = 2`, `β > 1` |
 //!
 //! ## Execution model
@@ -115,6 +116,19 @@
 //!    shared: [`BATCH_TILE`] is both the steal granularity and the
 //!    spatial tile size ([`crate::tile::TileConfig`] makes it tunable
 //!    per call).
+//!
+//! [`VoronoiAssisted`] layers **proximity dispatch** on top: each query
+//! first finds the one station that could possibly be heard — the
+//! nearest station under uniform power (Observation 2.2,
+//! [`Select::Nearest`](crate::tile::Select::Nearest) in the tiled
+//! executor), or the station maximising `Pᵢ · att(d²)` under non-uniform
+//! power (the power-diagram cell of Kantor et al.,
+//! [`Select::MaxEnergy`](crate::tile::Select::MaxEnergy) /
+//! the weighted kd-tree's best-first `strongest` walk) — then runs a
+//! single candidate interference sum instead of an `O(n)` argmax scan.
+//! Both walks and both tiled selection rules pick the same station as
+//! the full scans on the same per-station energies, which is what keeps
+//! the backend bit-identical to `SimdScan` per kernel.
 //!
 //! `sinr_batch` routes through the same certified tiled executor
 //! ([`crate::tile::sinr_batch_tiled`]): Morton tiling for spatial
@@ -1535,13 +1549,16 @@ impl QueryEngine for ExactScan {
     }
 }
 
-/// The incrementally maintained nearest-station index of
-/// [`VoronoiAssisted`]: a static [`KdTree`] over a past snapshot, with
-/// **tombstones** for stations removed or relocated since, and a linear
-/// **overflow list** for stations added or moved since. Queries take the
-/// minimum over both (ties at equal squared distance break toward the
-/// smallest current index — exactly the fresh-tree rule, so an
-/// incrementally patched tree answers bit-for-bit like a rebuilt one).
+/// The incrementally maintained station index of [`VoronoiAssisted`]: a
+/// static weighted [`KdTree`] over a past snapshot, with **tombstones**
+/// for stations removed, relocated, or re-powered since, and a linear
+/// **overflow list** (position, power, index) for stations added or
+/// changed since. Queries take the optimum over both — nearest by
+/// squared distance under uniform power, strongest by
+/// `power · att(d²)` (the power-diagram rule) otherwise — with ties
+/// breaking toward the smallest current index, exactly the fresh-tree
+/// rule, so an incrementally patched tree answers bit-for-bit like a
+/// rebuilt one.
 ///
 /// When tombstones + overflow cross the rebuild threshold (a quarter of
 /// the stations, with a small-n floor) the structure is rebuilt from
@@ -1554,8 +1571,9 @@ struct DynamicTree {
     tree_to_cur: Vec<Option<usize>>,
     /// current station index → where the station lives.
     cur_to_slot: Vec<SlotRef>,
-    /// Stations living outside the tree: `(position, current index)`.
-    overflow: Vec<(Point, usize)>,
+    /// Stations living outside the tree:
+    /// `(position, power, current index)`.
+    overflow: Vec<(Point, f64, usize)>,
     /// Number of tombstoned tree slots.
     dead: usize,
 }
@@ -1569,10 +1587,10 @@ enum SlotRef {
 }
 
 impl DynamicTree {
-    fn build(positions: Vec<Point>) -> Self {
+    fn build(positions: Vec<Point>, powers: Vec<f64>) -> Self {
         let n = positions.len();
         DynamicTree {
-            tree: KdTree::build(positions),
+            tree: KdTree::build_weighted(positions, powers),
             tree_to_cur: (0..n).map(Some).collect(),
             cur_to_slot: (0..n).map(SlotRef::Tree).collect(),
             overflow: Vec::new(),
@@ -1580,10 +1598,11 @@ impl DynamicTree {
         }
     }
 
-    /// Nearest live station: `(current index, squared distance)`.
+    /// Nearest live station: `(current index, squared distance)`. The
+    /// Observation-2.2 dispatch — legal under uniform power only.
     fn nearest(&self, p: Point) -> (usize, f64) {
         let mut best = self.tree.nearest_mapped(p, |slot| self.tree_to_cur[slot]);
-        for &(q, cur) in &self.overflow {
+        for &(q, _, cur) in &self.overflow {
             let d2 = q.dist_sq(p);
             let better = match best {
                 None => true,
@@ -1591,6 +1610,28 @@ impl DynamicTree {
             };
             if better {
                 best = Some((cur, d2));
+            }
+        }
+        best.expect("a built network has ≥ 2 stations")
+    }
+
+    /// Strongest live station under `att`:
+    /// `(current index, squared distance, strength)` maximising
+    /// `power · att(d²)` — the power-diagram (weighted Voronoi)
+    /// nearest-dominator dispatch, legal for every power assignment.
+    fn strongest(&self, p: Point, att: impl Fn(f64) -> f64) -> (usize, f64, f64) {
+        let mut best = self
+            .tree
+            .strongest_mapped(p, &att, |slot| self.tree_to_cur[slot]);
+        for &(q, w, cur) in &self.overflow {
+            let d2 = q.dist_sq(p);
+            let strength = att(d2) * w;
+            let better = match best {
+                None => true,
+                Some((bi, _, bs)) => strength > bs || (strength == bs && cur < bi),
+            };
+            if better {
+                best = Some((cur, d2, strength));
             }
         }
         best.expect("a built network has ≥ 2 stations")
@@ -1608,7 +1649,7 @@ impl DynamicTree {
             SlotRef::Overflow(o) => {
                 self.overflow.swap_remove(o);
                 if o < self.overflow.len() {
-                    let moved_cur = self.overflow[o].1;
+                    let moved_cur = self.overflow[o].2;
                     self.cur_to_slot[moved_cur] = SlotRef::Overflow(o);
                 }
             }
@@ -1616,11 +1657,11 @@ impl DynamicTree {
     }
 
     /// Mirrors [`DeltaOp::Add`]: the new station gets the next index.
-    fn add(&mut self, position: Point) {
+    fn add(&mut self, position: Point, power: f64) {
         let cur = self.cur_to_slot.len();
         self.cur_to_slot
             .push(SlotRef::Overflow(self.overflow.len()));
-        self.overflow.push((position, cur));
+        self.overflow.push((position, power, cur));
     }
 
     /// Mirrors [`DeltaOp::Remove`]'s swap-remove index discipline.
@@ -1633,22 +1674,43 @@ impl DynamicTree {
             self.cur_to_slot[i] = moved;
             match moved {
                 SlotRef::Tree(t) => self.tree_to_cur[t] = Some(i),
-                SlotRef::Overflow(o) => self.overflow[o].1 = i,
+                SlotRef::Overflow(o) => self.overflow[o].2 = i,
             }
         }
         self.cur_to_slot.pop();
     }
 
     /// Mirrors [`DeltaOp::Move`]: in-tree stations are tombstoned and
-    /// reinserted into the overflow; overflow stations move in place.
-    fn relocate(&mut self, i: usize, to: Point) {
+    /// reinserted into the overflow (carrying their current power);
+    /// overflow stations move in place.
+    fn relocate(&mut self, i: usize, to: Point, power: f64) {
         match self.cur_to_slot[i] {
             SlotRef::Overflow(o) => self.overflow[o].0 = to,
             SlotRef::Tree(t) => {
                 self.tree_to_cur[t] = None;
                 self.dead += 1;
                 self.cur_to_slot[i] = SlotRef::Overflow(self.overflow.len());
-                self.overflow.push((to, i));
+                self.overflow.push((to, power, i));
+            }
+        }
+    }
+
+    /// Mirrors [`DeltaOp::SetPower`]: overflow stations re-weight in
+    /// place; in-tree stations whose baked weight already equals the new
+    /// power are untouched (the static aggregates stay exact), otherwise
+    /// they are tombstoned and reinserted with the new power.
+    fn set_power(&mut self, i: usize, to: f64) {
+        match self.cur_to_slot[i] {
+            SlotRef::Overflow(o) => self.overflow[o].1 = to,
+            SlotRef::Tree(t) => {
+                if self.tree.weights()[t] == to {
+                    return;
+                }
+                let position = self.tree.sites()[t];
+                self.tree_to_cur[t] = None;
+                self.dead += 1;
+                self.cur_to_slot[i] = SlotRef::Overflow(self.overflow.len());
+                self.overflow.push((position, to, i));
             }
         }
     }
@@ -1660,13 +1722,20 @@ impl DynamicTree {
     }
 }
 
-/// The Observation-2.2 backend: kd-tree nearest-station dispatch.
+/// The proximity-dispatch backend: kd-tree nearest-*dominator* search.
 ///
-/// For uniform power the maximum-energy station *is* the nearest station,
-/// so each query needs one `O(log n)` proximity search plus a single
-/// interference sum — no argmax bookkeeping in the hot loop. Exact for
-/// all `β` (for `β ≤ 1` the strongest heard station is the nearest one,
-/// by the same monotonicity as [`SinrEvaluator`]).
+/// For uniform power the maximum-energy station *is* the nearest station
+/// (Observation 2.2), so each query needs one `O(log n)` nearest-
+/// neighbour search plus a single interference sum. For **non-uniform**
+/// power the analogous dispatch (Kantor–Lotker–Parter–Peleg) is a
+/// weighted Voronoi — power-diagram — cell lookup: the only station that
+/// can be heard at `p` is the one maximising `Pᵢ · att(d²)`, found by the
+/// kd-tree's best-first branch-and-bound over per-subtree
+/// `(bbox, max power)` aggregates ([`KdTree::strongest_mapped`]). One
+/// weighted tree serves both regimes; the cheaper nearest walk is chosen
+/// per query whenever the current powers are uniform. Exact for all `β`
+/// (for `β ≤ 1` the strongest heard station is the strongest overall, by
+/// the same monotonicity as [`SinrEvaluator`]).
 ///
 /// The candidate interference sum rides the vectorized lanes of
 /// [`crate::simd`] (the same runtime kernel selection as
@@ -1675,17 +1744,15 @@ impl DynamicTree {
 /// numerical contract: answers match the scalar ground truth everywhere
 /// except within rounding tolerance of a `SINR = β` decision boundary.
 ///
-/// For non-uniform power the nearest station need not be the strongest,
-/// so construction transparently falls back to the exact scan. Under
-/// [`QueryEngine::apply`] the kd-tree is maintained through tombstones
-/// and an overflow list with a rebuild threshold (see [`DynamicTree`]),
-/// and the uniform-power dispatch contract is re-checked on every power
-/// delta.
+/// Under [`QueryEngine::apply`] the kd-tree is maintained through
+/// tombstones and an overflow list with a rebuild threshold (see
+/// [`DynamicTree`]); power deltas re-weight the index in place, so
+/// uniform ↔ non-uniform transitions no longer drop it.
 #[derive(Debug, Clone)]
 pub struct VoronoiAssisted {
     eval: SinrEvaluator,
-    /// `None` ⇒ non-uniform power ⇒ exact-scan fallback.
-    tree: Option<DynamicTree>,
+    /// The weighted proximity index; never dropped.
+    tree: DynamicTree,
     /// The vectorized kernel for the candidate interference sum.
     kernel: SimdKernel,
 }
@@ -1694,25 +1761,13 @@ impl VoronoiAssisted {
     /// Builds the backend: `O(n log n)` for the kd-tree.
     pub fn new(net: &Network) -> Self {
         let eval = SinrEvaluator::new(net);
-        let tree = eval
-            .is_uniform_power()
-            .then(|| DynamicTree::build(net.positions().to_vec()));
-        let backend = VoronoiAssisted {
+        let powers = eval.soa().2.to_vec();
+        let tree = DynamicTree::build(net.positions().to_vec(), powers);
+        VoronoiAssisted {
             eval,
             tree,
             kernel: SimdKernel::detect(),
-        };
-        // The documented contract of `uses_proximity_dispatch`: the
-        // Observation-2.2 shortcut is taken iff the power assignment is
-        // uniform — for non-uniform power the nearest station need not be
-        // the strongest, and dispatching through the kd-tree would be
-        // silently wrong (Kantor et al.'s weak/non-uniform scenarios).
-        debug_assert_eq!(
-            backend.uses_proximity_dispatch(),
-            backend.eval.is_uniform_power(),
-            "VoronoiAssisted dispatch contract violated"
-        );
-        backend
+        }
     }
 
     /// The underlying evaluator.
@@ -1720,19 +1775,18 @@ impl VoronoiAssisted {
         &self.eval
     }
 
-    /// True when queries dispatch through the kd-tree, false when the
-    /// backend is running on the exact-scan fallback.
+    /// True when queries dispatch through the kd-tree — since the
+    /// power-diagram dispatch, **always** for this backend.
     ///
-    /// This is the backend's **documented contract**, not an incidental
-    /// detail: proximity dispatch is used *iff* the network has uniform
-    /// power (Observation 2.2 only identifies the nearest station with
-    /// the strongest one in that case). The constructor `debug_assert`s
-    /// the equivalence, [`QueryEngine::apply`] re-checks it after every
-    /// delta (power changes can flip it either way), and the
-    /// engine-equivalence suite pins that a non-uniform network never
-    /// takes the shortcut.
+    /// Historically this flipped to `false` on non-uniform power (the
+    /// Observation-2.2 nearest-station shortcut is only legal under
+    /// uniform power, and the backend fell back to an exact scan).
+    /// The weighted nearest-dominator search removed the fallback: the
+    /// same tree answers `argmax Pᵢ · att(d²)` exactly for every power
+    /// assignment, so the method is kept only for callers that report
+    /// which dispatch a backend uses.
     pub fn uses_proximity_dispatch(&self) -> bool {
-        self.tree.is_some()
+        true
     }
 
     /// The SIMD kernel the candidate interference sum resolved to.
@@ -1740,58 +1794,82 @@ impl VoronoiAssisted {
         self.kernel
     }
 
+    /// The proximity dispatch: nearest station under uniform power
+    /// (Observation 2.2 — no weight bookkeeping in the walk), strongest
+    /// station (`argmax Pᵢ · att(d²)`, the power-diagram cell) otherwise.
+    /// Either way the winner is the only station that can be heard, and
+    /// ties break toward the smallest index — the scan kernels' rule.
     #[inline]
-    fn locate_via_tree(&self, tree: &DynamicTree, p: Point) -> Located {
-        let (nearest, d2) = tree.nearest(p);
+    fn dispatch_candidate(&self, p: Point) -> (usize, f64) {
+        if self.eval.is_uniform_power() {
+            self.tree.nearest(p)
+        } else {
+            let (cand, d2, _) = self.eval.with_kernel(|_, k| match k {
+                DynKernel::Square(kk) => self.tree.strongest(p, |d2| kk.attenuation(d2)),
+                DynKernel::General(kk) => self.tree.strongest(p, |d2| kk.attenuation(d2)),
+            });
+            (cand, d2)
+        }
+    }
+
+    #[inline]
+    fn locate_via_tree(&self, p: Point) -> Located {
+        let (cand, d2) = self.dispatch_candidate(p);
         if d2 == 0.0 {
-            // At a station's position: reception by the `{sᵢ}` clause (the
-            // kd-tree breaks co-location ties toward the smallest index,
-            // matching the scalar ground truth).
-            return Located::Reception(StationId(nearest));
+            // At a station's position: reception by the `{sᵢ}` clause.
+            // Both walks break co-location ties toward the smallest
+            // index (all co-located stations tie at `d² = 0` /
+            // infinite strength), matching the scalar ground truth.
+            return Located::Reception(StationId(cand));
         }
         self.eval.decide_candidate(
-            nearest,
-            crate::simd::candidate_scan(&self.eval, self.kernel, nearest, p),
+            cand,
+            crate::simd::candidate_scan(&self.eval, self.kernel, cand, p),
         )
+    }
+
+    /// The tiled executor's per-point candidate rule for the current
+    /// powers: [`Select::Nearest`](crate::tile::Select::Nearest) under
+    /// uniform power (the kd-tree's nearest walk),
+    /// [`Select::MaxEnergy`](crate::tile::Select::MaxEnergy) otherwise
+    /// (the power-diagram argmax — identical winner to the weighted
+    /// walk, since both maximise the same per-station energies).
+    #[inline]
+    fn tile_select(&self) -> crate::tile::Select {
+        if self.eval.is_uniform_power() {
+            crate::tile::Select::Nearest
+        } else {
+            crate::tile::Select::MaxEnergy
+        }
     }
 }
 
 impl QueryEngine for VoronoiAssisted {
     fn locate(&self, p: Point) -> Located {
-        match &self.tree {
-            None => self.eval.locate(p),
-            Some(tree) => {
-                self.eval.assert_fresh();
-                self.locate_via_tree(tree, p)
-            }
-        }
+        self.eval.assert_fresh();
+        self.locate_via_tree(p)
     }
 
     fn locate_batch(&self, points: &[Point], out: &mut [Located]) {
-        match &self.tree {
-            None => self.eval.locate_batch(points, out),
-            Some(tree) => {
-                self.eval.assert_fresh();
-                let cfg = crate::tile::TileConfig::default();
-                if cfg.engages(points.len(), self.eval.len()) {
-                    // Tiled nearest-station dispatch: the per-tile
-                    // candidate set plays the kd-tree's role (the
-                    // nearest station always survives pruning), with
-                    // the serial tree walk as the per-point fallback.
-                    crate::tile::locate_batch_tiled(
-                        &self.eval,
-                        self.kernel,
-                        crate::tile::Select::Nearest,
-                        points,
-                        out,
-                        &cfg,
-                        |p| self.locate_via_tree(tree, p),
-                    );
-                    return;
-                }
-                batch_map(points, out, |p| self.locate_via_tree(tree, *p));
-            }
+        self.eval.assert_fresh();
+        let cfg = crate::tile::TileConfig::default();
+        if cfg.engages(points.len(), self.eval.len()) {
+            // Tiled proximity dispatch: the per-tile candidate set
+            // plays the kd-tree's role (the winning station always
+            // survives pruning under either selection rule), with the
+            // serial tree walk as the per-point fallback.
+            crate::tile::locate_batch_tiled(
+                &self.eval,
+                self.kernel,
+                self.tile_select(),
+                points,
+                out,
+                &cfg,
+                |p| self.locate_via_tree(p),
+            );
+            return;
         }
+        batch_map(points, out, |p| self.locate_via_tree(*p));
     }
 
     fn sinr_batch(&self, i: StationId, points: &[Point], out: &mut [f64]) {
@@ -1805,10 +1883,12 @@ impl QueryEngine for VoronoiAssisted {
         parent: Option<&crate::tile::CellCert>,
     ) -> Option<crate::tile::CellCert> {
         // Sound for the tree dispatch too: a certified Reception pins a
-        // strict unique argmax, which under the uniform powers this
-        // backend's shortcut requires is also the unique nearest
-        // station; certified Silent fails every station's test
-        // including whichever one the tree walk picks.
+        // strict unique energy argmax, which is exactly the station the
+        // power-diagram walk (and, under uniform power, the nearest
+        // walk) selects; certified Silent fails every station's test
+        // including whichever one the tree walk picks. The cell
+        // certificates' envelopes are per-station and power-aware, so
+        // this holds for every power assignment.
         Some(self.eval.sinr_bounds_cell(min, max, parent))
     }
 
@@ -1818,22 +1898,12 @@ impl QueryEngine for VoronoiAssisted {
         points: &[Point],
         out: &mut [Option<Located>],
     ) -> bool {
-        match &self.tree {
-            None => self.eval.locate_in_cell(cert, points, out),
-            Some(_) => {
-                self.eval.assert_fresh();
-                // Nearest-candidate certified decisions — the kd-tree's
-                // selection rule; uncertifiable points stay `None` for
-                // the caller's tiled batch path.
-                crate::tile::locate_in_cell(
-                    &self.eval,
-                    crate::tile::Select::Nearest,
-                    cert,
-                    points,
-                    out,
-                );
-            }
-        }
+        self.eval.assert_fresh();
+        // Certified decisions under this backend's per-query candidate
+        // rule (nearest for uniform power, max-energy otherwise);
+        // uncertifiable points stay `None` for the caller's tiled
+        // batch path.
+        crate::tile::locate_in_cell(&self.eval, self.tile_select(), cert, points, out);
         true
     }
 
@@ -1851,9 +1921,9 @@ impl QueryEngine for VoronoiAssisted {
         // Identity channels route through `locate_batch` inside the
         // driver (so degenerate answers keep this backend's tree-based
         // summation order bit-for-bit); non-identity trials scale the
-        // powers, which is generally *non-uniform* — the Observation-2.2
-        // shortcut is illegal there, so the per-trial serial kernel is
-        // the exact scalar scan.
+        // powers per trial, which the static tree's baked weights do
+        // not track — the per-trial serial kernel is the exact scalar
+        // scan over the trial-scaled evaluator.
         crate::channel::reception_probability_driver(
             &self.eval,
             self.kernel,
@@ -1888,32 +1958,24 @@ impl QueryEngine for VoronoiAssisted {
 
     fn apply(&mut self, delta: &NetworkDelta) -> Result<(), SyncError> {
         self.eval.apply(delta)?;
-        if !delta.uniform_after() {
-            // Power went (or stayed) non-uniform: the Observation-2.2
-            // shortcut is illegal — drop to the exact-scan fallback.
-            self.tree = None;
-        } else if let Some(tree) = &mut self.tree {
-            match delta.op() {
-                DeltaOp::Add { position, .. } => tree.add(*position),
-                DeltaOp::Remove { id, last_index, .. } => tree.remove(id.0, *last_index),
-                DeltaOp::Move { id, to, .. } => tree.relocate(id.0, *to),
-                // Uniform before and after: powers are all 1, nothing to
-                // index.
-                DeltaOp::SetPower { .. } => {}
+        // The weighted index absorbs every delta kind — including power
+        // changes, which historically dropped the tree (the unweighted
+        // index could only serve uniform networks). Uniform ↔
+        // non-uniform transitions are now just re-weights.
+        match delta.op() {
+            DeltaOp::Add {
+                position, power, ..
+            } => self.tree.add(*position, *power),
+            DeltaOp::Remove { id, last_index, .. } => self.tree.remove(id.0, *last_index),
+            DeltaOp::Move { id, to, .. } => {
+                let power = self.eval.soa().2[id.0];
+                self.tree.relocate(id.0, *to, power);
             }
-            if tree.should_rebuild() {
-                *tree = DynamicTree::build(self.eval.position_points());
-            }
-        } else {
-            // Power returned to uniform: proximity dispatch is legal
-            // again — rebuild the index over the current stations.
-            self.tree = Some(DynamicTree::build(self.eval.position_points()));
+            DeltaOp::SetPower { id, to, .. } => self.tree.set_power(id.0, *to),
         }
-        debug_assert_eq!(
-            self.uses_proximity_dispatch(),
-            self.eval.is_uniform_power(),
-            "VoronoiAssisted dispatch contract violated after apply"
-        );
+        if self.tree.should_rebuild() {
+            self.tree = DynamicTree::build(self.eval.position_points(), self.eval.soa().2.to_vec());
+        }
         Ok(())
     }
 
@@ -2196,7 +2258,8 @@ mod tests {
     fn voronoi_assisted_matches_scalar_ground_truth() {
         for net in nets() {
             let engine = VoronoiAssisted::new(&net);
-            assert_eq!(engine.uses_proximity_dispatch(), net.is_uniform_power());
+            // The weighted tree serves every power assignment.
+            assert!(engine.uses_proximity_dispatch());
             for p in grid_points(6.0, 25) {
                 let expected = sinr::heard_at(&net, p);
                 let got = engine.locate(p).station();

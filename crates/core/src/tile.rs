@@ -126,13 +126,20 @@ impl TileConfig {
 pub enum Select {
     /// Maximum-energy station (first index on exact energy ties) — the
     /// rule of the full scans ([`crate::engine::ExactScan`],
-    /// [`crate::simd::SimdScan`]); exact for every network.
+    /// [`crate::simd::SimdScan`]) *and* of
+    /// [`crate::engine::VoronoiAssisted`]'s power-diagram dispatch on
+    /// non-uniform networks (the candidate argmax over `Pᵢ · att(d²)`
+    /// is exactly the weighted kd-tree's nearest-dominator rule); exact
+    /// for every network. The station envelopes the executor prunes
+    /// with are per-station and power-aware, so pruning stays certified
+    /// under any power assignment.
     MaxEnergy,
     /// Nearest station (first index on exact squared-distance ties) —
-    /// the Observation-2.2 dispatch of
-    /// [`crate::engine::VoronoiAssisted`]. Only equivalent to
+    /// the Observation-2.2 dispatch [`crate::engine::VoronoiAssisted`]
+    /// uses when the current powers are uniform. Only equivalent to
     /// `MaxEnergy` for uniform power; callers must not use it otherwise
-    /// (the engines never do).
+    /// (the engines never do — `VoronoiAssisted` switches to
+    /// `MaxEnergy` per batch when powers differ).
     Nearest,
 }
 

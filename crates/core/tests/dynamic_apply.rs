@@ -20,7 +20,7 @@ use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use sinr_core::engine::{ExactScan, Located, QueryEngine, SyncError, VoronoiAssisted};
 use sinr_core::simd::{SimdKernel, SimdScan};
-use sinr_core::{Network, NetworkDelta, NetworkError, SinrEvaluator, StationId, SurgeryOp};
+use sinr_core::{gen, Network, NetworkDelta, NetworkError, SinrEvaluator, StationId, SurgeryOp};
 use sinr_geometry::{Point, Vector};
 
 /// Separated stations (non-degenerate zones, honest numerics).
@@ -72,8 +72,8 @@ fn random_op(rng: &mut rand::rngs::StdRng, net: &mut Network) -> NetworkDelta {
     let choice: usize = rng.gen_range(0..8);
     match choice {
         // Adds: half uniform power (keeps VoronoiAssisted on the
-        // proximity path), half weighted (exercises the fallback
-        // transition).
+        // nearest walk), half weighted (exercises the power-diagram
+        // dispatch and the re-weighting transition).
         0 | 1 => {
             let p = Point::new(rng.gen_range(-6.0..6.0), rng.gen_range(-6.0..6.0));
             let power = if choice == 0 {
@@ -99,7 +99,7 @@ fn random_op(rng: &mut rand::rngs::StdRng, net: &mut Network) -> NetworkDelta {
         }
         // Power back to 1 (also the 2|3 guard fallthrough): exercises
         // the non-uniform → uniform transition (VoronoiAssisted must
-        // re-enable the kd-tree).
+        // switch back to the nearest walk without dropping the tree).
         _ => {
             let i = rng.gen_range(0..net.len());
             net.set_power(StationId(i), 1.0).expect("valid power")
@@ -250,11 +250,12 @@ proptest! {
         }
     }
 
-    /// VoronoiAssisted: the tombstone/overflow kd-tree (plus its rebuild
-    /// heuristic and the uniform ↔ non-uniform dispatch transitions) must
-    /// be indistinguishable from a fresh tree — checked after every op so
-    /// intermediate tombstone states are exercised, not just the final
-    /// one.
+    /// VoronoiAssisted: the tombstone/overflow weighted kd-tree (plus
+    /// its rebuild heuristic and uniform ↔ non-uniform power
+    /// transitions, which since the power-diagram dispatch re-weight the
+    /// index instead of dropping it) must be indistinguishable from a
+    /// fresh tree — checked after every op so intermediate tombstone
+    /// states are exercised, not just the final one.
     #[test]
     fn voronoi_assisted_apply_equals_rebuild(net in networks(), seed in any::<u64>()) {
         let mut net = net;
@@ -264,17 +265,61 @@ proptest! {
             let delta = random_op(&mut rng, &mut net);
             engine.apply(&delta).expect("delta applies in order");
             let fresh = VoronoiAssisted::new(&net);
-            prop_assert_eq!(
+            // The weighted tree serves every power assignment — the
+            // proximity dispatch survives every delta, power changes
+            // included.
+            prop_assert!(
                 engine.uses_proximity_dispatch(),
-                net.is_uniform_power(),
-                "dispatch contract after delta in {}", net
+                "dispatch dropped after delta in {}", net
             );
-            prop_assert_eq!(
-                fresh.uses_proximity_dispatch(),
-                engine.uses_proximity_dispatch()
-            );
+            prop_assert!(fresh.uses_proximity_dispatch());
             assert_bit_identical("VoronoiAssisted", &engine, &fresh, &net)?;
         }
+    }
+
+    /// Scripted uniform → non-uniform → uniform power round trip: the
+    /// power-diagram dispatch must keep the tree through both
+    /// transitions and stay bit-identical to a fresh rebuild (and to
+    /// ExactScan) at every step — the regression this PR's re-weighting
+    /// `apply` path exists for (the old contract dropped and rebuilt the
+    /// tree at each transition).
+    #[test]
+    fn power_transitions_keep_tree_and_match_rebuild(seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9D1A);
+        let n = rng.gen_range(4usize..12);
+        let mut net = gen::random_uniform_network(seed ^ 0x77, n, 8.0, 0.01, 1.8)
+            .expect("valid uniform network");
+        prop_assert!(net.is_uniform_power());
+        let mut engine = VoronoiAssisted::new(&net);
+        let apply_all = |engine: &mut VoronoiAssisted, deltas: Vec<NetworkDelta>| {
+            for d in deltas {
+                engine.apply(&d).expect("delta applies in order");
+            }
+        };
+        // Uniform → non-uniform: scatter distinct powers.
+        let mut deltas = Vec::new();
+        for i in 0..net.len() {
+            let p = rng.gen_range(0.5..2.5);
+            deltas.push(net.set_power(StationId(i), p).expect("valid power"));
+        }
+        apply_all(&mut engine, deltas);
+        prop_assert!(!net.is_uniform_power());
+        prop_assert!(engine.uses_proximity_dispatch());
+        assert_bit_identical("non-uniform leg", &engine, &VoronoiAssisted::new(&net), &net)?;
+        // Interleave a structural op while non-uniform.
+        let p = Point::new(rng.gen_range(-8.0..8.0), rng.gen_range(-8.0..8.0));
+        let d = net.add_station(p, rng.gen_range(0.5..2.5)).expect("valid add");
+        apply_all(&mut engine, vec![d]);
+        assert_bit_identical("non-uniform add", &engine, &VoronoiAssisted::new(&net), &net)?;
+        // Non-uniform → uniform: reset every power to 1.
+        let mut deltas = Vec::new();
+        for i in 0..net.len() {
+            deltas.push(net.set_power(StationId(i), 1.0).expect("valid power"));
+        }
+        apply_all(&mut engine, deltas);
+        prop_assert!(net.is_uniform_power());
+        prop_assert!(engine.uses_proximity_dispatch());
+        assert_bit_identical("uniform again", &engine, &VoronoiAssisted::new(&net), &net)?;
     }
 
     /// Remove-then-re-add of the same index: the swap-remove slot is

@@ -16,8 +16,8 @@
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use sinr_core::engine::{ExactScan, Located, QueryEngine, VoronoiAssisted};
-use sinr_core::simd::SimdScan;
-use sinr_core::Network;
+use sinr_core::simd::{SimdKernel, SimdScan};
+use sinr_core::{Network, SinrEvaluator};
 use sinr_geometry::{Point, Vector};
 use sinr_pointloc::{PointLocator, QdsConfig};
 
@@ -111,7 +111,8 @@ proptest! {
         let exact = ExactScan::new(&net);
         let simd = SimdScan::new(&net);
         let voronoi = VoronoiAssisted::new(&net);
-        prop_assert_eq!(voronoi.uses_proximity_dispatch(), net.is_uniform_power());
+        // The weighted tree serves every power assignment.
+        prop_assert!(voronoi.uses_proximity_dispatch());
 
         let points = sample_points(&net);
         let mut exact_out = vec![Located::Silent; points.len()];
@@ -143,12 +144,16 @@ proptest! {
         }
     }
 
-    /// The documented `VoronoiAssisted` contract: a network with any
-    /// non-uniform power assignment **never** takes the Observation-2.2
-    /// proximity shortcut (the nearest station need not be the strongest
-    /// one), and its answers coincide with the exact scan bit-for-bit.
+    /// The weighted (power-diagram) dispatch: a network with any
+    /// non-uniform power assignment dispatches through the kd-tree's
+    /// nearest-*dominator* walk (`argmax Pᵢ · att(d²)` — the
+    /// Observation-2.2 analogue of Kantor et al.), and its answers are
+    /// **bit-identical** to `SimdScan` pinned to the same kernel (the
+    /// candidate sum rides the same lanes in the same order), hence
+    /// identical to `ExactScan` everywhere but `SINR = β` boundary
+    /// rounding.
     #[test]
-    fn non_uniform_power_never_uses_proximity_dispatch(
+    fn non_uniform_power_uses_weighted_dispatch(
         (n, seed) in (2usize..7, any::<u64>()),
     ) {
         let pts = separated_points(seed, n);
@@ -165,18 +170,73 @@ proptest! {
 
         let voronoi = VoronoiAssisted::new(&net);
         prop_assert!(
-            !voronoi.uses_proximity_dispatch(),
-            "non-uniform network took the Observation-2.2 shortcut: {}", net
+            voronoi.uses_proximity_dispatch(),
+            "non-uniform network dropped the weighted dispatch: {}", net
         );
-        // On the fallback, the backend IS the exact scan: identical
-        // answers everywhere, boundaries included.
+        let simd = SimdScan::with_kernel(SinrEvaluator::new(&net), voronoi.kernel());
         let exact = ExactScan::new(&net);
         let points = sample_points(&net);
         let mut voronoi_out = vec![Located::Silent; points.len()];
+        let mut simd_out = vec![Located::Silent; points.len()];
         let mut exact_out = vec![Located::Silent; points.len()];
         voronoi.locate_batch(&points, &mut voronoi_out);
+        simd.locate_batch(&points, &mut simd_out);
         exact.locate_batch(&points, &mut exact_out);
-        prop_assert_eq!(voronoi_out, exact_out);
+        // Same kernel, same summation order, same argmax: exact
+        // equality, boundaries included.
+        prop_assert_eq!(&voronoi_out, &simd_out);
+        for (k, p) in points.iter().enumerate() {
+            if voronoi_out[k] != exact_out[k] {
+                prop_assert!(
+                    near_decision_boundary(&net, *p),
+                    "weighted dispatch disagrees with ExactScan off-boundary at {} in {}: {:?} vs {:?}",
+                    p, net, voronoi_out[k], exact_out[k]
+                );
+            }
+        }
+    }
+
+    /// Per-kernel pinning of the weighted path: for every supported SIMD
+    /// kernel, a `VoronoiAssisted`-shaped candidate dispatch must agree
+    /// with that kernel's full scan bit-for-bit on non-uniform networks.
+    /// (`VoronoiAssisted` itself always runs the detected kernel; the
+    /// per-kernel loop pins the shared `candidate_scan` lanes on every
+    /// width the machine has, avx512 included.)
+    #[test]
+    fn weighted_dispatch_bit_identical_per_kernel(
+        (n, seed) in (3usize..8, any::<u64>()),
+    ) {
+        let pts = separated_points(seed, n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xA11A);
+        let mut b = Network::builder()
+            .background_noise(0.02)
+            .threshold(1.2)
+            .path_loss(if n % 2 == 0 { 2.0 } else { 3.0 });
+        for p in pts {
+            b = b.station_with_power(p, rng.gen_range(0.25..4.0));
+        }
+        let net = b.build().expect("≥ 3 separated stations");
+        let voronoi = VoronoiAssisted::new(&net);
+        let points = sample_points(&net);
+        let mut voronoi_out = vec![Located::Silent; points.len()];
+        voronoi.locate_batch(&points, &mut voronoi_out);
+        for kernel in SimdKernel::ALL {
+            if !kernel.is_supported() || kernel == voronoi.kernel() {
+                continue;
+            }
+            let simd = SimdScan::with_kernel(SinrEvaluator::new(&net), kernel);
+            let mut simd_out = vec![Located::Silent; points.len()];
+            simd.locate_batch(&points, &mut simd_out);
+            for (k, p) in points.iter().enumerate() {
+                if voronoi_out[k] != simd_out[k] {
+                    prop_assert!(
+                        near_decision_boundary(&net, *p),
+                        "kernel {} disagrees with weighted dispatch off-boundary at {}",
+                        kernel.name(), p
+                    );
+                }
+            }
+        }
     }
 
     /// The scalar-consistency of `sinr_batch` across backends.

@@ -258,6 +258,38 @@ fn direct_executor_nearest_matches_tree_path() {
     }
 }
 
+/// Max-energy-mode certification against the *weighted* kd-tree serial
+/// path, driven directly on a non-uniform network — the power-diagram
+/// analogue of the nearest-mode test above: the tiled executor's
+/// candidate argmax and the tree's best-first `strongest` walk must
+/// select the same dominator everywhere.
+#[test]
+fn direct_executor_max_energy_matches_weighted_tree_path() {
+    let net = big_network(62, 256, false);
+    assert!(!net.is_uniform_power());
+    let engine = VoronoiAssisted::new(&net);
+    let eval = SinrEvaluator::new(&net);
+    let points = query_batch(&net, 3000, 0xF01);
+    let cfg = TileConfig {
+        tile_points: 128,
+        min_stations: 2,
+        min_points: 1,
+    };
+    let mut out = vec![Located::Silent; points.len()];
+    tile::locate_batch_tiled(
+        &eval,
+        SimdKernel::detect(),
+        Select::MaxEnergy,
+        &points,
+        &mut out,
+        &cfg,
+        |p| engine.locate(p),
+    );
+    for (p, got) in points.iter().zip(&out) {
+        assert_eq!(*got, engine.locate(*p), "max-energy-mode mismatch at {p}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 

@@ -468,9 +468,13 @@ impl<T: Transport> Client<T> {
     /// # Errors
     ///
     /// [`ClientError::Server`] with [`ErrorCode::MalformedFrame`]
-    /// (degenerate window, zero or frame-overflowing grid) /
-    /// [`ErrorCode::NotBound`] / [`ErrorCode::Stale`], or any transport
-    /// failure.
+    /// (degenerate window, zero grid, or more than
+    /// [`MAX_HEATMAP_PIXELS`](crate::protocol::MAX_HEATMAP_PIXELS)
+    /// pixels), [`ErrorCode::Oversized`] (the computed raster's actual
+    /// run-length encoding does not fit one response frame — uniform
+    /// rasters compress to a handful of runs, so this only triggers on
+    /// genuinely fragmented diagrams), [`ErrorCode::NotBound`] /
+    /// [`ErrorCode::Stale`], or any transport failure.
     pub fn heatmap_batch(
         &mut self,
         min: Point,

@@ -86,9 +86,12 @@
 //! pixels paid it. Pixels are `Located` runs in bottom-first row-major
 //! order (`cells[row * width + col]`); uncertain pixels are the
 //! backend's own `Uncertain` answers, exactly as a `LocateBatch` of the
-//! pixel centres would produce. Grids whose response cannot fit one
-//! frame (worst case 9 bytes/pixel + 25 header) are refused with code
-//! `1` before any computation.
+//! pixel centres would produce. Grids over
+//! [`protocol::MAX_HEATMAP_PIXELS`] (or whose `width × height`
+//! overflows) are refused with code `1` before any computation; a grid
+//! under the pixel cap whose *actual* run-length encoding still cannot
+//! fit one frame (9 bytes per run + 25 header — a pathologically
+//! fragmented diagram) is refused with code `11` after rasterisation.
 //!
 //! `Located` responses are run-length encoded (kind `0` = reception,
 //! `1` = uncertain, `2` = silent with station `0`; runs must sum to

@@ -61,8 +61,9 @@ pub enum BackendId {
     ExactScan,
     /// `1` — [`sinr_core::SimdScan`]: the vectorized exact scan.
     SimdScan,
-    /// `2` — [`sinr_core::VoronoiAssisted`]: kd-tree dispatch
-    /// (Observation 2.2), exact-scan fallback for non-uniform power.
+    /// `2` — [`sinr_core::VoronoiAssisted`]: weighted kd-tree dispatch
+    /// for every power assignment — nearest-station (Observation 2.2)
+    /// under uniform power, power-diagram cells otherwise.
     VoronoiAssisted,
     /// `3` — the Theorem-3 `PointLocator` of `sinr-pointloc`:
     /// `O(log n)` queries, may answer [`Located::Uncertain`]; requires
@@ -715,6 +716,18 @@ fn push_point(buf: &mut Vec<u8>, p: Point) {
     buf.extend_from_slice(&p.y.to_le_bytes());
 }
 
+/// Pixel cap on a heatmap grid (16 Mi pixels — a 4096×4096 raster).
+///
+/// This bounds the *dense* cost of a heatmap on both sides of the wire
+/// — the raster the session rasterises and the `Located` vector the
+/// client materialises on decode — independently of how small the
+/// run-length encoding turns out. Whether the *encoded* response fits a
+/// frame is a separate check the session makes against the real run
+/// count ([`run_count`]): a near-uniform 2048² map is a few KB of runs
+/// and round-trips fine, while a worst-case checkerboard of the same
+/// size is refused as oversized only because it genuinely is.
+pub const MAX_HEATMAP_PIXELS: u64 = 16 * 1024 * 1024;
+
 /// Run-length encodes a `Located` stream (shared by `Located` and
 /// `Heatmap` responses): each run is a kind byte, a station id, and a
 /// length — 9 bytes for any stretch of identical answers.
@@ -735,6 +748,25 @@ fn push_runs(buf: &mut Vec<u8>, answers: &[Located]) {
         buf.extend_from_slice(&((j - i) as u32).to_le_bytes());
         i = j;
     }
+}
+
+/// The number of runs [`push_runs`] would emit for `answers` — the
+/// exact encoded length is `9 × run_count` bytes. Lets the session
+/// check a response's real wire size against the frame limit *before*
+/// encoding (and refuse with a typed error instead of dying on
+/// `send_frame`'s length check).
+pub(crate) fn run_count(answers: &[Located]) -> usize {
+    let mut runs = 0;
+    let mut i = 0;
+    while i < answers.len() {
+        let mut j = i + 1;
+        while j < answers.len() && answers[j] == answers[i] {
+            j += 1;
+        }
+        runs += 1;
+        i = j;
+    }
+    runs
 }
 
 /// Decodes exactly `total` run-length encoded answers. The caller must
@@ -1312,15 +1344,15 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
             let height = c.u32("grid height")?;
             let cells_evaluated = c.u64("cells evaluated")?;
             let total = width as u64 * height as u64;
-            // Same cap rationale as `TAG_LOCATED`, scaled to the raster
-            // wire density: a heatmap answer costs at least 9 bytes per
-            // worst-case run, and the session refuses grids whose
-            // answers could not fit a frame, so neither does decode.
-            let limit = (crate::transport::MAX_FRAME_LEN / 9) as u64;
-            if total > limit {
+            // Run-length coding breaks the bytes-present bound other
+            // collections get from `Cursor::count` (one 9-byte run can
+            // claim 2³² answers), so the dense answer count is capped
+            // explicitly at the grid pixel cap the session enforces on
+            // requests — the decode-side allocation bound.
+            if total > MAX_HEATMAP_PIXELS {
                 return Err(ProtocolError::AnswerCountTooLarge {
                     declared: total,
-                    limit,
+                    limit: MAX_HEATMAP_PIXELS,
                 });
             }
             let cells = decode_runs(&mut c, total)?;
@@ -1562,6 +1594,36 @@ mod tests {
         });
         // tag + revision + count + one 9-byte run.
         assert_eq!(bytes.len(), 1 + 8 + 4 + 9);
+    }
+
+    #[test]
+    fn run_count_predicts_encoded_heatmap_length() {
+        // The session's pre-send size check relies on `run_count`
+        // agreeing byte-for-byte with what `push_runs` will emit:
+        // 25 header bytes + 9 per run.
+        let mut cells = Vec::new();
+        for k in 0..1000usize {
+            let answer = match k % 3 {
+                0 => Located::Reception(StationId(k % 7)),
+                1 => Located::Silent,
+                _ => Located::Uncertain(StationId(2)),
+            };
+            // Variable-length runs, including singletons.
+            for _ in 0..(k % 4) + 1 {
+                cells.push(answer);
+            }
+        }
+        let runs = run_count(&cells);
+        let bytes = encode_response(&Response::Heatmap {
+            revision: 5,
+            width: cells.len() as u32,
+            height: 1,
+            cells_evaluated: 0,
+            cells: cells.clone(),
+        });
+        assert_eq!(bytes.len(), 25 + 9 * runs);
+        assert_eq!(run_count(&[]), 0);
+        assert_eq!(run_count(&vec![Located::Silent; 10_000]), 1);
     }
 
     #[test]

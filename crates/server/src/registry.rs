@@ -10,24 +10,31 @@
 //! revision), regardless of session count.
 //!
 //! Mutation goes through [`NamedNetwork::mutate`]: the network is
-//! revision-fenced exactly like the private path, the emitted deltas
-//! advance every store (incremental [`sinr_core::QueryEngine::apply`],
-//! one publication per store), and every attached session observes the
-//! new snapshot at its next request. A store whose backend cannot
-//! represent the mutated network (e.g. the Theorem-3 locator after a
-//! non-uniform `SetPower`) is poisoned and dropped from the registry;
-//! sessions holding it see the poison on their next load and detach.
+//! revision-fenced exactly like the private path, then the emitted
+//! deltas advance every store (incremental
+//! [`sinr_core::QueryEngine::apply`], one publication per store)
+//! **off the network lock** — the lock is held only long enough to
+//! fence and apply the ops, so a slow advancement (worst case a full
+//! rebuild on the sync fallback) never stalls a concurrent attach or
+//! reader. Every attached session observes the new snapshot at its
+//! next request. A store whose backend cannot represent the mutated
+//! network (e.g. the Theorem-3 locator after a non-uniform `SetPower`)
+//! is poisoned and dropped from the registry; sessions holding it see
+//! the poison on their next load and detach.
 //!
-//! Lock discipline: the registry map lock and a network's inner lock
-//! are never held together, and the store mutex nests strictly inside
-//! the network lock (mutation advances stores while fencing the
-//! network). Readers never take the network lock at all — queries go
+//! Lock discipline: timesteps serialize on a dedicated per-network
+//! mutation lock, acquired before (and released after) the network's
+//! inner lock; the registry map lock and a network's inner lock are
+//! never held together; and no store mutex is ever taken while the
+//! inner lock is held — stores advance between two short critical
+//! sections (fence + apply ops, then drop poisoned stores). Readers
+//! never take the network lock at all — queries go
 //! `Arc<SnapshotStore> → Arc<EngineSnapshot>`, both brief mutex-clone
 //! hops.
 
 use crate::protocol::{BackendId, NetworkSpec, MAX_NETWORK_NAME_LEN};
 use sinr_core::engine::BoxedEngine;
-use sinr_core::{EngineSnapshot, Network, NetworkDelta, NetworkError, SnapshotStore, SurgeryOp};
+use sinr_core::{EngineSnapshot, Network, NetworkError, SnapshotStore, SurgeryOp};
 use sinr_pointloc::{PointLocator, QdsConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -195,6 +202,11 @@ pub struct NamedNetwork {
     /// Live attachments (one per undropped [`AttachGuard`]); gates
     /// [`NetworkRegistry::unregister`].
     attached: AtomicUsize,
+    /// Serializes whole timesteps (fence → apply → advance stores →
+    /// drop poisoned). Always acquired before `inner`, and held across
+    /// the off-lock store advancement so concurrent mutations cannot
+    /// interleave their delta batches out of order.
+    mutation: Mutex<()>,
     inner: Mutex<NamedInner>,
 }
 
@@ -275,6 +287,14 @@ impl NamedNetwork {
     /// cannot represent the mutated network are poisoned and dropped —
     /// their sessions detach on next use.
     ///
+    /// Store advancement (including the full-rebuild sync fallback)
+    /// runs with **no network lock held**: a concurrent
+    /// [`NetworkRegistry::attach`] or snapshot load proceeds while the
+    /// stores catch up, and simply observes the pre-advancement
+    /// snapshot until the new one is published. Timesteps themselves
+    /// stay strictly serialized (per-network mutation lock), so each
+    /// store sees every delta batch exactly once, in emission order.
+    ///
     /// # Errors
     ///
     /// [`MutateError::RevisionMismatch`] (nothing applied) or
@@ -284,39 +304,67 @@ impl NamedNetwork {
         expected_revision: u64,
         ops: &[SurgeryOp],
     ) -> Result<MutateOk, MutateError> {
-        let mut inner = self.inner.lock().expect("named network lock");
-        let current = inner.net.revision();
-        if expected_revision != current {
-            return Err(MutateError::RevisionMismatch {
-                expected: expected_revision,
-                current,
-            });
-        }
-        match inner.net.apply_ops(ops) {
-            Ok(deltas) => {
-                let applied = deltas.len() as u32;
-                Self::advance_stores(&mut inner, &deltas);
-                Ok(MutateOk {
-                    revision: inner.net.revision(),
-                    applied,
-                })
-            }
-            Err(batch) => {
-                Self::advance_stores(&mut inner, &batch.applied);
-                Err(MutateError::Surgery {
-                    message: batch.to_string(),
-                    revision: inner.net.revision(),
-                })
-            }
-        }
-    }
+        let _timestep = self.mutation.lock().expect("mutation lock");
 
-    fn advance_stores(inner: &mut NamedInner, deltas: &[NetworkDelta]) {
-        let NamedInner { net, stores } = inner;
-        // A store that cannot follow is poisoned by its own `advance`;
-        // dropping it here keeps later attaches building fresh (the
-        // poisoned Arc keeps erroring for the sessions still holding it).
-        stores.retain(|_, store| store.advance(net, deltas).is_ok());
+        // Critical section 1: fence the revision, apply the ops, and
+        // snapshot what advancement needs (the mutated network and the
+        // store handles) — then let go of the lock before any store
+        // does real work.
+        let (outcome, net, deltas, stores) = {
+            let mut inner = self.inner.lock().expect("named network lock");
+            let current = inner.net.revision();
+            if expected_revision != current {
+                return Err(MutateError::RevisionMismatch {
+                    expected: expected_revision,
+                    current,
+                });
+            }
+            let (outcome, deltas) = match inner.net.apply_ops(ops) {
+                Ok(deltas) => {
+                    let ok = MutateOk {
+                        revision: inner.net.revision(),
+                        applied: deltas.len() as u32,
+                    };
+                    (Ok(ok), deltas)
+                }
+                Err(batch) => {
+                    let err = MutateError::Surgery {
+                        message: batch.to_string(),
+                        revision: inner.net.revision(),
+                    };
+                    (Err(err), batch.applied)
+                }
+            };
+            let stores: Vec<(StoreKey, Arc<SnapshotStore>)> = inner
+                .stores
+                .iter()
+                .map(|(key, store)| (*key, Arc::clone(store)))
+                .collect();
+            (outcome, inner.net.clone(), deltas, stores)
+        };
+
+        // Off-lock: advance every store. A store that cannot follow is
+        // poisoned by its own `advance` (the poisoned Arc keeps erroring
+        // for the sessions still holding it).
+        let mut dropped: Vec<StoreKey> = Vec::new();
+        for (key, store) in &stores {
+            if store.advance(&net, &deltas).is_err() {
+                dropped.push(*key);
+            }
+        }
+
+        // Critical section 2: unpublish the poisoned stores so later
+        // attaches build fresh. The mutation lock guarantees no other
+        // timestep touched the map in between, and attach never
+        // replaces a key that is present, so removal by key drops
+        // exactly the stores advanced above.
+        if !dropped.is_empty() {
+            let mut inner = self.inner.lock().expect("named network lock");
+            for key in &dropped {
+                inner.stores.remove(key);
+            }
+        }
+        outcome
     }
 }
 
@@ -369,6 +417,7 @@ impl NetworkRegistry {
             Arc::new(NamedNetwork {
                 name: name.to_owned(),
                 attached: AtomicUsize::new(0),
+                mutation: Mutex::new(()),
                 inner: Mutex::new(NamedInner {
                     net,
                     stores: HashMap::new(),
@@ -406,8 +455,10 @@ impl NetworkRegistry {
                 }
             }
         };
-        // A store in the map is healthy by construction (mutation drops
-        // poisoned ones under the same lock we just held).
+        // A store in the map is almost always healthy (mutation drops
+        // poisoned ones), but a mutation advancing stores off-lock may
+        // not have unpublished a just-poisoned store yet — surface the
+        // poison as a build failure and let the client retry.
         let revision = store
             .revision()
             .map_err(|e| AttachError::BackendBuild(e.to_string()))?;
@@ -464,5 +515,229 @@ impl NetworkRegistry {
             .keys()
             .cloned()
             .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_core::{LocateError, Located, NetworkDelta, QueryEngine, StationId, SyncError};
+    use sinr_geometry::Point;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Condvar;
+    use std::thread;
+    use std::time::Duration;
+
+    fn spec() -> NetworkSpec {
+        NetworkSpec {
+            noise: 0.01,
+            beta: 1.5,
+            alpha: 2.0,
+            stations: vec![
+                (Point::new(-3.0, 0.0), 1.0),
+                (Point::new(3.0, 0.0), 1.0),
+                (Point::new(0.0, 4.0), 1.0),
+            ],
+        }
+    }
+
+    /// Two-phase rendezvous for [`SlowApplyEngine`]: the engine parks
+    /// inside `apply` (signalling `entered`) until the test `release`s
+    /// it — a deterministic stand-in for a slow incremental update or
+    /// rebuild.
+    struct Gate {
+        state: Mutex<(bool, bool)>, // (entered, released)
+        cond: Condvar,
+    }
+
+    impl Gate {
+        fn new() -> Arc<Gate> {
+            Arc::new(Gate {
+                state: Mutex::new((false, false)),
+                cond: Condvar::new(),
+            })
+        }
+
+        fn enter_and_wait(&self) {
+            let mut st = self.state.lock().unwrap();
+            st.0 = true;
+            self.cond.notify_all();
+            while !st.1 {
+                st = self.cond.wait(st).unwrap();
+            }
+        }
+
+        fn wait_entered(&self) {
+            let mut st = self.state.lock().unwrap();
+            while !st.0 {
+                st = self.cond.wait(st).unwrap();
+            }
+        }
+
+        fn release(&self) {
+            let mut st = self.state.lock().unwrap();
+            st.1 = true;
+            self.cond.notify_all();
+        }
+    }
+
+    /// An [`ExactScan`]-backed engine whose `apply` blocks on a
+    /// [`Gate`] — only the store's private *master* ever has `apply`
+    /// called, so published (frozen) clones are unaffected.
+    #[derive(Clone)]
+    struct SlowApplyEngine {
+        inner: BoxedEngine,
+        gate: Arc<Gate>,
+    }
+
+    impl QueryEngine for SlowApplyEngine {
+        fn locate(&self, p: Point) -> Located {
+            self.inner.locate(p)
+        }
+
+        fn sinr_batch(&self, i: StationId, points: &[Point], out: &mut [f64]) {
+            self.inner.sinr_batch(i, points, out);
+        }
+
+        fn freshness(&self) -> Result<(), LocateError> {
+            self.inner.freshness()
+        }
+
+        fn revision(&self) -> u64 {
+            self.inner.revision()
+        }
+
+        fn is_stale(&self) -> bool {
+            self.inner.is_stale()
+        }
+
+        fn apply(&mut self, delta: &NetworkDelta) -> Result<(), SyncError> {
+            self.gate.enter_and_wait();
+            self.inner.apply(delta)
+        }
+
+        fn sync(&mut self, net: &Network) -> Result<(), SyncError> {
+            self.inner.sync(net)
+        }
+
+        fn freeze(&mut self) {
+            self.inner.freeze();
+        }
+    }
+
+    /// The locked-rebuild regression: a store whose advancement is slow
+    /// must not stall a concurrent attach. Before the off-lock
+    /// restructure, `mutate` held the network's inner lock across
+    /// `SnapshotStore::advance`, so the attach below would block until
+    /// the gate released — the assertion window catches that.
+    #[test]
+    fn slow_store_advancement_does_not_block_attach() {
+        let registry = Arc::new(NetworkRegistry::new());
+        registry.register("shared", &spec()).unwrap();
+        let network = registry.get("shared").unwrap();
+
+        // Plant a slow store under a key no attach below will use.
+        let gate = Gate::new();
+        {
+            let mut inner = network.inner.lock().unwrap();
+            let engine = BoxedEngine::new(
+                "slow_apply",
+                SlowApplyEngine {
+                    inner: BoxedEngine::exact_scan(&inner.net),
+                    gate: Arc::clone(&gate),
+                },
+            );
+            let store = Arc::new(SnapshotStore::new(&inner.net, engine));
+            inner
+                .stores
+                .insert(StoreKey::new(BackendId::SimdScan, 0.0), store);
+        }
+
+        let mutator = thread::spawn({
+            let network = Arc::clone(&network);
+            move || {
+                network.mutate(
+                    0,
+                    &[SurgeryOp::Move {
+                        id: StationId(0),
+                        to: Point::new(-2.0, 1.0),
+                    }],
+                )
+            }
+        });
+        // The mutator is now parked inside the slow store's advance.
+        gate.wait_entered();
+
+        // A concurrent attach (different backend → builds a new store
+        // from the already-mutated network) must complete while the
+        // slow store is still catching up.
+        let attached = Arc::new(AtomicBool::new(false));
+        let attacher = thread::spawn({
+            let registry = Arc::clone(&registry);
+            let attached = Arc::clone(&attached);
+            move || {
+                let handle = registry
+                    .attach("shared", BackendId::ExactScan, 0.0)
+                    .expect("attach during slow advancement");
+                attached.store(true, Ordering::Release);
+                handle.revision
+            }
+        });
+        let mut waited = Duration::ZERO;
+        while !attached.load(Ordering::Acquire) && waited < Duration::from_secs(10) {
+            thread::sleep(Duration::from_millis(5));
+            waited += Duration::from_millis(5);
+        }
+        assert!(
+            attached.load(Ordering::Acquire),
+            "attach blocked behind an in-flight store advancement"
+        );
+        // The new store is built from the live network, which already
+        // carries the fenced timestep.
+        assert_eq!(attacher.join().unwrap(), 1);
+
+        // Unpark the slow store; the mutation completes and publishes.
+        gate.release();
+        let ok = mutator.join().unwrap().expect("mutation");
+        assert_eq!(ok.revision, 1);
+        assert_eq!(ok.applied, 1);
+        assert_eq!(
+            network
+                .snapshot(BackendId::SimdScan, 0.0)
+                .expect("slow store still published")
+                .revision(),
+            1
+        );
+    }
+
+    /// Off-lock advancement still drops a store whose backend cannot
+    /// represent the mutated network, exactly like the in-lock path
+    /// did: the poisoned store vanishes from the map and later attaches
+    /// with that flavour rebuild fresh.
+    #[test]
+    fn poisoned_store_is_dropped_after_offlock_advancement() {
+        let registry = NetworkRegistry::new();
+        registry.register("shared", &spec()).unwrap();
+        // Theorem-3 locator: poisoned by a non-uniform SetPower.
+        let handle = registry
+            .attach("shared", BackendId::Qds, 0.25)
+            .expect("attach qds");
+        assert_eq!(handle.network.store_count(), 1);
+        handle
+            .network
+            .mutate(
+                0,
+                &[SurgeryOp::SetPower {
+                    id: StationId(0),
+                    power: 7.0,
+                }],
+            )
+            .expect("mutation itself succeeds");
+        assert_eq!(
+            handle.network.store_count(),
+            0,
+            "poisoned store must be unpublished"
+        );
+        assert!(handle.store.load().is_err(), "held Arc stays poisoned");
     }
 }

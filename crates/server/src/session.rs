@@ -548,19 +548,20 @@ fn heatmap_on(engine: &BoxedEngine, min: Point, max: Point, width: u32, height: 
             ),
         );
     }
-    // Refuse grids whose *response* could not fit in one frame: 25
-    // bytes of header (tag + revision + dims + cells_evaluated) plus a
-    // worst-case 9-byte run per pixel.
-    let cells = (width as usize).checked_mul(height as usize);
-    match cells
-        .and_then(|c| c.checked_mul(9))
-        .and_then(|b| b.checked_add(25))
-    {
-        Some(bytes) if bytes <= MAX_FRAME_LEN => {}
+    // Cheap pre-compute screen only: the grid's *dense* pixel count
+    // must be representable and within the protocol's pixel cap (the
+    // bound on the raster this handler materialises and on the client's
+    // decode allocation). Whether the *response* fits one frame is
+    // decided below against the real run-length encoding — a raster's
+    // wire size depends on how uniform it is, not on its pixel count,
+    // so a mostly-uniform 2048² map (a few KB of runs) is served rather
+    // than refused on its 9-bytes-per-pixel worst case.
+    match (width as u64).checked_mul(height as u64) {
+        Some(pixels) if pixels <= crate::protocol::MAX_HEATMAP_PIXELS => {}
         _ => {
             return error(
                 ErrorCode::MalformedFrame,
-                format!("heatmap grid {width}x{height} exceeds the response frame limit"),
+                format!("heatmap grid {width}x{height} exceeds the pixel cap"),
             )
         }
     }
@@ -585,6 +586,18 @@ fn heatmap_on(engine: &BoxedEngine, min: Point, max: Point, width: u32, height: 
                 sinr_diagram::PixelLabel::Silent => Located::Silent,
             });
         }
+    }
+    // The real frame-size check: 25 bytes of header (tag + revision +
+    // dims + cells_evaluated) plus exactly 9 bytes per run.
+    let encoded = 25 + 9 * crate::protocol::run_count(&answers);
+    if encoded > MAX_FRAME_LEN {
+        return error(
+            ErrorCode::Oversized,
+            format!(
+                "heatmap response for {width}x{height} run-length encodes to {encoded} bytes, \
+                 over the {MAX_FRAME_LEN}-byte frame limit; request a smaller window or grid"
+            ),
+        );
     }
     Response::Heatmap {
         revision: engine.revision(),

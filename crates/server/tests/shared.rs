@@ -796,11 +796,48 @@ fn heatmap_batch_differential_and_guards() {
             other => panic!("expected MalformedFrame, got {other:?}"),
         }
     }
-    // A grid whose worst-case response overflows one frame: refused
-    // before any computation (2048² × 9 B/pixel > 16 MiB)…
-    match private.heatmap_batch(min, max, 2048, 2048) {
+    // Regression: a 2048² grid (4 Mi pixels — whose *worst-case* RLE
+    // would be 9 B/pixel ≈ 36 MiB, over the frame limit) must round-trip
+    // over the wire, because its *actual* run-length encoding of a few
+    // dozen fat reception zones is a few hundred KB. The old guard
+    // refused this on the worst-case estimate before computing anything.
+    {
+        let (w2, h2) = (2048u32, 2048u32);
+        let (rev, cells, _) = private
+            .heatmap_batch(min, max, w2, h2)
+            .expect("2048x2048 near-uniform heatmap must round-trip");
+        assert_eq!(rev, net.revision(), "2048²: revision fence");
+        assert_eq!(cells.len(), (w2 as usize) * (h2 as usize), "2048²: pixels");
+        // Pixel-for-pixel against the same hierarchical raster computed
+        // locally (itself pinned bit-identical to the dense sweep by the
+        // diagram suites).
+        let local = fresh_local(BackendId::VoronoiAssisted, &net);
+        let (map, _) = sinr_diagram::ReceptionMap::compute_hierarchical_with_engine(
+            &local,
+            sinr_geometry::BBox::new(min, max),
+            w2 as usize,
+            h2 as usize,
+        );
+        for row in 0..h2 as usize {
+            for col in 0..w2 as usize {
+                let expected = match map.at(col, row) {
+                    sinr_diagram::PixelLabel::Heard(i) => Located::Reception(i),
+                    sinr_diagram::PixelLabel::Silent => Located::Silent,
+                };
+                assert_eq!(
+                    cells[row * w2 as usize + col],
+                    expected,
+                    "2048² ({col}, {row})"
+                );
+            }
+        }
+    }
+    // A grid over the dense pixel cap (16 Mi pixels): refused before any
+    // computation — that cap bounds the materialised raster and the
+    // client's decode allocation, not the encoded size…
+    match private.heatmap_batch(min, max, 8192, 8192) {
         Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::MalformedFrame),
-        other => panic!("expected MalformedFrame for oversized grid, got {other:?}"),
+        other => panic!("expected MalformedFrame for over-cap grid, got {other:?}"),
     }
     // …and the session still serves afterwards.
     check(

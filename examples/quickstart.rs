@@ -32,9 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  heard_at({p}) = {:?}", net.heard_at(p));
 
     // --- 2b. Batched queries through the engine --------------------------
-    // Build once (SoA layout + Observation 2.2 kd-tree dispatch), then
-    // answer many points in one work-stolen parallel pass: O(n) per
-    // point instead of the scalar O(n²).
+    // Build once (SoA layout + weighted kd-tree dispatch: nearest
+    // station under uniform power per Observation 2.2, the
+    // power-diagram cell otherwise), then answer many points in one
+    // work-stolen parallel pass: O(n) per point instead of the scalar
+    // O(n²).
     let engine = net.query_engine();
     let receivers: Vec<Point> = (-20..=20)
         .flat_map(|a| (-20..=20).map(move |b| Point::new(a as f64 * 0.25, b as f64 * 0.25)))
@@ -49,14 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None => silent += 1,
         }
     }
+    // The tree serves every power assignment — no exact-scan fallback.
+    assert!(engine.uses_proximity_dispatch());
     println!(
-        "\nbatched {} receivers through {} dispatch: per-station {:?}, silent {}",
+        "\nbatched {} receivers through kd-tree dispatch: per-station {:?}, silent {}",
         receivers.len(),
-        if engine.uses_proximity_dispatch() {
-            "kd-tree"
-        } else {
-            "exact-scan"
-        },
         heard,
         silent,
     );
