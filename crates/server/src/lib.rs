@@ -119,7 +119,8 @@
 //! unsupported (unbinds), `13` internal (closes), `14` channel
 //! unsupported (unbinds/detaches), `15` invalid channel, `16` name
 //! taken, `17` unknown network (detaches an attached session), `18`
-//! still attached (`Unregister` refused). Unless noted, the session
+//! still attached (`Unregister` refused), `19` overloaded (shed at
+//! accept — nothing was processed; closes). Unless noted, the session
 //! survives an error and processes the next frame.
 //!
 //! **Revision fencing.** Every response carries the network revision it
@@ -144,6 +145,55 @@
 //! computing); the shipped helper enforces
 //! [`client::PIPELINE_REQUEST_BUDGET`] and degrades toward lock-step
 //! for oversized bursts.
+//!
+//! ## Resilience
+//!
+//! The serving layer is hardened against badly-behaved byte streams
+//! and clients, and the client half has a reconnect story; every limit
+//! is opt-in through [`server::ServerConfig`]:
+//!
+//! * **Session deadlines** ([`ServerConfig::idle_deadline`],
+//!   [`ServerConfig::frame_deadline`]): an idle session is evicted
+//!   after `idle_deadline` between frames, and a session that has
+//!   *started* a frame must finish it within `frame_deadline` measured
+//!   from the frame's first byte — an absolute budget, so a slowloris
+//!   client dribbling one byte per read cannot re-arm the clock. Both
+//!   modes enforce both: threaded sessions re-arm `SO_RCVTIMEO` to the
+//!   *remaining* budget around each read
+//!   ([`transport::Deadlines`]), pooled workers sweep
+//!   [`PolledIo::partial_in`] timestamps on their existing poll loop.
+//!   Eviction closes the connection without a farewell frame.
+//! * **Overload shedding** ([`ServerConfig::max_connections`]): past
+//!   the cap, a new connection gets one framed error code `19`
+//!   ([`ErrorCode::Overloaded`]) and is closed at accept time — before
+//!   any request frame is read, so retrying is always safe. Admission
+//!   is first-come: an existing session closing frees a slot.
+//! * **Out-queue cap** ([`ServerConfig::max_pending_out`]): a pooled
+//!   session whose peer stops reading its answers is disconnected once
+//!   the queued response bytes exceed the cap, instead of buffering
+//!   without bound.
+//! * **Fault injection** ([`chaos::ChaosStream`]): a seeded,
+//!   deterministic `Read + Write` wrapper that chops reads/writes at
+//!   arbitrary byte boundaries, injects `WouldBlock` and delays, and
+//!   cuts the connection mid-frame after a byte budget — one `u64`
+//!   seed replays one exact fault schedule. The chaos e2e suite runs
+//!   fleets of chaotic clients against both serving modes and pins
+//!   every completed answer bit-identical to a fresh local engine.
+//! * **Reconnecting client** ([`resilient::ResilientClient`]):
+//!   reconnects with exponential backoff plus deterministic jitter,
+//!   restores the session mode (re-`Attach`, or re-`Bind` from a
+//!   client-side mirror network), and replays failed calls. Queries
+//!   replay freely (idempotent — even the Monte-Carlo frames, which
+//!   carry their own seeds); a replayed `Mutate` keeps its original
+//!   `expected_revision` fence, so an original that secretly applied
+//!   makes the replay fail typed (`7`) instead of applying twice.
+//!   `Overloaded` (`19`) is retried like a transport failure.
+//!
+//! [`ServerConfig::idle_deadline`]: server::ServerConfig::idle_deadline
+//! [`ServerConfig::frame_deadline`]: server::ServerConfig::frame_deadline
+//! [`ServerConfig::max_connections`]: server::ServerConfig::max_connections
+//! [`ServerConfig::max_pending_out`]: server::ServerConfig::max_pending_out
+//! [`PolledIo::partial_in`]: transport::PolledIo::partial_in
 //!
 //! ## Quickstart
 //!
@@ -182,21 +232,26 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod registry;
+pub mod resilient;
 pub mod server;
 pub mod session;
 pub mod transport;
 
+pub use chaos::{ChaosConfig, ChaosRng, ChaosStream, ChaosTransport, CutKind};
 pub use client::{serve_in_process, Client, ClientError, PIPELINE_REQUEST_BUDGET};
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, BackendId, ErrorCode,
     NetworkSpec, ProtocolError, Request, Response,
 };
 pub use registry::{AttachGuard, AttachHandle, NamedNetwork, NetworkRegistry, UnregisterError};
-pub use server::{Server, ServerHandle};
+pub use resilient::{ResilientClient, RetryPolicy};
+pub use server::{Server, ServerConfig, ServerHandle};
 pub use session::{serve_session, serve_session_with_registry, SessionCore};
 pub use transport::{
-    duplex, IoTransport, PipeTransport, PolledIo, RecvError, TcpTransport, Transport,
+    duplex, duplex_stream, Deadlines, IoTransport, PipeStream, PipeTransport, PolledIo, RecvError,
+    StreamCtl, TcpTransport, Transport,
 };

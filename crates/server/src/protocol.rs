@@ -452,11 +452,19 @@ pub enum ErrorCode {
     /// attached to; nothing was removed. Per-request: the session
     /// survives (retry once the attached sessions detach or close).
     StillAttached,
+    /// `19` — the server is at its configured connection cap
+    /// ([`ServerConfig::max_connections`](crate::server::ServerConfig))
+    /// and shed this connection at accept time: **no frame was
+    /// processed**, the server closes the connection after sending
+    /// this. Always safe to retry after a backoff —
+    /// [`ResilientClient`](crate::resilient::ResilientClient) does so
+    /// automatically.
+    Overloaded,
 }
 
 impl ErrorCode {
     /// Every code, in wire order.
-    pub const ALL: [ErrorCode; 18] = [
+    pub const ALL: [ErrorCode; 19] = [
         ErrorCode::MalformedFrame,
         ErrorCode::UnknownBackend,
         ErrorCode::NotBound,
@@ -475,6 +483,7 @@ impl ErrorCode {
         ErrorCode::NameTaken,
         ErrorCode::UnknownNetwork,
         ErrorCode::StillAttached,
+        ErrorCode::Overloaded,
     ];
 
     /// The wire byte.
@@ -498,6 +507,7 @@ impl ErrorCode {
             ErrorCode::NameTaken => 16,
             ErrorCode::UnknownNetwork => 17,
             ErrorCode::StillAttached => 18,
+            ErrorCode::Overloaded => 19,
         }
     }
 

@@ -1,0 +1,550 @@
+//! A reconnecting client: [`Client`] plus a retry policy.
+//!
+//! [`ResilientClient`] owns the connection lifecycle a bare [`Client`]
+//! leaves to the caller. When a call fails for a *transient* reason —
+//! a transport error, a connection the server closed (deadline
+//! eviction, shutdown, a mid-frame cut), or a typed
+//! [`ErrorCode::Overloaded`] shed — it reconnects with exponential
+//! backoff plus deterministic jitter, restores the session's mode, and
+//! retries the call, up to [`RetryPolicy::max_attempts`].
+//!
+//! ## What restoration means
+//!
+//! * **Attached** sessions re-`Attach` to their named network: the
+//!   state lives server-side in the registry, so the restored session
+//!   sees whatever revision the shared network reached.
+//! * **Bound** (private) sessions re-`Bind` from a client-side mirror
+//!   [`Network`] the client maintains: every successful
+//!   [`ResilientClient::mutate`] applies the same ops to the mirror,
+//!   so the restored private network is byte-for-byte the state the
+//!   caller last observed — including across mutations.
+//!
+//! ## Why replay cannot double-apply a mutation
+//!
+//! Queries are idempotent and replay freely. `Mutate` replays too,
+//! fenced by `expected_revision`. In Attached mode the fence is
+//! **captured before the first attempt**: if the original send
+//! actually applied before the connection died, the server's revision
+//! advanced past the fence, and the replay is rejected with a typed
+//! [`ErrorCode::RevisionMismatch`] — *nothing is applied twice*; the
+//! caller refreshes and decides. In Bound mode the question does not
+//! even arise: reconnecting rebuilds the private network from the
+//! mirror (which only advances on *confirmed* mutations), so a
+//! half-delivered mutation is rolled back by the re-`Bind` itself, and
+//! the replay — fenced at the restored network's own (restarted)
+//! revision — applies exactly once.
+
+use crate::chaos::ChaosRng;
+use crate::client::{Client, ClientError};
+use crate::protocol::{BackendId, ErrorCode, NetworkSpec};
+use crate::transport::TcpTransport;
+use sinr_core::{ChannelModel, Located, Network, StationId, SurgeryOp};
+use sinr_geometry::Point;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::Duration;
+
+/// When and how [`ResilientClient`] retries.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries per operation (first attempt included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before retry `n` starts from `base_backoff * 2^(n-1)`…
+    pub base_backoff: Duration,
+    /// …capped here; the actual sleep is a uniformly jittered fraction
+    /// of the capped value (full jitter — herds of clients shed by an
+    /// overloaded server must not reconnect in lockstep).
+    pub max_backoff: Duration,
+    /// Seeds the jitter stream ([`ChaosRng`]), so a test's retry
+    /// timing is replayable like everything else in the chaos suite.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(500),
+            seed: 0x7E57_AB1E_5EED_CAFE,
+        }
+    }
+}
+
+/// The session mode to restore after a reconnect.
+enum Plan {
+    /// No mode yet (or the caller never bound): restoration is just
+    /// the TCP connect.
+    Unbound,
+    /// Private network: re-`Bind` from the mirror.
+    Bound {
+        backend: BackendId,
+        epsilon: f64,
+        mirror: Network,
+    },
+    /// Named network: re-`Attach`.
+    Attached {
+        name: String,
+        backend: BackendId,
+        epsilon: f64,
+    },
+}
+
+/// A [`Client`] that survives its server: reconnects, restores its
+/// session mode, and retries per [`RetryPolicy`]. See the [module
+/// docs](self) for the replay-safety argument.
+#[derive(Debug)]
+pub struct ResilientClient {
+    addrs: Vec<SocketAddr>,
+    policy: RetryPolicy,
+    jitter: ChaosRng,
+    client: Option<Client<TcpTransport>>,
+    plan: Plan,
+    revision: u64,
+    reconnects: u64,
+    ever_connected: bool,
+}
+
+impl std::fmt::Debug for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Plan::Unbound => write!(f, "Unbound"),
+            Plan::Bound { backend, .. } => write!(f, "Bound({backend:?})"),
+            Plan::Attached { name, .. } => write!(f, "Attached({name:?})"),
+        }
+    }
+}
+
+impl ResilientClient {
+    /// Resolves `addr` and establishes the first connection (with the
+    /// policy's backoff already in force — a server mid-restart is a
+    /// transient condition).
+    ///
+    /// # Errors
+    ///
+    /// Address resolution failure, or [`io::Error`] once every attempt
+    /// is spent.
+    pub fn connect<A: ToSocketAddrs>(addr: A, policy: RetryPolicy) -> io::Result<ResilientClient> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ));
+        }
+        let mut client = ResilientClient {
+            jitter: ChaosRng::new(policy.seed),
+            addrs,
+            policy,
+            client: None,
+            plan: Plan::Unbound,
+            revision: 0,
+            reconnects: 0,
+            ever_connected: false,
+        };
+        match client.ensure_connected() {
+            Ok(()) => Ok(client),
+            Err(ClientError::Io(e)) => Err(e),
+            Err(e) => Err(io::Error::other(e.to_string())),
+        }
+    }
+
+    /// How many times the underlying connection has been
+    /// re-established (0 on a client that never lost one).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// The last revision observed from the server — the fence
+    /// [`ResilientClient::mutate`] uses.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Whether a connection is currently established (it may still be
+    /// dead without the client knowing — the next call finds out).
+    pub fn is_connected(&self) -> bool {
+        self.client.is_some()
+    }
+
+    /// Failures worth a reconnect-and-retry: transport-level errors,
+    /// a closed connection, and the accept-time [`Overloaded`] shed
+    /// (which by construction processed nothing).
+    ///
+    /// [`Overloaded`]: ErrorCode::Overloaded
+    fn transient(e: &ClientError) -> bool {
+        matches!(
+            e,
+            ClientError::Io(_) | ClientError::Recv(_) | ClientError::ConnectionClosed
+        ) || matches!(
+            e,
+            ClientError::Server {
+                code: ErrorCode::Overloaded,
+                ..
+            }
+        )
+    }
+
+    fn backoff(&mut self, attempt: u32) {
+        let exp = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.policy.max_backoff);
+        let nanos = exp.as_nanos() as u64;
+        // Full jitter: anywhere in (0, exp]. Deterministic per seed.
+        let sleep = Duration::from_nanos(self.jitter.below(nanos.max(1)) + 1);
+        std::thread::sleep(sleep);
+    }
+
+    fn disconnect(&mut self) {
+        self.client = None;
+    }
+
+    /// Connects (if needed) and restores the session plan, burning
+    /// policy attempts on transient failures.
+    fn ensure_connected(&mut self) -> Result<(), ClientError> {
+        if self.client.is_some() {
+            return Ok(());
+        }
+        let mut attempt = 0u32;
+        loop {
+            match self.try_connect_once() {
+                Ok(()) => return Ok(()),
+                Err(e) if Self::transient(&e) => {
+                    self.disconnect();
+                    attempt += 1;
+                    if attempt >= self.policy.max_attempts.max(1) {
+                        return Err(e);
+                    }
+                    self.backoff(attempt);
+                }
+                // A typed non-transient failure during restoration
+                // (e.g. the named network was unregistered): the
+                // session cannot be restored, tell the caller.
+                Err(e) => {
+                    self.disconnect();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn try_connect_once(&mut self) -> Result<(), ClientError> {
+        let mut last = None;
+        for addr in &self.addrs {
+            match Client::connect(addr) {
+                Ok(c) => {
+                    self.client = Some(c);
+                    last = None;
+                    break;
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        if let Some(e) = last {
+            return Err(ClientError::Io(e));
+        }
+        let client = self.client.as_mut().expect("connected above");
+        match &self.plan {
+            Plan::Unbound => {}
+            Plan::Bound {
+                backend,
+                epsilon,
+                mirror,
+            } => {
+                self.revision = client.bind_network(*backend, *epsilon, mirror)?;
+            }
+            Plan::Attached {
+                name,
+                backend,
+                epsilon,
+            } => {
+                self.revision = client.attach(name, *backend, *epsilon)?;
+            }
+        }
+        if self.ever_connected {
+            self.reconnects += 1;
+        }
+        self.ever_connected = true;
+        Ok(())
+    }
+
+    /// Runs one idempotent operation with reconnect-and-replay.
+    fn with_retry<R>(
+        &mut self,
+        mut op: impl FnMut(&mut Client<TcpTransport>) -> Result<R, ClientError>,
+    ) -> Result<R, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            self.ensure_connected()?;
+            let client = self.client.as_mut().expect("ensure_connected succeeded");
+            match op(client) {
+                Ok(r) => return Ok(r),
+                Err(e) if Self::transient(&e) => {
+                    self.disconnect();
+                    attempt += 1;
+                    if attempt >= self.policy.max_attempts.max(1) {
+                        return Err(e);
+                    }
+                    self.backoff(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Binds a private network (replayed on reconnect from a
+    /// client-side mirror — see the [module docs](self)). Returns the
+    /// starting revision.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::bind_network`], after retries.
+    pub fn bind_network(
+        &mut self,
+        backend: BackendId,
+        epsilon: f64,
+        net: &Network,
+    ) -> Result<u64, ClientError> {
+        let revision = self.with_retry(|c| c.bind_network(backend, epsilon, net))?;
+        let mirror = NetworkSpec::of(net)
+            .build()
+            .expect("server accepted this network, so its spec builds");
+        self.plan = Plan::Bound {
+            backend,
+            epsilon,
+            mirror,
+        };
+        self.revision = revision;
+        Ok(revision)
+    }
+
+    /// Attaches to a named network (re-attached automatically after
+    /// every reconnect). Returns the revision this session sees next.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::attach`], after retries.
+    pub fn attach(
+        &mut self,
+        name: &str,
+        backend: BackendId,
+        epsilon: f64,
+    ) -> Result<u64, ClientError> {
+        let revision = self.with_retry(|c| c.attach(name, backend, epsilon))?;
+        self.plan = Plan::Attached {
+            name: name.to_owned(),
+            backend,
+            epsilon,
+        };
+        self.revision = revision;
+        Ok(revision)
+    }
+
+    /// Publishes `net` under `name`. Replayed on transient failure; a
+    /// replay whose original registration actually landed reports
+    /// [`ErrorCode::NameTaken`] — nothing is registered twice, and the
+    /// caller can [`ResilientClient::attach`] to the existing name.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::register_network`], after retries.
+    pub fn register_network(&mut self, name: &str, net: &Network) -> Result<u64, ClientError> {
+        self.with_retry(|c| c.register_network(name, net))
+    }
+
+    /// Point location with replay (idempotent). Updates
+    /// [`ResilientClient::revision`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::locate_batch`], after retries.
+    pub fn locate_batch(&mut self, points: &[Point]) -> Result<(u64, Vec<Located>), ClientError> {
+        let (revision, answers) = self.with_retry(|c| c.locate_batch(points))?;
+        self.revision = revision;
+        Ok((revision, answers))
+    }
+
+    /// SINR sampling with replay (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::sinr_batch`], after retries.
+    pub fn sinr_batch(
+        &mut self,
+        station: StationId,
+        points: &[Point],
+    ) -> Result<(u64, Vec<f64>), ClientError> {
+        let (revision, values) = self.with_retry(|c| c.sinr_batch(station, points))?;
+        self.revision = revision;
+        Ok((revision, values))
+    }
+
+    /// Seeded Monte-Carlo reception probabilities with replay (the
+    /// seed makes even this idempotent: a replay recomputes the same
+    /// bits).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::reception_prob_batch`], after retries.
+    pub fn reception_prob_batch(
+        &mut self,
+        trials: u32,
+        seed: u64,
+        channel: &ChannelModel,
+        points: &[Point],
+    ) -> Result<(u64, Vec<f64>), ClientError> {
+        let (revision, values) =
+            self.with_retry(|c| c.reception_prob_batch(trials, seed, channel, points))?;
+        self.revision = revision;
+        Ok((revision, values))
+    }
+
+    /// Seeded SINR quantiles with replay (idempotent, like
+    /// [`ResilientClient::reception_prob_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::sinr_quantiles_batch`], after retries.
+    pub fn sinr_quantiles_batch(
+        &mut self,
+        station: StationId,
+        trials: u32,
+        seed: u64,
+        channel: &ChannelModel,
+        quantiles: &[f64],
+        points: &[Point],
+    ) -> Result<(u64, Vec<f64>), ClientError> {
+        let (revision, values) = self.with_retry(|c| {
+            c.sinr_quantiles_batch(station, trials, seed, channel, quantiles, points)
+        })?;
+        self.revision = revision;
+        Ok((revision, values))
+    }
+
+    /// Server-side heatmap rasterisation with replay (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::heatmap_batch`], after retries.
+    pub fn heatmap_batch(
+        &mut self,
+        min: Point,
+        max: Point,
+        width: u32,
+        height: u32,
+    ) -> Result<(u64, Vec<Located>, u64), ClientError> {
+        let (revision, cells, evaluated) =
+            self.with_retry(|c| c.heatmap_batch(min, max, width, height))?;
+        self.revision = revision;
+        Ok((revision, cells, evaluated))
+    }
+
+    /// Applies a timestep of surgery ops, fenced at the client's last
+    /// observed [`revision`](ResilientClient::revision).
+    ///
+    /// The replay fence is what makes retrying a mutation safe, and it
+    /// is mode-dependent:
+    ///
+    /// * **Attached**: the shared network persists across reconnects,
+    ///   so every attempt carries the fence **captured before the
+    ///   first attempt**. An original that secretly applied leaves the
+    ///   server past the fence, and the replay is rejected with a
+    ///   typed [`ErrorCode::RevisionMismatch`] — *nothing is applied
+    ///   twice*; the caller refreshes and decides.
+    /// * **Bound**: a reconnect re-`Bind`s the private network from
+    ///   the mirror (which only advances on *confirmed* mutations),
+    ///   rolling back anything half-delivered — and restarting the
+    ///   revision space. The fence therefore follows the re-bind: each
+    ///   attempt fences at the revision the restored network actually
+    ///   reports, and the replay applies exactly once.
+    ///
+    /// On success the Bound mirror advances with the same ops, keeping
+    /// future reconnects faithful.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::mutate`], after retries. `RevisionMismatch` after
+    /// a reconnect in Attached mode means *either* the original
+    /// applied or a concurrent writer won the revision — refresh with
+    /// [`ResilientClient::refresh_revision`] and re-read before
+    /// re-deriving ops.
+    pub fn mutate(&mut self, ops: &[SurgeryOp]) -> Result<u64, ClientError> {
+        let attached_fence = self.revision;
+        let mut attempt = 0u32;
+        let result = loop {
+            if let Err(e) = self.ensure_connected() {
+                break Err(e);
+            }
+            // Reconnecting refreshed `self.revision` from the restored
+            // session; Bound mode must fence there (fresh revision
+            // space), Attached mode keeps the pre-attempt capture.
+            let fence = match &self.plan {
+                Plan::Bound { .. } => self.revision,
+                Plan::Unbound | Plan::Attached { .. } => attached_fence,
+            };
+            let client = self.client.as_mut().expect("ensure_connected succeeded");
+            match client.mutate(fence, ops) {
+                Ok(revision) => break Ok(revision),
+                Err(e) if Self::transient(&e) => {
+                    self.disconnect();
+                    attempt += 1;
+                    if attempt >= self.policy.max_attempts.max(1) {
+                        break Err(e);
+                    }
+                    self.backoff(attempt);
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        match result {
+            Ok(revision) => {
+                self.revision = revision;
+                if let Plan::Bound { mirror, .. } = &mut self.plan {
+                    for op in ops {
+                        // The server applied this op against a state
+                        // identical to the mirror (the invariant the
+                        // re-`Bind` path maintains), so it must apply.
+                        mirror
+                            .apply_op(op)
+                            .expect("op the server applied against identical state");
+                    }
+                }
+                Ok(revision)
+            }
+            Err(e) => {
+                if let ClientError::Server {
+                    code: ErrorCode::Surgery,
+                    ..
+                } = &e
+                {
+                    // A prefix applied server-side. Re-apply the same
+                    // prefix to the Bound mirror (it fails at the same
+                    // op — identical state), and pick up the server's
+                    // post-prefix revision so the fence stays usable.
+                    if let Plan::Bound { mirror, .. } = &mut self.plan {
+                        for op in ops {
+                            if mirror.apply_op(op).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                    let _ = self.refresh_revision();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Re-reads the server's current revision (an empty locate batch)
+    /// — the resync step after an ambiguous mutation outcome.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::locate_batch`], after retries.
+    pub fn refresh_revision(&mut self) -> Result<u64, ClientError> {
+        let (revision, _) = self.locate_batch(&[])?;
+        Ok(revision)
+    }
+}

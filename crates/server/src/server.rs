@@ -44,19 +44,153 @@
 use crate::protocol::{encode_response, ErrorCode, Response};
 use crate::registry::NetworkRegistry;
 use crate::session::{serve_session_with_registry, SessionCore};
-use crate::transport::{IoTransport, PolledIo, RecvError};
+use crate::transport::{Deadlines, IoTransport, PolledIo, RecvError, MAX_PENDING_OUT};
 use crate::Transport;
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// How long [`ServerHandle::shutdown`] waits for threads to finish
-/// after closing their sockets before abandoning them.
+/// after closing their sockets before abandoning them (the default
+/// [`ServerConfig::shutdown_join_bound`]).
 const SHUTDOWN_JOIN_BOUND: Duration = Duration::from_secs(10);
+
+/// Resource limits and session deadlines for a [`Server`]. The default
+/// is the fully permissive pre-hardening behaviour: no deadlines, no
+/// connection cap, the stock out-queue cap — every limit is opt-in.
+///
+/// ```no_run
+/// use sinr_server::server::{Server, ServerConfig};
+/// use std::time::Duration;
+///
+/// let server = Server::bind("127.0.0.1:0")?.with_config(ServerConfig {
+///     idle_deadline: Some(Duration::from_secs(60)),
+///     frame_deadline: Some(Duration::from_secs(5)),
+///     max_connections: Some(1024),
+///     ..ServerConfig::default()
+/// });
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Evict a session that goes this long **between frames** (`None`
+    /// = never). An idle-but-connected client holds a thread (threaded
+    /// mode) or a buffer (pooled mode); this bounds how long.
+    pub idle_deadline: Option<Duration>,
+    /// Evict a session that takes this long to deliver **one frame**,
+    /// measured from its first byte (`None` = never). This is the
+    /// slowloris defense: the budget is absolute per frame, so a
+    /// client dribbling one byte per read cannot re-arm it.
+    pub frame_deadline: Option<Duration>,
+    /// Shed connections at accept time beyond this many live sessions
+    /// (`None` = unbounded). A shed connection gets one framed
+    /// [`ErrorCode::Overloaded`] and is closed — **no request frame is
+    /// read**, so retrying is always safe.
+    pub max_connections: Option<usize>,
+    /// Pooled mode's per-session out-queue byte cap (a peer that stops
+    /// reading its answers is disconnected once this many response
+    /// bytes queue). Clamped to at least one maximal frame; defaults
+    /// to [`MAX_PENDING_OUT`].
+    pub max_pending_out: usize,
+    /// How long [`ServerHandle::shutdown`] waits per thread before
+    /// abandoning it (counted on
+    /// [`ServerHandle::abandoned_sessions`]).
+    pub shutdown_join_bound: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            idle_deadline: None,
+            frame_deadline: None,
+            max_connections: None,
+            max_pending_out: MAX_PENDING_OUT,
+            shutdown_join_bound: SHUTDOWN_JOIN_BOUND,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn deadlines(&self) -> Deadlines {
+        Deadlines {
+            idle: self.idle_deadline,
+            frame: self.frame_deadline,
+        }
+    }
+
+    /// The shortest configured deadline, if any — the pooled sweep's
+    /// wait cap, so a blocked worker still wakes in time to evict.
+    fn min_deadline(&self) -> Option<Duration> {
+        match (self.idle_deadline, self.frame_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// Counts live sessions against [`ServerConfig::max_connections`];
+/// shared by the accept thread (admission) and session teardown
+/// (release).
+#[derive(Debug, Default)]
+struct ConnGauge {
+    live: AtomicUsize,
+}
+
+impl ConnGauge {
+    /// Admits one connection unless `max` are already live.
+    fn try_admit(&self, max: Option<usize>) -> bool {
+        let Some(max) = max else {
+            self.live.fetch_add(1, Ordering::SeqCst);
+            return true;
+        };
+        self.live
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |live| {
+                (live < max).then_some(live + 1)
+            })
+            .is_ok()
+    }
+
+    fn release(&self) {
+        self.live.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Sheds a connection the gauge refused: one framed `Overloaded`
+/// error, a write-side half-close, then a brief bounded drain of the
+/// read side on a detached thread. The frame is a few dozen bytes — it
+/// fits any socket send buffer, so the send cannot wedge the accept
+/// thread even on a peer that never reads. The drain matters for
+/// correctness, not politeness: a client caught mid-request has bytes
+/// in flight, and fully closing against unread data turns the close
+/// into a reset that discards the error frame before the client can
+/// read it — the typed `Overloaded` (always safe to retry) would
+/// degrade into an ambiguous I/O error.
+fn shed_overloaded(stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut transport = IoTransport::new(stream);
+    let _ = transport.send_frame(&encode_response(&Response::Error {
+        code: ErrorCode::Overloaded,
+        message: "server at connection capacity; retry after backoff".into(),
+    }));
+    let mut stream = transport.into_inner();
+    let _ = stream.shutdown(Shutdown::Write);
+    std::thread::spawn(move || {
+        use std::io::Read;
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let deadline = Instant::now() + Duration::from_millis(500);
+        let mut sink = [0u8; 1024];
+        while Instant::now() < deadline {
+            match stream.read(&mut sink) {
+                Ok(n) if n > 0 => {}
+                _ => break,
+            }
+        }
+    });
+}
 
 /// Frames one pooled connection may consume per worker visit before the
 /// worker moves on (fairness bound: one chatty pipelined client cannot
@@ -180,30 +314,77 @@ mod readiness {
     }
 }
 
-/// Timed-sleep fallback where `poll(2)` is unavailable: same API, wakes
-/// are no-ops, waits are bounded naps (the pre-readiness worker
-/// behaviour).
+/// Condvar fallback where `poll(2)` is unavailable: same API, wakes
+/// are real (the accept thread and shutdown notify a condvar the
+/// worker parks on). Sockets cannot signal a condvar, so a worker
+/// *with* live sessions still re-sweeps on a short nap — but an
+/// **idle** worker (no sessions) parks for the full timeout and burns
+/// no CPU until a wake arrives, instead of the old 500 µs
+/// `park_timeout` spin.
 #[cfg(not(unix))]
 mod readiness {
     use super::PooledSession;
     use std::io;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
 
-    pub(super) struct Readiness;
+    /// How long a worker with live sessions naps between sweeps (its
+    /// sockets cannot wake the condvar, so this is the poll cadence).
+    const SESSION_NAP: Duration = Duration::from_millis(2);
+
+    #[derive(Debug)]
+    struct Shared {
+        pending: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    pub(super) struct Readiness {
+        shared: Arc<Shared>,
+    }
 
     #[derive(Clone, Debug)]
-    pub(super) struct Waker;
+    pub(super) struct Waker {
+        shared: Arc<Shared>,
+    }
 
     impl Waker {
-        pub(super) fn wake(&self) {}
+        pub(super) fn wake(&self) {
+            *self.shared.pending.lock().expect("wake lock") = true;
+            self.shared.cv.notify_all();
+        }
     }
 
     pub(super) fn wake_pair() -> io::Result<(Readiness, Waker)> {
-        Ok((Readiness, Waker))
+        let shared = Arc::new(Shared {
+            pending: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        Ok((
+            Readiness {
+                shared: Arc::clone(&shared),
+            },
+            Waker { shared },
+        ))
     }
 
     impl Readiness {
-        pub(super) fn wait(&mut self, _sessions: &[PooledSession], _timeout_ms: i32) {
-            std::thread::park_timeout(std::time::Duration::from_micros(500));
+        pub(super) fn wait(&mut self, sessions: &[PooledSession], timeout_ms: i32) {
+            let bound = Duration::from_millis(timeout_ms.max(1) as u64);
+            let timeout = if sessions.is_empty() {
+                bound
+            } else {
+                SESSION_NAP.min(bound)
+            };
+            let mut pending = self.shared.pending.lock().expect("wake lock");
+            if !*pending {
+                let (guard, _) = self
+                    .shared
+                    .cv
+                    .wait_timeout(pending, timeout)
+                    .expect("wake wait");
+                pending = guard;
+            }
+            *pending = false;
         }
     }
 }
@@ -216,11 +397,13 @@ use readiness::{wake_pair, Readiness, Waker};
 pub struct Server {
     listener: TcpListener,
     registry: Arc<NetworkRegistry>,
+    config: ServerConfig,
 }
 
 impl Server {
     /// Binds the listener (use port 0 for an ephemeral port, then read
-    /// [`Server::local_addr`]).
+    /// [`Server::local_addr`]). Starts with [`ServerConfig::default`]
+    /// (no limits); see [`Server::with_config`].
     ///
     /// # Errors
     ///
@@ -229,7 +412,22 @@ impl Server {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             registry: Arc::new(NetworkRegistry::new()),
+            config: ServerConfig::default(),
         })
+    }
+
+    /// Replaces the server's [`ServerConfig`] (deadlines, connection
+    /// cap, out-queue cap, shutdown bound). Applies to every serving
+    /// mode started afterwards.
+    #[must_use]
+    pub fn with_config(mut self, config: ServerConfig) -> Server {
+        self.config = config;
+        self
+    }
+
+    /// The active [`ServerConfig`].
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
     }
 
     /// The bound address (the ephemeral port when bound to port 0).
@@ -256,13 +454,20 @@ impl Server {
     /// Any [`io::Error`] from accepting.
     pub fn serve_sessions(&self, sessions: usize) -> io::Result<()> {
         let roster = Arc::new(Roster::default());
+        let gauge = Arc::new(ConnGauge::default());
         let mut handles = Vec::with_capacity(sessions);
         for _ in 0..sessions {
             let (stream, _) = self.listener.accept()?;
+            if !gauge.try_admit(self.config.max_connections) {
+                shed_overloaded(stream);
+                continue;
+            }
             handles.push(spawn_session(
                 stream,
                 Arc::clone(&self.registry),
                 Arc::clone(&roster),
+                Arc::clone(&gauge),
+                self.config.deadlines(),
             ));
         }
         for handle in handles {
@@ -281,23 +486,33 @@ impl Server {
         let addr = self.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let roster = Arc::new(Roster::default());
+        let abandoned = Arc::new(AtomicUsize::new(0));
         let registry = Arc::clone(&self.registry);
         let stop_flag = Arc::clone(&stop);
         let roster_accept = Arc::clone(&roster);
+        let abandoned_accept = Arc::clone(&abandoned);
+        let config = self.config.clone();
         let listener = self.listener;
         let accept = std::thread::Builder::new()
             .name("sinr-server-accept".into())
             .spawn(move || {
+                let gauge = Arc::new(ConnGauge::default());
                 let mut sessions: Vec<JoinHandle<()>> = Vec::new();
                 for stream in listener.incoming() {
                     if stop_flag.load(Ordering::SeqCst) {
                         break;
                     }
                     if let Ok(stream) = stream {
+                        if !gauge.try_admit(config.max_connections) {
+                            shed_overloaded(stream);
+                            continue;
+                        }
                         sessions.push(spawn_session(
                             stream,
                             Arc::clone(&registry),
                             Arc::clone(&roster_accept),
+                            Arc::clone(&gauge),
+                            config.deadlines(),
                         ));
                     }
                     // Reap sessions that already finished so the list
@@ -305,7 +520,9 @@ impl Server {
                     sessions.retain(|h| !h.is_finished());
                 }
                 for handle in sessions {
-                    join_bounded(handle, SHUTDOWN_JOIN_BOUND);
+                    if !join_bounded(handle, config.shutdown_join_bound) {
+                        abandoned_accept.fetch_add(1, Ordering::SeqCst);
+                    }
                 }
             })
             .expect("spawn accept thread");
@@ -314,6 +531,8 @@ impl Server {
             stop,
             roster,
             registry: self.registry,
+            abandoned,
+            join_bound: self.config.shutdown_join_bound,
             accept: Some(accept),
             workers: Vec::new(),
             wakers: Vec::new(),
@@ -335,6 +554,7 @@ impl Server {
         let workers = workers.max(1);
         let stop = Arc::new(AtomicBool::new(false));
         let registry = Arc::clone(&self.registry);
+        let gauge = Arc::new(ConnGauge::default());
         let intakes: Vec<Arc<Mutex<Vec<TcpStream>>>> = (0..workers)
             .map(|_| Arc::new(Mutex::new(Vec::new())))
             .collect();
@@ -347,15 +567,20 @@ impl Server {
             let intake = Arc::clone(intake);
             let stop = Arc::clone(&stop);
             let registry = Arc::clone(&registry);
+            let gauge = Arc::clone(&gauge);
+            let config = self.config.clone();
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("sinr-server-worker-{i}"))
-                    .spawn(move || worker_loop(&intake, &stop, &registry, readiness))
+                    .spawn(move || {
+                        worker_loop(&intake, &stop, &registry, readiness, &gauge, &config)
+                    })
                     .expect("spawn worker thread"),
             );
         }
 
         let stop_flag = Arc::clone(&stop);
+        let config = self.config.clone();
         let listener = self.listener;
         let accept_wakers = wakers.clone();
         let accept = std::thread::Builder::new()
@@ -367,6 +592,10 @@ impl Server {
                         break;
                     }
                     if let Ok(stream) = stream {
+                        if !gauge.try_admit(config.max_connections) {
+                            shed_overloaded(stream);
+                            continue;
+                        }
                         let i = next % intakes.len();
                         intakes[i].lock().expect("intake lock").push(stream);
                         // After the push, so the woken worker always
@@ -383,6 +612,8 @@ impl Server {
             stop,
             roster: Arc::new(Roster::default()),
             registry: self.registry,
+            abandoned: Arc::new(AtomicUsize::new(0)),
+            join_bound: self.config.shutdown_join_bound,
             accept: Some(accept),
             workers: worker_handles,
             wakers,
@@ -394,6 +625,8 @@ fn spawn_session(
     stream: TcpStream,
     registry: Arc<NetworkRegistry>,
     roster: Arc<Roster>,
+    gauge: Arc<ConnGauge>,
+    deadlines: Deadlines,
 ) -> JoinHandle<()> {
     // Request/response framing with small Mutate frames: Nagle +
     // delayed ACK would serialize every round trip on a timer tick
@@ -407,10 +640,12 @@ fn spawn_session(
             let Some(id) = admitted else {
                 // The server is already shutting down: the roster shut
                 // the socket before we got here.
+                gauge.release();
                 return;
             };
-            serve_session_with_registry(IoTransport::new(stream), registry);
+            serve_session_with_registry(IoTransport::with_deadlines(stream, deadlines), registry);
             roster.deregister(id);
+            gauge.release();
         })
         .expect("spawn session thread")
 }
@@ -475,6 +710,28 @@ struct PooledSession {
     /// A fatal response (Internal/Oversized) is queued but not fully
     /// flushed; close as soon as it drains.
     closing: bool,
+    /// When this session last completed a frame (or connected) — the
+    /// idle-deadline clock.
+    last_frame: Instant,
+    /// When the currently half-received frame's first bytes arrived —
+    /// the frame-deadline (slowloris) clock. `None` between frames.
+    partial_since: Option<Instant>,
+}
+
+impl PooledSession {
+    /// True when the session has outlived one of `deadlines`' bounds:
+    /// mid-frame sessions answer to the frame deadline, in-between
+    /// sessions to the idle deadline. Called by the worker sweep; an
+    /// overdue session is dropped (closing its socket).
+    fn overdue(&mut self, deadlines: &Deadlines, now: Instant) -> bool {
+        if self.io.partial_in() > 0 {
+            let since = *self.partial_since.get_or_insert(now);
+            matches!(deadlines.frame, Some(bound) if now.duration_since(since) > bound)
+        } else {
+            self.partial_since = None;
+            matches!(deadlines.idle, Some(bound) if now.duration_since(self.last_frame) > bound)
+        }
+    }
 }
 
 enum Step {
@@ -557,7 +814,16 @@ fn worker_loop(
     stop: &AtomicBool,
     registry: &Arc<NetworkRegistry>,
     mut readiness: Readiness,
+    gauge: &ConnGauge,
+    config: &ServerConfig,
 ) {
+    let deadlines = config.deadlines();
+    // A deadline-carrying worker must wake often enough to evict on
+    // time even when no socket turns ready.
+    let wait_ms = match config.min_deadline() {
+        Some(d) => (d.as_millis() / 2).clamp(1, WORKER_WAIT_MS as u128) as i32,
+        None => WORKER_WAIT_MS,
+    };
     let mut sessions: Vec<PooledSession> = Vec::new();
     loop {
         if stop.load(Ordering::SeqCst) {
@@ -566,49 +832,71 @@ fn worker_loop(
             // delivers responses already computed.
             for session in &mut sessions {
                 let _ = session.io.flush_pending();
+                gauge.release();
             }
             return;
         }
         for stream in intake.lock().expect("intake lock").drain(..) {
             let _ = stream.set_nodelay(true);
-            if let Ok(io) = PolledIo::new(stream) {
-                sessions.push(PooledSession {
-                    io,
+            match PolledIo::new(stream) {
+                Ok(io) => sessions.push(PooledSession {
+                    io: io.with_out_cap(config.max_pending_out),
                     core: SessionCore::new(Arc::clone(registry)),
                     closing: false,
-                });
+                    last_frame: Instant::now(),
+                    partial_since: None,
+                }),
+                Err(_) => gauge.release(),
             }
         }
         let mut progressed = false;
+        let now = Instant::now();
         sessions.retain_mut(|session| match session.step() {
             Step::Progress => {
                 progressed = true;
+                session.last_frame = Instant::now();
+                session.partial_since = None;
                 true
             }
-            Step::Idle => true,
-            Step::Done => false,
+            Step::Idle => {
+                if session.overdue(&deadlines, now) {
+                    // Dropping the session closes its socket: the
+                    // slow/idle peer sees the connection die.
+                    gauge.release();
+                    false
+                } else {
+                    true
+                }
+            }
+            Step::Done => {
+                gauge.release();
+                false
+            }
         });
         if !progressed {
             // Every session is idle: block until a socket turns ready
             // or the accept thread / shutdown writes the wake pipe.
             // Waking spuriously (or on the timeout backstop) just runs
             // one more sweep that finds nothing.
-            readiness.wait(&sessions, WORKER_WAIT_MS);
+            readiness.wait(&sessions, wait_ms);
         }
     }
 }
 
 /// Joins with a deadline; an over-deadline thread is abandoned (better
-/// a leaked thread than a shutdown that never returns).
-fn join_bounded(handle: JoinHandle<()>, bound: Duration) {
+/// a leaked thread than a shutdown that never returns). Returns whether
+/// the join actually happened — `false` is a leak the caller should
+/// count.
+fn join_bounded(handle: JoinHandle<()>, bound: Duration) -> bool {
     let deadline = Instant::now() + bound;
     while !handle.is_finished() {
         if Instant::now() >= deadline {
-            return;
+            return false;
         }
         std::thread::sleep(Duration::from_millis(1));
     }
     let _ = handle.join();
+    true
 }
 
 /// A running background server (see [`Server::spawn`] and
@@ -622,6 +910,10 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     roster: Arc<Roster>,
     registry: Arc<NetworkRegistry>,
+    /// Threads shutdown gave up waiting for (see
+    /// [`ServerHandle::abandoned_sessions`]).
+    abandoned: Arc<AtomicUsize>,
+    join_bound: Duration,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     /// One per pooled worker (empty for threaded servers): shutdown
@@ -642,11 +934,23 @@ impl ServerHandle {
         Arc::clone(&self.registry)
     }
 
+    /// How many threads shutdown has abandoned after their
+    /// [`ServerConfig::shutdown_join_bound`] expired: session threads
+    /// in threaded mode, plus one per wedged accept/worker thread.
+    /// Nonzero means a leak — bounded-shutdown tests pin this to 0.
+    pub fn abandoned_sessions(&self) -> usize {
+        self.abandoned.load(Ordering::SeqCst)
+    }
+
     /// Stops accepting, closes every live session's socket (so idle
     /// connected clients cannot wedge the join — their sessions see EOF
     /// and exit), and joins all server threads with a bounded wait.
-    pub fn shutdown(mut self) {
+    /// Returns the total number of threads abandoned over this server's
+    /// lifetime (see [`ServerHandle::abandoned_sessions`]); 0 is the
+    /// clean case.
+    pub fn shutdown(mut self) -> usize {
         self.shutdown_inner();
+        self.abandoned.load(Ordering::SeqCst)
     }
 
     fn shutdown_inner(&mut self) {
@@ -662,9 +966,13 @@ impl ServerHandle {
         for waker in &self.wakers {
             waker.wake();
         }
-        join_bounded(accept, SHUTDOWN_JOIN_BOUND);
+        if !join_bounded(accept, self.join_bound) {
+            self.abandoned.fetch_add(1, Ordering::SeqCst);
+        }
         for worker in self.workers.drain(..) {
-            join_bounded(worker, SHUTDOWN_JOIN_BOUND);
+            if !join_bounded(worker, self.join_bound) {
+                self.abandoned.fetch_add(1, Ordering::SeqCst);
+            }
         }
     }
 }
@@ -672,5 +980,33 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_bounded_reports_abandonment() {
+        let quick = std::thread::spawn(|| {});
+        assert!(join_bounded(quick, Duration::from_secs(1)));
+        let wedged = std::thread::spawn(|| std::thread::sleep(Duration::from_millis(300)));
+        assert!(!join_bounded(wedged, Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn conn_gauge_admits_to_the_cap_and_recovers() {
+        let gauge = ConnGauge::default();
+        assert!(gauge.try_admit(Some(2)));
+        assert!(gauge.try_admit(Some(2)));
+        assert!(!gauge.try_admit(Some(2)));
+        gauge.release();
+        assert!(gauge.try_admit(Some(2)));
+        // Uncapped always admits.
+        let open = ConnGauge::default();
+        for _ in 0..100 {
+            assert!(open.try_admit(None));
+        }
     }
 }

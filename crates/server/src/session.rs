@@ -449,6 +449,11 @@ pub fn serve_session_with_registry<T: Transport>(mut transport: T, registry: Arc
                 )));
                 return;
             }
+            // A session deadline expired (idle or mid-frame slowloris —
+            // see [`crate::transport::Deadlines`]): evict by closing.
+            // No error frame: an idle peer will learn on its next use,
+            // and a dribbling peer is exactly who we stop serving.
+            Err(RecvError::DeadlineExpired { .. }) => return,
             // I/O failure or EOF mid-frame: nothing sensible to say.
             Err(_) => return,
         };

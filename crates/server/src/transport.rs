@@ -26,10 +26,12 @@
 //! `send_frame` queues into an internal buffer that
 //! [`PolledIo::flush_pending`] drains as the socket accepts it.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Upper bound on a frame's payload length: 16 MiB (~500k query points
 /// per `LocateBatch`). A prefix claiming more is rejected as
@@ -54,6 +56,16 @@ pub enum RecvError {
         /// Bytes the current unit (prefix or payload) still needed.
         missing: usize,
     },
+    /// A session deadline expired (see
+    /// [`IoTransport::with_deadlines`]): either the peer sent nothing
+    /// for the idle bound, or it left a frame half-sent past the
+    /// mid-frame bound (the slowloris posture). The connection should
+    /// be dropped.
+    DeadlineExpired {
+        /// `true` when the deadline expired with a frame half-received
+        /// (mid-frame read deadline); `false` for the idle deadline.
+        mid_frame: bool,
+    },
 }
 
 impl std::fmt::Display for RecvError {
@@ -67,6 +79,15 @@ impl std::fmt::Display for RecvError {
             RecvError::TruncatedFrame { missing } => {
                 write!(f, "connection closed mid-frame ({missing} bytes short)")
             }
+            RecvError::DeadlineExpired { mid_frame } => write!(
+                f,
+                "session deadline expired ({})",
+                if *mid_frame {
+                    "frame half-received past the mid-frame read bound"
+                } else {
+                    "no frame started within the idle bound"
+                }
+            ),
         }
     }
 }
@@ -83,6 +104,34 @@ impl std::error::Error for RecvError {
 impl From<io::Error> for RecvError {
     fn from(e: io::Error) -> Self {
         RecvError::Io(e)
+    }
+}
+
+/// Byte streams that can bound how long a single `read` may block —
+/// the capability [`IoTransport::with_deadlines`] builds the session
+/// deadlines on. A timed-out read must surface as an [`io::Error`] of
+/// kind `WouldBlock` or `TimedOut`.
+///
+/// Implemented by [`TcpStream`] (via
+/// [`set_read_timeout`](TcpStream::set_read_timeout)), by
+/// [`PipeStream`] (a condvar wait bound), and by
+/// [`ChaosStream`](crate::chaos::ChaosStream) (delegating to its inner
+/// stream) — so deadline-enforcing sessions run identically over real
+/// sockets, the in-process pipe, and chaotic wrappings of either.
+pub trait StreamCtl {
+    /// Bounds how long one `read` call may block; `None` restores
+    /// unbounded blocking.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from the underlying mechanism (e.g. the
+    /// `SO_RCVTIMEO` syscall).
+    fn set_read_limit(&self, limit: Option<Duration>) -> io::Result<()>;
+}
+
+impl StreamCtl for TcpStream {
+    fn set_read_limit(&self, limit: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(limit)
     }
 }
 
@@ -108,24 +157,68 @@ pub trait Transport: Send {
     fn recv_frame(&mut self) -> Result<Option<Vec<u8>>, RecvError>;
 }
 
+/// The session deadlines a blocking transport enforces (see
+/// [`IoTransport::with_deadlines`]). Both are independent and optional;
+/// the all-`None` default is the historical unbounded behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Deadlines {
+    /// Longest the peer may sit between frames (measured from one
+    /// frame's completion to the next frame's first byte) before the
+    /// session is evicted with `DeadlineExpired { mid_frame: false }`.
+    pub idle: Option<Duration>,
+    /// Longest a single frame may take from its first byte to its last
+    /// before the session is evicted with `DeadlineExpired { mid_frame:
+    /// true }` — the slowloris defense: a client dribbling one byte per
+    /// second holds a thread (or pool slot) only this long, however
+    /// regular the dribble.
+    pub frame: Option<Duration>,
+}
+
+impl Deadlines {
+    /// No bounds (the permissive default).
+    pub const NONE: Deadlines = Deadlines {
+        idle: None,
+        frame: None,
+    };
+
+    fn any(&self) -> bool {
+        self.idle.is_some() || self.frame.is_some()
+    }
+}
+
+/// Floor on an armed read limit: `set_read_timeout(Some(ZERO))` is an
+/// error by contract, and sub-millisecond limits just burn syscalls.
+const MIN_READ_LIMIT: Duration = Duration::from_millis(1);
+
 /// [`Transport`] over any byte stream (the TCP path).
 #[derive(Debug)]
 pub struct IoTransport<S: Read + Write + Send> {
     stream: S,
+    deadlines: Deadlines,
 }
 
 /// The concrete transport of a real network connection.
 pub type TcpTransport = IoTransport<TcpStream>;
 
 impl<S: Read + Write + Send> IoTransport<S> {
-    /// Wraps a byte stream.
+    /// Wraps a byte stream (no deadlines — reads block indefinitely,
+    /// the historical behaviour).
     pub fn new(stream: S) -> Self {
-        IoTransport { stream }
+        IoTransport {
+            stream,
+            deadlines: Deadlines::NONE,
+        }
     }
 
     /// The wrapped stream.
     pub fn get_ref(&self) -> &S {
         &self.stream
+    }
+
+    /// Unwraps the transport, returning the stream (any armed read
+    /// limit is left as-is).
+    pub fn into_inner(self) -> S {
+        self.stream
     }
 
     /// Reads exactly `buf.len()` bytes. `Ok(0)` bytes at offset 0 is a
@@ -151,7 +244,101 @@ impl<S: Read + Write + Send> IoTransport<S> {
     }
 }
 
-impl<S: Read + Write + Send> Transport for IoTransport<S> {
+impl<S: Read + Write + Send + StreamCtl> IoTransport<S> {
+    /// Wraps a byte stream with session deadlines: reads that would
+    /// violate `deadlines` fail with [`RecvError::DeadlineExpired`]
+    /// instead of blocking forever. The mechanism is the stream's own
+    /// read limit ([`StreamCtl`]): while waiting for a frame to *start*
+    /// the limit is the idle bound; once the first byte arrives the
+    /// limit is re-armed each read to the **remaining** mid-frame
+    /// budget, so a peer dribbling bytes cannot reset the clock —
+    /// total time per frame is bounded, not time per byte.
+    pub fn with_deadlines(stream: S, deadlines: Deadlines) -> Self {
+        IoTransport { stream, deadlines }
+    }
+
+    /// As [`IoTransport::read_unit`], but gives up at `deadline`
+    /// (re-arming the stream's read limit to the remaining budget
+    /// before each read).
+    fn read_unit_until(
+        &mut self,
+        buf: &mut [u8],
+        deadline: Option<Instant>,
+        mid_frame: bool,
+    ) -> Result<bool, RecvError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            if let Some(deadline) = deadline {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(RecvError::DeadlineExpired { mid_frame });
+                }
+                self.stream
+                    .set_read_limit(Some(remaining.max(MIN_READ_LIMIT)))?;
+            }
+            match self.stream.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    if filled == 0 && !mid_frame {
+                        return Ok(false);
+                    }
+                    return Err(RecvError::TruncatedFrame {
+                        missing: buf.len() - filled,
+                    });
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if deadline.is_some()
+                        && matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                {
+                    // A timed-out read: loop back, where the remaining
+                    // budget is re-checked (it may have been a spurious
+                    // early return).
+                }
+                Err(e) => return Err(RecvError::Io(e)),
+            }
+        }
+        Ok(true)
+    }
+
+    /// [`Transport::recv_frame`] with the deadline machinery: one byte
+    /// read under the idle bound starts the frame clock, everything
+    /// after it runs against the mid-frame budget.
+    fn recv_frame_deadlined(&mut self) -> Result<Option<Vec<u8>>, RecvError> {
+        // Idle phase: wait for the frame's first byte alone, bounded by
+        // the idle deadline.
+        let mut first = [0u8; 1];
+        let idle_deadline = self.deadlines.idle.map(|d| Instant::now() + d);
+        if !self.read_unit_until(&mut first, idle_deadline, false)? {
+            return Ok(None);
+        }
+        // Frame phase: the rest of the prefix and the payload share one
+        // absolute budget, started by the first byte.
+        let frame_deadline = self.deadlines.frame.map(|d| Instant::now() + d);
+        if frame_deadline.is_none() {
+            // No mid-frame bound: restore unbounded reads (the idle
+            // phase may have armed a limit on the stream).
+            self.stream.set_read_limit(None)?;
+        }
+        let mut rest = [0u8; 3];
+        self.read_unit_until(&mut rest, frame_deadline, true)?;
+        let prefix = [first[0], rest[0], rest[1], rest[2]];
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(RecvError::Oversized { len: len as u64 });
+        }
+        let mut payload = vec![0u8; len];
+        if len > 0 {
+            self.read_unit_until(&mut payload, frame_deadline, true)?;
+        }
+        Ok(Some(payload))
+    }
+}
+
+impl<S: Read + Write + Send + StreamCtl> Transport for IoTransport<S> {
     fn send_frame(&mut self, payload: &[u8]) -> io::Result<()> {
         if payload.len() > MAX_FRAME_LEN {
             return Err(io::Error::new(
@@ -169,6 +356,9 @@ impl<S: Read + Write + Send> Transport for IoTransport<S> {
     }
 
     fn recv_frame(&mut self) -> Result<Option<Vec<u8>>, RecvError> {
+        if self.deadlines.any() {
+            return self.recv_frame_deadlined();
+        }
         let mut prefix = [0u8; 4];
         if !self.read_unit(&mut prefix)? {
             return Ok(None);
@@ -208,14 +398,15 @@ pub const MAX_PENDING_OUT: usize = 2 * (MAX_FRAME_LEN + 4);
 /// [`MAX_PENDING_OUT`]) that [`PolledIo::flush_pending`] drains
 /// opportunistically.
 #[derive(Debug)]
-pub struct PolledIo {
-    stream: TcpStream,
+pub struct PolledIo<S: Read + Write + Send = TcpStream> {
+    stream: S,
     in_buf: Vec<u8>,
     out_buf: VecDeque<u8>,
     peer_closed: bool,
+    out_cap: usize,
 }
 
-impl PolledIo {
+impl PolledIo<TcpStream> {
     /// Wraps `stream`, switching it to nonblocking mode.
     ///
     /// # Errors
@@ -223,17 +414,47 @@ impl PolledIo {
     /// The `set_nonblocking` syscall failing.
     pub fn new(stream: TcpStream) -> io::Result<PolledIo> {
         stream.set_nonblocking(true)?;
-        Ok(PolledIo {
+        Ok(PolledIo::from_stream(stream))
+    }
+}
+
+impl<S: Read + Write + Send> PolledIo<S> {
+    /// Wraps an already-nonblocking byte stream (e.g. a
+    /// [`ChaosStream`](crate::chaos::ChaosStream) over a nonblocking
+    /// socket). The caller is responsible for the stream actually being
+    /// nonblocking — a blocking stream here turns the poll loop into a
+    /// blocking one.
+    pub fn from_stream(stream: S) -> PolledIo<S> {
+        PolledIo {
             stream,
             in_buf: Vec::new(),
             out_buf: VecDeque::new(),
             peer_closed: false,
-        })
+            out_cap: MAX_PENDING_OUT,
+        }
+    }
+
+    /// Caps the outgoing queue at `cap` bytes instead of the default
+    /// [`MAX_PENDING_OUT`] (the slow-consumer disconnect threshold).
+    /// The hard floor is one maximal frame — a cap that could refuse a
+    /// single well-formed response would deadlock every session.
+    #[must_use]
+    pub fn with_out_cap(mut self, cap: usize) -> PolledIo<S> {
+        self.out_cap = cap.max(MAX_FRAME_LEN + 4);
+        self
     }
 
     /// The wrapped stream.
-    pub fn get_ref(&self) -> &TcpStream {
+    pub fn get_ref(&self) -> &S {
         &self.stream
+    }
+
+    /// Bytes of a not-yet-complete frame sitting in the input buffer.
+    /// Nonzero means the peer is **mid-frame**: the worker's mid-frame
+    /// read deadline runs while this stays nonzero (the slowloris
+    /// observable).
+    pub fn partial_in(&self) -> usize {
+        self.in_buf.len()
     }
 
     /// Whether response bytes are still queued for the socket.
@@ -300,7 +521,7 @@ impl PolledIo {
     }
 }
 
-impl Transport for PolledIo {
+impl<S: Read + Write + Send> Transport for PolledIo<S> {
     /// Queues the frame; bytes reach the socket opportunistically (here
     /// and in later [`PolledIo::flush_pending`] calls).
     ///
@@ -320,9 +541,9 @@ impl Transport for PolledIo {
                 ),
             ));
         }
-        if self.out_buf.len() + 4 + payload.len() > MAX_PENDING_OUT {
+        if self.out_buf.len() + 4 + payload.len() > self.out_cap {
             return Err(io::Error::other(
-                "slow consumer: outgoing frame queue exceeds MAX_PENDING_OUT",
+                "slow consumer: outgoing frame queue exceeds its byte cap",
             ));
         }
         self.out_buf.extend((payload.len() as u32).to_le_bytes());
@@ -468,6 +689,121 @@ impl Transport for PipeTransport {
     }
 }
 
+/// The **byte-level** face of the in-process pipe: a `Read + Write`
+/// stream over the same queues [`PipeTransport`] frames, created in
+/// connected pairs by [`duplex_stream`].
+///
+/// Where `PipeTransport` moves whole frames atomically, `PipeStream`
+/// moves raw bytes — which is exactly what the chaos machinery needs:
+/// wrap one end in a [`ChaosStream`](crate::chaos::ChaosStream) and an
+/// [`IoTransport`] and frames cross the pipe chopped at arbitrary byte
+/// boundaries, loopback-free. It also implements [`StreamCtl`] (the
+/// read limit is a condvar wait bound), so deadline-enforcing sessions
+/// are testable without sockets.
+///
+/// Dropping either end closes both directions, like the framed pipe.
+#[derive(Debug)]
+pub struct PipeStream {
+    rx: Arc<Half>,
+    tx: Arc<Half>,
+    read_limit: Cell<Option<Duration>>,
+}
+
+/// A connected pair of in-process **byte** streams (see
+/// [`PipeStream`]). Frame either end with [`IoTransport::new`] to get
+/// a [`PipeTransport`]-equivalent, or interpose a
+/// [`ChaosStream`](crate::chaos::ChaosStream) first.
+pub fn duplex_stream() -> (PipeStream, PipeStream) {
+    let a = Arc::new(Half::default());
+    let b = Arc::new(Half::default());
+    (
+        PipeStream {
+            rx: Arc::clone(&a),
+            tx: Arc::clone(&b),
+            read_limit: Cell::new(None),
+        },
+        PipeStream {
+            rx: b,
+            tx: a,
+            read_limit: Cell::new(None),
+        },
+    )
+}
+
+impl PipeStream {
+    /// Closes both directions in place (the peer sees EOF; further
+    /// writes from either end fail `BrokenPipe`) — the chaos cut hook.
+    pub fn shutdown_both(&self) {
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+impl Drop for PipeStream {
+    fn drop(&mut self) {
+        self.shutdown_both();
+    }
+}
+
+impl StreamCtl for PipeStream {
+    fn set_read_limit(&self, limit: Option<Duration>) -> io::Result<()> {
+        self.read_limit.set(limit);
+        Ok(())
+    }
+}
+
+impl Read for PipeStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut state = self.rx.state.lock().expect("pipe lock");
+        let deadline = self.read_limit.get().map(|d| Instant::now() + d);
+        loop {
+            if !state.buf.is_empty() {
+                let n = state.buf.len().min(buf.len());
+                for (slot, byte) in buf.iter_mut().zip(state.buf.drain(..n)) {
+                    *slot = byte;
+                }
+                return Ok(n);
+            }
+            if state.closed {
+                return Ok(0);
+            }
+            state = match deadline {
+                None => self.rx.readable.wait(state).expect("pipe lock"),
+                Some(deadline) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Err(io::ErrorKind::WouldBlock.into());
+                    }
+                    self.rx
+                        .readable
+                        .wait_timeout(state, remaining)
+                        .expect("pipe lock")
+                        .0
+                }
+            };
+        }
+    }
+}
+
+impl Write for PipeStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut state = self.tx.state.lock().expect("pipe lock");
+        if state.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+        }
+        state.buf.extend(buf.iter().copied());
+        self.tx.readable.notify_all();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,6 +849,91 @@ mod tests {
         drop(b);
         let err = a.send_frame(b"x").unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn pipe_stream_round_trips_bytes_and_honors_read_limits() {
+        let (mut a, mut b) = duplex_stream();
+        a.write_all(b"abc").unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf).unwrap(), 3);
+        assert_eq!(&buf[..3], b"abc");
+        // An armed read limit turns an empty pipe into WouldBlock…
+        b.set_read_limit(Some(Duration::from_millis(5))).unwrap();
+        let err = b.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        // …and a closed peer into clean EOF.
+        drop(a);
+        assert_eq!(b.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn idle_deadline_expires_between_frames() {
+        let (a, b) = duplex_stream();
+        let mut rx = IoTransport::with_deadlines(
+            b,
+            Deadlines {
+                idle: Some(Duration::from_millis(20)),
+                frame: None,
+            },
+        );
+        match rx.recv_frame() {
+            Err(RecvError::DeadlineExpired { mid_frame: false }) => {}
+            other => panic!("expected idle deadline, got {other:?}"),
+        }
+        drop(a);
+    }
+
+    #[test]
+    fn frame_deadline_defeats_a_dribbling_sender() {
+        let (mut a, b) = duplex_stream();
+        let mut rx = IoTransport::with_deadlines(
+            b,
+            Deadlines {
+                idle: None,
+                frame: Some(Duration::from_millis(40)),
+            },
+        );
+        // Promise a 50-byte frame, then dribble one byte at a time
+        // forever: each byte re-arms a per-read timeout, but the frame
+        // budget is absolute.
+        let writer = std::thread::spawn(move || {
+            let _ = a.write_all(&50u32.to_le_bytes());
+            loop {
+                if a.write_all(&[0xAB]).is_err() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        let started = Instant::now();
+        match rx.recv_frame() {
+            Err(RecvError::DeadlineExpired { mid_frame: true }) => {}
+            other => panic!("expected mid-frame deadline, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "deadline must bound the wait"
+        );
+        drop(rx);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn deadlined_transport_still_round_trips_normal_traffic() {
+        let (a, b) = duplex_stream();
+        let mut tx = IoTransport::new(a);
+        let mut rx = IoTransport::with_deadlines(
+            b,
+            Deadlines {
+                idle: Some(Duration::from_secs(5)),
+                frame: Some(Duration::from_secs(5)),
+            },
+        );
+        tx.send_frame(b"prompt peer").unwrap();
+        assert_eq!(rx.recv_frame().unwrap().unwrap(), b"prompt peer");
+        drop(tx);
+        assert!(rx.recv_frame().unwrap().is_none());
     }
 
     fn tcp_pair() -> (TcpStream, TcpStream) {

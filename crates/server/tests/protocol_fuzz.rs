@@ -17,8 +17,9 @@ use proptest::prelude::*;
 use sinr_core::{Network, StationId, SurgeryOp};
 use sinr_geometry::Point;
 use sinr_server::{
-    decode_response, duplex, serve_session, BackendId, Client, ClientError, ErrorCode,
-    PipeTransport, Response, Server,
+    decode_response, duplex, duplex_stream, encode_request, serve_session, BackendId, ChaosConfig,
+    ChaosStream, Client, ClientError, ErrorCode, IoTransport, PipeStream, PipeTransport, Request,
+    Response, Server,
 };
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -622,6 +623,146 @@ fn registry_errors_are_typed_and_survivable() {
     assert_eq!(answers.len(), 1);
     drop(client);
     assert!(handle.join().is_ok());
+}
+
+/// Reads one raw frame off a [`PipeStream`] (test-side framing).
+fn read_frame_pipe(stream: &mut PipeStream) -> Vec<u8> {
+    let mut prefix = [0u8; 4];
+    stream.read_exact(&mut prefix).expect("response prefix");
+    let mut payload = vec![0u8; u32::from_le_bytes(prefix) as usize];
+    stream.read_exact(&mut payload).expect("response payload");
+    payload
+}
+
+/// **Exhaustive** byte-split decode identity: one wire frame (prefix +
+/// payload) delivered in two writes split at *every* byte boundary —
+/// including inside the length prefix — must produce a response
+/// bit-identical to the unsplit delivery. The framing layer may never
+/// care where the kernel (or a chaotic transport) chops a frame.
+#[test]
+fn every_byte_split_decodes_identically() {
+    let (mut ours, theirs) = duplex_stream();
+    let handle = std::thread::spawn(move || serve_session(IoTransport::new(theirs)));
+
+    let mut write_wire = |payload: &[u8], split: Option<usize>| {
+        let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(payload);
+        match split {
+            None => ours.write_all(&wire).expect("unsplit write"),
+            Some(i) => {
+                ours.write_all(&wire[..i]).expect("first half");
+                ours.flush().expect("flush between halves");
+                ours.write_all(&wire[i..]).expect("second half");
+            }
+        }
+        ours.flush().expect("flush");
+        read_frame_pipe(&mut ours)
+    };
+
+    let bind = encode_request(&Request::Bind {
+        backend: BackendId::ExactScan,
+        epsilon: 0.0,
+        network: sinr_server::NetworkSpec::of(&tiny_network()),
+    });
+    write_wire(&bind, None);
+    let locate = encode_request(&Request::LocateBatch {
+        points: vec![
+            Point::new(0.5, 0.2),
+            Point::new(-3.0, 1.0),
+            Point::new(4.0, 0.1),
+        ],
+    });
+    let reference = write_wire(&locate, None);
+    for split in 1..locate.len() + 4 {
+        let got = write_wire(&locate, Some(split));
+        assert_eq!(got, reference, "split at byte {split} changed the response");
+    }
+    drop(ours);
+    assert!(handle.join().is_ok(), "session thread panicked");
+}
+
+/// The same identity under [`ChaosStream`] schedules: chaotic chopping
+/// and delays on the client's pipe (a fresh seed per iteration — each
+/// seed is a different maximal-nastiness split schedule) never change a
+/// single answered bit relative to a calm session.
+#[test]
+fn chaotic_pipe_sessions_answer_identically() {
+    let points = [
+        Point::new(0.5, 0.2),
+        Point::new(-3.0, 1.0),
+        Point::new(4.0, 0.1),
+    ];
+    let net = tiny_network();
+    let reference = {
+        let (mut client, handle) = owned_session();
+        client
+            .bind_network(BackendId::ExactScan, 0.0, &net)
+            .expect("calm bind");
+        let answers = client.locate_batch(&points).expect("calm locate");
+        drop(client);
+        assert!(handle.join().is_ok());
+        answers
+    };
+    for seed in 0..48u64 {
+        let (ours, theirs) = duplex_stream();
+        let handle = std::thread::spawn(move || serve_session(IoTransport::new(theirs)));
+        let chaos = ChaosStream::new(ours, ChaosConfig::from_seed_no_cut(seed));
+        let mut client = Client::new(IoTransport::new(chaos));
+        client
+            .bind_network(BackendId::ExactScan, 0.0, &net)
+            .unwrap_or_else(|e| panic!("chaotic bind, seed {seed}: {e}"));
+        let answers = client
+            .locate_batch(&points)
+            .unwrap_or_else(|e| panic!("chaotic locate, seed {seed}: {e}"));
+        assert_eq!(answers, reference, "seed {seed} changed an answer");
+        drop(client);
+        assert!(
+            handle.join().is_ok(),
+            "session thread panicked, seed {seed}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Garbage payloads *through a chaotic transport*: the server sees
+    /// the same bytes in nastier deliveries, answers every frame with a
+    /// typed error (MalformedFrame for the guaranteed-undecodable tag),
+    /// and the session survives into a working bind — chaos on the
+    /// wire must not be able to smuggle garbage past the decoder or
+    /// wedge the session loop.
+    #[test]
+    fn garbage_through_chaos_is_typed_and_survivable(
+        seed in any::<u64>(),
+        garbage in collection::vec(any::<u8>(), 0..160)
+    ) {
+        let (ours, theirs) = duplex_stream();
+        let handle = std::thread::spawn(move || serve_session(IoTransport::new(theirs)));
+        let chaos = ChaosStream::new(ours, ChaosConfig::from_seed_no_cut(seed));
+        let mut client = Client::new(IoTransport::new(chaos));
+
+        // 0x7F is no known tag: undecodable regardless of the body.
+        let mut payload = vec![0x7F];
+        payload.extend(&garbage);
+        client.send_raw(&payload).expect("send");
+        match client.recv() {
+            Err(ClientError::Server { code, .. }) => {
+                prop_assert_eq!(code, ErrorCode::MalformedFrame)
+            }
+            other => prop_assert!(false, "expected MalformedFrame, got {other:?}"),
+        }
+        let net = tiny_network();
+        client
+            .bind_network(BackendId::ExactScan, 0.0, &net)
+            .expect("session survives chaotic garbage");
+        let (_, answers) = client
+            .locate_batch(&[Point::new(0.5, 0.0)])
+            .expect("and still serves");
+        prop_assert_eq!(answers.len(), 1);
+        drop(client);
+        prop_assert!(handle.join().is_ok(), "session thread panicked");
+    }
 }
 
 /// Deterministic corner: a qds Bind on a network violating the

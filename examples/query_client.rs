@@ -18,8 +18,10 @@
 //! Run with: `cargo run --release --example query_client -- --connect 127.0.0.1:7878`
 
 use sinr_diagrams::prelude::*;
-use sinr_diagrams::server::{BackendId, Client, Server};
-use std::time::Instant;
+use sinr_diagrams::server::{
+    BackendId, Client, NetworkSpec, ResilientClient, RetryPolicy, Server, ServerConfig,
+};
+use std::time::{Duration, Instant};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -188,6 +190,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(handle) = handle {
         handle.shutdown();
         println!("in-process server shut down cleanly");
+        resilient_demo(&mirror)?;
     }
+    Ok(())
+}
+
+/// Resilience phase (PR 10, in-process mode only): stream the same
+/// fenced mutate/locate workload through a [`ResilientClient`] against
+/// a server that *evicts* idle sessions every 100 ms — every nap
+/// between timesteps costs the connection, and the client silently
+/// reconnects, re-binds its private network from the mirror, and
+/// carries on. The differential check proves the restored sessions
+/// answer for exactly the mutated network: no timestep is lost or
+/// applied twice across any reconnect.
+fn resilient_demo(start_net: &Network) -> Result<(), Box<dyn std::error::Error>> {
+    let server = Server::bind("127.0.0.1:0")?.with_config(ServerConfig {
+        idle_deadline: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    });
+    let handle = server.spawn()?;
+    println!(
+        "resilience demo: server on {} evicting sessions idle > 100 ms",
+        handle.addr()
+    );
+
+    let mut mirror = NetworkSpec::of(start_net).build()?;
+    let mut client = ResilientClient::connect(handle.addr(), RetryPolicy::default())?;
+    client.bind_network(BackendId::SimdScan, 0.0, &mirror)?;
+
+    let probes: Vec<Point> = (0..512)
+        .map(|k| Point::new((k % 32) as f64 * 0.25 - 4.0, (k / 32) as f64 * 0.5 - 4.0))
+        .collect();
+    for k in 1..=4u32 {
+        // Nap past the idle deadline: the server kills this session.
+        std::thread::sleep(Duration::from_millis(300));
+        let op = SurgeryOp::SetPower {
+            id: StationId(0),
+            power: 1.0 + f64::from(k) * 0.2,
+        };
+        mirror.apply_op(&op)?;
+        client.mutate(&[op])?;
+        let (_, answers) = client.locate_batch(&probes)?;
+        let local = ExactScan::new(&mirror);
+        let mut expected = vec![Located::Silent; probes.len()];
+        local.locate_batch(&probes, &mut expected);
+        assert_eq!(answers, expected, "timestep {k} diverged after reconnect");
+    }
+    println!(
+        "4 timesteps verified across {} transparent reconnects; every mutation applied exactly once",
+        client.reconnects()
+    );
+    drop(client);
+    handle.shutdown();
+    println!("resilience-demo server shut down cleanly");
     Ok(())
 }

@@ -18,7 +18,7 @@
 //! Run with: `cargo run --release --example query_server -- --listen 127.0.0.1:7878 --pool 4`
 
 use sinr_diagrams::prelude::*;
-use sinr_diagrams::server::{BackendId, Client, Server};
+use sinr_diagrams::server::{BackendId, Client, ClientError, ErrorCode, Server, ServerConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -178,5 +178,44 @@ fn self_demo() -> Result<(), Box<dyn std::error::Error>> {
     drop(client);
     handle.shutdown();
     println!("server shut down cleanly");
+
+    // Hardened phase (PR 10): the same server with a `ServerConfig` —
+    // a connection cap plus session deadlines. Past the cap, a new
+    // connection is shed with ONE typed `Overloaded` frame before any
+    // request byte is read, which is what makes retrying it
+    // unconditionally safe.
+    let capped = Server::bind("127.0.0.1:0")?.with_config(ServerConfig {
+        max_connections: Some(2),
+        idle_deadline: Some(std::time::Duration::from_secs(30)),
+        frame_deadline: Some(std::time::Duration::from_secs(5)),
+        ..ServerConfig::default()
+    });
+    let capped = capped.spawn()?;
+    println!(
+        "hardened server on {} (cap 2, idle 30s, frame 5s)",
+        capped.addr()
+    );
+    let holders: Vec<Client<_>> = (0..2)
+        .map(|_| {
+            let mut c = Client::connect(capped.addr())?;
+            c.bind_network(BackendId::ExactScan, 0.0, &moved)?;
+            Ok::<_, Box<dyn std::error::Error>>(c)
+        })
+        .collect::<Result<_, _>>()?;
+    let mut third = Client::connect(capped.addr())?;
+    match third.bind_network(BackendId::ExactScan, 0.0, &moved) {
+        Err(ClientError::Server {
+            code: ErrorCode::Overloaded,
+            ..
+        }) => {
+            println!("third connection shed with typed Overloaded: nothing processed, retry-safe")
+        }
+        other => return Err(format!("expected an Overloaded shed, got {other:?}").into()),
+    }
+    drop(third);
+    drop(holders);
+    let abandoned = capped.shutdown();
+    assert_eq!(abandoned, 0, "bounded shutdown leaked a session");
+    println!("hardened server shut down cleanly (0 sessions abandoned)");
     Ok(())
 }
